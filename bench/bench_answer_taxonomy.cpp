@@ -1,0 +1,77 @@
+// E10 — Exercises AliQAn's full 20-category answer-type taxonomy (§4.1)
+// on the CLEF-style question set: per category, whether the question
+// pattern detects the right type and whether the top-1 answer is correct.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "ontology/enrichment.h"
+#include "ontology/wordnet.h"
+#include "qa/aliqan.h"
+#include "web/question_factory.h"
+#include "web/synthetic_web.h"
+
+using namespace dwqa;
+
+int main() {
+  PrintBanner(std::cout, "AliQAn answer-type taxonomy — the 20 categories "
+                         "of section 4.1");
+
+  web::WebConfig config;
+  config.cities = {"Barcelona", "Madrid"};
+  config.months = {1};
+  auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
+
+  ontology::Ontology wn = ontology::MiniWordNet::Build();
+  // Minimal Step-2 enrichment so location questions resolve.
+  std::vector<ontology::InstanceSeed> seeds = {
+      {"El Prat", {}, "Barcelona", ""}};
+  if (!ontology::Enricher::Enrich(&wn, "airport", seeds).ok()) return 1;
+
+  qa::AliQAn aliqan(&wn);
+  if (!aliqan.IndexCorpus(&webb.documents()).ok()) return 1;
+
+  TablePrinter table({"category", "question", "type detected", "top-1",
+                      "correct"});
+  size_t typed = 0, correct = 0;
+  auto questions = web::QuestionFactory::ClefStyleQuestions();
+  for (const auto& gq : questions) {
+    auto answers = aliqan.Ask(gq.question);
+    std::string top1 = "(none)";
+    bool type_ok = false, ans_ok = false;
+    if (answers.ok()) {
+      type_ok = answers->analysis.answer_type == gq.expected_type;
+      if (!answers->empty()) {
+        const auto& best = answers->best();
+        top1 = best.answer_text;
+        if (top1.size() > 36) top1 = top1.substr(0, 33) + "...";
+        ans_ok = web::QuestionFactory::Matches(gq, best.answer_text,
+                                               best.has_value, best.value);
+        // The weather question defers to the truth table.
+        if (gq.gold.empty() &&
+            gq.expected_type == qa::AnswerType::kNumericalMeasure &&
+            best.has_value && best.date.has_value()) {
+          auto it = webb.truth().temperature.find(
+              {ToLower(best.location), best.date->ToIsoString()});
+          ans_ok = it != webb.truth().temperature.end() &&
+                   std::abs(best.value - it->second) < 0.76;
+        }
+      }
+    }
+    typed += type_ok;
+    correct += ans_ok;
+    std::string q = gq.question;
+    if (q.size() > 46) q = q.substr(0, 43) + "...";
+    table.AddRow({qa::AnswerTypeName(gq.expected_type), q,
+                  type_ok ? "yes" : "NO", top1, ans_ok ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nType detection: " << bench::Pct(typed, questions.size())
+            << ", top-1 answer accuracy: "
+            << bench::Pct(correct, questions.size()) << "\n";
+  bool shape_ok = typed == questions.size() &&
+                  correct * 10 >= questions.size() * 6;
+  std::cout << (shape_ok ? "[shape check] PASS\n" : "[shape check] FAIL\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// E2 — Reproduces Figure 1: the excerpt of the multidimensional UML model
+// for the Last Minute Sales example, printed as the class inventory with
+// stereotypes, attributes and associations.
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "integration/last_minute_sales.h"
+
+using namespace dwqa;
+using integration::LastMinuteSales;
+
+int main() {
+  PrintBanner(std::cout,
+              "Figure 1 — multidimensional model for Last Minute Sales");
+  ontology::UmlModel model = LastMinuteSales::MakeUmlModel();
+  if (auto st = model.Validate(); !st.ok()) {
+    std::cerr << st << std::endl;
+    return 1;
+  }
+
+  TablePrinter classes({"Class", "Stereotype", "Attributes"});
+  for (const ontology::UmlClass& c : model.classes()) {
+    std::string attrs;
+    for (const auto& a : c.attributes) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += a.name + " <<" +
+               std::string(ontology::AttrStereotypeName(a.stereotype)) +
+               ">>";
+    }
+    classes.AddRow({c.name,
+                    std::string("<<") +
+                        ontology::ClassStereotypeName(c.stereotype) + ">>",
+                    attrs});
+  }
+  classes.Print(std::cout);
+
+  PrintBanner(std::cout, "Associations");
+  TablePrinter assocs({"From", "Kind", "To", "Role"});
+  for (const ontology::UmlAssociation& a : model.associations()) {
+    const char* kind = "association";
+    switch (a.kind) {
+      case ontology::AssocKind::kAggregation:
+        kind = "aggregation";
+        break;
+      case ontology::AssocKind::kRollsUpTo:
+        kind = "rolls-up-to";
+        break;
+      case ontology::AssocKind::kGeneralization:
+        kind = "generalization";
+        break;
+      case ontology::AssocKind::kAssociation:
+        break;
+    }
+    assocs.AddRow({a.from, kind, a.to, a.role});
+  }
+  assocs.Print(std::cout);
+
+  PrintBanner(std::cout, "Dimension hierarchies (finest level first)");
+  for (const char* base : {"Airport", "Customer", "Date"}) {
+    auto chain = model.HierarchyFrom(base);
+    std::string line = "  ";
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0) line += " -> ";
+      line += chain[i];
+    }
+    std::cout << line << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E6 — Reproduces the Figure 5 experiment (§4.2): "lower precision is
+// obtained from web pages that contain tables ... the task of associating
+// the measure with its corresponding measure unit gets more difficult",
+// plus the robustness measure (the page URL is always stored) and the
+// paper's future-work ablation: the table-aware preprocessor (§5) restores
+// most of the loss.
+//
+// Series: {prose pages, table pages naive, table pages + preprocessor} ×
+// tuple-quality metrics.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+
+using namespace dwqa;
+using integration::LastMinuteSales;
+
+namespace {
+
+struct RunResult {
+  size_t tuples = 0;
+  size_t value_ok = 0;
+  size_t unit_ok = 0;
+  size_t correct = 0;
+  size_t url_stored = 0;
+};
+
+RunResult RunOn(const web::SyntheticWeb& webb, bool table_preprocess,
+                const std::vector<std::string>& cities) {
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ontology::UmlModel uml = LastMinuteSales::MakeUmlModel();
+  integration::PipelineConfig config =
+      LastMinuteSales::DefaultPipelineConfig();
+  config.qa.max_answers = 40;
+  config.qa.passages_to_analyze = 8;
+  config.table_preprocess = table_preprocess;
+  integration::IntegrationPipeline pipeline(&wh, &uml, config);
+  RunResult result;
+  if (!pipeline.RunAll(&webb.documents()).ok()) return result;
+  for (const std::string& city : cities) {
+    auto report = pipeline.RunStep5(
+        {"What is the temperature in " + city + " in January of 2004?"},
+        "Weather", "temperature");
+    if (!report.ok()) continue;
+    for (const auto& fact : report->facts) {
+      ++result.tuples;
+      // Table pages publish high/low; both count as a correct value.
+      bench::TupleCheck check = bench::CheckTemperatureFact(
+          webb.truth(), fact, /*accept_high_low=*/true);
+      result.value_ok += check.value_ok;
+      result.unit_ok += check.unit_known;
+      result.correct += check.FullyCorrect();
+      result.url_stored += !fact.url.empty();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout,
+              "Figure 5 — extraction from table-form weather pages vs "
+              "prose pages");
+  std::vector<std::string> cities = {"Barcelona", "Madrid", "Paris"};
+
+  web::WebConfig prose_config;
+  prose_config.cities = cities;
+  prose_config.months = {1};
+  prose_config.table_weather = false;
+  auto prose_web = web::SyntheticWeb::Build(prose_config).ValueOrDie();
+
+  web::WebConfig table_config = prose_config;
+  table_config.table_weather = true;
+  table_config.prose_weather = false;
+  auto table_web = web::SyntheticWeb::Build(table_config).ValueOrDie();
+
+  RunResult prose = RunOn(prose_web, false, cities);
+  RunResult naive = RunOn(table_web, false, cities);
+  RunResult preprocessed = RunOn(table_web, true, cities);
+
+  TablePrinter table({"corpus", "tuples", "value ok", "unit associated",
+                      "full tuple precision", "URL stored"});
+  auto add = [&](const char* name, const RunResult& r) {
+    table.AddRow({name, std::to_string(r.tuples),
+                  bench::Pct(r.value_ok, r.tuples),
+                  bench::Pct(r.unit_ok, r.tuples),
+                  bench::Pct(r.correct, r.tuples),
+                  bench::Pct(r.url_stored, r.tuples)});
+  };
+  add("prose pages (Fig. 4)", prose);
+  add("table pages, naive stripping (Fig. 5)", naive);
+  add("table pages + table preprocessor (future work, para 5)",
+      preprocessed);
+  table.Print(std::cout);
+
+  std::cout << "\n[shape check] unit association collapses on naive table "
+               "stripping and recovers\nwith the preprocessor; the URL is "
+               "stored in every row (robustness, para 4.2).\n";
+  bool shape_ok =
+      prose.tuples > 0 && naive.tuples > 0 && preprocessed.tuples > 0 &&
+      prose.correct * naive.tuples > naive.correct * prose.tuples &&
+      preprocessed.correct * naive.tuples >
+          naive.correct * preprocessed.tuples &&
+      prose.url_stored == prose.tuples;
+  std::cout << (shape_ok ? "[shape check] PASS\n" : "[shape check] FAIL\n");
+  return shape_ok ? 0 : 1;
+}

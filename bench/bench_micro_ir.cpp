@@ -1,0 +1,80 @@
+// Microbenchmarks of the IR substrate, including the passage-window
+// ablation the DESIGN.md calls out (IR-n's defining parameter; the paper's
+// footnote 6 reports 8-sentence passages).
+
+#include <benchmark/benchmark.h>
+
+#include "ir/inverted_index.h"
+#include "ir/passage_index.h"
+#include "web/synthetic_web.h"
+
+namespace {
+
+using dwqa::ir::InvertedIndex;
+using dwqa::ir::PassageIndex;
+
+dwqa::web::SyntheticWeb& Corpus() {
+  static auto* web = [] {
+    dwqa::web::WebConfig config;
+    config.months = {1};
+    config.noise_pages = 60;
+    return new dwqa::web::SyntheticWeb(
+        dwqa::web::SyntheticWeb::Build(config).ValueOrDie());
+  }();
+  return *web;
+}
+
+void BM_IndexCorpusDocLevel(benchmark::State& state) {
+  const auto& docs = Corpus().documents();
+  for (auto _ : state) {
+    InvertedIndex index;
+    for (const auto& doc : docs.documents()) {
+      index.AddDocument(doc.id, doc.raw);
+    }
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexCorpusDocLevel);
+
+void BM_DocSearch(benchmark::State& state) {
+  const auto& docs = Corpus().documents();
+  InvertedIndex index;
+  for (const auto& doc : docs.documents()) {
+    index.AddDocument(doc.id, doc.raw);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Search("Barcelona January 2004 temperature"));
+  }
+}
+BENCHMARK(BM_DocSearch);
+
+/// Passage retrieval cost and behaviour across window sizes (ablation).
+void BM_PassageSearchWindow(benchmark::State& state) {
+  const auto& docs = Corpus().documents();
+  PassageIndex index(static_cast<size_t>(state.range(0)));
+  for (const auto& doc : docs.documents()) {
+    index.AddDocument(doc.id, doc.raw);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Search("Barcelona January 2004 temperature", 5));
+  }
+}
+BENCHMARK(BM_PassageSearchWindow)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PassageIndexBuild(benchmark::State& state) {
+  const auto& docs = Corpus().documents();
+  for (auto _ : state) {
+    PassageIndex index(8);
+    for (const auto& doc : docs.documents()) {
+      index.AddDocument(doc.id, doc.raw);
+    }
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_PassageIndexBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

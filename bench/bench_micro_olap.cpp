@@ -1,0 +1,87 @@
+// Microbenchmarks of the OLAP engine over the Last Minute Sales cube:
+// scan+aggregate cost by grouping level, slice selectivity and roll-up.
+
+#include <benchmark/benchmark.h>
+
+#include "dw/olap.h"
+#include "integration/last_minute_sales.h"
+#include "web/weather_model.h"
+
+namespace {
+
+using dwqa::dw::AggFn;
+using dwqa::dw::OlapEngine;
+using dwqa::dw::OlapQuery;
+using dwqa::dw::Warehouse;
+using dwqa::integration::LastMinuteSales;
+
+Warehouse& FullWarehouse() {
+  static auto* wh = [] {
+    auto warehouse = new Warehouse(
+        LastMinuteSales::MakeWarehouse().ValueOrDie());
+    dwqa::web::WeatherModel weather(42);
+    LastMinuteSales::GenerateSales(warehouse, weather,
+                                   dwqa::Date(2004, 1, 1), 730)
+        .ValueOrDie();
+    return warehouse;
+  }();
+  return *wh;
+}
+
+void BM_GroupByLevel(benchmark::State& state) {
+  const char* levels[] = {"Airport", "City", "State", "Country"};
+  OlapEngine engine(&FullWarehouse());
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}, {"Price", AggFn::kAvg}};
+  q.group_by = {{"destination", levels[state.range(0)]}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q).ValueOrDie());
+  }
+  state.SetItemsProcessed(
+      int64_t(state.iterations()) *
+      int64_t(FullWarehouse().FactRowCount("LastMinuteSales").ValueOrDie()));
+}
+BENCHMARK(BM_GroupByLevel)->DenseRange(0, 3);
+
+void BM_SliceSelectivity(benchmark::State& state) {
+  OlapEngine engine(&FullWarehouse());
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "City"}};
+  q.filters = {{"destination", "Country", {"Spain"}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q).ValueOrDie());
+  }
+}
+BENCHMARK(BM_SliceSelectivity);
+
+void BM_TwoAxisCube(benchmark::State& state) {
+  OlapEngine engine(&FullWarehouse());
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "City"}, {"date", "Month"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q).ValueOrDie());
+  }
+}
+BENCHMARK(BM_TwoAxisCube);
+
+void BM_RollUpDerivation(benchmark::State& state) {
+  OlapEngine engine(&FullWarehouse());
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "Airport"}};
+  for (auto _ : state) {
+    auto up = engine.RollUp(q, "destination").ValueOrDie();
+    benchmark::DoNotOptimize(engine.Execute(up).ValueOrDie());
+  }
+}
+BENCHMARK(BM_RollUpDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

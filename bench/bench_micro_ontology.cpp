@@ -1,0 +1,88 @@
+// Microbenchmarks of the ontology substrate: build, merge-strategy
+// ablation (exact / +partial / +head — the DESIGN.md Step-3 ablation),
+// WSD and IsA traversal.
+
+#include <benchmark/benchmark.h>
+
+#include "integration/last_minute_sales.h"
+#include "ontology/enrichment.h"
+#include "ontology/merge.h"
+#include "ontology/uml_to_ontology.h"
+#include "ontology/wordnet.h"
+#include "ontology/wsd.h"
+
+namespace {
+
+using namespace dwqa::ontology;
+
+Ontology DomainOntology() {
+  auto model = dwqa::integration::LastMinuteSales::MakeUmlModel();
+  Ontology domain = UmlToOntology::Transform(model).ValueOrDie();
+  std::vector<InstanceSeed> seeds;
+  for (const auto& a : dwqa::integration::LastMinuteSales::Airports()) {
+    seeds.push_back({a.name, a.aliases, a.city, ""});
+  }
+  Enricher::Enrich(&domain, "airport", seeds).ValueOrDie();
+  return domain;
+}
+
+void BM_BuildMiniWordNet(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MiniWordNet::Build());
+  }
+}
+BENCHMARK(BM_BuildMiniWordNet);
+
+/// Merge-strategy ablation: 0 = exact only, 1 = +partial, 2 = +head.
+void BM_MergeStrategy(benchmark::State& state) {
+  Ontology domain = DomainOntology();
+  MergeOptions options;
+  options.enable_partial = state.range(0) >= 1;
+  options.enable_head = state.range(0) >= 2;
+  size_t new_trees = 0;
+  for (auto _ : state) {
+    Ontology upper = MiniWordNet::Build();
+    auto report = OntologyMerger::Merge(&upper, domain, options);
+    new_trees = report.ValueOrDie().new_tree;
+    benchmark::DoNotOptimize(upper);
+  }
+  state.counters["new_trees"] = double(new_trees);
+}
+BENCHMARK(BM_MergeStrategy)->DenseRange(0, 2);
+
+void BM_WsdDisambiguate(benchmark::State& state) {
+  Ontology upper = MiniWordNet::Build();
+  Ontology domain = DomainOntology();
+  OntologyMerger::Merge(&upper, domain).ValueOrDie();
+  Wsd wsd(&upper);
+  std::vector<std::string> context = {"temperature", "january", "flight",
+                                      "airport", "barcelona"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsd.Disambiguate("el prat", context));
+  }
+}
+BENCHMARK(BM_WsdDisambiguate);
+
+void BM_IsATraversal(benchmark::State& state) {
+  Ontology wn = MiniWordNet::Build();
+  ConceptId entity = wn.FindClass("entity").ValueOrDie();
+  auto prat = wn.Find("kennedy international airport");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wn.IsA(prat[0], entity));
+  }
+}
+BENCHMARK(BM_IsATraversal);
+
+void BM_LemmaLookup(benchmark::State& state) {
+  Ontology wn = MiniWordNet::Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wn.Find("barcelona"));
+    benchmark::DoNotOptimize(wn.Find("temperature"));
+    benchmark::DoNotOptimize(wn.Find("zeppelin"));
+  }
+}
+BENCHMARK(BM_LemmaLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Microbenchmarks of the QA substrate: question analysis, passage
+// selection and answer extraction — the per-question cost structure behind
+// bench_fig3_aliqan_phases.
+
+#include <benchmark/benchmark.h>
+
+#include "ontology/enrichment.h"
+#include "ontology/wordnet.h"
+#include "qa/aliqan.h"
+#include "qa/answer_extractor.h"
+#include "qa/crosslingual.h"
+#include "qa/question_analyzer.h"
+#include "web/synthetic_web.h"
+
+namespace {
+
+using namespace dwqa;
+
+const char* kQuestion =
+    "What is the weather like in January of 2004 in El Prat?";
+
+ontology::Ontology& MergedOntology() {
+  static auto* onto = [] {
+    auto* o = new ontology::Ontology(ontology::MiniWordNet::Build());
+    std::vector<ontology::InstanceSeed> seeds = {
+        {"El Prat", {}, "Barcelona", ""}};
+    ontology::Enricher::Enrich(o, "airport", seeds).ValueOrDie();
+    return o;
+  }();
+  return *onto;
+}
+
+qa::AliQAn& IndexedAliqan() {
+  static auto* aliqan = [] {
+    web::WebConfig config;
+    config.cities = {"Barcelona", "Madrid"};
+    config.months = {1};
+    static auto* webb = new web::SyntheticWeb(
+        web::SyntheticWeb::Build(config).ValueOrDie());
+    auto* a = new qa::AliQAn(&MergedOntology());
+    a->IndexCorpus(&webb->documents());
+    return a;
+  }();
+  return *aliqan;
+}
+
+void BM_QuestionAnalysis(benchmark::State& state) {
+  qa::QuestionAnalyzer analyzer(&MergedOntology());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(kQuestion));
+  }
+}
+BENCHMARK(BM_QuestionAnalysis);
+
+void BM_PassageSelection(benchmark::State& state) {
+  qa::AliQAn& aliqan = IndexedAliqan();
+  auto analysis = aliqan.AnalyzeQuestion(kQuestion).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aliqan.SelectPassages(analysis));
+  }
+}
+BENCHMARK(BM_PassageSelection);
+
+void BM_AnswerExtraction(benchmark::State& state) {
+  qa::AliQAn& aliqan = IndexedAliqan();
+  auto analysis = aliqan.AnalyzeQuestion(kQuestion).ValueOrDie();
+  auto passages = aliqan.SelectPassages(analysis).ValueOrDie();
+  qa::AnswerExtractor extractor(&MergedOntology());
+  for (auto _ : state) {
+    for (const auto& p : passages) {
+      benchmark::DoNotOptimize(
+          extractor.Extract(analysis, p.text, p.doc, ""));
+    }
+  }
+}
+BENCHMARK(BM_AnswerExtraction);
+
+void BM_FullAsk(benchmark::State& state) {
+  qa::AliQAn& aliqan = IndexedAliqan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aliqan.Ask(kQuestion));
+  }
+}
+BENCHMARK(BM_FullAsk);
+
+void BM_SpanishTranslation(benchmark::State& state) {
+  const std::string question =
+      "\xC2\xBF\x43u\xC3\xA1l es la temperatura en El Prat en enero de "
+      "2004?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qa::SpanishTranslator::Translate(question));
+  }
+}
+BENCHMARK(BM_SpanishTranslation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

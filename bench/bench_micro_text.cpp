@@ -1,0 +1,79 @@
+// Microbenchmarks of the NLP substrate: tokenizer, tagger, chunker and
+// entity recognizers — the per-sentence cost that dominates AliQAn's
+// extraction module.
+
+#include <benchmark/benchmark.h>
+
+#include "text/chunker.h"
+#include "text/entities.h"
+#include "text/pos_tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+const char* kSentence =
+    "Monday, January 31, 2004 Barcelona Weather: Temperature 8\xC2\xBA C "
+    "around 46.4 F Clear skies today";
+
+const char* kQuestion =
+    "What is the weather like in January of 2004 in El Prat?";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwqa::text::Tokenizer::Tokenize(kSentence));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_TokenizeAndTag(benchmark::State& state) {
+  dwqa::text::PosTagger tagger;
+  for (auto _ : state) {
+    auto toks = dwqa::text::Tokenizer::Tokenize(kSentence);
+    tagger.Tag(&toks);
+    benchmark::DoNotOptimize(toks);
+  }
+}
+BENCHMARK(BM_TokenizeAndTag);
+
+void BM_ChunkSentence(benchmark::State& state) {
+  dwqa::text::PosTagger tagger;
+  auto toks = dwqa::text::Tokenizer::Tokenize(kQuestion);
+  tagger.Tag(&toks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwqa::text::Chunker::Chunk(toks));
+  }
+}
+BENCHMARK(BM_ChunkSentence);
+
+void BM_EntityRecognizers(benchmark::State& state) {
+  dwqa::text::PosTagger tagger;
+  auto toks = dwqa::text::Tokenizer::Tokenize(kSentence);
+  tagger.Tag(&toks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwqa::text::EntityRecognizer::FindDates(toks));
+    benchmark::DoNotOptimize(
+        dwqa::text::EntityRecognizer::FindTemperatures(toks));
+    benchmark::DoNotOptimize(
+        dwqa::text::EntityRecognizer::FindProperNouns(toks));
+  }
+}
+BENCHMARK(BM_EntityRecognizers);
+
+void BM_SentenceSplit(benchmark::State& state) {
+  std::string doc;
+  for (int i = 0; i < 100; ++i) {
+    doc += kSentence;
+    doc += ".\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwqa::text::SentenceSplitter::Split(doc));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(doc.size()));
+}
+BENCHMARK(BM_SentenceSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E8 — Quantifies the paper's Step 2 claim (§3): with the ontology
+// enriched by the DW contents "the QA system will be more precise and will
+// return more reliable answers" — the system knows that "JFK", "John
+// Wayne", "La Guardia" or "El Prat" mean airports "instead of a person or
+// a Spanish musical group".
+//
+// Series: weather questions phrased through *airport names* × {Step 2 ON,
+// Step 2 OFF}; metrics: city resolution rate, answered rate, correct-tuple
+// rate.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+#include "web/question_factory.h"
+#include "web/synthetic_web.h"
+
+using namespace dwqa;
+using integration::LastMinuteSales;
+
+namespace {
+
+struct RunScore {
+  size_t questions = 0;
+  size_t city_resolved = 0;
+  size_t answered = 0;
+  size_t correct = 0;
+};
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout,
+              "Step 2 ablation — QA accuracy on airport-phrased questions "
+              "with/without DW enrichment");
+
+  web::WebConfig config;
+  config.months = {1};
+  config.table_weather = false;
+  auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
+
+  // Airport-phrased weather questions for every airline city with a
+  // distinct airport name, including the famously ambiguous ones.
+  std::vector<std::pair<std::string, std::string>> airport_of_city;
+  for (const auto& a : LastMinuteSales::Airports()) {
+    airport_of_city.push_back({ToLower(a.city), a.name});
+  }
+  auto questions =
+      web::QuestionFactory::AirportWeatherQuestions(webb, airport_of_city);
+  if (questions.empty()) {
+    std::cerr << "no questions generated" << std::endl;
+    return 1;
+  }
+
+  ontology::UmlModel uml = LastMinuteSales::MakeUmlModel();
+  auto run = [&](bool enrich) {
+    auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+    integration::PipelineConfig pconfig =
+        LastMinuteSales::DefaultPipelineConfig();
+    pconfig.enrich_with_dw_contents = enrich;
+    pconfig.qa.max_answers = 10;
+    integration::IntegrationPipeline pipeline(&wh, &uml, pconfig);
+    RunScore score;
+    if (!pipeline.RunAll(&webb.documents()).ok()) return score;
+    for (const auto& gq : questions) {
+      ++score.questions;
+      auto analysis = pipeline.aliqan()->AnalyzeQuestion(gq.question);
+      if (analysis.ok() && !analysis->resolved_city.empty()) {
+        ++score.city_resolved;
+      }
+      auto answers = pipeline.aliqan()->Ask(gq.question);
+      if (!answers.ok() || answers->empty()) continue;
+      const auto& best = answers->best();
+      if (!best.has_value) continue;
+      ++score.answered;
+      if (web::QuestionFactory::Matches(gq, best.answer_text,
+                                        best.has_value, best.value) &&
+          analysis.ok() &&
+          ToLower(best.location) == ToLower(analysis->resolved_city)) {
+        ++score.correct;
+      }
+    }
+    return score;
+  };
+
+  RunScore with = run(true);
+  RunScore without = run(false);
+
+  TablePrinter table({"configuration", "questions", "city resolved",
+                      "answered", "correct tuple@1"});
+  auto add = [&](const char* name, const RunScore& s) {
+    table.AddRow({name, std::to_string(s.questions),
+                  bench::Pct(s.city_resolved, s.questions),
+                  bench::Pct(s.answered, s.questions),
+                  bench::Pct(s.correct, s.questions)});
+  };
+  add("Steps 2+3 ON (enriched ontology)", with);
+  add("Step 2 OFF (bare WordNet)", without);
+  table.Print(std::cout);
+
+  std::cout << "\n[shape check] without enrichment the airport names stay "
+               "people/bands and the\nquestions cannot be grounded to "
+               "cities; with enrichment most resolve and are\nanswered "
+               "correctly.\n";
+  bool shape_ok = with.correct > without.correct &&
+                  with.city_resolved > without.city_resolved &&
+                  with.city_resolved * 10 >= with.questions * 8;
+  std::cout << (shape_ok ? "[shape check] PASS\n" : "[shape check] FAIL\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+# Bench binaries land in build/bench/ so that `for b in build/bench/*` runs
+# exactly the benchmark executables.
+set(DWQA_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(dwqa_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE dwqa_integration)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${DWQA_BENCH_DIR})
+endfunction()
+
+function(dwqa_microbench name)
+  dwqa_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
+endfunction()
+
+dwqa_bench(bench_table1_pipeline)
+dwqa_bench(bench_fig1_uml_model)
+dwqa_bench(bench_fig2_ontology)
+dwqa_bench(bench_fig3_aliqan_phases)
+dwqa_bench(bench_fig4_prose_extraction)
+dwqa_bench(bench_fig5_table_extraction)
+dwqa_bench(bench_ir_vs_qa)
+dwqa_bench(bench_ontology_enrichment)
+dwqa_bench(bench_dw_feed_bi)
+dwqa_bench(bench_answer_taxonomy)
+dwqa_bench(bench_multidim_ir)
+dwqa_microbench(bench_micro_text)
+dwqa_microbench(bench_micro_qa)
+dwqa_microbench(bench_micro_ir)
+dwqa_microbench(bench_micro_olap)
+dwqa_microbench(bench_micro_ontology)

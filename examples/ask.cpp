@@ -1,0 +1,110 @@
+// ask — a small QA console over the synthetic web: pass questions as
+// arguments (or pipe them on stdin, one per line) and get the structured
+// answers AliQAn extracts. Spanish questions are translated through the
+// cross-lingual layer (the CLEF capability of paper §4.1).
+//
+//   ./build/examples/ask "What is the capital of Spain?"
+//   ./build/examples/ask "¿Cuál es la temperatura en El Prat en enero de 2004?"
+//   echo "Who was the 35th president of the United States?" | ./build/examples/ask
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+#include "qa/crosslingual.h"
+#include "web/synthetic_web.h"
+
+using namespace dwqa;
+
+namespace {
+
+bool LooksSpanish(const std::string& question) {
+  // Inverted punctuation or common Spanish interrogatives.
+  if (question.find("\xC2\xBF") != std::string::npos) return true;
+  std::string norm = qa::SpanishTranslator::Normalize(question);
+  for (const char* marker : {"cual ", "cuanto", "cuantos", "que ", "quien ",
+                             "donde ", "cuando "}) {
+    if (StartsWith(norm, marker)) return true;
+  }
+  return false;
+}
+
+void Answer(qa::AliQAn* aliqan, const std::string& question) {
+  std::cout << "\nQ: " << question << "\n";
+  std::string english = question;
+  if (LooksSpanish(question)) {
+    qa::CrossLingualAliQAn xl(aliqan);
+    auto answers = xl.Ask(question);
+    std::cout << "   (translated: " << xl.last_translation().english
+              << ")\n";
+    if (!answers.ok()) {
+      std::cout << "A: " << answers.status() << "\n";
+      return;
+    }
+    if (answers->empty()) {
+      std::cout << "A: no answer found\n";
+      return;
+    }
+    const auto& best = answers->best();
+    std::cout << "A: " << best.answer_text;
+    if (best.date.has_value()) std::cout << " (" << best.date->ToLongString()
+                                         << ")";
+    if (!best.location.empty()) std::cout << " [" << best.location << "]";
+    std::cout << "\n   source: " << best.url << "\n";
+    return;
+  }
+  auto answers = aliqan->Ask(english);
+  if (!answers.ok()) {
+    std::cout << "A: " << answers.status() << "\n";
+    return;
+  }
+  std::cout << "   type: "
+            << qa::AnswerTypeName(answers->analysis.answer_type) << "\n";
+  if (answers->empty()) {
+    std::cout << "A: no answer found\n";
+    return;
+  }
+  const auto& best = answers->best();
+  std::cout << "A: " << best.answer_text;
+  if (best.date.has_value()) {
+    std::cout << " (" << best.date->ToLongString() << ")";
+  }
+  if (!best.location.empty()) std::cout << " [" << best.location << "]";
+  std::cout << "\n   source: " << best.url << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Stand up the integrated system once: DW + merged ontology + corpus.
+  auto wh = integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ontology::UmlModel uml = integration::LastMinuteSales::MakeUmlModel();
+  web::WebConfig web_config;
+  web_config.months = {1, 7};
+  auto webb = web::SyntheticWeb::Build(web_config).ValueOrDie();
+  integration::IntegrationPipeline pipeline(
+      &wh, &uml, integration::LastMinuteSales::DefaultPipelineConfig());
+  if (auto st = pipeline.RunAll(&webb.documents()); !st.ok()) {
+    std::cerr << st << std::endl;
+    return 1;
+  }
+  std::cout << "dwqa ask — corpus: " << webb.documents().size()
+            << " documents, ontology: "
+            << pipeline.merged_ontology().concept_count() << " concepts\n";
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      Answer(pipeline.aliqan(), argv[i]);
+    }
+    return 0;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    Answer(pipeline.aliqan(), line);
+  }
+  return 0;
+}

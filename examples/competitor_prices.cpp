@@ -1,0 +1,100 @@
+// Competitor price intelligence: the second kind of unstructured source the
+// paper motivates ("the Webs of the company competitors", §1). QA extracts
+// fares from competitor pages and feeds them into a Prices fact so the BI
+// side can compare its own fares per route.
+//
+// Run: ./build/examples/competitor_prices
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "dw/etl.h"
+#include "dw/olap.h"
+#include "ontology/wordnet.h"
+#include "qa/aliqan.h"
+#include "qa/structured.h"
+#include "web/question_factory.h"
+#include "web/synthetic_web.h"
+
+using namespace dwqa;
+
+int main() {
+  // Synthetic web with competitor price pages.
+  web::WebConfig config;
+  config.price_pages = 10;
+  config.noise_pages = 8;
+  auto webb = web::SyntheticWeb::Build(config);
+  if (!webb.ok()) {
+    std::cerr << webb.status() << std::endl;
+    return 1;
+  }
+
+  // A small prices warehouse: route (origin city, destination city) + fare.
+  dw::MdSchema schema;
+  if (!schema.AddDimension({"City", {{"City"}}}).ok() ||
+      !schema.AddDimension({"Source", {{"Url"}}}).ok()) {
+    return 1;
+  }
+  dw::FactDef fares;
+  fares.name = "CompetitorFares";
+  fares.measures = {{"FareEUR", dw::ColumnType::kDouble, dw::AggFn::kMin}};
+  fares.roles = {{"destination", "City"}, {"source", "Source"}};
+  if (!schema.AddFact(std::move(fares)).ok()) return 1;
+  auto wh_result = dw::Warehouse::Create(std::move(schema));
+  if (!wh_result.ok()) {
+    std::cerr << wh_result.status() << std::endl;
+    return 1;
+  }
+  dw::Warehouse wh = std::move(wh_result).ValueOrDie();
+
+  // QA over the upper ontology (no DW-specific enrichment needed: the
+  // questions name cities directly).
+  ontology::Ontology upper = ontology::MiniWordNet::Build();
+  qa::AliQAn aliqan(&upper);
+  if (!aliqan.IndexCorpus(&webb->documents()).ok()) return 1;
+
+  std::vector<web::GoldQuestion> questions =
+      web::QuestionFactory::PriceQuestions(*webb);
+  std::cout << "Asking " << questions.size()
+            << " price questions against the competitor pages...\n\n";
+
+  dw::EtlLoader loader(&wh);
+  size_t correct = 0;
+  for (const auto& gq : questions) {
+    auto answers = aliqan.Ask(gq.question);
+    if (!answers.ok() || answers->empty()) {
+      std::cout << "  (no answer) " << gq.question << "\n";
+      continue;
+    }
+    const qa::AnswerCandidate& best = answers->best();
+    bool ok = web::QuestionFactory::Matches(gq, best.answer_text,
+                                            best.has_value, best.value);
+    correct += ok ? 1 : 0;
+    std::cout << "  " << gq.question << "\n    -> " << best.answer_text
+              << (ok ? "  [correct]" : "  [WRONG]") << "\n";
+    auto fact = qa::ToStructuredFact(best, "fare");
+    if (fact.ok()) {
+      dw::FactRecord record;
+      // Destination is the last city named in the question.
+      std::string dest = best.location.empty() ? "?" : best.location;
+      record.role_paths = {{dest}, {fact->url.empty() ? "?" : fact->url}};
+      record.measures = {dw::Value(fact->value)};
+      (void)loader.LoadRecord("CompetitorFares", record);
+    }
+  }
+  std::cout << "\nAnswered " << correct << "/" << questions.size()
+            << " correctly.\n";
+
+  // BI view: cheapest competitor fare per destination city.
+  dw::OlapEngine engine(&wh);
+  dw::OlapQuery q;
+  q.fact = "CompetitorFares";
+  q.measures = {{"FareEUR", dw::AggFn::kMin}};
+  q.group_by = {{"destination", "City"}};
+  auto result = engine.Execute(q);
+  if (result.ok() && !result->rows.empty()) {
+    std::cout << "\nCheapest competitor fare per destination:\n"
+              << result->ToDisplayString();
+  }
+  return correct * 2 >= questions.size() ? 0 : 1;
+}

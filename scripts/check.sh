@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build, unit tests, all benches.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$ROOT/$BUILD_DIR" -G Ninja -S "$ROOT"
+cmake --build "$ROOT/$BUILD_DIR"
+ctest --test-dir "$ROOT/$BUILD_DIR" --output-on-failure
+
+for bench in "$ROOT/$BUILD_DIR"/bench/*; do
+  [ -x "$bench" ] || continue
+  echo
+  echo "##### $(basename "$bench")"
+  "$bench"
+done

@@ -1,0 +1,89 @@
+#include "common/csv.h"
+
+namespace dwqa {
+
+Result<std::vector<std::vector<std::string>>> Csv::Parse(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else {
+      if (c == '"' && !field_started && field.empty()) {
+        in_quotes = true;
+        field_started = true;
+        ++i;
+      } else if (c == ',') {
+        end_field();
+        ++i;
+      } else if (c == '\r') {
+        ++i;  // Tolerate CRLF.
+      } else if (c == '\n') {
+        end_row();
+        ++i;
+      } else {
+        field += c;
+        field_started = true;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string Csv::EscapeField(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string Csv::Render(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += EscapeField(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dwqa

@@ -1,0 +1,34 @@
+#ifndef DWQA_COMMON_CSV_H_
+#define DWQA_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dwqa {
+
+/// \brief RFC-4180-ish CSV reading/writing.
+///
+/// Supports quoted fields containing commas, quotes (doubled) and newlines.
+/// Used for the ETL boundary: Step 5 of the integration pipeline emits the
+/// generated database both in memory and as CSV for downstream BI tools.
+class Csv {
+ public:
+  /// Parses one CSV document into rows of fields.
+  static Result<std::vector<std::vector<std::string>>> Parse(
+      std::string_view text);
+
+  /// Renders rows as CSV, quoting fields when needed.
+  static std::string Render(
+      const std::vector<std::vector<std::string>>& rows);
+
+  /// Quotes a single field if it contains a comma, quote or newline.
+  static std::string EscapeField(std::string_view field);
+};
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_CSV_H_

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+namespace dwqa {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::threshold() { return g_threshold; }
+
+void Logger::set_threshold(LogLevel level) { g_threshold = level; }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) return;
+  std::cerr << "[" << LevelName(level) << "] " << message << std::endl;
+}
+
+}  // namespace dwqa

@@ -1,0 +1,67 @@
+#ifndef DWQA_COMMON_LOGGING_H_
+#define DWQA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dwqa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// Global level defaults to kWarning so that library code stays quiet in
+/// tests and benches; examples raise it to kInfo to narrate the pipeline.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  /// True if a message at `level` would be emitted.
+  static bool Enabled(LogLevel level) { return level >= threshold(); }
+
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DWQA_LOG(level)                                       \
+  if (!::dwqa::Logger::Enabled(::dwqa::LogLevel::k##level)) { \
+  } else                                                      \
+    ::dwqa::internal::LogMessage(::dwqa::LogLevel::k##level)
+
+/// Fatal invariant check: prints and aborts. Used for programmer errors only;
+/// recoverable conditions go through Status.
+#define DWQA_CHECK(condition)                                          \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      std::cerr << "DWQA_CHECK failed at " << __FILE__ << ":"          \
+                << __LINE__ << ": " #condition << std::endl;           \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_LOGGING_H_

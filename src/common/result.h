@@ -1,0 +1,82 @@
+#ifndef DWQA_COMMON_RESULT_H_
+#define DWQA_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace dwqa {
+
+/// \brief Either a value of type T or a non-OK Status explaining why the
+/// value could not be produced (Arrow idiom).
+///
+/// Accessors mirror arrow::Result: `ok()`, `status()`, `ValueOrDie()` and the
+/// dereference operators. Use DWQA_ASSIGN_OR_RETURN (status.h) to chain
+/// fallible computations.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (failure). Constructing a
+  /// Result from an OK status is a programming error and is converted into an
+  /// Internal error to keep the invariant "failure Result carries non-OK".
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure Status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; aborts the process if this Result is a failure.
+  /// Intended for tests and for call sites that have already checked ok().
+  const T& ValueOrDie() const& {
+    DieIfNotOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfNotOk();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    DieIfNotOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the held value or `fallback` on failure.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfNotOk() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on failure: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_RESULT_H_

@@ -1,0 +1,77 @@
+#ifndef DWQA_COMMON_RNG_H_
+#define DWQA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dwqa {
+
+/// \brief Deterministic SplitMix64 pseudo-random generator.
+///
+/// Every stochastic component of the project (synthetic web, workload
+/// generators, noise injection) draws from an explicitly seeded Rng so that
+/// tests and benches are byte-for-byte reproducible across runs and
+/// platforms. Header-only on purpose: it is hot in the generators.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleInRange(double lo, double hi) {
+    return lo + NextDouble() * (hi - lo);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Approximately normal draw (sum of 4 uniforms, variance-corrected) —
+  /// plenty for synthetic weather noise, cheap and fully deterministic.
+  double NextGaussian(double mean, double stddev) {
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i) sum += NextDouble();
+    // Sum of 4 U(0,1): mean 2, variance 4/12 -> stddev sqrt(1/3).
+    return mean + stddev * (sum - 2.0) * 1.7320508075688772;
+  }
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  size_t NextIndex(size_t size) { return static_cast<size_t>(NextBelow(size)); }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_RNG_H_

@@ -1,0 +1,116 @@
+#ifndef DWQA_COMMON_STATUS_H_
+#define DWQA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dwqa {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
+///
+/// The library does not throw across its public API: every operation that can
+/// fail returns a Status (or a Result<T>, see result.h). A Status is cheap to
+/// copy in the OK case and carries a code plus a human-readable message
+/// otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factory helpers, one per non-OK code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Renders e.g. "NotFound: concept 'airport' is not in the ontology".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Human-readable name of a StatusCode ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Propagates a non-OK Status to the caller.
+#define DWQA_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::dwqa::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating failure, else binding the
+/// moved value to `lhs`.
+#define DWQA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define DWQA_ASSIGN_OR_RETURN(lhs, expr) \
+  DWQA_ASSIGN_OR_RETURN_IMPL(            \
+      DWQA_CONCAT_NAME(_result_, __COUNTER__), lhs, expr)
+
+#define DWQA_CONCAT_NAME_INNER(x, y) x##y
+#define DWQA_CONCAT_NAME(x, y) DWQA_CONCAT_NAME_INNER(x, y)
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef DWQA_COMMON_TABLE_PRINTER_H_
+#define DWQA_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dwqa {
+
+/// \brief Column-aligned plain-text tables for the bench harnesses.
+///
+/// Every bench binary prints the rows/series the paper reports through this
+/// printer so that bench_output.txt is uniform and diffable.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator.
+  std::string Render() const;
+
+  /// Convenience: renders to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used by bench binaries to mark
+/// each paper table/figure they regenerate.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_TABLE_PRINTER_H_

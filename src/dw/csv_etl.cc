@@ -1,0 +1,156 @@
+#include "dw/csv_etl.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace dw {
+
+std::string CsvEtl::ExportTable(const Table& table) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  for (size_t c = 0; c < table.column_count(); ++c) {
+    header.push_back(table.column(c).name());
+  }
+  rows.push_back(std::move(header));
+  for (size_t r = 0; r < table.row_count(); ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < table.column_count(); ++c) {
+      row.push_back(table.Get(r, c).ToString());
+    }
+    rows.push_back(std::move(row));
+  }
+  return Csv::Render(rows);
+}
+
+Result<std::string> CsvEtl::ExportFact(const Warehouse& wh,
+                                       const std::string& fact) {
+  DWQA_ASSIGN_OR_RETURN(const FactDef* def, wh.schema().FindFact(fact));
+  DWQA_ASSIGN_OR_RETURN(const Table* ftab, wh.FactTable(fact));
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  for (const DimRole& role : def->roles) {
+    DWQA_ASSIGN_OR_RETURN(const DimensionDef* dim,
+                          wh.schema().FindDimension(role.dimension));
+    for (const LevelDef& level : dim->levels) {
+      header.push_back(role.role + "." + level.name);
+    }
+  }
+  for (const MeasureDef& m : def->measures) header.push_back(m.name);
+  rows.push_back(std::move(header));
+
+  for (size_t r = 0; r < ftab->row_count(); ++r) {
+    std::vector<std::string> row;
+    for (size_t ri = 0; ri < def->roles.size(); ++ri) {
+      MemberId member = static_cast<MemberId>(ftab->Get(r, ri).as_int());
+      DWQA_ASSIGN_OR_RETURN(const DimensionDef* dim,
+                            wh.schema().FindDimension(
+                                def->roles[ri].dimension));
+      for (const LevelDef& level : dim->levels) {
+        DWQA_ASSIGN_OR_RETURN(
+            std::string value,
+            wh.MemberLevelValue(def->roles[ri].dimension, member,
+                                level.name));
+        row.push_back(std::move(value));
+      }
+    }
+    for (size_t m = 0; m < def->measures.size(); ++m) {
+      row.push_back(ftab->Get(r, def->roles.size() + m).ToString());
+    }
+    rows.push_back(std::move(row));
+  }
+  return Csv::Render(rows);
+}
+
+Result<std::vector<FactRecord>> CsvEtl::ImportFactRecords(
+    const MdSchema& schema, const std::string& fact,
+    const std::string& csv) {
+  DWQA_ASSIGN_OR_RETURN(const FactDef* def, schema.FindFact(fact));
+  DWQA_ASSIGN_OR_RETURN(auto rows, Csv::Parse(csv));
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+
+  // Validate the header: role-level columns in declaration/hierarchy
+  // order, then the measures.
+  std::vector<std::string> expected;
+  for (const DimRole& role : def->roles) {
+    DWQA_ASSIGN_OR_RETURN(const DimensionDef* dim,
+                          schema.FindDimension(role.dimension));
+    for (const LevelDef& level : dim->levels) {
+      expected.push_back(ToLower(role.role + "." + level.name));
+    }
+  }
+  std::vector<size_t> levels_per_role;
+  for (const DimRole& role : def->roles) {
+    const DimensionDef* dim =
+        schema.FindDimension(role.dimension).ValueOrDie();
+    levels_per_role.push_back(dim->levels.size());
+  }
+  for (const MeasureDef& m : def->measures) {
+    expected.push_back(ToLower(m.name));
+  }
+  const std::vector<std::string>& header = rows.front();
+  if (header.size() != expected.size()) {
+    return Status::InvalidArgument(
+        "header has " + std::to_string(header.size()) + " columns, fact '" +
+        def->name + "' expects " + std::to_string(expected.size()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (ToLower(Trim(header[i])) != expected[i]) {
+      return Status::InvalidArgument("unexpected column '" + header[i] +
+                                     "' (expected '" + expected[i] + "')");
+    }
+  }
+
+  std::vector<FactRecord> records;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != expected.size()) {
+      return Status::InvalidArgument("row " + std::to_string(r) + " has " +
+                                     std::to_string(row.size()) +
+                                     " fields");
+    }
+    FactRecord record;
+    size_t col = 0;
+    for (size_t ri = 0; ri < def->roles.size(); ++ri) {
+      std::vector<std::string> path;
+      for (size_t li = 0; li < levels_per_role[ri]; ++li) {
+        path.push_back(row[col++]);
+      }
+      // Trailing empty levels are allowed (short member paths).
+      while (!path.empty() && path.back().empty()) path.pop_back();
+      record.role_paths.push_back(std::move(path));
+    }
+    for (size_t m = 0; m < def->measures.size(); ++m) {
+      const std::string& cell = row[col++];
+      if (cell.empty()) {
+        record.measures.push_back(Value());
+      } else if (def->measures[m].type == ColumnType::kInt64) {
+        record.measures.push_back(
+            Value(static_cast<int64_t>(std::atoll(cell.c_str()))));
+      } else {
+        record.measures.push_back(Value(std::atof(cell.c_str())));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status CsvEtl::ExportFactToFile(const Warehouse& wh, const std::string& fact,
+                                const std::string& path) {
+  DWQA_ASSIGN_OR_RETURN(std::string csv, ExportFact(wh, fact));
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  file << csv;
+  return file.good() ? Status::OK()
+                     : Status::IOError("write to '" + path + "' failed");
+}
+
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,52 @@
+#ifndef DWQA_DW_CSV_ETL_H_
+#define DWQA_DW_CSV_ETL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/etl.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace dw {
+
+/// \brief CSV boundary of the warehouse: the interchange format through
+/// which the Step-5-generated database reaches downstream BI tools, and
+/// through which external fact feeds enter.
+///
+/// The denormalized fact layout has one column per (role, level) pair
+/// followed by one column per measure:
+///
+///   location.City,location.Country,day.Date,day.Month,day.Year,TemperatureC
+///   Barcelona,Spain,2004-01-31,2004-01,2004,8
+///
+/// Export and import are inverses: ImportFactRecords(ExportFact(...))
+/// round-trips every row (modulo surrogate ids, which are reassigned).
+class CsvEtl {
+ public:
+  /// Renders any physical table (dimension or fact) with a header row.
+  static std::string ExportTable(const Table& table);
+
+  /// Renders `fact` in the denormalized layout above (surrogate keys
+  /// resolved into their level values).
+  static Result<std::string> ExportFact(const Warehouse& warehouse,
+                                        const std::string& fact);
+
+  /// Parses a denormalized CSV back into loadable records. The header is
+  /// validated against the schema: every (role, level) column must exist
+  /// and appear in hierarchy order; measure columns follow.
+  static Result<std::vector<FactRecord>> ImportFactRecords(
+      const MdSchema& schema, const std::string& fact,
+      const std::string& csv);
+
+  /// ExportFact + write to `path`.
+  static Status ExportFactToFile(const Warehouse& warehouse,
+                                 const std::string& fact,
+                                 const std::string& path);
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_CSV_ETL_H_

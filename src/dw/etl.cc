@@ -1,0 +1,50 @@
+#include "dw/etl.h"
+
+#include <cstdio>
+
+namespace dwqa {
+namespace dw {
+
+std::vector<std::string> DateMemberPath(const Date& date) {
+  char month_buf[16];
+  std::snprintf(month_buf, sizeof(month_buf), "%04d-%02d", date.year(),
+                date.month());
+  return {date.ToIsoString(), month_buf, std::to_string(date.year())};
+}
+
+Status EtlLoader::LoadRecord(const std::string& fact,
+                             const FactRecord& record) {
+  DWQA_ASSIGN_OR_RETURN(const FactDef* def, wh_->schema().FindFact(fact));
+  if (record.role_paths.size() != def->roles.size()) {
+    return Status::InvalidArgument(
+        "record has " + std::to_string(record.role_paths.size()) +
+        " role paths, fact '" + def->name + "' expects " +
+        std::to_string(def->roles.size()));
+  }
+  std::vector<MemberId> members;
+  for (size_t i = 0; i < def->roles.size(); ++i) {
+    DWQA_ASSIGN_OR_RETURN(
+        MemberId id,
+        wh_->AddMember(def->roles[i].dimension, record.role_paths[i]));
+    members.push_back(id);
+  }
+  return wh_->InsertFact(fact, members, record.measures);
+}
+
+Result<LoadReport> EtlLoader::LoadBatch(
+    const std::string& fact, const std::vector<FactRecord>& records) {
+  LoadReport report;
+  for (const FactRecord& record : records) {
+    Status st = LoadRecord(fact, record);
+    if (st.ok()) {
+      ++report.rows_loaded;
+    } else {
+      ++report.rows_rejected;
+      if (report.errors.size() < 10) report.errors.push_back(st.ToString());
+    }
+  }
+  return report;
+}
+
+}  // namespace dw
+}  // namespace dwqa

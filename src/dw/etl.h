@@ -1,0 +1,56 @@
+#ifndef DWQA_DW_ETL_H_
+#define DWQA_DW_ETL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace dw {
+
+/// \brief One logical fact record at the ETL boundary: member *paths* per
+/// role (so unseen dimension members are registered on the fly) plus the
+/// measure values. This is the shape in which Step 5 of the integration
+/// pipeline feeds QA-extracted tuples into the warehouse.
+struct FactRecord {
+  /// One path per fact role, in declaration order; each path is finest
+  /// level first ({"El Prat", "Barcelona", "Catalonia", "Spain"}).
+  std::vector<std::vector<std::string>> role_paths;
+  std::vector<Value> measures;
+};
+
+/// \brief Load statistics.
+struct LoadReport {
+  size_t rows_loaded = 0;
+  size_t rows_rejected = 0;
+  size_t members_created = 0;
+  std::vector<std::string> errors;  ///< First few reject reasons.
+};
+
+/// \brief Row loader: registers dimension members and inserts facts.
+class EtlLoader {
+ public:
+  explicit EtlLoader(Warehouse* warehouse) : wh_(warehouse) {}
+
+  /// Loads one record; member registration is idempotent.
+  Status LoadRecord(const std::string& fact, const FactRecord& record);
+
+  /// Loads a batch, continuing past rejected records (errors are collected
+  /// in the report; at most 10 messages kept).
+  Result<LoadReport> LoadBatch(const std::string& fact,
+                               const std::vector<FactRecord>& records);
+
+ private:
+  Warehouse* wh_;
+};
+
+/// Builds the canonical member path of a calendar date for a
+/// Date → Month → Year hierarchy: {"2004-01-31", "2004-01", "2004"}.
+std::vector<std::string> DateMemberPath(const Date& date);
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_ETL_H_

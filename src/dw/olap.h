@@ -1,0 +1,99 @@
+#ifndef DWQA_DW_OLAP_H_
+#define DWQA_DW_OLAP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace dw {
+
+/// One aggregated output of a query ("SUM(Price)").
+struct QueryMeasure {
+  std::string measure;
+  AggFn agg = AggFn::kSum;
+};
+
+/// One grouping axis: a hierarchy level of a dimension role
+/// ("destination" at level "City").
+struct GroupBy {
+  std::string role;
+  std::string level;
+};
+
+/// Slice/dice predicate: keep facts whose member value at `level` of `role`
+/// is in `values` (one value = slice, several = dice).
+struct Filter {
+  std::string role;
+  std::string level;
+  std::vector<std::string> values;
+};
+
+/// Comparison operators of HAVING predicates.
+enum class CompareOp { kLess, kLessEqual, kGreater, kGreaterEqual, kEqual };
+
+const char* CompareOpName(CompareOp op);
+
+/// Post-aggregation predicate: keep groups whose aggregated measure
+/// compares true against `value`. `measure_index` refers to the query's
+/// measure list.
+struct Having {
+  size_t measure_index = 0;
+  CompareOp op = CompareOp::kGreater;
+  double value = 0.0;
+};
+
+/// \brief A multidimensional aggregation query over one fact.
+struct OlapQuery {
+  std::string fact;
+  std::vector<QueryMeasure> measures;
+  std::vector<GroupBy> group_by;
+  std::vector<Filter> filters;
+  std::vector<Having> having;
+};
+
+/// \brief Query result: one row per group; group columns first, then one
+/// column per aggregated measure.
+struct OlapResult {
+  std::vector<std::string> headers;
+  std::vector<std::vector<Value>> rows;
+  size_t facts_scanned = 0;
+  size_t facts_matched = 0;
+
+  std::string ToDisplayString(size_t max_rows = 50) const;
+};
+
+/// \brief Hash-aggregation OLAP engine over a star-schema Warehouse, with
+/// the classical operations the paper's BI motivation relies on: group-by at
+/// any hierarchy level (aggregating "at different levels of detail"),
+/// roll-up, drill-down, slice and dice.
+class OlapEngine {
+ public:
+  explicit OlapEngine(const Warehouse* warehouse) : wh_(warehouse) {}
+
+  /// Executes `query` with a full scan + hash aggregate.
+  Result<OlapResult> Execute(const OlapQuery& query) const;
+
+  /// Returns `query` with the `role` grouping moved one level coarser
+  /// (Airport → City). Fails at the top level.
+  Result<OlapQuery> RollUp(const OlapQuery& query,
+                           const std::string& role) const;
+
+  /// Returns `query` with the `role` grouping moved one level finer
+  /// (City → Airport). Fails at the base level.
+  Result<OlapQuery> DrillDown(const OlapQuery& query,
+                              const std::string& role) const;
+
+ private:
+  Result<OlapQuery> ShiftLevel(const OlapQuery& query,
+                               const std::string& role, int delta) const;
+
+  const Warehouse* wh_;
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_OLAP_H_

@@ -1,0 +1,222 @@
+#include "dw/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "dw/csv_etl.h"
+#include "dw/etl.h"
+
+namespace dwqa {
+namespace dw {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<ColumnType> ColumnTypeFromName(const std::string& name) {
+  if (name == "int64") return ColumnType::kInt64;
+  if (name == "double") return ColumnType::kDouble;
+  if (name == "string") return ColumnType::kString;
+  if (name == "date") return ColumnType::kDate;
+  return Status::InvalidArgument("unknown column type '" + name + "'");
+}
+
+Result<AggFn> AggFnFromName(const std::string& name) {
+  for (AggFn fn : {AggFn::kSum, AggFn::kCount, AggFn::kAvg, AggFn::kMin,
+                   AggFn::kMax}) {
+    if (name == AggFnName(fn)) return fn;
+  }
+  return Status::InvalidArgument("unknown aggregation '" + name + "'");
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path.string() + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path.string() + "'");
+  out << content;
+  return out.good() ? Status::OK()
+                    : Status::IOError("write failed: " + path.string());
+}
+
+/// Filesystem-safe file stem for a schema object name.
+std::string Slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SchemaSerde::ToText(const MdSchema& schema) {
+  std::string out;
+  for (const DimensionDef& dim : schema.dimensions()) {
+    out += "dimension\t" + dim.name + "\n";
+    for (const LevelDef& level : dim.levels) {
+      out += "level\t" + level.name + "\n";
+    }
+  }
+  for (const FactDef& fact : schema.facts()) {
+    out += "fact\t" + fact.name + "\n";
+    for (const DimRole& role : fact.roles) {
+      out += "role\t" + role.role + "\t" + role.dimension + "\n";
+    }
+    for (const MeasureDef& m : fact.measures) {
+      out += "measure\t" + m.name + "\t" +
+             std::string(ColumnTypeName(m.type)) + "\t" +
+             AggFnName(m.default_agg) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<MdSchema> SchemaSerde::FromText(const std::string& text) {
+  MdSchema schema;
+  // Accumulate the current dimension or fact; flush when the next object
+  // starts or at EOF.
+  DimensionDef dim;
+  FactDef fact;
+  enum class Mode { kNone, kDimension, kFact } mode = Mode::kNone;
+  auto flush = [&]() -> Status {
+    if (mode == Mode::kDimension) {
+      DWQA_RETURN_NOT_OK(schema.AddDimension(std::move(dim)));
+      dim = DimensionDef();
+    } else if (mode == Mode::kFact) {
+      DWQA_RETURN_NOT_OK(schema.AddFact(std::move(fact)));
+      fact = FactDef();
+    }
+    mode = Mode::kNone;
+    return Status::OK();
+  };
+
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    const std::string& kind = fields[0];
+    if (kind == "dimension") {
+      if (fields.size() != 2) {
+        return Status::InvalidArgument("malformed dimension line");
+      }
+      DWQA_RETURN_NOT_OK(flush());
+      mode = Mode::kDimension;
+      dim.name = fields[1];
+    } else if (kind == "level") {
+      if (mode != Mode::kDimension || fields.size() != 2) {
+        return Status::InvalidArgument("level outside a dimension");
+      }
+      dim.levels.push_back({fields[1]});
+    } else if (kind == "fact") {
+      if (fields.size() != 2) {
+        return Status::InvalidArgument("malformed fact line");
+      }
+      DWQA_RETURN_NOT_OK(flush());
+      mode = Mode::kFact;
+      fact.name = fields[1];
+    } else if (kind == "role") {
+      if (mode != Mode::kFact || fields.size() != 3) {
+        return Status::InvalidArgument("role outside a fact");
+      }
+      fact.roles.push_back({fields[1], fields[2]});
+    } else if (kind == "measure") {
+      if (mode != Mode::kFact || fields.size() != 4) {
+        return Status::InvalidArgument("malformed measure line");
+      }
+      MeasureDef m;
+      m.name = fields[1];
+      DWQA_ASSIGN_OR_RETURN(m.type, ColumnTypeFromName(fields[2]));
+      DWQA_ASSIGN_OR_RETURN(m.default_agg, AggFnFromName(fields[3]));
+      fact.measures.push_back(std::move(m));
+    } else {
+      return Status::InvalidArgument("unknown schema line kind '" + kind +
+                                     "'");
+    }
+  }
+  DWQA_RETURN_NOT_OK(flush());
+  DWQA_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+Status WarehousePersistence::Save(const Warehouse& wh,
+                                  const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + dir +
+                           "': " + ec.message());
+  }
+  DWQA_RETURN_NOT_OK(
+      WriteFile(fs::path(dir) / "schema.txt", SchemaSerde::ToText(
+                                                  wh.schema())));
+  for (const DimensionDef& dim : wh.schema().dimensions()) {
+    DWQA_ASSIGN_OR_RETURN(const Table* table, wh.DimensionTable(dim.name));
+    DWQA_RETURN_NOT_OK(
+        WriteFile(fs::path(dir) / ("dim_" + Slug(dim.name) + ".csv"),
+                  CsvEtl::ExportTable(*table)));
+  }
+  for (const FactDef& fact : wh.schema().facts()) {
+    DWQA_ASSIGN_OR_RETURN(std::string csv, CsvEtl::ExportFact(wh,
+                                                              fact.name));
+    DWQA_RETURN_NOT_OK(WriteFile(
+        fs::path(dir) / ("fact_" + Slug(fact.name) + ".csv"), csv));
+  }
+  return Status::OK();
+}
+
+Result<Warehouse> WarehousePersistence::Load(const std::string& dir) {
+  DWQA_ASSIGN_OR_RETURN(std::string schema_text,
+                        ReadFile(fs::path(dir) / "schema.txt"));
+  DWQA_ASSIGN_OR_RETURN(MdSchema schema,
+                        SchemaSerde::FromText(schema_text));
+  DWQA_ASSIGN_OR_RETURN(Warehouse wh, Warehouse::Create(std::move(schema)));
+
+  // Dimension members first, preserving insertion order (surrogate keys
+  // are reassigned but identical because order is preserved).
+  for (const DimensionDef& dim : wh.schema().dimensions()) {
+    DWQA_ASSIGN_OR_RETURN(
+        std::string csv,
+        ReadFile(fs::path(dir) / ("dim_" + Slug(dim.name) + ".csv")));
+    DWQA_ASSIGN_OR_RETURN(auto rows, Csv::Parse(csv));
+    for (size_t r = 1; r < rows.size(); ++r) {
+      std::vector<std::string> path = rows[r];
+      while (!path.empty() && path.back().empty()) path.pop_back();
+      if (path.empty()) {
+        return Status::InvalidArgument("empty member row in dimension '" +
+                                       dim.name + "'");
+      }
+      DWQA_RETURN_NOT_OK(wh.AddMember(dim.name, path).status());
+    }
+  }
+  for (const FactDef& fact : wh.schema().facts()) {
+    DWQA_ASSIGN_OR_RETURN(
+        std::string csv,
+        ReadFile(fs::path(dir) / ("fact_" + Slug(fact.name) + ".csv")));
+    DWQA_ASSIGN_OR_RETURN(
+        auto records,
+        CsvEtl::ImportFactRecords(wh.schema(), fact.name, csv));
+    EtlLoader loader(&wh);
+    DWQA_ASSIGN_OR_RETURN(LoadReport report,
+                          loader.LoadBatch(fact.name, records));
+    if (report.rows_rejected > 0) {
+      return Status::Internal(
+          "reload rejected " + std::to_string(report.rows_rejected) +
+          " rows of fact '" + fact.name + "': " +
+          (report.errors.empty() ? "" : report.errors.front()));
+    }
+  }
+  return wh;
+}
+
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,44 @@
+#ifndef DWQA_DW_PERSISTENCE_H_
+#define DWQA_DW_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace dw {
+
+/// \brief Text serialization of a multidimensional schema.
+///
+/// Line-based, tab-separated (names may contain spaces but not tabs):
+///
+///   dimension<TAB>Airport
+///   level<TAB>Airport
+///   level<TAB>City
+///   fact<TAB>LastMinuteSales
+///   role<TAB>destination<TAB>Airport
+///   measure<TAB>Price<TAB>double<TAB>SUM
+class SchemaSerde {
+ public:
+  static std::string ToText(const MdSchema& schema);
+  static Result<MdSchema> FromText(const std::string& text);
+};
+
+/// \brief Directory-based warehouse persistence.
+///
+/// Layout: `schema.txt` plus one denormalized CSV per fact
+/// (`fact_<Name>.csv`, the CsvEtl format) and one CSV per dimension table
+/// (`dim_<Name>.csv`, so members without facts survive). Load rebuilds the
+/// warehouse; surrogate keys are reassigned but all level values, member
+/// sets and fact rows round-trip exactly.
+class WarehousePersistence {
+ public:
+  static Status Save(const Warehouse& warehouse, const std::string& dir);
+  static Result<Warehouse> Load(const std::string& dir);
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_PERSISTENCE_H_

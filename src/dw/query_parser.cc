@@ -1,0 +1,286 @@
+#include "dw/query_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace dw {
+
+namespace {
+
+/// Token kinds of the query language.
+enum class TokKind { kIdent, kPunct, kEnd };
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  ///< Identifier text or the punctuation character.
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { Advance(); }
+
+  const Tok& current() const { return current_; }
+
+  void Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      current_ = {TokKind::kEnd, ""};
+      return;
+    }
+    char c = text_[pos_];
+    if (c == '"') {
+      // Quoted identifier: may contain spaces.
+      size_t end = text_.find('"', pos_ + 1);
+      if (end == std::string_view::npos) {
+        current_ = {TokKind::kPunct, "\""};  // Unterminated; caller errors.
+        pos_ = text_.size();
+        return;
+      }
+      current_ = {TokKind::kIdent,
+                  std::string(text_.substr(pos_ + 1, end - pos_ - 1))};
+      pos_ = end + 1;
+      return;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '-') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      current_ = {TokKind::kIdent,
+                  std::string(text_.substr(start, pos_ - start))};
+      return;
+    }
+    current_ = {TokKind::kPunct, std::string(1, c)};
+    ++pos_;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  Tok current_;
+};
+
+bool IsKeyword(const Tok& tok, const char* keyword) {
+  return tok.kind == TokKind::kIdent && ToLower(tok.text) == keyword;
+}
+
+Result<AggFn> ParseAggFn(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "sum") return AggFn::kSum;
+  if (lower == "count") return AggFn::kCount;
+  if (lower == "avg") return AggFn::kAvg;
+  if (lower == "min") return AggFn::kMin;
+  if (lower == "max") return AggFn::kMax;
+  return Status::InvalidArgument("unknown aggregation function '" + name +
+                                 "'");
+}
+
+}  // namespace
+
+Result<OlapQuery> QueryParser::Parse(std::string_view text) {
+  Lexer lex(text);
+  OlapQuery query;
+
+  auto expect_punct = [&](char c) -> Status {
+    if (lex.current().kind != TokKind::kPunct || lex.current().text[0] != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' near '" + lex.current().text + "'");
+    }
+    lex.Advance();
+    return Status::OK();
+  };
+  auto expect_ident = [&](const char* what) -> Result<std::string> {
+    if (lex.current().kind != TokKind::kIdent) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near '" + lex.current().text + "'");
+    }
+    std::string out = lex.current().text;
+    lex.Advance();
+    return out;
+  };
+  // role "." level
+  auto parse_axis = [&](std::string* role, std::string* level) -> Status {
+    DWQA_ASSIGN_OR_RETURN(*role, expect_ident("a dimension role"));
+    DWQA_RETURN_NOT_OK(expect_punct('.'));
+    DWQA_ASSIGN_OR_RETURN(*level, expect_ident("a hierarchy level"));
+    return Status::OK();
+  };
+
+  if (!IsKeyword(lex.current(), "select")) {
+    return Status::InvalidArgument("query must start with SELECT");
+  }
+  lex.Advance();
+
+  // ---- Aggregations -----------------------------------------------------
+  while (true) {
+    DWQA_ASSIGN_OR_RETURN(std::string fn,
+                          expect_ident("an aggregation function"));
+    DWQA_ASSIGN_OR_RETURN(AggFn agg, ParseAggFn(fn));
+    DWQA_RETURN_NOT_OK(expect_punct('('));
+    DWQA_ASSIGN_OR_RETURN(std::string measure,
+                          expect_ident("a measure name"));
+    DWQA_RETURN_NOT_OK(expect_punct(')'));
+    query.measures.push_back({measure, agg});
+    if (lex.current().kind == TokKind::kPunct &&
+        lex.current().text == ",") {
+      lex.Advance();
+      continue;
+    }
+    break;
+  }
+
+  if (!IsKeyword(lex.current(), "from")) {
+    return Status::InvalidArgument("expected FROM after the measure list");
+  }
+  lex.Advance();
+  DWQA_ASSIGN_OR_RETURN(query.fact, expect_ident("a fact name"));
+
+  // ---- BY ----------------------------------------------------------------
+  if (IsKeyword(lex.current(), "by")) {
+    lex.Advance();
+    while (true) {
+      GroupBy axis;
+      DWQA_RETURN_NOT_OK(parse_axis(&axis.role, &axis.level));
+      query.group_by.push_back(std::move(axis));
+      if (lex.current().kind == TokKind::kPunct &&
+          lex.current().text == ",") {
+        lex.Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  // ---- WHERE ---------------------------------------------------------------
+  if (IsKeyword(lex.current(), "where")) {
+    lex.Advance();
+    while (true) {
+      Filter filter;
+      DWQA_RETURN_NOT_OK(parse_axis(&filter.role, &filter.level));
+      if (lex.current().kind == TokKind::kPunct &&
+          lex.current().text == "=") {
+        lex.Advance();
+        DWQA_ASSIGN_OR_RETURN(std::string value,
+                              expect_ident("a filter value"));
+        filter.values.push_back(std::move(value));
+      } else if (IsKeyword(lex.current(), "in")) {
+        lex.Advance();
+        DWQA_RETURN_NOT_OK(expect_punct('('));
+        while (true) {
+          DWQA_ASSIGN_OR_RETURN(std::string value,
+                                expect_ident("a filter value"));
+          filter.values.push_back(std::move(value));
+          if (lex.current().kind == TokKind::kPunct &&
+              lex.current().text == ",") {
+            lex.Advance();
+            continue;
+          }
+          break;
+        }
+        DWQA_RETURN_NOT_OK(expect_punct(')'));
+      } else {
+        return Status::InvalidArgument(
+            "expected '=' or IN in the WHERE predicate");
+      }
+      query.filters.push_back(std::move(filter));
+      if (IsKeyword(lex.current(), "and")) {
+        lex.Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  // ---- HAVING ---------------------------------------------------------------
+  if (IsKeyword(lex.current(), "having")) {
+    lex.Advance();
+    while (true) {
+      DWQA_ASSIGN_OR_RETURN(std::string fn,
+                            expect_ident("an aggregation function"));
+      DWQA_ASSIGN_OR_RETURN(AggFn agg, ParseAggFn(fn));
+      DWQA_RETURN_NOT_OK(expect_punct('('));
+      DWQA_ASSIGN_OR_RETURN(std::string measure,
+                            expect_ident("a measure name"));
+      DWQA_RETURN_NOT_OK(expect_punct(')'));
+      // The predicate must reference one of the selected aggregations.
+      Having having;
+      bool found = false;
+      for (size_t m = 0; m < query.measures.size(); ++m) {
+        if (query.measures[m].agg == agg &&
+            ToLower(query.measures[m].measure) == ToLower(measure)) {
+          having.measure_index = m;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "HAVING aggregation " + fn + "(" + measure +
+            ") is not in the SELECT list");
+      }
+      // Operator: one of < <= > >= =.
+      if (lex.current().kind != TokKind::kPunct) {
+        return Status::InvalidArgument("expected a comparison operator");
+      }
+      char op0 = lex.current().text[0];
+      lex.Advance();
+      bool or_equal = false;
+      if ((op0 == '<' || op0 == '>') &&
+          lex.current().kind == TokKind::kPunct &&
+          lex.current().text == "=") {
+        or_equal = true;
+        lex.Advance();
+      }
+      switch (op0) {
+        case '<':
+          having.op = or_equal ? CompareOp::kLessEqual : CompareOp::kLess;
+          break;
+        case '>':
+          having.op =
+              or_equal ? CompareOp::kGreaterEqual : CompareOp::kGreater;
+          break;
+        case '=':
+          having.op = CompareOp::kEqual;
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unknown comparison operator '") + op0 + "'");
+      }
+      DWQA_ASSIGN_OR_RETURN(std::string number,
+                            expect_ident("a numeric bound"));
+      if (!IsNumber(number)) {
+        return Status::InvalidArgument("HAVING bound '" + number +
+                                       "' is not a number");
+      }
+      having.value = std::atof(number.c_str());
+      query.having.push_back(having);
+      if (IsKeyword(lex.current(), "and")) {
+        lex.Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  if (lex.current().kind != TokKind::kEnd) {
+    return Status::InvalidArgument("unexpected trailing input near '" +
+                                   lex.current().text + "'");
+  }
+  if (query.measures.empty()) {
+    return Status::InvalidArgument("query selects no measures");
+  }
+  return query;
+}
+
+}  // namespace dw
+}  // namespace dwqa

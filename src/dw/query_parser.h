@@ -1,0 +1,47 @@
+#ifndef DWQA_DW_QUERY_PARSER_H_
+#define DWQA_DW_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "dw/olap.h"
+
+namespace dwqa {
+namespace dw {
+
+/// \brief Parser for a small textual OLAP query language over the
+/// warehouse — the "set of queries" interface the paper's §3 assumes the
+/// analyst poses against the multidimensional schema.
+///
+/// Grammar (case-insensitive keywords; identifiers may be quoted with
+/// double quotes when they contain spaces):
+///
+///   query  := SELECT aggs FROM fact [BY axes] [WHERE preds]
+///             [HAVING hpreds]
+///   aggs   := agg(measure) {"," agg(measure)}
+///   agg    := SUM | COUNT | AVG | MIN | MAX
+///   axes   := role "." level {"," role "." level}
+///   preds  := pred {AND pred}
+///   pred   := role "." level ("=" value | IN "(" value {"," value} ")")
+///   hpreds := hpred {AND hpred}
+///   hpred  := agg(measure) op number        — must match a selected
+///             aggregation; op ∈ { < , <= , > , >= , = }
+///
+/// Examples:
+///   SELECT SUM(Tickets) FROM LastMinuteSales BY destination.City
+///   SELECT AVG(Price), SUM(Tickets) FROM LastMinuteSales
+///     BY destination.Country, date.Year
+///     WHERE destination.Country IN (Spain, France) AND date.Year = 2004
+///
+/// The parser is purely syntactic; name resolution happens when the query
+/// executes against a Warehouse (OlapEngine::Execute).
+class QueryParser {
+ public:
+  static Result<OlapQuery> Parse(std::string_view text);
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_QUERY_PARSER_H_

@@ -1,0 +1,83 @@
+#ifndef DWQA_DW_SCHEMA_H_
+#define DWQA_DW_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dw/value.h"
+
+namespace dwqa {
+namespace dw {
+
+/// Aggregation functions of the OLAP engine.
+enum class AggFn { kSum, kCount, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// \brief A measure of a fact ("Price", "Miles").
+struct MeasureDef {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+  AggFn default_agg = AggFn::kSum;
+};
+
+/// \brief One aggregation level of a dimension ("Airport", "City", "State").
+struct LevelDef {
+  std::string name;
+};
+
+/// \brief A dimension with its hierarchy, finest level first
+/// (Airport → City → State → Country).
+struct DimensionDef {
+  std::string name;
+  std::vector<LevelDef> levels;
+
+  Result<size_t> LevelIndex(std::string_view level) const;
+};
+
+/// \brief A named use of a dimension by a fact. The Last Minute Sales fact
+/// uses the Airport dimension twice, as "origin" and "destination".
+struct DimRole {
+  std::string role;
+  std::string dimension;
+};
+
+/// \brief A fact class with its measures and dimension roles.
+struct FactDef {
+  std::string name;
+  std::vector<MeasureDef> measures;
+  std::vector<DimRole> roles;
+
+  Result<size_t> MeasureIndex(std::string_view measure) const;
+  Result<size_t> RoleIndex(std::string_view role) const;
+};
+
+/// \brief The multidimensional schema of a warehouse: the logical
+/// counterpart of the UML profile model (paper Figure 1).
+class MdSchema {
+ public:
+  Status AddDimension(DimensionDef dim);
+  Status AddFact(FactDef fact);
+
+  Result<const DimensionDef*> FindDimension(std::string_view name) const;
+  Result<const FactDef*> FindFact(std::string_view name) const;
+
+  const std::vector<DimensionDef>& dimensions() const { return dimensions_; }
+  const std::vector<FactDef>& facts() const { return facts_; }
+
+  /// Checks fact roles reference declared dimensions, names are unique and
+  /// every dimension has at least one level.
+  Status Validate() const;
+
+ private:
+  std::vector<DimensionDef> dimensions_;
+  std::vector<FactDef> facts_;
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_SCHEMA_H_

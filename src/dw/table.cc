@@ -1,0 +1,153 @@
+#include "dw/table.h"
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace dwqa {
+namespace dw {
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    valid_.push_back(false);
+    switch (type_) {
+      case ColumnType::kInt64:
+        ints_.push_back(0);
+        break;
+      case ColumnType::kDouble:
+        doubles_.push_back(0.0);
+        break;
+      case ColumnType::kString:
+        strings_.emplace_back();
+        break;
+      case ColumnType::kDate:
+        dates_.emplace_back();
+        break;
+    }
+    return Status::OK();
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      if (!v.is_int()) break;
+      ints_.push_back(v.as_int());
+      valid_.push_back(true);
+      return Status::OK();
+    case ColumnType::kDouble:
+      if (v.is_double()) {
+        doubles_.push_back(v.as_double());
+      } else if (v.is_int()) {
+        doubles_.push_back(static_cast<double>(v.as_int()));
+      } else {
+        break;
+      }
+      valid_.push_back(true);
+      return Status::OK();
+    case ColumnType::kString:
+      if (!v.is_string()) break;
+      strings_.push_back(v.as_string());
+      valid_.push_back(true);
+      return Status::OK();
+    case ColumnType::kDate:
+      if (!v.is_date()) break;
+      dates_.push_back(v.as_date());
+      valid_.push_back(true);
+      return Status::OK();
+  }
+  return Status::InvalidArgument("type mismatch appending to column '" +
+                                 name_ + "' (" + ColumnTypeName(type_) + ")");
+}
+
+Value Column::Get(size_t row) const {
+  if (row >= valid_.size() || !valid_[row]) return Value();
+  switch (type_) {
+    case ColumnType::kInt64:
+      return Value(ints_[row]);
+    case ColumnType::kDouble:
+      return Value(doubles_[row]);
+    case ColumnType::kString:
+      return Value(strings_[row]);
+    case ColumnType::kDate:
+      return Value(dates_[row]);
+  }
+  return Value();
+}
+
+double Column::GetDouble(size_t row) const {
+  if (row >= valid_.size() || !valid_[row]) return 0.0;
+  if (type_ == ColumnType::kInt64) return static_cast<double>(ints_[row]);
+  if (type_ == ColumnType::kDouble) return doubles_[row];
+  return 0.0;
+}
+
+Table::Table(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)) {
+  for (ColumnDef& def : columns) {
+    columns_.emplace_back(std::move(def.name), def.type);
+  }
+}
+
+Result<size_t> Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return Status::NotFound("table '" + name_ + "' has no column '" +
+                          std::string(name) + "'");
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != column count " +
+        std::to_string(columns_.size()) + " in table '" + name_ + "'");
+  }
+  // Validate all appends up-front so a failed row does not leave ragged
+  // columns behind.
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    bool ok = false;
+    switch (columns_[i].type()) {
+      case ColumnType::kInt64:
+        ok = v.is_int();
+        break;
+      case ColumnType::kDouble:
+        ok = v.is_double() || v.is_int();
+        break;
+      case ColumnType::kString:
+        ok = v.is_string();
+        break;
+      case ColumnType::kDate:
+        ok = v.is_date();
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     columns_[i].name() + "' of table '" +
+                                     name_ + "'");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Status st = columns_[i].Append(row[i]);
+    DWQA_CHECK(st.ok());  // Pre-validated above.
+  }
+  ++row_count_;
+  return Status::OK();
+}
+
+std::string Table::ToDisplayString(size_t max_rows) const {
+  std::vector<std::string> headers;
+  for (const Column& c : columns_) headers.push_back(c.name());
+  TablePrinter printer(std::move(headers));
+  for (size_t r = 0; r < row_count_ && r < max_rows; ++r) {
+    std::vector<std::string> row;
+    for (const Column& c : columns_) row.push_back(c.Get(r).ToString());
+    printer.AddRow(std::move(row));
+  }
+  std::string out = printer.Render();
+  if (row_count_ > max_rows) {
+    out += "... (" + std::to_string(row_count_ - max_rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace dw
+}  // namespace dwqa

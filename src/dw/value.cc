@@ -1,0 +1,31 @@
+#include "dw/value.h"
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace dw {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return FormatDouble(as_double(), 2);
+  if (is_date()) return as_date().ToIsoString();
+  return as_string();
+}
+
+}  // namespace dw
+}  // namespace dwqa

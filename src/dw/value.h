@@ -1,0 +1,59 @@
+#ifndef DWQA_DW_VALUE_H_
+#define DWQA_DW_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/date.h"
+
+namespace dwqa {
+namespace dw {
+
+/// Column data types of the warehouse.
+enum class ColumnType { kInt64, kDouble, kString, kDate };
+
+const char* ColumnTypeName(ColumnType t);
+
+/// \brief A dynamically typed cell value. Null is the monostate alternative.
+class Value {
+ public:
+  Value() = default;  // null
+  Value(int64_t v) : repr_(v) {}                      // NOLINT
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}    // NOLINT
+  Value(double v) : repr_(v) {}                       // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}       // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}     // NOLINT
+  Value(Date v) : repr_(v) {}                         // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_date() const { return std::holds_alternative<Date>(repr_); }
+
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  double as_double() const { return std::get<double>(repr_); }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+  Date as_date() const { return std::get<Date>(repr_); }
+
+  /// Numeric view: ints and doubles coerce; everything else is 0.
+  double ToDouble() const {
+    if (is_int()) return static_cast<double>(as_int());
+    if (is_double()) return as_double();
+    return 0.0;
+  }
+
+  /// Display rendering ("" for null, ISO form for dates).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, Date> repr_;
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_VALUE_H_

@@ -1,0 +1,88 @@
+#ifndef DWQA_DW_WAREHOUSE_H_
+#define DWQA_DW_WAREHOUSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dw/schema.h"
+#include "dw/table.h"
+
+namespace dwqa {
+namespace dw {
+
+/// Surrogate key of a dimension member (row in the dimension table).
+using MemberId = int32_t;
+constexpr MemberId kInvalidMember = -1;
+
+/// \brief Star-schema storage for one MdSchema.
+///
+/// Physical layout: one denormalized dimension table per dimension (one
+/// column per hierarchy level, one row per base-level member) and one fact
+/// table per fact (one int64 surrogate-key column per dimension role plus
+/// the measure columns).
+class Warehouse {
+ public:
+  /// Builds the physical tables for `schema` (validated first).
+  static Result<Warehouse> Create(MdSchema schema);
+
+  const MdSchema& schema() const { return schema_; }
+
+  /// Registers (or finds) a member from its level path, finest level first:
+  /// {"El Prat", "Barcelona", "Catalonia", "Spain"} for an Airport member.
+  /// The path may be shorter than the hierarchy (missing coarse levels stay
+  /// null). Re-registration with a consistent path returns the existing id.
+  Result<MemberId> AddMember(std::string_view dimension,
+                             const std::vector<std::string>& path);
+
+  /// Finds a member by its base-level name.
+  Result<MemberId> FindMember(std::string_view dimension,
+                              std::string_view base_name) const;
+
+  /// Value of `member` at `level` of `dimension` ("" when null).
+  Result<std::string> MemberLevelValue(std::string_view dimension,
+                                       MemberId member,
+                                       std::string_view level) const;
+
+  /// All base-level member names of a dimension (insertion order).
+  Result<std::vector<std::string>> MemberNames(
+      std::string_view dimension) const;
+
+  /// Appends a fact row: one member id per declared role (in declaration
+  /// order) and one value per measure.
+  Status InsertFact(std::string_view fact,
+                    const std::vector<MemberId>& member_per_role,
+                    const std::vector<Value>& measures);
+
+  /// The fact table for `fact` (read-only view used by the OLAP engine).
+  Result<const Table*> FactTable(std::string_view fact) const;
+
+  /// The dimension table for `dimension`.
+  Result<const Table*> DimensionTable(std::string_view dimension) const;
+
+  /// Number of rows of a fact table.
+  Result<size_t> FactRowCount(std::string_view fact) const;
+
+ private:
+  Warehouse() = default;
+
+  MdSchema schema_;
+  /// Parallel to schema_.dimensions().
+  std::vector<Table> dim_tables_;
+  /// dimension index -> base-name (lowercased) -> member id.
+  std::vector<std::unordered_map<std::string, MemberId>> member_index_;
+  /// Parallel to schema_.facts().
+  std::vector<Table> fact_tables_;
+
+  Result<size_t> DimIndex(std::string_view dimension) const;
+  Result<size_t> FactIndex(std::string_view fact) const;
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_WAREHOUSE_H_

@@ -1,0 +1,99 @@
+#include "integration/bi_analysis.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+#include "dw/olap.h"
+
+namespace dwqa {
+namespace integration {
+
+Result<BiReport> BiAnalysis::SalesVsTemperature(
+    const dw::Warehouse& wh, const std::string& sales_fact,
+    const std::string& weather_fact, double bucket_width_c) {
+  if (bucket_width_c <= 0.0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  dw::OlapEngine engine(&wh);
+
+  // Daily tickets per destination city.
+  dw::OlapQuery sales_q;
+  sales_q.fact = sales_fact;
+  sales_q.measures = {{"Tickets", dw::AggFn::kSum}};
+  sales_q.group_by = {{"destination", "City"}, {"date", "Date"}};
+  DWQA_ASSIGN_OR_RETURN(dw::OlapResult sales, engine.Execute(sales_q));
+
+  // Daily temperature per city from the QA-fed Weather fact (average of
+  // the extracted tuples for that day).
+  dw::OlapQuery weather_q;
+  weather_q.fact = weather_fact;
+  weather_q.measures = {{"TemperatureC", dw::AggFn::kAvg}};
+  weather_q.group_by = {{"location", "City"}, {"day", "Date"}};
+  DWQA_ASSIGN_OR_RETURN(dw::OlapResult weather, engine.Execute(weather_q));
+
+  std::map<std::pair<std::string, std::string>, double> temp_by_city_day;
+  for (const auto& row : weather.rows) {
+    temp_by_city_day[{ToLower(row[0].ToString()), row[1].ToString()}] =
+        row[2].ToDouble();
+  }
+
+  // Join and bucket.
+  std::map<int64_t, TempRangeStat> buckets;
+  double sum_t = 0, sum_k = 0, sum_tt = 0, sum_kk = 0, sum_tk = 0;
+  size_t n = 0;
+  for (const auto& row : sales.rows) {
+    auto it = temp_by_city_day.find(
+        {ToLower(row[0].ToString()), row[1].ToString()});
+    if (it == temp_by_city_day.end()) continue;
+    double temp = it->second;
+    double tickets = row[2].ToDouble();
+    int64_t bucket = static_cast<int64_t>(
+        std::floor(temp / bucket_width_c));
+    TempRangeStat& stat = buckets[bucket];
+    stat.low_c = static_cast<double>(bucket) * bucket_width_c;
+    stat.high_c = stat.low_c + bucket_width_c;
+    stat.avg_tickets += tickets;  // Sum for now; divided below.
+    ++stat.observations;
+    sum_t += temp;
+    sum_k += tickets;
+    sum_tt += temp * temp;
+    sum_kk += tickets * tickets;
+    sum_tk += temp * tickets;
+    ++n;
+  }
+  if (n == 0) {
+    return Status::NotFound(
+        "no (city, day) pairs joined between '" + sales_fact + "' and '" +
+        weather_fact + "' — has Step 5 fed the warehouse?");
+  }
+
+  BiReport report;
+  report.joined_days = n;
+  for (auto& [bucket, stat] : buckets) {
+    stat.avg_tickets /= static_cast<double>(stat.observations);
+    report.ranges.push_back(stat);
+  }
+  report.best = report.ranges.front();
+  for (const TempRangeStat& s : report.ranges) {
+    // Prefer well-supported buckets (≥ 3 observations) over outliers.
+    bool better = s.avg_tickets > report.best.avg_tickets;
+    if (report.best.observations >= 3 && s.observations < 3) better = false;
+    if (report.best.observations < 3 && s.observations >= 3 &&
+        s.avg_tickets > 0) {
+      better = true;
+    }
+    if (better) report.best = s;
+  }
+  double dn = static_cast<double>(n);
+  double cov = sum_tk / dn - (sum_t / dn) * (sum_k / dn);
+  double var_t = sum_tt / dn - (sum_t / dn) * (sum_t / dn);
+  double var_k = sum_kk / dn - (sum_k / dn) * (sum_k / dn);
+  if (var_t > 0 && var_k > 0) {
+    report.pearson_temperature_tickets = cov / std::sqrt(var_t * var_k);
+  }
+  return report;
+}
+
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,51 @@
+#ifndef DWQA_INTEGRATION_BI_ANALYSIS_H_
+#define DWQA_INTEGRATION_BI_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief Average last-minute tickets per destination-temperature bucket.
+struct TempRangeStat {
+  double low_c = 0.0;
+  double high_c = 0.0;
+  size_t observations = 0;
+  double avg_tickets = 0.0;
+};
+
+/// \brief Result of the sales-vs-weather analysis the paper's scenario
+/// motivates: "the range of temperatures that lead to increase the last
+/// minute sales to that city".
+struct BiReport {
+  std::vector<TempRangeStat> ranges;
+  /// Pearson correlation between daily destination temperature and ticket
+  /// count being inside the best range (point-biserial flavour); plus the
+  /// plain temperature/tickets correlation for reference.
+  double pearson_temperature_tickets = 0.0;
+  /// The bucket with the highest average tickets.
+  TempRangeStat best;
+  size_t joined_days = 0;
+};
+
+/// \brief The BI layer closing the loop of Step 5: joins the operational
+/// Last Minute Sales fact with the QA-fed Weather fact on (destination
+/// city, date) and reports ticket demand per temperature range.
+class BiAnalysis {
+ public:
+  /// `bucket_width_c` sets the temperature bin size.
+  static Result<BiReport> SalesVsTemperature(
+      const dw::Warehouse& warehouse,
+      const std::string& sales_fact = "LastMinuteSales",
+      const std::string& weather_fact = "Weather",
+      double bucket_width_c = 5.0);
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_BI_ANALYSIS_H_

@@ -1,0 +1,224 @@
+#include "integration/last_minute_sales.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/rng.h"
+#include "dw/etl.h"
+
+namespace dwqa {
+namespace integration {
+
+using ontology::AssocKind;
+using ontology::AttrStereotype;
+using ontology::ClassStereotype;
+using ontology::UmlAssociation;
+using ontology::UmlAttribute;
+using ontology::UmlClass;
+using ontology::UmlModel;
+
+const std::vector<AirportInfo>& LastMinuteSales::Airports() {
+  static const auto* kAirports = new std::vector<AirportInfo>{
+      {"El Prat", "Barcelona", "Catalonia", "Spain", {}},
+      {"Barajas", "Madrid", "Community of Madrid", "Spain", {}},
+      {"Manises", "Valencia", "Valencian Community", "Spain", {}},
+      {"San Pablo", "Seville", "Andalusia", "Spain", {}},
+      {"JFK", "New York", "New York", "United States",
+       {"Kennedy International Airport"}},
+      {"La Guardia", "New York", "New York", "United States", {}},
+      {"John Wayne", "Costa Mesa", "California", "United States", {}},
+      {"Charles de Gaulle", "Paris", "Ile-de-France", "France", {}},
+      {"Heathrow", "London", "Greater London", "United Kingdom", {}},
+      {"Fiumicino", "Rome", "Lazio", "Italy", {}},
+  };
+  return *kAirports;
+}
+
+UmlModel LastMinuteSales::MakeUmlModel() {
+  UmlModel model;
+  UmlClass fact;
+  fact.name = "Last Minute Sales";
+  fact.stereotype = ClassStereotype::kFact;
+  fact.attributes = {
+      {"Price", "double", AttrStereotype::kFactAttribute},
+      {"Miles", "double", AttrStereotype::kFactAttribute},
+      {"Tickets", "int", AttrStereotype::kFactAttribute},
+  };
+  DWQA_CHECK(model.AddClass(std::move(fact)).ok());
+
+  auto add_dim = [&](const char* name) {
+    UmlClass dim;
+    dim.name = name;
+    dim.stereotype = ClassStereotype::kDimension;
+    DWQA_CHECK(model.AddClass(std::move(dim)).ok());
+  };
+  auto add_base = [&](const char* name,
+                      std::vector<UmlAttribute> attrs) {
+    UmlClass base;
+    base.name = name;
+    base.stereotype = ClassStereotype::kBase;
+    base.attributes = std::move(attrs);
+    DWQA_CHECK(model.AddClass(std::move(base)).ok());
+  };
+
+  add_dim("Airport Dimension");
+  add_base("Airport", {{"Name", "string", AttrStereotype::kDescriptor}});
+  add_base("City", {{"Population", "int",
+                     AttrStereotype::kDimensionAttribute}});
+  add_base("State", {});
+  add_base("Country", {});
+
+  add_dim("Customer Dimension");
+  add_base("Customer", {{"Rate", "double",
+                         AttrStereotype::kDimensionAttribute}});
+  add_base("Segment", {});
+
+  add_dim("Date Dimension");
+  add_base("Date", {});
+  add_base("Month", {});
+  add_base("Year", {});
+
+  auto assoc = [&](const char* from, const char* to, AssocKind kind,
+                   const char* role = "") {
+    DWQA_CHECK(model.AddAssociation({from, to, kind, role}).ok());
+  };
+  assoc("Last Minute Sales", "Airport Dimension", AssocKind::kAssociation,
+        "origin");
+  assoc("Last Minute Sales", "Airport Dimension", AssocKind::kAssociation,
+        "destination");
+  assoc("Last Minute Sales", "Customer Dimension", AssocKind::kAssociation,
+        "customer");
+  assoc("Last Minute Sales", "Date Dimension", AssocKind::kAssociation,
+        "date");
+  assoc("Airport Dimension", "Airport", AssocKind::kAggregation);
+  assoc("Customer Dimension", "Customer", AssocKind::kAggregation);
+  assoc("Date Dimension", "Date", AssocKind::kAggregation);
+  assoc("Airport", "City", AssocKind::kRollsUpTo);
+  assoc("City", "State", AssocKind::kRollsUpTo);
+  assoc("State", "Country", AssocKind::kRollsUpTo);
+  assoc("Customer", "Segment", AssocKind::kRollsUpTo);
+  assoc("Date", "Month", AssocKind::kRollsUpTo);
+  assoc("Month", "Year", AssocKind::kRollsUpTo);
+  return model;
+}
+
+dw::MdSchema LastMinuteSales::MakeSchema() {
+  dw::MdSchema schema;
+  DWQA_CHECK(schema
+                 .AddDimension({"Airport",
+                                {{"Airport"}, {"City"}, {"State"},
+                                 {"Country"}}})
+                 .ok());
+  DWQA_CHECK(
+      schema.AddDimension({"Customer", {{"Customer"}, {"Segment"}}}).ok());
+  DWQA_CHECK(
+      schema.AddDimension({"Date", {{"Date"}, {"Month"}, {"Year"}}}).ok());
+  DWQA_CHECK(schema.AddDimension({"City", {{"City"}, {"Country"}}}).ok());
+  DWQA_CHECK(schema.AddDimension({"Source", {{"Url"}}}).ok());
+
+  dw::FactDef sales;
+  sales.name = "LastMinuteSales";
+  sales.measures = {
+      {"Price", dw::ColumnType::kDouble, dw::AggFn::kSum},
+      {"Miles", dw::ColumnType::kDouble, dw::AggFn::kSum},
+      {"Tickets", dw::ColumnType::kDouble, dw::AggFn::kSum},
+  };
+  sales.roles = {{"origin", "Airport"},
+                 {"destination", "Airport"},
+                 {"customer", "Customer"},
+                 {"date", "Date"}};
+  DWQA_CHECK(schema.AddFact(std::move(sales)).ok());
+
+  // The feedback fact Step 5 populates with QA-extracted weather tuples:
+  // (temperature – date – city – web page).
+  dw::FactDef weather;
+  weather.name = "Weather";
+  weather.measures = {{"TemperatureC", dw::ColumnType::kDouble,
+                       dw::AggFn::kAvg}};
+  weather.roles = {{"location", "City"}, {"day", "Date"},
+                   {"source", "Source"}};
+  DWQA_CHECK(schema.AddFact(std::move(weather)).ok());
+  return schema;
+}
+
+Result<dw::Warehouse> LastMinuteSales::MakeWarehouse() {
+  DWQA_ASSIGN_OR_RETURN(dw::Warehouse wh,
+                        dw::Warehouse::Create(MakeSchema()));
+  for (const AirportInfo& a : Airports()) {
+    DWQA_RETURN_NOT_OK(
+        wh.AddMember("Airport", {a.name, a.city, a.state, a.country})
+            .status());
+  }
+  static const char* kSegments[] = {"Business", "Leisure"};
+  for (int i = 0; i < 40; ++i) {
+    DWQA_RETURN_NOT_OK(wh.AddMember("Customer",
+                                    {"Customer-" + std::to_string(i),
+                                     kSegments[i % 2]})
+                           .status());
+  }
+  return wh;
+}
+
+PipelineConfig LastMinuteSales::DefaultPipelineConfig() {
+  PipelineConfig config;
+  for (const AirportInfo& a : Airports()) {
+    if (!a.aliases.empty()) {
+      config.member_aliases[ToLower(a.name)] = a.aliases;
+    }
+  }
+  return config;
+}
+
+Result<size_t> LastMinuteSales::GenerateSales(dw::Warehouse* wh,
+                                              const web::WeatherModel& weather,
+                                              const Date& start, int days,
+                                              uint64_t seed) {
+  if (wh == nullptr) {
+    return Status::InvalidArgument("warehouse must not be null");
+  }
+  Rng rng(seed);
+  const auto& airports = Airports();
+  size_t inserted = 0;
+  Date date = start;
+  for (int d = 0; d < days; ++d, date = date.NextDay()) {
+    DWQA_ASSIGN_OR_RETURN(
+        dw::MemberId date_member,
+        wh->AddMember("Date", dw::DateMemberPath(date)));
+    for (size_t dest = 0; dest < airports.size(); ++dest) {
+      // Demand: base plus the planted weather boost at the destination.
+      auto temp = weather.TemperatureCelsius(airports[dest].city, date);
+      double t = temp.ok() ? *temp : 10.0;
+      bool pleasant = t >= kBoostLowC && t <= kBoostHighC;
+      double lambda = pleasant ? 9.0 : 4.0;
+      int tickets =
+          static_cast<int>(std::max(0.0, rng.NextGaussian(lambda, 2.0)));
+      if (tickets == 0) continue;
+      size_t origin = rng.NextIndex(airports.size());
+      if (origin == dest) origin = (origin + 1) % airports.size();
+      DWQA_ASSIGN_OR_RETURN(
+          dw::MemberId origin_m,
+          wh->FindMember("Airport", airports[origin].name));
+      DWQA_ASSIGN_OR_RETURN(
+          dw::MemberId dest_m,
+          wh->FindMember("Airport", airports[dest].name));
+      DWQA_ASSIGN_OR_RETURN(
+          dw::MemberId cust_m,
+          wh->FindMember("Customer",
+                         "Customer-" + std::to_string(rng.NextBelow(40))));
+      double price =
+          60.0 + rng.NextDouble() * 200.0 + (pleasant ? 30.0 : 0.0);
+      double miles = 300.0 + rng.NextDouble() * 3000.0;
+      DWQA_RETURN_NOT_OK(wh->InsertFact(
+          "LastMinuteSales", {origin_m, dest_m, cust_m, date_member},
+          {dw::Value(price), dw::Value(miles),
+           dw::Value(static_cast<double>(tickets))}));
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace integration
+}  // namespace dwqa

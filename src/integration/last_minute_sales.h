@@ -1,0 +1,71 @@
+#ifndef DWQA_INTEGRATION_LAST_MINUTE_SALES_H_
+#define DWQA_INTEGRATION_LAST_MINUTE_SALES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+#include "integration/pipeline.h"
+#include "ontology/uml_model.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief An airport of the synthetic airline, with its geographic path.
+struct AirportInfo {
+  std::string name;       ///< "El Prat"
+  std::string city;       ///< "Barcelona"
+  std::string state;      ///< "Catalonia"
+  std::string country;    ///< "Spain"
+  std::vector<std::string> aliases;  ///< {"Kennedy International Airport"}
+};
+
+/// \brief Builders for the paper's running example (Figures 1 and 2): the
+/// Last Minute Sales multidimensional model of an airline's DW, plus a
+/// synthetic operational data generator whose sales are *correlated with
+/// destination-city weather* — the hidden relationship the BI analysis of
+/// Step 5 is meant to surface.
+class LastMinuteSales {
+ public:
+  /// The airports the airline serves, including the ambiguous names the
+  /// paper discusses (JFK, John Wayne, La Guardia, El Prat).
+  static const std::vector<AirportInfo>& Airports();
+
+  /// The UML multidimensional model of Figure 1: fact "Last Minute Sales"
+  /// (measures Price, Miles, Tickets) with dimensions Airport (origin and
+  /// destination roles, hierarchy Airport → City → State → Country),
+  /// Customer (Customer → Segment) and Date (Date → Month → Year).
+  static ontology::UmlModel MakeUmlModel();
+
+  /// The logical warehouse schema matching MakeUmlModel(), plus the
+  /// "Weather" feedback fact (City/Date/Source dims, TemperatureC measure)
+  /// that Step 5 fills.
+  static dw::MdSchema MakeSchema();
+
+  /// Creates the warehouse and registers all airport/customer members.
+  static Result<dw::Warehouse> MakeWarehouse();
+
+  /// Populates the Last Minute Sales fact with `days` days of synthetic
+  /// sales starting at `start`, drawing ticket demand from the weather
+  /// model: destination days whose temperature falls in [18, 28] ºC sell
+  /// roughly twice as many last-minute tickets. Returns rows inserted.
+  static Result<size_t> GenerateSales(dw::Warehouse* warehouse,
+                                      const web::WeatherModel& weather,
+                                      const Date& start, int days,
+                                      uint64_t seed = 7);
+
+  /// Pipeline configuration pre-filled with the scenario's alias metadata
+  /// ("JFK" ↔ "Kennedy International Airport").
+  static PipelineConfig DefaultPipelineConfig();
+
+  /// The pleasant-temperature interval planted by GenerateSales.
+  static constexpr double kBoostLowC = 18.0;
+  static constexpr double kBoostHighC = 28.0;
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_LAST_MINUTE_SALES_H_

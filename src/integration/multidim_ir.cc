@@ -1,0 +1,123 @@
+#include "integration/multidim_ir.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "dw/etl.h"
+
+namespace dwqa {
+namespace integration {
+
+Result<MultidimIr> MultidimIr::Create() {
+  dw::MdSchema schema;
+  DWQA_RETURN_NOT_OK(
+      schema.AddDimension({"Location", {{"City"}, {"Country"}}}));
+  DWQA_RETURN_NOT_OK(
+      schema.AddDimension({"Time", {{"Date"}, {"Month"}, {"Year"}}}));
+  dw::FactDef docs;
+  docs.name = "Documents";
+  docs.measures = {{"DocId", dw::ColumnType::kInt64, dw::AggFn::kCount}};
+  docs.roles = {{"location", "Location"}, {"published", "Time"}};
+  DWQA_RETURN_NOT_OK(schema.AddFact(std::move(docs)));
+  MultidimIr mdir;
+  DWQA_ASSIGN_OR_RETURN(dw::Warehouse wh,
+                        dw::Warehouse::Create(std::move(schema)));
+  mdir.wh_ = std::make_unique<dw::Warehouse>(std::move(wh));
+  return mdir;
+}
+
+Status MultidimIr::AddDocument(ir::DocId doc, const std::string& plain_text,
+                               const std::string& city,
+                               const std::string& country,
+                               const Date& published) {
+  if (doc < 0) return Status::InvalidArgument("invalid document id");
+  if (!published.IsValid()) {
+    return Status::InvalidArgument("invalid publication date");
+  }
+  DWQA_ASSIGN_OR_RETURN(dw::MemberId loc,
+                        wh_->AddMember("Location", {city, country}));
+  DWQA_ASSIGN_OR_RETURN(dw::MemberId when,
+                        wh_->AddMember("Time",
+                                       dw::DateMemberPath(published)));
+  DWQA_RETURN_NOT_OK(wh_->InsertFact(
+      "Documents", {loc, when}, {dw::Value(static_cast<int64_t>(doc))}));
+  index_.AddDocument(doc, plain_text);
+  ++doc_count_;
+  return Status::OK();
+}
+
+Result<std::vector<ir::DocId>> MultidimIr::FilterDocs(
+    const std::vector<dw::Filter>& filters) const {
+  DWQA_ASSIGN_OR_RETURN(const dw::Table* fact, wh_->FactTable("Documents"));
+  DWQA_ASSIGN_OR_RETURN(const dw::FactDef* def,
+                        wh_->schema().FindFact("Documents"));
+  // Resolve filters to (fk column, dimension, level).
+  struct Resolved {
+    size_t fk_col;
+    std::string dimension;
+    std::string level;
+    std::unordered_set<std::string> values;
+  };
+  std::vector<Resolved> resolved;
+  for (const dw::Filter& f : filters) {
+    DWQA_ASSIGN_OR_RETURN(size_t ri, def->RoleIndex(f.role));
+    Resolved r{ri, def->roles[ri].dimension, f.level, {}};
+    DWQA_ASSIGN_OR_RETURN(const dw::DimensionDef* dim,
+                          wh_->schema().FindDimension(r.dimension));
+    DWQA_RETURN_NOT_OK(dim->LevelIndex(f.level).status());
+    for (const std::string& v : f.values) r.values.insert(ToLower(v));
+    resolved.push_back(std::move(r));
+  }
+  std::vector<ir::DocId> out;
+  for (size_t row = 0; row < fact->row_count(); ++row) {
+    bool keep = true;
+    for (const Resolved& r : resolved) {
+      dw::MemberId member =
+          static_cast<dw::MemberId>(fact->Get(row, r.fk_col).as_int());
+      DWQA_ASSIGN_OR_RETURN(
+          std::string value,
+          wh_->MemberLevelValue(r.dimension, member, r.level));
+      if (!r.values.count(ToLower(value))) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      out.push_back(static_cast<ir::DocId>(
+          fact->Get(row, def->roles.size()).as_int()));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<MultidimIr::Hit>> MultidimIr::Search(
+    const std::string& query, const std::vector<dw::Filter>& filters,
+    size_t k) const {
+  DWQA_ASSIGN_OR_RETURN(std::vector<ir::DocId> allowed, FilterDocs(filters));
+  std::unordered_set<ir::DocId> allowed_set(allowed.begin(), allowed.end());
+  // Over-fetch, then scope to the multidimensional slice.
+  std::vector<ir::DocHit> hits = index_.Search(query, doc_count_);
+  std::vector<Hit> out;
+  for (const ir::DocHit& h : hits) {
+    if (!allowed_set.count(h.doc)) continue;
+    out.push_back({h.doc, h.score});
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+Result<dw::OlapResult> MultidimIr::CountBy(
+    const std::string& role, const std::string& level,
+    const std::vector<dw::Filter>& filters) const {
+  dw::OlapEngine engine(wh_.get());
+  dw::OlapQuery q;
+  q.fact = "Documents";
+  q.measures = {{"DocId", dw::AggFn::kCount}};
+  q.group_by = {{role, level}};
+  q.filters = filters;
+  return engine.Execute(q);
+}
+
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,78 @@
+#ifndef DWQA_INTEGRATION_MULTIDIM_IR_H_
+#define DWQA_INTEGRATION_MULTIDIM_IR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/result.h"
+#include "dw/olap.h"
+#include "dw/warehouse.h"
+#include "ir/document.h"
+#include "ir/inverted_index.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief Multidimensional IR — the related-work baseline of the paper's
+/// §2 (McCabe, Lee, Chowdhury, Grossman & Frieder, SIGIR 2000): an IR
+/// system built on a multidimensional database, "where the document
+/// collection is categorized by location and time", so that one can
+/// retrieve "the documents with the terms 'financial crisis' published
+/// during the first quarter of 1998 in New York, and then drill down".
+///
+/// Documents are registered as facts of an internal star schema
+/// (location: City → Country; published: Date → Month → Year) and keyword
+/// search is scoped by OLAP-style slice/dice filters on those dimensions.
+/// Included to make the paper's comparison concrete: this *scopes* which
+/// documents are returned, but still returns documents — only the QA layer
+/// turns them into structured tuples.
+class MultidimIr {
+ public:
+  /// Creates the empty document warehouse.
+  static Result<MultidimIr> Create();
+
+  /// Registers a document with its location/time categorization and
+  /// indexes `plain_text` for keyword search.
+  Status AddDocument(ir::DocId doc, const std::string& plain_text,
+                     const std::string& city, const std::string& country,
+                     const Date& published);
+
+  struct Hit {
+    ir::DocId doc = ir::kInvalidDoc;
+    double score = 0.0;
+  };
+
+  /// Keyword search restricted to documents whose dimension members pass
+  /// the filters (role "location" levels City/Country; role "published"
+  /// levels Date/Month/Year — month values are "YYYY-MM").
+  Result<std::vector<Hit>> Search(const std::string& query,
+                                  const std::vector<dw::Filter>& filters,
+                                  size_t k = 10) const;
+
+  /// Document counts grouped at a hierarchy level (the drill-down /
+  /// roll-up view over the collection).
+  Result<dw::OlapResult> CountBy(const std::string& role,
+                                 const std::string& level,
+                                 const std::vector<dw::Filter>& filters =
+                                     {}) const;
+
+  size_t document_count() const { return doc_count_; }
+
+ private:
+  MultidimIr() = default;
+
+  /// Doc ids whose categorization passes all filters.
+  Result<std::vector<ir::DocId>> FilterDocs(
+      const std::vector<dw::Filter>& filters) const;
+
+  std::unique_ptr<dw::Warehouse> wh_;
+  ir::InvertedIndex index_;
+  size_t doc_count_ = 0;
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_MULTIDIM_IR_H_

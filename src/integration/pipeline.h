@@ -1,0 +1,125 @@
+#ifndef DWQA_INTEGRATION_PIPELINE_H_
+#define DWQA_INTEGRATION_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+#include "ir/document.h"
+#include "ontology/merge.h"
+#include "ontology/ontology.h"
+#include "ontology/uml_model.h"
+#include "qa/aliqan.h"
+#include "qa/structured.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief Configuration of the five-step integration.
+struct PipelineConfig {
+  /// Step 2 on/off — the enrichment ablation of bench_ontology_enrichment.
+  bool enrich_with_dw_contents = true;
+  ontology::MergeOptions merge;
+  qa::AliQAnConfig qa;
+  /// Plug the table-aware page preprocessor (the paper's §5 future work) —
+  /// the ablation of bench_fig5_table_extraction.
+  bool table_preprocess = false;
+  /// Alternative names per dimension member, keyed by lowercase member name
+  /// — DW metadata like "JFK" ↔ "Kennedy International Airport" that Step 2
+  /// registers as ontology aliases (so the Step-3 merge can link them to
+  /// upper-ontology instances).
+  std::map<std::string, std::vector<std::string>> member_aliases;
+  /// Deduplicate the Step-5 feed: an (attribute, location, date) key is
+  /// loaded at most once across all RunStep5 calls of this pipeline, so
+  /// re-asking (or overlapping month questions) does not double facts in
+  /// the warehouse.
+  bool dedup_feed = true;
+};
+
+/// \brief Counters of one Step-5 feed run.
+struct FeedReport {
+  size_t questions_asked = 0;
+  size_t questions_answered = 0;
+  size_t facts_extracted = 0;
+  size_t rows_loaded = 0;
+  size_t rows_rejected = 0;
+  /// Facts skipped because their (attribute, location, date) key was
+  /// already fed (PipelineConfig::dedup_feed).
+  size_t rows_deduplicated = 0;
+  std::vector<qa::StructuredFact> facts;
+};
+
+/// \brief The paper's contribution: the ontology-mediated DW ⇄ QA
+/// integration, as the five semi-automatic steps of §3.
+///
+///  1. `RunStep1` — domain ontology from the DW's UML model;
+///  2. `RunStep2` — enrich it with the DW contents (dimension members);
+///  3. `RunStep3` — merge into the QA system's upper ontology (mini-WordNet);
+///  4. `RunStep4` — tune the QA system: temperature/price axioms
+///     ("a temperature is a number followed by the scale, the right
+///     temperature intervals, the conversion formulae");
+///  5. `RunStep5` — pose questions, structure the answers and feed the DW.
+///
+/// `RunAll` executes 1–4 and indexes the corpus; Step 5 runs per question
+/// batch.
+class IntegrationPipeline {
+ public:
+  /// `warehouse` and `uml` must outlive the pipeline.
+  IntegrationPipeline(dw::Warehouse* warehouse,
+                      const ontology::UmlModel* uml,
+                      PipelineConfig config = {});
+
+  Status RunStep1();
+  Status RunStep2();
+  Status RunStep3();
+  Status RunStep4();
+
+  /// Indexes the unstructured corpus with the (merged) ontology-backed QA
+  /// system. Must run after Step 3 (the QA system needs the merged
+  /// ontology). `docs` must outlive the pipeline.
+  Status IndexCorpus(const ir::DocumentStore* docs);
+
+  /// Steps 1–4 plus corpus indexation.
+  Status RunAll(const ir::DocumentStore* docs);
+
+  /// Step 5: asks each question, converts answers to structured facts and
+  /// loads them into `fact_name` (roles: location/City, day/Date,
+  /// source/Source; measure = the fact value). `attribute` labels the
+  /// extracted measure ("temperature").
+  Result<FeedReport> RunStep5(const std::vector<std::string>& questions,
+                              const std::string& fact_name,
+                              const std::string& attribute,
+                              size_t answers_per_question = 31);
+
+  /// \name Introspection for benches/tests
+  /// @{
+  const ontology::Ontology& domain_ontology() const { return domain_; }
+  const ontology::Ontology& merged_ontology() const { return merged_; }
+  const ontology::MergeReport& merge_report() const { return merge_report_; }
+  qa::AliQAn* aliqan() { return aliqan_.get(); }
+  const dw::Warehouse& warehouse() const { return *wh_; }
+  bool step_done(int step) const { return steps_done_[size_t(step - 1)]; }
+  /// @}
+
+ private:
+  dw::Warehouse* wh_;
+  const ontology::UmlModel* uml_;
+  PipelineConfig config_;
+
+  ontology::Ontology domain_;
+  ontology::Ontology merged_;
+  ontology::MergeReport merge_report_;
+  std::unique_ptr<qa::AliQAn> aliqan_;
+  /// (attribute|location|date) keys already loaded (dedup_feed).
+  std::set<std::string> fed_keys_;
+  bool steps_done_[5] = {false, false, false, false, false};
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_PIPELINE_H_

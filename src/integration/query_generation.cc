@@ -1,0 +1,50 @@
+#include "integration/query_generation.h"
+
+#include <set>
+
+#include "common/date.h"
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace integration {
+
+Result<std::vector<std::string>> QueryGeneration::GenerateQuestions(
+    const dw::Warehouse& wh, const AnalysisContext& ctx) {
+  if (ctx.month < 1 || ctx.month > 12) {
+    return Status::InvalidArgument("month out of range");
+  }
+  DWQA_ASSIGN_OR_RETURN(const dw::DimensionDef* dim,
+                        wh.schema().FindDimension(ctx.dimension));
+  DWQA_RETURN_NOT_OK(dim->LevelIndex(ctx.level).status());
+
+  std::string when = Date(ctx.year, ctx.month, 1).MonthName() + " of " +
+                     std::to_string(ctx.year);
+  std::string what;
+  if (ToLower(ctx.attribute) == "temperature") {
+    what = "What is the temperature in ";
+  } else if (ToLower(ctx.attribute) == "weather") {
+    what = "What is the weather like in ";
+  } else if (ToLower(ctx.attribute) == "price") {
+    what = "What is the price of a ticket to ";
+  } else {
+    return Status::Unimplemented("no question template for attribute '" +
+                                 ctx.attribute + "'");
+  }
+
+  DWQA_ASSIGN_OR_RETURN(std::vector<std::string> members,
+                        wh.MemberNames(ctx.dimension));
+  std::set<std::string> seen;
+  std::vector<std::string> questions;
+  for (const std::string& base : members) {
+    DWQA_ASSIGN_OR_RETURN(dw::MemberId id,
+                          wh.FindMember(ctx.dimension, base));
+    DWQA_ASSIGN_OR_RETURN(
+        std::string value, wh.MemberLevelValue(ctx.dimension, id, ctx.level));
+    if (value.empty() || !seen.insert(ToLower(value)).second) continue;
+    questions.push_back(what + value + " in " + when + "?");
+  }
+  return questions;
+}
+
+}  // namespace integration
+}  // namespace dwqa

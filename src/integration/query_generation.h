@@ -1,0 +1,44 @@
+#ifndef DWQA_INTEGRATION_QUERY_GENERATION_H_
+#define DWQA_INTEGRATION_QUERY_GENERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief A DW analysis context from which QA questions are derived.
+struct AnalysisContext {
+  /// The external attribute the analyst wants ("temperature", "price").
+  std::string attribute;
+  /// Dimension whose members scope the questions ("Airport").
+  std::string dimension;
+  /// Level at which to iterate members ("City" deduplicates airports that
+  /// share a city; "Airport" asks per airport, exercising Step 2/3 name
+  /// resolution).
+  std::string level;
+  int year = 2004;
+  int month = 1;
+};
+
+/// \brief Automatic generation of QA queries from the DW — the paper's
+/// second future-work item (§5): "how an initial query in the DW system can
+/// generate different queries in the QA system".
+///
+/// Given an analysis context (analyze <attribute> for the members of
+/// <dimension> during <month, year>), one natural-language question is
+/// produced per distinct member value at the requested level:
+/// "What is the temperature in El Prat in January of 2004?".
+class QueryGeneration {
+ public:
+  static Result<std::vector<std::string>> GenerateQuestions(
+      const dw::Warehouse& warehouse, const AnalysisContext& context);
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_QUERY_GENERATION_H_

@@ -1,0 +1,146 @@
+#include "integration/table_preprocess.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "ir/html.h"
+
+namespace dwqa {
+namespace integration {
+
+namespace {
+
+enum class ColumnRole { kDate, kTemperatureHigh, kTemperatureLow,
+                        kTemperature, kCondition, kOther };
+
+ColumnRole ClassifyHeader(const std::string& header) {
+  std::string h = ToLower(header);
+  bool temp = h.find("temp") != std::string::npos ||
+              h.find("\xC2\xBA") != std::string::npos ||
+              h.find("celsius") != std::string::npos ||
+              h.find("fahrenheit") != std::string::npos;
+  if (h.find("high") != std::string::npos && temp) {
+    return ColumnRole::kTemperatureHigh;
+  }
+  if (h.find("low") != std::string::npos && temp) {
+    return ColumnRole::kTemperatureLow;
+  }
+  if (temp) return ColumnRole::kTemperature;
+  if (h.find("date") != std::string::npos ||
+      h.find("day") != std::string::npos) {
+    return ColumnRole::kDate;
+  }
+  if (h.find("condition") != std::string::npos ||
+      h.find("sky") != std::string::npos ||
+      h.find("weather") != std::string::npos) {
+    return ColumnRole::kCondition;
+  }
+  return ColumnRole::kOther;
+}
+
+/// The unit promised by a header like "High (ºC)".
+std::string HeaderUnit(const std::string& header) {
+  std::string h = ToLower(header);
+  if (h.find("f)") != std::string::npos ||
+      h.find("fahrenheit") != std::string::npos) {
+    return "F";
+  }
+  return "\xC2\xBA\x43";  // Default Celsius, as in the Figure 5 table.
+}
+
+/// The numeric part of a cell ("12º" → "12"); empty when there is none.
+std::string CellNumber(const std::string& cell) {
+  std::string out;
+  for (char c : cell) {
+    if ((c >= '0' && c <= '9') || c == '.' ||
+        (out.empty() && (c == '-' || c == '+'))) {
+      out += c;
+    } else if (!out.empty()) {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TablePreprocessor::operator()(const ir::Document& doc) const {
+  if (doc.format == ir::DocFormat::kPlainText) return doc.raw;
+  std::vector<ir::HtmlTable> tables = ir::Html::ExtractTables(doc.raw);
+  // The prose rewrites *replace* the table markup: stripping the raw rows
+  // too would reintroduce the unit-less numbers the rewrite fixes.
+  std::string without_tables;
+  {
+    std::string lower = ToLower(doc.raw);
+    size_t pos = 0;
+    while (pos < doc.raw.size()) {
+      size_t tstart = lower.find("<table", pos);
+      if (tstart == std::string::npos) {
+        without_tables.append(doc.raw, pos, std::string::npos);
+        break;
+      }
+      without_tables.append(doc.raw, pos, tstart - pos);
+      size_t tend = lower.find("</table>", tstart);
+      if (tend == std::string::npos) break;
+      pos = tend + 8;
+    }
+  }
+  std::string out = ir::Html::StripTags(without_tables);
+  for (const ir::HtmlTable& table : tables) {
+    if (!table.has_header || table.rows.size() < 2) continue;
+    const std::vector<std::string>& header = table.rows.front();
+    std::vector<ColumnRole> roles;
+    for (const std::string& h : header) roles.push_back(ClassifyHeader(h));
+    for (size_t r = 1; r < table.rows.size(); ++r) {
+      const std::vector<std::string>& row = table.rows[r];
+      std::string date_text;
+      std::vector<std::string> clauses;
+      for (size_t c = 0; c < row.size() && c < roles.size(); ++c) {
+        switch (roles[c]) {
+          case ColumnRole::kDate:
+            date_text = row[c];
+            break;
+          case ColumnRole::kTemperatureHigh: {
+            std::string num = CellNumber(row[c]);
+            if (!num.empty()) {
+              clauses.push_back("the high temperature was " + num + " " +
+                                HeaderUnit(header[c]));
+            }
+            break;
+          }
+          case ColumnRole::kTemperatureLow: {
+            std::string num = CellNumber(row[c]);
+            if (!num.empty()) {
+              clauses.push_back("the low temperature was " + num + " " +
+                                HeaderUnit(header[c]));
+            }
+            break;
+          }
+          case ColumnRole::kTemperature: {
+            std::string num = CellNumber(row[c]);
+            if (!num.empty()) {
+              clauses.push_back("the temperature was " + num + " " +
+                                HeaderUnit(header[c]));
+            }
+            break;
+          }
+          case ColumnRole::kCondition:
+            clauses.push_back("the sky condition was " + row[c]);
+            break;
+          case ColumnRole::kOther:
+            break;
+        }
+      }
+      if (clauses.empty()) continue;
+      std::string sentence;
+      if (!date_text.empty()) sentence += "On " + date_text + ", ";
+      sentence += Join(clauses, " and ");
+      sentence += ".";
+      out += "\n" + sentence;
+    }
+  }
+  return out;
+}
+
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,31 @@
+#ifndef DWQA_INTEGRATION_TABLE_PREPROCESS_H_
+#define DWQA_INTEGRATION_TABLE_PREPROCESS_H_
+
+#include <string>
+
+#include "ir/document.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief Table-aware web page preprocessing — the paper's first future-work
+/// item (§5): "we will study the pre-processing of web pages in order to
+/// handle tables correctly (such as the table in Figure 5)".
+///
+/// For each HTML table with a header row, the preprocessor interprets the
+/// columns by their header names (date-like, temperature-like with the unit
+/// in the header, condition-like) and rewrites every data row as a prose
+/// sentence — "On January 5, 2004, the high temperature was 12 ºC and the
+/// low temperature was 5 ºC." — so the regular prose extraction patterns
+/// apply, restoring the measure-unit association the naive tag stripper
+/// loses. Non-table content is tag-stripped as usual.
+///
+/// The functor signature matches qa::AliQAn::Preprocessor.
+struct TablePreprocessor {
+  std::string operator()(const ir::Document& doc) const;
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_TABLE_PREPROCESS_H_

@@ -1,0 +1,19 @@
+#include "ir/document.h"
+
+namespace dwqa {
+namespace ir {
+
+DocId DocumentStore::Add(std::string url, std::string title, DocFormat format,
+                         std::string raw) {
+  Document doc;
+  doc.id = static_cast<DocId>(docs_.size());
+  doc.url = std::move(url);
+  doc.title = std::move(title);
+  doc.format = format;
+  doc.raw = std::move(raw);
+  docs_.push_back(std::move(doc));
+  return docs_.back().id;
+}
+
+}  // namespace ir
+}  // namespace dwqa

@@ -1,0 +1,51 @@
+#ifndef DWQA_IR_DOCUMENT_H_
+#define DWQA_IR_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dwqa {
+namespace ir {
+
+using DocId = int32_t;
+constexpr DocId kInvalidDoc = -1;
+
+/// Source format of a document; QA handles "any kind of unstructured data
+/// (e.g. XML, HTML or PDF)" (paper §3) — the stripper normalizes all of
+/// them to plain text.
+enum class DocFormat { kPlainText, kHtml, kXml };
+
+/// \brief An unstructured document of the (synthetic) web or intranet.
+struct Document {
+  DocId id = kInvalidDoc;
+  std::string url;
+  std::string title;
+  DocFormat format = DocFormat::kPlainText;
+  /// Raw content as fetched (may contain markup).
+  std::string raw;
+};
+
+/// \brief In-memory document collection shared by the IR and QA indexes.
+class DocumentStore {
+ public:
+  /// Adds a document and assigns its id.
+  DocId Add(std::string url, std::string title, DocFormat format,
+            std::string raw);
+
+  const Document& Get(DocId id) const { return docs_[size_t(id)]; }
+  size_t size() const { return docs_.size(); }
+  bool IsValid(DocId id) const {
+    return id >= 0 && static_cast<size_t>(id) < docs_.size();
+  }
+
+  const std::vector<Document>& documents() const { return docs_; }
+
+ private:
+  std::vector<Document> docs_;
+};
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_DOCUMENT_H_

@@ -1,0 +1,171 @@
+#include "ir/html.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace ir {
+
+namespace {
+
+/// Extracts the tag name at `pos` (after '<'), lowercased, '/' skipped.
+std::string TagNameAt(std::string_view html, size_t pos, bool* closing) {
+  *closing = false;
+  if (pos < html.size() && html[pos] == '/') {
+    *closing = true;
+    ++pos;
+  }
+  std::string name;
+  while (pos < html.size() &&
+         std::isalnum(static_cast<unsigned char>(html[pos]))) {
+    name += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(html[pos])));
+    ++pos;
+  }
+  return name;
+}
+
+bool IsBlockTag(const std::string& name) {
+  for (const char* t : {"p", "div", "tr", "li", "br", "h1", "h2", "h3",
+                        "table", "ul", "ol", "title"}) {
+    if (name == t) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Html::DecodeEntities(std::string_view text) {
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 8) {
+      out += text[i++];
+      continue;
+    }
+    std::string_view ent = text.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out += '&';
+    } else if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (ent == "nbsp") {
+      out += ' ';
+    } else if (ent == "deg") {
+      out += "\xC2\xBA";
+    } else if (!ent.empty() && ent[0] == '#') {
+      int code = std::atoi(std::string(ent.substr(1)).c_str());
+      if (code == 0xBA || code == 0xB0) {
+        out += "\xC2\xBA";
+      } else if (code > 0 && code < 128) {
+        out += static_cast<char>(code);
+      }  // Other codepoints dropped: corpora are ASCII + degree sign.
+    } else {
+      out += text.substr(i, semi - i + 1);
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::string Html::StripTags(std::string_view html) {
+  std::string out;
+  size_t i = 0;
+  bool in_script = false;
+  while (i < html.size()) {
+    if (html[i] == '<') {
+      bool closing = false;
+      std::string name = TagNameAt(html, i + 1, &closing);
+      if (name == "script" || name == "style") in_script = !closing;
+      if (IsBlockTag(name)) out += '\n';
+      // Cell boundaries become separators so adjacent cells do not glue.
+      if (name == "td" || name == "th") out += ' ';
+      size_t end = html.find('>', i);
+      if (end == std::string_view::npos) break;
+      i = end + 1;
+      continue;
+    }
+    if (!in_script) out += html[i];
+    ++i;
+  }
+  // Decode entities, then squeeze horizontal whitespace per line.
+  std::string decoded = DecodeEntities(out);
+  std::string result;
+  bool pending_space = false;
+  for (char c : decoded) {
+    if (c == '\n') {
+      result += '\n';
+      pending_space = false;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+    } else {
+      if (pending_space && !result.empty() && result.back() != '\n') {
+        result += ' ';
+      }
+      result += c;
+      pending_space = false;
+    }
+  }
+  return result;
+}
+
+std::vector<HtmlTable> Html::ExtractTables(std::string_view html) {
+  std::vector<HtmlTable> tables;
+  size_t pos = 0;
+  std::string lower = ToLower(html);
+  while (true) {
+    size_t tstart = lower.find("<table", pos);
+    if (tstart == std::string::npos) break;
+    size_t tend = lower.find("</table>", tstart);
+    if (tend == std::string::npos) break;
+    std::string_view body = html.substr(tstart, tend - tstart);
+    std::string body_lower = lower.substr(tstart, tend - tstart);
+    HtmlTable table;
+    size_t rpos = 0;
+    while (true) {
+      size_t rstart = body_lower.find("<tr", rpos);
+      if (rstart == std::string::npos) break;
+      size_t rend = body_lower.find("</tr>", rstart);
+      if (rend == std::string::npos) rend = body_lower.size();
+      std::string_view row_html = body.substr(rstart, rend - rstart);
+      std::string row_lower = body_lower.substr(rstart, rend - rstart);
+      std::vector<std::string> cells;
+      size_t cpos = 0;
+      while (true) {
+        size_t th = row_lower.find("<th", cpos);
+        size_t td = row_lower.find("<td", cpos);
+        size_t cstart = std::min(th, td);
+        if (cstart == std::string::npos) break;
+        if (cstart == th && table.rows.empty()) table.has_header = true;
+        size_t copen = row_lower.find('>', cstart);
+        if (copen == std::string::npos) break;
+        size_t cend = row_lower.find(cstart == th ? "</th>" : "</td>",
+                                     copen);
+        if (cend == std::string::npos) cend = row_lower.size();
+        cells.push_back(Trim(
+            StripTags(row_html.substr(copen + 1, cend - copen - 1))));
+        cpos = cend;
+      }
+      if (!cells.empty()) table.rows.push_back(std::move(cells));
+      rpos = rend;
+    }
+    if (!table.rows.empty()) tables.push_back(std::move(table));
+    pos = tend + 8;
+  }
+  return tables;
+}
+
+}  // namespace ir
+}  // namespace dwqa

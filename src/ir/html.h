@@ -1,0 +1,42 @@
+#ifndef DWQA_IR_HTML_H_
+#define DWQA_IR_HTML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwqa {
+namespace ir {
+
+/// \brief One extracted HTML table as a grid of cell texts.
+struct HtmlTable {
+  /// First row is the header row if the table used <th> cells.
+  std::vector<std::vector<std::string>> rows;
+  bool has_header = false;
+};
+
+/// \brief HTML/XML utilities: tag stripping, entity decoding and table-cell
+/// extraction.
+///
+/// The QA pipeline runs on plain text, so the stripper is applied at
+/// indexation time. Table extraction backs the paper's *future work* item —
+/// "the pre-processing of web pages in order to handle tables correctly"
+/// (§5) — which integration/table_preprocess turns into prose sentences.
+class Html {
+ public:
+  /// Removes tags, decodes the common entities, normalizes whitespace.
+  /// Block-level closing tags (</p>, </tr>, </li>, <br>...) become newlines
+  /// so the sentence splitter sees the layout line structure.
+  static std::string StripTags(std::string_view html);
+
+  /// Extracts every <table> as a cell grid.
+  static std::vector<HtmlTable> ExtractTables(std::string_view html);
+
+  /// Decodes &amp; &lt; &gt; &quot; &nbsp; &#NNN;.
+  static std::string DecodeEntities(std::string_view text);
+};
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_HTML_H_

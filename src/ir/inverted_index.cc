@@ -1,0 +1,80 @@
+#include "ir/inverted_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "ir/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace ir {
+
+namespace {
+
+std::vector<std::string> IndexTerms(const std::string& text) {
+  std::vector<std::string> terms;
+  for (const text::Token& t : text::Tokenizer::Tokenize(text)) {
+    if (t.lower.size() < 2 && !IsDigits(t.lower)) continue;
+    if (Stopwords::IsStopword(t.lower)) continue;
+    if (!std::isalnum(static_cast<unsigned char>(t.lower[0]))) continue;
+    terms.push_back(t.lower);
+  }
+  return terms;
+}
+
+}  // namespace
+
+void InvertedIndex::AddDocument(DocId doc_id, const std::string& text) {
+  std::unordered_map<std::string, uint32_t> tf;
+  std::vector<std::string> terms = IndexTerms(text);
+  for (const std::string& term : terms) ++tf[term];
+  for (const auto& [term, freq] : tf) {
+    postings_[term].push_back({doc_id, freq});
+  }
+  doc_lengths_[doc_id] = terms.size();
+}
+
+size_t InvertedIndex::DocFreq(const std::string& term) const {
+  auto it = postings_.find(ToLower(term));
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+std::vector<DocHit> InvertedIndex::Search(const std::string& query,
+                                          size_t k) const {
+  const double n_docs = static_cast<double>(doc_lengths_.size());
+  std::unordered_map<DocId, DocHit> acc;
+  std::vector<std::string> terms = IndexTerms(query);
+  // Deduplicate query terms: each distinct term contributes once.
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    double idf =
+        std::log((n_docs + 1.0) / (static_cast<double>(it->second.size())));
+    for (const Posting& p : it->second) {
+      auto len_it = doc_lengths_.find(p.doc);
+      double len = len_it == doc_lengths_.end() || len_it->second == 0
+                       ? 1.0
+                       : static_cast<double>(len_it->second);
+      DocHit& hit = acc[p.doc];
+      hit.doc = p.doc;
+      hit.score += (static_cast<double>(p.tf) / std::sqrt(len)) * idf;
+      ++hit.matched_terms;
+    }
+  }
+  std::vector<DocHit> hits;
+  hits.reserve(acc.size());
+  for (auto& [doc, hit] : acc) hits.push_back(hit);
+  std::sort(hits.begin(), hits.end(), [](const DocHit& a, const DocHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;  // Deterministic tie-break.
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace ir
+}  // namespace dwqa

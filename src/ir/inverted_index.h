@@ -1,0 +1,54 @@
+#ifndef DWQA_IR_INVERTED_INDEX_H_
+#define DWQA_IR_INVERTED_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/document.h"
+
+namespace dwqa {
+namespace ir {
+
+/// \brief A scored retrieval hit.
+struct DocHit {
+  DocId doc = kInvalidDoc;
+  double score = 0.0;
+  /// Number of distinct query terms present.
+  size_t matched_terms = 0;
+};
+
+/// \brief Classical document-level inverted index with TF-IDF ranking.
+///
+/// This is the "IR returns whole documents, in which the user has to further
+/// search" baseline of the paper (§1): keyword query in, ranked full
+/// documents out. Stopwords are discarded at both index and query time.
+class InvertedIndex {
+ public:
+  /// Indexes the plain text of `doc_id` (caller strips markup first).
+  void AddDocument(DocId doc_id, const std::string& plain_text);
+
+  /// Ranks documents for a keyword query (stopwords dropped, lowercased,
+  /// TF-IDF with length normalization). Top `k` hits, best first.
+  std::vector<DocHit> Search(const std::string& query, size_t k = 10) const;
+
+  size_t document_count() const { return doc_lengths_.size(); }
+  size_t term_count() const { return postings_.size(); }
+
+  /// Document frequency of `term` (lowercased).
+  size_t DocFreq(const std::string& term) const;
+
+ private:
+  struct Posting {
+    DocId doc;
+    uint32_t tf;
+  };
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<DocId, size_t> doc_lengths_;
+};
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_INVERTED_INDEX_H_

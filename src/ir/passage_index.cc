@@ -1,0 +1,157 @@
+#include "ir/passage_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "ir/stopwords.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace ir {
+
+namespace {
+
+std::vector<std::string> QueryTerms(const std::string& text) {
+  std::vector<std::string> terms;
+  for (const text::Token& t : text::Tokenizer::Tokenize(text)) {
+    if (t.lower.empty() ||
+        !std::isalnum(static_cast<unsigned char>(t.lower[0]))) {
+      continue;
+    }
+    if (Stopwords::IsStopword(t.lower)) continue;
+    terms.push_back(t.lower);
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+}  // namespace
+
+void PassageIndex::AddDocument(DocId doc_id, const std::string& text) {
+  std::vector<std::string> sents = text::SentenceSplitter::Split(text);
+  for (size_t s = 0; s < sents.size(); ++s) {
+    std::set<std::string> seen;
+    for (const text::Token& t : text::Tokenizer::Tokenize(sents[s])) {
+      if (t.lower.empty() ||
+          !std::isalnum(static_cast<unsigned char>(t.lower[0]))) {
+        continue;
+      }
+      if (Stopwords::IsStopword(t.lower)) continue;
+      if (seen.insert(t.lower).second) {
+        postings_[t.lower].push_back({doc_id, static_cast<uint32_t>(s)});
+      }
+    }
+  }
+  sentences_[doc_id] = std::move(sents);
+}
+
+const std::vector<std::string>& PassageIndex::Sentences(DocId doc_id) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = sentences_.find(doc_id);
+  return it == sentences_.end() ? kEmpty : it->second;
+}
+
+std::vector<Passage> PassageIndex::Search(const std::string& query,
+                                          size_t k) const {
+  std::vector<std::string> terms = QueryTerms(query);
+  if (terms.empty()) return {};
+  const double n_docs = static_cast<double>(sentences_.size());
+
+  // Per document: the matched sentences, each with the set of query terms
+  // it contains (term index → idf). Window scoring is presence-based — a
+  // term contributes its full idf once per window plus a small bonus per
+  // extra occurrence — so a page repeating "January ... 2004" on every line
+  // does not drown out a page covering *all* the query terms.
+  struct SentenceHit {
+    uint32_t sentence;
+    size_t term;
+  };
+  std::map<DocId, std::vector<SentenceHit>> by_doc;
+  std::vector<double> idf(terms.size(), 0.0);
+  for (size_t t = 0; t < terms.size(); ++t) {
+    auto it = postings_.find(terms[t]);
+    if (it == postings_.end()) continue;
+    std::set<DocId> docs;
+    for (const SentenceRef& ref : it->second) docs.insert(ref.doc);
+    idf[t] =
+        std::log((n_docs + 1.0) / static_cast<double>(docs.size()));
+    for (const SentenceRef& ref : it->second) {
+      by_doc[ref.doc].push_back({ref.sentence, t});
+    }
+  }
+  if (by_doc.empty()) return {};
+
+  constexpr double kRepeatBonus = 0.05;
+  std::vector<Passage> all;
+  for (const auto& [doc, doc_hits] : by_doc) {
+    size_t n_sents = Sentences(doc).size();
+    // Candidate windows start at each matched sentence.
+    std::set<uint32_t> starts;
+    for (const SentenceHit& h : doc_hits) starts.insert(h.sentence);
+    for (uint32_t first : starts) {
+      size_t last = std::min(n_sents == 0 ? size_t(first) : n_sents - 1,
+                             size_t(first) + window_ - 1);
+      std::vector<size_t> occurrences(terms.size(), 0);
+      for (const SentenceHit& h : doc_hits) {
+        if (h.sentence >= first && h.sentence <= last) {
+          ++occurrences[h.term];
+        }
+      }
+      double score = 0.0;
+      for (size_t t = 0; t < terms.size(); ++t) {
+        if (occurrences[t] == 0) continue;
+        score += idf[t] +
+                 kRepeatBonus * idf[t] *
+                     static_cast<double>(occurrences[t] - 1);
+      }
+      Passage p;
+      p.doc = doc;
+      p.first_sentence = first;
+      p.last_sentence = last;
+      p.score = score;
+      all.push_back(p);
+    }
+  }
+
+  // Rank: all candidate windows, deduplicated per (doc, first) and capped.
+  std::sort(all.begin(), all.end(), [](const Passage& a, const Passage& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.doc != b.doc) return a.doc < b.doc;
+    return a.first_sentence < b.first_sentence;
+  });
+  std::vector<Passage> out;
+  std::set<std::pair<DocId, size_t>> taken;
+  for (const Passage& p : all) {
+    if (out.size() >= k) break;
+    // Skip windows overlapping an already selected window of the same doc.
+    bool overlaps = false;
+    for (const Passage& sel : out) {
+      if (sel.doc == p.doc && p.first_sentence <= sel.last_sentence &&
+          sel.first_sentence <= p.last_sentence) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    Passage chosen = p;
+    const std::vector<std::string>& sents = Sentences(p.doc);
+    std::string text;
+    for (size_t s = chosen.first_sentence;
+         s <= chosen.last_sentence && s < sents.size(); ++s) {
+      if (!text.empty()) text += '\n';
+      text += sents[s];
+    }
+    chosen.text = std::move(text);
+    out.push_back(std::move(chosen));
+  }
+  return out;
+}
+
+}  // namespace ir
+}  // namespace dwqa

@@ -1,0 +1,69 @@
+#ifndef DWQA_IR_PASSAGE_INDEX_H_
+#define DWQA_IR_PASSAGE_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/document.h"
+
+namespace dwqa {
+namespace ir {
+
+/// \brief A passage: `size` consecutive sentences of one document (the
+/// IR-n retrieval unit — the paper's footnote 6 describes a most-relevant
+/// passage of eight consecutive sentences).
+struct Passage {
+  DocId doc = kInvalidDoc;
+  /// Sentence range [first, last] within the document.
+  size_t first_sentence = 0;
+  size_t last_sentence = 0;
+  double score = 0.0;
+  /// The passage text (sentences joined by newlines).
+  std::string text;
+};
+
+/// \brief IR-n-style passage retrieval: documents are split into sentences
+/// at index time, and retrieval scores overlapping sentence windows by
+/// idf-weighted query-term coverage.
+///
+/// This is the filtering stage of AliQAn's search phase (paper Figure 3,
+/// Module 2): it cuts the amount of text the expensive QA analysis must
+/// process — "IR tools are usually run as a first filtering phase, and QA
+/// works on IR output. In this way, time of analysis spent by users is
+/// highly decreased" (§1).
+class PassageIndex {
+ public:
+  /// `window` = number of consecutive sentences per passage (clamped to a
+  /// minimum of one sentence).
+  explicit PassageIndex(size_t window = 8) : window_(window < 1 ? 1 : window) {}
+
+  /// Splits and indexes the plain text of `doc_id`.
+  void AddDocument(DocId doc_id, const std::string& plain_text);
+
+  /// Top-k passages for the query terms, best first. Adjacent overlapping
+  /// windows of the same document are deduplicated (the best one is kept).
+  std::vector<Passage> Search(const std::string& query, size_t k = 5) const;
+
+  /// The stored sentences of a document.
+  const std::vector<std::string>& Sentences(DocId doc_id) const;
+
+  size_t window() const { return window_; }
+  size_t document_count() const { return sentences_.size(); }
+
+ private:
+  size_t window_;
+  /// doc -> its sentences.
+  std::unordered_map<DocId, std::vector<std::string>> sentences_;
+  /// term -> (doc, sentence) occurrences.
+  struct SentenceRef {
+    DocId doc;
+    uint32_t sentence;
+  };
+  std::unordered_map<std::string, std::vector<SentenceRef>> postings_;
+};
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_PASSAGE_INDEX_H_

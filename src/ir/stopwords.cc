@@ -1,0 +1,26 @@
+#include "ir/stopwords.h"
+
+namespace dwqa {
+namespace ir {
+
+const std::unordered_set<std::string>& Stopwords::English() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a",    "an",    "the",  "and",  "or",    "but",   "of",    "in",
+      "on",   "at",    "by",   "with", "from",  "to",    "into",  "for",
+      "as",   "is",    "are",  "was",  "were",  "be",    "been",  "being",
+      "am",   "do",    "does", "did",  "done",  "have",  "has",   "had",
+      "will", "would", "can",  "could","may",   "might", "must",  "shall",
+      "should","it",   "its",  "he",   "she",   "they",  "them",  "his",
+      "her",  "their", "we",   "us",   "our",   "you",   "your",  "i",
+      "me",   "my",    "this", "that", "these", "those", "there", "here",
+      "what", "which", "who",  "whom", "whose", "when",  "where", "why",
+      "how",  "not",   "no",   "nor",  "so",    "than",  "then",  "too",
+      "very", "just",  "about","above","after", "again", "all",   "any",
+      "both", "each",  "few",  "more", "most",  "other", "some",  "such",
+      "only", "own",   "same", "also", "per",   "like",  "during","between",
+      "over", "under", "through", "against", "around", "within", "without"};
+  return *kSet;
+}
+
+}  // namespace ir
+}  // namespace dwqa

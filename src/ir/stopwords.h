@@ -1,0 +1,27 @@
+#ifndef DWQA_IR_STOPWORDS_H_
+#define DWQA_IR_STOPWORDS_H_
+
+#include <string>
+#include <unordered_set>
+
+namespace dwqa {
+namespace ir {
+
+/// \brief English stopword list.
+///
+/// Used by the IR side only: "IR usually discards what is known as
+/// stop-words" (paper §1) — the QA side keeps every token, which is one of
+/// the three QA-vs-IR differences the paper builds on.
+class Stopwords {
+ public:
+  static const std::unordered_set<std::string>& English();
+
+  static bool IsStopword(const std::string& lower_word) {
+    return English().count(lower_word) > 0;
+  }
+};
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_STOPWORDS_H_

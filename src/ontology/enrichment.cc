@@ -1,0 +1,77 @@
+#include "ontology/enrichment.h"
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace ontology {
+
+Result<EnrichmentReport> Enricher::Enrich(
+    Ontology* onto, const std::string& concept_lemma,
+    const std::vector<InstanceSeed>& seeds) {
+  if (onto == nullptr) {
+    return Status::InvalidArgument("ontology must not be null");
+  }
+  DWQA_ASSIGN_OR_RETURN(ConceptId klass,
+                        onto->FindClass(ToLower(concept_lemma)));
+  EnrichmentReport report;
+  for (const InstanceSeed& seed : seeds) {
+    if (seed.name.empty()) {
+      return Status::InvalidArgument("instance seed with empty name");
+    }
+    // Existing instance of this class (by lemma or alias)?
+    ConceptId existing = kInvalidConcept;
+    for (ConceptId id : onto->Find(ToLower(seed.name))) {
+      if (onto->GetConcept(id).is_instance && onto->IsA(id, klass)) {
+        existing = id;
+        break;
+      }
+    }
+    ConceptId inst = existing;
+    if (existing == kInvalidConcept) {
+      DWQA_ASSIGN_OR_RETURN(
+          inst, onto->AddInstance(seed.name,
+                                  seed.gloss.empty()
+                                      ? concept_lemma + " from the DW"
+                                      : seed.gloss,
+                                  "dw"));
+      DWQA_RETURN_NOT_OK(onto->AddRelation(inst, RelationKind::kInstanceOf,
+                                           klass));
+      ++report.instances_added;
+    } else {
+      ++report.skipped_existing;
+    }
+    for (const std::string& alias : seed.aliases) {
+      DWQA_RETURN_NOT_OK(onto->AddAlias(inst, alias));
+      ++report.aliases_added;
+    }
+    if (!seed.located_in.empty()) {
+      // Link to a container concept/instance if one exists; prefer an
+      // instance (the city "Barcelona") over a class.
+      ConceptId container = kInvalidConcept;
+      for (ConceptId id : onto->Find(ToLower(seed.located_in))) {
+        if (onto->GetConcept(id).is_instance) {
+          container = id;
+          break;
+        }
+        if (container == kInvalidConcept) container = id;
+      }
+      if (container == kInvalidConcept) {
+        // Container unknown: create it as an instance of unknown class so
+        // the partOf link is preserved (the merge step may reparent it).
+        DWQA_ASSIGN_OR_RETURN(
+            container,
+            onto->AddInstance(seed.located_in, "container from the DW",
+                              "dw"));
+      }
+      if (container != inst) {
+        DWQA_RETURN_NOT_OK(
+            onto->AddRelation(inst, RelationKind::kPartOf, container));
+        ++report.part_of_links;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,52 @@
+#ifndef DWQA_ONTOLOGY_ENRICHMENT_H_
+#define DWQA_ONTOLOGY_ENRICHMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+
+namespace dwqa {
+namespace ontology {
+
+/// \brief One dimension member exported from the DW, destined to become an
+/// ontology instance (Step 2).
+struct InstanceSeed {
+  /// Member name, e.g. "El Prat".
+  std::string name;
+  /// Alternative names ("Kennedy International Airport" for "JFK").
+  std::vector<std::string> aliases;
+  /// Name of the containing member along the hierarchy ("Barcelona" for
+  /// "El Prat"); empty if none. Becomes a kPartOf relation.
+  std::string located_in;
+  /// Optional gloss.
+  std::string gloss;
+};
+
+/// \brief Result counters of one enrichment run.
+struct EnrichmentReport {
+  size_t instances_added = 0;
+  size_t aliases_added = 0;
+  size_t part_of_links = 0;
+  size_t skipped_existing = 0;
+};
+
+/// \brief Step 2 of the paper's approach: feed the (domain) ontology with
+/// the contents of the DW so that "JFK", "John Wayne" or "La Guardia" are
+/// known to be airports.
+///
+/// `concept_lemma` names the class the seeds instantiate ("airport").
+/// Seeds whose lemma is already an instance of that class are skipped;
+/// their aliases are still merged in.
+class Enricher {
+ public:
+  static Result<EnrichmentReport> Enrich(
+      Ontology* onto, const std::string& concept_lemma,
+      const std::vector<InstanceSeed>& seeds);
+};
+
+}  // namespace ontology
+}  // namespace dwqa
+
+#endif  // DWQA_ONTOLOGY_ENRICHMENT_H_

@@ -1,0 +1,119 @@
+#include "ontology/owl_writer.h"
+
+#include <cctype>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace ontology {
+
+namespace {
+
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// IRI fragment from a concept name: spaces/punctuation to underscores,
+/// disambiguated with the concept id (lemmas repeat across senses).
+std::string Fragment(const Concept& c) {
+  std::string frag;
+  for (char ch : c.name) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      frag += ch;
+    } else {
+      frag += '_';
+    }
+  }
+  return frag + "_" + std::to_string(c.id);
+}
+
+}  // namespace
+
+std::string OwlWriter::ToOwlXml(const Ontology& onto,
+                                const std::string& iri) {
+  std::string out;
+  out += "<?xml version=\"1.0\"?>\n";
+  out += "<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\"\n";
+  out += "         xmlns:rdfs=\"http://www.w3.org/2000/01/rdf-schema#\"\n";
+  out += "         xmlns:owl=\"http://www.w3.org/2002/07/owl#\"\n";
+  out += "         xmlns:dwqa=\"" + XmlEscape(iri) + "#\">\n";
+  out += "  <owl:Ontology rdf:about=\"" + XmlEscape(iri) + "\"/>\n";
+
+  auto ref = [&](ConceptId id) {
+    return XmlEscape(iri) + "#" + Fragment(onto.GetConcept(id));
+  };
+
+  for (ConceptId id : onto.AllConcepts()) {
+    const Concept& c = onto.GetConcept(id);
+    if (c.is_instance) {
+      out += "  <owl:NamedIndividual rdf:about=\"" + ref(id) + "\">\n";
+      for (ConceptId k : onto.Related(id, RelationKind::kInstanceOf)) {
+        out += "    <rdf:type rdf:resource=\"" + ref(k) + "\"/>\n";
+      }
+    } else {
+      out += "  <owl:Class rdf:about=\"" + ref(id) + "\">\n";
+      for (ConceptId k : onto.Related(id, RelationKind::kHypernym)) {
+        out += "    <rdfs:subClassOf rdf:resource=\"" + ref(k) + "\"/>\n";
+      }
+    }
+    out += "    <rdfs:label>" + XmlEscape(c.name) + "</rdfs:label>\n";
+    if (!c.gloss.empty()) {
+      out += "    <rdfs:comment>" + XmlEscape(c.gloss) + "</rdfs:comment>\n";
+    }
+    for (const std::string& alias : c.aliases) {
+      out += "    <dwqa:altLabel>" + XmlEscape(alias) + "</dwqa:altLabel>\n";
+    }
+    for (RelationKind kind :
+         {RelationKind::kPartOf, RelationKind::kHasProperty,
+          RelationKind::kSynonymOf, RelationKind::kAntonym,
+          RelationKind::kAssociated}) {
+      for (ConceptId k : onto.Related(id, kind)) {
+        out += std::string("    <dwqa:") + RelationKindName(kind) +
+               " rdf:resource=\"" + ref(k) + "\"/>\n";
+      }
+    }
+    for (const Axiom& ax : c.axioms) {
+      out += "    <dwqa:axiom_" + XmlEscape(ax.key) + ">" +
+             XmlEscape(ax.value) + "</dwqa:axiom_" + XmlEscape(ax.key) +
+             ">\n";
+    }
+    out += c.is_instance ? "  </owl:NamedIndividual>\n" : "  </owl:Class>\n";
+  }
+  out += "</rdf:RDF>\n";
+  return out;
+}
+
+Status OwlWriter::WriteFile(const Ontology& onto, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file << ToOwlXml(onto);
+  if (!file.good()) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,33 @@
+#ifndef DWQA_ONTOLOGY_OWL_WRITER_H_
+#define DWQA_ONTOLOGY_OWL_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ontology/ontology.h"
+
+namespace dwqa {
+namespace ontology {
+
+/// \brief Serializes an Ontology to OWL/XML.
+///
+/// Step 1(b) of the paper: "the generation of the ontology in some of the
+/// ontology representation languages — for instance OWL". Classes become
+/// owl:Class with rdfs:subClassOf for hypernymy; instances become
+/// owl:NamedIndividual; the other relation kinds become object properties;
+/// axioms become annotation properties.
+class OwlWriter {
+ public:
+  /// Renders the whole ontology as an OWL/XML document.
+  static std::string ToOwlXml(const Ontology& onto,
+                              const std::string& ontology_iri =
+                                  "http://dwqa.example.org/ontology");
+
+  /// Writes ToOwlXml() to `path`.
+  static Status WriteFile(const Ontology& onto, const std::string& path);
+};
+
+}  // namespace ontology
+}  // namespace dwqa
+
+#endif  // DWQA_ONTOLOGY_OWL_WRITER_H_

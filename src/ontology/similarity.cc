@@ -1,0 +1,61 @@
+#include "ontology/similarity.h"
+
+#include <unordered_map>
+
+namespace dwqa {
+namespace ontology {
+
+Result<ConceptId> Similarity::LeastCommonSubsumer(const Ontology& onto,
+                                                  ConceptId a, ConceptId b) {
+  if (!onto.IsValidId(a) || !onto.IsValidId(b)) {
+    return Status::InvalidArgument("concept id out of range");
+  }
+  std::vector<ConceptId> path_a = onto.HypernymPath(a);
+  std::vector<ConceptId> path_b = onto.HypernymPath(b);
+  // Position of each ancestor of a (depth from a).
+  std::unordered_map<ConceptId, size_t> pos_a;
+  for (size_t i = 0; i < path_a.size(); ++i) pos_a[path_a[i]] = i;
+  // The first ancestor of b that is also an ancestor of a is the deepest
+  // shared one reachable on the primary paths.
+  for (ConceptId anc : path_b) {
+    if (pos_a.count(anc)) return anc;
+  }
+  return Status::NotFound("concepts share no ancestor");
+}
+
+double Similarity::WuPalmer(const Ontology& onto, ConceptId a, ConceptId b) {
+  auto lcs = LeastCommonSubsumer(onto, a, b);
+  if (!lcs.ok()) return 0.0;
+  auto depth_of = [&](ConceptId id) {
+    return static_cast<double>(onto.HypernymPath(id).size());
+  };
+  double depth_lcs = depth_of(*lcs);
+  double denom = depth_of(a) + depth_of(b);
+  if (denom == 0.0) return 0.0;
+  return 2.0 * depth_lcs / denom;
+}
+
+double Similarity::PathSimilarity(const Ontology& onto, ConceptId a,
+                                  ConceptId b) {
+  auto lcs = LeastCommonSubsumer(onto, a, b);
+  if (!lcs.ok()) return 0.0;
+  std::vector<ConceptId> path_a = onto.HypernymPath(a);
+  std::vector<ConceptId> path_b = onto.HypernymPath(b);
+  size_t up_a = 0, up_b = 0;
+  for (size_t i = 0; i < path_a.size(); ++i) {
+    if (path_a[i] == *lcs) {
+      up_a = i;
+      break;
+    }
+  }
+  for (size_t i = 0; i < path_b.size(); ++i) {
+    if (path_b[i] == *lcs) {
+      up_b = i;
+      break;
+    }
+  }
+  return 1.0 / (1.0 + static_cast<double>(up_a + up_b));
+}
+
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,35 @@
+#ifndef DWQA_ONTOLOGY_SIMILARITY_H_
+#define DWQA_ONTOLOGY_SIMILARITY_H_
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+
+namespace dwqa {
+namespace ontology {
+
+/// \brief Taxonomy-based concept similarity measures over the hypernym
+/// graph — the semantic-distance machinery WordNet-based QA systems use to
+/// grade how well a candidate answer fits the expected type.
+class Similarity {
+ public:
+  /// Wu–Palmer similarity: 2·depth(lcs) / (depth(a) + depth(b)), in (0, 1]
+  /// when both concepts share an ancestor, 0 when they do not (disjoint
+  /// trees). depth counts nodes on the primary hypernym path including the
+  /// concept itself.
+  static double WuPalmer(const Ontology& onto, ConceptId a, ConceptId b);
+
+  /// The deepest shared ancestor on the primary hypernym paths of `a` and
+  /// `b`; NotFound when the trees are disjoint.
+  static Result<ConceptId> LeastCommonSubsumer(const Ontology& onto,
+                                               ConceptId a, ConceptId b);
+
+  /// Edge-counting path similarity: 1 / (1 + edges on the path through the
+  /// LCS); 0 when disjoint.
+  static double PathSimilarity(const Ontology& onto, ConceptId a,
+                               ConceptId b);
+};
+
+}  // namespace ontology
+}  // namespace dwqa
+
+#endif  // DWQA_ONTOLOGY_SIMILARITY_H_

@@ -1,0 +1,154 @@
+#include "ontology/uml_model.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace ontology {
+
+const char* ClassStereotypeName(ClassStereotype s) {
+  switch (s) {
+    case ClassStereotype::kFact:
+      return "Fact";
+    case ClassStereotype::kDimension:
+      return "Dimension";
+    case ClassStereotype::kBase:
+      return "Base";
+  }
+  return "?";
+}
+
+const char* AttrStereotypeName(AttrStereotype s) {
+  switch (s) {
+    case AttrStereotype::kOID:
+      return "OID";
+    case AttrStereotype::kFactAttribute:
+      return "FactAttribute";
+    case AttrStereotype::kDimensionAttribute:
+      return "DimensionAttribute";
+    case AttrStereotype::kDescriptor:
+      return "Descriptor";
+  }
+  return "?";
+}
+
+Status UmlModel::AddClass(UmlClass klass) {
+  if (klass.name.empty()) {
+    return Status::InvalidArgument("UML class name must not be empty");
+  }
+  if (FindClass(klass.name).ok()) {
+    return Status::AlreadyExists("UML class '" + klass.name +
+                                 "' already exists");
+  }
+  classes_.push_back(std::move(klass));
+  return Status::OK();
+}
+
+Status UmlModel::AddAssociation(UmlAssociation assoc) {
+  if (assoc.from.empty() || assoc.to.empty()) {
+    return Status::InvalidArgument("association endpoints must be named");
+  }
+  assocs_.push_back(std::move(assoc));
+  return Status::OK();
+}
+
+Result<const UmlClass*> UmlModel::FindClass(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (const UmlClass& c : classes_) {
+    if (ToLower(c.name) == lower) return &c;
+  }
+  return Status::NotFound("no UML class named '" + std::string(name) + "'");
+}
+
+std::vector<const UmlClass*> UmlModel::ClassesWithStereotype(
+    ClassStereotype s) const {
+  std::vector<const UmlClass*> out;
+  for (const UmlClass& c : classes_) {
+    if (c.stereotype == s) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<std::string> UmlModel::HierarchyFrom(
+    std::string_view base_name) const {
+  std::vector<std::string> chain;
+  std::string current = std::string(base_name);
+  std::unordered_set<std::string> seen;
+  while (seen.insert(ToLower(current)).second) {
+    chain.push_back(current);
+    bool advanced = false;
+    for (const UmlAssociation& a : assocs_) {
+      if (a.kind == AssocKind::kRollsUpTo &&
+          ToLower(a.from) == ToLower(current)) {
+        current = a.to;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  return chain;
+}
+
+Status UmlModel::Validate() const {
+  for (const UmlAssociation& a : assocs_) {
+    if (!FindClass(a.from).ok()) {
+      return Status::NotFound("association endpoint '" + a.from +
+                              "' is not a class of the model");
+    }
+    if (!FindClass(a.to).ok()) {
+      return Status::NotFound("association endpoint '" + a.to +
+                              "' is not a class of the model");
+    }
+    if (a.kind == AssocKind::kRollsUpTo) {
+      const UmlClass* from = FindClass(a.from).ValueOrDie();
+      const UmlClass* to = FindClass(a.to).ValueOrDie();
+      if (from->stereotype != ClassStereotype::kBase ||
+          to->stereotype != ClassStereotype::kBase) {
+        return Status::InvalidArgument(
+            "rolls-up-to must connect Base classes: " + a.from + " -> " +
+            a.to);
+      }
+    }
+  }
+  // Every fact must reach at least one dimension.
+  for (const UmlClass* fact : ClassesWithStereotype(ClassStereotype::kFact)) {
+    bool has_dim = false;
+    for (const UmlAssociation& a : assocs_) {
+      if (a.kind != AssocKind::kAssociation) continue;
+      if (ToLower(a.from) != ToLower(fact->name)) continue;
+      auto target = FindClass(a.to);
+      if (target.ok() &&
+          (*target)->stereotype == ClassStereotype::kDimension) {
+        has_dim = true;
+        break;
+      }
+    }
+    if (!has_dim) {
+      return Status::InvalidArgument("fact class '" + fact->name +
+                                     "' is not associated to any dimension");
+    }
+  }
+  // Hierarchies must be acyclic: walk each base; HierarchyFrom stops on
+  // revisit, so a cycle shows as a chain whose tail rolls up to its head.
+  for (const UmlClass* base : ClassesWithStereotype(ClassStereotype::kBase)) {
+    std::vector<std::string> chain = HierarchyFrom(base->name);
+    std::unordered_set<std::string> seen;
+    for (const std::string& level : chain) seen.insert(ToLower(level));
+    // If the last level rolls up to a level already in the chain -> cycle.
+    const std::string& last = chain.back();
+    for (const UmlAssociation& a : assocs_) {
+      if (a.kind == AssocKind::kRollsUpTo &&
+          ToLower(a.from) == ToLower(last) && seen.count(ToLower(a.to))) {
+        return Status::InvalidArgument("hierarchy cycle through '" +
+                                       a.to + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ontology
+}  // namespace dwqa

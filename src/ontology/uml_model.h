@@ -1,0 +1,94 @@
+#ifndef DWQA_ONTOLOGY_UML_MODEL_H_
+#define DWQA_ONTOLOGY_UML_MODEL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dwqa {
+namespace ontology {
+
+/// \brief Class stereotypes of the UML profile for multidimensional
+/// modeling of Luján-Mora, Trujillo & Song (paper ref. [10]): a Fact class,
+/// a Dimension class, and Base classes forming each dimension's hierarchy
+/// levels.
+enum class ClassStereotype { kFact, kDimension, kBase };
+
+/// \brief Attribute stereotypes of the same profile.
+enum class AttrStereotype {
+  kOID,                 ///< surrogate identifier
+  kFactAttribute,       ///< a measure on a Fact class
+  kDimensionAttribute,  ///< a level attribute
+  kDescriptor,          ///< the default display attribute of a level
+};
+
+const char* ClassStereotypeName(ClassStereotype s);
+const char* AttrStereotypeName(AttrStereotype s);
+
+struct UmlAttribute {
+  std::string name;
+  std::string type;  ///< "int", "double", "string", "date".
+  AttrStereotype stereotype = AttrStereotype::kDimensionAttribute;
+};
+
+struct UmlClass {
+  std::string name;
+  ClassStereotype stereotype = ClassStereotype::kBase;
+  std::vector<UmlAttribute> attributes;
+};
+
+/// \brief Association kinds between model classes.
+enum class AssocKind {
+  kAssociation,     ///< plain UML association (fact → dimension)
+  kAggregation,     ///< shared aggregation
+  kRollsUpTo,       ///< hierarchy edge: level → coarser level
+  kGeneralization,  ///< is-a
+};
+
+struct UmlAssociation {
+  std::string from;
+  std::string to;
+  AssocKind kind = AssocKind::kAssociation;
+  /// Role name, e.g. "origin" / "destination" for the two Airport
+  /// associations of the Last Minute Sales fact.
+  std::string role;
+};
+
+/// \brief A UML multidimensional model (the artifact of the paper's
+/// Figure 1), input of the Step-1 ontology derivation.
+class UmlModel {
+ public:
+  UmlModel() = default;
+
+  Status AddClass(UmlClass klass);
+  Status AddAssociation(UmlAssociation assoc);
+
+  Result<const UmlClass*> FindClass(std::string_view name) const;
+
+  const std::vector<UmlClass>& classes() const { return classes_; }
+  const std::vector<UmlAssociation>& associations() const { return assocs_; }
+
+  /// Structural validation: association endpoints exist; every Fact links to
+  /// at least one Dimension; kRollsUpTo edges connect Base classes and form
+  /// no cycle.
+  Status Validate() const;
+
+  /// All classes with the given stereotype.
+  std::vector<const UmlClass*> ClassesWithStereotype(ClassStereotype s) const;
+
+  /// The chain of Base classes starting at `base_name` following kRollsUpTo
+  /// edges (finest level first).
+  std::vector<std::string> HierarchyFrom(std::string_view base_name) const;
+
+ private:
+  std::vector<UmlClass> classes_;
+  std::vector<UmlAssociation> assocs_;
+};
+
+}  // namespace ontology
+}  // namespace dwqa
+
+#endif  // DWQA_ONTOLOGY_UML_MODEL_H_

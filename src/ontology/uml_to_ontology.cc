@@ -1,0 +1,66 @@
+#include "ontology/uml_to_ontology.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace ontology {
+
+Result<Ontology> UmlToOntology::Transform(const UmlModel& model) {
+  DWQA_RETURN_NOT_OK(model.Validate());
+  Ontology onto;
+  std::unordered_map<std::string, ConceptId> by_name;
+
+  for (const UmlClass& klass : model.classes()) {
+    std::string gloss = std::string(ClassStereotypeName(klass.stereotype)) +
+                        " class of the multidimensional model";
+    DWQA_ASSIGN_OR_RETURN(ConceptId cid,
+                          onto.AddConcept(klass.name, gloss, "uml"));
+    by_name[ToLower(klass.name)] = cid;
+    for (const UmlAttribute& attr : klass.attributes) {
+      if (attr.stereotype == AttrStereotype::kOID) continue;  // surrogate
+      // Property concepts may repeat across classes ("Name" on City and
+      // Country); reuse an existing property concept of the same lemma.
+      ConceptId pid = kInvalidConcept;
+      auto it = by_name.find(ToLower(attr.name));
+      if (it != by_name.end()) {
+        pid = it->second;
+      } else {
+        DWQA_ASSIGN_OR_RETURN(
+            pid, onto.AddConcept(attr.name,
+                                 std::string(AttrStereotypeName(
+                                     attr.stereotype)) +
+                                     " of " + klass.name,
+                                 "uml"));
+        by_name[ToLower(attr.name)] = pid;
+      }
+      DWQA_RETURN_NOT_OK(
+          onto.AddRelation(cid, RelationKind::kHasProperty, pid));
+    }
+  }
+
+  for (const UmlAssociation& assoc : model.associations()) {
+    ConceptId from = by_name.at(ToLower(assoc.from));
+    ConceptId to = by_name.at(ToLower(assoc.to));
+    switch (assoc.kind) {
+      case AssocKind::kRollsUpTo:
+        DWQA_RETURN_NOT_OK(onto.AddRelation(from, RelationKind::kPartOf, to));
+        break;
+      case AssocKind::kGeneralization:
+        DWQA_RETURN_NOT_OK(
+            onto.AddRelation(from, RelationKind::kHypernym, to));
+        break;
+      case AssocKind::kAssociation:
+      case AssocKind::kAggregation:
+        DWQA_RETURN_NOT_OK(
+            onto.AddRelation(from, RelationKind::kAssociated, to));
+        break;
+    }
+  }
+  return onto;
+}
+
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,33 @@
+#ifndef DWQA_ONTOLOGY_UML_TO_ONTOLOGY_H_
+#define DWQA_ONTOLOGY_UML_TO_ONTOLOGY_H_
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "ontology/uml_model.h"
+
+namespace dwqa {
+namespace ontology {
+
+/// \brief Step 1 of the paper's approach: derive the domain ontology from
+/// the UML multidimensional model of the DW.
+///
+/// Implements the "ad-hoc method" the paper selects over XMI/XSLT
+/// (§3, Step 1): classes become ontological concepts and relations become
+/// relations between concepts —
+///   - every UML class → a class concept (source "uml");
+///   - every attribute → a property concept linked with kHasProperty;
+///   - kRollsUpTo (Airport → City) → kPartOf (an airport is located in a
+///     city, the containment the paper's ontology in Figure 2 shows);
+///   - kGeneralization → kHypernym;
+///   - plain associations / aggregations → kAssociated.
+class UmlToOntology {
+ public:
+  /// Transforms `model` into a fresh domain ontology. The model is validated
+  /// first; structural problems surface as InvalidArgument/NotFound.
+  static Result<Ontology> Transform(const UmlModel& model);
+};
+
+}  // namespace ontology
+}  // namespace dwqa
+
+#endif  // DWQA_ONTOLOGY_UML_TO_ONTOLOGY_H_

@@ -1,0 +1,324 @@
+#include "ontology/wordnet.h"
+
+#include "common/logging.h"
+
+namespace dwqa {
+namespace ontology {
+
+namespace {
+
+/// Adds a class concept under `parent` (hypernym edge), aborting on the
+/// programmer errors (duplicate seed entries) that would corrupt the seed.
+ConceptId AddClass(Ontology* o, ConceptId parent, const char* name,
+                   const char* gloss) {
+  auto result = o->AddConcept(name, gloss, "wordnet");
+  DWQA_CHECK(result.ok());
+  ConceptId id = result.ValueOrDie();
+  if (parent != kInvalidConcept) {
+    DWQA_CHECK(o->AddRelation(id, RelationKind::kHypernym, parent).ok());
+  }
+  return id;
+}
+
+ConceptId AddInst(Ontology* o, ConceptId klass, const char* name,
+                  const char* gloss) {
+  auto result = o->AddInstance(name, gloss, "wordnet");
+  DWQA_CHECK(result.ok());
+  ConceptId id = result.ValueOrDie();
+  DWQA_CHECK(o->AddRelation(id, RelationKind::kInstanceOf, klass).ok());
+  return id;
+}
+
+}  // namespace
+
+Ontology MiniWordNet::Build() {
+  Ontology o;
+  ConceptId entity = AddClass(&o, kInvalidConcept, "entity",
+                              "that which is perceived to have existence");
+
+  // ---- The 25 noun unique beginners -----------------------------------
+  ConceptId act = AddClass(&o, entity, "act", "something done by an agent");
+  ConceptId animal = AddClass(&o, entity, "animal", "a living organism");
+  ConceptId artifact =
+      AddClass(&o, entity, "artifact", "a man-made object");
+  ConceptId attribute =
+      AddClass(&o, entity, "attribute", "a quality belonging to an entity");
+  AddClass(&o, entity, "body", "the physical structure of an organism");
+  ConceptId cognition =
+      AddClass(&o, entity, "cognition", "knowledge and mental content");
+  ConceptId communication = AddClass(&o, entity, "communication",
+                                     "something that is communicated");
+  ConceptId event =
+      AddClass(&o, entity, "event", "something that happens at a time");
+  AddClass(&o, entity, "feeling", "an affective state");
+  ConceptId food = AddClass(&o, entity, "food", "an edible substance");
+  ConceptId group =
+      AddClass(&o, entity, "group", "a collection of entities");
+  ConceptId location =
+      AddClass(&o, entity, "location", "a point or extent in space");
+  AddClass(&o, entity, "motive", "a reason for action");
+  ConceptId object =
+      AddClass(&o, entity, "object", "a tangible thing");
+  ConceptId person =
+      AddClass(&o, entity, "person", "a human being");
+  ConceptId phenomenon =
+      AddClass(&o, entity, "phenomenon", "an observable occurrence");
+  AddClass(&o, entity, "plant", "a living organism lacking locomotion");
+  ConceptId possession =
+      AddClass(&o, entity, "possession", "anything owned or possessed");
+  ConceptId process =
+      AddClass(&o, entity, "process", "a sustained phenomenon");
+  ConceptId quantity =
+      AddClass(&o, entity, "quantity", "how much there is of something");
+  AddClass(&o, entity, "relation", "an abstraction of belonging together");
+  AddClass(&o, entity, "shape", "the spatial arrangement of something");
+  ConceptId state =
+      AddClass(&o, entity, "state", "the way something is with respect "
+                                    "to its attributes");
+  AddClass(&o, entity, "substance", "the stuff of which an object consists");
+  ConceptId time = AddClass(&o, entity, "time", "a temporal point or period");
+
+  // ---- Geography --------------------------------------------------------
+  ConceptId region =
+      AddClass(&o, location, "region", "a large indefinite location");
+  ConceptId country = AddClass(&o, region, "country",
+                               "a politically organized body of people "
+                               "under a single government");
+  ConceptId city_state =
+      AddClass(&o, region, "state", "an administrative district of a nation");
+  (void)city_state;
+  ConceptId city = AddClass(&o, region, "city",
+                            "a large and densely populated urban area");
+  ConceptId capital = AddClass(&o, city, "capital",
+                               "a seat of government of a country");
+
+  ConceptId spain = AddInst(&o, country, "Spain",
+                            "a parliamentary monarchy in southwestern "
+                            "Europe on the Iberian Peninsula");
+  ConceptId france =
+      AddInst(&o, country, "France", "a republic in western Europe");
+  ConceptId usa = AddInst(&o, country, "United States",
+                          "a North American republic of 50 states");
+  DWQA_CHECK(o.AddAlias(usa, "USA").ok());
+  DWQA_CHECK(o.AddAlias(usa, "America").ok());
+  ConceptId iraq =
+      AddInst(&o, country, "Iraq", "a republic in the Middle East");
+  ConceptId kuwait = AddInst(&o, country, "Kuwait",
+                             "an Arab kingdom on the Persian Gulf");
+  (void)iraq;
+  (void)kuwait;
+  AddInst(&o, country, "Italy", "a republic in southern Europe");
+  AddInst(&o, country, "United Kingdom", "a monarchy in northwestern Europe");
+
+  ConceptId barcelona = AddInst(&o, city, "Barcelona",
+                                "a city in northeastern Spain on the "
+                                "Mediterranean");
+  DWQA_CHECK(o.AddRelation(barcelona, RelationKind::kPartOf, spain).ok());
+  ConceptId madrid =
+      AddInst(&o, capital, "Madrid", "the capital and largest city of Spain");
+  DWQA_CHECK(o.AddRelation(madrid, RelationKind::kPartOf, spain).ok());
+  ConceptId paris =
+      AddInst(&o, capital, "Paris", "the capital and largest city of France");
+  DWQA_CHECK(o.AddRelation(paris, RelationKind::kPartOf, france).ok());
+  ConceptId new_york = AddInst(&o, city, "New York",
+                               "the largest city of the United States");
+  DWQA_CHECK(o.AddRelation(new_york, RelationKind::kPartOf, usa).ok());
+  AddInst(&o, city, "Valencia", "a city in eastern Spain on the "
+                                "Mediterranean");
+  AddInst(&o, city, "Seville", "a city in southwestern Spain");
+  ConceptId london = AddInst(&o, capital, "London",
+                             "the capital and largest city of the "
+                             "United Kingdom");
+  (void)london;
+  ConceptId rome =
+      AddInst(&o, capital, "Rome", "the capital and largest city of Italy");
+  (void)rome;
+
+  // ---- Artifacts: facilities, airports, vehicles, documents -------------
+  ConceptId structure = AddClass(&o, artifact, "structure",
+                                 "a thing constructed of parts");
+  ConceptId facility = AddClass(&o, structure, "facility",
+                                "a building or place that provides a "
+                                "particular service");
+  ConceptId airport = AddClass(&o, facility, "airport",
+                               "an airfield equipped with control tower "
+                               "and hangars and accommodations for "
+                               "passengers and cargo");
+  ConceptId kennedy = AddInst(&o, airport, "Kennedy International Airport",
+                              "a large international airport on Long "
+                              "Island to the east of New York City");
+  DWQA_CHECK(o.AddRelation(kennedy, RelationKind::kPartOf, new_york).ok());
+  ConceptId vehicle =
+      AddClass(&o, artifact, "vehicle", "a conveyance that transports "
+                                        "people or objects");
+  ConceptId aircraft = AddClass(&o, vehicle, "aircraft",
+                                "a vehicle that can fly");
+  AddClass(&o, aircraft, "airplane", "a fixed-wing aircraft");
+  ConceptId document = AddClass(&o, communication, "document",
+                                "writing that provides information");
+  AddClass(&o, document, "report", "a written document describing findings");
+  AddClass(&o, document, "email", "a message sent electronically");
+  ConceptId web_page = AddClass(&o, document, "web page",
+                                "a document connected to the World Wide Web");
+  (void)web_page;
+  AddClass(&o, communication, "abbreviation",
+           "a shortened form of a word or phrase");
+  AddClass(&o, communication, "definition",
+           "a concise explanation of the meaning of a word");
+  ConceptId ticket = AddClass(&o, artifact, "ticket",
+                              "a commercial document showing that the "
+                              "holder is entitled to something");
+  (void)ticket;
+
+  // ---- Weather & measures ------------------------------------------------
+  ConceptId natural_phenomenon =
+      AddClass(&o, phenomenon, "natural phenomenon",
+               "all phenomena that are not artificial");
+  ConceptId atmospheric = AddClass(&o, natural_phenomenon,
+                                   "atmospheric phenomenon",
+                                   "a physical phenomenon associated with "
+                                   "the atmosphere");
+  ConceptId weather = AddClass(&o, atmospheric, "weather",
+                               "the atmospheric conditions at a given "
+                               "place and time: temperature, wind, clouds "
+                               "and precipitation");
+  AddClass(&o, atmospheric, "storm", "a violent weather condition");
+  AddClass(&o, atmospheric, "wind", "air moving from high to low pressure");
+  AddClass(&o, atmospheric, "rain", "water falling in drops from clouds");
+  AddClass(&o, atmospheric, "snow", "precipitation of ice crystals");
+  ConceptId temperature =
+      AddClass(&o, attribute, "temperature",
+               "the degree of hotness or coldness of a body or "
+               "environment, measured in degrees Celsius or Fahrenheit");
+  DWQA_CHECK(
+      o.AddRelation(weather, RelationKind::kHasProperty, temperature).ok());
+  AddClass(&o, attribute, "humidity", "the amount of water vapor in the air");
+  ConceptId measure = AddClass(&o, quantity, "measure",
+                               "how much there is of something "
+                               "quantified against a unit");
+  ConceptId unit = AddClass(&o, measure, "unit of measurement",
+                            "a standard quantity used to express "
+                            "a physical magnitude");
+  AddInst(&o, unit, "Celsius", "a temperature scale with water freezing "
+                               "at 0 degrees");
+  AddInst(&o, unit, "Fahrenheit", "a temperature scale with water "
+                                  "freezing at 32 degrees");
+  AddClass(&o, measure, "distance", "the size of the gap between "
+                                    "two places");
+  ConceptId mile = AddClass(&o, measure, "mile",
+                            "a unit of length equal to 1760 yards");
+  (void)mile;
+  AddClass(&o, measure, "percentage", "a proportion expressed in "
+                                      "hundredths");
+  AddClass(&o, measure, "age", "how long something has existed");
+  ConceptId period = AddClass(&o, time, "period",
+                              "an amount of time between two events");
+  (void)period;
+
+  // ---- Time --------------------------------------------------------------
+  ConceptId date_c = AddClass(&o, time, "date",
+                              "a particular day specified by month, day "
+                              "and year");
+  (void)date_c;
+  AddClass(&o, time, "day", "a period of 24 hours");
+  ConceptId month_c = AddClass(&o, time, "month",
+                               "one of the twelve divisions of a "
+                               "calendar year");
+  AddClass(&o, time, "year", "a period of 365 or 366 days");
+  AddClass(&o, time, "quarter", "a fourth part of a year");
+  static const char* kMonths[] = {"January", "February", "March", "April",
+                                  "May", "June", "July", "August",
+                                  "September", "October", "November",
+                                  "December"};
+  for (const char* m : kMonths) {
+    AddInst(&o, month_c, m, "a month of the Gregorian calendar");
+  }
+
+  // ---- Commerce ------------------------------------------------------------
+  ConceptId transaction = AddClass(&o, act, "transaction",
+                                   "the act of transacting business");
+  ConceptId sale = AddClass(&o, transaction, "sale",
+                            "the general activity of selling goods or "
+                            "services in exchange for money");
+  (void)sale;
+  ConceptId travel = AddClass(&o, act, "travel",
+                              "the act of going from one place to another");
+  ConceptId flight = AddClass(&o, travel, "flight",
+                              "a scheduled trip by plane between "
+                              "designated airports");
+  (void)flight;
+  ConceptId price = AddClass(&o, possession, "price",
+                             "the amount of money needed to purchase "
+                             "something");
+  AddClass(&o, price, "fare", "the price charged to transport a person");
+  AddClass(&o, possession, "money", "the official currency issued by a "
+                                    "government");
+  ConceptId cost = AddClass(&o, possession, "cost",
+                            "the total spent for goods or services");
+  (void)cost;
+  ConceptId company = AddClass(&o, group, "company",
+                               "an institution created to conduct business");
+  ConceptId airline = AddClass(&o, company, "airline",
+                               "a commercial enterprise that provides "
+                               "scheduled flights for passengers");
+  (void)airline;
+  ConceptId musical_group = AddClass(&o, group, "musical group",
+                                     "an organization of musicians who "
+                                     "perform together");
+
+  // ---- People ---------------------------------------------------------------
+  ConceptId profession = AddClass(&o, act, "profession",
+                                  "an occupation requiring special "
+                                  "education");
+  AddClass(&o, profession, "pilot", "a professional who operates aircraft");
+  AddClass(&o, profession, "actor", "a theatrical or film performer");
+  AddClass(&o, profession, "president", "the chief executive of a republic");
+  ConceptId leader = AddClass(&o, person, "leader",
+                              "a person who rules or guides others");
+  ConceptId actor_p = AddClass(&o, person, "performer",
+                               "an entertainer who performs for an "
+                               "audience");
+  ConceptId traveler = AddClass(&o, person, "traveler",
+                                "a person who changes location");
+  AddClass(&o, traveler, "passenger", "a traveler riding in a vehicle "
+                                      "without operating it");
+  ConceptId customer = AddClass(&o, person, "customer",
+                                "someone who pays for goods or services");
+  (void)customer;
+
+  // ---- The ambiguity distractors (paper §3, Step 2) -----------------------
+  ConceptId jfk_person = AddInst(&o, leader, "John F. Kennedy",
+                                 "35th President of the United States");
+  DWQA_CHECK(o.AddAlias(jfk_person, "JFK").ok());
+  ConceptId wayne_person = AddInst(&o, actor_p, "John Wayne",
+                                   "United States film actor");
+  (void)wayne_person;
+  ConceptId laguardia_band = AddInst(&o, musical_group, "La Guardia",
+                                     "a Spanish pop-rock musical group");
+  (void)laguardia_band;
+  ConceptId elprat_band = AddInst(&o, musical_group, "El Prat",
+                                  "a Spanish musical group");
+  (void)elprat_band;
+
+  // ---- Celestial odds and ends used by the CLEF-style question factory ----
+  ConceptId celestial = AddClass(&o, object, "celestial body",
+                                 "a natural object visible in the sky");
+  ConceptId star = AddClass(&o, celestial, "star",
+                            "a celestial body of hot gases");
+  ConceptId sirius = AddInst(&o, star, "Sirius",
+                             "the brightest star visible in the night sky");
+  (void)sirius;
+  AddClass(&o, food, "meal", "the food served and eaten at one time");
+  AddClass(&o, cognition, "knowledge", "the result of perception and "
+                                       "learning");
+  AddClass(&o, event, "competition", "an occasion on which a winner is "
+                                     "selected");
+  AddClass(&o, process, "increase", "a process of becoming larger");
+  AddClass(&o, state, "crisis", "an unstable situation of extreme danger");
+  (void)animal;
+
+  return o;
+}
+
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,35 @@
+#ifndef DWQA_ONTOLOGY_WORDNET_H_
+#define DWQA_ONTOLOGY_WORDNET_H_
+
+#include "ontology/ontology.h"
+
+namespace dwqa {
+namespace ontology {
+
+/// \brief Builds the mini-WordNet upper ontology used by the QA system.
+///
+/// Substitutes WordNet/EuroWordNet (paper §3, Step 3; DESIGN.md substitution
+/// table). Contents:
+///   - the standard 25 noun unique beginners under "entity"
+///     (act, animal, artifact, attribute, ..., time);
+///   - domain-relevant trees: location → region → {country, state, city}
+///     with well-known instances; artifact → structure → facility → airport
+///     (with "Kennedy International Airport", as in the paper); phenomenon →
+///     atmospheric phenomenon → weather; attribute → temperature; time →
+///     {date, day, month, year}; act → sale; possession → {price, money};
+///     person / profession / group trees backing the answer-type taxonomy;
+///   - the ambiguous celebrity senses the paper jokes about: "JFK" as a
+///     person (John F. Kennedy), "John Wayne" as an actor, "La Guardia" as a
+///     Spanish musical group — without Step-2/3 enrichment the QA system
+///     resolves these mentions to non-airport senses.
+class MiniWordNet {
+ public:
+  /// Constructs a fresh copy of the upper ontology (callers mutate it when
+  /// merging, so no shared singleton).
+  static Ontology Build();
+};
+
+}  // namespace ontology
+}  // namespace dwqa
+
+#endif  // DWQA_ONTOLOGY_WORDNET_H_

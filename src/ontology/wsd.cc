@@ -1,0 +1,79 @@
+#include "ontology/wsd.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace ontology {
+
+namespace {
+
+const std::unordered_set<std::string>& SignatureStopwords() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a", "an", "the", "of", "in", "on", "at", "to", "and", "or",
+      "that", "which", "with", "for", "by", "is", "are", "was", "be",
+      "its", "it", "as", "from", "into", "under", "who", "all"};
+  return *kSet;
+}
+
+}  // namespace
+
+std::vector<std::string> Wsd::Signature(ConceptId id) const {
+  std::vector<std::string> sig;
+  if (!onto_->IsValidId(id)) return sig;
+  const Concept& c = onto_->GetConcept(id);
+  for (const std::string& w : SplitWhitespace(ToLower(c.gloss))) {
+    if (!SignatureStopwords().count(w)) sig.push_back(w);
+  }
+  for (RelationKind kind :
+       {RelationKind::kHypernym, RelationKind::kInstanceOf,
+        RelationKind::kPartOf, RelationKind::kHasProperty,
+        RelationKind::kSynonymOf, RelationKind::kHasPart}) {
+    for (ConceptId k : onto_->Related(id, kind)) {
+      for (const std::string& w :
+           SplitWhitespace(onto_->GetConcept(k).lemma)) {
+        sig.push_back(w);
+      }
+    }
+  }
+  return sig;
+}
+
+Result<WsdChoice> Wsd::Disambiguate(
+    const std::string& lemma, const std::vector<std::string>& context) const {
+  std::vector<ConceptId> candidates = onto_->Find(ToLower(lemma));
+  if (candidates.empty()) {
+    return Status::NotFound("lemma '" + lemma + "' has no sense in the "
+                            "ontology");
+  }
+  std::unordered_set<std::string> ctx;
+  for (const std::string& w : context) ctx.insert(ToLower(w));
+
+  WsdChoice best;
+  best.candidate_count = candidates.size();
+  for (ConceptId id : candidates) {
+    double score = 0.0;
+    for (const std::string& w : Signature(id)) {
+      if (ctx.count(w)) score += 1.0;
+    }
+    // Ancestor bonus: context words that name an ancestor concept are
+    // strong evidence ("airport" in the question selects the airport sense
+    // of "El Prat").
+    for (ConceptId anc : onto_->HypernymPath(id)) {
+      if (anc == id) continue;
+      for (const std::string& w :
+           SplitWhitespace(onto_->GetConcept(anc).lemma)) {
+        if (ctx.count(w)) score += 2.0;
+      }
+    }
+    if (best.sense == kInvalidConcept || score > best.score) {
+      best.sense = id;
+      best.score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,51 @@
+#ifndef DWQA_ONTOLOGY_WSD_H_
+#define DWQA_ONTOLOGY_WSD_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+
+namespace dwqa {
+namespace ontology {
+
+/// Outcome of disambiguating one mention.
+struct WsdChoice {
+  ConceptId sense = kInvalidConcept;
+  double score = 0.0;
+  /// Other candidate senses considered (including the winner).
+  size_t candidate_count = 0;
+};
+
+/// \brief Simplified-Lesk word sense disambiguation over the ontology.
+///
+/// Substitutes the WSD algorithm of the paper's reference [4] in AliQAn's
+/// indexation and question-analysis phases. A mention's candidate senses
+/// are the concepts indexed under its lemma; each candidate is scored by
+/// the overlap between the context lemmas and the candidate's signature
+/// (gloss words + names of related concepts). Instance senses additionally
+/// earn a bonus per context word naming one of their ancestors — this is
+/// what lets "El Prat" resolve to the *airport* sense in a weather question
+/// mentioning temperatures and cities once Step 2/3 have added that sense.
+class Wsd {
+ public:
+  explicit Wsd(const Ontology* onto) : onto_(onto) {}
+
+  /// Picks the best sense of `lemma` given `context` lemmas. NotFound when
+  /// the lemma is not in the ontology at all.
+  Result<WsdChoice> Disambiguate(const std::string& lemma,
+                                 const std::vector<std::string>& context)
+      const;
+
+  /// Signature lemmas of a concept (gloss words minus stopwords, plus
+  /// related concept names). Exposed for tests.
+  std::vector<std::string> Signature(ConceptId id) const;
+
+ private:
+  const Ontology* onto_;
+};
+
+}  // namespace ontology
+}  // namespace dwqa
+
+#endif  // DWQA_ONTOLOGY_WSD_H_

@@ -1,0 +1,136 @@
+#include "qa/aliqan.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+#include "ir/html.h"
+#include "qa/answer_extractor.h"
+#include "qa/question_analyzer.h"
+
+namespace dwqa {
+namespace qa {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string DefaultPreprocess(const ir::Document& doc) {
+  if (doc.format == ir::DocFormat::kPlainText) return doc.raw;
+  return ir::Html::StripTags(doc.raw);
+}
+
+}  // namespace
+
+AliQAn::AliQAn(const ontology::Ontology* onto, AliQAnConfig config)
+    : onto_(onto),
+      config_(config),
+      preprocessor_(DefaultPreprocess),
+      passage_index_(config.passage_window) {}
+
+void AliQAn::set_preprocessor(Preprocessor preprocessor) {
+  preprocessor_ = std::move(preprocessor);
+}
+
+Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
+  if (docs == nullptr) {
+    return Status::InvalidArgument("document store must not be null");
+  }
+  auto start = std::chrono::steady_clock::now();
+  docs_ = docs;
+  plain_.clear();
+  plain_.reserve(docs->size());
+  passage_index_ = ir::PassageIndex(config_.passage_window);
+  doc_index_ = ir::InvertedIndex();
+  for (const ir::Document& doc : docs->documents()) {
+    std::string plain = preprocessor_(doc);
+    passage_index_.AddDocument(doc.id, plain);
+    doc_index_.AddDocument(doc.id, plain);
+    plain_.push_back(std::move(plain));
+  }
+  timings_.indexation_ms = MsSince(start);
+  return Status::OK();
+}
+
+Result<QuestionAnalysis> AliQAn::AnalyzeQuestion(
+    const std::string& question) const {
+  QuestionAnalyzer analyzer(onto_);
+  return analyzer.Analyze(question);
+}
+
+Result<std::vector<ir::Passage>> AliQAn::SelectPassages(
+    const QuestionAnalysis& analysis) const {
+  if (docs_ == nullptr) {
+    return Status::Internal("IndexCorpus must run before the search phase");
+  }
+  // The retrieval query is the concatenation of the main SBs (Table 1:
+  // "Main SBs passed to the IR-n passage retrieval system").
+  std::string query = Join(analysis.main_sbs, " ");
+  if (Trim(query).empty()) query = analysis.question;
+  return passage_index_.Search(query, config_.passages_to_analyze);
+}
+
+Result<std::string> AliQAn::PlainText(ir::DocId doc) const {
+  if (doc < 0 || static_cast<size_t>(doc) >= plain_.size()) {
+    return Status::NotFound("document " + std::to_string(doc) +
+                            " is not indexed");
+  }
+  return plain_[static_cast<size_t>(doc)];
+}
+
+Result<AnswerSet> AliQAn::Ask(const std::string& question) {
+  if (docs_ == nullptr) {
+    return Status::Internal("IndexCorpus must run before the search phase");
+  }
+  AnswerSet result;
+
+  auto t0 = std::chrono::steady_clock::now();
+  DWQA_ASSIGN_OR_RETURN(result.analysis, AnalyzeQuestion(question));
+  timings_.analysis_ms = MsSince(t0);
+
+  // Module 2 (or the unfiltered ablation).
+  auto t1 = std::chrono::steady_clock::now();
+  std::vector<ir::Passage> passages;
+  if (config_.use_ir_filter) {
+    DWQA_ASSIGN_OR_RETURN(passages, SelectPassages(result.analysis));
+  } else {
+    for (const ir::Document& doc : docs_->documents()) {
+      ir::Passage p;
+      p.doc = doc.id;
+      p.first_sentence = 0;
+      p.text = plain_[static_cast<size_t>(doc.id)];
+      passages.push_back(std::move(p));
+    }
+  }
+  timings_.retrieval_ms = MsSince(t1);
+
+  // Module 3.
+  auto t2 = std::chrono::steady_clock::now();
+  AnswerExtractor extractor(onto_);
+  std::vector<AnswerCandidate> candidates;
+  size_t sentences = 0;
+  for (const ir::Passage& p : passages) {
+    result.passages.push_back(p.text);
+    const std::string& url =
+        docs_->IsValid(p.doc) ? docs_->Get(p.doc).url : "";
+    std::vector<AnswerCandidate> found =
+        extractor.Extract(result.analysis, p.text, p.doc, url);
+    for (char c : p.text) sentences += (c == '\n') ? 1 : 0;
+    ++sentences;
+    for (AnswerCandidate& cand : found) {
+      candidates.push_back(std::move(cand));
+    }
+  }
+  result.answers =
+      AnswerExtractor::Rank(std::move(candidates), config_.max_answers);
+  result.sentences_analyzed = sentences;
+  timings_.extraction_ms = MsSince(t2);
+  timings_.sentences_analyzed = sentences;
+  return result;
+}
+
+}  // namespace qa
+}  // namespace dwqa

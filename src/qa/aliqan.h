@@ -1,0 +1,101 @@
+#ifndef DWQA_QA_ALIQAN_H_
+#define DWQA_QA_ALIQAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/document.h"
+#include "ir/inverted_index.h"
+#include "ir/passage_index.h"
+#include "ontology/ontology.h"
+#include "qa/answer.h"
+#include "qa/question.h"
+
+namespace dwqa {
+namespace qa {
+
+/// \brief Configuration of an AliQAn instance.
+struct AliQAnConfig {
+  /// Sentences per IR-n passage (the paper's footnote 6 reports eight).
+  size_t passage_window = 8;
+  /// Passages handed to the extraction module per question.
+  size_t passages_to_analyze = 5;
+  /// When false, Module 2 is bypassed and the extraction module analyzes
+  /// every sentence of every document — the ablation quantifying the
+  /// paper's "IR as first filtering phase" claim (§1).
+  bool use_ir_filter = true;
+  /// Candidates kept per question.
+  size_t max_answers = 5;
+};
+
+/// \brief Wall-clock of the last Ask()/IndexCorpus() call, by phase — used
+/// by bench_fig3_aliqan_phases.
+struct PhaseTimings {
+  double indexation_ms = 0.0;
+  double analysis_ms = 0.0;
+  double retrieval_ms = 0.0;
+  double extraction_ms = 0.0;
+  size_t sentences_analyzed = 0;
+};
+
+/// \brief The QA system: a reimplementation of AliQAn's architecture
+/// (paper Figure 3).
+///
+/// Indexation phase (off-line): documents are normalized to plain text (a
+/// pluggable preprocessor handles HTML/XML; the integration layer plugs the
+/// table-aware preprocessor here) and indexed twice — the IR-n passage index
+/// for filtering and a document-level index for the IR baseline comparisons.
+///
+/// Search phase: (1) question analysis, (2) selection of relevant passages,
+/// (3) extraction of the answer.
+class AliQAn {
+ public:
+  /// Normalizes a raw document to the plain text to index.
+  using Preprocessor = std::function<std::string(const ir::Document&)>;
+
+  explicit AliQAn(const ontology::Ontology* onto, AliQAnConfig config = {});
+
+  /// Replaces the default preprocessor (tag stripping for HTML/XML).
+  void set_preprocessor(Preprocessor preprocessor);
+
+  const AliQAnConfig& config() const { return config_; }
+
+  /// Off-line indexation phase. `docs` must outlive this object.
+  Status IndexCorpus(const ir::DocumentStore* docs);
+
+  /// Module 1: question analysis.
+  Result<QuestionAnalysis> AnalyzeQuestion(const std::string& question) const;
+
+  /// Module 2: selection of relevant passages for an analyzed question.
+  Result<std::vector<ir::Passage>> SelectPassages(
+      const QuestionAnalysis& analysis) const;
+
+  /// Full search phase: modules 1–3.
+  Result<AnswerSet> Ask(const std::string& question);
+
+  /// The document-level index (the IR baseline of bench_ir_vs_qa).
+  const ir::InvertedIndex& document_index() const { return doc_index_; }
+  const ir::PassageIndex& passage_index() const { return passage_index_; }
+
+  /// Plain text of an indexed document.
+  Result<std::string> PlainText(ir::DocId doc) const;
+
+  const PhaseTimings& last_timings() const { return timings_; }
+
+ private:
+  const ontology::Ontology* onto_;
+  AliQAnConfig config_;
+  Preprocessor preprocessor_;
+  const ir::DocumentStore* docs_ = nullptr;
+  std::vector<std::string> plain_;
+  ir::PassageIndex passage_index_;
+  ir::InvertedIndex doc_index_;
+  PhaseTimings timings_;
+};
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_ALIQAN_H_

@@ -1,0 +1,63 @@
+#ifndef DWQA_QA_ANSWER_H_
+#define DWQA_QA_ANSWER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "ir/document.h"
+#include "qa/question.h"
+#include "qa/taxonomy.h"
+
+namespace dwqa {
+namespace qa {
+
+/// \brief One candidate answer extracted from a passage — the precise,
+/// structured output that distinguishes QA from IR in the paper (§1,
+/// difference 2): not a document but "(8ºC – Monday, January 31, 2004 –
+/// Barcelona)".
+struct AnswerCandidate {
+  /// Display form of the answer ("8\xC2\xBA\x43", "Kuwait").
+  std::string answer_text;
+  AnswerType type = AnswerType::kObject;
+  double score = 0.0;
+
+  /// The sentence the answer was extracted from.
+  std::string sentence;
+  /// The passage handed over by the retrieval module.
+  std::string passage_text;
+  ir::DocId doc = ir::kInvalidDoc;
+  std::string url;
+
+  /// \name Structured slots (filled when applicable)
+  /// @{
+  bool has_value = false;
+  double value = 0.0;
+  /// Unit of a numerical answer: "\xC2\xBA\x43", "F", "%", "EUR"...; empty
+  /// when the unit could not be associated (the Figure 5 failure mode).
+  std::string unit;
+  std::optional<Date> date;
+  bool date_complete = false;
+  /// City the answer is about, resolved via ontology/context.
+  std::string location;
+  /// @}
+};
+
+/// \brief Final output of one AliQAn query.
+struct AnswerSet {
+  QuestionAnalysis analysis;
+  /// Ranked candidates, best first.
+  std::vector<AnswerCandidate> answers;
+  /// Passages that were analyzed (for Table 1 display).
+  std::vector<std::string> passages;
+  size_t sentences_analyzed = 0;
+
+  bool empty() const { return answers.empty(); }
+  const AnswerCandidate& best() const { return answers.front(); }
+};
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_ANSWER_H_

@@ -1,0 +1,503 @@
+#include "qa/answer_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/entities.h"
+#include "text/pos_tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace qa {
+
+using text::DateMention;
+using text::EntityRecognizer;
+using text::TokenSequence;
+
+namespace {
+
+/// Default temperature plausibility bounds (overridden by Step-4 axioms on
+/// the "temperature" concept when present): records on Earth span roughly
+/// -90..60 ºC.
+constexpr double kDefaultMinCelsius = -90.0;
+constexpr double kDefaultMaxCelsius = 60.0;
+
+double FahrenheitToCelsius(double f) { return (f - 32.0) * 5.0 / 9.0; }
+
+/// Lemma set of one analyzed sentence.
+std::unordered_set<std::string> LemmaSet(const TokenSequence& toks) {
+  std::unordered_set<std::string> out;
+  for (const text::Token& t : toks) out.insert(t.lemma);
+  return out;
+}
+
+/// Fraction of `sb`'s content lemmas present in `lemmas`.
+double SbCoverage(const std::string& sb,
+                  const std::unordered_set<std::string>& lemmas) {
+  text::TokenSequence toks = text::Tokenizer::Tokenize(sb);
+  text::PosTagger tagger;
+  tagger.Tag(&toks);
+  size_t total = 0;
+  size_t hit = 0;
+  for (const text::Token& t : toks) {
+    if (t.tag == "DT" || t.tag == "IN" || t.tag == "OF" || t.tag == ",") {
+      continue;
+    }
+    ++total;
+    if (lemmas.count(t.lemma)) ++hit;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(hit) / static_cast<double>(total);
+}
+
+bool MentionEqualsAnyQuestionTerm(const std::string& mention,
+                                  const QuestionAnalysis& q) {
+  std::string lower = ToLower(mention);
+  for (const std::string& sb : q.main_sbs) {
+    // Substring containment: "Kennedy International" is part of the
+    // question term "Kennedy International Airport" and no answer.
+    if (ToLower(sb).find(lower) != std::string::npos) return true;
+  }
+  if (!q.location.empty() &&
+      ToLower(q.location).find(lower) != std::string::npos) {
+    return true;
+  }
+  // The ontology-resolved city is a retrieval expansion; for place-type
+  // questions it may be the *answer* ("In which city is El Prat?"), so it
+  // is only excluded for the other types.
+  if (!IsPlace(q.answer_type) && ToLower(q.resolved_city) == lower) {
+    return true;
+  }
+  return false;
+}
+
+/// True when `d` is compatible with the question's (possibly partial) date
+/// constraint.
+bool DateCompatible(const DateMention& d, const QuestionAnalysis& q) {
+  if (!q.date_constraint.has_value()) return true;
+  const DateMention& c = *q.date_constraint;
+  if (c.has_year && d.has_year && c.date.year() != d.date.year()) {
+    return false;
+  }
+  if (c.has_month && d.has_month && c.date.month() != d.date.month()) {
+    return false;
+  }
+  if (c.has_day && d.has_day && c.date.day() != d.date.day()) return false;
+  return true;
+}
+
+}  // namespace
+
+bool AnswerExtractor::SatisfiesTypeConcept(const std::string& mention,
+                                           AnswerType type) const {
+  std::string lemma = TypeConceptLemma(type);
+  if (lemma.empty()) return true;
+  auto target = onto_->FindClass(lemma);
+  if (!target.ok()) return false;
+  for (ontology::ConceptId id : onto_->Find(ToLower(mention))) {
+    if (onto_->IsA(id, *target)) return true;
+  }
+  return false;
+}
+
+bool AnswerExtractor::TemperaturePlausible(double value, char scale) const {
+  double min_c = kDefaultMinCelsius;
+  double max_c = kDefaultMaxCelsius;
+  if (auto concept_id = onto_->FindClass("temperature"); concept_id.ok()) {
+    if (auto v = onto_->GetAxiom(*concept_id, "min_celsius"); v.ok()) {
+      min_c = std::atof(v->c_str());
+    }
+    if (auto v = onto_->GetAxiom(*concept_id, "max_celsius"); v.ok()) {
+      max_c = std::atof(v->c_str());
+    }
+  }
+  double celsius = scale == 'F' ? FahrenheitToCelsius(value) : value;
+  return celsius >= min_c && celsius <= max_c;
+}
+
+std::vector<AnswerCandidate> AnswerExtractor::Extract(
+    const QuestionAnalysis& q, const std::string& passage_text,
+    ir::DocId doc, const std::string& url) const {
+  std::vector<AnswerCandidate> out;
+  std::vector<std::string> sentences =
+      text::SentenceSplitter::Split(passage_text);
+  text::PosTagger tagger;
+
+  // Pre-analyze all sentences (tokens + per-sentence date mentions), so a
+  // candidate in sentence i can borrow the most recent date from i-1, i-2...
+  // — the layout of the Figure 4 weather pages (date line, then data line).
+  std::vector<TokenSequence> analyzed;
+  std::vector<std::vector<DateMention>> sent_dates;
+  std::unordered_set<std::string> passage_lemmas;
+  for (const std::string& s : sentences) {
+    TokenSequence toks = text::Tokenizer::Tokenize(s);
+    tagger.Tag(&toks);
+    for (const text::Token& t : toks) passage_lemmas.insert(t.lemma);
+    sent_dates.push_back(EntityRecognizer::FindDates(toks));
+    analyzed.push_back(std::move(toks));
+  }
+
+  double passage_cov = 0.0;
+  for (const std::string& sb : q.main_sbs) {
+    passage_cov += SbCoverage(sb, passage_lemmas);
+  }
+
+  auto nearest_date = [&](size_t sent_idx,
+                          size_t tok_idx) -> const DateMention* {
+    // Prefer a date in the same sentence (closest before the token, else
+    // after); otherwise the latest date in a preceding sentence.
+    const DateMention* best = nullptr;
+    for (const DateMention& d : sent_dates[sent_idx]) {
+      if (best == nullptr ||
+          (d.begin <= tok_idx &&
+           (best->begin > tok_idx || d.begin >= best->begin))) {
+        best = &d;
+      }
+    }
+    if (best != nullptr) return best;
+    for (size_t i = sent_idx; i-- > 0;) {
+      if (!sent_dates[i].empty()) return &sent_dates[i].back();
+    }
+    return nullptr;
+  };
+
+  auto resolve_location = [&](size_t sent_idx) -> std::string {
+    // A proper noun in this sentence (or an earlier one) whose sense is a
+    // city; otherwise the question's resolved city.
+    auto city = onto_->FindClass("city");
+    for (size_t i = sent_idx + 1; i-- > 0;) {
+      for (const auto& pn :
+           EntityRecognizer::FindProperNouns(analyzed[i])) {
+        if (!city.ok()) break;
+        for (ontology::ConceptId id : onto_->Find(ToLower(pn.text))) {
+          if (onto_->IsA(id, *city)) return onto_->GetConcept(id).name;
+        }
+      }
+      if (sent_idx - i >= 2) break;  // Look back at most two sentences.
+    }
+    if (!q.resolved_city.empty()) return q.resolved_city;
+    return q.location;
+  };
+
+  for (size_t si = 0; si < sentences.size(); ++si) {
+    const TokenSequence& toks = analyzed[si];
+    std::unordered_set<std::string> lemmas = LemmaSet(toks);
+    double sent_cov = 0.0;
+    for (const std::string& sb : q.main_sbs) {
+      sent_cov += SbCoverage(sb, lemmas);
+    }
+    double base = 2.0 * sent_cov + passage_cov;
+
+    auto push = [&](AnswerCandidate cand) {
+      cand.type = q.answer_type;
+      cand.sentence = sentences[si];
+      cand.passage_text = passage_text;
+      cand.doc = doc;
+      cand.url = url;
+      out.push_back(std::move(cand));
+    };
+
+    switch (q.answer_type) {
+      case AnswerType::kNumericalMeasure: {
+        for (const auto& m : EntityRecognizer::FindTemperatures(toks)) {
+          AnswerCandidate c;
+          c.answer_text =
+              FormatDouble(m.value, m.value == std::floor(m.value) ? 0 : 1);
+          c.answer_text += m.scale == 'F' ? "F" : "\xC2\xBA\x43";
+          c.has_value = true;
+          c.value = m.value;
+          c.unit = m.scale == 'F' ? "F" : (m.scale == 'C' ? "\xC2\xBA\x43"
+                                                          : "");
+          c.score = base + 1.0;
+          if (m.scale != '?') c.score += 2.0;  // Unit associated.
+          // Canonical-unit preference: the Step-4 axiom lists ºC first, so
+          // of two renderings of the same reading ("8º C around 46.4 F",
+          // Table 1) the Celsius one is extracted.
+          if (m.scale == 'C') c.score += 0.25;
+          if (!TemperaturePlausible(m.value, m.scale)) c.score -= 5.0;
+          if (const DateMention* d = nearest_date(si, m.begin)) {
+            c.date = d->date;
+            c.date_complete = d->IsComplete();
+            c.score += d->IsComplete() ? 1.0 : 0.5;
+            if (DateCompatible(*d, q)) {
+              c.score += 2.0;
+            } else {
+              c.score -= 3.0;
+            }
+          }
+          c.location = resolve_location(si);
+          if (!q.resolved_city.empty() &&
+              ToLower(c.location) == ToLower(q.resolved_city)) {
+            c.score += 1.0;
+          }
+          push(std::move(c));
+        }
+        break;
+      }
+      case AnswerType::kNumericalEconomic: {
+        for (const auto& m : EntityRecognizer::FindMoney(toks)) {
+          AnswerCandidate c;
+          c.answer_text = m.text;
+          c.has_value = true;
+          c.value = m.value;
+          c.unit = m.currency;
+          c.score = base + 2.0;
+          if (const DateMention* d = nearest_date(si, m.begin)) {
+            c.date = d->date;
+            c.date_complete = d->IsComplete();
+            if (DateCompatible(*d, q)) c.score += 1.0;
+          }
+          c.location = resolve_location(si);
+          push(std::move(c));
+        }
+        break;
+      }
+      case AnswerType::kNumericalPercentage: {
+        for (const auto& m : EntityRecognizer::FindPercents(toks)) {
+          AnswerCandidate c;
+          c.answer_text = m.text;
+          c.has_value = true;
+          c.value = m.value;
+          c.unit = "%";
+          c.score = base + 2.0;
+          push(std::move(c));
+        }
+        break;
+      }
+      case AnswerType::kNumericalAge: {
+        for (const auto& m : EntityRecognizer::FindNumbers(toks)) {
+          // "N years old" / "aged N".
+          bool age_context = false;
+          if (m.end < toks.size() && toks[m.end].lemma == "year" &&
+              m.end + 1 < toks.size() && toks[m.end + 1].lemma == "old") {
+            age_context = true;
+          }
+          if (m.begin > 0 && toks[m.begin - 1].lower == "aged") {
+            age_context = true;
+          }
+          if (!age_context) continue;
+          AnswerCandidate c;
+          c.answer_text = m.text;
+          c.has_value = true;
+          c.value = m.value;
+          c.unit = "years";
+          c.score = base + 3.0;
+          push(std::move(c));
+        }
+        break;
+      }
+      case AnswerType::kNumericalPeriod: {
+        for (const auto& m : EntityRecognizer::FindNumbers(toks)) {
+          if (m.end >= toks.size()) continue;
+          const std::string& unit = toks[m.end].lemma;
+          bool duration = unit == "day" || unit == "hour" ||
+                          unit == "minute" || unit == "week" ||
+                          unit == "month" || unit == "year";
+          // "N years old" is an age, not a period.
+          if (duration && m.end + 1 < toks.size() &&
+              toks[m.end + 1].lemma == "old") {
+            duration = false;
+          }
+          if (!duration) continue;
+          AnswerCandidate c;
+          c.answer_text = m.text + " " + toks[m.end].text;
+          c.has_value = true;
+          c.value = m.value;
+          c.unit = unit + "s";
+          c.score = base + 2.0;
+          push(std::move(c));
+        }
+        break;
+      }
+      case AnswerType::kNumericalQuantity: {
+        // Plain cardinals not consumed by a more specific recognizer.
+        std::unordered_set<size_t> taken;
+        for (const auto& m : EntityRecognizer::FindTemperatures(toks)) {
+          for (size_t i = m.begin; i < m.end; ++i) taken.insert(i);
+        }
+        for (const auto& m : EntityRecognizer::FindMoney(toks)) {
+          for (size_t i = m.begin; i < m.end; ++i) taken.insert(i);
+        }
+        for (const auto& m : EntityRecognizer::FindPercents(toks)) {
+          for (size_t i = m.begin; i < m.end; ++i) taken.insert(i);
+        }
+        for (const auto& d : sent_dates[si]) {
+          for (size_t i = d.begin; i < d.end; ++i) taken.insert(i);
+        }
+        for (const auto& m : EntityRecognizer::FindNumbers(toks)) {
+          if (taken.count(m.begin)) continue;
+          AnswerCandidate c;
+          c.answer_text = m.text;
+          c.has_value = true;
+          c.value = m.value;
+          c.score = base + 1.0;
+          push(std::move(c));
+        }
+        break;
+      }
+      case AnswerType::kTemporalDate: {
+        for (const DateMention& d : sent_dates[si]) {
+          AnswerCandidate c;
+          c.answer_text = d.text;
+          c.date = d.date;
+          c.date_complete = d.IsComplete();
+          c.score = base + (d.IsComplete() ? 3.0 : 1.0);
+          c.location = resolve_location(si);
+          push(std::move(c));
+        }
+        // A bare year is an acceptable (weaker) date answer: "When did
+        // Iraq invade Kuwait?" → "1990".
+        std::unordered_set<size_t> in_date;
+        for (const auto& d : sent_dates[si]) {
+          for (size_t i = d.begin; i < d.end; ++i) in_date.insert(i);
+        }
+        for (size_t i = 0; i < toks.size(); ++i) {
+          if (in_date.count(i)) continue;
+          if (!EntityRecognizer::LooksLikeYear(toks[i])) continue;
+          AnswerCandidate c;
+          c.answer_text = toks[i].text;
+          c.has_value = true;
+          c.value = std::atof(toks[i].lower.c_str());
+          c.score = base + 0.5;
+          push(std::move(c));
+        }
+        break;
+      }
+      case AnswerType::kTemporalYear: {
+        for (const text::Token& t : toks) {
+          if (EntityRecognizer::LooksLikeYear(t)) {
+            AnswerCandidate c;
+            c.answer_text = t.text;
+            c.has_value = true;
+            c.value = std::atof(t.lower.c_str());
+            c.score = base + 2.0;
+            push(std::move(c));
+          }
+        }
+        break;
+      }
+      case AnswerType::kTemporalMonth: {
+        for (const text::Token& t : toks) {
+          if (EntityRecognizer::IsMonthName(t.lower)) {
+            AnswerCandidate c;
+            c.answer_text = t.text;
+            c.score = base + 2.0;
+            push(std::move(c));
+          }
+        }
+        break;
+      }
+      case AnswerType::kDefinition: {
+        // "<focus> is/are <defining clause>".
+        for (size_t i = 0; i + 1 < toks.size(); ++i) {
+          if (toks[i].lemma != q.focus_lemma || q.focus_lemma.empty()) {
+            continue;
+          }
+          size_t j = i + 1;
+          if (j < toks.size() && toks[j].lemma == "be") {
+            std::string rest = text::TokensToText(toks, j + 1, toks.size());
+            if (!rest.empty() && rest != "?") {
+              AnswerCandidate c;
+              c.answer_text = rest;
+              c.score = base + 3.0;
+              push(std::move(c));
+            }
+          }
+        }
+        break;
+      }
+      case AnswerType::kAbbreviation: {
+        // "<expansion> (<ABBR>)" and "<ABBR> stands for <expansion>".
+        for (size_t i = 0; i + 4 < toks.size(); ++i) {
+          if (toks[i + 1].lemma == "stand" && toks[i + 2].lower == "for") {
+            AnswerCandidate c;
+            c.answer_text =
+                text::TokensToText(toks, i + 3, toks.size());
+            c.score = base + 2.0;
+            push(std::move(c));
+          }
+        }
+        for (size_t i = 2; i + 1 < toks.size(); ++i) {
+          if (toks[i - 1].text == "(" && toks[i + 1].text == ")" &&
+              toks[i].text == ToUpper(toks[i].text) &&
+              toks[i].text.size() >= 2) {
+            AnswerCandidate c;
+            c.answer_text = toks[i].text;
+            c.score = base + 2.0;
+            push(std::move(c));
+          }
+        }
+        break;
+      }
+      default: {
+        // Professions are common nouns ("actor"), checked against the
+        // profession subtree of the ontology.
+        if (q.answer_type == AnswerType::kProfession) {
+          for (const text::Token& t : toks) {
+            if (t.tag != "NN" && t.tag != "NNS") continue;
+            if (!SatisfiesTypeConcept(t.lemma, q.answer_type)) continue;
+            if (t.lemma == "profession") continue;
+            AnswerCandidate c;
+            c.answer_text = t.text;
+            c.score = base + 3.0;
+            push(std::move(c));
+          }
+        }
+        // Person / profession / group / object / place* / event: proper
+        // nouns with a semantic preference for the type's subtree.
+        for (const auto& pn : EntityRecognizer::FindProperNouns(toks)) {
+          if (MentionEqualsAnyQuestionTerm(pn.text, q)) continue;
+          AnswerCandidate c;
+          c.answer_text = pn.text;
+          c.score = base;
+          if (SatisfiesTypeConcept(pn.text, q.answer_type)) {
+            c.score += 3.0;  // The paper's "semantic preference".
+          } else if (IsPlace(q.answer_type) ||
+                     q.answer_type == AnswerType::kPerson ||
+                     q.answer_type == AnswerType::kGroup) {
+            c.score -= 1.0;  // Off-type proper noun: weak candidate.
+          }
+          if (const DateMention* d = nearest_date(si, pn.begin)) {
+            if (DateCompatible(*d, q)) c.score += 0.5;
+          }
+          push(std::move(c));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AnswerCandidate> AnswerExtractor::Rank(
+    std::vector<AnswerCandidate> candidates, size_t max_answers) {
+  // Deduplicate by normalized answer text + date, keeping the best score.
+  std::vector<AnswerCandidate> merged;
+  for (AnswerCandidate& c : candidates) {
+    bool found = false;
+    for (AnswerCandidate& m : merged) {
+      bool same_date =
+          m.date.has_value() == c.date.has_value() &&
+          (!m.date.has_value() || *m.date == *c.date);
+      if (ToLower(m.answer_text) == ToLower(c.answer_text) && same_date) {
+        if (c.score > m.score) m = std::move(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(std::move(c));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const AnswerCandidate& a, const AnswerCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.answer_text < b.answer_text;
+            });
+  if (merged.size() > max_answers) merged.resize(max_answers);
+  return merged;
+}
+
+}  // namespace qa
+}  // namespace dwqa

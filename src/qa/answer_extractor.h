@@ -1,0 +1,55 @@
+#ifndef DWQA_QA_ANSWER_EXTRACTOR_H_
+#define DWQA_QA_ANSWER_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "qa/answer.h"
+#include "qa/question.h"
+
+namespace dwqa {
+namespace qa {
+
+/// \brief AliQAn Module 3: extraction of the answer from retrieved passages
+/// using syntactic-semantic answer patterns (paper §4.1).
+///
+/// Per answer type the module looks for the lexical shape the taxonomy
+/// prescribes (a temperature is "a number lexical type followed by the
+/// unit-measure (ºC or F)"; a place answer is a proper noun with "a semantic
+/// preference to the hyponyms" of the type concept) and scores candidates
+/// by (a) main-SB term coverage in the candidate's sentence and passage,
+/// (b) satisfaction of the type constraints, (c) agreement with the
+/// question's date constraint, and (d) the Step-4 axioms attached to the
+/// ontology (plausible temperature intervals, ºC/ºF consistency).
+class AnswerExtractor {
+ public:
+  explicit AnswerExtractor(const ontology::Ontology* onto) : onto_(onto) {}
+
+  /// Extracts and scores the candidates of one passage.
+  std::vector<AnswerCandidate> Extract(const QuestionAnalysis& question,
+                                       const std::string& passage_text,
+                                       ir::DocId doc,
+                                       const std::string& url) const;
+
+  /// Merges, deduplicates (by normalized answer text) and ranks candidate
+  /// lists from several passages.
+  static std::vector<AnswerCandidate> Rank(
+      std::vector<AnswerCandidate> candidates, size_t max_answers);
+
+ private:
+  /// True if some sense of `lemma` is under the concept for `type`.
+  bool SatisfiesTypeConcept(const std::string& mention,
+                            AnswerType type) const;
+
+  /// Plausibility per the temperature axioms (Step 4). `scale` '?' passes
+  /// with a Celsius assumption.
+  bool TemperaturePlausible(double value, char scale) const;
+
+  const ontology::Ontology* onto_;
+};
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_ANSWER_EXTRACTOR_H_

@@ -1,0 +1,287 @@
+#include "qa/crosslingual.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace qa {
+
+namespace {
+
+/// One phrase-table entry; `es` is stored normalized (lowercase, no
+/// accents) and whole-word matched.
+struct PhraseEntry {
+  const char* es;
+  const char* en;
+};
+
+/// Ordered longest-phrase-first table. Interrogative constructions come
+/// before their sub-phrases so "cuanto cuesta" wins over "cuanto".
+const std::vector<PhraseEntry>& PhraseTable() {
+  static const auto* kTable = new std::vector<PhraseEntry>{
+      // Interrogative constructions.
+      {"que tiempo hace en", "what is the weather like in"},
+      {"cual es la temperatura", "what is the temperature"},
+      {"cual es el precio", "what is the price"},
+      {"cual es la capital", "what is the capital"},
+      {"cual es", "what is"},
+      {"cuanto cuesta", "how much does it cost"},
+      {"cuantos anos tenia", "how old was"},
+      {"cuantos anos tiene", "how old is"},
+      {"cuantos", "how many"},
+      {"cuantas", "how many"},
+      {"cuanto dura", "how long takes"},
+      {"que pais invadio", "which country did invade"},
+      {"en que ciudad", "in which city"},
+      {"en que ano", "in what year"},
+      {"que significa", "what does stand for"},
+      {"quien fue", "who was"},
+      {"quien es", "who is"},
+      {"donde esta", "where is"},
+      {"donde", "where"},
+      {"cuando", "when"},
+      {"que", "what"},
+      // Function words.
+      {"de la", "of the"},
+      {"del", "of the"},
+      {"de", "of"},
+      {"en", "in"},
+      {"el", "the"},
+      {"la", "the"},
+      {"los", "the"},
+      {"las", "the"},
+      {"un", "a"},
+      {"una", "a"},
+      {"y", "and"},
+      {"a", "to"},
+      {"es", "is"},
+      {"son", "are"},
+      {"fue", "was"},
+      // Months.
+      {"enero", "January"},
+      {"febrero", "February"},
+      {"marzo", "March"},
+      {"abril", "April"},
+      {"mayo", "May"},
+      {"junio", "June"},
+      {"julio", "July"},
+      {"agosto", "August"},
+      {"septiembre", "September"},
+      {"octubre", "October"},
+      {"noviembre", "November"},
+      {"diciembre", "December"},
+      // Domain vocabulary.
+      {"temperatura", "temperature"},
+      {"tiempo", "weather"},
+      {"precio", "price"},
+      {"billete", "ticket"},
+      {"billetes", "tickets"},
+      {"vuelo", "flight"},
+      {"vuelos", "flights"},
+      {"aeropuerto", "airport"},
+      {"ciudad", "city"},
+      {"pais", "country"},
+      {"capital", "capital"},
+      {"ventas", "sales"},
+      {"ultima hora", "last minute"},
+      {"presidente", "president"},
+      {"grupo", "group"},
+      {"mes", "month"},
+      {"ano", "year"},
+      {"dia", "day"},
+      {"hora", "hour"},
+      {"horas", "hours"},
+      {"estados unidos", "United States"},
+      {"espana", "Spain"},
+      {"francia", "France"},
+      {"londres", "London"},
+      {"nueva york", "New York"},
+  };
+  return *kTable;
+}
+
+bool IsSpaceOrPunct(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isspace(u) || c == ',' || c == '?' || c == '!' || c == '.';
+}
+
+}  // namespace
+
+std::string SpanishTranslator::Normalize(const std::string& text) {
+  // Strip inverted punctuation (UTF-8 ¿ = C2 BF, ¡ = C2 A1) and fold the
+  // accented vowels / ñ to ASCII, then lowercase.
+  std::string out;
+  for (size_t i = 0; i < text.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c == 0xC2 && i + 1 < text.size()) {
+      unsigned char n = static_cast<unsigned char>(text[i + 1]);
+      if (n == 0xBF || n == 0xA1) {
+        ++i;
+        continue;  // ¿ ¡ dropped.
+      }
+    }
+    if (c == 0xC3 && i + 1 < text.size()) {
+      unsigned char n = static_cast<unsigned char>(text[i + 1]);
+      ++i;
+      switch (n) {
+        case 0xA1:
+        case 0x81:
+          out += 'a';
+          continue;  // á Á
+        case 0xA9:
+        case 0x89:
+          out += 'e';
+          continue;  // é É
+        case 0xAD:
+        case 0x8D:
+          out += 'i';
+          continue;  // í Í
+        case 0xB3:
+        case 0x93:
+          out += 'o';
+          continue;  // ó Ó
+        case 0xBA:
+        case 0x9A:
+          out += 'u';
+          continue;  // ú Ú
+        case 0xB1:
+        case 0x91:
+          out += 'n';
+          continue;  // ñ Ñ
+        default:
+          --i;  // Not a Spanish letter; fall through byte by byte.
+          break;
+      }
+    }
+    out += static_cast<char>(std::tolower(c));
+  }
+  return out;
+}
+
+Translation SpanishTranslator::Translate(const std::string& question) {
+  // Tokenize the ORIGINAL (for casing/pass-through) and the normalized
+  // form (for lookup) in parallel: split on whitespace/punctuation.
+  struct Word {
+    std::string original;
+    std::string norm;
+  };
+  std::vector<Word> words;
+  {
+    std::vector<std::string> orig_parts;
+    std::string tmp;
+    for (char c : question) {
+      if (IsSpaceOrPunct(c)) {
+        if (!tmp.empty()) orig_parts.push_back(tmp);
+        tmp.clear();
+      } else {
+        tmp += c;
+      }
+    }
+    if (!tmp.empty()) orig_parts.push_back(tmp);
+    for (std::string& part : orig_parts) {
+      Word w;
+      w.norm = Normalize(part);
+      w.original = std::move(part);
+      // Words that normalize away entirely (bare ¿/¡ tokens) are dropped.
+      if (!w.norm.empty()) words.push_back(std::move(w));
+    }
+  }
+
+  Translation result;
+  std::vector<std::string> out;
+  size_t covered = 0;
+  size_t i = 0;
+  // Tries the phrase table at position i; entries shorter than min_words
+  // are skipped; with names_only, only name-to-name mappings (capitalized
+  // English side: España→Spain, enero→January) are considered. Returns how
+  // many source words were consumed (0 = miss).
+  auto try_table = [&](size_t at, size_t min_words,
+                       bool names_only = false) -> size_t {
+    for (const PhraseEntry& entry : PhraseTable()) {
+      if (names_only &&
+          !std::isupper(static_cast<unsigned char>(entry.en[0]))) {
+        continue;
+      }
+      std::vector<std::string> es_words = SplitWhitespace(entry.es);
+      if (es_words.size() < min_words ||
+          es_words.size() > words.size() - at) {
+        continue;
+      }
+      bool all = true;
+      for (size_t k = 0; k < es_words.size(); ++k) {
+        if (words[at + k].norm != es_words[k]) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      if (entry.en[0] != '\0') out.push_back(entry.en);
+      return es_words.size();
+    }
+    return 0;
+  };
+
+  while (i < words.size()) {
+    // 1. Multiword phrases win outright ("nueva york" → "New York").
+    if (size_t n = try_table(i, 2); n > 0) {
+      covered += n;
+      i += n;
+      continue;
+    }
+    // 2. Known name-to-name mappings beat pass-through (España → Spain).
+    if (size_t n = try_table(i, 1, /*names_only=*/true); n > 0) {
+      covered += n;
+      i += n;
+      continue;
+    }
+    // 3. A capitalized word mid-question is a proper noun and passes
+    // through before single-word entries ("El Prat" keeps its article;
+    // the question-initial capital is not a name).
+    const Word& w = words[i];
+    if ((i > 0 && IsCapitalized(w.original)) || IsNumber(w.norm)) {
+      out.push_back(w.original);
+      ++covered;
+      ++i;
+      continue;
+    }
+    // 3. Single-word table entries.
+    if (size_t n = try_table(i, 1); n > 0) {
+      covered += n;
+      i += n;
+      continue;
+    }
+    // 4. Unknown: kept verbatim, reported.
+    out.push_back(w.original);
+    result.unknown_words.push_back(w.original);
+    ++i;
+  }
+  result.english = Join(out, " ") + "?";
+  // Capitalize the first letter for the tagger.
+  if (!result.english.empty() &&
+      std::islower(static_cast<unsigned char>(result.english[0]))) {
+    result.english[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(result.english[0])));
+  }
+  result.coverage = words.empty()
+                        ? 0.0
+                        : static_cast<double>(covered) /
+                              static_cast<double>(words.size());
+  return result;
+}
+
+Result<AnswerSet> CrossLingualAliQAn::Ask(const std::string& question,
+                                          double min_coverage) {
+  last_ = SpanishTranslator::Translate(question);
+  if (last_.coverage < min_coverage) {
+    std::string unknown = Join(last_.unknown_words, ", ");
+    return Status::InvalidArgument(
+        "translation coverage " + FormatDouble(last_.coverage, 2) +
+        " below threshold; unknown words: " + unknown);
+  }
+  return aliqan_->Ask(last_.english);
+}
+
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,64 @@
+#ifndef DWQA_QA_CROSSLINGUAL_H_
+#define DWQA_QA_CROSSLINGUAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "qa/aliqan.h"
+
+namespace dwqa {
+namespace qa {
+
+/// \brief Result of translating a question.
+struct Translation {
+  std::string english;
+  /// Fraction of source tokens covered by the phrase table (proper nouns
+  /// and numbers count as covered — they pass through).
+  double coverage = 0.0;
+  /// Source words the phrase table did not know (excluding pass-throughs).
+  std::vector<std::string> unknown_words;
+};
+
+/// \brief Spanish → English question translation, phrase-table based.
+///
+/// AliQAn took part in the CLEF *cross-lingual* tasks (paper §4.1, ref.
+/// [2]: "Exploiting Wikipedia and EuroWordNet to Solve Cross-Lingual
+/// Question Answering"); this layer reproduces that capability for the
+/// question types of this corpus: an ordered longest-match phrase table
+/// (interrogative constructions first, then content words, with months and
+/// domain vocabulary), proper nouns and numbers passing through.
+class SpanishTranslator {
+ public:
+  /// Translates one question. Inverted punctuation (¿¡) is dropped and
+  /// accented vowels are normalized before lookup.
+  static Translation Translate(const std::string& spanish_question);
+
+  /// Lowercased, accent-normalized form used for table lookups.
+  static std::string Normalize(const std::string& text);
+};
+
+/// \brief Cross-lingual facade: Spanish question in, AliQAn answers out.
+class CrossLingualAliQAn {
+ public:
+  /// `aliqan` must be indexed and outlive this object.
+  explicit CrossLingualAliQAn(AliQAn* aliqan) : aliqan_(aliqan) {}
+
+  /// Translates, then runs the monolingual search phase. Fails with
+  /// InvalidArgument when translation coverage is below `min_coverage`
+  /// (the cross-lingual systems' guard against untranslatable input).
+  Result<AnswerSet> Ask(const std::string& spanish_question,
+                        double min_coverage = 0.5);
+
+  /// The translation of the last Ask call.
+  const Translation& last_translation() const { return last_; }
+
+ private:
+  AliQAn* aliqan_;
+  Translation last_;
+};
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_CROSSLINGUAL_H_

@@ -1,0 +1,58 @@
+#ifndef DWQA_QA_QUESTION_H_
+#define DWQA_QA_QUESTION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "text/chunker.h"
+#include "text/entities.h"
+#include "text/token.h"
+#include "qa/taxonomy.h"
+
+namespace dwqa {
+namespace qa {
+
+/// \brief Output of AliQAn's Module 1 (question analysis): the syntactic
+/// analysis, the matched question pattern, the expected answer type and the
+/// main Syntactic Blocks to hand to the passage-retrieval module — i.e. the
+/// first four rows of the paper's Table 1.
+struct QuestionAnalysis {
+  std::string question;
+  text::TokenSequence tokens;
+  std::vector<text::SyntacticBlock> blocks;
+
+  /// Matched pattern, in the paper's display form, e.g.
+  /// "[WHAT] [to be] [synonym of weather | temperature] ...".
+  std::string pattern;
+  AnswerType answer_type = AnswerType::kObject;
+  /// Description of what a candidate answer must contain, e.g.
+  /// "Number + [ºC | F]".
+  std::string expected_answer;
+
+  /// The question focus lemma ("temperature", "country"); the focus SB is
+  /// *not* passed to retrieval (Table 1 discussion: figures rarely appear
+  /// next to the word "temperature").
+  std::string focus_lemma;
+
+  /// Main SBs passed to IR-n, as display texts ("January of 2004",
+  /// "El Prat") plus ontology expansions ("Barcelona").
+  std::vector<std::string> main_sbs;
+
+  /// Temporal constraint recognized in the question.
+  std::optional<text::DateMention> date_constraint;
+  /// Location mentioned in the question (surface form, e.g. "El Prat").
+  std::string location;
+  /// City the location resolves to through the ontology (enrichment payoff;
+  /// empty when the ontology cannot resolve it).
+  std::string resolved_city;
+
+  /// "Term Tag Lemma" annotation of the whole question (Table 1, row 2).
+  std::string annotated;
+};
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_QUESTION_H_

@@ -1,0 +1,354 @@
+#include "qa/question_analyzer.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/string_util.h"
+#include "ontology/wsd.h"
+#include "text/entities.h"
+#include "text/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace qa {
+
+using text::SyntacticBlock;
+
+namespace {
+
+bool IsWhTag(const std::string& tag) {
+  return tag == "WP" || tag == "WDT" || tag == "WRB" || tag == "WP$";
+}
+
+bool IsAuxiliaryOnly(const SyntacticBlock& vbc) {
+  for (const text::Token& t : vbc.tokens) {
+    if (t.lemma != "be" && t.lemma != "do" && t.lemma != "have" &&
+        t.tag != "MD" && t.tag != "TO" && t.tag != "RB") {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool QuestionAnalyzer::LemmaUnder(const std::string& lemma,
+                                  const std::string& target) const {
+  if (lemma == target) return true;
+  auto tgt = onto_->FindClass(target);
+  if (!tgt.ok()) return false;
+  for (ontology::ConceptId id : onto_->Find(ToLower(lemma))) {
+    if (onto_->IsA(id, *tgt)) return true;
+  }
+  return false;
+}
+
+std::string QuestionAnalyzer::ResolveCity(
+    const std::string& mention,
+    const std::vector<std::string>& context) const {
+  auto city = onto_->FindClass("city");
+  if (!city.ok()) return "";
+  auto airport = onto_->FindClass("airport");
+
+  // Resolve one sense to a city name ("" when the sense is no location).
+  auto resolve = [&](ontology::ConceptId sense) -> std::string {
+    if (onto_->IsA(sense, *city)) return onto_->GetConcept(sense).name;
+    if (airport.ok() && onto_->IsA(sense, *airport)) {
+      // The city containing the airport, through partOf.
+      for (ontology::ConceptId part :
+           onto_->Related(sense, ontology::RelationKind::kPartOf)) {
+        if (onto_->IsA(part, *city)) return onto_->GetConcept(part).name;
+      }
+      for (ontology::ConceptId part :
+           onto_->Related(sense, ontology::RelationKind::kPartOf)) {
+        if (onto_->GetConcept(part).is_instance) {
+          return onto_->GetConcept(part).name;
+        }
+      }
+    }
+    return "";
+  };
+
+  // The question pattern imposes a location type on the mention ("in X"):
+  // the WSD-preferred sense is tried first, then the remaining senses —
+  // type coercion keeps a resolvable sense alive even when the lexical
+  // context favors a distractor (the JFK-the-president problem).
+  ontology::Wsd wsd(onto_);
+  auto choice = wsd.Disambiguate(ToLower(mention), context);
+  if (choice.ok() && choice->sense != ontology::kInvalidConcept) {
+    std::string resolved = resolve(choice->sense);
+    if (!resolved.empty()) return resolved;
+  }
+  for (ontology::ConceptId sense : onto_->Find(ToLower(mention))) {
+    std::string resolved = resolve(sense);
+    if (!resolved.empty()) return resolved;
+  }
+  return "";
+}
+
+Result<QuestionAnalysis> QuestionAnalyzer::Analyze(
+    const std::string& question) const {
+  if (Trim(question).empty()) {
+    return Status::InvalidArgument("empty question");
+  }
+  QuestionAnalysis qa;
+  qa.question = question;
+  qa.tokens = text::Tokenizer::Tokenize(question);
+  text::PosTagger tagger;
+  tagger.Tag(&qa.tokens);
+  qa.blocks = text::Chunker::Chunk(qa.tokens);
+  qa.annotated = text::Chunker::AnnotateSentence(qa.tokens);
+
+  // ---- Locate the wh-word and the question focus -----------------------
+  std::string wh;
+  size_t wh_index = qa.tokens.size();
+  for (size_t i = 0; i < qa.tokens.size(); ++i) {
+    if (IsWhTag(qa.tokens[i].tag)) {
+      wh = qa.tokens[i].lemma;
+      wh_index = i;
+      break;
+    }
+  }
+  auto block_start = [](const SyntacticBlock& b) -> size_t {
+    const SyntacticBlock* cur = &b;
+    while (cur->tokens.empty() && !cur->children.empty()) {
+      cur = &cur->children.front();
+    }
+    return cur->tokens.empty() ? 0 : cur->tokens.front().begin;
+  };
+  size_t wh_offset =
+      wh_index < qa.tokens.size() ? qa.tokens[wh_index].begin : 0;
+  // Focus NP: the first NP block starting after the wh-word (not inside a
+  // PP). For "which country did Iraq invade" that is "country"; for
+  // "what is the temperature in..." it is "the temperature".
+  const SyntacticBlock* focus_np = nullptr;
+  for (const SyntacticBlock& b : qa.blocks) {
+    if (b.type != SyntacticBlock::Type::kNP) continue;
+    if (block_start(b) < wh_offset) continue;
+    focus_np = &b;
+    break;
+  }
+  qa.focus_lemma = focus_np != nullptr ? focus_np->HeadLemma() : "";
+  const std::string& f = qa.focus_lemma;
+
+  std::vector<std::string> context_lemmas;
+  for (const text::Token& t : qa.tokens) context_lemmas.push_back(t.lemma);
+
+  // ---- Pattern matching: ordered syntactic-semantic rules ---------------
+  auto set = [&](AnswerType type, std::string pattern,
+                 std::string expected) {
+    qa.answer_type = type;
+    qa.pattern = std::move(pattern);
+    qa.expected_answer = std::move(expected);
+  };
+
+  // Count the content SBs other than the focus NP, to recognize the bare
+  // definition shape "What is X?".
+  size_t non_focus_content = 0;
+  for (const SyntacticBlock& b : qa.blocks) {
+    if (&b == focus_np) continue;
+    if (b.type == SyntacticBlock::Type::kVBC && IsAuxiliaryOnly(b)) continue;
+    ++non_focus_content;
+  }
+
+  // Abbreviation pattern cuts across the wh-rules: "What does X stand
+  // for?" — recognized by the stand-for construction anywhere after wh.
+  bool stand_for = false;
+  for (size_t i = 0; i + 1 < qa.tokens.size(); ++i) {
+    if (qa.tokens[i].lemma == "stand" && qa.tokens[i + 1].lower == "for") {
+      stand_for = true;
+    }
+  }
+
+  bool matched = true;
+  if (stand_for) {
+    set(AnswerType::kAbbreviation, "[WHAT] [do] [ABBR] [stand for] ?",
+        "Expansion of the abbreviation");
+  } else if (wh == "what" || wh == "which") {
+    if (LemmaUnder(f, "weather") || LemmaUnder(f, "temperature")) {
+      set(AnswerType::kNumericalMeasure,
+          "[WHAT] [to be] [synonym of weather | temperature] ...",
+          "Number + [\xC2\xBA\x43 | F]");
+    } else if (LemmaUnder(f, "capital")) {
+      set(AnswerType::kPlaceCapital, "[WHAT|WHICH] [synonym of CAPITAL] ...",
+          "Proper noun (hyponym of capital)");
+    } else if (LemmaUnder(f, "country")) {
+      set(AnswerType::kPlaceCountry, "[WHICH] [synonym of COUNTRY] [...]",
+          "Proper noun (hyponym of country)");
+    } else if (LemmaUnder(f, "city")) {
+      set(AnswerType::kPlaceCity, "[WHAT|WHICH] [synonym of CITY] ...",
+          "Proper noun (hyponym of city)");
+    } else if (f == "place" || f == "location" || LemmaUnder(f, "airport")) {
+      set(AnswerType::kPlace, "[WHAT|WHICH] [synonym of PLACE] ...",
+          "Proper noun (hyponym of location)");
+    } else if (f == "year") {
+      set(AnswerType::kTemporalYear, "[WHAT|WHICH] [YEAR] ...",
+          "Four-digit year");
+    } else if (f == "month") {
+      set(AnswerType::kTemporalMonth, "[WHAT|WHICH] [MONTH] ...",
+          "Month name");
+    } else if (f == "date" || f == "day") {
+      set(AnswerType::kTemporalDate, "[WHAT|WHICH] [DATE] ...",
+          "Complete date");
+    } else if (f == "percentage" || f == "percent") {
+      set(AnswerType::kNumericalPercentage,
+          "[WHAT] [synonym of PERCENTAGE] ...", "Number + %");
+    } else if (LemmaUnder(f, "price") || f == "cost") {
+      set(AnswerType::kNumericalEconomic, "[WHAT] [synonym of PRICE] ...",
+          "Number + currency");
+    } else if (LemmaUnder(f, "group")) {
+      set(AnswerType::kGroup, "[WHAT|WHICH] [synonym of GROUP] ...",
+          "Proper noun (hyponym of group)");
+    } else if (LemmaUnder(f, "profession")) {
+      set(AnswerType::kProfession, "[WHAT] [synonym of PROFESSION] ...",
+          "Profession noun");
+    } else if (LemmaUnder(f, "event")) {
+      set(AnswerType::kEvent, "[WHAT|WHICH] [synonym of EVENT] ...",
+          "Event mention");
+    } else if (f == "person") {
+      set(AnswerType::kPerson, "[WHAT|WHICH] [PERSON] ...",
+          "Proper noun (person)");
+    } else if (non_focus_content == 0 && wh == "what") {
+      set(AnswerType::kDefinition, "[WHAT] [to be] [NP] ?",
+          "Defining clause");
+    } else {
+      set(AnswerType::kObject, "[WHAT|WHICH] [NP] ...", "Noun phrase");
+    }
+  } else if (wh == "who" || wh == "whom") {
+    set(AnswerType::kPerson, "[WHO] [VBC] ...", "Proper noun (person)");
+  } else if (wh == "when") {
+    set(AnswerType::kTemporalDate, "[WHEN] [VBC] ...", "Date expression");
+  } else if (wh == "where") {
+    set(AnswerType::kPlace, "[WHERE] [VBC] ...",
+        "Proper noun (hyponym of location)");
+  } else if (wh == "how") {
+    std::string next = wh_index + 1 < qa.tokens.size()
+                           ? qa.tokens[wh_index + 1].lemma
+                           : "";
+    if (next == "many") {
+      set(AnswerType::kNumericalQuantity, "[HOW MANY] [NP] ...", "Number");
+    } else if (next == "much") {
+      bool economic = false;
+      for (const text::Token& t : qa.tokens) {
+        if (t.lemma == "cost" || t.lemma == "price" || t.lemma == "pay" ||
+            t.lemma == "charge") {
+          economic = true;
+        }
+      }
+      set(economic ? AnswerType::kNumericalEconomic
+                   : AnswerType::kNumericalQuantity,
+          "[HOW MUCH] ...", economic ? "Number + currency" : "Number");
+    } else if (next == "old") {
+      set(AnswerType::kNumericalAge, "[HOW OLD] [to be] [NP] ?",
+          "Number of years");
+    } else if (next == "long") {
+      set(AnswerType::kNumericalPeriod, "[HOW LONG] ...",
+          "Number + time unit");
+    } else if (next == "hot" || next == "cold" || next == "warm") {
+      set(AnswerType::kNumericalMeasure, "[HOW HOT|COLD] ...",
+          "Number + [\xC2\xBA\x43 | F]");
+    } else if (next == "far" || next == "tall" || next == "high" ||
+               next == "deep" || next == "fast") {
+      set(AnswerType::kNumericalMeasure, "[HOW FAR|TALL|...] ...",
+          "Number + unit");
+    } else {
+      set(AnswerType::kObject, "[HOW] ...", "Manner description");
+    }
+  } else {
+    matched = false;
+    set(AnswerType::kObject, "[default]", "Noun phrase");
+  }
+  (void)matched;
+
+  // ---- Temporal constraint ----------------------------------------------
+  auto dates = text::EntityRecognizer::FindDates(qa.tokens);
+  if (!dates.empty()) qa.date_constraint = dates.front();
+
+  // ---- Main SBs: every content block except the focus and the wh-word ---
+  // Focus suppression only applies to *attribute* focuses ("temperature",
+  // "country" — Table 1 drops them because the attribute noun rarely sits
+  // next to its value). In where/when/who questions the post-wh NP is the
+  // theme entity itself and must reach retrieval.
+  const bool suppress_focus =
+      !(wh == "where" || wh == "when" || wh == "who" || wh == "whom");
+  auto add_main_sb = [&](const std::string& s) {
+    if (s.empty()) return;
+    for (const std::string& existing : qa.main_sbs) {
+      if (ToLower(existing) == ToLower(s)) return;
+    }
+    qa.main_sbs.push_back(s);
+  };
+  std::function<void(const SyntacticBlock&)> collect =
+      [&](const SyntacticBlock& b) {
+        switch (b.type) {
+          case SyntacticBlock::Type::kNP: {
+            std::string head = b.HeadLemma();
+            if (suppress_focus &&
+                (&b == focus_np || head == qa.focus_lemma)) {
+              // The focus noun itself is not a retrieval term, but its
+              // modifiers are ("the hottest month" contributes "hottest").
+              for (const text::Token& t : b.tokens) {
+                if (t.tag == "JJ" || t.tag == "JJS" || t.tag == "JJR") {
+                  add_main_sb(t.text);
+                }
+              }
+              return;
+            }
+            add_main_sb(b.Text());
+            break;
+          }
+          case SyntacticBlock::Type::kPP:
+            // Use the inner NPs; the preposition itself is not a retrieval
+            // term (Table 1: "[January of 2004] [El Prat]").
+            for (const SyntacticBlock& c : b.children) collect(c);
+            break;
+          case SyntacticBlock::Type::kVBC:
+            if (!IsAuxiliaryOnly(b)) {
+              for (const text::Token& t : b.tokens) {
+                if (t.lemma != "be" && t.lemma != "do" && t.lemma != "have" &&
+                    t.tag != "MD" && t.tag != "TO") {
+                  add_main_sb(t.lemma);
+                }
+              }
+            }
+            break;
+        }
+      };
+  for (const SyntacticBlock& b : qa.blocks) collect(b);
+  // For abbreviation questions the focus IS the abbreviation being asked
+  // about — it must reach the retrieval module.
+  if (qa.answer_type == AnswerType::kAbbreviation && focus_np != nullptr) {
+    add_main_sb(focus_np->Text());
+  }
+
+  // ---- Location resolution through the (merged) ontology ----------------
+  for (const SyntacticBlock& b : qa.blocks) {
+    std::vector<const SyntacticBlock*> nps;
+    if (b.type == SyntacticBlock::Type::kNP) {
+      nps.push_back(&b);
+    } else if (b.type == SyntacticBlock::Type::kPP) {
+      for (const SyntacticBlock& c : b.children) {
+        if (c.type == SyntacticBlock::Type::kNP) nps.push_back(&c);
+      }
+    }
+    for (const SyntacticBlock* np : nps) {
+      if (np->subtype != "properNoun") continue;
+      std::string mention = np->Text();
+      qa.location = mention;
+      std::string city = ResolveCity(mention, context_lemmas);
+      if (!city.empty()) {
+        qa.resolved_city = city;
+        // The city expansion sharpens retrieval (Table 1 adds Barcelona),
+        // but for place-type questions the city may be the *answer* —
+        // injecting it would be circular, so the expansion is skipped.
+        if (!IsPlace(qa.answer_type) && ToLower(city) != ToLower(mention)) {
+          add_main_sb(city);
+        }
+      }
+    }
+  }
+  return qa;
+}
+
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,45 @@
+#ifndef DWQA_QA_QUESTION_ANALYZER_H_
+#define DWQA_QA_QUESTION_ANALYZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ontology/ontology.h"
+#include "qa/question.h"
+
+namespace dwqa {
+namespace qa {
+
+/// \brief AliQAn Module 1: syntactic analysis of the question, elicitation
+/// of its Syntactic Blocks, question-pattern matching, detection of the
+/// expected answer type and selection of the main SBs (paper §4.1).
+///
+/// The ontology supplies the semantic checks of the patterns ("synonym of
+/// weather | temperature", "hyponym of country") and the expansion of
+/// located entities: once Steps 2–3 have merged the DW contents into the
+/// upper ontology, "El Prat" resolves to an airport whose city, Barcelona,
+/// is added to the main SBs — exactly the Table 1 behaviour.
+class QuestionAnalyzer {
+ public:
+  explicit QuestionAnalyzer(const ontology::Ontology* onto) : onto_(onto) {}
+
+  Result<QuestionAnalysis> Analyze(const std::string& question) const;
+
+ private:
+  /// True if `lemma` is, or is a synonym/hyponym of, concept `target` in
+  /// the ontology.
+  bool LemmaUnder(const std::string& lemma, const std::string& target) const;
+
+  /// Resolves a proper-noun mention to a city name via the ontology
+  /// (instance → airport → partOf city, or the mention already being a
+  /// city). Returns "" if unresolvable.
+  std::string ResolveCity(const std::string& mention,
+                          const std::vector<std::string>& context) const;
+
+  const ontology::Ontology* onto_;
+};
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_QUESTION_ANALYZER_H_

@@ -1,0 +1,64 @@
+#include "qa/structured.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace qa {
+
+std::string StructuredFact::ToDisplayString() const {
+  std::string out = "(";
+  out += FormatDouble(value, value == static_cast<int64_t>(value) ? 0 : 1);
+  out += unit;
+  out += " \xE2\x80\x93 ";
+  out += date.has_value() ? date->ToLongString() : "?";
+  out += " \xE2\x80\x93 ";
+  out += location.empty() ? "?" : location;
+  out += " \xE2\x80\x93 ";
+  out += url.empty() ? "?" : url;
+  out += ")";
+  return out;
+}
+
+Result<StructuredFact> ToStructuredFact(const AnswerCandidate& answer,
+                                        const std::string& attribute) {
+  if (!answer.has_value) {
+    return Status::InvalidArgument(
+        "answer '" + answer.answer_text +
+        "' carries no numeric value; cannot feed a measure");
+  }
+  StructuredFact fact;
+  fact.attribute = attribute;
+  fact.value = answer.value;
+  fact.unit = answer.unit;
+  fact.date = answer.date;
+  fact.location = answer.location;
+  fact.url = answer.url;
+  fact.confidence = answer.score;
+  return fact;
+}
+
+std::vector<StructuredFact> ToStructuredFacts(const AnswerSet& answers,
+                                              const std::string& attribute) {
+  std::vector<StructuredFact> out;
+  for (const AnswerCandidate& a : answers.answers) {
+    auto fact = ToStructuredFact(a, attribute);
+    if (fact.ok()) out.push_back(std::move(fact).ValueOrDie());
+  }
+  return out;
+}
+
+std::string StructuredFactsToCsv(const std::vector<StructuredFact>& facts) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"attribute", "value", "unit", "date", "location", "url",
+                  "confidence"});
+  for (const StructuredFact& f : facts) {
+    rows.push_back({f.attribute, FormatDouble(f.value, 2), f.unit,
+                    f.date.has_value() ? f.date->ToIsoString() : "",
+                    f.location, f.url, FormatDouble(f.confidence, 2)});
+  }
+  return Csv::Render(rows);
+}
+
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,50 @@
+#ifndef DWQA_QA_STRUCTURED_H_
+#define DWQA_QA_STRUCTURED_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/result.h"
+#include "qa/answer.h"
+
+namespace dwqa {
+namespace qa {
+
+/// \brief The structured tuple Step 5 feeds into the DW: the paper's
+/// "(temperature – date – city – web page)" database row. The web page URL
+/// is always stored "in order to make the approach robust against errors ...
+/// the user can select the more useful data" (§4.2).
+struct StructuredFact {
+  /// The analyzed attribute ("temperature", "price").
+  std::string attribute;
+  double value = 0.0;
+  std::string unit;
+  std::optional<Date> date;
+  std::string location;
+  std::string url;
+  /// Extraction score of the answer the fact came from.
+  double confidence = 0.0;
+
+  /// "(8ºC – Monday, January 31, 2004 – Barcelona – URL)".
+  std::string ToDisplayString() const;
+};
+
+/// Converts a ranked answer into a structured fact. Fails when the answer
+/// carries no numeric value (nothing to feed the measure column with).
+Result<StructuredFact> ToStructuredFact(const AnswerCandidate& answer,
+                                        const std::string& attribute);
+
+/// Converts every convertible answer of a set, preserving rank order.
+std::vector<StructuredFact> ToStructuredFacts(const AnswerSet& answers,
+                                              const std::string& attribute);
+
+/// Renders facts as CSV (attribute,value,unit,date,location,url,
+/// confidence) — the interchange form of the Step-5 database.
+std::string StructuredFactsToCsv(const std::vector<StructuredFact>& facts);
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_STRUCTURED_H_

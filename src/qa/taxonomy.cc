@@ -1,0 +1,130 @@
+#include "qa/taxonomy.h"
+
+namespace dwqa {
+namespace qa {
+
+const char* AnswerTypeName(AnswerType type) {
+  switch (type) {
+    case AnswerType::kPerson:
+      return "person";
+    case AnswerType::kProfession:
+      return "profession";
+    case AnswerType::kGroup:
+      return "group";
+    case AnswerType::kObject:
+      return "object";
+    case AnswerType::kPlaceCity:
+      return "place city";
+    case AnswerType::kPlaceCountry:
+      return "place country";
+    case AnswerType::kPlaceCapital:
+      return "place capital";
+    case AnswerType::kPlace:
+      return "place";
+    case AnswerType::kAbbreviation:
+      return "abbreviation";
+    case AnswerType::kEvent:
+      return "event";
+    case AnswerType::kNumericalEconomic:
+      return "numerical economic";
+    case AnswerType::kNumericalAge:
+      return "numerical age";
+    case AnswerType::kNumericalMeasure:
+      return "numerical measure";
+    case AnswerType::kNumericalPeriod:
+      return "numerical period";
+    case AnswerType::kNumericalPercentage:
+      return "numerical percentage";
+    case AnswerType::kNumericalQuantity:
+      return "numerical quantity";
+    case AnswerType::kTemporalYear:
+      return "temporal year";
+    case AnswerType::kTemporalMonth:
+      return "temporal month";
+    case AnswerType::kTemporalDate:
+      return "temporal date";
+    case AnswerType::kDefinition:
+      return "definition";
+  }
+  return "?";
+}
+
+const AnswerType* AllAnswerTypes() {
+  static const AnswerType kAll[kAnswerTypeCount] = {
+      AnswerType::kPerson,
+      AnswerType::kProfession,
+      AnswerType::kGroup,
+      AnswerType::kObject,
+      AnswerType::kPlaceCity,
+      AnswerType::kPlaceCountry,
+      AnswerType::kPlaceCapital,
+      AnswerType::kPlace,
+      AnswerType::kAbbreviation,
+      AnswerType::kEvent,
+      AnswerType::kNumericalEconomic,
+      AnswerType::kNumericalAge,
+      AnswerType::kNumericalMeasure,
+      AnswerType::kNumericalPeriod,
+      AnswerType::kNumericalPercentage,
+      AnswerType::kNumericalQuantity,
+      AnswerType::kTemporalYear,
+      AnswerType::kTemporalMonth,
+      AnswerType::kTemporalDate,
+      AnswerType::kDefinition,
+  };
+  return kAll;
+}
+
+bool IsNumerical(AnswerType type) {
+  switch (type) {
+    case AnswerType::kNumericalEconomic:
+    case AnswerType::kNumericalAge:
+    case AnswerType::kNumericalMeasure:
+    case AnswerType::kNumericalPeriod:
+    case AnswerType::kNumericalPercentage:
+    case AnswerType::kNumericalQuantity:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsTemporal(AnswerType type) {
+  return type == AnswerType::kTemporalYear ||
+         type == AnswerType::kTemporalMonth ||
+         type == AnswerType::kTemporalDate;
+}
+
+bool IsPlace(AnswerType type) {
+  return type == AnswerType::kPlaceCity ||
+         type == AnswerType::kPlaceCountry ||
+         type == AnswerType::kPlaceCapital || type == AnswerType::kPlace;
+}
+
+std::string TypeConceptLemma(AnswerType type) {
+  switch (type) {
+    case AnswerType::kPerson:
+      return "person";
+    case AnswerType::kProfession:
+      return "profession";
+    case AnswerType::kGroup:
+      return "group";
+    case AnswerType::kObject:
+      return "entity";
+    case AnswerType::kPlaceCity:
+      return "city";
+    case AnswerType::kPlaceCountry:
+      return "country";
+    case AnswerType::kPlaceCapital:
+      return "capital";
+    case AnswerType::kPlace:
+      return "location";
+    case AnswerType::kEvent:
+      return "event";
+    default:
+      return "";
+  }
+}
+
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,55 @@
+#ifndef DWQA_QA_TAXONOMY_H_
+#define DWQA_QA_TAXONOMY_H_
+
+#include <string>
+
+namespace dwqa {
+namespace qa {
+
+/// \brief AliQAn's answer-type taxonomy (paper §4.1) — exactly the twenty
+/// categories listed there, "based on WordNet Based-Types and EuroWordNet
+/// Top-Concepts".
+enum class AnswerType {
+  kPerson,
+  kProfession,
+  kGroup,
+  kObject,
+  kPlaceCity,
+  kPlaceCountry,
+  kPlaceCapital,
+  kPlace,
+  kAbbreviation,
+  kEvent,
+  kNumericalEconomic,
+  kNumericalAge,
+  kNumericalMeasure,
+  kNumericalPeriod,
+  kNumericalPercentage,
+  kNumericalQuantity,
+  kTemporalYear,
+  kTemporalMonth,
+  kTemporalDate,
+  kDefinition,
+};
+
+constexpr int kAnswerTypeCount = 20;
+
+/// Paper-style name: "person", "numerical economic", "temporal date", ...
+const char* AnswerTypeName(AnswerType type);
+
+/// All twenty types, in declaration order (for sweeps).
+const AnswerType* AllAnswerTypes();
+
+bool IsNumerical(AnswerType type);
+bool IsTemporal(AnswerType type);
+bool IsPlace(AnswerType type);
+
+/// The upper-ontology concept lemma backing a semantic type check
+/// ("person" → person subtree, "place city" → city, ...). Empty for types
+/// checked lexically (numerical/temporal/abbreviation/definition).
+std::string TypeConceptLemma(AnswerType type);
+
+}  // namespace qa
+}  // namespace dwqa
+
+#endif  // DWQA_QA_TAXONOMY_H_

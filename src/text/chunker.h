@@ -1,0 +1,62 @@
+#ifndef DWQA_TEXT_CHUNKER_H_
+#define DWQA_TEXT_CHUNKER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/token.h"
+
+namespace dwqa {
+namespace text {
+
+/// \brief A Syntactic Block (SB) in the sense of AliQAn (paper §4.1).
+///
+/// SUPAR's shallow parse groups a sentence into noun phrases (NP),
+/// prepositional phrases (PP, containing an NP) and verbal heads (VBC). NPs
+/// carry a role (subject/compl) and a lexical subtype (comun, properNoun,
+/// date, numeral, day) — exactly the five-slot annotation of Table 1, e.g.
+/// `<@NP,compl,comun,,>`.
+struct SyntacticBlock {
+  enum class Type { kNP, kPP, kVBC };
+
+  Type type = Type::kNP;
+  std::string role;     ///< "subject", "compl" or "".
+  std::string subtype;  ///< "comun", "properNoun", "date", "numeral", "day".
+  /// Tokens directly inside this block (not inside a child block).
+  TokenSequence tokens;
+  /// Nested blocks: a PP contains its NP; a day-NP contains its date-NP.
+  std::vector<SyntacticBlock> children;
+
+  /// Surface text of the whole block including children, in order.
+  std::string Text() const;
+
+  /// Lemma of the head: the last noun-like token of the block (children
+  /// excluded for PP — the head of a PP is the head of its NP child).
+  std::string HeadLemma() const;
+
+  /// Paper-style annotation: `<@NP,compl,comun,,> the DT the ... <@/NP...>`.
+  std::string Annotated() const;
+
+  /// All lemmas inside the block, depth-first.
+  std::vector<std::string> Lemmas() const;
+};
+
+/// \brief Finite-state shallow parser producing Syntactic Blocks.
+///
+/// Substitutes SUPAR in the AliQAn pipeline. Date entity spans are treated
+/// as atomic NPs of subtype "date" (a weekday immediately before a date
+/// wraps it in an NP of subtype "day", as in the Table 1 passage analysis).
+class Chunker {
+ public:
+  /// Chunks one tagged sentence.
+  static std::vector<SyntacticBlock> Chunk(const TokenSequence& tokens);
+
+  /// Renders the full paper-style annotated form of a chunked sentence,
+  /// including tokens outside any block (wh-words, punctuation).
+  static std::string AnnotateSentence(const TokenSequence& tokens);
+};
+
+}  // namespace text
+}  // namespace dwqa
+
+#endif  // DWQA_TEXT_CHUNKER_H_

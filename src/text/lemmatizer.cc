@@ -1,0 +1,80 @@
+#include "text/lemmatizer.h"
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace text {
+
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+std::string StripPluralNoun(std::string_view w) {
+  // -ies -> -y (cities), -ches/-shes/-xes/-ses/-zes -> drop "es",
+  // -s -> drop (but not -ss, -us, -is).
+  if (EndsWith(w, "ies") && w.size() > 4) {
+    return std::string(w.substr(0, w.size() - 3)) + "y";
+  }
+  if ((EndsWith(w, "ches") || EndsWith(w, "shes") || EndsWith(w, "xes") ||
+       EndsWith(w, "zes") || EndsWith(w, "sses")) &&
+      w.size() > 4) {
+    return std::string(w.substr(0, w.size() - 2));
+  }
+  if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
+      !EndsWith(w, "is") && w.size() > 3) {
+    return std::string(w.substr(0, w.size() - 1));
+  }
+  return std::string(w);
+}
+
+std::string StripVerbSuffix(std::string_view w, std::string_view tag) {
+  if (tag == "VBZ") return StripPluralNoun(w);
+  if (tag == "VBG" && EndsWith(w, "ing") && w.size() > 5) {
+    std::string stem(w.substr(0, w.size() - 3));
+    // Doubled final consonant: "dropping" -> "drop".
+    if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !IsVowel(stem.back())) {
+      stem.pop_back();
+    } else if (stem.size() >= 2 && !IsVowel(stem.back()) &&
+               IsVowel(stem[stem.size() - 2])) {
+      // "making" -> "make": CVC stem usually lost a silent e.
+      stem += 'e';
+    }
+    return stem;
+  }
+  if ((tag == "VBD" || tag == "VBN") && EndsWith(w, "ed") && w.size() > 4) {
+    std::string stem(w.substr(0, w.size() - 2));
+    if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !IsVowel(stem.back())) {
+      stem.pop_back();
+    } else if (EndsWith(stem, "i")) {
+      stem.back() = 'y';  // "carried" -> "carry"
+    } else if (stem.size() >= 2 && !IsVowel(stem.back()) &&
+               IsVowel(stem[stem.size() - 2])) {
+      stem += 'e';  // "arrived" -> "arrive"
+    }
+    return stem;
+  }
+  return std::string(w);
+}
+
+}  // namespace
+
+std::string Lemmatizer::Lemmatize(std::string_view w, std::string_view tag) {
+  if (tag == "NNS") return StripPluralNoun(w);
+  if (tag == "VBZ" || tag == "VBG" || tag == "VBD" || tag == "VBN") {
+    return StripVerbSuffix(w, tag);
+  }
+  if (tag == "JJR" && EndsWith(w, "er") && w.size() > 4) {
+    return std::string(w.substr(0, w.size() - 2));
+  }
+  if (tag == "JJS" && EndsWith(w, "est") && w.size() > 5) {
+    return std::string(w.substr(0, w.size() - 3));
+  }
+  return std::string(w);
+}
+
+}  // namespace text
+}  // namespace dwqa

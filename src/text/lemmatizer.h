@@ -1,0 +1,24 @@
+#ifndef DWQA_TEXT_LEMMATIZER_H_
+#define DWQA_TEXT_LEMMATIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace dwqa {
+namespace text {
+
+/// \brief Suffix-rule lemmatizer for words the lexicon does not know.
+///
+/// Applied after lexicon lookup; the tag chosen by the POS tagger guides the
+/// rule set (nominal vs verbal suffixes).
+class Lemmatizer {
+ public:
+  /// Lemmatizes a lowercase word form given its assigned tag.
+  static std::string Lemmatize(std::string_view lower_form,
+                               std::string_view tag);
+};
+
+}  // namespace text
+}  // namespace dwqa
+
+#endif  // DWQA_TEXT_LEMMATIZER_H_

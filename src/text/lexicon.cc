@@ -1,0 +1,217 @@
+#include "text/lexicon.h"
+
+#include <string>
+
+namespace dwqa {
+namespace text {
+
+void Lexicon::Add(std::string_view form, std::string_view tag,
+                  std::string_view lemma) {
+  entries_[std::string(form)] = LexEntry{std::string(tag), std::string(lemma)};
+}
+
+std::optional<LexEntry> Lexicon::Lookup(std::string_view form) const {
+  auto it = entries_.find(std::string(form));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Lexicon::Contains(std::string_view form) const {
+  return entries_.count(std::string(form)) > 0;
+}
+
+namespace {
+
+Lexicon BuildEnglish() {
+  Lexicon lex;
+  // --- Determiners / pronouns / wh-words -------------------------------
+  for (const char* d : {"the", "a", "an", "this", "that", "these", "those",
+                        "some", "any", "each", "every", "no"}) {
+    lex.Add(d, "DT", d);
+  }
+  lex.Add("what", "WP", "what");
+  lex.Add("who", "WP", "who");
+  lex.Add("whom", "WP", "whom");
+  lex.Add("which", "WDT", "which");
+  lex.Add("whose", "WP$", "whose");
+  lex.Add("where", "WRB", "where");
+  lex.Add("when", "WRB", "when");
+  lex.Add("why", "WRB", "why");
+  lex.Add("how", "WRB", "how");
+  for (const char* p : {"i", "you", "he", "she", "it", "we", "they", "me",
+                        "him", "her", "us", "them"}) {
+    lex.Add(p, "PRP", p);
+  }
+  for (const char* p : {"my", "your", "his", "its", "our", "their"}) {
+    lex.Add(p, "PRP$", p);
+  }
+
+  // --- "to be" gets the combined tags the paper prints -----------------
+  lex.Add("is", "VBZBE", "be");
+  lex.Add("are", "VBPBE", "be");
+  lex.Add("was", "VBDBE", "be");
+  lex.Add("were", "VBDBE", "be");
+  lex.Add("be", "VBBE", "be");
+  lex.Add("been", "VBNBE", "be");
+  lex.Add("being", "VBGBE", "be");
+  lex.Add("am", "VBPBE", "be");
+
+  // --- Auxiliaries and modals ------------------------------------------
+  lex.Add("have", "VBP", "have");
+  lex.Add("has", "VBZ", "have");
+  lex.Add("had", "VBD", "have");
+  lex.Add("having", "VBG", "have");
+  lex.Add("do", "VBP", "do");
+  lex.Add("does", "VBZ", "do");
+  lex.Add("did", "VBD", "do");
+  lex.Add("done", "VBN", "do");
+  for (const char* m : {"can", "could", "may", "might", "must", "shall",
+                        "should", "will", "would"}) {
+    lex.Add(m, "MD", m);
+  }
+  lex.Add("not", "RB", "not");
+  lex.Add("n't", "RB", "not");
+  lex.Add("to", "TO", "to");
+
+  // --- Prepositions; "of" keeps its dedicated OF tag (Table 1) ---------
+  lex.Add("of", "OF", "of");
+  for (const char* in :
+       {"in", "on", "at", "by", "with", "from", "into", "during", "about",
+        "against", "between", "through", "over", "under", "after", "before",
+        "around", "near", "like", "per", "for", "as", "without", "within"}) {
+    lex.Add(in, "IN", in);
+  }
+  for (const char* cc : {"and", "or", "but", "nor", "yet"}) {
+    lex.Add(cc, "CC", cc);
+  }
+
+  // --- Irregular verbs the corpora use ----------------------------------
+  struct VerbForms {
+    const char* lemma;
+    const char* third;
+    const char* past;
+    const char* participle;
+    const char* gerund;
+  };
+  static const VerbForms kVerbs[] = {
+      {"sell", "sells", "sold", "sold", "selling"},
+      {"buy", "buys", "bought", "bought", "buying"},
+      {"fly", "flies", "flew", "flown", "flying"},
+      {"rise", "rises", "rose", "risen", "rising"},
+      {"fall", "falls", "fell", "fallen", "falling"},
+      {"go", "goes", "went", "gone", "going"},
+      {"make", "makes", "made", "made", "making"},
+      {"take", "takes", "took", "taken", "taking"},
+      {"win", "wins", "won", "won", "winning"},
+      {"cost", "costs", "cost", "cost", "costing"},
+      {"invade", "invades", "invaded", "invaded", "invading"},
+      {"shine", "shines", "shone", "shone", "shining"},
+      {"reach", "reaches", "reached", "reached", "reaching"},
+      {"depart", "departs", "departed", "departed", "departing"},
+      {"arrive", "arrives", "arrived", "arrived", "arriving"},
+      {"record", "records", "recorded", "recorded", "recording"},
+      {"report", "reports", "reported", "reported", "reporting"},
+      {"expect", "expects", "expected", "expected", "expecting"},
+      {"found", "founds", "founded", "founded", "founding"},
+      {"serve", "serves", "served", "served", "serving"},
+      {"offer", "offers", "offered", "offered", "offering"},
+      {"charge", "charges", "charged", "charged", "charging"},
+      {"measure", "measures", "measured", "measured", "measuring"},
+      {"drop", "drops", "dropped", "dropped", "dropping"},
+      {"stay", "stays", "stayed", "stayed", "staying"},
+      {"remain", "remains", "remained", "remained", "remaining"},
+      {"become", "becomes", "became", "become", "becoming"},
+      {"begin", "begins", "began", "begun", "beginning"},
+      {"open", "opens", "opened", "opened", "opening"},
+      {"close", "closes", "closed", "closed", "closing"},
+      {"stand", "stands", "stood", "stood", "standing"},
+      {"perform", "performs", "performed", "performed", "performing"},
+      {"operate", "operates", "operated", "operated", "operating"},
+  };
+  for (const auto& v : kVerbs) {
+    lex.Add(v.lemma, "VB", v.lemma);
+    lex.Add(v.third, "VBZ", v.lemma);
+    // Participle first so that when past == participle ("invaded") the
+    // more frequent simple-past VBD reading wins.
+    lex.Add(v.participle, "VBN", v.lemma);
+    lex.Add(v.past, "VBD", v.lemma);
+    lex.Add(v.gerund, "VBG", v.lemma);
+  }
+
+  // --- Irregular noun plurals -------------------------------------------
+  static const char* kIrregularNouns[][2] = {
+      {"people", "person"}, {"children", "child"}, {"men", "man"},
+      {"women", "woman"},   {"feet", "foot"},      {"mice", "mouse"},
+      {"aircraft", "aircraft"},                    {"data", "datum"},
+      {"degrees", "degree"},
+  };
+  for (const auto& n : kIrregularNouns) lex.Add(n[0], "NNS", n[1]);
+
+  // --- Months and weekday names: proper nouns (Table 1: "January NP") ---
+  for (const char* m :
+       {"january", "february", "march", "april", "may", "june", "july",
+        "august", "september", "october", "november", "december"}) {
+    lex.Add(m, "NP", m);
+  }
+  for (const char* d : {"monday", "tuesday", "wednesday", "thursday",
+                        "friday", "saturday", "sunday"}) {
+    lex.Add(d, "NP", d);
+  }
+
+  // --- Open-class domain vocabulary (weather / aviation / commerce) -----
+  static const char* kCommonNouns[] = {
+      "weather",     "temperature", "sky",        "rain",     "snow",
+      "wind",        "humidity",    "forecast",   "climate",  "degree",
+      "scale",       "flight",      "ticket",     "sale",     "price",
+      "fare",        "seat",        "mile",       "airport",  "airline",
+      "city",        "country",     "state",      "capital",  "customer",
+      "traveler",    "passenger",   "date",       "day",      "month",
+      "year",        "quarter",     "company",    "report",   "email",
+      "document",    "page",        "table",      "product",  "promotion",
+      "benefit",     "analysis",    "star",       "universe", "sentence",
+      "answer",      "question",    "destination","origin",   "minute",
+      "discount",    "revenue",     "profit",     "cost",     "route",
+      "terminal",    "gate",        "crew",       "pilot",    "storm",
+      "cloud",       "sun",         "profession", "group",    "event",
+      "abbreviation","definition",  "object",     "place",    "person",
+      "today",       "temperatures","conditions", "condition","average",
+      "high",        "low",         "maximum",    "minimum",  "euro",
+      "dollar",      "percent",     "age",        "height",   "distance",
+      "length",      "width",       "depth",      "speed",    "duration",
+      "period",      "quantity",    "number",     "amount",   "population",
+  };
+  for (const char* n : kCommonNouns) lex.Add(n, "NN", n);
+
+  static const char* kAdjectives[] = {
+      "clear",  "cloudy", "sunny",   "rainy",  "windy",   "cold",
+      "warm",   "hot",    "mild",    "last",   "first",   "next",
+      "new",    "old",    "big",     "small",  "cheap",   "expensive",
+      "bright", "brightest",         "visible","average", "daily",
+      "late",   "early",  "direct",  "main",   "many",    "much",
+      "several","few",    "good",    "best",   "bad",     "worst",
+      "high",   "low",    "maximum", "minimum","long",    "short",
+  };
+  for (const char* a : kAdjectives) lex.Add(a, "JJ", a);
+  // Preferred noun readings override where both exist above: re-add nouns
+  // whose noun reading should win in our corpora.
+  lex.Add("last", "JJ", "last");
+
+  static const char* kAdverbs[] = {"today", "yesterday", "tomorrow", "very",
+                                   "too",   "also",      "only",     "now",
+                                   "then",  "here",      "there",    "daily"};
+  for (const char* r : kAdverbs) lex.Add(r, "RB", r);
+  // "today" appears as a noun in the Table 1 passage analysis.
+  lex.Add("today", "NN", "today");
+
+  return lex;
+}
+
+}  // namespace
+
+const Lexicon& Lexicon::BuiltinEnglish() {
+  static const Lexicon* kLexicon = new Lexicon(BuildEnglish());
+  return *kLexicon;
+}
+
+}  // namespace text
+}  // namespace dwqa

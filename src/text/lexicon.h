@@ -1,0 +1,54 @@
+#ifndef DWQA_TEXT_LEXICON_H_
+#define DWQA_TEXT_LEXICON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dwqa {
+namespace text {
+
+/// \brief One lexicon reading of a word form.
+struct LexEntry {
+  /// Tag in the paper's tagset (see token.h). Forms of "to be" get the
+  /// combined tags the paper prints ("VBZBE" for "is").
+  std::string tag;
+  /// Canonical lemma.
+  std::string lemma;
+};
+
+/// \brief Full-form lexicon backing the POS tagger and lemmatizer.
+///
+/// Plays the role of the Maco+/TreeTagger lexical resources the paper's
+/// AliQAn indexation phase uses: closed-class words, irregular verb and noun
+/// forms, month/day names and a seed of open-class domain vocabulary
+/// (weather, aviation, commerce). Unknown words fall through to the tagger's
+/// suffix rules.
+class Lexicon {
+ public:
+  Lexicon() = default;
+
+  /// The built-in English lexicon (constructed once, ~500 forms).
+  static const Lexicon& BuiltinEnglish();
+
+  /// Registers a reading for `form` (lowercase expected). Later registrations
+  /// overwrite earlier ones — domain tuning can re-tag a builtin form.
+  void Add(std::string_view form, std::string_view tag,
+           std::string_view lemma);
+
+  /// Looks up a lowercase form.
+  std::optional<LexEntry> Lookup(std::string_view form) const;
+
+  bool Contains(std::string_view form) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, LexEntry> entries_;
+};
+
+}  // namespace text
+}  // namespace dwqa
+
+#endif  // DWQA_TEXT_LEXICON_H_

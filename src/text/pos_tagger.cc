@@ -1,0 +1,113 @@
+#include "text/pos_tagger.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/lemmatizer.h"
+
+namespace dwqa {
+namespace text {
+
+namespace {
+
+bool IsOrdinal(const std::string& lower) {
+  if (lower.size() < 3) return false;
+  std::string_view sv(lower);
+  if (!(EndsWith(sv, "st") || EndsWith(sv, "nd") || EndsWith(sv, "rd") ||
+        EndsWith(sv, "th"))) {
+    return false;
+  }
+  return IsDigits(sv.substr(0, sv.size() - 2));
+}
+
+std::string SuffixTag(const std::string& w) {
+  std::string_view sv(w);
+  if (EndsWith(sv, "ly") && w.size() > 4) return "RB";
+  if (EndsWith(sv, "ing") && w.size() > 5) return "VBG";
+  if (EndsWith(sv, "ed") && w.size() > 4) return "VBD";
+  if (EndsWith(sv, "est") && w.size() > 5) return "JJS";
+  for (std::string_view adj : {"ous", "ful", "ive", "ic", "al", "able",
+                               "ible", "ant", "ent", "less"}) {
+    if (EndsWith(sv, adj) && w.size() > adj.size() + 2) return "JJ";
+  }
+  for (std::string_view noun : {"tion", "sion", "ment", "ness", "ity",
+                                "ship", "hood", "ism", "ist", "ure"}) {
+    if (EndsWith(sv, noun) && w.size() > noun.size() + 2) return "NN";
+  }
+  if (EndsWith(sv, "s") && !EndsWith(sv, "ss") && w.size() > 3) return "NNS";
+  return "NN";
+}
+
+}  // namespace
+
+void PosTagger::Tag(TokenSequence* tokens) const {
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    Token& t = (*tokens)[i];
+    const std::string& w = t.text;
+    const std::string& lw = t.lower;
+    // 1. Punctuation / degree sign.
+    if (w == "\xC2\xBA") {
+      t.tag = "NN";  // Table 1 analyzes the degree sign as "º NN º".
+      t.lemma = w;
+      continue;
+    }
+    // 2. Numbers and ordinals (checked before punctuation so signed
+    // numbers like "-5" keep their CD reading).
+    if (IsNumber(lw)) {
+      t.tag = "CD";
+      t.lemma = lw;
+      continue;
+    }
+    if (IsOrdinal(lw)) {
+      t.tag = "OD";
+      t.lemma = lw.substr(0, lw.size() - 2);
+      continue;
+    }
+    unsigned char c0 = static_cast<unsigned char>(w[0]);
+    if (!std::isalnum(c0) && c0 < 0x80) {
+      if (w == "?" || w == "!" || (w == "." && i + 1 == tokens->size())) {
+        t.tag = "SENT";
+      } else {
+        t.tag = w;
+      }
+      t.lemma = w;
+      continue;
+    }
+    // 3. Lexicon reading.
+    if (auto entry = lexicon_->Lookup(lw)) {
+      t.tag = entry->tag;
+      t.lemma = entry->lemma;
+      // A capitalized month/day name keeps the NP reading; a capitalized
+      // known common word mid-text stays with its lexicon tag.
+      continue;
+    }
+    // 4. Capitalized unknown word → proper noun. Single uppercase letters
+    // (the "C" and "F" of temperature scales) are proper nouns in Table 1.
+    if (IsCapitalized(w)) {
+      t.tag = "NP";
+      t.lemma = lw;
+      continue;
+    }
+    // 5./6. Suffix heuristics with NN default.
+    t.tag = SuffixTag(lw);
+    t.lemma = Lemmatizer::Lemmatize(lw, t.tag);
+  }
+  // Post-pass: a capitalized open-class word directly before a capitalized
+  // proper noun is part of the name ("New York", "Greater London") even
+  // when the lexicon knows it as an adjective or noun. Right-to-left so
+  // chains propagate.
+  for (size_t i = tokens->size(); i-- > 1;) {
+    Token& t = (*tokens)[i - 1];
+    const Token& next = (*tokens)[i];
+    if (next.tag == "NP" && IsCapitalized(next.text) &&
+        IsCapitalized(t.text) &&
+        (t.tag == "JJ" || t.tag == "JJR" || t.tag == "JJS" ||
+         t.tag == "NN" || t.tag == "NNS")) {
+      t.tag = "NP";
+      t.lemma = t.lower;
+    }
+  }
+}
+
+}  // namespace text
+}  // namespace dwqa

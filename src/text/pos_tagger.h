@@ -1,0 +1,40 @@
+#ifndef DWQA_TEXT_POS_TAGGER_H_
+#define DWQA_TEXT_POS_TAGGER_H_
+
+#include "text/lexicon.h"
+#include "text/token.h"
+
+namespace dwqa {
+namespace text {
+
+/// \brief Lexicon + suffix-rule part-of-speech tagger.
+///
+/// Plays the role of Maco+/TreeTagger in AliQAn's indexation phase
+/// (paper §4.1). Tagging priority per token:
+///   1. punctuation → literal tag ('?' at sentence end → SENT, Table 1);
+///   2. numbers → CD, ordinals → OD;
+///   3. lexicon reading;
+///   4. capitalized unknown word → NP (proper noun);
+///   5. suffix heuristics (-ly RB, -ing VBG, -ed VBD, -s NNS, adjectival
+///      endings JJ);
+///   6. default NN.
+/// Lemmas come from the lexicon or the Lemmatizer.
+class PosTagger {
+ public:
+  /// Tags with the built-in English lexicon.
+  PosTagger() : lexicon_(&Lexicon::BuiltinEnglish()) {}
+
+  /// Tags with a caller-supplied lexicon (domain tuning).
+  explicit PosTagger(const Lexicon* lexicon) : lexicon_(lexicon) {}
+
+  /// Tags and lemmatizes `tokens` in place.
+  void Tag(TokenSequence* tokens) const;
+
+ private:
+  const Lexicon* lexicon_;
+};
+
+}  // namespace text
+}  // namespace dwqa
+
+#endif  // DWQA_TEXT_POS_TAGGER_H_

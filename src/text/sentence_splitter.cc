@@ -1,0 +1,69 @@
+#include "text/sentence_splitter.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace text {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kAbbreviations = {
+    "mr", "mrs", "dr", "st", "vs", "etc", "jr", "prof"};
+
+bool EndsWithAbbreviation(std::string_view text, size_t dot_pos) {
+  size_t end = dot_pos;
+  size_t start = end;
+  while (start > 0 &&
+         std::isalpha(static_cast<unsigned char>(text[start - 1]))) {
+    --start;
+  }
+  if (start == end) return false;
+  std::string word = ToLower(text.substr(start, end - start));
+  // Single letters ("U.S.") also count as abbreviation parts.
+  if (word.size() == 1) return true;
+  for (std::string_view abbr : kAbbreviations) {
+    if (word == abbr) return true;
+  }
+  return false;
+}
+
+bool IsDecimalDot(std::string_view text, size_t pos) {
+  return pos > 0 && pos + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos - 1])) &&
+         std::isdigit(static_cast<unsigned char>(text[pos + 1]));
+}
+
+}  // namespace
+
+std::vector<std::string> SentenceSplitter::Split(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  auto flush = [&] {
+    std::string trimmed = Trim(current);
+    if (!trimmed.empty()) sentences.push_back(std::move(trimmed));
+    current.clear();
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\n') {
+      // The corpora are line-oriented; a newline ends a sentence.
+      flush();
+      continue;
+    }
+    current += c;
+    if (c == '!' || c == '?') {
+      flush();
+    } else if (c == '.') {
+      if (IsDecimalDot(text, i) || EndsWithAbbreviation(text, i)) continue;
+      flush();
+    }
+  }
+  flush();
+  return sentences;
+}
+
+}  // namespace text
+}  // namespace dwqa

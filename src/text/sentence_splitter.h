@@ -1,0 +1,25 @@
+#ifndef DWQA_TEXT_SENTENCE_SPLITTER_H_
+#define DWQA_TEXT_SENTENCE_SPLITTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwqa {
+namespace text {
+
+/// \brief Splits plain text into sentences.
+///
+/// Sentence boundaries are '.', '!' and '?' not preceded by a known
+/// abbreviation and not inside a decimal number, plus blank lines and single
+/// newlines (the synthetic web pages are line-oriented, like the weather page
+/// in the paper's Figure 4).
+class SentenceSplitter {
+ public:
+  static std::vector<std::string> Split(std::string_view plain_text);
+};
+
+}  // namespace text
+}  // namespace dwqa
+
+#endif  // DWQA_TEXT_SENTENCE_SPLITTER_H_

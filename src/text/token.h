@@ -1,0 +1,47 @@
+#ifndef DWQA_TEXT_TOKEN_H_
+#define DWQA_TEXT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace dwqa {
+namespace text {
+
+/// \brief One token of analyzed text.
+///
+/// `tag` uses the tagset the paper displays in Table 1: NP (proper noun),
+/// NN/NNS (common noun), CD (number), OD (ordinal), IN/OF (preposition),
+/// DT (determiner), WP/WDT/WRB (wh-words), VB* (verbs, with the lexical
+/// "VBZBE"-style refinement for forms of "to be"), JJ, RB, SENT, and literal
+/// punctuation tags.
+struct Token {
+  /// Surface form, e.g. "Barcelona".
+  std::string text;
+  /// Lowercased surface form.
+  std::string lower;
+  /// Lemma assigned by the lemmatizer/lexicon, e.g. "be" for "is".
+  std::string lemma;
+  /// Part-of-speech tag.
+  std::string tag;
+  /// Character offsets into the original string ([begin, end)).
+  size_t begin = 0;
+  size_t end = 0;
+
+  Token() = default;
+  Token(std::string t, size_t b, size_t e)
+      : text(std::move(t)), begin(b), end(e) {}
+
+  /// "Term Tag Lemma" — the per-token rendering used in the paper's Table 1.
+  std::string Annotated() const { return text + " " + tag + " " + lemma; }
+};
+
+/// A sentence is a span of tokens.
+using TokenSequence = std::vector<Token>;
+
+/// Joins token surface forms with single spaces.
+std::string TokensToText(const TokenSequence& tokens, size_t begin, size_t end);
+
+}  // namespace text
+}  // namespace dwqa
+
+#endif  // DWQA_TEXT_TOKEN_H_

@@ -1,0 +1,121 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || c == '\'' || c == '-';
+}
+
+bool IsDegreeSignAt(std::string_view s, size_t i) {
+  // U+00BA (masculine ordinal, used in the paper) or U+00B0 (degree sign),
+  // both UTF-8 encoded as 0xC2 followed by 0xBA / 0xB0.
+  return i + 1 < s.size() && static_cast<unsigned char>(s[i]) == 0xC2 &&
+         (static_cast<unsigned char>(s[i + 1]) == 0xBA ||
+          static_cast<unsigned char>(s[i + 1]) == 0xB0);
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string TokensToText(const TokenSequence& tokens, size_t begin,
+                         size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+TokenSequence Tokenizer::Tokenize(std::string_view s) {
+  TokenSequence tokens;
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsDegreeSignAt(s, i)) {
+      tokens.emplace_back("\xC2\xBA", start, i + 2);
+      i += 2;
+      continue;
+    }
+    if (IsDigit(s[i]) ||
+        ((s[i] == '-' || s[i] == '+') && i + 1 < s.size() &&
+         IsDigit(s[i + 1]))) {
+      // Number: optional sign, digits, at most one interior decimal point,
+      // then an optional ordinal suffix (st/nd/rd/th).
+      ++i;
+      bool saw_dot = false;
+      while (i < s.size()) {
+        if (IsDigit(s[i])) {
+          ++i;
+        } else if (s[i] == '.' && !saw_dot && i + 1 < s.size() &&
+                   IsDigit(s[i + 1])) {
+          saw_dot = true;
+          ++i;
+        } else {
+          break;
+        }
+      }
+      // Ordinal suffix glued to the digits: "12th", "1st", "2nd", "3rd".
+      if (i + 1 < s.size() + 1) {
+        std::string_view rest = s.substr(i);
+        for (std::string_view suffix : {"st", "nd", "rd", "th"}) {
+          if (StartsWith(rest, suffix) &&
+              (i + suffix.size() == s.size() ||
+               !IsWordChar(s[i + suffix.size()]))) {
+            i += suffix.size();
+            break;
+          }
+        }
+      }
+      tokens.emplace_back(std::string(s.substr(start, i - start)), start, i);
+      continue;
+    }
+    if (std::isalpha(c)) {
+      ++i;
+      while (i < s.size() && IsWordChar(s[i])) {
+        // Do not swallow a trailing apostrophe or hyphen.
+        if ((s[i] == '\'' || s[i] == '-') &&
+            (i + 1 >= s.size() ||
+             !std::isalnum(static_cast<unsigned char>(s[i + 1])))) {
+          break;
+        }
+        ++i;
+      }
+      tokens.emplace_back(std::string(s.substr(start, i - start)), start, i);
+      continue;
+    }
+    if (c >= 0x80) {
+      // Other non-ASCII byte sequence: consume the full UTF-8 code point as
+      // one token so offsets stay consistent.
+      ++i;
+      while (i < s.size() && (static_cast<unsigned char>(s[i]) & 0xC0) == 0x80)
+        ++i;
+      tokens.emplace_back(std::string(s.substr(start, i - start)), start, i);
+      continue;
+    }
+    // Single punctuation character.
+    ++i;
+    tokens.emplace_back(std::string(s.substr(start, 1)), start, i);
+  }
+  for (Token& t : tokens) t.lower = ToLower(t.text);
+  return tokens;
+}
+
+}  // namespace text
+}  // namespace dwqa

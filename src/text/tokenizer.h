@@ -1,0 +1,31 @@
+#ifndef DWQA_TEXT_TOKENIZER_H_
+#define DWQA_TEXT_TOKENIZER_H_
+
+#include <string_view>
+
+#include "text/token.h"
+
+namespace dwqa {
+namespace text {
+
+/// \brief Rule-based tokenizer for the ASCII+degree-sign corpora of this
+/// project.
+///
+/// Behaviour the downstream QA modules rely on:
+///   - decimal numbers stay one token ("46.4");
+///   - ordinals stay one token ("12th");
+///   - the degree sign (U+00BA or U+00B0, both normalized to "º") is its own
+///     token, so "8ºC" becomes the three tokens the paper shows in Table 1:
+///     "8", "º", "C";
+///   - punctuation marks are single-character tokens;
+///   - hyphenated words are kept together ("cross-lingual").
+class Tokenizer {
+ public:
+  /// Tokenizes `sentence` (no sentence splitting; see SentenceSplitter).
+  static TokenSequence Tokenize(std::string_view sentence);
+};
+
+}  // namespace text
+}  // namespace dwqa
+
+#endif  // DWQA_TEXT_TOKENIZER_H_

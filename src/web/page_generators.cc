@@ -1,0 +1,191 @@
+#include "web/page_generators.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace web {
+
+Result<double> PageGenerators::PublishedTemperature(const WeatherModel& model,
+                                                    const std::string& city,
+                                                    const Date& date) {
+  DWQA_ASSIGN_OR_RETURN(double c, model.TemperatureCelsius(city, date));
+  return std::round(c);
+}
+
+Result<std::string> PageGenerators::ProseWeatherPage(const WeatherModel& model,
+                                                     const std::string& city,
+                                                     int year, int month,
+                                                     ProseStyle style) {
+  DWQA_RETURN_NOT_OK(Date::Make(year, month, 1).status());
+  std::string html = "<html><head><title>" + city + " Weather in " +
+                     Date(year, month, 1).MonthName() + " " +
+                     std::to_string(year) + "</title></head>\n<body>\n";
+  html += "<p>Historical weather conditions in " + city + " during " +
+          Date(year, month, 1).MonthName() + " " + std::to_string(year) +
+          ".</p>\n";
+  int days = Date::DaysInMonth(year, month);
+  // Newest first, as on the blog-style page of Figure 4.
+  for (int d = days; d >= 1; --d) {
+    Date date(year, month, d);
+    DWQA_ASSIGN_OR_RETURN(double c, PublishedTemperature(model, city, date));
+    double f = WeatherModel::CelsiusToFahrenheit(c);
+    DWQA_ASSIGN_OR_RETURN(std::string cond, model.Condition(city, date));
+    html += "<p>" + date.ToLongString() + "</p>\n";
+    std::string reading;
+    switch (style) {
+      case ProseStyle::kCelsiusWithFahrenheit:
+        reading = FormatDouble(c, 0) + "\xC2\xBA C around " +
+                  FormatDouble(f, 1) + " F";
+        break;
+      case ProseStyle::kFahrenheitWithCelsius:
+        reading = FormatDouble(f, 1) + " F around " + FormatDouble(c, 0) +
+                  "\xC2\xBA C";
+        break;
+      case ProseStyle::kFahrenheitOnly:
+        reading = FormatDouble(f, 1) + " F";
+        break;
+    }
+    html += "<p>" + city + " Weather: Temperature " + reading + " " + cond +
+            " today</p>\n";
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+Result<std::string> PageGenerators::TableWeatherPage(const WeatherModel& model,
+                                                     const std::string& city,
+                                                     int year, int month) {
+  DWQA_RETURN_NOT_OK(Date::Make(year, month, 1).status());
+  std::string html = "<html><head><title>" + city +
+                     " monthly weather table</title></head>\n<body>\n";
+  html += "<h1>" + city + " weather, " + Date(year, month, 1).MonthName() +
+          " " + std::to_string(year) + "</h1>\n<table>\n";
+  html +=
+      "<tr><th>Date</th><th>High (\xC2\xBA\x43)</th><th>Low "
+      "(\xC2\xBA\x43)</th><th>Conditions</th></tr>\n";
+  int days = Date::DaysInMonth(year, month);
+  for (int d = 1; d <= days; ++d) {
+    Date date(year, month, d);
+    DWQA_ASSIGN_OR_RETURN(double mean, PublishedTemperature(model, city,
+                                                            date));
+    // High/low straddle the daily mean; the *published mean* is what the
+    // ground truth records ((high+low)/2 == mean).
+    double high = mean + 3.0;
+    double low = mean - 3.0;
+    DWQA_ASSIGN_OR_RETURN(std::string cond, model.Condition(city, date));
+    // Cells carry a bare degree sign; the scale letter lives only in the
+    // header — after naive tag stripping the measure-unit association is
+    // lost, the paper's Figure 5 failure mode.
+    html += "<tr><td>" + date.MonthName() + " " + std::to_string(d) + ", " +
+            std::to_string(year) + "</td><td>" + FormatDouble(high, 0) +
+            "\xC2\xBA</td><td>" + FormatDouble(low, 0) + "\xC2\xBA</td><td>" +
+            cond + "</td></tr>\n";
+  }
+  html += "</table>\n</body></html>\n";
+  return html;
+}
+
+std::string PageGenerators::PricePage(const std::string& airline,
+                                      const std::string& origin_city,
+                                      const std::string& destination_city,
+                                      int year, int month, double fare_eur) {
+  std::string page = airline + " special offers.\n";
+  page += "Fly with " + airline + " from " + origin_city + " to " +
+          destination_city + " in " + Date(year, month, 1).MonthName() +
+          " of " + std::to_string(year) + ".\n";
+  page += "The price of a one-way ticket from " + origin_city + " to " +
+          destination_city + " is " + FormatDouble(fare_eur, 0) +
+          " euros.\n";
+  page += "Book now and travel from " + origin_city + " to " +
+          destination_city + " at the best fare.\n";
+  return page;
+}
+
+namespace {
+
+const std::vector<std::string>& NoiseTemplates() {
+  static const auto* kTemplates = new std::vector<std::string>{
+      // The ambiguity distractors of the paper's Step 2 discussion: without
+      // the enriched ontology, "JFK", "John Wayne", "La Guardia" and
+      // "El Prat" read as people or musical groups.
+      "John F. Kennedy, often called JFK, was the 35th president of the "
+      "United States.\nJFK was born in 1917 and led the country until "
+      "1963.\nIn 1963 John F. Kennedy was 46 years old.",
+      "John Wayne was a famous actor from the United States.\nJohn Wayne "
+      "worked as an actor in many western films.\nThe profession of John "
+      "Wayne was actor.",
+      "La Guardia is a Spanish musical group founded in Granada.\nThe "
+      "musical group La Guardia performed in Madrid in 1998.\nLa Guardia "
+      "recorded many pop-rock songs.",
+      "El Prat is the name of a Spanish musical group.\nThe band El Prat "
+      "plays traditional music from Catalonia.",
+      // Generic news noise with numbers and dates that must NOT be mistaken
+      // for temperatures or weather facts.
+      "The stock market index rose by 340 points on Monday.\nAnalysts "
+      "expected an increase of 120 points.\nThe financial crisis of 1998 "
+      "was discussed in New York.",
+      "A marathon with 9 runners from 46 countries took place in Rome.\n"
+      "The winner finished the race in 2 hours.\nThe race was held in "
+      "October of 1997.",
+      "The museum of Madrid opened a new exhibition with 46 paintings.\n"
+      "More than 8 thousand visitors came during the first week.",
+      "The council approved a budget of 120 million euros for the new "
+      "metro line.\nConstruction takes 4 years and creates 2300 jobs.",
+      "The library of Paris holds 9 million books.\nIts oldest manuscript "
+      "dates from the year 1201.",
+      "A chess tournament with 46 players was held in Valencia.\nThe final "
+      "game took 5 hours and ended in a draw.",
+  };
+  return *kTemplates;
+}
+
+}  // namespace
+
+size_t PageGenerators::NoiseTemplateCount() { return NoiseTemplates().size(); }
+
+std::string PageGenerators::NoisePage(size_t index, Rng* rng) {
+  const auto& templates = NoiseTemplates();
+  std::string page = templates[index % templates.size()];
+  // Make repeated uses of a template distinct with a deterministic footer.
+  if (rng != nullptr) {
+    page += "\nArticle number " + std::to_string(rng->NextBelow(100000)) +
+            " of the archive.";
+  }
+  return page;
+}
+
+std::vector<std::string> PageGenerators::EncyclopediaPages() {
+  return {
+      "All stars shine but none do it like Sirius, the brightest star in "
+      "the night sky.\nSirius is the brightest star visible in the "
+      "universe.\nSirius is a celestial body of hot gases.",
+      "Iraq invaded Kuwait in 1990.\nThe invasion of Kuwait started the "
+      "Gulf War.\nKuwait is a small country on the Persian Gulf.",
+      "Madrid is the capital of Spain.\nMadrid is the largest city of the "
+      "country.",
+      "El Prat airport is located in the city of Barcelona.\nEl Prat "
+      "serves flights to the whole of Europe.\nKennedy International "
+      "Airport is located in New York.",
+      "Kennedy International Airport opened in 1948.\nThe airport of New "
+      "York handles 120 flights per day to Europe.",
+      "DW stands for Data Warehouse.\nA data warehouse is a central "
+      "repository of integrated data from several sources.",
+      "The Olympic Games took place in Barcelona in 1992.\nThe Olympic "
+      "Games are a famous competition.",
+      "The flight from Barcelona to Paris takes 2 hours.\nA direct flight "
+      "from Madrid to London takes 2 hours too.",
+      "In 2004, 12 percent of all seats were sold at the last minute.\n"
+      "Last minute sales grow every year.",
+      "The airline operates 120 flights per day.\nIts fleet has 46 "
+      "airplanes.",
+      "The hottest month in Barcelona is July.\nThe coldest month in "
+      "Barcelona is January.",
+      "The average age of the airline fleet is 9 years.\nThe oldest "
+      "airplane is 21 years old.",
+  };
+}
+
+}  // namespace web
+}  // namespace dwqa

@@ -1,0 +1,80 @@
+#ifndef DWQA_WEB_PAGE_GENERATORS_H_
+#define DWQA_WEB_PAGE_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace web {
+
+/// How a prose weather page renders its temperatures.
+enum class ProseStyle {
+  /// The paper's Figure 4: "Temperature 8º C around 46.4 F".
+  kCelsiusWithFahrenheit,
+  /// US-style page: "Temperature 46.4 F around 8º C".
+  kFahrenheitWithCelsius,
+  /// Fahrenheit only: "Temperature 46.4 F" — extraction must rely on the
+  /// Step-4 conversion axiom to feed the Celsius measure.
+  kFahrenheitOnly,
+};
+
+/// \brief Generators for the synthetic unstructured sources.
+///
+/// Two weather-page layouts reproduce the paper's evaluation artifacts:
+///   - the prose layout of Figure 4 ("Monday, January 31, 2004 /
+///     Barcelona Weather: Temperature 8º C around 46.4 F Clear skies
+///     today"), on which the paper reports the best extraction precision;
+///   - the HTML-table layout of Figure 5, on which "the task of associating
+///     the measure with its corresponding measure unit gets more
+///     difficult" and precision drops.
+class PageGenerators {
+ public:
+  /// One month of daily weather for `city`, Figure 4 prose layout.
+  /// The published temperature is rounded to the nearest integer ºC (the
+  /// Fahrenheit companion value is derived from the rounded ºC, as on the
+  /// paper's example page: "8º C around 46.4 F"). `style` switches the
+  /// unit rendering (see ProseStyle); the ground truth stays the Celsius
+  /// value in every style.
+  static Result<std::string> ProseWeatherPage(
+      const WeatherModel& model, const std::string& city, int year,
+      int month, ProseStyle style = ProseStyle::kCelsiusWithFahrenheit);
+
+  /// One month of daily weather for `city` as an HTML <table> (Figure 5):
+  /// Date | High (ºC) | Low (ºC) | Conditions — units live in the header
+  /// only, so naive tag stripping loses the measure-unit association.
+  static Result<std::string> TableWeatherPage(const WeatherModel& model,
+                                              const std::string& city,
+                                              int year, int month);
+
+  /// Competitor price page: prose sentences with route fares.
+  static std::string PricePage(const std::string& airline,
+                               const std::string& origin_city,
+                               const std::string& destination_city,
+                               int year, int month, double fare_eur);
+
+  /// Distractor page `index` (biographies, band pages, random news) — the
+  /// ambiguity sources of the paper's Step 2 discussion plus generic noise.
+  static std::string NoisePage(size_t index, Rng* rng);
+
+  /// Number of distinct hand-written distractor templates.
+  static size_t NoiseTemplateCount();
+
+  /// The encyclopedia pages backing the CLEF-style question set (one string
+  /// per page).
+  static std::vector<std::string> EncyclopediaPages();
+
+  /// The published (rounded) temperature for (city, date): the ground-truth
+  /// value a perfect extractor should recover from either page layout.
+  static Result<double> PublishedTemperature(const WeatherModel& model,
+                                             const std::string& city,
+                                             const Date& date);
+};
+
+}  // namespace web
+}  // namespace dwqa
+
+#endif  // DWQA_WEB_PAGE_GENERATORS_H_

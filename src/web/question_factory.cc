@@ -1,0 +1,173 @@
+#include "web/question_factory.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace web {
+
+using qa::AnswerType;
+
+std::vector<GoldQuestion> QuestionFactory::ClefStyleQuestions() {
+  auto q = [](std::string question, AnswerType type,
+              std::vector<std::string> gold,
+              double value = GoldQuestion::kNoGoldValue) {
+    GoldQuestion g;
+    g.question = std::move(question);
+    g.expected_type = type;
+    g.gold = std::move(gold);
+    g.gold_value = value;
+    return g;
+  };
+  return {
+      // person
+      q("Who was the 35th president of the United States?",
+        AnswerType::kPerson, {"Kennedy", "JFK"}),
+      // profession
+      q("What was the profession of John Wayne?", AnswerType::kProfession,
+        {"actor"}),
+      // group
+      q("Which group performed in Madrid in 1998?", AnswerType::kGroup,
+        {"La Guardia"}),
+      // object
+      q("What is the brightest star visible in the universe?",
+        AnswerType::kObject, {"Sirius"}),
+      // place city
+      q("In which city is El Prat located?", AnswerType::kPlaceCity,
+        {"Barcelona"}),
+      // place country
+      q("Which country did Iraq invade in 1990?", AnswerType::kPlaceCountry,
+        {"Kuwait"}),
+      // place capital
+      q("What is the capital of Spain?", AnswerType::kPlaceCapital,
+        {"Madrid"}),
+      // place
+      q("Where is Kennedy International Airport located?", AnswerType::kPlace,
+        {"New York"}),
+      // abbreviation
+      q("What does DW stand for?", AnswerType::kAbbreviation,
+        {"Data Warehouse"}),
+      // event
+      q("Which event took place in Barcelona in 1992?", AnswerType::kEvent,
+        {"Olympic Games"}),
+      // numerical economic
+      q("What is the price of a one-way ticket from Barcelona to Paris?",
+        AnswerType::kNumericalEconomic, {"euro"}),
+      // numerical age
+      q("How old was John F. Kennedy in 1963?", AnswerType::kNumericalAge,
+        {"46"}, 46.0),
+      // numerical measure — answered from the weather corpus
+      q("What is the temperature in Barcelona in January of 2004?",
+        AnswerType::kNumericalMeasure, {}),
+      // numerical period
+      q("How long does the flight from Barcelona to Paris take?",
+        AnswerType::kNumericalPeriod, {"2 hours"}, 2.0),
+      // numerical percentage
+      q("What percentage of all seats were sold at the last minute in "
+        "2004?",
+        AnswerType::kNumericalPercentage, {"12"}, 12.0),
+      // numerical quantity
+      q("How many flights does the airline operate per day?",
+        AnswerType::kNumericalQuantity, {"120"}, 120.0),
+      // temporal year
+      q("What year did Kennedy International Airport open?",
+        AnswerType::kTemporalYear, {"1948"}, 1948.0),
+      // temporal month
+      q("Which month is the hottest month in Barcelona?",
+        AnswerType::kTemporalMonth, {"July"}),
+      // temporal date
+      q("When did Iraq invade Kuwait?", AnswerType::kTemporalDate,
+        {"1990"}),
+      // definition
+      q("What is a data warehouse?", AnswerType::kDefinition,
+        {"central repository"}),
+  };
+}
+
+std::vector<GoldQuestion> QuestionFactory::WeatherQuestions(
+    const SyntheticWeb& web) {
+  std::vector<GoldQuestion> out;
+  std::set<std::pair<std::string, int>> seen;  // (city, month)
+  for (const auto& [key, temp] : web.truth().temperature) {
+    const std::string& city_lower = key.first;
+    int month = std::atoi(key.second.substr(5, 2).c_str());
+    int year = std::atoi(key.second.substr(0, 4).c_str());
+    if (!seen.insert({city_lower, month}).second) continue;
+    // Display-case the city from the weather model.
+    auto climate = WeatherModel::FindCity(city_lower);
+    std::string city = climate.ok() ? (*climate)->name : city_lower;
+    GoldQuestion g;
+    g.question = "What is the temperature in " + city + " in " +
+                 Date(year, month, 1).MonthName() + " of " +
+                 std::to_string(year) + "?";
+    g.expected_type = AnswerType::kNumericalMeasure;
+    // Any published temperature of that month is an acceptable answer.
+    for (const auto& [k2, t2] : web.truth().temperature) {
+      if (k2.first == city_lower &&
+          k2.second.substr(0, 7) == key.second.substr(0, 7)) {
+        g.gold.push_back(FormatDouble(t2, 0));
+      }
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<GoldQuestion> QuestionFactory::AirportWeatherQuestions(
+    const SyntheticWeb& web,
+    const std::vector<std::pair<std::string, std::string>>&
+        airport_of_city) {
+  std::vector<GoldQuestion> city_questions = WeatherQuestions(web);
+  std::vector<GoldQuestion> out;
+  for (GoldQuestion& g : city_questions) {
+    for (const auto& [city_lower, airport] : airport_of_city) {
+      std::string needle = " in " + (*WeatherModel::FindCity(city_lower))
+                                        ->name + " in ";
+      size_t pos = g.question.find(needle);
+      if (pos == std::string::npos) continue;
+      GoldQuestion copy = g;
+      copy.question = g.question.substr(0, pos) + " in " + airport + " in " +
+                      g.question.substr(pos + needle.size());
+      out.push_back(std::move(copy));
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<GoldQuestion> QuestionFactory::PriceQuestions(
+    const SyntheticWeb& web) {
+  std::vector<GoldQuestion> out;
+  for (const auto& [route, fare] : web.truth().fare_eur) {
+    auto display = [](const std::string& lower) {
+      auto c = WeatherModel::FindCity(lower);
+      return c.ok() ? (*c)->name : lower;
+    };
+    GoldQuestion g;
+    g.question = "What is the price of a one-way ticket from " +
+                 display(route.first) + " to " + display(route.second) + "?";
+    g.expected_type = AnswerType::kNumericalEconomic;
+    g.gold.push_back(FormatDouble(fare, 0));
+    g.gold_value = fare;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+bool QuestionFactory::Matches(const GoldQuestion& q,
+                              const std::string& answer_text, bool has_value,
+                              double value) {
+  if (q.gold_value != GoldQuestion::kNoGoldValue && has_value) {
+    if (std::abs(value - q.gold_value) <= 0.5) return true;
+  }
+  std::string lower = ToLower(answer_text);
+  for (const std::string& g : q.gold) {
+    if (lower.find(ToLower(g)) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace web
+}  // namespace dwqa

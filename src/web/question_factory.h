@@ -1,0 +1,61 @@
+#ifndef DWQA_WEB_QUESTION_FACTORY_H_
+#define DWQA_WEB_QUESTION_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "qa/taxonomy.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace web {
+
+/// \brief A question with its gold answers, for accuracy measurement.
+struct GoldQuestion {
+  std::string question;
+  qa::AnswerType expected_type = qa::AnswerType::kObject;
+  /// An answer counts as correct when any gold string occurs
+  /// (case-insensitively) in the answer text, or — for numeric golds — the
+  /// structured value matches within 0.5.
+  std::vector<std::string> gold;
+  /// Numeric gold (used when non-negative... NaN when unused).
+  double gold_value = kNoGoldValue;
+
+  static constexpr double kNoGoldValue = -1e300;
+};
+
+/// \brief Generates evaluation question sets: the CLEF-style set covering
+/// all twenty taxonomy categories (against the encyclopedia pages) and
+/// weather/price question sets against the synthetic web's ground truth.
+class QuestionFactory {
+ public:
+  /// Questions answerable from PageGenerators::EncyclopediaPages() (plus
+  /// the noise distractor pages), ≥1 per taxonomy category.
+  static std::vector<GoldQuestion> ClefStyleQuestions();
+
+  /// "What is the temperature in <city> in <Month> of <year>?" for every
+  /// (city, month) of the web's config; gold = the month's published
+  /// temperatures (any day's value counts — the paper's query is
+  /// month-scoped).
+  static std::vector<GoldQuestion> WeatherQuestions(const SyntheticWeb& web);
+
+  /// Weather questions phrased through the *airport* name instead of the
+  /// city ("... in El Prat?") — resolvable only with the enriched ontology
+  /// (E8). `airport_of_city` maps lowercase city → airport display name.
+  static std::vector<GoldQuestion> AirportWeatherQuestions(
+      const SyntheticWeb& web,
+      const std::vector<std::pair<std::string, std::string>>&
+          airport_of_city);
+
+  /// Price questions against the fare ground truth.
+  static std::vector<GoldQuestion> PriceQuestions(const SyntheticWeb& web);
+
+  /// True if `answer_text` (and optional numeric value) matches the gold.
+  static bool Matches(const GoldQuestion& q, const std::string& answer_text,
+                      bool has_value, double value);
+};
+
+}  // namespace web
+}  // namespace dwqa
+
+#endif  // DWQA_WEB_QUESTION_FACTORY_H_

@@ -1,0 +1,123 @@
+#include "web/synthetic_web.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "web/page_generators.h"
+
+namespace dwqa {
+namespace web {
+
+Result<SyntheticWeb> SyntheticWeb::Build(const WebConfig& config) {
+  SyntheticWeb webb;
+  webb.config_ = config;
+  webb.weather_ = WeatherModel(config.seed);
+  Rng rng(config.seed * 7919 + 17);
+
+  std::vector<std::string> cities = config.cities;
+  if (cities.empty()) {
+    for (const CityClimate& c : WeatherModel::Cities()) {
+      cities.push_back(c.name);
+    }
+  }
+
+  // ---- Weather pages + temperature ground truth -------------------------
+  for (const std::string& city : cities) {
+    for (int month : config.months) {
+      if (month < 1 || month > 12) {
+        return Status::InvalidArgument("month out of range: " +
+                                       std::to_string(month));
+      }
+      int days = Date::DaysInMonth(config.year, month);
+      for (int d = 1; d <= days; ++d) {
+        Date date(config.year, month, d);
+        DWQA_ASSIGN_OR_RETURN(
+            double published,
+            PageGenerators::PublishedTemperature(webb.weather_, city, date));
+        webb.truth_.temperature[{ToLower(city), date.ToIsoString()}] =
+            published;
+      }
+      std::string slug = ReplaceAll(ToLower(city), " ", "-");
+      if (config.prose_weather) {
+        DWQA_ASSIGN_OR_RETURN(
+            std::string html,
+            PageGenerators::ProseWeatherPage(webb.weather_, city,
+                                             config.year, month,
+                                             config.prose_style));
+        webb.docs_.Add("web://weather/" + slug + "/" +
+                           std::to_string(config.year) + "-" +
+                           std::to_string(month) + ".html",
+                       city + " weather", ir::DocFormat::kHtml,
+                       std::move(html));
+      }
+      if (config.table_weather) {
+        DWQA_ASSIGN_OR_RETURN(
+            std::string html,
+            PageGenerators::TableWeatherPage(webb.weather_, city,
+                                             config.year, month));
+        webb.docs_.Add("web://weather-table/" + slug + "/" +
+                           std::to_string(config.year) + "-" +
+                           std::to_string(month) + ".html",
+                       city + " weather table", ir::DocFormat::kHtml,
+                       std::move(html));
+      }
+    }
+  }
+
+  // ---- Competitor price pages -------------------------------------------
+  // Routes need two distinct cities; a single-city web has no price pages.
+  static const char* kAirlines[] = {"AcmeAir", "FlyNow", "SkyBudget"};
+  size_t price_pages = cities.size() >= 2 ? config.price_pages : 0;
+  for (size_t i = 0; i < price_pages; ++i) {
+    const std::string& origin = cities[rng.NextIndex(cities.size())];
+    std::string dest = origin;
+    while (dest == origin) dest = cities[rng.NextIndex(cities.size())];
+    double fare = 40.0 + double(rng.NextBelow(200));
+    const char* airline = kAirlines[i % 3];
+    auto key = std::make_pair(ToLower(origin), ToLower(dest));
+    // First offer wins in the ground truth (later pages are competitors'
+    // noise for the same route only if the route repeats; keep unique).
+    if (webb.truth_.fare_eur.count(key)) {
+      fare = webb.truth_.fare_eur[key];
+    } else {
+      webb.truth_.fare_eur[key] = fare;
+    }
+    webb.docs_.Add(
+        "web://prices/" + std::string(airline) + "/" + std::to_string(i) +
+            ".txt",
+        std::string(airline) + " offers", ir::DocFormat::kPlainText,
+        PageGenerators::PricePage(airline, origin, dest, config.year,
+                                  config.months.empty() ? 1
+                                                        : config.months[0],
+                                  fare));
+  }
+
+  // ---- Noise -----------------------------------------------------------
+  for (size_t i = 0; i < config.noise_pages; ++i) {
+    webb.docs_.Add("web://news/" + std::to_string(i) + ".txt",
+                   "news article", ir::DocFormat::kPlainText,
+                   PageGenerators::NoisePage(i, &rng));
+  }
+
+  // ---- Encyclopedia ------------------------------------------------------
+  if (config.encyclopedia) {
+    std::vector<std::string> pages = PageGenerators::EncyclopediaPages();
+    for (size_t i = 0; i < pages.size(); ++i) {
+      webb.docs_.Add("web://encyclopedia/" + std::to_string(i) + ".txt",
+                     "encyclopedia entry", ir::DocFormat::kPlainText,
+                     std::move(pages[i]));
+    }
+  }
+  return webb;
+}
+
+std::vector<ir::DocId> SyntheticWeb::DocsWithUrlPrefix(
+    const std::string& prefix) const {
+  std::vector<ir::DocId> out;
+  for (const ir::Document& doc : docs_.documents()) {
+    if (StartsWith(doc.url, prefix)) out.push_back(doc.id);
+  }
+  return out;
+}
+
+}  // namespace web
+}  // namespace dwqa

@@ -1,0 +1,74 @@
+#ifndef DWQA_WEB_SYNTHETIC_WEB_H_
+#define DWQA_WEB_SYNTHETIC_WEB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/document.h"
+#include "web/page_generators.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace web {
+
+/// \brief What pages to generate.
+struct WebConfig {
+  uint64_t seed = 42;
+  /// Cities with weather pages. Empty = all cities of the WeatherModel.
+  std::vector<std::string> cities;
+  int year = 2004;
+  /// Months with weather coverage.
+  std::vector<int> months = {1};
+  /// Generate Figure 4 prose weather pages.
+  bool prose_weather = true;
+  /// Unit rendering of the prose pages (see web::ProseStyle).
+  ProseStyle prose_style = ProseStyle::kCelsiusWithFahrenheit;
+  /// Generate Figure 5 table weather pages. When both layouts are on, the
+  /// table pages cover the same facts (same ground truth).
+  bool table_weather = true;
+  /// Competitor price pages per (origin, destination) pair sampled.
+  size_t price_pages = 6;
+  /// Distractor pages.
+  size_t noise_pages = 12;
+  /// Include the encyclopedia pages behind the CLEF-style questions.
+  bool encyclopedia = true;
+};
+
+/// \brief Exact ground truth of the generated corpus, keyed for evaluation.
+struct GroundTruth {
+  /// (lowercase city, ISO date) → published temperature (ºC, integral).
+  std::map<std::pair<std::string, std::string>, double> temperature;
+  /// (lowercase origin, lowercase destination) → fare in EUR.
+  std::map<std::pair<std::string, std::string>, double> fare_eur;
+};
+
+/// \brief The simulated Web: a DocumentStore plus the ground truth of every
+/// fact published in it. Substitutes the live Web of the paper's evaluation
+/// so extraction precision/recall can be measured exactly.
+class SyntheticWeb {
+ public:
+  static Result<SyntheticWeb> Build(const WebConfig& config);
+
+  const ir::DocumentStore& documents() const { return docs_; }
+  const GroundTruth& truth() const { return truth_; }
+  const WeatherModel& weather() const { return weather_; }
+  const WebConfig& config() const { return config_; }
+
+  /// Documents whose URL starts with the given prefix ("web://weather/").
+  std::vector<ir::DocId> DocsWithUrlPrefix(const std::string& prefix) const;
+
+ private:
+  SyntheticWeb() : weather_(0) {}
+
+  WebConfig config_;
+  WeatherModel weather_;
+  ir::DocumentStore docs_;
+  GroundTruth truth_;
+};
+
+}  // namespace web
+}  // namespace dwqa
+
+#endif  // DWQA_WEB_SYNTHETIC_WEB_H_

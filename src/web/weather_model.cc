@@ -1,0 +1,72 @@
+#include "web/weather_model.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace web {
+
+const std::vector<CityClimate>& WeatherModel::Cities() {
+  static const auto* kCities = new std::vector<CityClimate>{
+      {"Barcelona", 9.0, 25.0, 2.5}, {"Madrid", 6.0, 26.0, 3.0},
+      {"Valencia", 11.0, 26.0, 2.0}, {"Seville", 11.0, 29.0, 2.5},
+      {"Paris", 4.0, 20.0, 3.0},     {"London", 5.0, 18.0, 3.0},
+      {"Rome", 8.0, 25.0, 2.5},      {"New York", 0.0, 25.0, 4.0},
+      {"Costa Mesa", 14.0, 23.0, 2.0},
+  };
+  return *kCities;
+}
+
+Result<const CityClimate*> WeatherModel::FindCity(const std::string& name) {
+  std::string lower = ToLower(name);
+  for (const CityClimate& c : Cities()) {
+    if (ToLower(c.name) == lower) return &c;
+  }
+  return Status::NotFound("no climate data for city '" + name + "'");
+}
+
+Result<double> WeatherModel::TemperatureCelsius(const std::string& city,
+                                                const Date& date) const {
+  DWQA_ASSIGN_OR_RETURN(const CityClimate* climate, FindCity(city));
+  if (!date.IsValid()) {
+    return Status::InvalidArgument("invalid date " + date.ToIsoString());
+  }
+  // Day of year, 0-based; January 15 ≈ coldest, July 15 ≈ warmest.
+  int64_t doy = date.ToEpochDays() - Date(date.year(), 1, 1).ToEpochDays();
+  double phase =
+      2.0 * M_PI * (static_cast<double>(doy) - 15.0) / 365.0;
+  double seasonal = 0.5 * (1.0 - std::cos(phase));  // 0 in Jan, 1 in Jul.
+  double mean = climate->january_mean_c +
+                (climate->july_mean_c - climate->january_mean_c) * seasonal;
+  // Deterministic per (seed, city, date) noise.
+  uint64_t h = seed_;
+  for (char c : ToLower(city)) h = h * 1315423911ULL + uint64_t(c);
+  h = h * 2654435761ULL + static_cast<uint64_t>(date.ToEpochDays());
+  Rng rng(h);
+  return mean + rng.NextGaussian(0.0, climate->daily_noise_c);
+}
+
+Result<double> WeatherModel::TemperatureFahrenheit(const std::string& city,
+                                                   const Date& date) const {
+  DWQA_ASSIGN_OR_RETURN(double c, TemperatureCelsius(city, date));
+  return CelsiusToFahrenheit(c);
+}
+
+Result<std::string> WeatherModel::Condition(const std::string& city,
+                                            const Date& date) const {
+  DWQA_ASSIGN_OR_RETURN(double c, TemperatureCelsius(city, date));
+  uint64_t h = seed_ ^ 0x9E3779B97F4A7C15ULL;
+  for (char ch : ToLower(city)) h = h * 131ULL + uint64_t(ch);
+  h += static_cast<uint64_t>(date.ToEpochDays());
+  Rng rng(h);
+  double roll = rng.NextDouble();
+  if (c < 0.0 && roll < 0.5) return std::string("Snow");
+  if (roll < 0.25) return std::string("Rain");
+  if (roll < 0.55) return std::string("Cloudy");
+  return std::string("Clear skies");
+}
+
+}  // namespace web
+}  // namespace dwqa

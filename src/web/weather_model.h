@@ -1,0 +1,63 @@
+#ifndef DWQA_WEB_WEATHER_MODEL_H_
+#define DWQA_WEB_WEATHER_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/result.h"
+
+namespace dwqa {
+namespace web {
+
+/// \brief Climate parameters of one city in the synthetic world.
+struct CityClimate {
+  std::string name;
+  /// Mean daily temperature in January / July (ºC).
+  double january_mean_c;
+  double july_mean_c;
+  /// Day-to-day noise (standard deviation, ºC).
+  double daily_noise_c;
+};
+
+/// \brief Deterministic synthetic weather: the stand-in for the live Web's
+/// historical weather data (DESIGN.md substitution table).
+///
+/// Temperature for (city, date) is a seasonal sinusoid between the January
+/// and July means plus seeded pseudo-random noise — the same (seed, city,
+/// date) always yields the same value, so extraction precision can be
+/// measured against an exact ground truth.
+class WeatherModel {
+ public:
+  explicit WeatherModel(uint64_t seed = 42) : seed_(seed) {}
+
+  /// The built-in city list (Barcelona, Madrid, New York, ...).
+  static const std::vector<CityClimate>& Cities();
+
+  static Result<const CityClimate*> FindCity(const std::string& name);
+
+  /// Daily mean temperature in ºC (deterministic).
+  Result<double> TemperatureCelsius(const std::string& city,
+                                    const Date& date) const;
+
+  /// Same value converted to Fahrenheit.
+  Result<double> TemperatureFahrenheit(const std::string& city,
+                                       const Date& date) const;
+
+  /// Sky condition string ("Clear skies", "Cloudy", "Rain", "Snow"),
+  /// deterministic and loosely consistent with the temperature.
+  Result<std::string> Condition(const std::string& city,
+                                const Date& date) const;
+
+  uint64_t seed() const { return seed_; }
+
+  static double CelsiusToFahrenheit(double c) { return c * 9.0 / 5.0 + 32.0; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace web
+}  // namespace dwqa
+
+#endif  // DWQA_WEB_WEATHER_MODEL_H_

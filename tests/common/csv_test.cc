@@ -1,0 +1,86 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+TEST(CsvTest, ParseSimpleRows) {
+  auto rows = Csv::Parse("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  auto rows = Csv::Parse("\"8ºC, cold\",Barcelona\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "8ºC, cold");
+  EXPECT_EQ((*rows)[0][1], "Barcelona");
+}
+
+TEST(CsvTest, ParseEscapedQuotes) {
+  auto rows = Csv::Parse("\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseQuotedNewline) {
+  auto rows = Csv::Parse("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ParseToleratesCrlfAndMissingTrailingNewline) {
+  auto rows = Csv::Parse("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  auto rows = Csv::Parse("\"oops");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, EmptyInputYieldsNoRows) {
+  auto rows = Csv::Parse("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvTest, EscapeFieldOnlyWhenNeeded) {
+  EXPECT_EQ(Csv::EscapeField("plain"), "plain");
+  EXPECT_EQ(Csv::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(Csv::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, RenderParseRoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"temperature", "date", "city", "url"},
+      {"8", "2004-01-31", "Barcelona, Spain", "web://a\nb"},
+      {"", "with \"quotes\"", ",", "plain"},
+  };
+  auto parsed = Csv::Parse(Csv::Render(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, RoundTripPropertySweep) {
+  // Property: render ∘ parse == id for fields drawn from tricky alphabet.
+  const std::string pieces[] = {"", ",", "\"", "\n", "x", "ºC", "a,b\"c\n"};
+  for (const std::string& a : pieces) {
+    for (const std::string& b : pieces) {
+      std::vector<std::vector<std::string>> rows = {{a, b}, {b, a}};
+      auto parsed = Csv::Parse(Csv::Render(rows));
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(*parsed, rows) << "a='" << a << "' b='" << b << "'";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwqa

@@ -1,0 +1,105 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace dwqa {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status st = Status::NotFound("concept 'airport' missing");
+  EXPECT_EQ(st.ToString(), "NotFound: concept 'airport' missing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StreamOperatorRendersToString) {
+  std::ostringstream os;
+  os << Status::IOError("disk full");
+  EXPECT_EQ(os.str(), "IOError: disk full");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto f = [](bool fail) -> Status {
+    DWQA_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(f(false).ok());
+  EXPECT_TRUE(f(true).IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesInternalError) {
+  Result<int> r = [&]() -> Result<int> { return Status::OK(); }();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("too big");
+    return 21;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    DWQA_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(outer(false).ValueOrDie(), 42);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace dwqa

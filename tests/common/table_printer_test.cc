@@ -1,0 +1,58 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"City", "Temp"});
+  printer.AddRow({"Barcelona", "8"});
+  printer.AddRow({"NY", "0"});
+  std::string out = printer.Render();
+  // Every line has the same length when columns are aligned.
+  std::vector<size_t> lengths;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    lengths.push_back(end - start);
+    start = end + 1;
+  }
+  ASSERT_EQ(lengths.size(), 4u);  // header, separator, 2 rows
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[0], lengths[2]);
+  EXPECT_EQ(lengths[0], lengths[3]);
+  EXPECT_NE(out.find("Barcelona"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"only"});
+  std::string out = printer.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(printer.row_count(), 1u);
+}
+
+TEST(TablePrinterTest, LongRowsAreTruncatedToHeaderWidth) {
+  TablePrinter printer({"a"});
+  printer.AddRow({"x", "overflow-dropped"});
+  std::string out = printer.Render();
+  EXPECT_EQ(out.find("overflow-dropped"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableRendersHeaderOnly) {
+  TablePrinter printer({"h1", "h2"});
+  std::string out = printer.Render();
+  EXPECT_NE(out.find("h1"), std::string::npos);
+  EXPECT_EQ(printer.row_count(), 0u);
+}
+
+TEST(TablePrinterTest, BannerFormat) {
+  std::ostringstream os;
+  PrintBanner(os, "Table 1");
+  EXPECT_EQ(os.str(), "\n=== Table 1 ===\n");
+}
+
+}  // namespace
+}  // namespace dwqa

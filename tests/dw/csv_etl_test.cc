@@ -1,0 +1,127 @@
+#include "dw/csv_etl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+MdSchema WeatherSchema() {
+  MdSchema s;
+  EXPECT_TRUE(s.AddDimension({"City", {{"City"}, {"Country"}}}).ok());
+  EXPECT_TRUE(
+      s.AddDimension({"Date", {{"Date"}, {"Month"}, {"Year"}}}).ok());
+  FactDef f;
+  f.name = "Weather";
+  f.measures = {{"TemperatureC", ColumnType::kDouble, AggFn::kAvg}};
+  f.roles = {{"location", "City"}, {"day", "Date"}};
+  EXPECT_TRUE(s.AddFact(std::move(f)).ok());
+  return s;
+}
+
+Warehouse LoadedWarehouse() {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  for (int d = 1; d <= 3; ++d) {
+    FactRecord rec;
+    rec.role_paths = {{"Barcelona", "Spain"},
+                      DateMemberPath(Date(2004, 1, d))};
+    rec.measures = {Value(7.0 + d)};
+    EXPECT_TRUE(loader.LoadRecord("Weather", rec).ok());
+  }
+  return wh;
+}
+
+TEST(CsvEtlTest, ExportFactDenormalizedHeader) {
+  Warehouse wh = LoadedWarehouse();
+  std::string csv = CsvEtl::ExportFact(wh, "Weather").ValueOrDie();
+  auto rows = Csv::Parse(csv).ValueOrDie();
+  ASSERT_EQ(rows.size(), 4u);  // Header + 3 facts.
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"location.City", "location.Country",
+                                      "day.Date", "day.Month", "day.Year",
+                                      "TemperatureC"}));
+  EXPECT_EQ(rows[1][0], "Barcelona");
+  EXPECT_EQ(rows[1][2], "2004-01-01");
+  EXPECT_EQ(rows[1][5], "8.00");
+}
+
+TEST(CsvEtlTest, RoundTripThroughImport) {
+  Warehouse wh = LoadedWarehouse();
+  std::string csv = CsvEtl::ExportFact(wh, "Weather").ValueOrDie();
+  auto records =
+      CsvEtl::ImportFactRecords(wh.schema(), "Weather", csv).ValueOrDie();
+  ASSERT_EQ(records.size(), 3u);
+  // Load into a fresh warehouse and re-export: identical CSV.
+  Warehouse fresh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&fresh);
+  auto report = loader.LoadBatch("Weather", records).ValueOrDie();
+  EXPECT_EQ(report.rows_loaded, 3u);
+  EXPECT_EQ(CsvEtl::ExportFact(fresh, "Weather").ValueOrDie(), csv);
+}
+
+TEST(CsvEtlTest, ImportValidatesHeader) {
+  Warehouse wh = LoadedWarehouse();
+  EXPECT_TRUE(CsvEtl::ImportFactRecords(wh.schema(), "Weather", "")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CsvEtl::ImportFactRecords(wh.schema(), "Weather",
+                                        "wrong,header\n")
+                  .status()
+                  .IsInvalidArgument());
+  // Right width, wrong name.
+  EXPECT_TRUE(
+      CsvEtl::ImportFactRecords(
+          wh.schema(), "Weather",
+          "location.City,location.Country,day.Date,day.Month,day.Year,"
+          "Pressure\n")
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(CsvEtlTest, ImportRejectsRaggedRows) {
+  Warehouse wh = LoadedWarehouse();
+  std::string csv =
+      "location.City,location.Country,day.Date,day.Month,day.Year,"
+      "TemperatureC\nBarcelona,Spain,2004-01-01\n";
+  EXPECT_TRUE(CsvEtl::ImportFactRecords(wh.schema(), "Weather", csv)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CsvEtlTest, ImportHandlesShortMemberPaths) {
+  Warehouse wh = LoadedWarehouse();
+  std::string csv =
+      "location.City,location.Country,day.Date,day.Month,day.Year,"
+      "TemperatureC\nParis,,2004-02-01,2004-02,2004,4.5\n";
+  auto records =
+      CsvEtl::ImportFactRecords(wh.schema(), "Weather", csv).ValueOrDie();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].role_paths[0],
+            (std::vector<std::string>{"Paris"}));  // Country trimmed.
+  EXPECT_DOUBLE_EQ(records[0].measures[0].as_double(), 4.5);
+}
+
+TEST(CsvEtlTest, ExportTableIncludesHeader) {
+  Warehouse wh = LoadedWarehouse();
+  const Table* dim = wh.DimensionTable("Date").ValueOrDie();
+  std::string csv = CsvEtl::ExportTable(*dim);
+  auto rows = Csv::Parse(csv).ValueOrDie();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0], "Date");
+  EXPECT_EQ(rows[3][0], "2004-01-03");
+}
+
+TEST(CsvEtlTest, UnknownFactRejected) {
+  Warehouse wh = LoadedWarehouse();
+  EXPECT_TRUE(CsvEtl::ExportFact(wh, "Ghost").status().IsNotFound());
+  EXPECT_TRUE(CsvEtl::ImportFactRecords(wh.schema(), "Ghost", "x\n")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

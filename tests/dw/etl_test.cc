@@ -1,0 +1,97 @@
+#include "dw/etl.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+MdSchema WeatherSchema() {
+  MdSchema s;
+  EXPECT_TRUE(s.AddDimension({"City", {{"City"}, {"Country"}}}).ok());
+  EXPECT_TRUE(
+      s.AddDimension({"Date", {{"Date"}, {"Month"}, {"Year"}}}).ok());
+  FactDef f;
+  f.name = "Weather";
+  f.measures = {{"TemperatureC", ColumnType::kDouble, AggFn::kAvg}};
+  f.roles = {{"location", "City"}, {"day", "Date"}};
+  EXPECT_TRUE(s.AddFact(std::move(f)).ok());
+  return s;
+}
+
+TEST(EtlTest, DateMemberPathShape) {
+  auto path = DateMemberPath(Date(2004, 1, 31));
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], "2004-01-31");
+  EXPECT_EQ(path[1], "2004-01");
+  EXPECT_EQ(path[2], "2004");
+}
+
+TEST(EtlTest, LoadRecordRegistersMembersOnTheFly) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  FactRecord rec;
+  rec.role_paths = {{"Barcelona", "Spain"}, DateMemberPath(Date(2004, 1, 31))};
+  rec.measures = {Value(8.0)};
+  ASSERT_TRUE(loader.LoadRecord("Weather", rec).ok());
+  EXPECT_TRUE(wh.FindMember("City", "Barcelona").ok());
+  EXPECT_TRUE(wh.FindMember("Date", "2004-01-31").ok());
+  EXPECT_EQ(wh.FactRowCount("Weather").ValueOrDie(), 1u);
+}
+
+TEST(EtlTest, LoadRecordValidatesArity) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  FactRecord rec;
+  rec.role_paths = {{"Barcelona"}};  // Missing the date path.
+  rec.measures = {Value(8.0)};
+  EXPECT_TRUE(loader.LoadRecord("Weather", rec).IsInvalidArgument());
+}
+
+TEST(EtlTest, LoadBatchContinuesPastRejects) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  FactRecord good;
+  good.role_paths = {{"Barcelona"}, {"2004-01-31", "2004-01", "2004"}};
+  good.measures = {Value(8.0)};
+  FactRecord bad;
+  bad.role_paths = {{"Madrid"}};
+  bad.measures = {Value(7.0)};
+  FactRecord bad2;
+  bad2.role_paths = {{"Madrid"}, {"2004-01-30"}};
+  bad2.measures = {};  // Missing measure.
+  auto report = loader.LoadBatch("Weather", {good, bad, good, bad2});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_loaded, 2u);
+  EXPECT_EQ(report->rows_rejected, 2u);
+  EXPECT_EQ(report->errors.size(), 2u);
+  EXPECT_EQ(wh.FactRowCount("Weather").ValueOrDie(), 2u);
+}
+
+TEST(EtlTest, UnknownFactFails) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  FactRecord rec;
+  rec.role_paths = {{"a"}, {"b"}};
+  rec.measures = {Value(1.0)};
+  EXPECT_TRUE(loader.LoadRecord("Ghost", rec).IsNotFound());
+}
+
+TEST(EtlTest, RepeatedLoadsShareMembers) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  for (int d = 1; d <= 5; ++d) {
+    FactRecord rec;
+    rec.role_paths = {{"Barcelona", "Spain"},
+                      DateMemberPath(Date(2004, 1, d))};
+    rec.measures = {Value(8.0 + d)};
+    ASSERT_TRUE(loader.LoadRecord("Weather", rec).ok());
+  }
+  EXPECT_EQ(wh.DimensionTable("City").ValueOrDie()->row_count(), 1u);
+  EXPECT_EQ(wh.DimensionTable("Date").ValueOrDie()->row_count(), 5u);
+  EXPECT_EQ(wh.FactRowCount("Weather").ValueOrDie(), 5u);
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,282 @@
+#include "dw/olap.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+/// A small, hand-checkable cube: 2 destinations × 2 dates.
+class OlapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MdSchema s;
+    ASSERT_TRUE(
+        s.AddDimension({"Geo", {{"Airport"}, {"City"}, {"Country"}}}).ok());
+    ASSERT_TRUE(s.AddDimension({"Date", {{"Date"}, {"Month"}, {"Year"}}})
+                    .ok());
+    FactDef f;
+    f.name = "Sales";
+    f.measures = {{"Price", ColumnType::kDouble, AggFn::kSum},
+                  {"Tickets", ColumnType::kDouble, AggFn::kSum}};
+    f.roles = {{"dest", "Geo"}, {"when", "Date"}};
+    ASSERT_TRUE(s.AddFact(std::move(f)).ok());
+    wh_ = std::make_unique<Warehouse>(
+        Warehouse::Create(std::move(s)).ValueOrDie());
+
+    prat_ = wh_->AddMember("Geo", {"El Prat", "Barcelona", "Spain"})
+                .ValueOrDie();
+    barajas_ =
+        wh_->AddMember("Geo", {"Barajas", "Madrid", "Spain"}).ValueOrDie();
+    jfk_ = wh_->AddMember("Geo", {"JFK", "New York", "United States"})
+               .ValueOrDie();
+    d1_ = wh_->AddMember("Date", {"2004-01-01", "2004-01", "2004"})
+              .ValueOrDie();
+    d2_ = wh_->AddMember("Date", {"2004-02-01", "2004-02", "2004"})
+              .ValueOrDie();
+
+    Ins(prat_, d1_, 100, 2);
+    Ins(prat_, d2_, 200, 4);
+    Ins(barajas_, d1_, 50, 1);
+    Ins(jfk_, d1_, 300, 3);
+  }
+
+  void Ins(MemberId g, MemberId d, double price, double tickets) {
+    ASSERT_TRUE(
+        wh_->InsertFact("Sales", {g, d}, {Value(price), Value(tickets)})
+            .ok());
+  }
+
+  static double Cell(const OlapResult& r, const std::string& key,
+                     size_t col) {
+    for (const auto& row : r.rows) {
+      if (row[0].ToString() == key) return row[col].ToDouble();
+    }
+    ADD_FAILURE() << "no row " << key;
+    return -1;
+  }
+
+  std::unique_ptr<Warehouse> wh_;
+  MemberId prat_, barajas_, jfk_, d1_, d2_;
+};
+
+TEST_F(OlapTest, GroupByCityWithSum) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 1), 300.0);
+  EXPECT_DOUBLE_EQ(Cell(r, "Madrid", 1), 50.0);
+  EXPECT_DOUBLE_EQ(Cell(r, "New York", 1), 300.0);
+  EXPECT_EQ(r.facts_scanned, 4u);
+  EXPECT_EQ(r.facts_matched, 4u);
+}
+
+TEST_F(OlapTest, RollUpCityToCountry) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  OlapQuery up = engine.RollUp(q, "dest").ValueOrDie();
+  EXPECT_EQ(up.group_by[0].level, "Country");
+  OlapResult r = engine.Execute(up).ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(Cell(r, "Spain", 1), 350.0);
+  EXPECT_DOUBLE_EQ(Cell(r, "United States", 1), 300.0);
+}
+
+TEST_F(OlapTest, RollUpPastTopFails) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "Country"}};
+  EXPECT_TRUE(engine.RollUp(q, "dest").status().IsOutOfRange());
+}
+
+TEST_F(OlapTest, DrillDownCountryToCity) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "Country"}};
+  OlapQuery down = engine.DrillDown(q, "dest").ValueOrDie();
+  EXPECT_EQ(down.group_by[0].level, "City");
+  // Past the base level fails.
+  OlapQuery base = engine.DrillDown(down, "dest").ValueOrDie();
+  EXPECT_EQ(base.group_by[0].level, "Airport");
+  EXPECT_TRUE(engine.DrillDown(base, "dest").status().IsOutOfRange());
+}
+
+TEST_F(OlapTest, RollUpUnknownRoleFails) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  EXPECT_TRUE(engine.RollUp(q, "ghost").status().IsNotFound());
+}
+
+TEST_F(OlapTest, SliceFiltersFacts) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  q.filters = {{"dest", "Country", {"Spain"}}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.facts_matched, 3u);
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 1), 6.0);
+}
+
+TEST_F(OlapTest, DiceWithMultipleValues) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "Airport"}};
+  q.filters = {{"dest", "City", {"Barcelona", "New York"}}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(Cell(r, "El Prat", 1), 300.0);
+  EXPECT_DOUBLE_EQ(Cell(r, "JFK", 1), 300.0);
+}
+
+TEST_F(OlapTest, TemporalSliceOnMonth) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  q.filters = {{"when", "Month", {"2004-01"}}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  EXPECT_EQ(r.facts_matched, 3u);
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 1), 100.0);
+}
+
+TEST_F(OlapTest, AllAggregationFunctions) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum},
+                {"Price", AggFn::kAvg},
+                {"Price", AggFn::kMin},
+                {"Price", AggFn::kMax},
+                {"Price", AggFn::kCount}};
+  q.group_by = {{"dest", "City"}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 1), 300.0);   // SUM
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 2), 150.0);   // AVG
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 3), 100.0);   // MIN
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 4), 200.0);   // MAX
+  EXPECT_DOUBLE_EQ(Cell(r, "Barcelona", 5), 2.0);     // COUNT
+}
+
+TEST_F(OlapTest, GrandTotalWithoutGroupBy) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].ToDouble(), 650.0);
+}
+
+TEST_F(OlapTest, MultiAxisGroupBy) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "Country"}, {"when", "Year"}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.headers[0], "dest.Country");
+  EXPECT_EQ(r.headers[1], "when.Year");
+}
+
+TEST_F(OlapTest, ErrorsOnBadQuery) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Ghost";
+  q.measures = {{"Price", AggFn::kSum}};
+  EXPECT_TRUE(engine.Execute(q).status().IsNotFound());
+  q.fact = "Sales";
+  q.measures.clear();
+  EXPECT_TRUE(engine.Execute(q).status().IsInvalidArgument());
+  q.measures = {{"Ghost", AggFn::kSum}};
+  EXPECT_TRUE(engine.Execute(q).status().IsNotFound());
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "Continent"}};
+  EXPECT_TRUE(engine.Execute(q).status().IsNotFound());
+}
+
+TEST_F(OlapTest, ResultsAreDeterministicallyOrdered) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  OlapResult a = engine.Execute(q).ValueOrDie();
+  OlapResult b = engine.Execute(q).ValueOrDie();
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i][0].ToString(), b.rows[i][0].ToString());
+  }
+  // Sorted by group key.
+  EXPECT_EQ(a.rows[0][0].ToString(), "Barcelona");
+}
+
+TEST_F(OlapTest, HavingFiltersGroups) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  q.having = {{0, CompareOp::kGreaterEqual, 300.0}};
+  OlapResult r = engine.Execute(q).ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 2u);  // Barcelona (300) and New York (300).
+  q.having = {{0, CompareOp::kGreater, 300.0}};
+  EXPECT_TRUE(engine.Execute(q).ValueOrDie().rows.empty());
+  q.having = {{0, CompareOp::kEqual, 50.0}};
+  r = engine.Execute(q).ValueOrDie();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].ToString(), "Madrid");
+}
+
+TEST_F(OlapTest, HavingIndexOutOfRangeRejected) {
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.having = {{7, CompareOp::kGreater, 0.0}};
+  EXPECT_TRUE(engine.Execute(q).status().IsInvalidArgument());
+}
+
+TEST_F(OlapTest, GroupSumsEqualGrandTotalProperty) {
+  // Property: for every grouping level, SUM over groups == grand total.
+  OlapEngine engine(wh_.get());
+  OlapQuery total_q;
+  total_q.fact = "Sales";
+  total_q.measures = {{"Price", AggFn::kSum}};
+  double total =
+      engine.Execute(total_q).ValueOrDie().rows[0][0].ToDouble();
+  for (const char* level : {"Airport", "City", "Country"}) {
+    OlapQuery q;
+    q.fact = "Sales";
+    q.measures = {{"Price", AggFn::kSum}};
+    q.group_by = {{"dest", level}};
+    OlapResult r = engine.Execute(q).ValueOrDie();
+    double sum = 0;
+    for (const auto& row : r.rows) sum += row[1].ToDouble();
+    EXPECT_DOUBLE_EQ(sum, total) << level;
+  }
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

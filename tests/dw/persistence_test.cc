@@ -1,0 +1,126 @@
+#include "dw/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dw/csv_etl.h"
+#include "dw/olap.h"
+#include "integration/last_minute_sales.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(SchemaSerdeTest, RoundTrip) {
+  MdSchema schema = integration::LastMinuteSales::MakeSchema();
+  std::string text = SchemaSerde::ToText(schema);
+  MdSchema back = SchemaSerde::FromText(text).ValueOrDie();
+  // Same serialized form means same schema.
+  EXPECT_EQ(SchemaSerde::ToText(back), text);
+  EXPECT_EQ(back.dimensions().size(), schema.dimensions().size());
+  EXPECT_EQ(back.facts().size(), schema.facts().size());
+  const FactDef* sales = back.FindFact("LastMinuteSales").ValueOrDie();
+  EXPECT_EQ(sales->roles.size(), 4u);
+  EXPECT_EQ(sales->measures[0].type, ColumnType::kDouble);
+  EXPECT_EQ(sales->measures[0].default_agg, AggFn::kSum);
+}
+
+TEST(SchemaSerdeTest, CommentsAndBlankLinesIgnored) {
+  std::string text =
+      "# a comment\n\ndimension\tD\nlevel\tL\n\nfact\tF\nrole\tr\tD\n"
+      "measure\tm\tdouble\tSUM\n";
+  MdSchema schema = SchemaSerde::FromText(text).ValueOrDie();
+  EXPECT_TRUE(schema.FindFact("F").ok());
+}
+
+TEST(SchemaSerdeTest, MalformedInputRejected) {
+  EXPECT_FALSE(SchemaSerde::FromText("level\tL\n").ok());  // Orphan level.
+  EXPECT_FALSE(SchemaSerde::FromText("role\tr\tD\n").ok());
+  EXPECT_FALSE(SchemaSerde::FromText("zap\tx\n").ok());
+  EXPECT_FALSE(SchemaSerde::FromText("dimension\n").ok());
+  EXPECT_FALSE(
+      SchemaSerde::FromText("fact\tF\nmeasure\tm\tquux\tSUM\n").ok());
+  EXPECT_FALSE(
+      SchemaSerde::FromText("fact\tF\nmeasure\tm\tdouble\tZAP\n").ok());
+  // Structurally invalid: fact references unknown dimension.
+  EXPECT_FALSE(SchemaSerde::FromText("fact\tF\nrole\tr\tGhost\n").ok());
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "dwqa_persist_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(PersistenceTest, SaveLoadRoundTrip) {
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  web::WeatherModel weather(42);
+  ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                  &wh, weather, Date(2004, 1, 1), 20)
+                  .ok());
+  ASSERT_TRUE(WarehousePersistence::Save(wh, dir_.string()).ok());
+  Warehouse back =
+      WarehousePersistence::Load(dir_.string()).ValueOrDie();
+
+  // Fact rows, member sets and OLAP results all round-trip.
+  EXPECT_EQ(back.FactRowCount("LastMinuteSales").ValueOrDie(),
+            wh.FactRowCount("LastMinuteSales").ValueOrDie());
+  EXPECT_EQ(back.MemberNames("Airport").ValueOrDie(),
+            wh.MemberNames("Airport").ValueOrDie());
+  EXPECT_EQ(CsvEtl::ExportFact(back, "LastMinuteSales").ValueOrDie(),
+            CsvEtl::ExportFact(wh, "LastMinuteSales").ValueOrDie());
+
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "Country"}};
+  OlapResult a = OlapEngine(&wh).Execute(q).ValueOrDie();
+  OlapResult b = OlapEngine(&back).Execute(q).ValueOrDie();
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i][0].ToString(), b.rows[i][0].ToString());
+    EXPECT_DOUBLE_EQ(a.rows[i][1].ToDouble(), b.rows[i][1].ToDouble());
+  }
+}
+
+TEST_F(PersistenceTest, MembersWithoutFactsSurvive) {
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  // No sales generated: dimensions are populated, facts are empty.
+  ASSERT_TRUE(WarehousePersistence::Save(wh, dir_.string()).ok());
+  Warehouse back =
+      WarehousePersistence::Load(dir_.string()).ValueOrDie();
+  EXPECT_EQ(back.MemberNames("Airport").ValueOrDie().size(),
+            integration::LastMinuteSales::Airports().size());
+  EXPECT_EQ(back.FactRowCount("LastMinuteSales").ValueOrDie(), 0u);
+}
+
+TEST_F(PersistenceTest, ExpectedFilesWritten) {
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ASSERT_TRUE(WarehousePersistence::Save(wh, dir_.string()).ok());
+  EXPECT_TRUE(fs::exists(dir_ / "schema.txt"));
+  EXPECT_TRUE(fs::exists(dir_ / "dim_Airport.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "fact_LastMinuteSales.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "fact_Weather.csv"));
+}
+
+TEST_F(PersistenceTest, LoadFromMissingDirectoryFails) {
+  EXPECT_TRUE(WarehousePersistence::Load("/no/such/dwqa/dir")
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

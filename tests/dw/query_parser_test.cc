@@ -1,0 +1,165 @@
+#include "dw/query_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "integration/last_minute_sales.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+TEST(QueryParserTest, MinimalQuery) {
+  auto q = QueryParser::Parse("SELECT SUM(Tickets) FROM LastMinuteSales");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->fact, "LastMinuteSales");
+  ASSERT_EQ(q->measures.size(), 1u);
+  EXPECT_EQ(q->measures[0].measure, "Tickets");
+  EXPECT_EQ(q->measures[0].agg, AggFn::kSum);
+  EXPECT_TRUE(q->group_by.empty());
+  EXPECT_TRUE(q->filters.empty());
+}
+
+TEST(QueryParserTest, FullQuery) {
+  auto q = QueryParser::Parse(
+      "SELECT AVG(Price), SUM(Tickets) FROM LastMinuteSales "
+      "BY destination.Country, date.Year "
+      "WHERE destination.Country IN (Spain, France) AND date.Year = 2004");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->measures.size(), 2u);
+  EXPECT_EQ(q->measures[0].agg, AggFn::kAvg);
+  ASSERT_EQ(q->group_by.size(), 2u);
+  EXPECT_EQ(q->group_by[0].role, "destination");
+  EXPECT_EQ(q->group_by[0].level, "Country");
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_EQ(q->filters[0].values,
+            (std::vector<std::string>{"Spain", "France"}));
+  EXPECT_EQ(q->filters[1].values, (std::vector<std::string>{"2004"}));
+}
+
+TEST(QueryParserTest, KeywordsCaseInsensitive) {
+  auto q = QueryParser::Parse(
+      "select min(Price) from Sales by dest.City where dest.City = Madrid");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->measures[0].agg, AggFn::kMin);
+}
+
+TEST(QueryParserTest, QuotedIdentifiersAllowSpaces) {
+  auto q = QueryParser::Parse(
+      "SELECT COUNT(Price) FROM \"Last Minute Sales\" "
+      "BY destination.City WHERE destination.City = \"New York\"");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->fact, "Last Minute Sales");
+  EXPECT_EQ(q->filters[0].values[0], "New York");
+}
+
+TEST(QueryParserTest, DateLikeValuesLex) {
+  auto q = QueryParser::Parse(
+      "SELECT AVG(TemperatureC) FROM Weather BY location.City "
+      "WHERE day.Month = 2004-01");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->filters[0].values[0], "2004-01");
+}
+
+TEST(QueryParserTest, AllAggregationFunctions) {
+  auto q = QueryParser::Parse(
+      "SELECT SUM(a), COUNT(a), AVG(a), MIN(a), MAX(a) FROM f");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->measures.size(), 5u);
+  EXPECT_EQ(q->measures[4].agg, AggFn::kMax);
+}
+
+TEST(QueryParserTest, SyntaxErrors) {
+  EXPECT_FALSE(QueryParser::Parse("").ok());
+  EXPECT_FALSE(QueryParser::Parse("FROM Sales").ok());
+  EXPECT_FALSE(QueryParser::Parse("SELECT FROM Sales").ok());
+  EXPECT_FALSE(QueryParser::Parse("SELECT ZAP(x) FROM Sales").ok());
+  EXPECT_FALSE(QueryParser::Parse("SELECT SUM(x FROM Sales").ok());
+  EXPECT_FALSE(QueryParser::Parse("SELECT SUM(x)").ok());
+  EXPECT_FALSE(QueryParser::Parse("SELECT SUM(x) FROM Sales BY role").ok());
+  EXPECT_FALSE(
+      QueryParser::Parse("SELECT SUM(x) FROM Sales WHERE a.b").ok());
+  EXPECT_FALSE(
+      QueryParser::Parse("SELECT SUM(x) FROM Sales trailing junk").ok());
+  EXPECT_FALSE(
+      QueryParser::Parse("SELECT SUM(x) FROM Sales WHERE a.b IN ()").ok());
+}
+
+TEST(QueryParserTest, ParsedQueryExecutes) {
+  // End-to-end: a parsed query runs on a real warehouse and matches the
+  // programmatic equivalent.
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  web::WeatherModel weather(42);
+  ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                  &wh, weather, Date(2004, 1, 1), 60)
+                  .ok());
+  OlapEngine engine(&wh);
+
+  auto parsed = QueryParser::Parse(
+      "SELECT SUM(Tickets) FROM LastMinuteSales BY destination.Country "
+      "WHERE destination.Country = Spain");
+  ASSERT_TRUE(parsed.ok());
+  OlapResult from_text = engine.Execute(*parsed).ValueOrDie();
+
+  OlapQuery manual;
+  manual.fact = "LastMinuteSales";
+  manual.measures = {{"Tickets", AggFn::kSum}};
+  manual.group_by = {{"destination", "Country"}};
+  manual.filters = {{"destination", "Country", {"Spain"}}};
+  OlapResult from_code = engine.Execute(manual).ValueOrDie();
+
+  ASSERT_EQ(from_text.rows.size(), from_code.rows.size());
+  EXPECT_EQ(from_text.rows[0][1].ToDouble(),
+            from_code.rows[0][1].ToDouble());
+}
+
+TEST(QueryParserTest, HavingClause) {
+  auto q = QueryParser::Parse(
+      "SELECT SUM(Tickets), AVG(Price) FROM LastMinuteSales "
+      "BY destination.City "
+      "HAVING SUM(Tickets) >= 100 AND AVG(Price) < 200");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->having.size(), 2u);
+  EXPECT_EQ(q->having[0].measure_index, 0u);
+  EXPECT_EQ(q->having[0].op, CompareOp::kGreaterEqual);
+  EXPECT_DOUBLE_EQ(q->having[0].value, 100.0);
+  EXPECT_EQ(q->having[1].measure_index, 1u);
+  EXPECT_EQ(q->having[1].op, CompareOp::kLess);
+}
+
+TEST(QueryParserTest, HavingMustReferenceSelectedAggregation) {
+  EXPECT_FALSE(QueryParser::Parse(
+                   "SELECT SUM(Tickets) FROM Sales HAVING AVG(Price) > 1")
+                   .ok());
+  EXPECT_FALSE(QueryParser::Parse(
+                   "SELECT SUM(Tickets) FROM Sales HAVING SUM(Tickets) > x")
+                   .ok());
+}
+
+TEST(QueryParserTest, HavingExecutes) {
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  web::WeatherModel weather(42);
+  ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                  &wh, weather, Date(2004, 1, 1), 60)
+                  .ok());
+  OlapEngine engine(&wh);
+  auto all = engine.Execute(*QueryParser::Parse(
+                 "SELECT SUM(Tickets) FROM LastMinuteSales "
+                 "BY destination.City"))
+                 .ValueOrDie();
+  auto filtered =
+      engine.Execute(*QueryParser::Parse(
+                "SELECT SUM(Tickets) FROM LastMinuteSales "
+                "BY destination.City HAVING SUM(Tickets) > 250"))
+          .ValueOrDie();
+  EXPECT_LT(filtered.rows.size(), all.rows.size());
+  for (const auto& row : filtered.rows) {
+    EXPECT_GT(row[1].ToDouble(), 250.0);
+  }
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

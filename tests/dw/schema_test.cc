@@ -1,0 +1,102 @@
+#include "dw/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+MdSchema SmallSchema() {
+  MdSchema s;
+  EXPECT_TRUE(
+      s.AddDimension({"Geo", {{"Airport"}, {"City"}, {"Country"}}}).ok());
+  EXPECT_TRUE(s.AddDimension({"Date", {{"Date"}, {"Year"}}}).ok());
+  FactDef f;
+  f.name = "Sales";
+  f.measures = {{"Price", ColumnType::kDouble, AggFn::kSum}};
+  f.roles = {{"dest", "Geo"}, {"when", "Date"}};
+  EXPECT_TRUE(s.AddFact(std::move(f)).ok());
+  return s;
+}
+
+TEST(SchemaTest, FindDimensionCaseInsensitive) {
+  MdSchema s = SmallSchema();
+  EXPECT_TRUE(s.FindDimension("geo").ok());
+  EXPECT_TRUE(s.FindDimension("GEO").ok());
+  EXPECT_TRUE(s.FindDimension("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, LevelIndexOrder) {
+  MdSchema s = SmallSchema();
+  const DimensionDef* geo = s.FindDimension("Geo").ValueOrDie();
+  EXPECT_EQ(geo->LevelIndex("Airport").ValueOrDie(), 0u);
+  EXPECT_EQ(geo->LevelIndex("country").ValueOrDie(), 2u);
+  EXPECT_TRUE(geo->LevelIndex("Continent").status().IsNotFound());
+}
+
+TEST(SchemaTest, FactLookups) {
+  MdSchema s = SmallSchema();
+  const FactDef* f = s.FindFact("sales").ValueOrDie();
+  EXPECT_EQ(f->MeasureIndex("price").ValueOrDie(), 0u);
+  EXPECT_EQ(f->RoleIndex("when").ValueOrDie(), 1u);
+  EXPECT_TRUE(f->MeasureIndex("ghost").status().IsNotFound());
+  EXPECT_TRUE(f->RoleIndex("ghost").status().IsNotFound());
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  MdSchema s = SmallSchema();
+  EXPECT_TRUE(s.AddDimension({"Geo", {{"X"}}}).IsAlreadyExists());
+  FactDef f;
+  f.name = "Sales";
+  EXPECT_TRUE(s.AddFact(std::move(f)).IsAlreadyExists());
+}
+
+TEST(SchemaTest, DimensionNeedsLevels) {
+  MdSchema s;
+  EXPECT_TRUE(s.AddDimension({"Empty", {}}).IsInvalidArgument());
+  EXPECT_TRUE(s.AddDimension({"", {{"L"}}}).IsInvalidArgument());
+}
+
+TEST(SchemaTest, FactNeedsKnownDimensions) {
+  MdSchema s;
+  FactDef f;
+  f.name = "F";
+  f.roles = {{"r", "Ghost"}};
+  EXPECT_TRUE(s.AddFact(std::move(f)).IsNotFound());
+}
+
+TEST(SchemaTest, ValidateDetectsDuplicateRolesAndMeasures) {
+  MdSchema s;
+  ASSERT_TRUE(s.AddDimension({"D", {{"L"}}}).ok());
+  FactDef f;
+  f.name = "F";
+  f.roles = {{"r", "D"}, {"R", "D"}};  // Same role, case-insensitively.
+  ASSERT_TRUE(s.AddFact(std::move(f)).ok());
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+
+  MdSchema s2;
+  ASSERT_TRUE(s2.AddDimension({"D", {{"L"}}}).ok());
+  FactDef f2;
+  f2.name = "F";
+  f2.roles = {{"r", "D"}};
+  f2.measures = {{"m", ColumnType::kDouble, AggFn::kSum},
+                 {"M", ColumnType::kDouble, AggFn::kSum}};
+  ASSERT_TRUE(s2.AddFact(std::move(f2)).ok());
+  EXPECT_TRUE(s2.Validate().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidSchemaValidates) {
+  EXPECT_TRUE(SmallSchema().Validate().ok());
+}
+
+TEST(SchemaTest, AggFnNames) {
+  EXPECT_STREQ(AggFnName(AggFn::kSum), "SUM");
+  EXPECT_STREQ(AggFnName(AggFn::kAvg), "AVG");
+  EXPECT_STREQ(AggFnName(AggFn::kCount), "COUNT");
+  EXPECT_STREQ(AggFnName(AggFn::kMin), "MIN");
+  EXPECT_STREQ(AggFnName(AggFn::kMax), "MAX");
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,62 @@
+#include "dw/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.ToString(), "");
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 0.0);
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(5.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(std::string("abc")).is_string());
+  EXPECT_TRUE(Value(Date(2004, 1, 31)).is_date());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("x").as_string(), "x");
+  EXPECT_EQ(Value(Date(2004, 1, 31)).as_date(), Date(2004, 1, 31));
+}
+
+TEST(ValueTest, ToDoubleCoercesNumerics) {
+  EXPECT_DOUBLE_EQ(Value(7).ToDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value("8").ToDouble(), 0.0);  // Strings do not coerce.
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value(2.5).ToString(), "2.50");
+  EXPECT_EQ(Value("Barcelona").ToString(), "Barcelona");
+  EXPECT_EQ(Value(Date(2004, 1, 31)).ToString(), "2004-01-31");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(7), Value(7));
+  EXPECT_FALSE(Value(7) == Value(8));
+  EXPECT_FALSE(Value(7) == Value(7.0));  // Different alternatives differ.
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, ColumnTypeNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt64), "int64");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDouble), "double");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kString), "string");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDate), "date");
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

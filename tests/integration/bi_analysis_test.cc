@@ -1,0 +1,107 @@
+#include "integration/bi_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "dw/etl.h"
+#include "integration/last_minute_sales.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+/// Feeds the Weather fact directly from the weather model (a perfect
+/// extractor), so the BI join is isolated from QA noise.
+void FeedPerfectWeather(dw::Warehouse* wh, const web::WeatherModel& weather,
+                        const Date& start, int days) {
+  dw::EtlLoader loader(wh);
+  for (const auto& airport : LastMinuteSales::Airports()) {
+    Date d = start;
+    for (int i = 0; i < days; ++i, d = d.NextDay()) {
+      auto temp = weather.TemperatureCelsius(airport.city, d);
+      if (!temp.ok()) continue;
+      dw::FactRecord rec;
+      rec.role_paths = {{airport.city}, dw::DateMemberPath(d), {"truth://"}};
+      rec.measures = {dw::Value(*temp)};
+      ASSERT_TRUE(loader.LoadRecord("Weather", rec).ok());
+    }
+  }
+}
+
+TEST(BiAnalysisTest, RecoversPlantedBoostRange) {
+  web::WeatherModel weather(42);
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ASSERT_TRUE(LastMinuteSales::GenerateSales(&wh, weather, Date(2004, 1, 1),
+                                             365)
+                  .ok());
+  FeedPerfectWeather(&wh, weather, Date(2004, 1, 1), 365);
+  BiReport report =
+      BiAnalysis::SalesVsTemperature(wh).ValueOrDie();
+  ASSERT_FALSE(report.ranges.empty());
+  EXPECT_GT(report.joined_days, 300u);
+  // The best bucket overlaps the planted [18, 28) interval.
+  EXPECT_GE(report.best.high_c, LastMinuteSales::kBoostLowC);
+  EXPECT_LE(report.best.low_c, LastMinuteSales::kBoostHighC);
+  // Inside-range demand is roughly double the outside-range demand.
+  double inside = 0, outside = 0;
+  size_t nin = 0, nout = 0;
+  for (const auto& r : report.ranges) {
+    if (r.observations < 3) continue;
+    bool in = r.low_c >= LastMinuteSales::kBoostLowC - 1 &&
+              r.high_c <= LastMinuteSales::kBoostHighC + 3;
+    if (in) {
+      inside += r.avg_tickets;
+      ++nin;
+    } else {
+      outside += r.avg_tickets;
+      ++nout;
+    }
+  }
+  ASSERT_GT(nin, 0u);
+  ASSERT_GT(nout, 0u);
+  EXPECT_GT(inside / nin, 1.5 * (outside / nout));
+}
+
+TEST(BiAnalysisTest, BucketWidthControlsGranularity) {
+  web::WeatherModel weather(42);
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ASSERT_TRUE(LastMinuteSales::GenerateSales(&wh, weather, Date(2004, 6, 1),
+                                             60)
+                  .ok());
+  FeedPerfectWeather(&wh, weather, Date(2004, 6, 1), 60);
+  auto coarse = BiAnalysis::SalesVsTemperature(wh, "LastMinuteSales",
+                                               "Weather", 10.0)
+                    .ValueOrDie();
+  auto fine = BiAnalysis::SalesVsTemperature(wh, "LastMinuteSales",
+                                             "Weather", 2.0)
+                  .ValueOrDie();
+  EXPECT_GT(fine.ranges.size(), coarse.ranges.size());
+}
+
+TEST(BiAnalysisTest, EmptyJoinIsNotFound) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  web::WeatherModel weather(42);
+  ASSERT_TRUE(LastMinuteSales::GenerateSales(&wh, weather, Date(2004, 1, 1),
+                                             10)
+                  .ok());
+  // No weather rows fed → nothing joins.
+  EXPECT_TRUE(BiAnalysis::SalesVsTemperature(wh).status().IsNotFound());
+}
+
+TEST(BiAnalysisTest, BadBucketWidthRejected) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  EXPECT_TRUE(BiAnalysis::SalesVsTemperature(wh, "LastMinuteSales",
+                                             "Weather", 0.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BiAnalysisTest, UnknownFactsRejected) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  EXPECT_TRUE(BiAnalysis::SalesVsTemperature(wh, "Ghost", "Weather")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,138 @@
+// The full paper scenario as one test: Steps 1–5 over the synthetic web,
+// DW-generated questions, extraction accuracy against the ground truth, and
+// the final BI analysis recovering the planted temperature/sales
+// relationship.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "integration/bi_analysis.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+#include "integration/query_generation.h"
+#include "web/question_factory.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wh_ = std::make_unique<dw::Warehouse>(
+        LastMinuteSales::MakeWarehouse().ValueOrDie());
+    web::WebConfig config;
+    config.seed = 42;
+    config.months = {1, 7};
+    webb_ = std::make_unique<web::SyntheticWeb>(
+        web::SyntheticWeb::Build(config).ValueOrDie());
+    uml_ = LastMinuteSales::MakeUmlModel();
+
+    ASSERT_TRUE(LastMinuteSales::GenerateSales(
+                    wh_.get(), webb_->weather(), Date(2004, 1, 1), 365)
+                    .ok());
+
+    PipelineConfig config2 = LastMinuteSales::DefaultPipelineConfig();
+    config2.qa.max_answers = 40;
+    pipeline_ = std::make_unique<IntegrationPipeline>(wh_.get(), &uml_,
+                                                      config2);
+    ASSERT_TRUE(pipeline_->RunAll(&webb_->documents()).ok());
+  }
+
+  std::unique_ptr<dw::Warehouse> wh_;
+  std::unique_ptr<web::SyntheticWeb> webb_;
+  ontology::UmlModel uml_;
+  std::unique_ptr<IntegrationPipeline> pipeline_;
+};
+
+TEST_F(EndToEndTest, ExtractedTemperaturesMatchGroundTruth) {
+  auto report = pipeline_->RunStep5(
+      {"What is the temperature in Barcelona in January of 2004?"},
+      "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->facts.size(), 3u);
+  size_t correct = 0;
+  for (const auto& fact : report->facts) {
+    if (!fact.date.has_value()) continue;
+    auto it = webb_->truth().temperature.find(
+        {ToLower(fact.location), fact.date->ToIsoString()});
+    if (it == webb_->truth().temperature.end()) continue;
+    // Accept the published mean (prose pages) or high/low (table pages);
+    // Fahrenheit values convert.
+    double celsius = fact.unit == "F" ? (fact.value - 32.0) * 5.0 / 9.0
+                                      : fact.value;
+    if (std::abs(celsius - it->second) < 0.76 ||
+        std::abs(celsius - (it->second + 3)) < 0.01 ||
+        std::abs(celsius - (it->second - 3)) < 0.01) {
+      ++correct;
+    }
+  }
+  // Precision of the fed tuples (the paper's Figure 4 claim: generated
+  // "successfully and correctly").
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(report->facts.size()),
+            0.8);
+}
+
+TEST_F(EndToEndTest, DwGeneratedQuestionsFeedTheWarehouse) {
+  AnalysisContext ctx;
+  ctx.attribute = "temperature";
+  ctx.dimension = "Airport";
+  ctx.level = "City";
+  std::vector<std::string> questions;
+  for (int month : {1, 7}) {
+    ctx.month = month;
+    auto qs = QueryGeneration::GenerateQuestions(*wh_, ctx).ValueOrDie();
+    questions.insert(questions.end(), qs.begin(), qs.end());
+  }
+  auto report =
+      pipeline_->RunStep5(questions, "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->questions_asked, 18u);  // 9 cities × 2 months.
+  EXPECT_GT(report->rows_loaded, 50u);
+
+  auto bi = BiAnalysis::SalesVsTemperature(*wh_);
+  ASSERT_TRUE(bi.ok()) << bi.status();
+  // The BI layer sees the planted pleasant-range boost through the
+  // QA-extracted weather data.
+  EXPECT_GE(bi->best.high_c, LastMinuteSales::kBoostLowC);
+  EXPECT_LE(bi->best.low_c, LastMinuteSales::kBoostHighC);
+}
+
+TEST_F(EndToEndTest, ClefStyleAccuracyAboveBaseline) {
+  auto questions = web::QuestionFactory::ClefStyleQuestions();
+  size_t correct = 0, answered = 0;
+  for (const auto& gq : questions) {
+    auto answers = pipeline_->aliqan()->Ask(gq.question);
+    if (!answers.ok() || answers->empty()) continue;
+    ++answered;
+    const auto& best = answers->best();
+    if (web::QuestionFactory::Matches(gq, best.answer_text, best.has_value,
+                                      best.value)) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(answered, questions.size() / 2);
+  // Over the 20-category set, at least 60% top-1 accuracy.
+  EXPECT_GE(correct * 10, questions.size() * 6)
+      << correct << "/" << questions.size();
+}
+
+TEST_F(EndToEndTest, QuestionTypeDetectionAccuracy) {
+  auto questions = web::QuestionFactory::ClefStyleQuestions();
+  size_t typed = 0;
+  for (const auto& gq : questions) {
+    auto analysis = pipeline_->aliqan()->AnalyzeQuestion(gq.question);
+    ASSERT_TRUE(analysis.ok());
+    if (analysis->answer_type == gq.expected_type) ++typed;
+  }
+  // Every question pattern maps to its taxonomy category.
+  EXPECT_EQ(typed, questions.size());
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,125 @@
+#include "integration/last_minute_sales.h"
+
+#include <gtest/gtest.h>
+
+#include "dw/olap.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+TEST(LastMinuteSalesTest, UmlModelValidates) {
+  ontology::UmlModel model = LastMinuteSales::MakeUmlModel();
+  EXPECT_TRUE(model.Validate().ok());
+  // The Figure 1 shape: one fact, three dimensions, hierarchies.
+  EXPECT_EQ(model.ClassesWithStereotype(ontology::ClassStereotype::kFact)
+                .size(),
+            1u);
+  EXPECT_EQ(
+      model.ClassesWithStereotype(ontology::ClassStereotype::kDimension)
+          .size(),
+      3u);
+  auto chain = model.HierarchyFrom("Airport");
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain.back(), "Country");
+}
+
+TEST(LastMinuteSalesTest, FactHasPaperMeasures) {
+  ontology::UmlModel model = LastMinuteSales::MakeUmlModel();
+  const ontology::UmlClass* fact =
+      model.FindClass("Last Minute Sales").ValueOrDie();
+  std::set<std::string> names;
+  for (const auto& a : fact->attributes) names.insert(a.name);
+  EXPECT_TRUE(names.count("Price"));
+  EXPECT_TRUE(names.count("Miles"));
+}
+
+TEST(LastMinuteSalesTest, SchemaMatchesModel) {
+  dw::MdSchema schema = LastMinuteSales::MakeSchema();
+  EXPECT_TRUE(schema.Validate().ok());
+  const dw::FactDef* sales = schema.FindFact("LastMinuteSales").ValueOrDie();
+  EXPECT_EQ(sales->roles.size(), 4u);  // origin/destination/customer/date.
+  EXPECT_TRUE(sales->RoleIndex("origin").ok());
+  EXPECT_TRUE(sales->RoleIndex("destination").ok());
+  // The Step-5 feedback fact exists.
+  EXPECT_TRUE(schema.FindFact("Weather").ok());
+}
+
+TEST(LastMinuteSalesTest, WarehousePreloadsMembers) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  EXPECT_TRUE(wh.FindMember("Airport", "El Prat").ok());
+  EXPECT_TRUE(wh.FindMember("Airport", "JFK").ok());
+  EXPECT_TRUE(wh.FindMember("Customer", "Customer-0").ok());
+  dw::MemberId prat = wh.FindMember("Airport", "El Prat").ValueOrDie();
+  EXPECT_EQ(wh.MemberLevelValue("Airport", prat, "City").ValueOrDie(),
+            "Barcelona");
+  EXPECT_EQ(wh.MemberLevelValue("Airport", prat, "Country").ValueOrDie(),
+            "Spain");
+}
+
+TEST(LastMinuteSalesTest, AmbiguousAirportsPresent) {
+  // The names the paper's Step 2 discussion revolves around.
+  const auto& airports = LastMinuteSales::Airports();
+  std::set<std::string> names;
+  for (const auto& a : airports) names.insert(a.name);
+  EXPECT_TRUE(names.count("JFK"));
+  EXPECT_TRUE(names.count("John Wayne"));
+  EXPECT_TRUE(names.count("La Guardia"));
+  EXPECT_TRUE(names.count("El Prat"));
+}
+
+TEST(LastMinuteSalesTest, DefaultPipelineConfigCarriesJfkAlias) {
+  PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
+  ASSERT_TRUE(config.member_aliases.count("jfk"));
+  EXPECT_EQ(config.member_aliases.at("jfk")[0],
+            "Kennedy International Airport");
+}
+
+TEST(LastMinuteSalesTest, GenerateSalesDeterministic) {
+  web::WeatherModel weather(42);
+  dw::Warehouse a = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  dw::Warehouse b = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  size_t na = LastMinuteSales::GenerateSales(&a, weather, Date(2004, 1, 1),
+                                             30)
+                  .ValueOrDie();
+  size_t nb = LastMinuteSales::GenerateSales(&b, weather, Date(2004, 1, 1),
+                                             30)
+                  .ValueOrDie();
+  EXPECT_EQ(na, nb);
+  EXPECT_GT(na, 100u);
+}
+
+TEST(LastMinuteSalesTest, PlantedWeatherBoostVisible) {
+  // Days in the pleasant range sell about twice as many tickets: compare
+  // mean tickets/day/destination across a summer vs a winter month for a
+  // Mediterranean city.
+  web::WeatherModel weather(42);
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ASSERT_TRUE(LastMinuteSales::GenerateSales(&wh, weather, Date(2004, 1, 1),
+                                             365)
+                  .ok());
+  dw::OlapEngine engine(&wh);
+  auto month_tickets = [&](const std::string& month) {
+    dw::OlapQuery q;
+    q.fact = "LastMinuteSales";
+    q.measures = {{"Tickets", dw::AggFn::kSum}};
+    q.filters = {{"destination", "City", {"Barcelona"}},
+                 {"date", "Month", {month}}};
+    return engine.Execute(q).ValueOrDie().rows[0][0].ToDouble();
+  };
+  double january = month_tickets("2004-01");
+  double june = month_tickets("2004-06");
+  EXPECT_GT(june, january * 1.4);
+}
+
+TEST(LastMinuteSalesTest, GenerateSalesNullWarehouseRejected) {
+  web::WeatherModel weather(42);
+  EXPECT_TRUE(LastMinuteSales::GenerateSales(nullptr, weather,
+                                             Date(2004, 1, 1), 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

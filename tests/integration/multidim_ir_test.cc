@@ -1,0 +1,119 @@
+#include "integration/multidim_ir.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+/// Mirrors the example of the paper's §2 (after McCabe et al.): news about
+/// the "financial crisis" categorized by city and time, searched with
+/// OLAP-style scoping and drill-down.
+class MultidimIrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mdir_ = std::make_unique<MultidimIr>(MultidimIr::Create().ValueOrDie());
+    Add(0, "the financial crisis deepened on wall street",
+        "New York", "United States", Date(1998, 2, 10));
+    Add(1, "financial crisis summit held downtown",
+        "New York", "United States", Date(1998, 7, 3));
+    Add(2, "financial crisis hits european banks",
+        "London", "United Kingdom", Date(1998, 2, 20));
+    Add(3, "city marathon draws record crowd",
+        "New York", "United States", Date(1998, 2, 11));
+  }
+
+  void Add(ir::DocId id, const std::string& text, const std::string& city,
+           const std::string& country, const Date& date) {
+    ASSERT_TRUE(mdir_->AddDocument(id, text, city, country, date).ok());
+  }
+
+  std::unique_ptr<MultidimIr> mdir_;
+};
+
+TEST_F(MultidimIrTest, UnscopedSearchFindsAllMatches) {
+  auto hits = mdir_->Search("financial crisis", {}).ValueOrDie();
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST_F(MultidimIrTest, SliceByCityAndQuarter) {
+  // "documents with the terms 'financial crisis' published during the
+  // first quarter of 1998 in New York".
+  std::vector<dw::Filter> filters = {
+      {"location", "City", {"New York"}},
+      {"published", "Month", {"1998-01", "1998-02", "1998-03"}},
+  };
+  auto hits = mdir_->Search("financial crisis", filters).ValueOrDie();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 0);
+}
+
+TEST_F(MultidimIrTest, DrillDownToJuly) {
+  // "...and then drilling down to obtain those documents published in
+  // July 1998".
+  std::vector<dw::Filter> filters = {
+      {"location", "City", {"New York"}},
+      {"published", "Month", {"1998-07"}},
+  };
+  auto hits = mdir_->Search("financial crisis", filters).ValueOrDie();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 1);
+}
+
+TEST_F(MultidimIrTest, CountryLevelRollUp) {
+  std::vector<dw::Filter> filters = {
+      {"location", "Country", {"United States"}}};
+  auto hits = mdir_->Search("financial crisis", filters).ValueOrDie();
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(MultidimIrTest, CountByLevel) {
+  auto by_city = mdir_->CountBy("location", "City").ValueOrDie();
+  ASSERT_EQ(by_city.rows.size(), 2u);
+  // London: 1 doc, New York: 3 docs (rows sorted by key).
+  EXPECT_EQ(by_city.rows[0][0].ToString(), "London");
+  EXPECT_EQ(by_city.rows[0][1].as_int(), 1);
+  EXPECT_EQ(by_city.rows[1][1].as_int(), 3);
+
+  auto by_year =
+      mdir_->CountBy("published", "Year",
+                     {{"location", "City", {"New York"}}})
+          .ValueOrDie();
+  ASSERT_EQ(by_year.rows.size(), 1u);
+  EXPECT_EQ(by_year.rows[0][1].as_int(), 3);
+}
+
+TEST_F(MultidimIrTest, KeywordAndScopeBothRequired) {
+  // Scoped but query matches nothing.
+  auto none = mdir_->Search("zeppelin", {{"location", "City",
+                                          {"New York"}}})
+                  .ValueOrDie();
+  EXPECT_TRUE(none.empty());
+  // Query matches but scope excludes everything.
+  auto none2 =
+      mdir_->Search("financial crisis", {{"location", "City", {"Madrid"}}})
+          .ValueOrDie();
+  EXPECT_TRUE(none2.empty());
+}
+
+TEST_F(MultidimIrTest, InvalidInputsRejected) {
+  EXPECT_TRUE(mdir_->AddDocument(-1, "x", "a", "b", Date(1998, 1, 1))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(mdir_->AddDocument(9, "x", "a", "b", Date(1998, 2, 30))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(mdir_->Search("x", {{"ghost", "City", {"a"}}})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(mdir_->Search("x", {{"location", "Continent", {"a"}}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(MultidimIrTest, TopKRespected) {
+  auto hits = mdir_->Search("financial crisis", {}, 2).ValueOrDie();
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,237 @@
+// Cross-module property tests: parameterized sweeps over seeds, window
+// sizes and corpora that assert system-level invariants rather than single
+// behaviours.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "dw/query_parser.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+#include "ir/passage_index.h"
+#include "text/pos_tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Extraction precision holds across synthetic-web seeds (the result is not
+// an artifact of one lucky weather world).
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, ProseExtractionPrecisionStable) {
+  web::WebConfig config;
+  config.seed = GetParam();
+  config.cities = {"Barcelona"};
+  config.months = {1};
+  config.table_weather = false;
+  auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
+
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ontology::UmlModel uml = LastMinuteSales::MakeUmlModel();
+  PipelineConfig pconfig = LastMinuteSales::DefaultPipelineConfig();
+  pconfig.qa.max_answers = 40;
+  IntegrationPipeline pipeline(&wh, &uml, pconfig);
+  ASSERT_TRUE(pipeline.RunAll(&webb.documents()).ok());
+  auto report = pipeline.RunStep5(
+      {"What is the temperature in Barcelona in January of 2004?"},
+      "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->facts.size(), 5u);
+  size_t correct = 0;
+  for (const auto& fact : report->facts) {
+    if (bench::CheckTemperatureFact(webb.truth(), fact, false)
+            .FullyCorrect()) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct * 10, report->facts.size() * 9)
+      << correct << "/" << report->facts.size() << " at seed "
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 7, 42, 99, 12345));
+
+// ---------------------------------------------------------------------------
+// Passage-window invariants hold for every window size.
+class WindowSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WindowSweep, PassageInvariants) {
+  web::WebConfig config;
+  config.cities = {"Barcelona", "Madrid"};
+  config.months = {1};
+  auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
+  ir::PassageIndex index(GetParam());
+  for (const auto& doc : webb.documents().documents()) {
+    index.AddDocument(doc.id, doc.raw);
+  }
+  auto passages = index.Search("Barcelona temperature January 2004", 8);
+  ASSERT_FALSE(passages.empty());
+  for (size_t i = 0; i < passages.size(); ++i) {
+    const ir::Passage& p = passages[i];
+    // Window size bound.
+    EXPECT_LE(p.last_sentence - p.first_sentence + 1, index.window());
+    // In-range sentences.
+    EXPECT_LT(p.last_sentence, index.Sentences(p.doc).size());
+    // Scores descending.
+    if (i > 0) EXPECT_GE(passages[i - 1].score, p.score);
+    // Non-overlap within a document.
+    for (size_t j = i + 1; j < passages.size(); ++j) {
+      if (passages[j].doc != p.doc) continue;
+      bool overlap = p.first_sentence <= passages[j].last_sentence &&
+                     passages[j].first_sentence <= p.last_sentence;
+      EXPECT_FALSE(overlap);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Tokenizer offsets are consistent on every generated page.
+TEST(TokenizerCorpusProperty, OffsetsConsistentOnSyntheticWeb) {
+  web::WebConfig config;
+  config.cities = {"Barcelona"};
+  config.months = {1};
+  auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
+  text::PosTagger tagger;
+  for (const auto& doc : webb.documents().documents()) {
+    for (const std::string& sentence :
+         text::SentenceSplitter::Split(doc.raw)) {
+      auto toks = text::Tokenizer::Tokenize(sentence);
+      size_t prev_end = 0;
+      for (const auto& t : toks) {
+        ASSERT_GE(t.begin, prev_end);
+        ASSERT_LE(t.end, sentence.size());
+        ASSERT_LT(t.begin, t.end);
+        prev_end = t.end;
+      }
+      // Tagging never leaves a token untagged.
+      tagger.Tag(&toks);
+      for (const auto& t : toks) {
+        ASSERT_FALSE(t.tag.empty());
+        ASSERT_FALSE(t.lemma.empty());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline is deterministic: identical configs produce identical feeds.
+TEST(PipelineDeterminismProperty, SameConfigSameFeed) {
+  auto run = [] {
+    web::WebConfig config;
+    config.cities = {"Barcelona", "Madrid"};
+    config.months = {1};
+    auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
+    auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+    ontology::UmlModel uml = LastMinuteSales::MakeUmlModel();
+    IntegrationPipeline pipeline(&wh, &uml,
+                                 LastMinuteSales::DefaultPipelineConfig());
+    EXPECT_TRUE(pipeline.RunAll(&webb.documents()).ok());
+    auto report = pipeline.RunStep5(
+        {"What is the temperature in Madrid in January of 2004?"},
+        "Weather", "temperature");
+    EXPECT_TRUE(report.ok());
+    return qa::StructuredFactsToCsv(report->facts);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Query-parser fuzz: mutated query strings never crash; they parse or fail
+// with a Status.
+TEST(QueryParserFuzzProperty, MutatedInputsDoNotCrash) {
+  const std::string base =
+      "SELECT SUM(Tickets), AVG(Price) FROM LastMinuteSales "
+      "BY destination.City WHERE date.Year IN (2004, 2005) "
+      "HAVING SUM(Tickets) >= 10";
+  Rng rng(2024);
+  const char kChars[] = "(),.=<>\"abcZ19 \t";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    size_t edits = 1 + rng.NextBelow(4);
+    for (size_t e = 0; e < edits; ++e) {
+      size_t pos = rng.NextIndex(mutated.size());
+      char c = kChars[rng.NextIndex(sizeof(kChars) - 1)];
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mutated[pos] = c;
+          break;
+        case 1:
+          mutated.insert(pos, 1, c);
+          break;
+        case 2:
+          mutated.erase(pos, 1);
+          break;
+      }
+    }
+    auto result = dw::QueryParser::Parse(mutated);  // Must not crash.
+    if (result.ok()) {
+      EXPECT_FALSE(result->fact.empty());
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The Step-4 conversion axiom at work: a Fahrenheit-only corpus still feeds
+// correct Celsius values into the warehouse.
+class ProseStyleSweep : public ::testing::TestWithParam<web::ProseStyle> {};
+
+TEST_P(ProseStyleSweep, CorrectCelsiusRegardlessOfPublishedUnit) {
+  web::WebConfig config;
+  config.cities = {"Barcelona"};
+  config.months = {1};
+  config.table_weather = false;
+  config.prose_style = GetParam();
+  auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
+
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ontology::UmlModel uml = LastMinuteSales::MakeUmlModel();
+  PipelineConfig pconfig = LastMinuteSales::DefaultPipelineConfig();
+  pconfig.qa.max_answers = 40;
+  IntegrationPipeline pipeline(&wh, &uml, pconfig);
+  ASSERT_TRUE(pipeline.RunAll(&webb.documents()).ok());
+  auto report = pipeline.RunStep5(
+      {"What is the temperature in Barcelona in January of 2004?"},
+      "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->rows_loaded, 5u);
+
+  // Check the values as they landed in the warehouse (post conversion).
+  dw::OlapEngine engine(&wh);
+  dw::OlapQuery q;
+  q.fact = "Weather";
+  q.measures = {{"TemperatureC", dw::AggFn::kAvg}};
+  q.group_by = {{"day", "Date"}};
+  dw::OlapResult r = engine.Execute(q).ValueOrDie();
+  size_t checked = 0;
+  for (const auto& row : r.rows) {
+    auto it = webb.truth().temperature.find(
+        {"barcelona", row[0].ToString()});
+    if (it == webb.truth().temperature.end()) continue;
+    // Fahrenheit rounding to 1 decimal loses < 0.06 ºC.
+    EXPECT_NEAR(row[1].ToDouble(), it->second, 0.1) << row[0].ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Styles, ProseStyleSweep,
+    ::testing::Values(web::ProseStyle::kCelsiusWithFahrenheit,
+                      web::ProseStyle::kFahrenheitWithCelsius,
+                      web::ProseStyle::kFahrenheitOnly));
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,93 @@
+#include "integration/query_generation.h"
+
+#include <gtest/gtest.h>
+
+#include "integration/last_minute_sales.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+TEST(QueryGenerationTest, OneQuestionPerDistinctCity) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  AnalysisContext ctx;
+  ctx.attribute = "temperature";
+  ctx.dimension = "Airport";
+  ctx.level = "City";
+  ctx.year = 2004;
+  ctx.month = 1;
+  auto questions = QueryGeneration::GenerateQuestions(wh, ctx).ValueOrDie();
+  // 10 airports in 9 distinct cities (JFK and La Guardia share New York).
+  EXPECT_EQ(questions.size(), 9u);
+  bool found = false;
+  for (const auto& q : questions) {
+    if (q == "What is the temperature in Barcelona in January of 2004?") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryGenerationTest, AirportLevelAsksPerAirport) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  AnalysisContext ctx;
+  ctx.attribute = "temperature";
+  ctx.dimension = "Airport";
+  ctx.level = "Airport";
+  auto questions = QueryGeneration::GenerateQuestions(wh, ctx).ValueOrDie();
+  EXPECT_EQ(questions.size(), LastMinuteSales::Airports().size());
+  bool prat = false;
+  for (const auto& q : questions) {
+    if (q.find("El Prat") != std::string::npos) prat = true;
+  }
+  EXPECT_TRUE(prat);
+}
+
+TEST(QueryGenerationTest, WeatherTemplate) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  AnalysisContext ctx;
+  ctx.attribute = "weather";
+  ctx.dimension = "Airport";
+  ctx.level = "City";
+  ctx.month = 5;
+  ctx.year = 1997;
+  auto questions = QueryGeneration::GenerateQuestions(wh, ctx).ValueOrDie();
+  ASSERT_FALSE(questions.empty());
+  EXPECT_NE(questions[0].find("What is the weather like in"),
+            std::string::npos);
+  EXPECT_NE(questions[0].find("May of 1997"), std::string::npos);
+}
+
+TEST(QueryGenerationTest, UnknownAttributeUnimplemented) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  AnalysisContext ctx;
+  ctx.attribute = "humidity level of the cargo bay";
+  ctx.dimension = "Airport";
+  ctx.level = "City";
+  EXPECT_TRUE(QueryGeneration::GenerateQuestions(wh, ctx)
+                  .status()
+                  .IsUnimplemented());
+}
+
+TEST(QueryGenerationTest, BadContextRejected) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  AnalysisContext ctx;
+  ctx.attribute = "temperature";
+  ctx.dimension = "Ghost";
+  ctx.level = "City";
+  EXPECT_TRUE(
+      QueryGeneration::GenerateQuestions(wh, ctx).status().IsNotFound());
+  ctx.dimension = "Airport";
+  ctx.level = "Continent";
+  EXPECT_TRUE(
+      QueryGeneration::GenerateQuestions(wh, ctx).status().IsNotFound());
+  ctx.level = "City";
+  ctx.month = 0;
+  EXPECT_TRUE(QueryGeneration::GenerateQuestions(wh, ctx)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

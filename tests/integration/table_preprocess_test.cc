@@ -1,0 +1,111 @@
+#include "integration/table_preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "text/entities.h"
+#include "text/pos_tagger.h"
+#include "text/tokenizer.h"
+#include "ir/html.h"
+#include "text/sentence_splitter.h"
+#include "web/page_generators.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+ir::Document TableDoc() {
+  web::WeatherModel model(42);
+  ir::Document doc;
+  doc.id = 0;
+  doc.url = "web://weather-table/barcelona";
+  doc.format = ir::DocFormat::kHtml;
+  doc.raw = web::PageGenerators::TableWeatherPage(model, "Barcelona", 2004, 1)
+                .ValueOrDie();
+  return doc;
+}
+
+TEST(TablePreprocessTest, EmitsProseSentencesWithUnits) {
+  std::string out = TablePreprocessor{}(TableDoc());
+  EXPECT_NE(out.find("the high temperature was"), std::string::npos);
+  EXPECT_NE(out.find("the low temperature was"), std::string::npos);
+  EXPECT_NE(out.find("On January 5, 2004"), std::string::npos);
+  // The unit, lost by naive stripping, is restored from the header.
+  size_t pos = out.find("the high temperature was");
+  std::string tail = out.substr(pos, 60);
+  EXPECT_NE(tail.find("\xC2\xBA\x43"), std::string::npos);
+}
+
+TEST(TablePreprocessTest, RecognizersFireOnEmittedProse) {
+  std::string out = TablePreprocessor{}(TableDoc());
+  // Find the sentence for January 5 and check a temperature mention with a
+  // known scale is recognized there.
+  size_t pos = out.find("On January 5, 2004");
+  ASSERT_NE(pos, std::string::npos);
+  std::string sentence = out.substr(pos, out.find('\n', pos) - pos);
+  auto toks = text::Tokenizer::Tokenize(sentence);
+  text::PosTagger tagger;
+  tagger.Tag(&toks);
+  auto temps = text::EntityRecognizer::FindTemperatures(toks);
+  ASSERT_GE(temps.size(), 2u);  // High and low.
+  EXPECT_EQ(temps[0].scale, 'C');
+  auto dates = text::EntityRecognizer::FindDates(toks);
+  ASSERT_FALSE(dates.empty());
+  EXPECT_TRUE(dates[0].IsComplete());
+}
+
+TEST(TablePreprocessTest, NaiveStrippingLosesTheUnit) {
+  // The contrast the E6 ablation measures: without the preprocessor the
+  // same page yields temperature mentions with unknown scale.
+  ir::Document doc = TableDoc();
+  std::string naive = ir::Html::StripTags(doc.raw);
+  bool any_unknown = false;
+  for (const std::string& line : text::SentenceSplitter::Split(naive)) {
+    auto toks = text::Tokenizer::Tokenize(line);
+    text::PosTagger tagger;
+    tagger.Tag(&toks);
+    for (const auto& m : text::EntityRecognizer::FindTemperatures(toks)) {
+      if (m.scale == '?') any_unknown = true;
+      EXPECT_NE(m.scale, 'C');  // The scale letter never made it out.
+    }
+  }
+  EXPECT_TRUE(any_unknown);
+}
+
+TEST(TablePreprocessTest, PlainTextPassesThrough) {
+  ir::Document doc;
+  doc.format = ir::DocFormat::kPlainText;
+  doc.raw = "no html at all";
+  EXPECT_EQ(TablePreprocessor{}(doc), "no html at all");
+}
+
+TEST(TablePreprocessTest, HtmlWithoutTablesJustStripped) {
+  ir::Document doc;
+  doc.format = ir::DocFormat::kHtml;
+  doc.raw = "<p>hello <b>world</b></p>";
+  std::string out = TablePreprocessor{}(doc);
+  EXPECT_NE(out.find("hello world"), std::string::npos);
+  EXPECT_EQ(out.find("temperature was"), std::string::npos);
+}
+
+TEST(TablePreprocessTest, HeaderlessTableIgnored) {
+  ir::Document doc;
+  doc.format = ir::DocFormat::kHtml;
+  doc.raw = "<table><tr><td>January 5, 2004</td><td>12\xC2\xBA</td></tr>"
+            "<tr><td>January 6, 2004</td><td>10\xC2\xBA</td></tr></table>";
+  std::string out = TablePreprocessor{}(doc);
+  EXPECT_EQ(out.find("temperature was"), std::string::npos);
+}
+
+TEST(TablePreprocessTest, FahrenheitHeaderRespected) {
+  ir::Document doc;
+  doc.format = ir::DocFormat::kHtml;
+  doc.raw =
+      "<table><tr><th>Date</th><th>Temp (F)</th></tr>"
+      "<tr><td>January 5, 2004</td><td>46</td></tr></table>";
+  std::string out = TablePreprocessor{}(doc);
+  EXPECT_NE(out.find("the temperature was 46 F"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

@@ -1,0 +1,112 @@
+#include "ir/html.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace ir {
+namespace {
+
+TEST(HtmlTest, StripRemovesTags) {
+  std::string out = Html::StripTags("<b>bold</b> and <i>italic</i>");
+  EXPECT_EQ(out, "bold and italic");
+}
+
+TEST(HtmlTest, BlockTagsBecomeNewlines) {
+  std::string out =
+      Html::StripTags("<p>Monday, January 31, 2004</p><p>Barcelona</p>");
+  EXPECT_NE(out.find("Monday, January 31, 2004\n"), std::string::npos);
+  EXPECT_NE(out.find("\nBarcelona"), std::string::npos);
+}
+
+TEST(HtmlTest, ScriptAndStyleContentDropped) {
+  std::string out = Html::StripTags(
+      "before<script>var x = 1;</script>middle<style>.a{}</style>after");
+  EXPECT_EQ(out.find("var x"), std::string::npos);
+  EXPECT_NE(out.find("before"), std::string::npos);
+  EXPECT_NE(out.find("middle"), std::string::npos);
+  EXPECT_NE(out.find("after"), std::string::npos);
+}
+
+TEST(HtmlTest, EntitiesDecoded) {
+  EXPECT_EQ(Html::DecodeEntities("a &amp; b &lt;c&gt; &quot;d&quot;"),
+            "a & b <c> \"d\"");
+  EXPECT_EQ(Html::DecodeEntities("8&deg;C"), "8\xC2\xBA\x43");
+  EXPECT_EQ(Html::DecodeEntities("&#186;"), "\xC2\xBA");
+  EXPECT_EQ(Html::DecodeEntities("&#65;"), "A");
+  EXPECT_EQ(Html::DecodeEntities("x&nbsp;y"), "x y");
+}
+
+TEST(HtmlTest, UnknownEntityPreserved) {
+  EXPECT_EQ(Html::DecodeEntities("&zzz;"), "&zzz;");
+  EXPECT_EQ(Html::DecodeEntities("lone & ampersand"), "lone & ampersand");
+}
+
+TEST(HtmlTest, WhitespaceSqueezed) {
+  std::string out = Html::StripTags("a    b\t\tc");
+  EXPECT_EQ(out, "a b c");
+}
+
+TEST(HtmlTest, PlainTextPassesThrough) {
+  EXPECT_EQ(Html::StripTags("no tags here"), "no tags here");
+}
+
+TEST(HtmlTest, UnterminatedTagDoesNotCrash) {
+  std::string out = Html::StripTags("text <unclosed");
+  EXPECT_NE(out.find("text"), std::string::npos);
+}
+
+TEST(HtmlTableTest, ExtractSimpleTable) {
+  std::string html =
+      "<table><tr><th>Date</th><th>High</th></tr>"
+      "<tr><td>January 5, 2004</td><td>12</td></tr>"
+      "<tr><td>January 6, 2004</td><td>10</td></tr></table>";
+  auto tables = Html::ExtractTables(html);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].has_header);
+  ASSERT_EQ(tables[0].rows.size(), 3u);
+  EXPECT_EQ(tables[0].rows[0][0], "Date");
+  EXPECT_EQ(tables[0].rows[1][0], "January 5, 2004");
+  EXPECT_EQ(tables[0].rows[2][1], "10");
+}
+
+TEST(HtmlTableTest, TableWithoutHeader) {
+  std::string html =
+      "<table><tr><td>a</td><td>b</td></tr></table>";
+  auto tables = Html::ExtractTables(html);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_FALSE(tables[0].has_header);
+}
+
+TEST(HtmlTableTest, MultipleTables) {
+  std::string html =
+      "<table><tr><td>1</td></tr></table>text"
+      "<table><tr><td>2</td></tr></table>";
+  auto tables = Html::ExtractTables(html);
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].rows[0][0], "1");
+  EXPECT_EQ(tables[1].rows[0][0], "2");
+}
+
+TEST(HtmlTableTest, NestedMarkupInCells) {
+  std::string html =
+      "<table><tr><td><b>bold</b> cell</td></tr></table>";
+  auto tables = Html::ExtractTables(html);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows[0][0], "bold cell");
+}
+
+TEST(HtmlTableTest, NoTablesInPlainHtml) {
+  EXPECT_TRUE(Html::ExtractTables("<p>just text</p>").empty());
+}
+
+TEST(HtmlTableTest, CaseInsensitiveTags) {
+  std::string html =
+      "<TABLE><TR><TD>x</TD></TR></TABLE>";
+  auto tables = Html::ExtractTables(html);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows[0][0], "x");
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace dwqa

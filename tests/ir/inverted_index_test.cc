@@ -1,0 +1,118 @@
+#include "ir/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/stopwords.h"
+
+namespace dwqa {
+namespace ir {
+namespace {
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.AddDocument(0, "Barcelona weather is mild in January");
+    index_.AddDocument(1, "Madrid weather in July is hot");
+    index_.AddDocument(2, "The stock market rose in January");
+    index_.AddDocument(3,
+                       "Barcelona Barcelona Barcelona football club news");
+  }
+  InvertedIndex index_;
+};
+
+TEST_F(InvertedIndexTest, FindsMatchingDocuments) {
+  auto hits = index_.Search("Barcelona weather");
+  ASSERT_FALSE(hits.empty());
+  // Document-level TF-IDF lets the term-spamming football page (doc 3)
+  // outrank the one that covers both query terms — precisely the
+  // low-precision IR behaviour the paper criticizes (§1). Both docs are
+  // found; the full-coverage one carries matched_terms == 2.
+  bool found_full_coverage = false;
+  for (const DocHit& h : hits) {
+    if (h.doc == 0) {
+      EXPECT_EQ(h.matched_terms, 2u);
+      found_full_coverage = true;
+    }
+  }
+  EXPECT_TRUE(found_full_coverage);
+}
+
+TEST_F(InvertedIndexTest, StopwordsIgnored) {
+  // "the", "is", "in" carry no signal.
+  auto hits = index_.Search("the is in");
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(index_.DocFreq("the"), 0u);
+}
+
+TEST_F(InvertedIndexTest, CaseInsensitive) {
+  auto hits = index_.Search("BARCELONA");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(index_.DocFreq("barcelona"), 2u);
+}
+
+TEST_F(InvertedIndexTest, TfMattersButLengthNormalized) {
+  auto hits = index_.Search("Barcelona");
+  ASSERT_EQ(hits.size(), 2u);
+  // Doc 3 repeats the term 3 times: more weight despite normalization.
+  EXPECT_EQ(hits[0].doc, 3);
+}
+
+TEST_F(InvertedIndexTest, RareTermsWeighMore) {
+  index_.AddDocument(4, "hot hot hot market market january weather");
+  // "hot" (2 docs) is rarer than "january" (3 docs); a doc with only "hot"
+  // should beat one with only "january" at equal tf.
+  index_.AddDocument(5, "hot");
+  index_.AddDocument(6, "january");
+  auto hits = index_.Search("hot january");
+  ASSERT_GE(hits.size(), 3u);
+  double hot_score = 0, january_score = 0;
+  for (const auto& h : hits) {
+    if (h.doc == 5) hot_score = h.score;
+    if (h.doc == 6) january_score = h.score;
+  }
+  EXPECT_GT(hot_score, january_score);
+}
+
+TEST_F(InvertedIndexTest, TopKRespected) {
+  auto hits = index_.Search("January weather Barcelona Madrid", 2);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(InvertedIndexTest, NoMatchesEmpty) {
+  EXPECT_TRUE(index_.Search("zeppelin").empty());
+  EXPECT_TRUE(index_.Search("").empty());
+}
+
+TEST_F(InvertedIndexTest, DeterministicTieBreak) {
+  InvertedIndex idx;
+  idx.AddDocument(7, "alpha beta");
+  idx.AddDocument(3, "alpha beta");
+  auto hits = idx.Search("alpha");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 3);  // Lower id wins on equal score.
+}
+
+TEST_F(InvertedIndexTest, DuplicateQueryTermsCountOnce) {
+  auto once = index_.Search("weather");
+  auto thrice = index_.Search("weather weather weather");
+  ASSERT_EQ(once.size(), thrice.size());
+  EXPECT_DOUBLE_EQ(once[0].score, thrice[0].score);
+}
+
+TEST_F(InvertedIndexTest, Counters) {
+  EXPECT_EQ(index_.document_count(), 4u);
+  EXPECT_GT(index_.term_count(), 5u);
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  for (const char* w : {"the", "is", "of", "in", "what", "which"}) {
+    EXPECT_TRUE(Stopwords::IsStopword(w)) << w;
+  }
+  for (const char* w : {"temperature", "barcelona", "weather", "january"}) {
+    EXPECT_FALSE(Stopwords::IsStopword(w)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace dwqa

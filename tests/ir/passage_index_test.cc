@@ -1,0 +1,123 @@
+#include "ir/passage_index.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace ir {
+namespace {
+
+std::string WeatherDoc() {
+  // Line-per-sentence, Figure 4 layout.
+  return "Saturday, January 31, 2004\n"
+         "Barcelona Weather: Temperature 8\xC2\xBA C around 46.4 F\n"
+         "Friday, January 30, 2004\n"
+         "Barcelona Weather: Temperature 7\xC2\xBA C Clear skies\n"
+         "Some unrelated footer line about cookies\n";
+}
+
+std::string NoiseDoc() {
+  return "The stock market rose in January.\n"
+         "Analysts in New York expected the 2004 rally.\n";
+}
+
+class PassageIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.AddDocument(0, WeatherDoc());
+    index_.AddDocument(1, NoiseDoc());
+  }
+  PassageIndex index_{3};
+};
+
+TEST_F(PassageIndexTest, FindsBestPassage) {
+  auto passages = index_.Search("Barcelona January 2004 temperature");
+  ASSERT_FALSE(passages.empty());
+  EXPECT_EQ(passages[0].doc, 0);
+  EXPECT_NE(passages[0].text.find("Barcelona Weather"), std::string::npos);
+}
+
+TEST_F(PassageIndexTest, PassageIsConsecutiveSentenceWindow) {
+  auto passages = index_.Search("Barcelona temperature");
+  ASSERT_FALSE(passages.empty());
+  const Passage& p = passages[0];
+  EXPECT_LE(p.last_sentence - p.first_sentence + 1, index_.window());
+  // Text is the join of those sentences.
+  const auto& sents = index_.Sentences(p.doc);
+  std::string expect;
+  for (size_t s = p.first_sentence; s <= p.last_sentence; ++s) {
+    if (!expect.empty()) expect += '\n';
+    expect += sents[s];
+  }
+  EXPECT_EQ(p.text, expect);
+}
+
+TEST_F(PassageIndexTest, CoverageBeatsRepetition) {
+  PassageIndex idx(4);
+  // Doc 0 repeats one term many times; doc 1 covers both query terms once.
+  idx.AddDocument(0,
+                  "january january.\njanuary january.\njanuary january.\n"
+                  "january january.\n");
+  idx.AddDocument(1, "january weather in the city.\n");
+  auto passages = idx.Search("january weather");
+  ASSERT_FALSE(passages.empty());
+  EXPECT_EQ(passages[0].doc, 1);
+}
+
+TEST_F(PassageIndexTest, SelectedPassagesDoNotOverlap) {
+  auto passages = index_.Search("Barcelona temperature January", 5);
+  for (size_t i = 0; i < passages.size(); ++i) {
+    for (size_t j = i + 1; j < passages.size(); ++j) {
+      if (passages[i].doc != passages[j].doc) continue;
+      bool overlap =
+          passages[i].first_sentence <= passages[j].last_sentence &&
+          passages[j].first_sentence <= passages[i].last_sentence;
+      EXPECT_FALSE(overlap);
+    }
+  }
+}
+
+TEST_F(PassageIndexTest, TopKRespected) {
+  auto passages = index_.Search("January 2004", 1);
+  EXPECT_EQ(passages.size(), 1u);
+}
+
+TEST_F(PassageIndexTest, EmptyAndStopwordQueries) {
+  EXPECT_TRUE(index_.Search("").empty());
+  EXPECT_TRUE(index_.Search("the of is").empty());
+  EXPECT_TRUE(index_.Search("zeppelin dirigible").empty());
+}
+
+TEST_F(PassageIndexTest, SentencesStoredPerDocument) {
+  EXPECT_EQ(index_.Sentences(0).size(), 5u);
+  EXPECT_EQ(index_.Sentences(1).size(), 2u);
+  EXPECT_TRUE(index_.Sentences(99).empty());
+}
+
+TEST_F(PassageIndexTest, WindowSizeClampsAtDocumentEnd) {
+  PassageIndex idx(8);
+  idx.AddDocument(0, "only sentence about barcelona.\n");
+  auto passages = idx.Search("barcelona");
+  ASSERT_EQ(passages.size(), 1u);
+  EXPECT_EQ(passages[0].first_sentence, 0u);
+  EXPECT_EQ(passages[0].last_sentence, 0u);
+}
+
+TEST_F(PassageIndexTest, ScoresDescending) {
+  auto passages = index_.Search("Barcelona January 2004 weather", 5);
+  for (size_t i = 1; i < passages.size(); ++i) {
+    EXPECT_GE(passages[i - 1].score, passages[i].score);
+  }
+}
+
+TEST_F(PassageIndexTest, ZeroWindowClampsToOne) {
+  PassageIndex idx(0);
+  EXPECT_EQ(idx.window(), 1u);
+  idx.AddDocument(0, "barcelona weather.\nanother sentence.\n");
+  auto passages = idx.Search("barcelona");
+  ASSERT_EQ(passages.size(), 1u);
+  EXPECT_EQ(passages[0].first_sentence, passages[0].last_sentence);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace dwqa

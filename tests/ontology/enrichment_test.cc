@@ -1,0 +1,108 @@
+#include "ontology/enrichment.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/wordnet.h"
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+std::vector<InstanceSeed> AirportSeeds() {
+  return {
+      {"El Prat", {}, "Barcelona", ""},
+      {"JFK", {"Kennedy International Airport"}, "New York", ""},
+      {"John Wayne", {}, "Costa Mesa", ""},
+  };
+}
+
+TEST(EnrichmentTest, AddsInstancesUnderConcept) {
+  Ontology onto = MiniWordNet::Build();
+  auto report = Enricher::Enrich(&onto, "airport", AirportSeeds());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->instances_added, 3u);
+  ConceptId airport = onto.FindClass("airport").ValueOrDie();
+  // "El Prat" now has an airport sense besides the musical-group sense.
+  bool has_airport_sense = false;
+  for (ConceptId id : onto.Find("el prat")) {
+    if (onto.IsA(id, airport)) has_airport_sense = true;
+  }
+  EXPECT_TRUE(has_airport_sense);
+}
+
+TEST(EnrichmentTest, PartOfLinksToExistingCityInstance) {
+  Ontology onto = MiniWordNet::Build();
+  ASSERT_TRUE(Enricher::Enrich(&onto, "airport", AirportSeeds()).ok());
+  ConceptId airport = onto.FindClass("airport").ValueOrDie();
+  ConceptId el_prat = kInvalidConcept;
+  for (ConceptId id : onto.Find("el prat")) {
+    if (onto.IsA(id, airport)) el_prat = id;
+  }
+  ASSERT_NE(el_prat, kInvalidConcept);
+  auto parts = onto.Related(el_prat, RelationKind::kPartOf);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(onto.GetConcept(parts[0]).lemma, "barcelona");
+  // The pre-existing Barcelona instance was reused, not duplicated.
+  EXPECT_TRUE(onto.GetConcept(parts[0]).is_instance);
+}
+
+TEST(EnrichmentTest, UnknownContainerGetsCreated) {
+  Ontology onto = MiniWordNet::Build();
+  // "Costa Mesa" is a weather-model city but also exists in MiniWordNet?
+  // Use a genuinely unknown town.
+  std::vector<InstanceSeed> seeds = {{"Tiny Field", {}, "Nowhereville", ""}};
+  ASSERT_TRUE(Enricher::Enrich(&onto, "airport", seeds).ok());
+  EXPECT_FALSE(onto.Find("nowhereville").empty());
+}
+
+TEST(EnrichmentTest, AliasesRegistered) {
+  Ontology onto = MiniWordNet::Build();
+  ASSERT_TRUE(Enricher::Enrich(&onto, "airport", AirportSeeds()).ok());
+  // The alias lets "Kennedy International Airport" find the JFK instance.
+  ConceptId airport = onto.FindClass("airport").ValueOrDie();
+  bool found = false;
+  for (ConceptId id : onto.Find("kennedy international airport")) {
+    if (onto.IsA(id, airport) && onto.GetConcept(id).source == "dw") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnrichmentTest, ReEnrichmentIsIdempotent) {
+  Ontology onto = MiniWordNet::Build();
+  size_t n1 = 0;
+  {
+    auto report = Enricher::Enrich(&onto, "airport", AirportSeeds());
+    ASSERT_TRUE(report.ok());
+    n1 = onto.concept_count();
+  }
+  auto report = Enricher::Enrich(&onto, "airport", AirportSeeds());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->instances_added, 0u);
+  EXPECT_EQ(report->skipped_existing, 3u);
+  EXPECT_EQ(onto.concept_count(), n1);
+}
+
+TEST(EnrichmentTest, UnknownConceptFails) {
+  Ontology onto = MiniWordNet::Build();
+  auto report = Enricher::Enrich(&onto, "zeppelin port", AirportSeeds());
+  EXPECT_TRUE(report.status().IsNotFound());
+}
+
+TEST(EnrichmentTest, EmptySeedNameFails) {
+  Ontology onto = MiniWordNet::Build();
+  std::vector<InstanceSeed> seeds = {{"", {}, "", ""}};
+  EXPECT_TRUE(
+      Enricher::Enrich(&onto, "airport", seeds).status().IsInvalidArgument());
+}
+
+TEST(EnrichmentTest, NullOntologyFails) {
+  EXPECT_TRUE(Enricher::Enrich(nullptr, "airport", AirportSeeds())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,176 @@
+#include "ontology/ontology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+class OntologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    entity_ = onto_.AddConcept("entity", "root", "test").ValueOrDie();
+    location_ =
+        onto_.AddConcept("location", "a place", "test").ValueOrDie();
+    city_ = onto_.AddConcept("city", "urban area", "test").ValueOrDie();
+    ASSERT_TRUE(
+        onto_.AddRelation(location_, RelationKind::kHypernym, entity_).ok());
+    ASSERT_TRUE(
+        onto_.AddRelation(city_, RelationKind::kHypernym, location_).ok());
+    barcelona_ =
+        onto_.AddInstance("Barcelona", "city in Spain", "test").ValueOrDie();
+    ASSERT_TRUE(
+        onto_.AddRelation(barcelona_, RelationKind::kInstanceOf, city_).ok());
+  }
+
+  Ontology onto_;
+  ConceptId entity_, location_, city_, barcelona_;
+};
+
+TEST_F(OntologyTest, AddAndLookup) {
+  EXPECT_EQ(onto_.concept_count(), 4u);
+  auto found = onto_.FindClass("city");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, city_);
+  EXPECT_EQ(onto_.GetConcept(city_).lemma, "city");
+  EXPECT_FALSE(onto_.GetConcept(city_).is_instance);
+  EXPECT_TRUE(onto_.GetConcept(barcelona_).is_instance);
+}
+
+TEST_F(OntologyTest, EmptyNameRejected) {
+  EXPECT_FALSE(onto_.AddConcept("", "x", "test").ok());
+}
+
+TEST_F(OntologyTest, LemmaIsLowercased) {
+  auto ids = onto_.Find("barcelona");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], barcelona_);
+}
+
+TEST_F(OntologyTest, MultipleSensesShareLemma) {
+  ConceptId state1 =
+      onto_.AddConcept("state", "a condition", "test").ValueOrDie();
+  ConceptId state2 =
+      onto_.AddConcept("state", "administrative district", "test")
+          .ValueOrDie();
+  auto ids = onto_.Find("state");
+  EXPECT_EQ(ids.size(), 2u);
+  // First-sense heuristic: earliest insertion wins.
+  EXPECT_EQ(onto_.FindClass("state").ValueOrDie(), state1);
+  (void)state2;
+}
+
+TEST_F(OntologyTest, InverseRelationsMaintained) {
+  auto hypos = onto_.Related(location_, RelationKind::kHyponym);
+  ASSERT_EQ(hypos.size(), 1u);
+  EXPECT_EQ(hypos[0], city_);
+  auto insts = onto_.Related(city_, RelationKind::kHasInstance);
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_EQ(insts[0], barcelona_);
+}
+
+TEST_F(OntologyTest, RelationRejectsSelfLoopAndBadIds) {
+  EXPECT_TRUE(onto_.AddRelation(city_, RelationKind::kSynonymOf, city_)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(onto_.AddRelation(city_, RelationKind::kHypernym, 999)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(onto_.AddRelation(-1, RelationKind::kHypernym, city_)
+                  .IsInvalidArgument());
+}
+
+TEST_F(OntologyTest, DuplicateRelationIsIdempotent) {
+  size_t before = onto_.relation_count();
+  EXPECT_TRUE(
+      onto_.AddRelation(city_, RelationKind::kHypernym, location_).ok());
+  EXPECT_EQ(onto_.relation_count(), before);
+}
+
+TEST_F(OntologyTest, IsATransitive) {
+  EXPECT_TRUE(onto_.IsA(barcelona_, city_));
+  EXPECT_TRUE(onto_.IsA(barcelona_, location_));
+  EXPECT_TRUE(onto_.IsA(barcelona_, entity_));
+  EXPECT_TRUE(onto_.IsA(city_, entity_));
+  EXPECT_FALSE(onto_.IsA(entity_, city_));
+  EXPECT_TRUE(onto_.IsA(city_, city_));  // Reflexive.
+}
+
+TEST_F(OntologyTest, HypernymPathWalksUp) {
+  auto path = onto_.HypernymPath(barcelona_);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], barcelona_);
+  EXPECT_EQ(path[1], city_);
+  EXPECT_EQ(path[2], location_);
+  EXPECT_EQ(path[3], entity_);
+}
+
+TEST_F(OntologyTest, SubtreeCollectsDescendants) {
+  auto subtree = onto_.SubtreeOf(entity_);
+  EXPECT_EQ(subtree.size(), 3u);  // location, city, barcelona.
+  auto limited = onto_.SubtreeOf(entity_, 2);
+  EXPECT_EQ(limited.size(), 2u);
+}
+
+TEST_F(OntologyTest, AliasesFindTheConcept) {
+  ASSERT_TRUE(onto_.AddAlias(barcelona_, "BCN").ok());
+  auto ids = onto_.Find("bcn");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], barcelona_);
+  // Duplicate alias is a no-op.
+  ASSERT_TRUE(onto_.AddAlias(barcelona_, "BCN").ok());
+  EXPECT_EQ(onto_.GetConcept(barcelona_).aliases.size(), 1u);
+  // Alias equal to the lemma itself is a no-op.
+  ASSERT_TRUE(onto_.AddAlias(barcelona_, "Barcelona").ok());
+  EXPECT_EQ(onto_.GetConcept(barcelona_).aliases.size(), 1u);
+}
+
+TEST_F(OntologyTest, AxiomsSetGetOverwrite) {
+  ASSERT_TRUE(onto_.SetAxiom(city_, "min_population", "1000").ok());
+  EXPECT_EQ(onto_.GetAxiom(city_, "min_population").ValueOrDie(), "1000");
+  ASSERT_TRUE(onto_.SetAxiom(city_, "min_population", "5000").ok());
+  EXPECT_EQ(onto_.GetAxiom(city_, "min_population").ValueOrDie(), "5000");
+  EXPECT_TRUE(onto_.GetAxiom(city_, "nope").status().IsNotFound());
+  EXPECT_TRUE(onto_.GetAxiom(999, "x").status().IsInvalidArgument());
+}
+
+TEST_F(OntologyTest, FindUnknownLemmaEmpty) {
+  EXPECT_TRUE(onto_.Find("zzz").empty());
+  EXPECT_TRUE(onto_.FindClass("zzz").status().IsNotFound());
+}
+
+TEST_F(OntologyTest, SymmetricRelationKinds) {
+  EXPECT_EQ(InverseRelation(RelationKind::kSynonymOf),
+            RelationKind::kSynonymOf);
+  EXPECT_EQ(InverseRelation(RelationKind::kAntonym), RelationKind::kAntonym);
+  EXPECT_EQ(InverseRelation(RelationKind::kHypernym),
+            RelationKind::kHyponym);
+  EXPECT_EQ(InverseRelation(RelationKind::kPartOf), RelationKind::kHasPart);
+  EXPECT_EQ(InverseRelation(RelationKind::kInstanceOf),
+            RelationKind::kHasInstance);
+  EXPECT_EQ(InverseRelation(RelationKind::kHasProperty),
+            RelationKind::kPropertyOf);
+}
+
+TEST_F(OntologyTest, AllRelationKindsHaveNames) {
+  for (RelationKind k :
+       {RelationKind::kHypernym, RelationKind::kHyponym,
+        RelationKind::kSynonymOf, RelationKind::kPartOf,
+        RelationKind::kHasPart, RelationKind::kAntonym,
+        RelationKind::kInstanceOf, RelationKind::kHasInstance,
+        RelationKind::kHasProperty, RelationKind::kPropertyOf,
+        RelationKind::kAssociated}) {
+    EXPECT_STRNE(RelationKindName(k), "?");
+  }
+}
+
+TEST_F(OntologyTest, IsACrossesSynonymLinks) {
+  ConceptId town =
+      onto_.AddConcept("town", "small city", "test").ValueOrDie();
+  ASSERT_TRUE(onto_.AddRelation(town, RelationKind::kSynonymOf, city_).ok());
+  EXPECT_TRUE(onto_.IsA(town, location_));
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

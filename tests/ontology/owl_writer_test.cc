@@ -1,0 +1,119 @@
+#include "ontology/owl_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ontology/wordnet.h"
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+Ontology Small() {
+  Ontology o;
+  ConceptId airport =
+      o.AddConcept("airport", "an airfield", "test").ValueOrDie();
+  ConceptId facility =
+      o.AddConcept("facility", "a service building", "test").ValueOrDie();
+  EXPECT_TRUE(o.AddRelation(airport, RelationKind::kHypernym, facility).ok());
+  ConceptId prat =
+      o.AddInstance("El Prat", "Barcelona airport", "test").ValueOrDie();
+  EXPECT_TRUE(o.AddRelation(prat, RelationKind::kInstanceOf, airport).ok());
+  EXPECT_TRUE(o.AddAlias(prat, "BCN").ok());
+  EXPECT_TRUE(o.SetAxiom(airport, "kind", "transport").ok());
+  return o;
+}
+
+TEST(OwlWriterTest, ContainsOwlSkeleton) {
+  std::string xml = OwlWriter::ToOwlXml(Small());
+  EXPECT_NE(xml.find("<?xml version=\"1.0\"?>"), std::string::npos);
+  EXPECT_NE(xml.find("<rdf:RDF"), std::string::npos);
+  EXPECT_NE(xml.find("</rdf:RDF>"), std::string::npos);
+  EXPECT_NE(xml.find("<owl:Ontology"), std::string::npos);
+}
+
+TEST(OwlWriterTest, ClassesAndSubClassOf) {
+  std::string xml = OwlWriter::ToOwlXml(Small());
+  EXPECT_NE(xml.find("<owl:Class"), std::string::npos);
+  EXPECT_NE(xml.find("rdfs:subClassOf"), std::string::npos);
+  EXPECT_NE(xml.find("<rdfs:label>airport</rdfs:label>"),
+            std::string::npos);
+}
+
+TEST(OwlWriterTest, InstancesAsNamedIndividuals) {
+  std::string xml = OwlWriter::ToOwlXml(Small());
+  EXPECT_NE(xml.find("<owl:NamedIndividual"), std::string::npos);
+  EXPECT_NE(xml.find("<rdf:type"), std::string::npos);
+  EXPECT_NE(xml.find("<rdfs:label>El Prat</rdfs:label>"),
+            std::string::npos);
+}
+
+TEST(OwlWriterTest, AliasesAndAxiomsSerialized) {
+  std::string xml = OwlWriter::ToOwlXml(Small());
+  EXPECT_NE(xml.find("<dwqa:altLabel>bcn</dwqa:altLabel>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<dwqa:axiom_kind>transport</dwqa:axiom_kind>"),
+            std::string::npos);
+}
+
+TEST(OwlWriterTest, XmlEscaping) {
+  Ontology o;
+  ASSERT_TRUE(o.AddConcept("a<b>&\"c", "gloss with < and &", "test").ok());
+  std::string xml = OwlWriter::ToOwlXml(o);
+  EXPECT_EQ(xml.find("<b>&\"c"), std::string::npos);
+  EXPECT_NE(xml.find("a&lt;b&gt;&amp;&quot;c"), std::string::npos);
+}
+
+TEST(OwlWriterTest, FragmentsAreUniquePerConcept) {
+  Ontology o;
+  ASSERT_TRUE(o.AddConcept("state", "sense 1", "test").ok());
+  ASSERT_TRUE(o.AddConcept("state", "sense 2", "test").ok());
+  std::string xml = OwlWriter::ToOwlXml(o);
+  EXPECT_NE(xml.find("state_0"), std::string::npos);
+  EXPECT_NE(xml.find("state_1"), std::string::npos);
+}
+
+TEST(OwlWriterTest, CustomIriUsed) {
+  std::string xml = OwlWriter::ToOwlXml(Small(), "http://example.com/x");
+  EXPECT_NE(xml.find("http://example.com/x#"), std::string::npos);
+}
+
+TEST(OwlWriterTest, WriteFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/dwqa_owl_test.owl";
+  ASSERT_TRUE(OwlWriter::WriteFile(Small(), path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, OwlWriter::ToOwlXml(Small()));
+  std::remove(path.c_str());
+}
+
+TEST(OwlWriterTest, WriteFileBadPathFails) {
+  EXPECT_TRUE(OwlWriter::WriteFile(Small(), "/no/such/dir/file.owl")
+                  .IsIOError());
+}
+
+TEST(OwlWriterTest, FullMiniWordNetSerializes) {
+  Ontology wn = MiniWordNet::Build();
+  std::string xml = OwlWriter::ToOwlXml(wn);
+  EXPECT_GT(xml.size(), 10000u);
+  // Well-formed-ish: tags balance for the two element kinds we emit.
+  size_t open_cls = 0, close_cls = 0, pos = 0;
+  while ((pos = xml.find("<owl:Class", pos)) != std::string::npos) {
+    ++open_cls;
+    pos += 10;
+  }
+  pos = 0;
+  while ((pos = xml.find("</owl:Class>", pos)) != std::string::npos) {
+    ++close_cls;
+    pos += 12;
+  }
+  EXPECT_EQ(open_cls, close_cls);
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,109 @@
+#include "ontology/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/wordnet.h"
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+class SimilarityTest : public ::testing::Test {
+ protected:
+  Ontology wn_ = MiniWordNet::Build();
+
+  ConceptId C(const char* lemma) { return wn_.FindClass(lemma).ValueOrDie(); }
+};
+
+TEST_F(SimilarityTest, IdenticalConceptsScoreOne) {
+  EXPECT_DOUBLE_EQ(Similarity::WuPalmer(wn_, C("city"), C("city")), 1.0);
+  EXPECT_DOUBLE_EQ(Similarity::PathSimilarity(wn_, C("city"), C("city")),
+                   1.0);
+}
+
+TEST_F(SimilarityTest, SiblingsCloserThanStrangers) {
+  // city and country are both region hyponyms; city and airport only share
+  // the root.
+  double siblings = Similarity::WuPalmer(wn_, C("city"), C("country"));
+  double strangers = Similarity::WuPalmer(wn_, C("city"), C("airport"));
+  EXPECT_GT(siblings, strangers);
+  EXPECT_GT(siblings, 0.5);
+}
+
+TEST_F(SimilarityTest, LcsOfSiblingsIsParent) {
+  ConceptId lcs =
+      Similarity::LeastCommonSubsumer(wn_, C("city"), C("country"))
+          .ValueOrDie();
+  EXPECT_EQ(wn_.GetConcept(lcs).lemma, "region");
+}
+
+TEST_F(SimilarityTest, LcsWithAncestorIsTheAncestor) {
+  ConceptId lcs =
+      Similarity::LeastCommonSubsumer(wn_, C("capital"), C("location"))
+          .ValueOrDie();
+  EXPECT_EQ(lcs, C("location"));
+  // And similarity to a near ancestor beats similarity to the root.
+  EXPECT_GT(Similarity::WuPalmer(wn_, C("capital"), C("city")),
+            Similarity::WuPalmer(wn_, C("capital"), C("entity")));
+}
+
+TEST_F(SimilarityTest, InstancesWork) {
+  auto barcelona = wn_.Find("barcelona");
+  auto madrid = wn_.Find("madrid");
+  ASSERT_FALSE(barcelona.empty());
+  ASSERT_FALSE(madrid.empty());
+  double sim = Similarity::WuPalmer(wn_, barcelona[0], madrid[0]);
+  EXPECT_GT(sim, 0.6);  // Both cities.
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST_F(SimilarityTest, DisjointTreesScoreZero) {
+  Ontology o;
+  ConceptId a = o.AddConcept("alpha", "", "t").ValueOrDie();
+  ConceptId b = o.AddConcept("beta", "", "t").ValueOrDie();
+  EXPECT_DOUBLE_EQ(Similarity::WuPalmer(o, a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Similarity::PathSimilarity(o, a, b), 0.0);
+  EXPECT_TRUE(Similarity::LeastCommonSubsumer(o, a, b)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SimilarityTest, InvalidIdsRejected) {
+  EXPECT_TRUE(Similarity::LeastCommonSubsumer(wn_, -1, C("city"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(Similarity::WuPalmer(wn_, -1, C("city")), 0.0);
+}
+
+TEST_F(SimilarityTest, SymmetryProperty) {
+  const char* lemmas[] = {"city", "country", "airport", "temperature",
+                          "person", "sale"};
+  for (const char* a : lemmas) {
+    for (const char* b : lemmas) {
+      EXPECT_DOUBLE_EQ(Similarity::WuPalmer(wn_, C(a), C(b)),
+                       Similarity::WuPalmer(wn_, C(b), C(a)))
+          << a << "/" << b;
+      EXPECT_DOUBLE_EQ(Similarity::PathSimilarity(wn_, C(a), C(b)),
+                       Similarity::PathSimilarity(wn_, C(b), C(a)))
+          << a << "/" << b;
+    }
+  }
+}
+
+TEST_F(SimilarityTest, RangeProperty) {
+  const char* lemmas[] = {"city", "airport", "person", "month", "price"};
+  for (const char* a : lemmas) {
+    for (const char* b : lemmas) {
+      double wp = Similarity::WuPalmer(wn_, C(a), C(b));
+      EXPECT_GE(wp, 0.0);
+      EXPECT_LE(wp, 1.0);
+      double ps = Similarity::PathSimilarity(wn_, C(a), C(b));
+      EXPECT_GE(ps, 0.0);
+      EXPECT_LE(ps, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

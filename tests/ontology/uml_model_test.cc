@@ -1,0 +1,124 @@
+#include "ontology/uml_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+UmlModel SmallModel() {
+  UmlModel m;
+  UmlClass fact;
+  fact.name = "Sales";
+  fact.stereotype = ClassStereotype::kFact;
+  fact.attributes = {{"Price", "double", AttrStereotype::kFactAttribute}};
+  EXPECT_TRUE(m.AddClass(std::move(fact)).ok());
+  UmlClass dim;
+  dim.name = "Geo";
+  dim.stereotype = ClassStereotype::kDimension;
+  EXPECT_TRUE(m.AddClass(std::move(dim)).ok());
+  for (const char* level : {"Airport", "City", "Country"}) {
+    UmlClass base;
+    base.name = level;
+    base.stereotype = ClassStereotype::kBase;
+    EXPECT_TRUE(m.AddClass(std::move(base)).ok());
+  }
+  EXPECT_TRUE(
+      m.AddAssociation({"Sales", "Geo", AssocKind::kAssociation, "dest"})
+          .ok());
+  EXPECT_TRUE(
+      m.AddAssociation({"Geo", "Airport", AssocKind::kAggregation, ""}).ok());
+  EXPECT_TRUE(
+      m.AddAssociation({"Airport", "City", AssocKind::kRollsUpTo, ""}).ok());
+  EXPECT_TRUE(
+      m.AddAssociation({"City", "Country", AssocKind::kRollsUpTo, ""}).ok());
+  return m;
+}
+
+TEST(UmlModelTest, AddAndFindClass) {
+  UmlModel m = SmallModel();
+  EXPECT_EQ(m.classes().size(), 5u);
+  auto found = m.FindClass("city");
+  ASSERT_TRUE(found.ok());  // Case-insensitive.
+  EXPECT_EQ((*found)->name, "City");
+  EXPECT_TRUE(m.FindClass("Nope").status().IsNotFound());
+}
+
+TEST(UmlModelTest, DuplicateClassRejected) {
+  UmlModel m = SmallModel();
+  UmlClass dup;
+  dup.name = "city";
+  EXPECT_TRUE(m.AddClass(std::move(dup)).IsAlreadyExists());
+}
+
+TEST(UmlModelTest, EmptyNamesRejected) {
+  UmlModel m;
+  UmlClass c;
+  EXPECT_TRUE(m.AddClass(std::move(c)).IsInvalidArgument());
+  EXPECT_TRUE(m.AddAssociation({"", "x", AssocKind::kAssociation, ""})
+                  .IsInvalidArgument());
+}
+
+TEST(UmlModelTest, ValidModelPasses) {
+  EXPECT_TRUE(SmallModel().Validate().ok());
+}
+
+TEST(UmlModelTest, DanglingAssociationFailsValidation) {
+  UmlModel m = SmallModel();
+  ASSERT_TRUE(
+      m.AddAssociation({"Sales", "Ghost", AssocKind::kAssociation, ""}).ok());
+  EXPECT_TRUE(m.Validate().IsNotFound());
+}
+
+TEST(UmlModelTest, FactWithoutDimensionFailsValidation) {
+  UmlModel m;
+  UmlClass fact;
+  fact.name = "Orphan";
+  fact.stereotype = ClassStereotype::kFact;
+  ASSERT_TRUE(m.AddClass(std::move(fact)).ok());
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+}
+
+TEST(UmlModelTest, RollsUpToRequiresBaseClasses) {
+  UmlModel m = SmallModel();
+  ASSERT_TRUE(
+      m.AddAssociation({"Sales", "City", AssocKind::kRollsUpTo, ""}).ok());
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+}
+
+TEST(UmlModelTest, HierarchyCycleDetected) {
+  UmlModel m = SmallModel();
+  ASSERT_TRUE(
+      m.AddAssociation({"Country", "Airport", AssocKind::kRollsUpTo, ""})
+          .ok());
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(UmlModelTest, HierarchyFromWalksChain) {
+  UmlModel m = SmallModel();
+  auto chain = m.HierarchyFrom("Airport");
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], "Airport");
+  EXPECT_EQ(chain[1], "City");
+  EXPECT_EQ(chain[2], "Country");
+  EXPECT_EQ(m.HierarchyFrom("Country").size(), 1u);
+}
+
+TEST(UmlModelTest, ClassesWithStereotype) {
+  UmlModel m = SmallModel();
+  EXPECT_EQ(m.ClassesWithStereotype(ClassStereotype::kFact).size(), 1u);
+  EXPECT_EQ(m.ClassesWithStereotype(ClassStereotype::kDimension).size(), 1u);
+  EXPECT_EQ(m.ClassesWithStereotype(ClassStereotype::kBase).size(), 3u);
+}
+
+TEST(UmlModelTest, StereotypeNames) {
+  EXPECT_STREQ(ClassStereotypeName(ClassStereotype::kFact), "Fact");
+  EXPECT_STREQ(AttrStereotypeName(AttrStereotype::kDescriptor),
+               "Descriptor");
+  EXPECT_STREQ(AttrStereotypeName(AttrStereotype::kFactAttribute),
+               "FactAttribute");
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,118 @@
+#include "ontology/uml_to_ontology.h"
+
+#include <gtest/gtest.h>
+
+#include "integration/last_minute_sales.h"
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+TEST(UmlToOntologyTest, ClassesBecomeConcepts) {
+  UmlModel model = integration::LastMinuteSales::MakeUmlModel();
+  auto onto = UmlToOntology::Transform(model);
+  ASSERT_TRUE(onto.ok());
+  // Every UML class has a concept (the Figure 2 shape).
+  for (const UmlClass& c : model.classes()) {
+    EXPECT_TRUE(onto->FindClass(c.name).ok() ||
+                !onto->Find(c.name).empty())
+        << c.name;
+  }
+}
+
+TEST(UmlToOntologyTest, AttributesBecomePropertyConcepts) {
+  UmlModel model = integration::LastMinuteSales::MakeUmlModel();
+  Ontology onto = UmlToOntology::Transform(model).ValueOrDie();
+  ConceptId sales = onto.FindClass("last minute sales").ValueOrDie();
+  auto props = onto.Related(sales, RelationKind::kHasProperty);
+  // Price, Miles, Tickets.
+  EXPECT_EQ(props.size(), 3u);
+  bool has_price = false;
+  for (ConceptId p : props) {
+    if (onto.GetConcept(p).lemma == "price") has_price = true;
+  }
+  EXPECT_TRUE(has_price);
+}
+
+TEST(UmlToOntologyTest, RollsUpToBecomesPartOf) {
+  UmlModel model = integration::LastMinuteSales::MakeUmlModel();
+  Ontology onto = UmlToOntology::Transform(model).ValueOrDie();
+  ConceptId airport = onto.FindClass("airport").ValueOrDie();
+  ConceptId city = onto.FindClass("city").ValueOrDie();
+  auto parts = onto.Related(airport, RelationKind::kPartOf);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], city);
+}
+
+TEST(UmlToOntologyTest, AssociationsBecomeAssociated) {
+  UmlModel model = integration::LastMinuteSales::MakeUmlModel();
+  Ontology onto = UmlToOntology::Transform(model).ValueOrDie();
+  ConceptId sales = onto.FindClass("last minute sales").ValueOrDie();
+  auto assoc = onto.Related(sales, RelationKind::kAssociated);
+  // origin + destination collapse onto the same Airport Dimension concept
+  // (relation store is idempotent), plus Customer and Date dimensions.
+  EXPECT_EQ(assoc.size(), 3u);
+}
+
+TEST(UmlToOntologyTest, OidAttributesSkipped) {
+  UmlModel model;
+  UmlClass fact;
+  fact.name = "F";
+  fact.stereotype = ClassStereotype::kFact;
+  fact.attributes = {{"Id", "int", AttrStereotype::kOID},
+                     {"Amount", "double", AttrStereotype::kFactAttribute}};
+  ASSERT_TRUE(model.AddClass(std::move(fact)).ok());
+  UmlClass dim;
+  dim.name = "D";
+  dim.stereotype = ClassStereotype::kDimension;
+  ASSERT_TRUE(model.AddClass(std::move(dim)).ok());
+  ASSERT_TRUE(
+      model.AddAssociation({"F", "D", AssocKind::kAssociation, ""}).ok());
+  Ontology onto = UmlToOntology::Transform(model).ValueOrDie();
+  EXPECT_TRUE(onto.Find("id").empty());
+  EXPECT_FALSE(onto.Find("amount").empty());
+}
+
+TEST(UmlToOntologyTest, SharedAttributeNamesReuseOneConcept) {
+  UmlModel model;
+  UmlClass fact;
+  fact.name = "F";
+  fact.stereotype = ClassStereotype::kFact;
+  ASSERT_TRUE(model.AddClass(std::move(fact)).ok());
+  UmlClass dim;
+  dim.name = "D";
+  dim.stereotype = ClassStereotype::kDimension;
+  ASSERT_TRUE(model.AddClass(std::move(dim)).ok());
+  ASSERT_TRUE(
+      model.AddAssociation({"F", "D", AssocKind::kAssociation, ""}).ok());
+  for (const char* base : {"City", "Country"}) {
+    UmlClass b;
+    b.name = base;
+    b.stereotype = ClassStereotype::kBase;
+    b.attributes = {{"Name", "string", AttrStereotype::kDescriptor}};
+    ASSERT_TRUE(model.AddClass(std::move(b)).ok());
+  }
+  Ontology onto = UmlToOntology::Transform(model).ValueOrDie();
+  EXPECT_EQ(onto.Find("name").size(), 1u);
+}
+
+TEST(UmlToOntologyTest, InvalidModelRejected) {
+  UmlModel model;
+  UmlClass fact;
+  fact.name = "Orphan";
+  fact.stereotype = ClassStereotype::kFact;
+  ASSERT_TRUE(model.AddClass(std::move(fact)).ok());
+  EXPECT_FALSE(UmlToOntology::Transform(model).ok());
+}
+
+TEST(UmlToOntologyTest, ConceptsTaggedWithUmlSource) {
+  UmlModel model = integration::LastMinuteSales::MakeUmlModel();
+  Ontology onto = UmlToOntology::Transform(model).ValueOrDie();
+  for (ConceptId id : onto.AllConcepts()) {
+    EXPECT_EQ(onto.GetConcept(id).source, "uml");
+  }
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,131 @@
+#include "ontology/wordnet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+class MiniWordNetTest : public ::testing::Test {
+ protected:
+  Ontology wn_ = MiniWordNet::Build();
+};
+
+TEST_F(MiniWordNetTest, HasTheTwentyFiveUniqueBeginners) {
+  const char* beginners[] = {
+      "act",        "animal",        "artifact",   "attribute", "body",
+      "cognition",  "communication", "event",      "feeling",   "food",
+      "group",      "location",      "motive",     "object",    "person",
+      "phenomenon", "plant",         "possession", "process",   "quantity",
+      "relation",   "shape",         "state",      "substance", "time"};
+  ConceptId entity = wn_.FindClass("entity").ValueOrDie();
+  for (const char* b : beginners) {
+    auto id = wn_.FindClass(b);
+    ASSERT_TRUE(id.ok()) << b;
+    EXPECT_TRUE(wn_.IsA(*id, entity)) << b;
+  }
+}
+
+TEST_F(MiniWordNetTest, AirportIsAFacilityIsAnArtifact) {
+  ConceptId airport = wn_.FindClass("airport").ValueOrDie();
+  EXPECT_TRUE(wn_.IsA(airport, wn_.FindClass("facility").ValueOrDie()));
+  EXPECT_TRUE(wn_.IsA(airport, wn_.FindClass("artifact").ValueOrDie()));
+  EXPECT_FALSE(wn_.IsA(airport, wn_.FindClass("person").ValueOrDie()));
+}
+
+TEST_F(MiniWordNetTest, KennedyAirportExistsAsPaperStates) {
+  // "'JFK' does not exist in WordNet but the term 'Kennedy International
+  // Airport' is in WordNet as hyponym of 'airport'" (§3, Step 3).
+  auto ids = wn_.Find("kennedy international airport");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(wn_.IsA(ids[0], wn_.FindClass("airport").ValueOrDie()));
+}
+
+TEST_F(MiniWordNetTest, JfkResolvesOnlyToThePresident) {
+  // Before enrichment, "JFK" means the person John F. Kennedy.
+  auto ids = wn_.Find("jfk");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(wn_.IsA(ids[0], wn_.FindClass("person").ValueOrDie()));
+  EXPECT_FALSE(wn_.IsA(ids[0], wn_.FindClass("airport").ValueOrDie()));
+}
+
+TEST_F(MiniWordNetTest, AmbiguityDistractorsPresent) {
+  // "the previous entities mean airports instead of a person or a Spanish
+  // musical group" — the non-airport senses must exist to be distractors.
+  auto wayne = wn_.Find("john wayne");
+  ASSERT_FALSE(wayne.empty());
+  EXPECT_TRUE(wn_.IsA(wayne[0], wn_.FindClass("person").ValueOrDie()));
+  auto laguardia = wn_.Find("la guardia");
+  ASSERT_FALSE(laguardia.empty());
+  EXPECT_TRUE(wn_.IsA(laguardia[0], wn_.FindClass("group").ValueOrDie()));
+  auto elprat = wn_.Find("el prat");
+  ASSERT_FALSE(elprat.empty());
+  EXPECT_TRUE(wn_.IsA(elprat[0], wn_.FindClass("group").ValueOrDie()));
+}
+
+TEST_F(MiniWordNetTest, GeographyInstances) {
+  ConceptId city = wn_.FindClass("city").ValueOrDie();
+  ConceptId country = wn_.FindClass("country").ValueOrDie();
+  for (const char* c : {"barcelona", "madrid", "new york", "paris"}) {
+    auto ids = wn_.Find(c);
+    ASSERT_FALSE(ids.empty()) << c;
+    EXPECT_TRUE(wn_.IsA(ids[0], city)) << c;
+  }
+  for (const char* c : {"spain", "france", "iraq", "kuwait"}) {
+    auto ids = wn_.Find(c);
+    ASSERT_FALSE(ids.empty()) << c;
+    EXPECT_TRUE(wn_.IsA(ids[0], country)) << c;
+  }
+}
+
+TEST_F(MiniWordNetTest, CapitalIsACity) {
+  ConceptId capital = wn_.FindClass("capital").ValueOrDie();
+  EXPECT_TRUE(wn_.IsA(capital, wn_.FindClass("city").ValueOrDie()));
+  auto madrid = wn_.Find("madrid");
+  ASSERT_FALSE(madrid.empty());
+  EXPECT_TRUE(wn_.IsA(madrid[0], capital));
+}
+
+TEST_F(MiniWordNetTest, UsaAliasesWork) {
+  auto ids = wn_.Find("usa");
+  ASSERT_FALSE(ids.empty());
+  EXPECT_EQ(wn_.GetConcept(ids[0]).lemma, "united states");
+}
+
+TEST_F(MiniWordNetTest, WeatherHasTemperatureProperty) {
+  ConceptId weather = wn_.FindClass("weather").ValueOrDie();
+  ConceptId temperature = wn_.FindClass("temperature").ValueOrDie();
+  auto props = wn_.Related(weather, RelationKind::kHasProperty);
+  EXPECT_NE(std::find(props.begin(), props.end(), temperature), props.end());
+}
+
+TEST_F(MiniWordNetTest, MonthsAreInstancesOfMonth) {
+  ConceptId month = wn_.FindClass("month").ValueOrDie();
+  auto insts = wn_.Related(month, RelationKind::kHasInstance);
+  EXPECT_EQ(insts.size(), 12u);
+}
+
+TEST_F(MiniWordNetTest, BarcelonaIsPartOfSpain) {
+  auto barcelona = wn_.Find("barcelona");
+  ASSERT_FALSE(barcelona.empty());
+  auto parts = wn_.Related(barcelona[0], RelationKind::kPartOf);
+  ASSERT_FALSE(parts.empty());
+  EXPECT_EQ(wn_.GetConcept(parts[0]).lemma, "spain");
+}
+
+TEST_F(MiniWordNetTest, BuildIsDeterministic) {
+  Ontology other = MiniWordNet::Build();
+  EXPECT_EQ(other.concept_count(), wn_.concept_count());
+  EXPECT_EQ(other.relation_count(), wn_.relation_count());
+}
+
+TEST_F(MiniWordNetTest, ReasonableSize) {
+  EXPECT_GT(wn_.concept_count(), 100u);
+  EXPECT_GT(wn_.relation_count(), 100u);
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,101 @@
+#include "ontology/wsd.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/enrichment.h"
+#include "ontology/wordnet.h"
+
+namespace dwqa {
+namespace ontology {
+namespace {
+
+TEST(WsdTest, UnknownLemmaIsNotFound) {
+  Ontology wn = MiniWordNet::Build();
+  Wsd wsd(&wn);
+  EXPECT_TRUE(wsd.Disambiguate("zorblax", {}).status().IsNotFound());
+}
+
+TEST(WsdTest, SingleSenseWinsTrivially) {
+  Ontology wn = MiniWordNet::Build();
+  Wsd wsd(&wn);
+  auto choice = wsd.Disambiguate("barcelona", {"weather"});
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->candidate_count, 1u);
+  EXPECT_EQ(wn.GetConcept(choice->sense).lemma, "barcelona");
+}
+
+TEST(WsdTest, ContextSelectsAirportSenseAfterEnrichment) {
+  // The paper's motivating case: once the DW enriches the ontology,
+  // "El Prat" in an aviation context resolves to the *airport* sense, not
+  // the musical group (the signature of the new sense contains "airport"
+  // and "barcelona" through its instanceOf/partOf neighbours).
+  Ontology wn = MiniWordNet::Build();
+  std::vector<InstanceSeed> seeds = {{"El Prat", {}, "Barcelona", ""}};
+  ASSERT_TRUE(Enricher::Enrich(&wn, "airport", seeds).ok());
+  Wsd wsd(&wn);
+  auto choice = wsd.Disambiguate(
+      "el prat", {"the", "flight", "landed", "at", "the", "airport", "in",
+                  "barcelona"});
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->candidate_count, 2u);
+  ConceptId airport = wn.FindClass("airport").ValueOrDie();
+  EXPECT_TRUE(wn.IsA(choice->sense, airport));
+}
+
+TEST(WsdTest, MusicContextSelectsBandSense) {
+  Ontology wn = MiniWordNet::Build();
+  std::vector<InstanceSeed> seeds = {{"El Prat", {}, "Barcelona", ""}};
+  ASSERT_TRUE(Enricher::Enrich(&wn, "airport", seeds).ok());
+  Wsd wsd(&wn);
+  auto choice = wsd.Disambiguate(
+      "el prat", {"the", "musical", "group", "play", "music", "spanish"});
+  ASSERT_TRUE(choice.ok());
+  ConceptId group = wn.FindClass("group").ValueOrDie();
+  EXPECT_TRUE(wn.IsA(choice->sense, group));
+}
+
+TEST(WsdTest, WithoutEnrichmentOnlyTheDistractorSenseExists) {
+  Ontology wn = MiniWordNet::Build();
+  Wsd wsd(&wn);
+  auto choice = wsd.Disambiguate("el prat", {"temperature", "january"});
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->candidate_count, 1u);
+  ConceptId airport = wn.FindClass("airport").ValueOrDie();
+  EXPECT_FALSE(wn.IsA(choice->sense, airport));
+}
+
+TEST(WsdTest, SignatureContainsGlossAndNeighbors) {
+  Ontology wn = MiniWordNet::Build();
+  Wsd wsd(&wn);
+  ConceptId airport = wn.FindClass("airport").ValueOrDie();
+  auto sig = wsd.Signature(airport);
+  bool has_control_tower_word = false;
+  bool has_hypernym_name = false;
+  for (const auto& w : sig) {
+    if (w == "passengers" || w == "hangars" || w == "airfield") {
+      has_control_tower_word = true;
+    }
+    if (w == "facility") has_hypernym_name = true;
+  }
+  EXPECT_TRUE(has_control_tower_word);
+  EXPECT_TRUE(has_hypernym_name);
+}
+
+TEST(WsdTest, SignatureOfInvalidIdIsEmpty) {
+  Ontology wn = MiniWordNet::Build();
+  Wsd wsd(&wn);
+  EXPECT_TRUE(wsd.Signature(kInvalidConcept).empty());
+  EXPECT_TRUE(wsd.Signature(999999).empty());
+}
+
+TEST(WsdTest, EmptyContextStillPicksSomeSense) {
+  Ontology wn = MiniWordNet::Build();
+  Wsd wsd(&wn);
+  auto choice = wsd.Disambiguate("jfk", {});
+  ASSERT_TRUE(choice.ok());
+  EXPECT_NE(choice->sense, kInvalidConcept);
+}
+
+}  // namespace
+}  // namespace ontology
+}  // namespace dwqa

@@ -1,0 +1,249 @@
+#include "qa/answer_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/enrichment.h"
+#include "ontology/wordnet.h"
+#include "qa/question_analyzer.h"
+
+namespace dwqa {
+namespace qa {
+namespace {
+
+class AnswerExtractorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wn_ = ontology::MiniWordNet::Build();
+    std::vector<ontology::InstanceSeed> seeds = {
+        {"El Prat", {}, "Barcelona", ""}};
+    ASSERT_TRUE(ontology::Enricher::Enrich(&wn_, "airport", seeds).ok());
+    // Step 4 axioms.
+    auto temp = wn_.FindClass("temperature").ValueOrDie();
+    ASSERT_TRUE(wn_.SetAxiom(temp, "min_celsius", "-90").ok());
+    ASSERT_TRUE(wn_.SetAxiom(temp, "max_celsius", "60").ok());
+  }
+
+  QuestionAnalysis Analyze(const std::string& q) {
+    QuestionAnalyzer analyzer(&wn_);
+    return analyzer.Analyze(q).ValueOrDie();
+  }
+
+  std::vector<AnswerCandidate> Extract(const std::string& question,
+                                       const std::string& passage) {
+    AnswerExtractor extractor(&wn_);
+    return AnswerExtractor::Rank(
+        extractor.Extract(Analyze(question), passage, 0, "web://test"), 10);
+  }
+
+  ontology::Ontology wn_;
+};
+
+TEST_F(AnswerExtractorTest, Table1TemperatureExtraction) {
+  // The exact passage of the paper's Table 1.
+  std::string passage =
+      "Monday, January 31, 2004\n"
+      "Barcelona Weather: Temperature 8\xC2\xBA C around 46.4 F Clear "
+      "skies today";
+  auto answers = Extract(
+      "What is the weather like in January of 2004 in El Prat?", passage);
+  ASSERT_FALSE(answers.empty());
+  const AnswerCandidate& best = answers.front();
+  // Extracted answer: (8ºC – Monday, January 31, 2004 – Barcelona).
+  EXPECT_TRUE(best.has_value);
+  EXPECT_DOUBLE_EQ(best.value, 8.0);
+  EXPECT_EQ(best.unit, "\xC2\xBA\x43");
+  ASSERT_TRUE(best.date.has_value());
+  EXPECT_EQ(*best.date, Date(2004, 1, 31));
+  EXPECT_TRUE(best.date_complete);
+  EXPECT_EQ(best.location, "Barcelona");
+  EXPECT_EQ(best.url, "web://test");
+}
+
+TEST_F(AnswerExtractorTest, DateBorrowedFromPrecedingSentence) {
+  std::string passage =
+      "Friday, January 30, 2004\n"
+      "Barcelona Weather: Temperature 7\xC2\xBA C Clear skies";
+  auto answers = Extract(
+      "What is the temperature in January of 2004 in Barcelona?", passage);
+  ASSERT_FALSE(answers.empty());
+  ASSERT_TRUE(answers.front().date.has_value());
+  EXPECT_EQ(answers.front().date->day(), 30);
+}
+
+TEST_F(AnswerExtractorTest, ImplausibleTemperatureScoredDown) {
+  std::string passage =
+      "Monday, January 31, 2004\n"
+      "Barcelona Weather: Temperature 800\xC2\xBA C today\n"
+      "Tuesday, January 27, 2004\n"
+      "Barcelona Weather: Temperature 9\xC2\xBA C today";
+  auto answers = Extract(
+      "What is the temperature in January of 2004 in Barcelona?", passage);
+  ASSERT_GE(answers.size(), 2u);
+  EXPECT_DOUBLE_EQ(answers.front().value, 9.0);  // Plausible one wins.
+}
+
+TEST_F(AnswerExtractorTest, DateMismatchPenalized) {
+  std::string passage =
+      "Monday, March 15, 2004\n"
+      "Barcelona Weather: Temperature 20\xC2\xBA C today\n"
+      "Saturday, January 31, 2004\n"
+      "Barcelona Weather: Temperature 8\xC2\xBA C today";
+  auto answers = Extract(
+      "What is the temperature in January of 2004 in Barcelona?", passage);
+  ASSERT_GE(answers.size(), 2u);
+  EXPECT_DOUBLE_EQ(answers.front().value, 8.0);  // January beats March.
+}
+
+TEST_F(AnswerExtractorTest, UnknownUnitScoredBelowKnownUnit) {
+  std::string passage =
+      "Saturday, January 31, 2004\n"
+      "Barcelona readings: 12\xC2\xBA in the morning\n"
+      "Saturday, January 31, 2004\n"
+      "Barcelona Weather: Temperature 8\xC2\xBA C at noon";
+  auto answers = Extract(
+      "What is the temperature in January of 2004 in Barcelona?", passage);
+  ASSERT_GE(answers.size(), 2u);
+  EXPECT_EQ(answers.front().unit, "\xC2\xBA\x43");
+}
+
+TEST_F(AnswerExtractorTest, PlaceCountryPrefersOntologyHyponym) {
+  std::string passage =
+      "Iraq invaded Kuwait in 1990.\n"
+      "The invasion surprised Washington observers.";
+  auto answers =
+      Extract("Which country did Iraq invade in 1990?", passage);
+  ASSERT_FALSE(answers.empty());
+  // "Kuwait" is a country hyponym; "Washington" is not; "Iraq" is a
+  // question term and excluded.
+  EXPECT_EQ(answers.front().answer_text, "Kuwait");
+}
+
+TEST_F(AnswerExtractorTest, PersonExtraction) {
+  std::string passage =
+      "John F. Kennedy was the 35th president of the United States.";
+  auto answers =
+      Extract("Who was the 35th president of the United States?", passage);
+  ASSERT_FALSE(answers.empty());
+  EXPECT_NE(answers.front().answer_text.find("Kennedy"), std::string::npos);
+}
+
+TEST_F(AnswerExtractorTest, MoneyExtraction) {
+  std::string passage =
+      "The price of a one-way ticket from Barcelona to Paris is 120 euros.";
+  auto answers = Extract(
+      "What is the price of a one-way ticket from Barcelona to Paris?",
+      passage);
+  ASSERT_FALSE(answers.empty());
+  EXPECT_DOUBLE_EQ(answers.front().value, 120.0);
+  EXPECT_EQ(answers.front().unit, "EUR");
+}
+
+TEST_F(AnswerExtractorTest, QuantityExcludesTypedNumbers) {
+  std::string passage =
+      "On January 5, 2004 the airline operated 120 flights at 8\xC2\xBA C "
+      "for 99 euros each covering 12 percent of demand.";
+  auto answers = Extract(
+      "How many flights does the airline operate per day?", passage);
+  ASSERT_FALSE(answers.empty());
+  // 2004, 5, 8, 99 and 12 are consumed by date/temperature/money/percent;
+  // the plain cardinal 120 remains.
+  EXPECT_DOUBLE_EQ(answers.front().value, 120.0);
+}
+
+TEST_F(AnswerExtractorTest, AgeAndPeriod) {
+  auto age = Extract("How old was John F. Kennedy in 1963?",
+                     "In 1963 John F. Kennedy was 46 years old.");
+  ASSERT_FALSE(age.empty());
+  EXPECT_DOUBLE_EQ(age.front().value, 46.0);
+  auto period =
+      Extract("How long does the flight from Barcelona to Paris take?",
+              "The flight from Barcelona to Paris takes 2 hours.");
+  ASSERT_FALSE(period.empty());
+  EXPECT_DOUBLE_EQ(period.front().value, 2.0);
+  EXPECT_EQ(period.front().unit, "hours");
+}
+
+TEST_F(AnswerExtractorTest, TemporalYearAndDate) {
+  auto year = Extract("What year did Kennedy International Airport open?",
+                      "Kennedy International Airport opened in 1948.");
+  ASSERT_FALSE(year.empty());
+  EXPECT_EQ(year.front().answer_text, "1948");
+
+  auto date = Extract("When did the storm reach Barcelona?",
+                      "The storm reached Barcelona on January 31, 2004.");
+  ASSERT_FALSE(date.empty());
+  ASSERT_TRUE(date.front().date.has_value());
+  EXPECT_EQ(*date.front().date, Date(2004, 1, 31));
+}
+
+TEST_F(AnswerExtractorTest, Definition) {
+  auto answers = Extract(
+      "What is a data warehouse?",
+      "A data warehouse is a central repository of integrated data.");
+  ASSERT_FALSE(answers.empty());
+  EXPECT_NE(answers.front().answer_text.find("central repository"),
+            std::string::npos);
+}
+
+TEST_F(AnswerExtractorTest, Abbreviation) {
+  auto a = Analyze("What does DW stand for?");
+  AnswerExtractor extractor(&wn_);
+  auto found = extractor.Extract(a, "DW stands for Data Warehouse.", 0, "");
+  bool ok = false;
+  for (const auto& c : found) {
+    if (c.answer_text.find("Data Warehouse") != std::string::npos) ok = true;
+  }
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(AnswerExtractorTest, RankDeduplicatesByTextAndDate) {
+  AnswerCandidate a;
+  a.answer_text = "8\xC2\xBA\x43";
+  a.score = 1.0;
+  a.date = Date(2004, 1, 31);
+  AnswerCandidate b = a;
+  b.score = 5.0;
+  AnswerCandidate c = a;
+  c.date = Date(2004, 1, 30);  // Different date → separate answer.
+  auto ranked = AnswerExtractor::Rank({a, b, c}, 10);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranked.front().score, 5.0);
+}
+
+TEST_F(AnswerExtractorTest, RankCapsResults) {
+  std::vector<AnswerCandidate> many;
+  for (int i = 0; i < 20; ++i) {
+    AnswerCandidate c;
+    c.answer_text = "answer-" + std::to_string(i);
+    c.score = i;
+    many.push_back(c);
+  }
+  auto ranked = AnswerExtractor::Rank(std::move(many), 5);
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked.front().answer_text, "answer-19");
+}
+
+TEST_F(AnswerExtractorTest, EmptyPassageYieldsNothing) {
+  auto answers = Extract("What is the temperature in Barcelona?", "");
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST_F(AnswerExtractorTest, DaySpecificQuestionSelectsThatDay) {
+  // "on the 12th of May, 1997" constrains the day, not just the month.
+  std::string passage =
+      "Sunday, May 11, 1997\n"
+      "Barcelona Weather: Temperature 19\xC2\xBA C today\n"
+      "Monday, May 12, 1997\n"
+      "Barcelona Weather: Temperature 23\xC2\xBA C today";
+  auto answers = Extract(
+      "What is the weather like in Barcelona on the 12th of May, 1997?",
+      passage);
+  ASSERT_FALSE(answers.empty());
+  EXPECT_DOUBLE_EQ(answers.front().value, 23.0);
+  ASSERT_TRUE(answers.front().date.has_value());
+  EXPECT_EQ(*answers.front().date, Date(1997, 5, 12));
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,123 @@
+#include "qa/crosslingual.h"
+
+#include <gtest/gtest.h>
+
+#include "ontology/enrichment.h"
+#include "ontology/wordnet.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace qa {
+namespace {
+
+TEST(SpanishTranslatorTest, NormalizeDropsInvertedPunctAndAccents) {
+  EXPECT_EQ(SpanishTranslator::Normalize("\xC2\xBFQu\xC3\xA9?"), "que?");
+  EXPECT_EQ(SpanishTranslator::Normalize("a\xC3\xB1o"), "ano");
+  EXPECT_EQ(SpanishTranslator::Normalize("invadi\xC3\xB3"), "invadio");
+  EXPECT_EQ(SpanishTranslator::Normalize("ABC"), "abc");
+}
+
+TEST(SpanishTranslatorTest, WeatherQuestion) {
+  Translation t = SpanishTranslator::Translate(
+      "\xC2\xBFQu\xC3\xA9 tiempo hace en enero de 2004 en El Prat?");
+  EXPECT_EQ(t.english,
+            "What is the weather like in January of 2004 in El Prat?");
+  EXPECT_DOUBLE_EQ(t.coverage, 1.0);
+  EXPECT_TRUE(t.unknown_words.empty());
+}
+
+TEST(SpanishTranslatorTest, TemperatureQuestion) {
+  Translation t = SpanishTranslator::Translate(
+      "\xC2\xBF\x43u\xC3\xA1l es la temperatura en Barcelona en enero de "
+      "2004?");
+  EXPECT_EQ(t.english,
+            "What is the temperature in Barcelona in January of 2004?");
+  EXPECT_DOUBLE_EQ(t.coverage, 1.0);
+}
+
+TEST(SpanishTranslatorTest, CapitalQuestion) {
+  Translation t = SpanishTranslator::Translate(
+      "\xC2\xBF\x43u\xC3\xA1l es la capital de Espa\xC3\xB1\x61?");
+  EXPECT_EQ(t.english, "What is the capital of Spain?");
+}
+
+TEST(SpanishTranslatorTest, ProperNounsAndNumbersPassThrough) {
+  Translation t = SpanishTranslator::Translate(
+      "\xC2\xBF\x43u\xC3\xA1l es la temperatura en Fiumicino en 2004?");
+  EXPECT_NE(t.english.find("Fiumicino"), std::string::npos);
+  EXPECT_NE(t.english.find("2004"), std::string::npos);
+  EXPECT_DOUBLE_EQ(t.coverage, 1.0);
+}
+
+TEST(SpanishTranslatorTest, UnknownWordsReported) {
+  Translation t = SpanishTranslator::Translate(
+      "\xC2\xBF\x43u\xC3\xA1l es la zanahoria?");
+  ASSERT_EQ(t.unknown_words.size(), 1u);
+  EXPECT_EQ(t.unknown_words[0], "zanahoria");
+  EXPECT_LT(t.coverage, 1.0);
+}
+
+TEST(SpanishTranslatorTest, EmptyInput) {
+  Translation t = SpanishTranslator::Translate("");
+  EXPECT_DOUBLE_EQ(t.coverage, 0.0);
+}
+
+class CrossLingualTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wn_ = ontology::MiniWordNet::Build();
+    std::vector<ontology::InstanceSeed> seeds = {
+        {"El Prat", {}, "Barcelona", ""}};
+    ASSERT_TRUE(ontology::Enricher::Enrich(&wn_, "airport", seeds).ok());
+    web::WebConfig config;
+    config.cities = {"Barcelona", "Madrid"};
+    config.months = {1};
+    config.table_weather = false;
+    webb_ = std::make_unique<web::SyntheticWeb>(
+        web::SyntheticWeb::Build(config).ValueOrDie());
+    aliqan_ = std::make_unique<AliQAn>(&wn_);
+    ASSERT_TRUE(aliqan_->IndexCorpus(&webb_->documents()).ok());
+  }
+
+  ontology::Ontology wn_;
+  std::unique_ptr<web::SyntheticWeb> webb_;
+  std::unique_ptr<AliQAn> aliqan_;
+};
+
+TEST_F(CrossLingualTest, AnswersSpanishWeatherQuestion) {
+  CrossLingualAliQAn xl(aliqan_.get());
+  auto answers = xl.Ask(
+      "\xC2\xBF\x43u\xC3\xA1l es la temperatura en El Prat en enero de "
+      "2004?");
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_FALSE(answers->empty());
+  const AnswerCandidate& best = answers->best();
+  EXPECT_TRUE(best.has_value);
+  EXPECT_EQ(best.location, "Barcelona");
+  // The answer matches the day's published ground truth.
+  ASSERT_TRUE(best.date.has_value());
+  auto it = webb_->truth().temperature.find(
+      {"barcelona", best.date->ToIsoString()});
+  ASSERT_NE(it, webb_->truth().temperature.end());
+  EXPECT_NEAR(best.value, it->second, 0.6);
+}
+
+TEST_F(CrossLingualTest, AnswersSpanishCapitalQuestion) {
+  CrossLingualAliQAn xl(aliqan_.get());
+  auto answers =
+      xl.Ask("\xC2\xBF\x43u\xC3\xA1l es la capital de Espa\xC3\xB1\x61?");
+  ASSERT_TRUE(answers.ok());
+  ASSERT_FALSE(answers->empty());
+  EXPECT_EQ(answers->best().answer_text, "Madrid");
+  EXPECT_EQ(xl.last_translation().english, "What is the capital of Spain?");
+}
+
+TEST_F(CrossLingualTest, LowCoverageRejected) {
+  CrossLingualAliQAn xl(aliqan_.get());
+  auto answers = xl.Ask("zanahorias moradas bailan alegremente hoy");
+  EXPECT_TRUE(answers.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,197 @@
+#include "qa/question_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "ontology/enrichment.h"
+#include "ontology/wordnet.h"
+
+namespace dwqa {
+namespace qa {
+namespace {
+
+class QuestionAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wn_ = ontology::MiniWordNet::Build();
+    // Simulate Steps 2+3: the merged ontology knows El Prat as a Barcelona
+    // airport.
+    std::vector<ontology::InstanceSeed> seeds = {
+        {"El Prat", {}, "Barcelona", ""},
+        {"JFK", {"Kennedy International Airport"}, "New York", ""},
+    };
+    ASSERT_TRUE(ontology::Enricher::Enrich(&wn_, "airport", seeds).ok());
+  }
+
+  QuestionAnalysis Analyze(const std::string& q) {
+    QuestionAnalyzer analyzer(&wn_);
+    auto result = analyzer.Analyze(q);
+    EXPECT_TRUE(result.ok()) << q;
+    return result.ValueOrDie();
+  }
+
+  static bool HasMainSb(const QuestionAnalysis& a, const std::string& sb) {
+    for (const auto& s : a.main_sbs) {
+      if (ToLower(s) == ToLower(sb)) return true;
+    }
+    return false;
+  }
+
+  ontology::Ontology wn_;
+};
+
+TEST_F(QuestionAnalyzerTest, Table1WeatherQuestion) {
+  auto a = Analyze("What is the weather like in January of 2004 in El Prat?");
+  EXPECT_EQ(a.answer_type, AnswerType::kNumericalMeasure);
+  EXPECT_EQ(a.pattern,
+            "[WHAT] [to be] [synonym of weather | temperature] ...");
+  EXPECT_EQ(a.expected_answer, "Number + [\xC2\xBA\x43 | F]");
+  EXPECT_EQ(a.focus_lemma, "weather");
+  // Table 1: main SBs = [January of 2004] [El Prat] [Barcelona].
+  EXPECT_TRUE(HasMainSb(a, "January of 2004"));
+  EXPECT_TRUE(HasMainSb(a, "El Prat"));
+  EXPECT_TRUE(HasMainSb(a, "Barcelona"));
+  // The focus noun is not passed to retrieval.
+  EXPECT_FALSE(HasMainSb(a, "the weather"));
+  EXPECT_EQ(a.resolved_city, "Barcelona");
+  ASSERT_TRUE(a.date_constraint.has_value());
+  EXPECT_EQ(a.date_constraint->date.year(), 2004);
+  EXPECT_EQ(a.date_constraint->date.month(), 1);
+  EXPECT_FALSE(a.date_constraint->has_day);
+}
+
+TEST_F(QuestionAnalyzerTest, TemperatureVariant) {
+  auto a = Analyze("What is the temperature in JFK in January of 2008?");
+  EXPECT_EQ(a.answer_type, AnswerType::kNumericalMeasure);
+  EXPECT_EQ(a.focus_lemma, "temperature");
+  // JFK resolves to its city through the enriched ontology.
+  EXPECT_EQ(a.resolved_city, "New York");
+  EXPECT_TRUE(HasMainSb(a, "New York"));
+}
+
+TEST_F(QuestionAnalyzerTest, ClefCountryQuestion) {
+  auto a = Analyze("Which country did Iraq invade in 1990?");
+  EXPECT_EQ(a.answer_type, AnswerType::kPlaceCountry);
+  EXPECT_EQ(a.pattern, "[WHICH] [synonym of COUNTRY] [...]");
+  EXPECT_EQ(a.focus_lemma, "country");
+  // "[Iraq] [to invade] [in 1990]": content SBs reach the retrieval query.
+  EXPECT_TRUE(HasMainSb(a, "Iraq"));
+  EXPECT_TRUE(HasMainSb(a, "invade"));
+  // The focus "country" is not a retrieval term (paper: "it is not usual
+  // to find a country description in the form of 'the country of Kuwait'").
+  EXPECT_FALSE(HasMainSb(a, "country"));
+}
+
+TEST_F(QuestionAnalyzerTest, CapitalCityPlace) {
+  EXPECT_EQ(Analyze("What is the capital of Spain?").answer_type,
+            AnswerType::kPlaceCapital);
+  EXPECT_EQ(Analyze("In which city is El Prat located?").answer_type,
+            AnswerType::kPlaceCity);
+  EXPECT_EQ(Analyze("Where is Kennedy International Airport located?")
+                .answer_type,
+            AnswerType::kPlace);
+}
+
+TEST_F(QuestionAnalyzerTest, PersonAndProfessionAndGroup) {
+  EXPECT_EQ(Analyze("Who was the 35th president of the United States?")
+                .answer_type,
+            AnswerType::kPerson);
+  EXPECT_EQ(Analyze("What was the profession of John Wayne?").answer_type,
+            AnswerType::kProfession);
+  EXPECT_EQ(Analyze("Which group performed in Madrid in 1998?").answer_type,
+            AnswerType::kGroup);
+}
+
+TEST_F(QuestionAnalyzerTest, TemporalTypes) {
+  EXPECT_EQ(Analyze("When did Iraq invade Kuwait?").answer_type,
+            AnswerType::kTemporalDate);
+  EXPECT_EQ(
+      Analyze("What year did Kennedy International Airport open?")
+          .answer_type,
+      AnswerType::kTemporalYear);
+  EXPECT_EQ(Analyze("Which month is the hottest month in Barcelona?")
+                .answer_type,
+            AnswerType::kTemporalMonth);
+}
+
+TEST_F(QuestionAnalyzerTest, NumericalTypes) {
+  EXPECT_EQ(Analyze("How many flights does the airline operate per day?")
+                .answer_type,
+            AnswerType::kNumericalQuantity);
+  EXPECT_EQ(Analyze("How much does a ticket to Paris cost?").answer_type,
+            AnswerType::kNumericalEconomic);
+  EXPECT_EQ(Analyze("What is the price of a one-way ticket from Barcelona "
+                    "to Paris?")
+                .answer_type,
+            AnswerType::kNumericalEconomic);
+  EXPECT_EQ(Analyze("How old was John F. Kennedy in 1963?").answer_type,
+            AnswerType::kNumericalAge);
+  EXPECT_EQ(
+      Analyze("How long does the flight from Barcelona to Paris take?")
+          .answer_type,
+      AnswerType::kNumericalPeriod);
+  EXPECT_EQ(Analyze("What percentage of all seats were sold at the last "
+                    "minute in 2004?")
+                .answer_type,
+            AnswerType::kNumericalPercentage);
+}
+
+TEST_F(QuestionAnalyzerTest, DefinitionShape) {
+  auto a = Analyze("What is a data warehouse?");
+  EXPECT_EQ(a.answer_type, AnswerType::kDefinition);
+  EXPECT_EQ(a.focus_lemma, "warehouse");
+}
+
+TEST_F(QuestionAnalyzerTest, ObjectFallback) {
+  auto a = Analyze("What is the brightest star visible in the universe?");
+  EXPECT_EQ(a.answer_type, AnswerType::kObject);
+}
+
+TEST_F(QuestionAnalyzerTest, EmptyQuestionRejected) {
+  QuestionAnalyzer analyzer(&wn_);
+  EXPECT_TRUE(analyzer.Analyze("").status().IsInvalidArgument());
+  EXPECT_TRUE(analyzer.Analyze("   ").status().IsInvalidArgument());
+}
+
+TEST_F(QuestionAnalyzerTest, AnnotatedFormMatchesPaperStyle) {
+  auto a = Analyze("What is the weather like in January of 2004 in El Prat?");
+  EXPECT_NE(a.annotated.find("What WP what"), std::string::npos);
+  EXPECT_NE(a.annotated.find("is VBZBE be"), std::string::npos);
+  EXPECT_NE(a.annotated.find("<@NP,compl,comun,,>"), std::string::npos);
+  EXPECT_NE(a.annotated.find("? SENT ?"), std::string::npos);
+}
+
+TEST_F(QuestionAnalyzerTest, WithoutEnrichmentNoCityExpansion) {
+  // Ablation E8: on the bare MiniWordNet, "El Prat" is only a musical
+  // group, so no Barcelona expansion happens.
+  ontology::Ontology bare = ontology::MiniWordNet::Build();
+  QuestionAnalyzer analyzer(&bare);
+  auto a = analyzer
+               .Analyze("What is the temperature in January of 2004 in "
+                        "El Prat?")
+               .ValueOrDie();
+  EXPECT_TRUE(a.resolved_city.empty());
+  EXPECT_FALSE(HasMainSb(a, "Barcelona"));
+}
+
+TEST_F(QuestionAnalyzerTest, WhereQuestionKeepsThemeEntity) {
+  // Focus suppression is for attribute nouns; in a where-question the
+  // post-wh NP is the entity whose location is asked and must be a
+  // retrieval term.
+  auto a = Analyze("Where is Kennedy International Airport located?");
+  EXPECT_EQ(a.answer_type, AnswerType::kPlace);
+  EXPECT_TRUE(HasMainSb(a, "Kennedy International Airport"));
+}
+
+TEST_F(QuestionAnalyzerTest, PlaceQuestionSkipsCircularCityExpansion) {
+  // "In which city is El Prat located?" — the resolved city is the answer;
+  // injecting it into the retrieval terms would be circular.
+  auto a = Analyze("In which city is El Prat located?");
+  EXPECT_EQ(a.answer_type, AnswerType::kPlaceCity);
+  EXPECT_EQ(a.resolved_city, "Barcelona");
+  EXPECT_FALSE(HasMainSb(a, "Barcelona"));
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,89 @@
+#include "qa/structured.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace qa {
+namespace {
+
+AnswerCandidate TemperatureAnswer() {
+  AnswerCandidate a;
+  a.answer_text = "8\xC2\xBA\x43";
+  a.type = AnswerType::kNumericalMeasure;
+  a.score = 7.5;
+  a.has_value = true;
+  a.value = 8.0;
+  a.unit = "\xC2\xBA\x43";
+  a.date = Date(2004, 1, 31);
+  a.date_complete = true;
+  a.location = "Barcelona";
+  a.url = "web://weather/barcelona";
+  return a;
+}
+
+TEST(StructuredTest, ConversionCopiesAllSlots) {
+  auto fact = ToStructuredFact(TemperatureAnswer(), "temperature");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(fact->attribute, "temperature");
+  EXPECT_DOUBLE_EQ(fact->value, 8.0);
+  EXPECT_EQ(fact->unit, "\xC2\xBA\x43");
+  EXPECT_EQ(*fact->date, Date(2004, 1, 31));
+  EXPECT_EQ(fact->location, "Barcelona");
+  EXPECT_EQ(fact->url, "web://weather/barcelona");
+  EXPECT_DOUBLE_EQ(fact->confidence, 7.5);
+}
+
+TEST(StructuredTest, NonNumericAnswerRejected) {
+  AnswerCandidate a;
+  a.answer_text = "Kuwait";
+  a.has_value = false;
+  EXPECT_TRUE(
+      ToStructuredFact(a, "temperature").status().IsInvalidArgument());
+}
+
+TEST(StructuredTest, DisplayStringMatchesPaperShape) {
+  auto fact =
+      ToStructuredFact(TemperatureAnswer(), "temperature").ValueOrDie();
+  // "(8ºC – Saturday, January 31, 2004 – Barcelona – URL)".
+  std::string s = fact.ToDisplayString();
+  EXPECT_NE(s.find("(8\xC2\xBA\x43"), std::string::npos);
+  EXPECT_NE(s.find("January 31, 2004"), std::string::npos);
+  EXPECT_NE(s.find("Barcelona"), std::string::npos);
+  EXPECT_NE(s.find("web://weather/barcelona"), std::string::npos);
+}
+
+TEST(StructuredTest, MissingSlotsRenderedAsQuestionMarks) {
+  StructuredFact fact;
+  fact.value = 5;
+  std::string s = fact.ToDisplayString();
+  EXPECT_NE(s.find("?"), std::string::npos);
+}
+
+TEST(StructuredTest, BatchConversionSkipsNonNumeric) {
+  AnswerSet set;
+  set.answers.push_back(TemperatureAnswer());
+  AnswerCandidate text_only;
+  text_only.answer_text = "Kuwait";
+  set.answers.push_back(text_only);
+  set.answers.push_back(TemperatureAnswer());
+  auto facts = ToStructuredFacts(set, "temperature");
+  EXPECT_EQ(facts.size(), 2u);
+}
+
+TEST(StructuredTest, CsvRendering) {
+  std::vector<StructuredFact> facts = {
+      ToStructuredFact(TemperatureAnswer(), "temperature").ValueOrDie()};
+  facts.push_back(facts[0]);
+  facts[1].location = "City, with comma";
+  std::string csv = StructuredFactsToCsv(facts);
+  EXPECT_NE(csv.find("attribute,value,unit,date,location,url,confidence"),
+            std::string::npos);
+  EXPECT_NE(csv.find("temperature,8.00"), std::string::npos);
+  EXPECT_NE(csv.find("2004-01-31"), std::string::npos);
+  EXPECT_NE(csv.find("\"City, with comma\""), std::string::npos);
+  EXPECT_EQ(StructuredFactsToCsv({}).find("attribute"), 0u);
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace dwqa

@@ -1,0 +1,73 @@
+#include "qa/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dwqa {
+namespace qa {
+namespace {
+
+TEST(TaxonomyTest, ExactlyTwentyCategories) {
+  // Paper §4.1 lists exactly these twenty categories.
+  const std::set<std::string> expected = {
+      "person", "profession", "group", "object", "place city",
+      "place country", "place capital", "place", "abbreviation", "event",
+      "numerical economic", "numerical age", "numerical measure",
+      "numerical period", "numerical percentage", "numerical quantity",
+      "temporal year", "temporal month", "temporal date", "definition"};
+  std::set<std::string> actual;
+  for (int i = 0; i < kAnswerTypeCount; ++i) {
+    actual.insert(AnswerTypeName(AllAnswerTypes()[i]));
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(kAnswerTypeCount, 20);
+}
+
+TEST(TaxonomyTest, NumericalPredicate) {
+  EXPECT_TRUE(IsNumerical(AnswerType::kNumericalEconomic));
+  EXPECT_TRUE(IsNumerical(AnswerType::kNumericalQuantity));
+  EXPECT_FALSE(IsNumerical(AnswerType::kTemporalYear));
+  EXPECT_FALSE(IsNumerical(AnswerType::kPerson));
+}
+
+TEST(TaxonomyTest, TemporalPredicate) {
+  EXPECT_TRUE(IsTemporal(AnswerType::kTemporalDate));
+  EXPECT_TRUE(IsTemporal(AnswerType::kTemporalMonth));
+  EXPECT_TRUE(IsTemporal(AnswerType::kTemporalYear));
+  EXPECT_FALSE(IsTemporal(AnswerType::kNumericalPeriod));
+}
+
+TEST(TaxonomyTest, PlacePredicate) {
+  EXPECT_TRUE(IsPlace(AnswerType::kPlace));
+  EXPECT_TRUE(IsPlace(AnswerType::kPlaceCity));
+  EXPECT_TRUE(IsPlace(AnswerType::kPlaceCountry));
+  EXPECT_TRUE(IsPlace(AnswerType::kPlaceCapital));
+  EXPECT_FALSE(IsPlace(AnswerType::kEvent));
+}
+
+TEST(TaxonomyTest, PredicatesArePartition) {
+  // Each type is at most one of numerical/temporal/place.
+  for (int i = 0; i < kAnswerTypeCount; ++i) {
+    AnswerType t = AllAnswerTypes()[i];
+    int count = (IsNumerical(t) ? 1 : 0) + (IsTemporal(t) ? 1 : 0) +
+                (IsPlace(t) ? 1 : 0);
+    EXPECT_LE(count, 1) << AnswerTypeName(t);
+  }
+}
+
+TEST(TaxonomyTest, ConceptLemmasForSemanticTypes) {
+  EXPECT_EQ(TypeConceptLemma(AnswerType::kPlaceCountry), "country");
+  EXPECT_EQ(TypeConceptLemma(AnswerType::kPlaceCity), "city");
+  EXPECT_EQ(TypeConceptLemma(AnswerType::kPerson), "person");
+  EXPECT_EQ(TypeConceptLemma(AnswerType::kGroup), "group");
+  // Lexically-checked types have no concept.
+  EXPECT_EQ(TypeConceptLemma(AnswerType::kNumericalMeasure), "");
+  EXPECT_EQ(TypeConceptLemma(AnswerType::kDefinition), "");
+  EXPECT_EQ(TypeConceptLemma(AnswerType::kAbbreviation), "");
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace dwqa

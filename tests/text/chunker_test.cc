@@ -1,0 +1,137 @@
+#include "text/chunker.h"
+
+#include <gtest/gtest.h>
+
+#include "text/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace text {
+namespace {
+
+std::vector<SyntacticBlock> Chunks(const std::string& s) {
+  TokenSequence toks = Tokenizer::Tokenize(s);
+  PosTagger tagger;
+  tagger.Tag(&toks);
+  return Chunker::Chunk(toks);
+}
+
+TEST(ChunkerTest, Table1QuestionBlocks) {
+  // "What is the weather like in January of 2004 in El Prat?"
+  auto blocks = Chunks("What is the weather like in January of 2004 in "
+                       "El Prat?");
+  // Expected: VBC(is), NP(the weather), PP(in January-of-2004),
+  // PP(in El Prat). The wh-word stays outside blocks.
+  ASSERT_GE(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].type, SyntacticBlock::Type::kVBC);
+  EXPECT_EQ(blocks[1].type, SyntacticBlock::Type::kNP);
+  EXPECT_EQ(blocks[1].Text(), "the weather");
+  EXPECT_EQ(blocks[1].role, "compl");
+  EXPECT_EQ(blocks[1].subtype, "comun");
+  EXPECT_EQ(blocks[2].type, SyntacticBlock::Type::kPP);
+  ASSERT_FALSE(blocks[2].children.empty());
+  EXPECT_EQ(blocks[2].children[0].subtype, "date");
+  EXPECT_EQ(blocks[2].children[0].Text(), "January of 2004");
+  EXPECT_EQ(blocks[3].type, SyntacticBlock::Type::kPP);
+  EXPECT_EQ(blocks[3].children[0].subtype, "properNoun");
+  EXPECT_EQ(blocks[3].children[0].Text(), "El Prat");
+}
+
+TEST(ChunkerTest, WeekdayWrapsDate) {
+  // Table 1 passage: <@NP,,day,,> Monday , <@NP,,date,,> January 31, 2004.
+  auto blocks = Chunks("Monday, January 31, 2004");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].subtype, "day");
+  ASSERT_EQ(blocks[0].children.size(), 1u);
+  EXPECT_EQ(blocks[0].children[0].subtype, "date");
+}
+
+TEST(ChunkerTest, SubjectBeforeVerb) {
+  auto blocks = Chunks("Iraq invaded Kuwait");
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].role, "subject");
+  EXPECT_EQ(blocks[0].subtype, "properNoun");
+  EXPECT_EQ(blocks[1].type, SyntacticBlock::Type::kVBC);
+  EXPECT_EQ(blocks[2].role, "compl");
+}
+
+TEST(ChunkerTest, ClefQuestionMainBlocks) {
+  // "Which country did Iraq invade in 1990?" → SBs like
+  // "[Iraq] [to invade] [in 1990]" (paper §4.1).
+  auto blocks = Chunks("Which country did Iraq invade in 1990?");
+  // country NP, VBC(did), Iraq NP, VBC(invade), then "in 1990" — 1990 is
+  // a bare CD, so the PP contains a numeral NP.
+  ASSERT_GE(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].Text(), "country");
+  bool found_iraq = false, found_invade = false;
+  for (const auto& b : blocks) {
+    if (b.Text() == "Iraq") found_iraq = true;
+    if (b.type == SyntacticBlock::Type::kVBC) {
+      for (const Token& t : b.tokens) {
+        if (t.lemma == "invade") found_invade = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_iraq);
+  EXPECT_TRUE(found_invade);
+}
+
+TEST(ChunkerTest, NumeralSubtype) {
+  auto blocks = Chunks("He bought 46 tickets for 120");
+  bool saw_numeral = false;
+  for (const auto& b : blocks) {
+    for (const auto& child : b.children) {
+      if (child.subtype == "numeral") saw_numeral = true;
+    }
+    if (b.subtype == "numeral") saw_numeral = true;
+  }
+  EXPECT_TRUE(saw_numeral);
+}
+
+TEST(ChunkerTest, HeadLemmaIsFinalNoun) {
+  auto blocks = Chunks("the last minute sales");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].HeadLemma(), "sale");
+}
+
+TEST(ChunkerTest, PpHeadComesFromInnerNp) {
+  auto blocks = Chunks("in Barcelona");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].type, SyntacticBlock::Type::kPP);
+  EXPECT_EQ(blocks[0].HeadLemma(), "barcelona");
+}
+
+TEST(ChunkerTest, AnnotatedRoundTripContainsPaperMarkup) {
+  TokenSequence toks =
+      Tokenizer::Tokenize("What is the weather like in January of 2004?");
+  PosTagger tagger;
+  tagger.Tag(&toks);
+  std::string annotated = Chunker::AnnotateSentence(toks);
+  EXPECT_NE(annotated.find("<@VBC>"), std::string::npos);
+  EXPECT_NE(annotated.find("<@NP,compl,comun,,>"), std::string::npos);
+  EXPECT_NE(annotated.find("<@NP,,date,,>"), std::string::npos);
+  EXPECT_NE(annotated.find("What WP what"), std::string::npos);
+  EXPECT_NE(annotated.find("is VBZBE be"), std::string::npos);
+}
+
+TEST(ChunkerTest, EmptyInput) {
+  EXPECT_TRUE(Chunks("").empty());
+}
+
+TEST(ChunkerTest, PunctuationOnlyInput) {
+  EXPECT_TRUE(Chunks("?!.").empty());
+}
+
+TEST(ChunkerTest, LemmasCollectsDepthFirst) {
+  auto blocks = Chunks("in January of 2004");
+  ASSERT_EQ(blocks.size(), 1u);
+  auto lemmas = blocks[0].Lemmas();
+  EXPECT_EQ(lemmas.front(), "in");
+  bool has_jan = false;
+  for (const auto& l : lemmas) has_jan |= (l == "january");
+  EXPECT_TRUE(has_jan);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace dwqa

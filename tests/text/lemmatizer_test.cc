@@ -1,0 +1,66 @@
+#include "text/lemmatizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace text {
+namespace {
+
+TEST(LemmatizerTest, PluralNouns) {
+  EXPECT_EQ(Lemmatizer::Lemmatize("cities", "NNS"), "city");
+  EXPECT_EQ(Lemmatizer::Lemmatize("temperatures", "NNS"), "temperature");
+  EXPECT_EQ(Lemmatizer::Lemmatize("churches", "NNS"), "church");
+  EXPECT_EQ(Lemmatizer::Lemmatize("boxes", "NNS"), "box");
+  EXPECT_EQ(Lemmatizer::Lemmatize("classes", "NNS"), "class");
+  EXPECT_EQ(Lemmatizer::Lemmatize("miles", "NNS"), "mile");
+}
+
+TEST(LemmatizerTest, PluralEdgeCasesNotStripped) {
+  // -ss, -us, -is endings are not plural 's'.
+  EXPECT_EQ(Lemmatizer::Lemmatize("glass", "NNS"), "glass");
+  EXPECT_EQ(Lemmatizer::Lemmatize("status", "NNS"), "status");
+  EXPECT_EQ(Lemmatizer::Lemmatize("analysis", "NNS"), "analysis");
+}
+
+TEST(LemmatizerTest, ThirdPersonVerbs) {
+  EXPECT_EQ(Lemmatizer::Lemmatize("operates", "VBZ"), "operate");
+  EXPECT_EQ(Lemmatizer::Lemmatize("flies", "VBZ"), "fly");
+  EXPECT_EQ(Lemmatizer::Lemmatize("reaches", "VBZ"), "reach");
+}
+
+TEST(LemmatizerTest, GerundRestoresSilentE) {
+  EXPECT_EQ(Lemmatizer::Lemmatize("making", "VBG"), "make");
+  EXPECT_EQ(Lemmatizer::Lemmatize("pricing", "VBG"), "price");
+}
+
+TEST(LemmatizerTest, GerundUndoubling) {
+  EXPECT_EQ(Lemmatizer::Lemmatize("dropping", "VBG"), "drop");
+  EXPECT_EQ(Lemmatizer::Lemmatize("winning", "VBG"), "win");
+}
+
+TEST(LemmatizerTest, PastTense) {
+  EXPECT_EQ(Lemmatizer::Lemmatize("arrived", "VBD"), "arrive");
+  EXPECT_EQ(Lemmatizer::Lemmatize("carried", "VBD"), "carry");
+  EXPECT_EQ(Lemmatizer::Lemmatize("dropped", "VBD"), "drop");
+}
+
+TEST(LemmatizerTest, Comparatives) {
+  EXPECT_EQ(Lemmatizer::Lemmatize("colder", "JJR"), "cold");
+  EXPECT_EQ(Lemmatizer::Lemmatize("brightest", "JJS"), "bright");
+}
+
+TEST(LemmatizerTest, OtherTagsUntouched) {
+  EXPECT_EQ(Lemmatizer::Lemmatize("running", "NN"), "running");
+  EXPECT_EQ(Lemmatizer::Lemmatize("is", "DT"), "is");
+}
+
+TEST(LemmatizerTest, ShortWordsAreSafe) {
+  // Guards: stripping must not empty very short words.
+  EXPECT_EQ(Lemmatizer::Lemmatize("as", "NNS"), "as");
+  EXPECT_EQ(Lemmatizer::Lemmatize("ed", "VBD"), "ed");
+  EXPECT_EQ(Lemmatizer::Lemmatize("s", "NNS"), "s");
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace dwqa

@@ -1,0 +1,137 @@
+#include "text/pos_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace text {
+namespace {
+
+TokenSequence Tag(const std::string& s) {
+  TokenSequence toks = Tokenizer::Tokenize(s);
+  PosTagger tagger;
+  tagger.Tag(&toks);
+  return toks;
+}
+
+const Token& Find(const TokenSequence& toks, const std::string& surface) {
+  for (const Token& t : toks) {
+    if (t.text == surface) return t;
+  }
+  ADD_FAILURE() << "token '" << surface << "' not found";
+  static Token dummy;
+  return dummy;
+}
+
+TEST(PosTaggerTest, Table1QuestionTags) {
+  // "What WP ... is VBZBE be ... the DT ... weather NN ... in IN ...
+  //  January NP ... of OF ... 2004 CD ... ? SENT" (paper Table 1).
+  auto toks = Tag("What is the weather like in January of 2004 in El Prat?");
+  EXPECT_EQ(Find(toks, "What").tag, "WP");
+  EXPECT_EQ(Find(toks, "is").tag, "VBZBE");
+  EXPECT_EQ(Find(toks, "is").lemma, "be");
+  EXPECT_EQ(Find(toks, "the").tag, "DT");
+  EXPECT_EQ(Find(toks, "weather").tag, "NN");
+  EXPECT_EQ(Find(toks, "like").tag, "IN");
+  EXPECT_EQ(Find(toks, "January").tag, "NP");
+  EXPECT_EQ(Find(toks, "January").lemma, "january");
+  EXPECT_EQ(Find(toks, "of").tag, "OF");
+  EXPECT_EQ(Find(toks, "2004").tag, "CD");
+  EXPECT_EQ(Find(toks, "El").tag, "NP");
+  EXPECT_EQ(Find(toks, "Prat").tag, "NP");
+  EXPECT_EQ(Find(toks, "?").tag, "SENT");
+}
+
+TEST(PosTaggerTest, Table1PassageTags) {
+  auto toks = Tag(
+      "Monday, January 31, 2004 Barcelona Weather: Temperature 8\xC2\xBA\x43 "
+      "around 46.4 F Clear skies today");
+  EXPECT_EQ(Find(toks, "Monday").tag, "NP");
+  EXPECT_EQ(Find(toks, "31").tag, "CD");
+  EXPECT_EQ(Find(toks, "Barcelona").tag, "NP");
+  EXPECT_EQ(Find(toks, "Temperature").tag, "NN");
+  EXPECT_EQ(Find(toks, "8").tag, "CD");
+  EXPECT_EQ(Find(toks, "\xC2\xBA").tag, "NN");  // "º NN º" in the paper.
+  EXPECT_EQ(Find(toks, "C").tag, "NP");
+  EXPECT_EQ(Find(toks, "46.4").tag, "CD");
+  EXPECT_EQ(Find(toks, "F").tag, "NP");
+  EXPECT_EQ(Find(toks, "skies").tag, "NNS");
+  EXPECT_EQ(Find(toks, "skies").lemma, "sky");
+}
+
+TEST(PosTaggerTest, UnknownCapitalizedIsProperNoun) {
+  auto toks = Tag("Fiumicino serves Rome");
+  EXPECT_EQ(Find(toks, "Fiumicino").tag, "NP");
+}
+
+TEST(PosTaggerTest, OrdinalTagAndLemma) {
+  auto toks = Tag("the 12th of May");
+  EXPECT_EQ(Find(toks, "12th").tag, "OD");
+  EXPECT_EQ(Find(toks, "12th").lemma, "12");
+}
+
+TEST(PosTaggerTest, SuffixRules) {
+  auto toks = Tag("quickly running invaded happiness optional");
+  EXPECT_EQ(Find(toks, "quickly").tag, "RB");
+  EXPECT_EQ(Find(toks, "running").tag, "VBG");
+  EXPECT_EQ(Find(toks, "invaded").tag, "VBD");
+  EXPECT_EQ(Find(toks, "happiness").tag, "NN");
+  EXPECT_EQ(Find(toks, "optional").tag, "JJ");
+}
+
+TEST(PosTaggerTest, UnknownPluralIsNns) {
+  auto toks = Tag("the gizmos work");
+  EXPECT_EQ(Find(toks, "gizmos").tag, "NNS");
+  EXPECT_EQ(Find(toks, "gizmos").lemma, "gizmo");
+}
+
+TEST(PosTaggerTest, IrregularVerbLemmas) {
+  auto toks = Tag("he sold tickets and flew home");
+  EXPECT_EQ(Find(toks, "sold").lemma, "sell");
+  EXPECT_EQ(Find(toks, "flew").lemma, "fly");
+}
+
+TEST(PosTaggerTest, WhWords) {
+  EXPECT_EQ(Find(Tag("Which country"), "Which").tag, "WDT");
+  EXPECT_EQ(Find(Tag("Who came"), "Who").tag, "WP");
+  EXPECT_EQ(Find(Tag("Where is it"), "Where").tag, "WRB");
+  EXPECT_EQ(Find(Tag("How many"), "How").tag, "WRB");
+}
+
+TEST(PosTaggerTest, MidSentencePeriodVsFinal) {
+  auto toks = Tag("It works.");
+  EXPECT_EQ(toks.back().tag, "SENT");
+}
+
+TEST(PosTaggerTest, CustomLexiconOverrides) {
+  Lexicon lex;  // Empty lexicon: even "the" becomes unknown.
+  lex.Add("zorp", "VB", "zorp");
+  PosTagger tagger(&lex);
+  TokenSequence toks = Tokenizer::Tokenize("zorp the thing");
+  tagger.Tag(&toks);
+  EXPECT_EQ(toks[0].tag, "VB");
+  EXPECT_EQ(toks[1].tag, "NN");  // "the" unknown here → default NN.
+}
+
+TEST(PosTaggerPostPassTest, CapitalizedAdjectiveJoinsProperNoun) {
+  // "New" is a lexicon adjective but part of the name in "New York".
+  TokenSequence toks = Tokenizer::Tokenize("He flew to New York today");
+  PosTagger tagger;
+  tagger.Tag(&toks);
+  for (const Token& t : toks) {
+    if (t.text == "New") EXPECT_EQ(t.tag, "NP");
+    if (t.text == "York") EXPECT_EQ(t.tag, "NP");
+  }
+}
+
+TEST(PosTaggerPostPassTest, LowercaseAdjectiveUntouched) {
+  TokenSequence toks = Tokenizer::Tokenize("the new Barcelona terminal");
+  PosTagger tagger;
+  tagger.Tag(&toks);
+  EXPECT_EQ(toks[1].tag, "JJ");  // "new" stays an adjective.
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace dwqa

@@ -1,0 +1,68 @@
+#include "text/sentence_splitter.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace text {
+namespace {
+
+TEST(SentenceSplitterTest, SplitsOnPeriods) {
+  auto sents = SentenceSplitter::Split("First one. Second one. Third.");
+  ASSERT_EQ(sents.size(), 3u);
+  EXPECT_EQ(sents[0], "First one.");
+  EXPECT_EQ(sents[2], "Third.");
+}
+
+TEST(SentenceSplitterTest, SplitsOnQuestionAndExclamation) {
+  auto sents = SentenceSplitter::Split("Really? Yes! Fine.");
+  ASSERT_EQ(sents.size(), 3u);
+  EXPECT_EQ(sents[0], "Really?");
+  EXPECT_EQ(sents[1], "Yes!");
+}
+
+TEST(SentenceSplitterTest, NewlineEndsSentence) {
+  // The line-oriented weather pages: each line is one sentence.
+  auto sents = SentenceSplitter::Split(
+      "Monday, January 31, 2004\nBarcelona Weather: Temperature 8ºC");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "Monday, January 31, 2004");
+}
+
+TEST(SentenceSplitterTest, DecimalNumbersDoNotSplit) {
+  auto sents = SentenceSplitter::Split("It was 46.4 F today. Cold.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "It was 46.4 F today.");
+}
+
+TEST(SentenceSplitterTest, AbbreviationsDoNotSplit) {
+  auto sents = SentenceSplitter::Split("Dr. Smith arrived. He left.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "Dr. Smith arrived.");
+}
+
+TEST(SentenceSplitterTest, SingleLetterAbbreviation) {
+  auto sents = SentenceSplitter::Split("The U.S. economy grew. Indeed.");
+  ASSERT_EQ(sents.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, EmptyAndBlankLines) {
+  EXPECT_TRUE(SentenceSplitter::Split("").empty());
+  EXPECT_TRUE(SentenceSplitter::Split("\n\n  \n").empty());
+}
+
+TEST(SentenceSplitterTest, TrailingTextWithoutTerminatorKept) {
+  auto sents = SentenceSplitter::Split("Complete. trailing fragment");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[1], "trailing fragment");
+}
+
+TEST(SentenceSplitterTest, WhitespaceTrimmed) {
+  auto sents = SentenceSplitter::Split("   padded.   \n  next  ");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "padded.");
+  EXPECT_EQ(sents[1], "next");
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace dwqa

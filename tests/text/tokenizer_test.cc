@@ -1,0 +1,109 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace text {
+namespace {
+
+std::vector<std::string> Surface(const TokenSequence& toks) {
+  std::vector<std::string> out;
+  for (const Token& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, SimpleSentence) {
+  auto toks = Tokenizer::Tokenize("The weather is clear today.");
+  EXPECT_EQ(Surface(toks), (std::vector<std::string>{
+                               "The", "weather", "is", "clear", "today",
+                               "."}));
+}
+
+TEST(TokenizerTest, LowercaseFilledIn) {
+  auto toks = Tokenizer::Tokenize("Barcelona Weather");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].lower, "barcelona");
+  EXPECT_EQ(toks[1].lower, "weather");
+}
+
+TEST(TokenizerTest, DegreeSignIsItsOwnToken) {
+  // The Table 1 shape: "8ºC" → "8", "º", "C".
+  auto toks = Tokenizer::Tokenize("Temperature 8\xC2\xBA\x43 today");
+  EXPECT_EQ(Surface(toks), (std::vector<std::string>{
+                               "Temperature", "8", "\xC2\xBA", "C",
+                               "today"}));
+}
+
+TEST(TokenizerTest, DegreeSignU00B0Normalized) {
+  auto toks = Tokenizer::Tokenize("8\xC2\xB0\x43");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "\xC2\xBA");  // Normalized to U+00BA.
+}
+
+TEST(TokenizerTest, DecimalsStayTogether) {
+  auto toks = Tokenizer::Tokenize("around 46.4 F");
+  EXPECT_EQ(Surface(toks), (std::vector<std::string>{"around", "46.4",
+                                                     "F"}));
+}
+
+TEST(TokenizerTest, OrdinalsStayTogether) {
+  auto toks = Tokenizer::Tokenize("the 12th of May");
+  EXPECT_EQ(Surface(toks),
+            (std::vector<std::string>{"the", "12th", "of", "May"}));
+}
+
+TEST(TokenizerTest, SentenceFinalPeriodSplitsFromNumber) {
+  auto toks = Tokenizer::Tokenize("It was 8.");
+  EXPECT_EQ(Surface(toks), (std::vector<std::string>{"It", "was", "8",
+                                                     "."}));
+}
+
+TEST(TokenizerTest, PunctuationIsolated) {
+  auto toks = Tokenizer::Tokenize("Weather: 8, cold?");
+  EXPECT_EQ(Surface(toks), (std::vector<std::string>{"Weather", ":", "8",
+                                                     ",", "cold", "?"}));
+}
+
+TEST(TokenizerTest, HyphenatedWordsKeptTogether) {
+  auto toks = Tokenizer::Tokenize("cross-lingual question answering");
+  EXPECT_EQ(toks[0].text, "cross-lingual");
+}
+
+TEST(TokenizerTest, TrailingHyphenNotSwallowed) {
+  auto toks = Tokenizer::Tokenize("pre- and post-war");
+  EXPECT_EQ(Surface(toks), (std::vector<std::string>{"pre", "-", "and",
+                                                     "post-war"}));
+}
+
+TEST(TokenizerTest, NegativeNumbers) {
+  auto toks = Tokenizer::Tokenize("It was -3.5 degrees");
+  EXPECT_EQ(toks[2].text, "-3.5");
+}
+
+TEST(TokenizerTest, OffsetsCoverOriginal) {
+  std::string input = "Barcelona Weather: 8\xC2\xBA\x43";
+  auto toks = Tokenizer::Tokenize(input);
+  for (const Token& t : toks) {
+    ASSERT_LE(t.end, input.size());
+    EXPECT_EQ(input.substr(t.begin, t.end - t.begin),
+              t.text == "\xC2\xBA" ? std::string("\xC2\xBA") : t.text);
+  }
+  // Offsets strictly increase.
+  for (size_t i = 1; i < toks.size(); ++i) {
+    EXPECT_GE(toks[i].begin, toks[i - 1].end);
+  }
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenizer::Tokenize("").empty());
+  EXPECT_TRUE(Tokenizer::Tokenize("  \t\n ").empty());
+}
+
+TEST(TokenizerTest, DollarSign) {
+  auto toks = Tokenizer::Tokenize("$99 fare");
+  EXPECT_EQ(Surface(toks), (std::vector<std::string>{"$", "99", "fare"}));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace dwqa

@@ -1,0 +1,150 @@
+#include "web/page_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include <cmath>
+
+#include "ir/html.h"
+
+namespace dwqa {
+namespace web {
+namespace {
+
+TEST(PageGeneratorsTest, ProsePageHasFigure4Shape) {
+  WeatherModel model(42);
+  std::string html =
+      PageGenerators::ProseWeatherPage(model, "Barcelona", 2004, 1)
+          .ValueOrDie();
+  // Every day appears, newest first, in the paper's two-line format.
+  EXPECT_NE(html.find("January 31, 2004"), std::string::npos);
+  EXPECT_NE(html.find("January 1, 2004"), std::string::npos);
+  EXPECT_NE(html.find("Barcelona Weather: Temperature "), std::string::npos);
+  EXPECT_NE(html.find("\xC2\xBA C around "), std::string::npos);
+  EXPECT_NE(html.find(" F "), std::string::npos);
+  // Newest first.
+  EXPECT_LT(html.find("January 31, 2004"), html.find("January 30, 2004"));
+}
+
+TEST(PageGeneratorsTest, ProsePublishesRoundedMeanAndItsFahrenheit) {
+  WeatherModel model(42);
+  Date d(2004, 1, 31);
+  double published =
+      PageGenerators::PublishedTemperature(model, "Barcelona", d)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(published, std::round(published));  // Integral.
+  std::string html =
+      PageGenerators::ProseWeatherPage(model, "Barcelona", 2004, 1)
+          .ValueOrDie();
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "Temperature %.0f\xC2\xBA C around",
+                published);
+  EXPECT_NE(html.find(expect), std::string::npos);
+}
+
+TEST(PageGeneratorsTest, TablePageUnitsOnlyInHeader) {
+  WeatherModel model(42);
+  std::string html =
+      PageGenerators::TableWeatherPage(model, "Barcelona", 2004, 1)
+          .ValueOrDie();
+  auto tables = ir::Html::ExtractTables(html);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].has_header);
+  ASSERT_EQ(tables[0].rows.size(), 32u);  // Header + 31 days.
+  // The scale letter only appears in the header cells.
+  EXPECT_NE(tables[0].rows[0][1].find("\xC2\xBA\x43"), std::string::npos);
+  for (size_t r = 1; r < tables[0].rows.size(); ++r) {
+    EXPECT_EQ(tables[0].rows[r][1].find("C"), std::string::npos);
+    EXPECT_NE(tables[0].rows[r][1].find("\xC2\xBA"), std::string::npos);
+  }
+}
+
+TEST(PageGeneratorsTest, TableHighLowStraddlePublishedMean) {
+  WeatherModel model(42);
+  std::string html =
+      PageGenerators::TableWeatherPage(model, "Barcelona", 2004, 1)
+          .ValueOrDie();
+  auto tables = ir::Html::ExtractTables(html);
+  ASSERT_FALSE(tables.empty());
+  double mean = PageGenerators::PublishedTemperature(model, "Barcelona",
+                                                     Date(2004, 1, 1))
+                    .ValueOrDie();
+  double high = std::atof(tables[0].rows[1][1].c_str());
+  double low = std::atof(tables[0].rows[1][2].c_str());
+  EXPECT_DOUBLE_EQ(high, mean + 3.0);
+  EXPECT_DOUBLE_EQ(low, mean - 3.0);
+}
+
+TEST(PageGeneratorsTest, BadMonthRejected) {
+  WeatherModel model(42);
+  EXPECT_FALSE(
+      PageGenerators::ProseWeatherPage(model, "Barcelona", 2004, 13).ok());
+  EXPECT_FALSE(
+      PageGenerators::TableWeatherPage(model, "Barcelona", 2004, 0).ok());
+  EXPECT_FALSE(
+      PageGenerators::ProseWeatherPage(model, "Atlantis", 2004, 1).ok());
+}
+
+TEST(PageGeneratorsTest, PricePageMentionsRouteAndFare) {
+  std::string page =
+      PageGenerators::PricePage("AcmeAir", "Barcelona", "Paris", 2004, 1,
+                                120.0);
+  EXPECT_NE(page.find("from Barcelona to Paris"), std::string::npos);
+  EXPECT_NE(page.find("120 euros"), std::string::npos);
+  EXPECT_NE(page.find("AcmeAir"), std::string::npos);
+}
+
+TEST(PageGeneratorsTest, NoisePagesIncludeAmbiguityDistractors) {
+  bool jfk = false, wayne = false, laguardia = false, elprat = false;
+  for (size_t i = 0; i < PageGenerators::NoiseTemplateCount(); ++i) {
+    std::string page = PageGenerators::NoisePage(i, nullptr);
+    jfk |= page.find("John F. Kennedy") != std::string::npos;
+    wayne |= page.find("John Wayne") != std::string::npos;
+    laguardia |= page.find("La Guardia") != std::string::npos;
+    elprat |= page.find("El Prat") != std::string::npos;
+  }
+  EXPECT_TRUE(jfk);
+  EXPECT_TRUE(wayne);
+  EXPECT_TRUE(laguardia);
+  EXPECT_TRUE(elprat);
+}
+
+TEST(PageGeneratorsTest, NoisePageFooterVariesWithRng) {
+  Rng rng(1);
+  std::string a = PageGenerators::NoisePage(0, &rng);
+  std::string b = PageGenerators::NoisePage(0, &rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(PageGeneratorsTest, EncyclopediaCoversQuestionFacts) {
+  auto pages = PageGenerators::EncyclopediaPages();
+  EXPECT_GE(pages.size(), 10u);
+  std::string all;
+  for (const auto& p : pages) all += p + "\n";
+  for (const char* fact :
+       {"Sirius", "Kuwait", "capital of Spain", "Data Warehouse",
+        "Olympic Games", "1948", "12 percent", "120 flights", "21 years"}) {
+    EXPECT_NE(all.find(fact), std::string::npos) << fact;
+  }
+}
+
+TEST(PageGeneratorsTest, ProseStyleVariants) {
+  WeatherModel model(42);
+  std::string f_first =
+      PageGenerators::ProseWeatherPage(model, "Barcelona", 2004, 1,
+                                       ProseStyle::kFahrenheitWithCelsius)
+          .ValueOrDie();
+  EXPECT_NE(f_first.find(" F around "), std::string::npos);
+  std::string f_only =
+      PageGenerators::ProseWeatherPage(model, "Barcelona", 2004, 1,
+                                       ProseStyle::kFahrenheitOnly)
+          .ValueOrDie();
+  EXPECT_EQ(f_only.find("\xC2\xBA C"), std::string::npos);
+  EXPECT_NE(f_only.find(" F "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace web
+}  // namespace dwqa

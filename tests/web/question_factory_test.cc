@@ -1,0 +1,99 @@
+#include "web/question_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dwqa {
+namespace web {
+namespace {
+
+SyntheticWeb SmallWeb() {
+  WebConfig config;
+  config.cities = {"Barcelona", "Madrid"};
+  config.months = {1};
+  config.price_pages = 4;
+  return SyntheticWeb::Build(config).ValueOrDie();
+}
+
+TEST(QuestionFactoryTest, ClefSetCoversAllTwentyCategories) {
+  auto questions = QuestionFactory::ClefStyleQuestions();
+  std::set<qa::AnswerType> types;
+  for (const auto& q : questions) types.insert(q.expected_type);
+  EXPECT_EQ(types.size(), static_cast<size_t>(qa::kAnswerTypeCount));
+}
+
+TEST(QuestionFactoryTest, ClefQuestionsHaveGolds) {
+  for (const auto& q : QuestionFactory::ClefStyleQuestions()) {
+    EXPECT_FALSE(q.question.empty());
+    // Every question has a gold string or numeric gold (one weather
+    // question defers to the synthetic truth).
+    if (q.expected_type != qa::AnswerType::kNumericalMeasure) {
+      EXPECT_FALSE(q.gold.empty() &&
+                   q.gold_value == GoldQuestion::kNoGoldValue)
+          << q.question;
+    }
+  }
+}
+
+TEST(QuestionFactoryTest, WeatherQuestionsPerCityMonth) {
+  SyntheticWeb webb = SmallWeb();
+  auto questions = QuestionFactory::WeatherQuestions(webb);
+  ASSERT_EQ(questions.size(), 2u);  // 2 cities × 1 month.
+  for (const auto& q : questions) {
+    EXPECT_NE(q.question.find("January of 2004"), std::string::npos);
+    EXPECT_EQ(q.expected_type, qa::AnswerType::kNumericalMeasure);
+    EXPECT_EQ(q.gold.size(), 31u);  // One acceptable value per day.
+  }
+}
+
+TEST(QuestionFactoryTest, AirportQuestionsSubstituteCityNames) {
+  SyntheticWeb webb = SmallWeb();
+  auto questions = QuestionFactory::AirportWeatherQuestions(
+      webb, {{"barcelona", "El Prat"}, {"madrid", "Barajas"}});
+  ASSERT_EQ(questions.size(), 2u);
+  bool prat = false;
+  for (const auto& q : questions) {
+    if (q.question.find("El Prat") != std::string::npos) prat = true;
+    EXPECT_EQ(q.question.find("Barcelona"), std::string::npos);
+  }
+  EXPECT_TRUE(prat);
+}
+
+TEST(QuestionFactoryTest, PriceQuestionsMatchTruth) {
+  SyntheticWeb webb = SmallWeb();
+  auto questions = QuestionFactory::PriceQuestions(webb);
+  EXPECT_EQ(questions.size(), webb.truth().fare_eur.size());
+  for (const auto& q : questions) {
+    EXPECT_NE(q.gold_value, GoldQuestion::kNoGoldValue);
+  }
+}
+
+TEST(QuestionFactoryTest, MatchesByGoldString) {
+  GoldQuestion q;
+  q.gold = {"Kuwait"};
+  EXPECT_TRUE(QuestionFactory::Matches(q, "the state of Kuwait", false, 0));
+  EXPECT_TRUE(QuestionFactory::Matches(q, "KUWAIT", false, 0));
+  EXPECT_FALSE(QuestionFactory::Matches(q, "Iraq", false, 0));
+}
+
+TEST(QuestionFactoryTest, MatchesByNumericValueWithTolerance) {
+  GoldQuestion q;
+  q.gold_value = 46.0;
+  EXPECT_TRUE(QuestionFactory::Matches(q, "whatever", true, 46.0));
+  EXPECT_TRUE(QuestionFactory::Matches(q, "whatever", true, 46.4));
+  EXPECT_FALSE(QuestionFactory::Matches(q, "whatever", true, 47.0));
+  EXPECT_FALSE(QuestionFactory::Matches(q, "whatever", false, 46.0));
+}
+
+TEST(QuestionFactoryTest, NumericAndStringGoldsCombine) {
+  GoldQuestion q;
+  q.gold = {"120"};
+  q.gold_value = 120.0;
+  EXPECT_TRUE(QuestionFactory::Matches(q, "120 flights", false, 0));
+  EXPECT_TRUE(QuestionFactory::Matches(q, "about", true, 120.2));
+}
+
+}  // namespace
+}  // namespace web
+}  // namespace dwqa

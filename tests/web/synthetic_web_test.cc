@@ -1,0 +1,136 @@
+#include "web/synthetic_web.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace web {
+namespace {
+
+WebConfig SmallConfig() {
+  WebConfig config;
+  config.cities = {"Barcelona", "Madrid"};
+  config.months = {1};
+  config.price_pages = 3;
+  config.noise_pages = 4;
+  return config;
+}
+
+TEST(SyntheticWebTest, DocumentInventory) {
+  SyntheticWeb webb = SyntheticWeb::Build(SmallConfig()).ValueOrDie();
+  // 2 cities × (prose + table) + 3 price + 4 noise + encyclopedia.
+  EXPECT_EQ(webb.DocsWithUrlPrefix("web://weather/").size(), 2u);
+  EXPECT_EQ(webb.DocsWithUrlPrefix("web://weather-table/").size(), 2u);
+  EXPECT_EQ(webb.DocsWithUrlPrefix("web://prices/").size(), 3u);
+  EXPECT_EQ(webb.DocsWithUrlPrefix("web://news/").size(), 4u);
+  EXPECT_GE(webb.DocsWithUrlPrefix("web://encyclopedia/").size(), 10u);
+}
+
+TEST(SyntheticWebTest, GroundTruthCoversEveryCityDay) {
+  SyntheticWeb webb = SyntheticWeb::Build(SmallConfig()).ValueOrDie();
+  EXPECT_EQ(webb.truth().temperature.size(), 2u * 31u);
+  // Every truth value is integral (published temperatures are rounded).
+  for (const auto& [key, value] : webb.truth().temperature) {
+    EXPECT_DOUBLE_EQ(value, std::round(value)) << key.first;
+  }
+}
+
+TEST(SyntheticWebTest, TruthMatchesPageContent) {
+  SyntheticWeb webb = SyntheticWeb::Build(SmallConfig()).ValueOrDie();
+  double truth = webb.truth().temperature.at({"barcelona", "2004-01-31"});
+  const auto& docs = webb.documents();
+  bool found = false;
+  for (const ir::Document& doc : docs.documents()) {
+    if (doc.url != "web://weather/barcelona/2004-1.html") continue;
+    char needle[64];
+    std::snprintf(needle, sizeof(needle),
+                  "Temperature %.0f\xC2\xBA C", truth);
+    EXPECT_NE(doc.raw.find(needle), std::string::npos);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SyntheticWebTest, ConfigTogglesLayouts) {
+  WebConfig config = SmallConfig();
+  config.table_weather = false;
+  SyntheticWeb webb = SyntheticWeb::Build(config).ValueOrDie();
+  EXPECT_TRUE(webb.DocsWithUrlPrefix("web://weather-table/").empty());
+  EXPECT_FALSE(webb.DocsWithUrlPrefix("web://weather/").empty());
+
+  config.table_weather = true;
+  config.prose_weather = false;
+  SyntheticWeb tables_only = SyntheticWeb::Build(config).ValueOrDie();
+  EXPECT_TRUE(tables_only.DocsWithUrlPrefix("web://weather/").empty());
+  EXPECT_FALSE(
+      tables_only.DocsWithUrlPrefix("web://weather-table/").empty());
+  // Both layouts carry the same ground truth.
+  EXPECT_EQ(tables_only.truth().temperature.size(),
+            webb.truth().temperature.size());
+}
+
+TEST(SyntheticWebTest, DeterministicAcrossBuilds) {
+  SyntheticWeb a = SyntheticWeb::Build(SmallConfig()).ValueOrDie();
+  SyntheticWeb b = SyntheticWeb::Build(SmallConfig()).ValueOrDie();
+  ASSERT_EQ(a.documents().size(), b.documents().size());
+  for (size_t i = 0; i < a.documents().size(); ++i) {
+    EXPECT_EQ(a.documents().Get(static_cast<ir::DocId>(i)).raw,
+              b.documents().Get(static_cast<ir::DocId>(i)).raw);
+  }
+  EXPECT_EQ(a.truth().temperature, b.truth().temperature);
+  EXPECT_EQ(a.truth().fare_eur, b.truth().fare_eur);
+}
+
+TEST(SyntheticWebTest, DifferentSeedsChangeTemperatures) {
+  WebConfig c1 = SmallConfig();
+  WebConfig c2 = SmallConfig();
+  c2.seed = 77;
+  SyntheticWeb a = SyntheticWeb::Build(c1).ValueOrDie();
+  SyntheticWeb b = SyntheticWeb::Build(c2).ValueOrDie();
+  EXPECT_NE(a.truth().temperature, b.truth().temperature);
+}
+
+TEST(SyntheticWebTest, FareTruthPopulated) {
+  SyntheticWeb webb = SyntheticWeb::Build(SmallConfig()).ValueOrDie();
+  EXPECT_FALSE(webb.truth().fare_eur.empty());
+  for (const auto& [route, fare] : webb.truth().fare_eur) {
+    EXPECT_NE(route.first, route.second);
+    EXPECT_GE(fare, 40.0);
+    EXPECT_LT(fare, 240.0);
+  }
+}
+
+TEST(SyntheticWebTest, BadMonthRejected) {
+  WebConfig config = SmallConfig();
+  config.months = {13};
+  EXPECT_FALSE(SyntheticWeb::Build(config).ok());
+}
+
+TEST(SyntheticWebTest, AllCitiesDefault) {
+  WebConfig config;
+  config.months = {1};
+  config.price_pages = 0;
+  config.noise_pages = 0;
+  config.encyclopedia = false;
+  SyntheticWeb webb = SyntheticWeb::Build(config).ValueOrDie();
+  EXPECT_EQ(webb.DocsWithUrlPrefix("web://weather/").size(),
+            WeatherModel::Cities().size());
+}
+
+TEST(SyntheticWebTest, SingleCityWebHasNoPricePagesAndTerminates) {
+  WebConfig config;
+  config.cities = {"Barcelona"};
+  config.months = {1};
+  config.price_pages = 5;  // Requested but impossible: routes need 2 cities.
+  SyntheticWeb webb = SyntheticWeb::Build(config).ValueOrDie();
+  EXPECT_TRUE(webb.DocsWithUrlPrefix("web://prices/").empty());
+  EXPECT_TRUE(webb.truth().fare_eur.empty());
+  EXPECT_FALSE(webb.DocsWithUrlPrefix("web://weather/").empty());
+}
+
+}  // namespace
+}  // namespace web
+}  // namespace dwqa

@@ -1,0 +1,99 @@
+#include "web/weather_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace web {
+namespace {
+
+TEST(WeatherModelTest, DeterministicPerSeed) {
+  WeatherModel a(42), b(42), c(43);
+  Date d(2004, 1, 15);
+  EXPECT_DOUBLE_EQ(a.TemperatureCelsius("Barcelona", d).ValueOrDie(),
+                   b.TemperatureCelsius("Barcelona", d).ValueOrDie());
+  EXPECT_NE(a.TemperatureCelsius("Barcelona", d).ValueOrDie(),
+            c.TemperatureCelsius("Barcelona", d).ValueOrDie());
+}
+
+TEST(WeatherModelTest, SeasonalShape) {
+  WeatherModel m(42);
+  // July is warmer than January, on average over the month, everywhere.
+  for (const CityClimate& city : WeatherModel::Cities()) {
+    double jan = 0, jul = 0;
+    for (int d = 1; d <= 28; ++d) {
+      jan += m.TemperatureCelsius(city.name, Date(2004, 1, d)).ValueOrDie();
+      jul += m.TemperatureCelsius(city.name, Date(2004, 7, d)).ValueOrDie();
+    }
+    EXPECT_GT(jul, jan) << city.name;
+  }
+}
+
+TEST(WeatherModelTest, MonthlyMeanNearClimate) {
+  WeatherModel m(42);
+  double sum = 0;
+  int n = 0;
+  for (int d = 1; d <= 31; ++d) {
+    sum += m.TemperatureCelsius("Barcelona", Date(2004, 1, d)).ValueOrDie();
+    ++n;
+  }
+  const CityClimate* bcn = WeatherModel::FindCity("Barcelona").ValueOrDie();
+  EXPECT_NEAR(sum / n, bcn->january_mean_c, 2.5);
+}
+
+TEST(WeatherModelTest, UnknownCityAndBadDate) {
+  WeatherModel m(42);
+  EXPECT_TRUE(m.TemperatureCelsius("Atlantis", Date(2004, 1, 1))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(m.TemperatureCelsius("Barcelona", Date(2004, 2, 30))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WeatherModelTest, FindCityCaseInsensitive) {
+  EXPECT_TRUE(WeatherModel::FindCity("barcelona").ok());
+  EXPECT_TRUE(WeatherModel::FindCity("NEW YORK").ok());
+  EXPECT_FALSE(WeatherModel::FindCity("Gotham").ok());
+}
+
+TEST(WeatherModelTest, FahrenheitConversionConsistent) {
+  WeatherModel m(42);
+  Date d(2004, 1, 15);
+  double c = m.TemperatureCelsius("Madrid", d).ValueOrDie();
+  double f = m.TemperatureFahrenheit("Madrid", d).ValueOrDie();
+  EXPECT_NEAR(f, c * 9.0 / 5.0 + 32.0, 1e-9);
+  EXPECT_DOUBLE_EQ(WeatherModel::CelsiusToFahrenheit(0.0), 32.0);
+  EXPECT_DOUBLE_EQ(WeatherModel::CelsiusToFahrenheit(100.0), 212.0);
+}
+
+TEST(WeatherModelTest, ConditionDeterministicAndPlausible) {
+  WeatherModel m(42);
+  Date d(2004, 1, 15);
+  EXPECT_EQ(m.Condition("Paris", d).ValueOrDie(),
+            m.Condition("Paris", d).ValueOrDie());
+  for (int day = 1; day <= 28; ++day) {
+    std::string cond = m.Condition("Paris", Date(2004, 1, day)).ValueOrDie();
+    EXPECT_TRUE(cond == "Snow" || cond == "Rain" || cond == "Cloudy" ||
+                cond == "Clear skies")
+        << cond;
+  }
+}
+
+TEST(WeatherModelTest, NoiseVariesDayToDay) {
+  WeatherModel m(42);
+  // Not all January days are equal: the noise is alive.
+  double first =
+      m.TemperatureCelsius("Barcelona", Date(2004, 1, 1)).ValueOrDie();
+  bool varies = false;
+  for (int d = 2; d <= 10; ++d) {
+    if (m.TemperatureCelsius("Barcelona", Date(2004, 1, d)).ValueOrDie() !=
+        first) {
+      varies = true;
+    }
+  }
+  EXPECT_TRUE(varies);
+}
+
+}  // namespace
+}  // namespace web
+}  // namespace dwqa
