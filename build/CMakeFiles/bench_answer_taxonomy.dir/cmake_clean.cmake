@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_answer_taxonomy.dir/bench/bench_answer_taxonomy.cpp.o"
+  "CMakeFiles/bench_answer_taxonomy.dir/bench/bench_answer_taxonomy.cpp.o.d"
+  "bench/bench_answer_taxonomy"
+  "bench/bench_answer_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_answer_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dw_feed_bi.dir/bench/bench_dw_feed_bi.cpp.o"
+  "CMakeFiles/bench_dw_feed_bi.dir/bench/bench_dw_feed_bi.cpp.o.d"
+  "bench/bench_dw_feed_bi"
+  "bench/bench_dw_feed_bi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dw_feed_bi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

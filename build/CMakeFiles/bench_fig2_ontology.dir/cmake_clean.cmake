@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ontology.dir/bench/bench_fig2_ontology.cpp.o"
+  "CMakeFiles/bench_fig2_ontology.dir/bench/bench_fig2_ontology.cpp.o.d"
+  "bench/bench_fig2_ontology"
+  "bench/bench_fig2_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

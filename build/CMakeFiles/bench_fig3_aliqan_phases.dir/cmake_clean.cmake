@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_aliqan_phases.dir/bench/bench_fig3_aliqan_phases.cpp.o"
+  "CMakeFiles/bench_fig3_aliqan_phases.dir/bench/bench_fig3_aliqan_phases.cpp.o.d"
+  "bench/bench_fig3_aliqan_phases"
+  "bench/bench_fig3_aliqan_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_aliqan_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_prose_extraction.cpp" "CMakeFiles/bench_fig4_prose_extraction.dir/bench/bench_fig4_prose_extraction.cpp.o" "gcc" "CMakeFiles/bench_fig4_prose_extraction.dir/bench/bench_fig4_prose_extraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/integration/CMakeFiles/dwqa_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw/CMakeFiles/dwqa_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/dwqa_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/dwqa_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dwqa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dwqa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dwqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

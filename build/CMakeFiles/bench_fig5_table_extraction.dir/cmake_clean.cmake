@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_table_extraction.dir/bench/bench_fig5_table_extraction.cpp.o"
+  "CMakeFiles/bench_fig5_table_extraction.dir/bench/bench_fig5_table_extraction.cpp.o.d"
+  "bench/bench_fig5_table_extraction"
+  "bench/bench_fig5_table_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_table_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

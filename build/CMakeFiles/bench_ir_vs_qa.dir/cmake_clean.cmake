@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ir_vs_qa.dir/bench/bench_ir_vs_qa.cpp.o"
+  "CMakeFiles/bench_ir_vs_qa.dir/bench/bench_ir_vs_qa.cpp.o.d"
+  "bench/bench_ir_vs_qa"
+  "bench/bench_ir_vs_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ir_vs_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_olap.dir/bench/bench_micro_olap.cpp.o"
+  "CMakeFiles/bench_micro_olap.dir/bench/bench_micro_olap.cpp.o.d"
+  "bench/bench_micro_olap"
+  "bench/bench_micro_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

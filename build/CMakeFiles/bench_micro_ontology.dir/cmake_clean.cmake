@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ontology.dir/bench/bench_micro_ontology.cpp.o"
+  "CMakeFiles/bench_micro_ontology.dir/bench/bench_micro_ontology.cpp.o.d"
+  "bench/bench_micro_ontology"
+  "bench/bench_micro_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

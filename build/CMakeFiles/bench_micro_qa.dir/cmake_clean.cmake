@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_qa.dir/bench/bench_micro_qa.cpp.o"
+  "CMakeFiles/bench_micro_qa.dir/bench/bench_micro_qa.cpp.o.d"
+  "bench/bench_micro_qa"
+  "bench/bench_micro_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_text.dir/bench/bench_micro_text.cpp.o"
+  "CMakeFiles/bench_micro_text.dir/bench/bench_micro_text.cpp.o.d"
+  "bench/bench_micro_text"
+  "bench/bench_micro_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

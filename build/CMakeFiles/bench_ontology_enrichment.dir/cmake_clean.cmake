@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ontology_enrichment.dir/bench/bench_ontology_enrichment.cpp.o"
+  "CMakeFiles/bench_ontology_enrichment.dir/bench/bench_ontology_enrichment.cpp.o.d"
+  "bench/bench_ontology_enrichment"
+  "bench/bench_ontology_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ontology_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ask.dir/ask.cpp.o"
+  "CMakeFiles/ask.dir/ask.cpp.o.d"
+  "ask"
+  "ask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

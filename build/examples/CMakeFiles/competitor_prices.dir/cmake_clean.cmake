@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/competitor_prices.dir/competitor_prices.cpp.o"
+  "CMakeFiles/competitor_prices.dir/competitor_prices.cpp.o.d"
+  "competitor_prices"
+  "competitor_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/competitor_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for competitor_prices.
+# This may be replaced when dependencies are built.

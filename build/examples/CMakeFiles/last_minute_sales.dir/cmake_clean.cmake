@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/last_minute_sales.dir/last_minute_sales.cpp.o"
+  "CMakeFiles/last_minute_sales.dir/last_minute_sales.cpp.o.d"
+  "last_minute_sales"
+  "last_minute_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/last_minute_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_explorer.dir/olap_explorer.cpp.o"
+  "CMakeFiles/olap_explorer.dir/olap_explorer.cpp.o.d"
+  "olap_explorer"
+  "olap_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_common.dir/csv.cc.o"
+  "CMakeFiles/dwqa_common.dir/csv.cc.o.d"
+  "CMakeFiles/dwqa_common.dir/date.cc.o"
+  "CMakeFiles/dwqa_common.dir/date.cc.o.d"
+  "CMakeFiles/dwqa_common.dir/logging.cc.o"
+  "CMakeFiles/dwqa_common.dir/logging.cc.o.d"
+  "CMakeFiles/dwqa_common.dir/status.cc.o"
+  "CMakeFiles/dwqa_common.dir/status.cc.o.d"
+  "CMakeFiles/dwqa_common.dir/string_util.cc.o"
+  "CMakeFiles/dwqa_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dwqa_common.dir/table_printer.cc.o"
+  "CMakeFiles/dwqa_common.dir/table_printer.cc.o.d"
+  "libdwqa_common.a"
+  "libdwqa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

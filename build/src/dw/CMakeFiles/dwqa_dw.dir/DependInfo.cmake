@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dw/csv_etl.cc" "src/dw/CMakeFiles/dwqa_dw.dir/csv_etl.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/csv_etl.cc.o.d"
+  "/root/repo/src/dw/etl.cc" "src/dw/CMakeFiles/dwqa_dw.dir/etl.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/etl.cc.o.d"
+  "/root/repo/src/dw/olap.cc" "src/dw/CMakeFiles/dwqa_dw.dir/olap.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/olap.cc.o.d"
+  "/root/repo/src/dw/persistence.cc" "src/dw/CMakeFiles/dwqa_dw.dir/persistence.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/persistence.cc.o.d"
+  "/root/repo/src/dw/query_parser.cc" "src/dw/CMakeFiles/dwqa_dw.dir/query_parser.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/query_parser.cc.o.d"
+  "/root/repo/src/dw/schema.cc" "src/dw/CMakeFiles/dwqa_dw.dir/schema.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/schema.cc.o.d"
+  "/root/repo/src/dw/table.cc" "src/dw/CMakeFiles/dwqa_dw.dir/table.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/table.cc.o.d"
+  "/root/repo/src/dw/value.cc" "src/dw/CMakeFiles/dwqa_dw.dir/value.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/value.cc.o.d"
+  "/root/repo/src/dw/warehouse.cc" "src/dw/CMakeFiles/dwqa_dw.dir/warehouse.cc.o" "gcc" "src/dw/CMakeFiles/dwqa_dw.dir/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_dw.dir/csv_etl.cc.o"
+  "CMakeFiles/dwqa_dw.dir/csv_etl.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/etl.cc.o"
+  "CMakeFiles/dwqa_dw.dir/etl.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/olap.cc.o"
+  "CMakeFiles/dwqa_dw.dir/olap.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/persistence.cc.o"
+  "CMakeFiles/dwqa_dw.dir/persistence.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/query_parser.cc.o"
+  "CMakeFiles/dwqa_dw.dir/query_parser.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/schema.cc.o"
+  "CMakeFiles/dwqa_dw.dir/schema.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/table.cc.o"
+  "CMakeFiles/dwqa_dw.dir/table.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/value.cc.o"
+  "CMakeFiles/dwqa_dw.dir/value.cc.o.d"
+  "CMakeFiles/dwqa_dw.dir/warehouse.cc.o"
+  "CMakeFiles/dwqa_dw.dir/warehouse.cc.o.d"
+  "libdwqa_dw.a"
+  "libdwqa_dw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_dw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integration/bi_analysis.cc" "src/integration/CMakeFiles/dwqa_integration.dir/bi_analysis.cc.o" "gcc" "src/integration/CMakeFiles/dwqa_integration.dir/bi_analysis.cc.o.d"
+  "/root/repo/src/integration/last_minute_sales.cc" "src/integration/CMakeFiles/dwqa_integration.dir/last_minute_sales.cc.o" "gcc" "src/integration/CMakeFiles/dwqa_integration.dir/last_minute_sales.cc.o.d"
+  "/root/repo/src/integration/multidim_ir.cc" "src/integration/CMakeFiles/dwqa_integration.dir/multidim_ir.cc.o" "gcc" "src/integration/CMakeFiles/dwqa_integration.dir/multidim_ir.cc.o.d"
+  "/root/repo/src/integration/pipeline.cc" "src/integration/CMakeFiles/dwqa_integration.dir/pipeline.cc.o" "gcc" "src/integration/CMakeFiles/dwqa_integration.dir/pipeline.cc.o.d"
+  "/root/repo/src/integration/query_generation.cc" "src/integration/CMakeFiles/dwqa_integration.dir/query_generation.cc.o" "gcc" "src/integration/CMakeFiles/dwqa_integration.dir/query_generation.cc.o.d"
+  "/root/repo/src/integration/table_preprocess.cc" "src/integration/CMakeFiles/dwqa_integration.dir/table_preprocess.cc.o" "gcc" "src/integration/CMakeFiles/dwqa_integration.dir/table_preprocess.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dwqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dwqa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw/CMakeFiles/dwqa_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dwqa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/dwqa_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/dwqa_web.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_integration.dir/bi_analysis.cc.o"
+  "CMakeFiles/dwqa_integration.dir/bi_analysis.cc.o.d"
+  "CMakeFiles/dwqa_integration.dir/last_minute_sales.cc.o"
+  "CMakeFiles/dwqa_integration.dir/last_minute_sales.cc.o.d"
+  "CMakeFiles/dwqa_integration.dir/multidim_ir.cc.o"
+  "CMakeFiles/dwqa_integration.dir/multidim_ir.cc.o.d"
+  "CMakeFiles/dwqa_integration.dir/pipeline.cc.o"
+  "CMakeFiles/dwqa_integration.dir/pipeline.cc.o.d"
+  "CMakeFiles/dwqa_integration.dir/query_generation.cc.o"
+  "CMakeFiles/dwqa_integration.dir/query_generation.cc.o.d"
+  "CMakeFiles/dwqa_integration.dir/table_preprocess.cc.o"
+  "CMakeFiles/dwqa_integration.dir/table_preprocess.cc.o.d"
+  "libdwqa_integration.a"
+  "libdwqa_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

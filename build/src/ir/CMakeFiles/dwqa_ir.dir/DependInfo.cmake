@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/document.cc" "src/ir/CMakeFiles/dwqa_ir.dir/document.cc.o" "gcc" "src/ir/CMakeFiles/dwqa_ir.dir/document.cc.o.d"
+  "/root/repo/src/ir/html.cc" "src/ir/CMakeFiles/dwqa_ir.dir/html.cc.o" "gcc" "src/ir/CMakeFiles/dwqa_ir.dir/html.cc.o.d"
+  "/root/repo/src/ir/inverted_index.cc" "src/ir/CMakeFiles/dwqa_ir.dir/inverted_index.cc.o" "gcc" "src/ir/CMakeFiles/dwqa_ir.dir/inverted_index.cc.o.d"
+  "/root/repo/src/ir/passage_index.cc" "src/ir/CMakeFiles/dwqa_ir.dir/passage_index.cc.o" "gcc" "src/ir/CMakeFiles/dwqa_ir.dir/passage_index.cc.o.d"
+  "/root/repo/src/ir/stopwords.cc" "src/ir/CMakeFiles/dwqa_ir.dir/stopwords.cc.o" "gcc" "src/ir/CMakeFiles/dwqa_ir.dir/stopwords.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dwqa_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_ir.dir/document.cc.o"
+  "CMakeFiles/dwqa_ir.dir/document.cc.o.d"
+  "CMakeFiles/dwqa_ir.dir/html.cc.o"
+  "CMakeFiles/dwqa_ir.dir/html.cc.o.d"
+  "CMakeFiles/dwqa_ir.dir/inverted_index.cc.o"
+  "CMakeFiles/dwqa_ir.dir/inverted_index.cc.o.d"
+  "CMakeFiles/dwqa_ir.dir/passage_index.cc.o"
+  "CMakeFiles/dwqa_ir.dir/passage_index.cc.o.d"
+  "CMakeFiles/dwqa_ir.dir/stopwords.cc.o"
+  "CMakeFiles/dwqa_ir.dir/stopwords.cc.o.d"
+  "libdwqa_ir.a"
+  "libdwqa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

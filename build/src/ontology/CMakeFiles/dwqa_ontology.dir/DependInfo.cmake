@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/enrichment.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/enrichment.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/enrichment.cc.o.d"
+  "/root/repo/src/ontology/merge.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/merge.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/merge.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/ontology.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/ontology.cc.o.d"
+  "/root/repo/src/ontology/owl_writer.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/owl_writer.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/owl_writer.cc.o.d"
+  "/root/repo/src/ontology/similarity.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/similarity.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/similarity.cc.o.d"
+  "/root/repo/src/ontology/uml_model.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/uml_model.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/uml_model.cc.o.d"
+  "/root/repo/src/ontology/uml_to_ontology.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/uml_to_ontology.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/uml_to_ontology.cc.o.d"
+  "/root/repo/src/ontology/wordnet.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/wordnet.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/wordnet.cc.o.d"
+  "/root/repo/src/ontology/wsd.cc" "src/ontology/CMakeFiles/dwqa_ontology.dir/wsd.cc.o" "gcc" "src/ontology/CMakeFiles/dwqa_ontology.dir/wsd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dwqa_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

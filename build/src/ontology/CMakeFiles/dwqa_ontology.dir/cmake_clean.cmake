@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_ontology.dir/enrichment.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/enrichment.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/merge.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/merge.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/ontology.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/ontology.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/owl_writer.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/owl_writer.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/similarity.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/similarity.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/uml_model.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/uml_model.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/uml_to_ontology.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/uml_to_ontology.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/wordnet.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/wordnet.cc.o.d"
+  "CMakeFiles/dwqa_ontology.dir/wsd.cc.o"
+  "CMakeFiles/dwqa_ontology.dir/wsd.cc.o.d"
+  "libdwqa_ontology.a"
+  "libdwqa_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qa/aliqan.cc" "src/qa/CMakeFiles/dwqa_qa.dir/aliqan.cc.o" "gcc" "src/qa/CMakeFiles/dwqa_qa.dir/aliqan.cc.o.d"
+  "/root/repo/src/qa/answer_extractor.cc" "src/qa/CMakeFiles/dwqa_qa.dir/answer_extractor.cc.o" "gcc" "src/qa/CMakeFiles/dwqa_qa.dir/answer_extractor.cc.o.d"
+  "/root/repo/src/qa/crosslingual.cc" "src/qa/CMakeFiles/dwqa_qa.dir/crosslingual.cc.o" "gcc" "src/qa/CMakeFiles/dwqa_qa.dir/crosslingual.cc.o.d"
+  "/root/repo/src/qa/question_analyzer.cc" "src/qa/CMakeFiles/dwqa_qa.dir/question_analyzer.cc.o" "gcc" "src/qa/CMakeFiles/dwqa_qa.dir/question_analyzer.cc.o.d"
+  "/root/repo/src/qa/structured.cc" "src/qa/CMakeFiles/dwqa_qa.dir/structured.cc.o" "gcc" "src/qa/CMakeFiles/dwqa_qa.dir/structured.cc.o.d"
+  "/root/repo/src/qa/taxonomy.cc" "src/qa/CMakeFiles/dwqa_qa.dir/taxonomy.cc.o" "gcc" "src/qa/CMakeFiles/dwqa_qa.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dwqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dwqa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dwqa_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

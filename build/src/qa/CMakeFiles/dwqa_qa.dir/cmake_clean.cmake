@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_qa.dir/aliqan.cc.o"
+  "CMakeFiles/dwqa_qa.dir/aliqan.cc.o.d"
+  "CMakeFiles/dwqa_qa.dir/answer_extractor.cc.o"
+  "CMakeFiles/dwqa_qa.dir/answer_extractor.cc.o.d"
+  "CMakeFiles/dwqa_qa.dir/crosslingual.cc.o"
+  "CMakeFiles/dwqa_qa.dir/crosslingual.cc.o.d"
+  "CMakeFiles/dwqa_qa.dir/question_analyzer.cc.o"
+  "CMakeFiles/dwqa_qa.dir/question_analyzer.cc.o.d"
+  "CMakeFiles/dwqa_qa.dir/structured.cc.o"
+  "CMakeFiles/dwqa_qa.dir/structured.cc.o.d"
+  "CMakeFiles/dwqa_qa.dir/taxonomy.cc.o"
+  "CMakeFiles/dwqa_qa.dir/taxonomy.cc.o.d"
+  "libdwqa_qa.a"
+  "libdwqa_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dwqa_qa.
+# This may be replaced when dependencies are built.

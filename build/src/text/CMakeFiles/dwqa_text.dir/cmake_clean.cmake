@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_text.dir/chunker.cc.o"
+  "CMakeFiles/dwqa_text.dir/chunker.cc.o.d"
+  "CMakeFiles/dwqa_text.dir/entities.cc.o"
+  "CMakeFiles/dwqa_text.dir/entities.cc.o.d"
+  "CMakeFiles/dwqa_text.dir/lemmatizer.cc.o"
+  "CMakeFiles/dwqa_text.dir/lemmatizer.cc.o.d"
+  "CMakeFiles/dwqa_text.dir/lexicon.cc.o"
+  "CMakeFiles/dwqa_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/dwqa_text.dir/pos_tagger.cc.o"
+  "CMakeFiles/dwqa_text.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/dwqa_text.dir/sentence_splitter.cc.o"
+  "CMakeFiles/dwqa_text.dir/sentence_splitter.cc.o.d"
+  "CMakeFiles/dwqa_text.dir/tokenizer.cc.o"
+  "CMakeFiles/dwqa_text.dir/tokenizer.cc.o.d"
+  "libdwqa_text.a"
+  "libdwqa_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/page_generators.cc" "src/web/CMakeFiles/dwqa_web.dir/page_generators.cc.o" "gcc" "src/web/CMakeFiles/dwqa_web.dir/page_generators.cc.o.d"
+  "/root/repo/src/web/question_factory.cc" "src/web/CMakeFiles/dwqa_web.dir/question_factory.cc.o" "gcc" "src/web/CMakeFiles/dwqa_web.dir/question_factory.cc.o.d"
+  "/root/repo/src/web/synthetic_web.cc" "src/web/CMakeFiles/dwqa_web.dir/synthetic_web.cc.o" "gcc" "src/web/CMakeFiles/dwqa_web.dir/synthetic_web.cc.o.d"
+  "/root/repo/src/web/weather_model.cc" "src/web/CMakeFiles/dwqa_web.dir/weather_model.cc.o" "gcc" "src/web/CMakeFiles/dwqa_web.dir/weather_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dwqa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/dwqa_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dwqa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dwqa_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_web.dir/page_generators.cc.o"
+  "CMakeFiles/dwqa_web.dir/page_generators.cc.o.d"
+  "CMakeFiles/dwqa_web.dir/question_factory.cc.o"
+  "CMakeFiles/dwqa_web.dir/question_factory.cc.o.d"
+  "CMakeFiles/dwqa_web.dir/synthetic_web.cc.o"
+  "CMakeFiles/dwqa_web.dir/synthetic_web.cc.o.d"
+  "CMakeFiles/dwqa_web.dir/weather_model.cc.o"
+  "CMakeFiles/dwqa_web.dir/weather_model.cc.o.d"
+  "libdwqa_web.a"
+  "libdwqa_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_common_test.dir/common/csv_test.cc.o"
+  "CMakeFiles/dwqa_common_test.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/dwqa_common_test.dir/common/date_test.cc.o"
+  "CMakeFiles/dwqa_common_test.dir/common/date_test.cc.o.d"
+  "CMakeFiles/dwqa_common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/dwqa_common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/dwqa_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/dwqa_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/dwqa_common_test.dir/common/string_util_test.cc.o"
+  "CMakeFiles/dwqa_common_test.dir/common/string_util_test.cc.o.d"
+  "CMakeFiles/dwqa_common_test.dir/common/table_printer_test.cc.o"
+  "CMakeFiles/dwqa_common_test.dir/common/table_printer_test.cc.o.d"
+  "dwqa_common_test"
+  "dwqa_common_test.pdb"
+  "dwqa_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_dw_test.dir/dw/csv_etl_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/csv_etl_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/etl_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/etl_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/olap_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/olap_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/persistence_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/persistence_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/query_parser_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/query_parser_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/schema_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/schema_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/table_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/table_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/value_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/value_test.cc.o.d"
+  "CMakeFiles/dwqa_dw_test.dir/dw/warehouse_test.cc.o"
+  "CMakeFiles/dwqa_dw_test.dir/dw/warehouse_test.cc.o.d"
+  "dwqa_dw_test"
+  "dwqa_dw_test.pdb"
+  "dwqa_dw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_dw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

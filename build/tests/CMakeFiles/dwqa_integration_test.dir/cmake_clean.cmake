@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_integration_test.dir/integration/bi_analysis_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/bi_analysis_test.cc.o.d"
+  "CMakeFiles/dwqa_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/dwqa_integration_test.dir/integration/last_minute_sales_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/last_minute_sales_test.cc.o.d"
+  "CMakeFiles/dwqa_integration_test.dir/integration/multidim_ir_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/multidim_ir_test.cc.o.d"
+  "CMakeFiles/dwqa_integration_test.dir/integration/pipeline_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/pipeline_test.cc.o.d"
+  "CMakeFiles/dwqa_integration_test.dir/integration/properties_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/properties_test.cc.o.d"
+  "CMakeFiles/dwqa_integration_test.dir/integration/query_generation_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/query_generation_test.cc.o.d"
+  "CMakeFiles/dwqa_integration_test.dir/integration/table_preprocess_test.cc.o"
+  "CMakeFiles/dwqa_integration_test.dir/integration/table_preprocess_test.cc.o.d"
+  "dwqa_integration_test"
+  "dwqa_integration_test.pdb"
+  "dwqa_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

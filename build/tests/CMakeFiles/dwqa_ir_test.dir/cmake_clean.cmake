@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_ir_test.dir/ir/html_test.cc.o"
+  "CMakeFiles/dwqa_ir_test.dir/ir/html_test.cc.o.d"
+  "CMakeFiles/dwqa_ir_test.dir/ir/inverted_index_test.cc.o"
+  "CMakeFiles/dwqa_ir_test.dir/ir/inverted_index_test.cc.o.d"
+  "CMakeFiles/dwqa_ir_test.dir/ir/passage_index_test.cc.o"
+  "CMakeFiles/dwqa_ir_test.dir/ir/passage_index_test.cc.o.d"
+  "dwqa_ir_test"
+  "dwqa_ir_test.pdb"
+  "dwqa_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

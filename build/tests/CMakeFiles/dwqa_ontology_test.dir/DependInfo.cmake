@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ontology/enrichment_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/enrichment_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/enrichment_test.cc.o.d"
+  "/root/repo/tests/ontology/merge_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/merge_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/merge_test.cc.o.d"
+  "/root/repo/tests/ontology/ontology_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/ontology_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/ontology_test.cc.o.d"
+  "/root/repo/tests/ontology/owl_writer_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/owl_writer_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/owl_writer_test.cc.o.d"
+  "/root/repo/tests/ontology/similarity_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/similarity_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/similarity_test.cc.o.d"
+  "/root/repo/tests/ontology/uml_model_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/uml_model_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/uml_model_test.cc.o.d"
+  "/root/repo/tests/ontology/uml_to_ontology_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/uml_to_ontology_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/uml_to_ontology_test.cc.o.d"
+  "/root/repo/tests/ontology/wordnet_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/wordnet_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/wordnet_test.cc.o.d"
+  "/root/repo/tests/ontology/wsd_test.cc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/wsd_test.cc.o" "gcc" "tests/CMakeFiles/dwqa_ontology_test.dir/ontology/wsd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/integration/CMakeFiles/dwqa_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw/CMakeFiles/dwqa_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/dwqa_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/dwqa_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/dwqa_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dwqa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dwqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dwqa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/enrichment_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/enrichment_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/merge_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/merge_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/ontology_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/ontology_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/owl_writer_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/owl_writer_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/similarity_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/similarity_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/uml_model_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/uml_model_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/uml_to_ontology_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/uml_to_ontology_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/wordnet_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/wordnet_test.cc.o.d"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/wsd_test.cc.o"
+  "CMakeFiles/dwqa_ontology_test.dir/ontology/wsd_test.cc.o.d"
+  "dwqa_ontology_test"
+  "dwqa_ontology_test.pdb"
+  "dwqa_ontology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_ontology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_qa_test.dir/qa/aliqan_test.cc.o"
+  "CMakeFiles/dwqa_qa_test.dir/qa/aliqan_test.cc.o.d"
+  "CMakeFiles/dwqa_qa_test.dir/qa/answer_extractor_test.cc.o"
+  "CMakeFiles/dwqa_qa_test.dir/qa/answer_extractor_test.cc.o.d"
+  "CMakeFiles/dwqa_qa_test.dir/qa/crosslingual_test.cc.o"
+  "CMakeFiles/dwqa_qa_test.dir/qa/crosslingual_test.cc.o.d"
+  "CMakeFiles/dwqa_qa_test.dir/qa/question_analyzer_test.cc.o"
+  "CMakeFiles/dwqa_qa_test.dir/qa/question_analyzer_test.cc.o.d"
+  "CMakeFiles/dwqa_qa_test.dir/qa/structured_test.cc.o"
+  "CMakeFiles/dwqa_qa_test.dir/qa/structured_test.cc.o.d"
+  "CMakeFiles/dwqa_qa_test.dir/qa/taxonomy_test.cc.o"
+  "CMakeFiles/dwqa_qa_test.dir/qa/taxonomy_test.cc.o.d"
+  "dwqa_qa_test"
+  "dwqa_qa_test.pdb"
+  "dwqa_qa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_qa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_text_test.dir/text/chunker_test.cc.o"
+  "CMakeFiles/dwqa_text_test.dir/text/chunker_test.cc.o.d"
+  "CMakeFiles/dwqa_text_test.dir/text/entities_test.cc.o"
+  "CMakeFiles/dwqa_text_test.dir/text/entities_test.cc.o.d"
+  "CMakeFiles/dwqa_text_test.dir/text/lemmatizer_test.cc.o"
+  "CMakeFiles/dwqa_text_test.dir/text/lemmatizer_test.cc.o.d"
+  "CMakeFiles/dwqa_text_test.dir/text/pos_tagger_test.cc.o"
+  "CMakeFiles/dwqa_text_test.dir/text/pos_tagger_test.cc.o.d"
+  "CMakeFiles/dwqa_text_test.dir/text/sentence_splitter_test.cc.o"
+  "CMakeFiles/dwqa_text_test.dir/text/sentence_splitter_test.cc.o.d"
+  "CMakeFiles/dwqa_text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/dwqa_text_test.dir/text/tokenizer_test.cc.o.d"
+  "dwqa_text_test"
+  "dwqa_text_test.pdb"
+  "dwqa_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

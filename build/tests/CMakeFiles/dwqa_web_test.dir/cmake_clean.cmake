@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwqa_web_test.dir/web/page_generators_test.cc.o"
+  "CMakeFiles/dwqa_web_test.dir/web/page_generators_test.cc.o.d"
+  "CMakeFiles/dwqa_web_test.dir/web/question_factory_test.cc.o"
+  "CMakeFiles/dwqa_web_test.dir/web/question_factory_test.cc.o.d"
+  "CMakeFiles/dwqa_web_test.dir/web/synthetic_web_test.cc.o"
+  "CMakeFiles/dwqa_web_test.dir/web/synthetic_web_test.cc.o.d"
+  "CMakeFiles/dwqa_web_test.dir/web/weather_model_test.cc.o"
+  "CMakeFiles/dwqa_web_test.dir/web/weather_model_test.cc.o.d"
+  "dwqa_web_test"
+  "dwqa_web_test.pdb"
+  "dwqa_web_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwqa_web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dwqa_common_test[1]_include.cmake")
+include("/root/repo/build/tests/dwqa_text_test[1]_include.cmake")
+include("/root/repo/build/tests/dwqa_ontology_test[1]_include.cmake")
+include("/root/repo/build/tests/dwqa_dw_test[1]_include.cmake")
+include("/root/repo/build/tests/dwqa_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/dwqa_qa_test[1]_include.cmake")
+include("/root/repo/build/tests/dwqa_web_test[1]_include.cmake")
+include("/root/repo/build/tests/dwqa_integration_test[1]_include.cmake")
