@@ -24,6 +24,7 @@ dwqa_bench(bench_fig5_table_extraction)
 dwqa_bench(bench_ir_vs_qa)
 dwqa_bench(bench_ontology_enrichment)
 dwqa_bench(bench_dw_feed_bi)
+dwqa_bench(bench_feed_resilience)
 dwqa_bench(bench_answer_taxonomy)
 dwqa_bench(bench_multidim_ir)
 dwqa_microbench(bench_micro_text)

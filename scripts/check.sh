@@ -1,18 +1,43 @@
 #!/usr/bin/env bash
-# Full verification sweep: configure, build, unit tests, all benches.
+# Full verification sweep: configure, build, unit tests, a sanitizer pass
+# over the whole test suite, then all benches.
+#
 # Usage: scripts/check.sh [build-dir]
+#
+# Environment knobs:
+#   DWQA_SANITIZE       sanitizer list for the sanitizer pass
+#                       (default "address,undefined"; "" skips the pass)
+#   DWQA_SKIP_BENCHES=1 skip the bench sweep
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SANITIZE="${DWQA_SANITIZE-address,undefined}"
 
-cmake -B "$ROOT/$BUILD_DIR" -G Ninja -S "$ROOT"
-cmake --build "$ROOT/$BUILD_DIR"
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+cmake -B "$ROOT/$BUILD_DIR" "${GENERATOR[@]}" -S "$ROOT"
+cmake --build "$ROOT/$BUILD_DIR" -j
 ctest --test-dir "$ROOT/$BUILD_DIR" --output-on-failure
 
-for bench in "$ROOT/$BUILD_DIR"/bench/*; do
-  [ -x "$bench" ] || continue
+if [ -n "$SANITIZE" ]; then
+  SAN_DIR="${BUILD_DIR}-san"
   echo
-  echo "##### $(basename "$bench")"
-  "$bench"
-done
+  echo "##### sanitizer pass (-fsanitize=$SANITIZE) #####"
+  cmake -B "$ROOT/$SAN_DIR" "${GENERATOR[@]}" -S "$ROOT" \
+    -DDWQA_SANITIZE="$SANITIZE" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$ROOT/$SAN_DIR" -j
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    ctest --test-dir "$ROOT/$SAN_DIR" --output-on-failure
+fi
+
+if [ "${DWQA_SKIP_BENCHES:-0}" != 1 ]; then
+  for bench in "$ROOT/$BUILD_DIR"/bench/*; do
+    [ -x "$bench" ] || continue
+    echo
+    echo "##### $(basename "$bench")"
+    "$bench"
+  done
+fi

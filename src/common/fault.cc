@@ -1,0 +1,136 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dwqa {
+
+const char* FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kTransient:
+      return "Transient";
+    case FaultMode::kTruncatePayload:
+      return "TruncatePayload";
+    case FaultMode::kSwapDigits:
+      return "SwapDigits";
+    case FaultMode::kBreakUnits:
+      return "BreakUnits";
+  }
+  return "Unknown";
+}
+
+FaultConfig FaultConfig::TransientEverywhere(double rate, uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  for (const char* point : {kFaultPointFetch, kFaultPointParse,
+                            kFaultPointIndex, kFaultPointEtlLoad}) {
+    config.rules.push_back({point, rate, FaultMode::kTransient,
+                            StatusCode::kUnavailable});
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+Status FaultInjector::Hit(const std::string& point) {
+  for (const FaultRule& rule : config_.rules) {
+    if (rule.point != point || rule.mode != FaultMode::kTransient) continue;
+    // Draw even when probability is 0 so that adding/removing a 0-rate rule
+    // does not shift the schedule of the other rules at this point.
+    if (rng_.NextBool(rule.probability)) {
+      ++fires_[point];
+      return Status(rule.code, "injected fault at '" + point + "'");
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldCorrupt(const std::string& point, FaultMode* mode) {
+  for (const FaultRule& rule : config_.rules) {
+    if (rule.point != point || rule.mode == FaultMode::kTransient) continue;
+    if (rng_.NextBool(rule.probability)) {
+      ++fires_[point];
+      *mode = rule.mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultInjector::Corrupt(std::string payload, FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kTransient:
+      return payload;  // Transient faults do not touch payloads.
+    case FaultMode::kTruncatePayload:
+      return TruncatePayload(std::move(payload), &rng_);
+    case FaultMode::kSwapDigits:
+      return SwapDigits(std::move(payload), &rng_);
+    case FaultMode::kBreakUnits:
+      return BreakUnits(std::move(payload), &rng_);
+  }
+  return payload;
+}
+
+std::string FaultInjector::TruncatePayload(std::string payload, Rng* rng) {
+  if (payload.size() < 2) return payload;
+  // Cut somewhere in the second half — the fetch started fine and died
+  // mid-stream, frequently inside a tag or a sentence.
+  size_t keep = payload.size() / 2 +
+                rng->NextIndex(payload.size() - payload.size() / 2);
+  payload.resize(keep);
+  return payload;
+}
+
+std::string FaultInjector::SwapDigits(std::string payload, Rng* rng) {
+  // Garble roughly one digit in four: duplicate it (8 -> 88, pushing the
+  // magnitude out of any plausible interval) or replace it with 9.
+  std::string out;
+  out.reserve(payload.size() + payload.size() / 8);
+  for (char c : payload) {
+    if (std::isdigit(static_cast<unsigned char>(c)) && rng->NextBool(0.25)) {
+      if (rng->NextBool(0.5)) {
+        out += c;
+        out += c;  // "8" -> "88"
+      } else {
+        out += '9';
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string FaultInjector::BreakUnits(std::string payload, Rng* rng) {
+  // Destroy the measure-unit association: degree signs vanish and the
+  // Fahrenheit marker turns into a meaningless letter.
+  auto replace_some = [&](const std::string& from, const std::string& to) {
+    size_t pos = 0;
+    while ((pos = payload.find(from, pos)) != std::string::npos) {
+      if (rng->NextBool(0.75)) {
+        payload.replace(pos, from.size(), to);
+        pos += to.size();
+      } else {
+        pos += from.size();
+      }
+    }
+  };
+  replace_some("\xC2\xBA C", " K");  // "8º C" -> "8 K"
+  replace_some("\xC2\xBA", "");      // bare degree signs vanish
+  replace_some(" F ", " Q ");
+  return payload;
+}
+
+size_t FaultInjector::fires(const std::string& point) const {
+  auto it = fires_.find(point);
+  return it == fires_.end() ? 0 : it->second;
+}
+
+size_t FaultInjector::total_fires() const {
+  size_t total = 0;
+  for (const auto& [point, count] : fires_) total += count;
+  return total;
+}
+
+}  // namespace dwqa

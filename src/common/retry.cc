@@ -1,0 +1,29 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace dwqa {
+
+double BackoffDelayMs(const RetryPolicy& policy, int retry, Rng* rng) {
+  if (retry < 1) retry = 1;
+  double delay =
+      policy.base_delay_ms * std::pow(policy.backoff_factor, retry - 1);
+  delay = std::min(delay, policy.max_delay_ms);
+  if (policy.jitter > 0.0 && rng != nullptr) {
+    delay *= 1.0 - rng->NextDouble() * policy.jitter;
+  }
+  return std::max(delay, 0.0);
+}
+
+namespace internal {
+
+void SleepForMs(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace internal
+
+}  // namespace dwqa

@@ -1,0 +1,98 @@
+#ifndef DWQA_COMMON_RETRY_H_
+#define DWQA_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dwqa {
+
+/// \brief Exponential backoff with seeded jitter.
+///
+/// Delays grow geometrically from `base_delay_ms`, capped at `max_delay_ms`,
+/// and are spread by up to `jitter` of themselves so that retrying callers
+/// do not stampede in lockstep. The jitter draws come from a seeded Rng, so
+/// a fixed seed reproduces the exact retry schedule.
+struct RetryPolicy {
+  /// Total tries, including the first one. 1 = no retries.
+  int max_attempts = 5;
+  double base_delay_ms = 0.5;
+  double max_delay_ms = 8.0;
+  double backoff_factor = 2.0;
+  /// Fraction of the delay randomized away: delay *= 1 - U(0, jitter).
+  double jitter = 0.5;
+  uint64_t jitter_seed = 42;
+  /// When false, delays are computed (and reported) but not slept —
+  /// deterministic-schedule tests do not want wall-clock in the loop.
+  bool sleep = true;
+};
+
+/// \brief What one RetryCall did, for reports and diagnostics.
+struct RetryStats {
+  /// Tries made (>= 1 once the call ran).
+  int attempts = 0;
+  /// Transient failures seen (== attempts - 1 on eventual success).
+  int transient_failures = 0;
+  double total_delay_ms = 0.0;
+
+  void Accumulate(const RetryStats& other) {
+    attempts += other.attempts;
+    transient_failures += other.transient_failures;
+    total_delay_ms += other.total_delay_ms;
+  }
+};
+
+/// Backoff delay before retry number `retry` (1-based), jittered via `rng`.
+double BackoffDelayMs(const RetryPolicy& policy, int retry, Rng* rng);
+
+namespace internal {
+void SleepForMs(double ms);
+}  // namespace internal
+
+/// Runs `fn` (returning Status) up to `policy.max_attempts` times. Only
+/// transient failures (IsTransient) are retried; permanent errors and
+/// success return immediately. The last transient Status is returned when
+/// the budget runs out. `stats`, when given, is overwritten.
+template <typename Fn>
+Status RetryCall(const RetryPolicy& policy, Fn&& fn,
+                 RetryStats* stats = nullptr) {
+  Rng rng(policy.jitter_seed);
+  RetryStats local;
+  Status last = Status::OK();
+  int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++local.attempts;
+    last = fn();
+    if (!IsTransient(last)) break;  // Success or permanent failure.
+    ++local.transient_failures;
+    if (attempt == max_attempts) break;
+    double delay = BackoffDelayMs(policy, attempt, &rng);
+    local.total_delay_ms += delay;
+    if (policy.sleep && delay > 0.0) internal::SleepForMs(delay);
+  }
+  if (stats != nullptr) *stats = local;
+  return last;
+}
+
+/// Result<T> flavour of RetryCall: `fn` returns Result<T>.
+template <typename T, typename Fn>
+Result<T> RetryResultCall(const RetryPolicy& policy, Fn&& fn,
+                          RetryStats* stats = nullptr) {
+  Result<T> last = Status::Unavailable("retry loop never ran");
+  Status st = RetryCall(
+      policy,
+      [&]() -> Status {
+        last = fn();
+        return last.status();
+      },
+      stats);
+  (void)st;  // `last` carries the same status plus the value.
+  return last;
+}
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_RETRY_H_

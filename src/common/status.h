@@ -17,6 +17,11 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  /// The operation failed for a reason expected to clear on its own (flaky
+  /// network fetch, busy backend). Safe to retry — see common/retry.h.
+  kUnavailable,
+  /// The operation ran out of time. Retryable like kUnavailable.
+  kDeadlineExceeded,
 };
 
 /// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
@@ -57,6 +62,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -72,6 +83,10 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders e.g. "NotFound: concept 'airport' is not in the ontology".
   std::string ToString() const;
@@ -89,6 +104,11 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Human-readable name of a StatusCode ("OK", "NotFound", ...).
 const char* StatusCodeToString(StatusCode code);
+
+/// True for failure categories that a retry can plausibly clear
+/// (kUnavailable, kDeadlineExceeded). Permanent errors — bad input, missing
+/// schema objects — must fail fast instead of burning retry budget.
+bool IsTransient(const Status& status);
 
 /// Propagates a non-OK Status to the caller.
 #define DWQA_RETURN_NOT_OK(expr)                  \

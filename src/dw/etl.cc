@@ -40,7 +40,10 @@ Result<LoadReport> EtlLoader::LoadBatch(
       ++report.rows_loaded;
     } else {
       ++report.rows_rejected;
-      if (report.errors.size() < 10) report.errors.push_back(st.ToString());
+      ++report.rejected_by_code[StatusCodeToString(st.code())];
+      if (report.errors.size() < max_error_messages_) {
+        report.errors.push_back(st.ToString());
+      }
     }
   }
   return report;

@@ -1,6 +1,7 @@
 #ifndef DWQA_DW_ETL_H_
 #define DWQA_DW_ETL_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -26,24 +27,36 @@ struct LoadReport {
   size_t rows_loaded = 0;
   size_t rows_rejected = 0;
   size_t members_created = 0;
-  std::vector<std::string> errors;  ///< First few reject reasons.
+  /// First reject messages, capped at EtlLoader's `max_error_messages` so a
+  /// pathological batch cannot balloon the report.
+  std::vector<std::string> errors;
+  /// Rejects per StatusCode name ("InvalidArgument" → 12) — every reject is
+  /// counted here even once the message cap truncates `errors`, so batch
+  /// failures stay diagnosable.
+  std::map<std::string, size_t> rejected_by_code;
 };
 
 /// \brief Row loader: registers dimension members and inserts facts.
 class EtlLoader {
  public:
-  explicit EtlLoader(Warehouse* warehouse) : wh_(warehouse) {}
+  /// `max_error_messages` caps LoadReport::errors (not the per-code
+  /// counters, which always see every reject).
+  explicit EtlLoader(Warehouse* warehouse, size_t max_error_messages = 10)
+      : wh_(warehouse), max_error_messages_(max_error_messages) {}
 
   /// Loads one record; member registration is idempotent.
   Status LoadRecord(const std::string& fact, const FactRecord& record);
 
   /// Loads a batch, continuing past rejected records (errors are collected
-  /// in the report; at most 10 messages kept).
+  /// in the report, message list capped at `max_error_messages`).
   Result<LoadReport> LoadBatch(const std::string& fact,
                                const std::vector<FactRecord>& records);
 
+  size_t max_error_messages() const { return max_error_messages_; }
+
  private:
   Warehouse* wh_;
+  size_t max_error_messages_;
 };
 
 /// Builds the canonical member path of a calendar date for a

@@ -99,48 +99,62 @@ Result<MdSchema> SchemaSerde::FromText(const std::string& text) {
     mode = Mode::kNone;
     return Status::OK();
   };
+  size_t line_no = 0;
+  auto malformed = [&](const std::string& why) {
+    return Status::InvalidArgument("schema line " + std::to_string(line_no) +
+                                   ": " + why);
+  };
 
   for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
     std::string line = Trim(raw_line);
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string> fields = Split(line, '\t');
     const std::string& kind = fields[0];
     if (kind == "dimension") {
-      if (fields.size() != 2) {
-        return Status::InvalidArgument("malformed dimension line");
+      if (fields.size() != 2 || fields[1].empty()) {
+        return malformed("malformed dimension line");
       }
       DWQA_RETURN_NOT_OK(flush());
       mode = Mode::kDimension;
       dim.name = fields[1];
     } else if (kind == "level") {
-      if (mode != Mode::kDimension || fields.size() != 2) {
-        return Status::InvalidArgument("level outside a dimension");
+      if (mode != Mode::kDimension) {
+        return malformed("level outside a dimension");
+      }
+      if (fields.size() != 2 || fields[1].empty()) {
+        return malformed("malformed level line");
       }
       dim.levels.push_back({fields[1]});
     } else if (kind == "fact") {
-      if (fields.size() != 2) {
-        return Status::InvalidArgument("malformed fact line");
+      if (fields.size() != 2 || fields[1].empty()) {
+        return malformed("malformed fact line");
       }
       DWQA_RETURN_NOT_OK(flush());
       mode = Mode::kFact;
       fact.name = fields[1];
     } else if (kind == "role") {
-      if (mode != Mode::kFact || fields.size() != 3) {
-        return Status::InvalidArgument("role outside a fact");
+      if (mode != Mode::kFact) return malformed("role outside a fact");
+      if (fields.size() != 3 || fields[1].empty() || fields[2].empty()) {
+        return malformed("malformed role line");
       }
       fact.roles.push_back({fields[1], fields[2]});
     } else if (kind == "measure") {
-      if (mode != Mode::kFact || fields.size() != 4) {
-        return Status::InvalidArgument("malformed measure line");
+      if (mode != Mode::kFact) return malformed("measure outside a fact");
+      if (fields.size() != 4 || fields[1].empty()) {
+        return malformed("malformed measure line");
       }
       MeasureDef m;
       m.name = fields[1];
-      DWQA_ASSIGN_OR_RETURN(m.type, ColumnTypeFromName(fields[2]));
-      DWQA_ASSIGN_OR_RETURN(m.default_agg, AggFnFromName(fields[3]));
+      auto type = ColumnTypeFromName(fields[2]);
+      if (!type.ok()) return malformed(type.status().message());
+      m.type = *type;
+      auto agg = AggFnFromName(fields[3]);
+      if (!agg.ok()) return malformed(agg.status().message());
+      m.default_agg = *agg;
       fact.measures.push_back(std::move(m));
     } else {
-      return Status::InvalidArgument("unknown schema line kind '" + kind +
-                                     "'");
+      return malformed("unknown schema line kind '" + kind + "'");
     }
   }
   DWQA_RETURN_NOT_OK(flush());
@@ -184,34 +198,58 @@ Result<Warehouse> WarehousePersistence::Load(const std::string& dir) {
   // Dimension members first, preserving insertion order (surrogate keys
   // are reassigned but identical because order is preserved).
   for (const DimensionDef& dim : wh.schema().dimensions()) {
-    DWQA_ASSIGN_OR_RETURN(
-        std::string csv,
-        ReadFile(fs::path(dir) / ("dim_" + Slug(dim.name) + ".csv")));
-    DWQA_ASSIGN_OR_RETURN(auto rows, Csv::Parse(csv));
+    std::string file = "dim_" + Slug(dim.name) + ".csv";
+    DWQA_ASSIGN_OR_RETURN(std::string csv, ReadFile(fs::path(dir) / file));
+    auto parsed = Csv::Parse(csv);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("malformed '" + file +
+                                     "': " + parsed.status().message());
+    }
+    const auto& rows = *parsed;
+    if (rows.empty()) {
+      return Status::InvalidArgument("'" + file +
+                                     "' is empty or truncated: missing "
+                                     "header row");
+    }
     for (size_t r = 1; r < rows.size(); ++r) {
       std::vector<std::string> path = rows[r];
       while (!path.empty() && path.back().empty()) path.pop_back();
       if (path.empty()) {
-        return Status::InvalidArgument("empty member row in dimension '" +
+        return Status::InvalidArgument("'" + file + "' row " +
+                                       std::to_string(r + 1) +
+                                       ": empty member row in dimension '" +
                                        dim.name + "'");
       }
-      DWQA_RETURN_NOT_OK(wh.AddMember(dim.name, path).status());
+      if (path.size() > dim.levels.size()) {
+        return Status::InvalidArgument(
+            "'" + file + "' row " + std::to_string(r + 1) + ": member path "
+            "has " + std::to_string(path.size()) + " levels, dimension '" +
+            dim.name + "' defines " + std::to_string(dim.levels.size()));
+      }
+      Status st = wh.AddMember(dim.name, path).status();
+      if (!st.ok()) {
+        return Status::InvalidArgument("'" + file + "' row " +
+                                       std::to_string(r + 1) + ": " +
+                                       st.message());
+      }
     }
   }
   for (const FactDef& fact : wh.schema().facts()) {
-    DWQA_ASSIGN_OR_RETURN(
-        std::string csv,
-        ReadFile(fs::path(dir) / ("fact_" + Slug(fact.name) + ".csv")));
-    DWQA_ASSIGN_OR_RETURN(
-        auto records,
-        CsvEtl::ImportFactRecords(wh.schema(), fact.name, csv));
+    std::string file = "fact_" + Slug(fact.name) + ".csv";
+    DWQA_ASSIGN_OR_RETURN(std::string csv, ReadFile(fs::path(dir) / file));
+    auto records = CsvEtl::ImportFactRecords(wh.schema(), fact.name, csv);
+    if (!records.ok()) {
+      return Status::InvalidArgument("malformed '" + file +
+                                     "': " + records.status().message());
+    }
     EtlLoader loader(&wh);
     DWQA_ASSIGN_OR_RETURN(LoadReport report,
-                          loader.LoadBatch(fact.name, records));
+                          loader.LoadBatch(fact.name, *records));
     if (report.rows_rejected > 0) {
-      return Status::Internal(
-          "reload rejected " + std::to_string(report.rows_rejected) +
-          " rows of fact '" + fact.name + "': " +
+      return Status::InvalidArgument(
+          "'" + file + "': reload rejected " +
+          std::to_string(report.rows_rejected) + " rows of fact '" +
+          fact.name + "': " +
           (report.errors.empty() ? "" : report.errors.front()));
     }
   }

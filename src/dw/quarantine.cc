@@ -1,0 +1,66 @@
+#include "dw/quarantine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "common/csv.h"
+
+namespace dwqa {
+namespace dw {
+
+namespace {
+
+std::string NowUtcIso() {
+  std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+void QuarantineStore::Add(QuarantineRecord record) {
+  record.sequence = next_sequence_++;
+  if (record.timestamp.empty()) record.timestamp = NowUtcIso();
+  records_.push_back(std::move(record));
+}
+
+std::map<std::string, size_t> QuarantineStore::CountsByReason() const {
+  std::map<std::string, size_t> counts;
+  for (const QuarantineRecord& record : records_) ++counts[record.reason];
+  return counts;
+}
+
+std::string QuarantineStore::ToCsv() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"sequence", "timestamp", "reason", "attribute", "value",
+                  "unit", "date", "location", "url", "detail"});
+  for (const QuarantineRecord& r : records_) {
+    rows.push_back({std::to_string(r.sequence), r.timestamp, r.reason,
+                    r.attribute, r.value, r.unit, r.date_iso, r.location,
+                    r.url, r.detail});
+  }
+  return Csv::Render(rows);
+}
+
+Status QuarantineStore::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "'");
+  out << ToCsv();
+  return out.good() ? Status::OK()
+                    : Status::IOError("write failed: " + path);
+}
+
+void QuarantineStore::Clear() {
+  // Sequence numbers keep counting across Clear so CSV exports taken at
+  // different moments never reuse an admission number.
+  records_.clear();
+}
+
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,143 @@
+#include "integration/feed_checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace integration {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[] = "dwqa-feed-checkpoint";
+constexpr char kVersion[] = "1";
+
+Status MalformedLine(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("checkpoint line " +
+                                 std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+std::string FeedCheckpointSerde::ToText(const FeedCheckpoint& checkpoint) {
+  std::string out;
+  out += std::string(kMagic) + "\t" + kVersion + "\n";
+  out += "loaded\t" + std::to_string(checkpoint.rows_loaded) + "\n";
+  for (const std::string& question : checkpoint.completed_questions) {
+    out += "question\t" + question + "\n";
+  }
+  for (const std::string& key : checkpoint.fed_keys) {
+    out += "key\t" + key + "\n";
+  }
+  for (const auto& [reason, count] : checkpoint.reject_counts) {
+    out += "reject\t" + reason + "\t" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+Result<FeedCheckpoint> FeedCheckpointSerde::FromText(
+    const std::string& text) {
+  FeedCheckpoint checkpoint;
+  bool saw_magic = false;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    const std::string& kind = fields[0];
+    if (!saw_magic) {
+      if (kind != kMagic || fields.size() != 2) {
+        return MalformedLine(line_no,
+                             "expected '" + std::string(kMagic) +
+                                 "<TAB>version' header, got '" + line + "'");
+      }
+      if (fields[1] != kVersion) {
+        return Status::InvalidArgument("unsupported checkpoint version '" +
+                                       fields[1] + "'");
+      }
+      saw_magic = true;
+      continue;
+    }
+    if (kind == "loaded") {
+      if (fields.size() != 2 || !IsDigits(fields[1])) {
+        return MalformedLine(line_no, "malformed loaded line");
+      }
+      checkpoint.rows_loaded = std::stoull(fields[1]);
+    } else if (kind == "question") {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return MalformedLine(line_no, "malformed question line");
+      }
+      checkpoint.completed_questions.insert(fields[1]);
+    } else if (kind == "key") {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return MalformedLine(line_no, "malformed key line");
+      }
+      checkpoint.fed_keys.insert(fields[1]);
+    } else if (kind == "reject") {
+      if (fields.size() != 3 || !IsDigits(fields[2])) {
+        return MalformedLine(line_no, "malformed reject line");
+      }
+      checkpoint.reject_counts[fields[1]] = std::stoull(fields[2]);
+    } else {
+      return MalformedLine(line_no, "unknown record kind '" + kind + "'");
+    }
+  }
+  if (!saw_magic) {
+    return Status::InvalidArgument(
+        "not a feed checkpoint: missing '" + std::string(kMagic) +
+        "' header");
+  }
+  return checkpoint;
+}
+
+Status FeedCheckpointFile::Save(const FeedCheckpoint& checkpoint,
+                                const std::string& path) {
+  fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directory '" +
+                             target.parent_path().string() +
+                             "': " + ec.message());
+    }
+  }
+  fs::path tmp = target;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return Status::IOError("cannot open '" + tmp.string() + "'");
+    out << FeedCheckpointSerde::ToText(checkpoint);
+    if (!out.good()) {
+      return Status::IOError("write failed: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    return Status::IOError("cannot rename '" + tmp.string() + "' to '" +
+                           target.string() + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<FeedCheckpoint> FeedCheckpointFile::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FeedCheckpointSerde::FromText(buffer.str());
+}
+
+bool FeedCheckpointFile::Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(fs::path(path), ec);
+}
+
+}  // namespace integration
+}  // namespace dwqa

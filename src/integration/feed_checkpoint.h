@@ -1,0 +1,66 @@
+#ifndef DWQA_INTEGRATION_FEED_CHECKPOINT_H_
+#define DWQA_INTEGRATION_FEED_CHECKPOINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief Durable progress of a Step-5 feed run.
+///
+/// Persisted after every question batch so that a feed interrupted mid-run
+/// (crash, kill, deploy) resumes idempotently: completed questions are not
+/// re-asked, and the fed (attribute, location, date) key set guarantees no
+/// fact is double-loaded even if the warehouse already holds the rows of
+/// the interrupted run.
+struct FeedCheckpoint {
+  /// Questions whose facts are fully loaded (asked-and-fed batches).
+  std::set<std::string> completed_questions;
+  /// Dedup keys of every row ever loaded by this feed.
+  std::set<std::string> fed_keys;
+  /// Cumulative rejects per RejectReason name, across resumed runs.
+  std::map<std::string, size_t> reject_counts;
+  /// Cumulative rows loaded across resumed runs.
+  size_t rows_loaded = 0;
+
+  bool operator==(const FeedCheckpoint& other) const = default;
+};
+
+/// \brief Text round-trip, WarehousePersistence-style: line-based,
+/// tab-separated, with a versioned magic header.
+///
+///   dwqa-feed-checkpoint<TAB>1
+///   loaded<TAB>62
+///   question<TAB>What is the temperature in Barcelona in January of 2004?
+///   key<TAB>temperature|barcelona|2004-01-31
+///   reject<TAB>ValueOutOfRange<TAB>3
+class FeedCheckpointSerde {
+ public:
+  static std::string ToText(const FeedCheckpoint& checkpoint);
+
+  /// Hardened parse: truncated or garbage input yields InvalidArgument
+  /// with the offending line number, never a partially-trusted checkpoint.
+  static Result<FeedCheckpoint> FromText(const std::string& text);
+};
+
+/// \brief File-backed checkpoint with atomic replace.
+class FeedCheckpointFile {
+ public:
+  /// Writes via a temp file + rename so a crash mid-save leaves the
+  /// previous checkpoint intact (never a half-written one).
+  static Status Save(const FeedCheckpoint& checkpoint,
+                     const std::string& path);
+
+  static Result<FeedCheckpoint> Load(const std::string& path);
+
+  static bool Exists(const std::string& path);
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_FEED_CHECKPOINT_H_

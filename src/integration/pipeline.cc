@@ -14,7 +14,10 @@ namespace integration {
 IntegrationPipeline::IntegrationPipeline(dw::Warehouse* warehouse,
                                          const ontology::UmlModel* uml,
                                          PipelineConfig config)
-    : wh_(warehouse), uml_(uml), config_(config) {}
+    : wh_(warehouse),
+      uml_(uml),
+      config_(std::move(config)),
+      fault_(config_.resilience.fault) {}
 
 Status IntegrationPipeline::RunStep1() {
   if (uml_ == nullptr) {
@@ -114,7 +117,19 @@ Status IntegrationPipeline::IndexCorpus(const ir::DocumentStore* docs) {
   if (config_.table_preprocess) {
     aliqan_->set_preprocessor(TablePreprocessor{});
   }
-  return aliqan_->IndexCorpus(docs);
+  // The corpus fetch can be flaky (the paper's sources are live web pages
+  // and intranet reports); the injected fault fires *before* the actual
+  // indexation so a retried attempt always starts from a clean slate.
+  RetryStats stats;
+  Status st = RetryCall(
+      config_.resilience.retry,
+      [&]() -> Status {
+        DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointIndex));
+        return aliqan_->IndexCorpus(docs);
+      },
+      &stats);
+  corpus_index_retries_ = size_t(stats.attempts > 0 ? stats.attempts - 1 : 0);
+  return st;
 }
 
 Status IntegrationPipeline::RunAll(const ir::DocumentStore* docs) {
@@ -123,6 +138,57 @@ Status IntegrationPipeline::RunAll(const ir::DocumentStore* docs) {
   DWQA_RETURN_NOT_OK(RunStep3());
   DWQA_RETURN_NOT_OK(RunStep4());
   return IndexCorpus(docs);
+}
+
+void IntegrationPipeline::QuarantineFact(const qa::StructuredFact& fact,
+                                         qa::RejectReason reason,
+                                         const std::string& detail,
+                                         FeedReport* report) {
+  dw::QuarantineRecord record;
+  record.attribute = fact.attribute;
+  record.value = FormatDouble(fact.value, 2);
+  record.unit = fact.unit;
+  record.date_iso = fact.date.has_value() ? fact.date->ToIsoString() : "";
+  record.location = fact.location;
+  record.url = fact.url;
+  record.reason = qa::RejectReasonName(reason);
+  record.detail = detail;
+  quarantine_.Add(std::move(record));
+  ++report->rows_quarantined;
+  ++report->quarantined_by_reason[reason];
+  ++reject_counts_[qa::RejectReasonName(reason)];
+}
+
+FeedCheckpoint IntegrationPipeline::MakeFeedCheckpoint() const {
+  FeedCheckpoint checkpoint;
+  checkpoint.completed_questions = completed_questions_;
+  checkpoint.fed_keys = fed_keys_;
+  checkpoint.reject_counts = reject_counts_;
+  checkpoint.rows_loaded = rows_loaded_total_;
+  return checkpoint;
+}
+
+Status IntegrationPipeline::SaveFeedCheckpoint(
+    const std::string& path) const {
+  return FeedCheckpointFile::Save(MakeFeedCheckpoint(), path);
+}
+
+Status IntegrationPipeline::LoadFeedCheckpoint(const std::string& path) {
+  DWQA_ASSIGN_OR_RETURN(FeedCheckpoint checkpoint,
+                        FeedCheckpointFile::Load(path));
+  completed_questions_.insert(checkpoint.completed_questions.begin(),
+                              checkpoint.completed_questions.end());
+  fed_keys_.insert(checkpoint.fed_keys.begin(), checkpoint.fed_keys.end());
+  for (const auto& [reason, count] : checkpoint.reject_counts) {
+    reject_counts_[reason] += count;
+  }
+  rows_loaded_total_ += checkpoint.rows_loaded;
+  checkpoint_loaded_ = true;
+  DWQA_LOG(Info) << "Step 5: resumed from checkpoint '" << path << "' ("
+                 << checkpoint.completed_questions.size()
+                 << " questions completed, " << checkpoint.fed_keys.size()
+                 << " keys fed)";
+  return Status::OK();
 }
 
 Result<FeedReport> IntegrationPipeline::RunStep5(
@@ -134,63 +200,144 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
   if (wh_ == nullptr) {
     return Status::InvalidArgument("warehouse must not be null");
   }
-  FeedReport report;
-  dw::EtlLoader loader(wh_);
-  // Temporarily widen the answer cap so a month-scoped question can yield
-  // one tuple per day of the month.
-  qa::AliQAnConfig saved = config_.qa;
-  (void)saved;
-  for (const std::string& question : questions) {
-    ++report.questions_asked;
-    auto answers = aliqan_->Ask(question);
-    if (!answers.ok() || answers->empty()) continue;
-    ++report.questions_answered;
-    std::vector<qa::StructuredFact> facts =
-        qa::ToStructuredFacts(*answers, attribute);
-    if (facts.size() > answers_per_question) {
-      facts.resize(answers_per_question);
+  const ResilienceConfig& resilience = config_.resilience;
+  const bool checkpointing = !resilience.checkpoint_path.empty();
+  if (checkpointing && !checkpoint_loaded_ &&
+      FeedCheckpointFile::Exists(resilience.checkpoint_path)) {
+    DWQA_RETURN_NOT_OK(LoadFeedCheckpoint(resilience.checkpoint_path));
+  }
+  if (resilience.validate_facts) {
+    // The Step-4 axioms (temperature intervals, unit lists) become the
+    // admission rules of the feed; explicit per-attribute rules override
+    // the ontology-derived ones.
+    validator_ = qa::FactValidator::FromOntology(merged_, {attribute});
+    if (!resilience.validator_rules.empty()) {
+      qa::ValidatorConfig vconfig = validator_.config();
+      for (const auto& [attr, rule] : resilience.validator_rules) {
+        vconfig.rules[attr] = rule;
+      }
+      validator_ = qa::FactValidator(std::move(vconfig));
     }
-    for (qa::StructuredFact& fact : facts) {
-      ++report.facts_extracted;
-      // Feed deduplication: one row per (attribute, location, date).
-      if (config_.dedup_feed) {
+  }
+  FeedReport report;
+  report.corpus_index_retries = corpus_index_retries_;
+  dw::EtlLoader loader(wh_);
+  size_t questions_since_checkpoint = 0;
+  // Completed questions are only skipped under checkpoint/resume semantics
+  // (a configured path or an explicitly loaded checkpoint). A plain
+  // pipeline that re-asks a question still re-asks it — the fed-key dedup
+  // alone decides whether its facts load again.
+  const bool resume_semantics = checkpointing || checkpoint_loaded_;
+  for (const std::string& question : questions) {
+    if (resume_semantics && completed_questions_.count(question) > 0) {
+      ++report.questions_resumed;
+      continue;
+    }
+    ++report.questions_asked;
+    // The per-question fetch/ask path is the flakiest link (a live page
+    // fetch in the paper's setting): transient faults are retried with
+    // backoff, permanent failures fall through immediately.
+    RetryStats ask_stats;
+    Result<qa::AnswerSet> answers = RetryResultCall<qa::AnswerSet>(
+        resilience.retry,
+        [&]() -> Result<qa::AnswerSet> {
+          DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointFetch));
+          return aliqan_->Ask(question);
+        },
+        &ask_stats);
+    report.retries += size_t(ask_stats.attempts > 1 ? ask_stats.attempts - 1
+                                                    : 0);
+    report.transient_failures += size_t(ask_stats.transient_failures);
+    if (!answers.ok()) {
+      // Not marked completed: a checkpointed resume re-asks it.
+      ++report.questions_failed;
+      continue;
+    }
+    if (!answers->empty()) {
+      ++report.questions_answered;
+      std::vector<qa::StructuredFact> facts =
+          qa::ToStructuredFacts(*answers, attribute);
+      if (facts.size() > answers_per_question) {
+        facts.resize(answers_per_question);
+      }
+      for (qa::StructuredFact& fact : facts) {
+        ++report.facts_extracted;
+        // Admission control first: implausible facts go to the quarantine
+        // before they can consume a dedup key or touch the ETL.
+        if (resilience.validate_facts) {
+          qa::RejectReason reason = validator_.Check(fact);
+          if (reason != qa::RejectReason::kNone) {
+            QuarantineFact(fact, reason, "", &report);
+            continue;
+          }
+        }
+        // Feed deduplication: one row per (attribute, location, date). The
+        // key is only recorded after a successful load, so a fact whose
+        // load fails does not block a later (or resumed) retry.
         std::string key =
             attribute + "|" + ToLower(fact.location) + "|" +
             (fact.date.has_value() ? fact.date->ToIsoString() : "?");
-        if (!fed_keys_.insert(key).second) {
+        if (config_.dedup_feed && fed_keys_.count(key) > 0) {
           ++report.rows_deduplicated;
           continue;
         }
+        // Unit normalization per the Step-4 conversion axiom: the Weather
+        // measure is Celsius, so Fahrenheit readings are converted before
+        // loading ("the conversion formulae between Celsius and Fahrenheit
+        // scales", §3 Step 4).
+        if (fact.unit == "F") {
+          fact.value = (fact.value - 32.0) * 5.0 / 9.0;
+          fact.unit = "\xC2\xBA\x43";
+        }
+        dw::FactRecord record;
+        // Roles: location (City), day (Date), source (Source/Url). The web
+        // page is always stored, the paper's robustness measure.
+        record.role_paths.push_back({fact.location.empty()
+                                         ? std::string("?")
+                                         : fact.location});
+        if (fact.date.has_value()) {
+          record.role_paths.push_back(dw::DateMemberPath(*fact.date));
+        } else {
+          record.role_paths.push_back({"unknown-date"});
+        }
+        record.role_paths.push_back(
+            {fact.url.empty() ? std::string("?") : fact.url});
+        record.measures = {dw::Value(fact.value)};
+        RetryStats load_stats;
+        Status st = RetryCall(
+            resilience.retry,
+            [&]() -> Status {
+              DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointEtlLoad));
+              return loader.LoadRecord(fact_name, record);
+            },
+            &load_stats);
+        report.retries += size_t(
+            load_stats.attempts > 1 ? load_stats.attempts - 1 : 0);
+        report.transient_failures += size_t(load_stats.transient_failures);
+        if (st.ok()) {
+          ++report.rows_loaded;
+          ++rows_loaded_total_;
+          if (config_.dedup_feed) fed_keys_.insert(key);
+        } else {
+          ++report.rows_rejected;
+          QuarantineFact(fact,
+                         IsTransient(st)
+                             ? qa::RejectReason::kTransientExhausted
+                             : qa::RejectReason::kEtlRejected,
+                         st.ToString(), &report);
+        }
+        report.facts.push_back(std::move(fact));
       }
-      // Unit normalization per the Step-4 conversion axiom: the Weather
-      // measure is Celsius, so Fahrenheit readings are converted before
-      // loading ("the conversion formulae between Celsius and Fahrenheit
-      // scales", §3 Step 4).
-      if (fact.unit == "F") {
-        fact.value = (fact.value - 32.0) * 5.0 / 9.0;
-        fact.unit = "\xC2\xBA\x43";
-      }
-      dw::FactRecord record;
-      // Roles: location (City), day (Date), source (Source/Url). The web
-      // page is always stored, the paper's robustness measure.
-      record.role_paths.push_back({fact.location.empty() ? std::string("?")
-                                                         : fact.location});
-      if (fact.date.has_value()) {
-        record.role_paths.push_back(dw::DateMemberPath(*fact.date));
-      } else {
-        record.role_paths.push_back({"unknown-date"});
-      }
-      record.role_paths.push_back(
-          {fact.url.empty() ? std::string("?") : fact.url});
-      record.measures = {dw::Value(fact.value)};
-      Status st = loader.LoadRecord(fact_name, record);
-      if (st.ok()) {
-        ++report.rows_loaded;
-      } else {
-        ++report.rows_rejected;
-      }
-      report.facts.push_back(std::move(fact));
     }
+    completed_questions_.insert(question);
+    if (checkpointing &&
+        ++questions_since_checkpoint >= resilience.checkpoint_every) {
+      DWQA_RETURN_NOT_OK(SaveFeedCheckpoint(resilience.checkpoint_path));
+      questions_since_checkpoint = 0;
+    }
+  }
+  if (checkpointing && questions_since_checkpoint > 0) {
+    DWQA_RETURN_NOT_OK(SaveFeedCheckpoint(resilience.checkpoint_path));
   }
   steps_done_[4] = true;
   return report;

@@ -7,17 +7,45 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
+#include "common/retry.h"
+#include "dw/quarantine.h"
 #include "dw/warehouse.h"
+#include "integration/feed_checkpoint.h"
 #include "ir/document.h"
 #include "ontology/merge.h"
 #include "ontology/ontology.h"
 #include "ontology/uml_model.h"
 #include "qa/aliqan.h"
+#include "qa/fact_validator.h"
 #include "qa/structured.h"
 
 namespace dwqa {
 namespace integration {
+
+/// \brief Resilience of the Step-5 feed: how the pipeline survives an
+/// unreliable web, implausible extractions and mid-run crashes.
+struct ResilienceConfig {
+  /// Injected faults (tests/benches). Default: no rules, nothing fires.
+  FaultConfig fault;
+  /// Retry schedule for the transient fault points (corpus indexation,
+  /// per-question fetch/ask, per-record ETL load).
+  RetryPolicy retry;
+  /// Gate facts through the Step-4 axiom validator; failures go to the
+  /// quarantine with a typed RejectReason instead of being dropped.
+  bool validate_facts = true;
+  /// Per-attribute admission rules layered over the ontology-derived ones —
+  /// the feed boundary may be stricter than the extraction-side axioms
+  /// (e.g. a warehouse that only accepts a narrower interval than the QA
+  /// system extracts).
+  std::map<std::string, qa::AttributeRule> validator_rules;
+  /// When non-empty, RunStep5 persists a FeedCheckpoint here after every
+  /// `checkpoint_every` questions and resumes from it when the file
+  /// already exists.
+  std::string checkpoint_path;
+  size_t checkpoint_every = 1;
+};
 
 /// \brief Configuration of the five-step integration.
 struct PipelineConfig {
@@ -38,18 +66,41 @@ struct PipelineConfig {
   /// re-asking (or overlapping month questions) does not double facts in
   /// the warehouse.
   bool dedup_feed = true;
+  ResilienceConfig resilience;
 };
 
 /// \brief Counters of one Step-5 feed run.
+///
+/// Accounting identity: every extracted fact ends up in exactly one bucket,
+/// `facts_extracted == rows_loaded + rows_deduplicated + rows_quarantined`.
 struct FeedReport {
   size_t questions_asked = 0;
   size_t questions_answered = 0;
+  /// Questions whose retry budget ran out (transient faults outlasted the
+  /// RetryPolicy) or that failed permanently; not marked completed, so a
+  /// checkpointed resume re-asks them.
+  size_t questions_failed = 0;
+  /// Questions skipped because a loaded checkpoint marks them completed.
+  size_t questions_resumed = 0;
   size_t facts_extracted = 0;
   size_t rows_loaded = 0;
+  /// ETL-layer refusals (a subset of rows_quarantined: those facts land in
+  /// the quarantine with reason EtlRejected/TransientExhausted).
   size_t rows_rejected = 0;
   /// Facts skipped because their (attribute, location, date) key was
   /// already fed (PipelineConfig::dedup_feed).
   size_t rows_deduplicated = 0;
+  /// Facts diverted to the QuarantineStore (axiom violations + ETL
+  /// refusals), never silently dropped.
+  size_t rows_quarantined = 0;
+  std::map<qa::RejectReason, size_t> quarantined_by_reason;
+  /// Extra attempts spent on transient faults across ask + ETL calls.
+  size_t retries = 0;
+  /// Transient failures observed (each either masked by a retry or ending
+  /// in questions_failed / TransientExhausted quarantine).
+  size_t transient_failures = 0;
+  /// Retries the last IndexCorpus call needed (informational).
+  size_t corpus_index_retries = 0;
   std::vector<qa::StructuredFact> facts;
 };
 
@@ -95,6 +146,19 @@ class IntegrationPipeline {
                               const std::string& attribute,
                               size_t answers_per_question = 31);
 
+  /// \name Checkpoint/resume of the Step-5 feed
+  /// @{
+  /// Snapshot of the feed progress (completed questions, fed keys,
+  /// cumulative reject counters, rows loaded).
+  FeedCheckpoint MakeFeedCheckpoint() const;
+  /// Persists MakeFeedCheckpoint() to `path` (atomic replace).
+  Status SaveFeedCheckpoint(const std::string& path) const;
+  /// Restores feed progress from `path`: completed questions are skipped
+  /// by subsequent RunStep5 calls and restored fed keys dedup against the
+  /// rows the interrupted run already loaded.
+  Status LoadFeedCheckpoint(const std::string& path);
+  /// @}
+
   /// \name Introspection for benches/tests
   /// @{
   const ontology::Ontology& domain_ontology() const { return domain_; }
@@ -103,9 +167,18 @@ class IntegrationPipeline {
   qa::AliQAn* aliqan() { return aliqan_.get(); }
   const dw::Warehouse& warehouse() const { return *wh_; }
   bool step_done(int step) const { return steps_done_[size_t(step - 1)]; }
+  /// Dead-letter store of the facts rejected by validation or the ETL.
+  const dw::QuarantineStore& quarantine() const { return quarantine_; }
+  dw::QuarantineStore* mutable_quarantine() { return &quarantine_; }
+  const FaultInjector& fault_injector() const { return fault_; }
   /// @}
 
  private:
+  /// Diverts `fact` to the quarantine and updates the report counters.
+  void QuarantineFact(const qa::StructuredFact& fact,
+                      qa::RejectReason reason, const std::string& detail,
+                      FeedReport* report);
+
   dw::Warehouse* wh_;
   const ontology::UmlModel* uml_;
   PipelineConfig config_;
@@ -117,6 +190,22 @@ class IntegrationPipeline {
   /// (attribute|location|date) keys already loaded (dedup_feed).
   std::set<std::string> fed_keys_;
   bool steps_done_[5] = {false, false, false, false, false};
+
+  /// \name Resilience state
+  /// @{
+  FaultInjector fault_;
+  qa::FactValidator validator_;
+  dw::QuarantineStore quarantine_;
+  /// Questions fully processed (asked, answered or empty, facts settled).
+  std::set<std::string> completed_questions_;
+  /// Cumulative rejects per RejectReason name, surviving resume.
+  std::map<std::string, size_t> reject_counts_;
+  /// Cumulative rows loaded across resumed runs.
+  size_t rows_loaded_total_ = 0;
+  size_t corpus_index_retries_ = 0;
+  /// Guards against re-loading the checkpoint on every RunStep5 call.
+  bool checkpoint_loaded_ = false;
+  /// @}
 };
 
 }  // namespace integration

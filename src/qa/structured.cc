@@ -1,5 +1,7 @@
 #include "qa/structured.h"
 
+#include <cmath>
+
 #include "common/csv.h"
 #include "common/string_util.h"
 
@@ -26,6 +28,11 @@ Result<StructuredFact> ToStructuredFact(const AnswerCandidate& answer,
     return Status::InvalidArgument(
         "answer '" + answer.answer_text +
         "' carries no numeric value; cannot feed a measure");
+  }
+  if (!std::isfinite(answer.value)) {
+    return Status::InvalidArgument(
+        "answer '" + answer.answer_text +
+        "' carries a non-finite value; cannot feed a measure");
   }
   StructuredFact fact;
   fact.attribute = attribute;

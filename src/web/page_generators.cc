@@ -87,6 +87,21 @@ Result<std::string> PageGenerators::TableWeatherPage(const WeatherModel& model,
   return html;
 }
 
+std::string PageGenerators::CorruptPage(std::string page, FaultMode mode,
+                                        Rng* rng) {
+  switch (mode) {
+    case FaultMode::kTransient:
+      return page;
+    case FaultMode::kTruncatePayload:
+      return FaultInjector::TruncatePayload(std::move(page), rng);
+    case FaultMode::kSwapDigits:
+      return FaultInjector::SwapDigits(std::move(page), rng);
+    case FaultMode::kBreakUnits:
+      return FaultInjector::BreakUnits(std::move(page), rng);
+  }
+  return page;
+}
+
 std::string PageGenerators::PricePage(const std::string& airline,
                                       const std::string& origin_city,
                                       const std::string& destination_city,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "web/weather_model.h"
@@ -72,6 +73,12 @@ class PageGenerators {
   static Result<double> PublishedTemperature(const WeatherModel& model,
                                              const std::string& city,
                                              const Date& date);
+
+  /// Applies a corruption `mode` (common/fault.h) to a generated page so
+  /// the synthetic web can emit realistic dirty input: truncated HTML,
+  /// swapped digits (implausible magnitudes) or broken unit markers (the
+  /// Figure-5 failure mode, induced). kTransient leaves the page intact.
+  static std::string CorruptPage(std::string page, FaultMode mode, Rng* rng);
 };
 
 }  // namespace web

@@ -12,6 +12,25 @@ Result<SyntheticWeb> SyntheticWeb::Build(const WebConfig& config) {
   webb.config_ = config;
   webb.weather_ = WeatherModel(config.seed);
   Rng rng(config.seed * 7919 + 17);
+  // Dirty-input simulation draws from its own stream so enabling it does
+  // not reshuffle the price/noise pages of a clean build with the same
+  // seed.
+  Rng corrupt_rng(config.seed * 6007 + 29);
+  if (config.corrupt_rate > 0.0 && config.corruption_modes.empty()) {
+    return Status::InvalidArgument(
+        "corrupt_rate > 0 requires at least one corruption mode");
+  }
+  auto maybe_corrupt = [&](std::string html, const std::string& url) {
+    if (config.corrupt_rate > 0.0 &&
+        corrupt_rng.NextBool(config.corrupt_rate)) {
+      FaultMode mode = config.corruption_modes[corrupt_rng.NextIndex(
+          config.corruption_modes.size())];
+      html = PageGenerators::CorruptPage(std::move(html), mode,
+                                         &corrupt_rng);
+      webb.corrupted_urls_.push_back(url);
+    }
+    return html;
+  };
 
   std::vector<std::string> cities = config.cities;
   if (cities.empty()) {
@@ -43,22 +62,24 @@ Result<SyntheticWeb> SyntheticWeb::Build(const WebConfig& config) {
             PageGenerators::ProseWeatherPage(webb.weather_, city,
                                              config.year, month,
                                              config.prose_style));
-        webb.docs_.Add("web://weather/" + slug + "/" +
-                           std::to_string(config.year) + "-" +
-                           std::to_string(month) + ".html",
-                       city + " weather", ir::DocFormat::kHtml,
-                       std::move(html));
+        std::string url = "web://weather/" + slug + "/" +
+                          std::to_string(config.year) + "-" +
+                          std::to_string(month) + ".html";
+        html = maybe_corrupt(std::move(html), url);
+        webb.docs_.Add(std::move(url), city + " weather",
+                       ir::DocFormat::kHtml, std::move(html));
       }
       if (config.table_weather) {
         DWQA_ASSIGN_OR_RETURN(
             std::string html,
             PageGenerators::TableWeatherPage(webb.weather_, city,
                                              config.year, month));
-        webb.docs_.Add("web://weather-table/" + slug + "/" +
-                           std::to_string(config.year) + "-" +
-                           std::to_string(month) + ".html",
-                       city + " weather table", ir::DocFormat::kHtml,
-                       std::move(html));
+        std::string url = "web://weather-table/" + slug + "/" +
+                          std::to_string(config.year) + "-" +
+                          std::to_string(month) + ".html";
+        html = maybe_corrupt(std::move(html), url);
+        webb.docs_.Add(std::move(url), city + " weather table",
+                       ir::DocFormat::kHtml, std::move(html));
       }
     }
   }

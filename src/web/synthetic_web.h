@@ -34,6 +34,15 @@ struct WebConfig {
   size_t noise_pages = 12;
   /// Include the encyclopedia pages behind the CLEF-style questions.
   bool encyclopedia = true;
+  /// Probability that a weather page is emitted corrupted (dirty-input
+  /// simulation): a corrupted page gets one of `corruption_modes` applied,
+  /// its URL is recorded in SyntheticWeb::corrupted_urls(), and the ground
+  /// truth keeps the *clean* values — extraction from the dirty page is
+  /// supposed to fail validation, not match the truth.
+  double corrupt_rate = 0.0;
+  std::vector<FaultMode> corruption_modes = {FaultMode::kTruncatePayload,
+                                             FaultMode::kSwapDigits,
+                                             FaultMode::kBreakUnits};
 };
 
 /// \brief Exact ground truth of the generated corpus, keyed for evaluation.
@@ -59,6 +68,11 @@ class SyntheticWeb {
   /// Documents whose URL starts with the given prefix ("web://weather/").
   std::vector<ir::DocId> DocsWithUrlPrefix(const std::string& prefix) const;
 
+  /// URLs of pages emitted corrupted (WebConfig::corrupt_rate).
+  const std::vector<std::string>& corrupted_urls() const {
+    return corrupted_urls_;
+  }
+
  private:
   SyntheticWeb() : weather_(0) {}
 
@@ -66,6 +80,7 @@ class SyntheticWeb {
   WeatherModel weather_;
   ir::DocumentStore docs_;
   GroundTruth truth_;
+  std::vector<std::string> corrupted_urls_;
 };
 
 }  // namespace web

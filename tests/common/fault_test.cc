@@ -1,0 +1,127 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+TEST(FaultTest, DisabledInjectorNeverFires) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.Hit(kFaultPointFetch).ok());
+  }
+  FaultMode mode = FaultMode::kTransient;
+  EXPECT_FALSE(injector.ShouldCorrupt(kFaultPointParse, &mode));
+  EXPECT_EQ(injector.total_fires(), 0u);
+}
+
+TEST(FaultTest, TransientRuleFiresAtConfiguredRate) {
+  FaultConfig config;
+  config.seed = 7;
+  config.rules.push_back(
+      {kFaultPointFetch, 0.3, FaultMode::kTransient,
+       StatusCode::kUnavailable});
+  FaultInjector injector(config);
+  size_t fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Status st = injector.Hit(kFaultPointFetch);
+    if (!st.ok()) {
+      EXPECT_TRUE(st.IsUnavailable());
+      EXPECT_TRUE(IsTransient(st));
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, injector.fires(kFaultPointFetch));
+  EXPECT_NEAR(double(fired) / 10000.0, 0.3, 0.03);
+}
+
+TEST(FaultTest, DeterministicUnderFixedSeed) {
+  auto schedule = [](uint64_t seed) {
+    FaultInjector injector(FaultConfig::TransientEverywhere(0.25, seed));
+    std::string out;
+    for (int i = 0; i < 200; ++i) {
+      out += injector.Hit(kFaultPointEtlLoad).ok() ? '.' : 'X';
+    }
+    return out;
+  };
+  EXPECT_EQ(schedule(42), schedule(42));
+  EXPECT_NE(schedule(42), schedule(43));
+}
+
+TEST(FaultTest, PointsAreIndependent) {
+  FaultConfig config;
+  config.rules.push_back({kFaultPointFetch, 1.0, FaultMode::kTransient,
+                          StatusCode::kDeadlineExceeded});
+  FaultInjector injector(config);
+  EXPECT_TRUE(injector.Hit(kFaultPointEtlLoad).ok());
+  Status st = injector.Hit(kFaultPointFetch);
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_TRUE(IsTransient(st));
+  EXPECT_EQ(injector.fires(kFaultPointEtlLoad), 0u);
+  EXPECT_EQ(injector.fires(kFaultPointFetch), 1u);
+}
+
+TEST(FaultTest, CorruptionRulesDoNotFireOnHit) {
+  FaultConfig config;
+  config.rules.push_back(
+      {kFaultPointParse, 1.0, FaultMode::kTruncatePayload});
+  FaultInjector injector(config);
+  EXPECT_TRUE(injector.Hit(kFaultPointParse).ok());
+  FaultMode mode = FaultMode::kTransient;
+  EXPECT_TRUE(injector.ShouldCorrupt(kFaultPointParse, &mode));
+  EXPECT_EQ(mode, FaultMode::kTruncatePayload);
+}
+
+TEST(FaultTest, TruncateKeepsAPrefix) {
+  Rng rng(3);
+  std::string page(1000, 'a');
+  std::string cut = FaultInjector::TruncatePayload(page, &rng);
+  EXPECT_LT(cut.size(), page.size());
+  EXPECT_GE(cut.size(), page.size() / 2);
+  EXPECT_EQ(page.compare(0, cut.size(), cut), 0);
+}
+
+TEST(FaultTest, SwapDigitsGarblesNumbers) {
+  Rng rng(5);
+  std::string page = "Temperature 8 C. Temperature 12 C. Temperature 31 C.";
+  bool changed = false;
+  // The per-digit garble probability is 0.25; a few tries must hit one.
+  for (int i = 0; i < 20 && !changed; ++i) {
+    changed = FaultInjector::SwapDigits(page, &rng) != page;
+  }
+  EXPECT_TRUE(changed);
+  // Non-digit text survives untouched.
+  std::string garbled = FaultInjector::SwapDigits(page, &rng);
+  EXPECT_NE(garbled.find("Temperature"), std::string::npos);
+}
+
+TEST(FaultTest, BreakUnitsDestroysScaleMarkers) {
+  Rng rng(11);
+  std::string page = "Temperature 8\xC2\xBA C around 46.4 F today";
+  bool broke = false;
+  for (int i = 0; i < 20 && !broke; ++i) {
+    broke = FaultInjector::BreakUnits(page, &rng)
+                .find("\xC2\xBA C") == std::string::npos;
+  }
+  EXPECT_TRUE(broke);
+}
+
+TEST(FaultTest, ModeNamesAreStable) {
+  EXPECT_STREQ(FaultModeName(FaultMode::kTransient), "Transient");
+  EXPECT_STREQ(FaultModeName(FaultMode::kTruncatePayload),
+               "TruncatePayload");
+  EXPECT_STREQ(FaultModeName(FaultMode::kSwapDigits), "SwapDigits");
+  EXPECT_STREQ(FaultModeName(FaultMode::kBreakUnits), "BreakUnits");
+}
+
+TEST(FaultTest, TransientEverywhereArmsAllPoints) {
+  FaultInjector injector(FaultConfig::TransientEverywhere(1.0, 1));
+  for (const char* point : {kFaultPointFetch, kFaultPointParse,
+                            kFaultPointIndex, kFaultPointEtlLoad}) {
+    EXPECT_TRUE(injector.Hit(point).IsUnavailable()) << point;
+  }
+}
+
+}  // namespace
+}  // namespace dwqa

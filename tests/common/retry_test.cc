@@ -1,0 +1,155 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+RetryPolicy FastPolicy() {
+  RetryPolicy policy;
+  policy.sleep = false;  // Schedule-only: tests assert counts, not time.
+  return policy;
+}
+
+TEST(RetryTest, SuccessFirstTry) {
+  RetryStats stats;
+  int calls = 0;
+  Status st = RetryCall(
+      FastPolicy(),
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.transient_failures, 0);
+}
+
+TEST(RetryTest, TransientFailuresAreRetriedUntilSuccess) {
+  RetryStats stats;
+  int calls = 0;
+  Status st = RetryCall(
+      FastPolicy(),
+      [&] {
+        return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.transient_failures, 2);
+}
+
+TEST(RetryTest, PermanentFailureFailsFast) {
+  RetryStats stats;
+  int calls = 0;
+  Status st = RetryCall(
+      FastPolicy(),
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("bad input");
+      },
+      &stats);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.transient_failures, 0);
+}
+
+TEST(RetryTest, BudgetExhaustionReturnsLastTransient) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 3;
+  RetryStats stats;
+  int calls = 0;
+  Status st = RetryCall(
+      policy,
+      [&] {
+        ++calls;
+        return Status::DeadlineExceeded("slow backend");
+      },
+      &stats);
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.transient_failures, 3);
+}
+
+TEST(RetryTest, ResultFlavourCarriesTheValue) {
+  RetryStats stats;
+  int calls = 0;
+  Result<int> result = RetryResultCall<int>(
+      FastPolicy(),
+      [&]() -> Result<int> {
+        if (++calls < 2) return Status::Unavailable("flaky");
+        return 42;
+      },
+      &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(stats.attempts, 2);
+}
+
+TEST(RetryTest, ResultFlavourPropagatesPermanentFailure) {
+  Result<int> result = RetryResultCall<int>(
+      FastPolicy(), []() -> Result<int> { return Status::NotFound("gone"); });
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(RetryTest, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 1.0;
+  policy.backoff_factor = 2.0;
+  policy.max_delay_ms = 4.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 1, nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 2, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 3, nullptr), 4.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 4, nullptr), 4.0);  // Capped.
+}
+
+TEST(RetryTest, JitterShrinksDelayDeterministically) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100.0;
+  policy.max_delay_ms = 100.0;
+  policy.jitter = 0.5;
+  Rng rng_a(9);
+  Rng rng_b(9);
+  double a = BackoffDelayMs(policy, 1, &rng_a);
+  double b = BackoffDelayMs(policy, 1, &rng_b);
+  EXPECT_DOUBLE_EQ(a, b);       // Same seed, same jitter.
+  EXPECT_LE(a, 100.0);
+  EXPECT_GE(a, 50.0);           // At most `jitter` shaved off.
+}
+
+TEST(RetryTest, AtLeastOneAttemptEvenWithZeroBudget) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 0;
+  RetryStats stats;
+  int calls = 0;
+  Status st = RetryCall(
+      policy,
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, StatsAccumulate) {
+  RetryStats total;
+  RetryStats one;
+  one.attempts = 3;
+  one.transient_failures = 2;
+  one.total_delay_ms = 1.5;
+  total.Accumulate(one);
+  total.Accumulate(one);
+  EXPECT_EQ(total.attempts, 6);
+  EXPECT_EQ(total.transient_failures, 4);
+  EXPECT_DOUBLE_EQ(total.total_delay_ms, 3.0);
+}
+
+}  // namespace
+}  // namespace dwqa

@@ -68,6 +68,56 @@ TEST(EtlTest, LoadBatchContinuesPastRejects) {
   EXPECT_EQ(wh.FactRowCount("Weather").ValueOrDie(), 2u);
 }
 
+TEST(EtlTest, BatchReportCountsRejectsPerStatusCode) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  FactRecord good;
+  good.role_paths = {{"Barcelona"}, {"2004-01-31", "2004-01", "2004"}};
+  good.measures = {Value(8.0)};
+  FactRecord missing_role;
+  missing_role.role_paths = {{"Madrid"}};
+  missing_role.measures = {Value(7.0)};
+  FactRecord missing_measure;
+  missing_measure.role_paths = {{"Madrid"}, {"2004-01-30"}};
+  missing_measure.measures = {};
+  auto report = loader.LoadBatch(
+      "Weather", {good, missing_role, missing_role, missing_measure});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_rejected, 3u);
+  EXPECT_EQ(report->rejected_by_code.at("InvalidArgument"), 3u);
+  EXPECT_EQ(report->rejected_by_code.size(), 1u);
+}
+
+TEST(EtlTest, ErrorMessagesAreCappedButCountsAreNot) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh, /*max_error_messages=*/2);
+  EXPECT_EQ(loader.max_error_messages(), 2u);
+  FactRecord bad;
+  bad.role_paths = {{"Madrid"}};  // Missing the date path.
+  bad.measures = {Value(7.0)};
+  auto report =
+      loader.LoadBatch("Weather", std::vector<FactRecord>(25, bad));
+  ASSERT_TRUE(report.ok());
+  // The messages stop at the cap; the counters keep the full picture.
+  EXPECT_EQ(report->errors.size(), 2u);
+  EXPECT_EQ(report->rows_rejected, 25u);
+  EXPECT_EQ(report->rejected_by_code.at("InvalidArgument"), 25u);
+}
+
+TEST(EtlTest, DefaultErrorMessageCapIsTen) {
+  Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
+  EtlLoader loader(&wh);
+  EXPECT_EQ(loader.max_error_messages(), 10u);
+  FactRecord bad;
+  bad.role_paths = {{"Madrid"}};
+  bad.measures = {Value(7.0)};
+  auto report =
+      loader.LoadBatch("Weather", std::vector<FactRecord>(15, bad));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->errors.size(), 10u);
+  EXPECT_EQ(report->rows_rejected, 15u);
+}
+
 TEST(EtlTest, UnknownFactFails) {
   Warehouse wh = Warehouse::Create(WeatherSchema()).ValueOrDie();
   EtlLoader loader(&wh);

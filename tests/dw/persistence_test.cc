@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "dw/csv_etl.h"
 #include "dw/olap.h"
@@ -48,6 +49,29 @@ TEST(SchemaSerdeTest, MalformedInputRejected) {
       SchemaSerde::FromText("fact\tF\nmeasure\tm\tdouble\tZAP\n").ok());
   // Structurally invalid: fact references unknown dimension.
   EXPECT_FALSE(SchemaSerde::FromText("fact\tF\nrole\tr\tGhost\n").ok());
+}
+
+TEST(SchemaSerdeTest, MalformedInputNamesTheOffendingLine) {
+  // The orphan level sits on line 3 (after a comment and a dimension-less
+  // blank); the error must say so.
+  Status st =
+      SchemaSerde::FromText("# header\n\nlevel\tL\n").status();
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("schema line 3"), std::string::npos)
+      << st.ToString();
+
+  st = SchemaSerde::FromText("dimension\tD\nlevel\tL\nwhat is this\n")
+           .status();
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("schema line 3"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(SchemaSerdeTest, EmptyNamesRejected) {
+  EXPECT_FALSE(SchemaSerde::FromText("dimension\t\n").ok());
+  EXPECT_FALSE(
+      SchemaSerde::FromText("dimension\tD\nlevel\t\n").ok());
+  EXPECT_FALSE(SchemaSerde::FromText("fact\t\n").ok());
 }
 
 class PersistenceTest : public ::testing::Test {
@@ -119,6 +143,46 @@ TEST_F(PersistenceTest, LoadFromMissingDirectoryFails) {
   EXPECT_TRUE(WarehousePersistence::Load("/no/such/dwqa/dir")
                   .status()
                   .IsIOError());
+}
+
+TEST_F(PersistenceTest, TruncatedDimensionCsvRejected) {
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ASSERT_TRUE(WarehousePersistence::Save(wh, dir_.string()).ok());
+  // Simulate a crash mid-write: the dimension file survives empty.
+  { std::ofstream truncate(dir_ / "dim_Airport.csv"); }
+  Status st = WarehousePersistence::Load(dir_.string()).status();
+  ASSERT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("empty or truncated"), std::string::npos);
+  EXPECT_NE(st.message().find("dim_Airport.csv"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, OverlongMemberPathRejectedWithRowNumber) {
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ASSERT_TRUE(WarehousePersistence::Save(wh, dir_.string()).ok());
+  {
+    std::ofstream out(dir_ / "dim_Airport.csv", std::ios::app);
+    // Five path segments against a four-level hierarchy.
+    out << "X,Y,Z,W,TooDeep\n";
+  }
+  Status st = WarehousePersistence::Load(dir_.string()).status();
+  ASSERT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("row"), std::string::npos);
+  EXPECT_NE(st.message().find("levels"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, GarbageFactCsvRejectedWithFileName) {
+  Warehouse wh =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  ASSERT_TRUE(WarehousePersistence::Save(wh, dir_.string()).ok());
+  {
+    std::ofstream out(dir_ / "fact_Weather.csv", std::ios::app);
+    out << "\"unterminated quote\n";
+  }
+  Status st = WarehousePersistence::Load(dir_.string()).status();
+  ASSERT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("fact_Weather.csv"), std::string::npos);
 }
 
 }  // namespace

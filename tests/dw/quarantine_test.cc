@@ -1,0 +1,117 @@
+#include "dw/quarantine.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+QuarantineRecord SampleRecord() {
+  QuarantineRecord record;
+  record.attribute = "temperature";
+  record.value = "888";
+  record.unit = "\xC2\xBA" "C";
+  record.date_iso = "2004-01-31";
+  record.location = "Barcelona";
+  record.url = "http://weather.example/barcelona";
+  record.reason = "ValueOutOfRange";
+  record.detail = "axiom interval [-90, 60]";
+  return record;
+}
+
+TEST(QuarantineTest, AddStampsSequenceAndTimestamp) {
+  QuarantineStore store;
+  store.Add(SampleRecord());
+  store.Add(SampleRecord());
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.records()[0].sequence, 1u);
+  EXPECT_EQ(store.records()[1].sequence, 2u);
+  // ISO 8601 UTC: "2026-08-06T12:34:56Z".
+  const std::string& ts = store.records()[0].timestamp;
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(QuarantineTest, PresetTimestampIsKept) {
+  QuarantineStore store;
+  QuarantineRecord record = SampleRecord();
+  record.timestamp = "2004-01-31T00:00:00Z";
+  store.Add(record);
+  EXPECT_EQ(store.records()[0].timestamp, "2004-01-31T00:00:00Z");
+}
+
+TEST(QuarantineTest, CountsByReason) {
+  QuarantineStore store;
+  store.Add(SampleRecord());
+  store.Add(SampleRecord());
+  QuarantineRecord other = SampleRecord();
+  other.reason = "BadUnit";
+  store.Add(other);
+  auto counts = store.CountsByReason();
+  EXPECT_EQ(counts["ValueOutOfRange"], 2u);
+  EXPECT_EQ(counts["BadUnit"], 1u);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(QuarantineTest, CsvHasHeaderAndOneLinePerRecord) {
+  QuarantineStore store;
+  store.Add(SampleRecord());
+  std::string csv = store.ToCsv();
+  std::istringstream in(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header,
+            "sequence,timestamp,reason,attribute,value,unit,date,location,"
+            "url,detail");
+  std::string row;
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(row.find("ValueOutOfRange"), std::string::npos);
+  EXPECT_NE(row.find("888"), std::string::npos);
+  EXPECT_NE(row.find("Barcelona"), std::string::npos);
+  std::string extra;
+  EXPECT_FALSE(std::getline(in, extra));
+}
+
+TEST(QuarantineTest, CsvQuotesFieldsWithCommas) {
+  QuarantineStore store;
+  QuarantineRecord record = SampleRecord();
+  record.detail = "etl: bad member, path too deep";
+  store.Add(record);
+  std::string csv = store.ToCsv();
+  EXPECT_NE(csv.find("\"etl: bad member, path too deep\""),
+            std::string::npos);
+}
+
+TEST(QuarantineTest, SaveCsvWritesTheFile) {
+  QuarantineStore store;
+  store.Add(SampleRecord());
+  std::string path = testing::TempDir() + "quarantine_test.csv";
+  ASSERT_TRUE(store.SaveCsv(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), store.ToCsv());
+  std::remove(path.c_str());
+}
+
+TEST(QuarantineTest, ClearResetsButSequenceKeepsCounting) {
+  QuarantineStore store;
+  store.Add(SampleRecord());
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  store.Add(SampleRecord());
+  // Sequence numbers stay monotonic across Clear so CSV exports from
+  // different moments never collide.
+  EXPECT_EQ(store.records()[0].sequence, 2u);
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

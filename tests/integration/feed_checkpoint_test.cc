@@ -1,0 +1,97 @@
+#include "integration/feed_checkpoint.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+FeedCheckpoint SampleCheckpoint() {
+  FeedCheckpoint checkpoint;
+  checkpoint.completed_questions = {
+      "What is the temperature in Barcelona in January of 2004?",
+      "What is the temperature in Madrid in January of 2004?"};
+  checkpoint.fed_keys = {"temperature|barcelona|2004-01-30",
+                         "temperature|barcelona|2004-01-31",
+                         "temperature|madrid|2004-01-31"};
+  checkpoint.reject_counts = {{"ValueOutOfRange", 3}, {"BadUnit", 1}};
+  checkpoint.rows_loaded = 62;
+  return checkpoint;
+}
+
+TEST(FeedCheckpointTest, TextRoundTrip) {
+  FeedCheckpoint checkpoint = SampleCheckpoint();
+  std::string text = FeedCheckpointSerde::ToText(checkpoint);
+  auto parsed = FeedCheckpointSerde::FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, checkpoint);
+}
+
+TEST(FeedCheckpointTest, EmptyCheckpointRoundTrips) {
+  FeedCheckpoint empty;
+  auto parsed =
+      FeedCheckpointSerde::FromText(FeedCheckpointSerde::ToText(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST(FeedCheckpointTest, MissingMagicIsRejected) {
+  auto parsed = FeedCheckpointSerde::FromText("loaded\t3\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+}
+
+TEST(FeedCheckpointTest, GarbageLinesAreRejectedWithLineNumbers) {
+  std::string text = FeedCheckpointSerde::ToText(SampleCheckpoint());
+  auto parsed = FeedCheckpointSerde::FromText(text + "what even is this\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().message().find("line"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(FeedCheckpointTest, MalformedRejectCountIsRejected) {
+  auto parsed = FeedCheckpointSerde::FromText(
+      "dwqa-feed-checkpoint\t1\nreject\tBadUnit\tmany\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+}
+
+TEST(FeedCheckpointTest, FileRoundTripAndExists) {
+  std::string path = testing::TempDir() + "feed_checkpoint_test.ckpt";
+  std::remove(path.c_str());
+  EXPECT_FALSE(FeedCheckpointFile::Exists(path));
+  FeedCheckpoint checkpoint = SampleCheckpoint();
+  ASSERT_TRUE(FeedCheckpointFile::Save(checkpoint, path).ok());
+  EXPECT_TRUE(FeedCheckpointFile::Exists(path));
+  auto loaded = FeedCheckpointFile::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, checkpoint);
+  std::remove(path.c_str());
+}
+
+TEST(FeedCheckpointTest, SaveReplacesAtomically) {
+  std::string path = testing::TempDir() + "feed_checkpoint_replace.ckpt";
+  FeedCheckpoint first = SampleCheckpoint();
+  ASSERT_TRUE(FeedCheckpointFile::Save(first, path).ok());
+  FeedCheckpoint second = first;
+  second.rows_loaded = 99;
+  second.fed_keys.insert("temperature|valencia|2004-01-31");
+  ASSERT_TRUE(FeedCheckpointFile::Save(second, path).ok());
+  auto loaded = FeedCheckpointFile::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, second);
+  std::remove(path.c_str());
+}
+
+TEST(FeedCheckpointTest, LoadOfMissingFileFails) {
+  auto loaded = FeedCheckpointFile::Load(testing::TempDir() +
+                                         "no_such_checkpoint.ckpt");
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

@@ -107,9 +107,14 @@ TEST_F(PipelineTest, Step5FeedsWarehouse) {
   EXPECT_EQ(report->questions_asked, 1u);
   EXPECT_EQ(report->questions_answered, 1u);
   EXPECT_GT(report->rows_loaded, 0u);
-  EXPECT_EQ(report->rows_loaded + report->rows_rejected +
+  // Accounting identity: every extracted fact ends in exactly one bucket.
+  EXPECT_EQ(report->rows_loaded + report->rows_quarantined +
                 report->rows_deduplicated,
             report->facts_extracted);
+  // On a clean run nothing is quarantined or retried.
+  EXPECT_EQ(report->rows_quarantined, 0u);
+  EXPECT_EQ(report->retries, 0u);
+  EXPECT_TRUE(p.quarantine().empty());
   EXPECT_EQ(wh_->FactRowCount("Weather").ValueOrDie(),
             report->rows_loaded);
   // Extracted tuples carry the (temperature – date – city – URL) shape.

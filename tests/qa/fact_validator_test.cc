@@ -1,0 +1,149 @@
+#include "qa/fact_validator.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "ontology/ontology.h"
+
+namespace dwqa {
+namespace qa {
+namespace {
+
+StructuredFact TemperatureFact() {
+  StructuredFact fact;
+  fact.attribute = "temperature";
+  fact.value = 8.0;
+  fact.unit = "\xC2\xBA" "C";
+  fact.date = Date(2004, 1, 31);
+  fact.location = "Barcelona";
+  fact.url = "http://weather.example/barcelona/2004-01-31";
+  return fact;
+}
+
+ValidatorConfig TemperatureConfig() {
+  ValidatorConfig config;
+  AttributeRule rule;
+  rule.min_value = -90.0;
+  rule.max_value = 60.0;
+  rule.allowed_units = {"\xC2\xBA" "C", "F"};
+  config.rules["temperature"] = rule;
+  return config;
+}
+
+TEST(FactValidatorTest, AdmitsAPlausibleFact) {
+  FactValidator validator(TemperatureConfig());
+  EXPECT_EQ(validator.Check(TemperatureFact()), RejectReason::kNone);
+}
+
+TEST(FactValidatorTest, RejectsNonFiniteValues) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(validator.Check(fact), RejectReason::kNonFiniteValue);
+  fact.value = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(validator.Check(fact), RejectReason::kNonFiniteValue);
+}
+
+TEST(FactValidatorTest, RejectsValuesOutsideTheAxiomInterval) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.value = 888.0;  // The classic swapped-digits corruption artifact.
+  EXPECT_EQ(validator.Check(fact), RejectReason::kValueOutOfRange);
+  fact.value = -273.0;
+  EXPECT_EQ(validator.Check(fact), RejectReason::kValueOutOfRange);
+}
+
+TEST(FactValidatorTest, FahrenheitIsConvertedBeforeTheRangeCheck) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.unit = "F";
+  fact.value = 100.0;  // 37.8 ºC — fine, though 100 ºC would not be.
+  EXPECT_EQ(validator.Check(fact), RejectReason::kNone);
+  fact.value = 200.0;  // 93.3 ºC — beyond the axiom interval.
+  EXPECT_EQ(validator.Check(fact), RejectReason::kValueOutOfRange);
+}
+
+TEST(FactValidatorTest, RejectsUnitsTheAttributeDoesNotAdmit) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.unit = "K";  // The BreakUnits corruption plants kelvins.
+  EXPECT_EQ(validator.Check(fact), RejectReason::kBadUnit);
+}
+
+TEST(FactValidatorTest, EmptyUnitIsAdmittedUnlessRequired) {
+  ValidatorConfig config = TemperatureConfig();
+  FactValidator lax(config);
+  StructuredFact fact = TemperatureFact();
+  fact.unit = "";  // Figure-5 stripped-table case: bare number.
+  EXPECT_EQ(lax.Check(fact), RejectReason::kNone);
+
+  config.rules["temperature"].require_unit = true;
+  FactValidator strict(config);
+  EXPECT_EQ(strict.Check(fact), RejectReason::kBadUnit);
+}
+
+TEST(FactValidatorTest, RejectsImpossibleDates) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.date = Date(2004, 2, 30);
+  EXPECT_EQ(validator.Check(fact), RejectReason::kInvalidDate);
+}
+
+TEST(FactValidatorTest, DatelessFactsPassTheDateAxiom) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.date.reset();
+  EXPECT_EQ(validator.Check(fact), RejectReason::kNone);
+}
+
+TEST(FactValidatorTest, RejectsMissingLocation) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.location = "";
+  EXPECT_EQ(validator.Check(fact), RejectReason::kMissingLocation);
+  fact.location = "?";
+  EXPECT_EQ(validator.Check(fact), RejectReason::kMissingLocation);
+}
+
+TEST(FactValidatorTest, DefaultRuleAppliesToUnknownAttributes) {
+  FactValidator validator(TemperatureConfig());
+  StructuredFact fact = TemperatureFact();
+  fact.attribute = "price";
+  fact.value = 1e12;  // No rule for price: any finite value is admitted.
+  fact.unit = "euro";
+  EXPECT_EQ(validator.Check(fact), RejectReason::kNone);
+}
+
+TEST(FactValidatorTest, FromOntologyReadsTheStepFourAxioms) {
+  ontology::Ontology onto;
+  auto id = onto.AddConcept("temperature", "degree of hotness", "uml");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(onto.SetAxiom(*id, "unit", "\xC2\xBA" "C|F").ok());
+  ASSERT_TRUE(onto.SetAxiom(*id, "min_celsius", "-90").ok());
+  ASSERT_TRUE(onto.SetAxiom(*id, "max_celsius", "60").ok());
+
+  FactValidator validator =
+      FactValidator::FromOntology(onto, {"temperature"});
+  StructuredFact fact = TemperatureFact();
+  EXPECT_EQ(validator.Check(fact), RejectReason::kNone);
+  fact.value = 75.0;
+  EXPECT_EQ(validator.Check(fact), RejectReason::kValueOutOfRange);
+  fact = TemperatureFact();
+  fact.unit = "K";
+  EXPECT_EQ(validator.Check(fact), RejectReason::kBadUnit);
+}
+
+TEST(FactValidatorTest, ReasonNamesRoundTrip) {
+  for (RejectReason reason : AllRejectReasons()) {
+    auto back = RejectReasonFromName(RejectReasonName(reason));
+    ASSERT_TRUE(back.ok()) << RejectReasonName(reason);
+    EXPECT_EQ(*back, reason);
+  }
+  EXPECT_FALSE(RejectReasonFromName("NotAReason").ok());
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace dwqa

@@ -1,5 +1,7 @@
 #include "qa/structured.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace dwqa {
@@ -39,6 +41,57 @@ TEST(StructuredTest, NonNumericAnswerRejected) {
   a.has_value = false;
   EXPECT_TRUE(
       ToStructuredFact(a, "temperature").status().IsInvalidArgument());
+}
+
+// Adversarial inputs — the shapes corrupt pages actually produce. All of
+// them must come back as clean Status failures or odd-but-valid facts,
+// never crashes.
+
+TEST(StructuredTest, NanValueRejected) {
+  AnswerCandidate a = TemperatureAnswer();
+  a.value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(
+      ToStructuredFact(a, "temperature").status().IsInvalidArgument());
+}
+
+TEST(StructuredTest, InfiniteValueRejected) {
+  AnswerCandidate a = TemperatureAnswer();
+  a.value = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(
+      ToStructuredFact(a, "temperature").status().IsInvalidArgument());
+  a.value = -std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(
+      ToStructuredFact(a, "temperature").status().IsInvalidArgument());
+}
+
+TEST(StructuredTest, AbsurdMagnitudeSurvivesConversion) {
+  // A finite-but-absurd value ("8888888888" from swapped digits) is not
+  // this layer's call to reject — it converts cleanly and the Step-4 axiom
+  // validator quarantines it downstream.
+  AnswerCandidate a = TemperatureAnswer();
+  a.value = 8888888888.0;
+  auto fact = ToStructuredFact(a, "temperature");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_DOUBLE_EQ(fact->value, 8888888888.0);
+}
+
+TEST(StructuredTest, EmptyLocationSurvivesConversion) {
+  AnswerCandidate a = TemperatureAnswer();
+  a.location = "";
+  auto fact = ToStructuredFact(a, "temperature");
+  ASSERT_TRUE(fact.ok());
+  EXPECT_TRUE(fact->location.empty());
+  // ... and still renders without crashing.
+  EXPECT_FALSE(fact->ToDisplayString().empty());
+}
+
+TEST(StructuredTest, BatchConversionDropsNonFiniteAnswers) {
+  AnswerSet set;
+  set.answers.push_back(TemperatureAnswer());
+  AnswerCandidate bad = TemperatureAnswer();
+  bad.value = std::numeric_limits<double>::quiet_NaN();
+  set.answers.push_back(bad);
+  EXPECT_EQ(ToStructuredFacts(set, "temperature").size(), 1u);
 }
 
 TEST(StructuredTest, DisplayStringMatchesPaperShape) {

@@ -120,6 +120,55 @@ TEST(SyntheticWebTest, AllCitiesDefault) {
             WeatherModel::Cities().size());
 }
 
+TEST(SyntheticWebTest, CorruptRateDirtiesPagesButNotTheTruth) {
+  WebConfig clean_config = SmallConfig();
+  SyntheticWeb clean = SyntheticWeb::Build(clean_config).ValueOrDie();
+  EXPECT_TRUE(clean.corrupted_urls().empty());
+
+  WebConfig dirty_config = SmallConfig();
+  dirty_config.corrupt_rate = 1.0;
+  SyntheticWeb dirty = SyntheticWeb::Build(dirty_config).ValueOrDie();
+  // Every weather page (prose + table, per city) comes out corrupted.
+  EXPECT_EQ(dirty.corrupted_urls().size(), 4u);
+
+  // The ground truth keeps the clean values: corruption dirties the
+  // observable pages, never the reference the benches score against.
+  EXPECT_EQ(dirty.truth().temperature, clean.truth().temperature);
+
+  // The corrupted payloads really differ from their clean counterparts.
+  auto page_by_url = [](const SyntheticWeb& webb, const std::string& url) {
+    for (const ir::Document& doc : webb.documents().documents()) {
+      if (doc.url == url) return doc.raw;
+    }
+    return std::string();
+  };
+  for (const std::string& url : dirty.corrupted_urls()) {
+    std::string clean_page = page_by_url(clean, url);
+    ASSERT_FALSE(clean_page.empty()) << url;
+    EXPECT_NE(page_by_url(dirty, url), clean_page) << url;
+  }
+}
+
+TEST(SyntheticWebTest, CorruptionIsDeterministicPerSeed) {
+  WebConfig config = SmallConfig();
+  config.corrupt_rate = 0.5;
+  SyntheticWeb a = SyntheticWeb::Build(config).ValueOrDie();
+  SyntheticWeb b = SyntheticWeb::Build(config).ValueOrDie();
+  EXPECT_EQ(a.corrupted_urls(), b.corrupted_urls());
+  ASSERT_EQ(a.documents().size(), b.documents().size());
+  for (size_t i = 0; i < a.documents().size(); ++i) {
+    EXPECT_EQ(a.documents().documents()[i].raw,
+              b.documents().documents()[i].raw);
+  }
+}
+
+TEST(SyntheticWebTest, CorruptRateRequiresModes) {
+  WebConfig config = SmallConfig();
+  config.corrupt_rate = 0.5;
+  config.corruption_modes.clear();
+  EXPECT_FALSE(SyntheticWeb::Build(config).ok());
+}
+
 TEST(SyntheticWebTest, SingleCityWebHasNoPricePagesAndTerminates) {
   WebConfig config;
   config.cities = {"Barcelona"};
