@@ -31,6 +31,14 @@ if [ -n "$SANITIZE" ]; then
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
     ctest --test-dir "$ROOT/$SAN_DIR" --output-on-failure
+
+  # The fault-injection suite once more, alone and loudly: the chaos label
+  # is the contract that these tests exist and run sanitized.
+  echo
+  echo "##### chaos suite under sanitizers (ctest -L chaos) #####"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    ctest --test-dir "$ROOT/$SAN_DIR" -L chaos --output-on-failure
 fi
 
 if [ "${DWQA_SKIP_BENCHES:-0}" != 1 ]; then

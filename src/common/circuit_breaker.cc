@@ -1,0 +1,112 @@
+#include "common/circuit_breaker.h"
+
+namespace dwqa {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "Closed";
+    case BreakerState::kOpen:
+      return "Open";
+    case BreakerState::kHalfOpen:
+      return "HalfOpen";
+  }
+  return "Unknown";
+}
+
+Status BreakerConfig::Validate() const {
+  if (failure_threshold == 0) {
+    return Status::InvalidArgument(
+        "breaker failure_threshold must be >= 1 (a zero threshold would "
+        "reject every call forever)");
+  }
+  return Status::OK();
+}
+
+bool CircuitBreaker::WouldAllow() const {
+  if (!config_.enabled) return true;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return cooldown_progress_ >= config_.cooldown_attempts;
+    case BreakerState::kHalfOpen:
+      return !probe_outstanding_;
+  }
+  return true;
+}
+
+bool CircuitBreaker::Allow() {
+  if (!config_.enabled) return true;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (cooldown_progress_ >= config_.cooldown_attempts) {
+        // Cool-down served: this admission is the half-open probe.
+        state_ = BreakerState::kHalfOpen;
+        probe_outstanding_ = true;
+        return true;
+      }
+      ++cooldown_progress_;
+      ++rejected_;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (!probe_outstanding_) {
+        probe_outstanding_ = true;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (!config_.enabled) return;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe came back healthy: the dependency recovered.
+    state_ = BreakerState::kClosed;
+    cooldown_progress_ = 0;
+    probe_outstanding_ = false;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  ++consecutive_failures_;
+  ++total_failures_;
+  if (!config_.enabled) return;
+  if (state_ == BreakerState::kHalfOpen) {
+    // Probe failed: back to open, cool-down restarts from zero.
+    state_ = BreakerState::kOpen;
+    cooldown_progress_ = 0;
+    probe_outstanding_ = false;
+    ++opens_;
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    cooldown_progress_ = 0;
+    ++opens_;
+  }
+}
+
+CircuitBreaker* CircuitBreakerRegistry::Get(const std::string& name) {
+  auto it = breakers_.find(name);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(name, CircuitBreaker(config_)).first;
+  }
+  return &it->second;
+}
+
+size_t CircuitBreakerRegistry::open_count() const {
+  size_t open = 0;
+  for (const auto& [name, breaker] : breakers_) {
+    if (breaker.state() != BreakerState::kClosed) ++open;
+  }
+  return open;
+}
+
+}  // namespace dwqa

@@ -1,0 +1,134 @@
+#ifndef DWQA_COMMON_CIRCUIT_BREAKER_H_
+#define DWQA_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace dwqa {
+
+/// \brief State of a CircuitBreaker (the classic closed → open → half-open
+/// machine of Nygard's "Release It!" stability pattern).
+enum class BreakerState {
+  /// Calls flow; consecutive failures are counted.
+  kClosed,
+  /// Calls are rejected outright; each rejection advances the cool-down.
+  kOpen,
+  /// One probe call is admitted to test whether the dependency recovered.
+  kHalfOpen,
+};
+
+/// "Closed", "Open", "HalfOpen" — stable names for reports and tests.
+const char* BreakerStateName(BreakerState state);
+
+/// \brief Tuning of a CircuitBreaker.
+///
+/// The cool-down is measured in *rejected admission attempts*, not wall
+/// clock — tests and benches run with sleeping disabled, so an
+/// attempt-counted cool-down keeps the state machine fully deterministic.
+struct BreakerConfig {
+  /// Master switch: a disabled breaker admits every call and never trips.
+  bool enabled = false;
+  /// Consecutive whole-operation failures (retry budget already exhausted)
+  /// that trip the breaker from closed to open.
+  size_t failure_threshold = 3;
+  /// Rejected admissions an open breaker sits out before granting the
+  /// half-open probe.
+  size_t cooldown_attempts = 5;
+
+  /// InvalidArgument on a zero failure threshold — a breaker that trips on
+  /// "zero consecutive failures" would reject everything forever.
+  Status Validate() const;
+};
+
+/// \brief Deterministic, attempt-counted circuit breaker.
+///
+/// Guards one dependency (a fault point, a source URL). Callers ask
+/// `Allow()` before the operation and report the outcome with
+/// `RecordSuccess()`/`RecordFailure()`. After `failure_threshold`
+/// consecutive failures the breaker opens and rejects calls for
+/// `cooldown_attempts` admissions; the next admission after the cool-down
+/// is the half-open probe — its success closes the breaker, its failure
+/// re-opens it and restarts the cool-down from zero.
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+  /// Non-mutating admission test: would `Allow()` return true right now?
+  /// Lets a caller consult several breakers before committing the
+  /// admission on any of them.
+  bool WouldAllow() const;
+
+  /// Admission decision. While open, each rejected call advances the
+  /// cool-down; once `cooldown_attempts` rejections have passed, the next
+  /// call is admitted as the half-open probe.
+  bool Allow();
+
+  /// The guarded operation (including its retries) ultimately succeeded.
+  void RecordSuccess();
+
+  /// The guarded operation ultimately failed (retry budget exhausted or
+  /// permanent error).
+  void RecordFailure();
+
+  BreakerState state() const { return state_; }
+  bool enabled() const { return config_.enabled; }
+  const BreakerConfig& config() const { return config_; }
+
+  /// \name Counters for reports and the PipelineHealth summary
+  /// @{
+  /// Failures since the last success (or since the breaker closed).
+  size_t consecutive_failures() const { return consecutive_failures_; }
+  /// Admissions refused while open.
+  size_t rejected() const { return rejected_; }
+  /// Times the breaker tripped (closed/half-open → open).
+  size_t opens() const { return opens_; }
+  /// Failures recorded over the breaker's lifetime.
+  size_t total_failures() const { return total_failures_; }
+  /// @}
+
+ private:
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  size_t consecutive_failures_ = 0;
+  /// Rejections counted toward the current cool-down while open.
+  size_t cooldown_progress_ = 0;
+  /// True while the single half-open probe is in flight.
+  bool probe_outstanding_ = false;
+  size_t rejected_ = 0;
+  size_t opens_ = 0;
+  size_t total_failures_ = 0;
+};
+
+/// \brief Lazily-populated map of breakers, one per guarded dependency.
+///
+/// The pipeline instantiates one breaker per fault point ("ir.index",
+/// "web.fetch") and one per source URL at the ETL boundary, all sharing the
+/// registry's BreakerConfig.
+class CircuitBreakerRegistry {
+ public:
+  CircuitBreakerRegistry() = default;
+  explicit CircuitBreakerRegistry(BreakerConfig config) : config_(config) {}
+
+  /// The breaker named `name`, created on first use.
+  CircuitBreaker* Get(const std::string& name);
+
+  bool enabled() const { return config_.enabled; }
+  const std::map<std::string, CircuitBreaker>& breakers() const {
+    return breakers_;
+  }
+
+  /// Breakers currently not closed — the isolated dependencies.
+  size_t open_count() const;
+
+ private:
+  BreakerConfig config_;
+  std::map<std::string, CircuitBreaker> breakers_;
+};
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_CIRCUIT_BREAKER_H_

@@ -1,0 +1,38 @@
+#include "common/deadline.h"
+
+#include <cmath>
+
+namespace dwqa {
+
+Status DeadlineConfig::Validate() const {
+  if (std::isnan(budget)) {
+    return Status::InvalidArgument("deadline budget must not be NaN");
+  }
+  if (budget < 0.0) {
+    return Status::InvalidArgument("deadline budget must be >= 0, got " +
+                                   std::to_string(budget));
+  }
+  return Status::OK();
+}
+
+Status Deadline::Exceeded(const std::string& stage) {
+  if (exhausted_stage_.empty()) exhausted_stage_ = stage;
+  return Status::DeadlineExceeded(
+      "budget of " + std::to_string(config_.budget) +
+      " units exhausted at stage '" + stage + "' (spent " +
+      std::to_string(spent_) + ")");
+}
+
+Status Deadline::Spend(const std::string& stage, double cost) {
+  if (exhausted()) return Exceeded(stage);
+  spent_ += cost;
+  spent_by_stage_[stage] += cost;
+  return Status::OK();
+}
+
+Status Deadline::Check(const std::string& stage) {
+  if (exhausted()) return Exceeded(stage);
+  return Status::OK();
+}
+
+}  // namespace dwqa

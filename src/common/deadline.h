@@ -1,0 +1,90 @@
+#ifndef DWQA_COMMON_DEADLINE_H_
+#define DWQA_COMMON_DEADLINE_H_
+
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace dwqa {
+
+/// \brief Budget of a Deadline, in abstract cost units.
+///
+/// The unit is "one attempted operation" (one retry attempt, one probed
+/// stage) rather than milliseconds: wall clocks are banned from the test
+/// suite, and an attempt-counted budget makes deadline behaviour exactly
+/// reproducible. Callers that do want wall-clock semantics can install a
+/// clock via Deadline::set_clock.
+struct DeadlineConfig {
+  /// Units the run may spend; infinity (the default) disables the deadline.
+  double budget = std::numeric_limits<double>::infinity();
+
+  /// InvalidArgument on a negative or NaN budget.
+  Status Validate() const;
+};
+
+/// \brief Cooperative, injectable-clock cost budget shared across pipeline
+/// stages.
+///
+/// One Deadline object is threaded through a whole run (AliQAn::Ask →
+/// passage retrieval → answer extraction, the Step-5 feed loop, the retry
+/// layer). Every stage charges the units it spends, so budget consumed by
+/// an inner retry loop is immediately visible to the outer loop. Once the
+/// budget is exhausted every further charge or check fails with
+/// kDeadlineExceeded naming the stage that hit the wall.
+class Deadline {
+ public:
+  /// Unlimited deadline: never exhausts, charges are still tallied.
+  Deadline() = default;
+  explicit Deadline(DeadlineConfig config) : config_(config) {}
+
+  bool unlimited() const {
+    return config_.budget == std::numeric_limits<double>::infinity();
+  }
+  double budget() const { return config_.budget; }
+  double spent() const { return spent_; }
+  double remaining() const {
+    return spent_ >= config_.budget ? 0.0 : config_.budget - spent_;
+  }
+  bool exhausted() const { return spent_ >= config_.budget; }
+
+  /// Charges `cost` units attributed to `stage`. The charge that crosses
+  /// the budget line still succeeds (the work was already under way); every
+  /// subsequent charge fails with kDeadlineExceeded naming `stage`.
+  Status Spend(const std::string& stage, double cost = 1.0);
+
+  /// Non-charging probe: OK while budget remains, kDeadlineExceeded naming
+  /// `stage` once it is gone.
+  Status Check(const std::string& stage);
+
+  /// Stage that first observed exhaustion ("" while budget remains).
+  const std::string& exhausted_stage() const { return exhausted_stage_; }
+
+  /// Units charged per stage, for the PipelineHealth summary.
+  const std::map<std::string, double>& spent_by_stage() const {
+    return spent_by_stage_;
+  }
+
+ private:
+  Status Exceeded(const std::string& stage);
+
+  DeadlineConfig config_;
+  double spent_ = 0.0;
+  std::string exhausted_stage_;
+  std::map<std::string, double> spent_by_stage_;
+};
+
+/// Propagates kDeadlineExceeded out of the enclosing function when the
+/// (possibly null) Deadline* is exhausted. Null means "no deadline".
+#define DWQA_CHECK_DEADLINE(deadline, stage)                \
+  do {                                                      \
+    if ((deadline) != nullptr) {                            \
+      ::dwqa::Status _dwqa_dl = (deadline)->Check(stage);   \
+      if (!_dwqa_dl.ok()) return _dwqa_dl;                  \
+    }                                                       \
+  } while (false)
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_DEADLINE_H_

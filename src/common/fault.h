@@ -24,7 +24,16 @@ inline constexpr char kFaultPointParse[] = "ir.parse";
 inline constexpr char kFaultPointIndex[] = "ir.index";
 /// Loading one fact record through the ETL boundary.
 inline constexpr char kFaultPointEtlLoad[] = "dw.etl.load";
+/// Writing the Step-5 feed checkpoint file. Deliberately NOT part of
+/// FaultConfig::TransientEverywhere — arming it must not shift the draw
+/// schedule of existing blanket-fault tests.
+inline constexpr char kFaultPointCheckpoint[] = "integration.checkpoint";
 /// @}
+///
+/// A rule may also scope a point to one source by suffixing the source URL,
+/// e.g. "dw.etl.load:http://weather.example/barcelona" — probes at the
+/// scoped point only match rules armed with that exact name, so a poisoned
+/// source never perturbs the draw schedule of healthy ones.
 
 /// How an armed fault manifests.
 enum class FaultMode {

@@ -7,6 +7,26 @@
 
 namespace dwqa {
 
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument(
+        "retry max_attempts must be >= 1, got " +
+        std::to_string(max_attempts));
+  }
+  if (base_delay_ms < 0.0 || max_delay_ms < 0.0) {
+    return Status::InvalidArgument("retry delays must be >= 0 ms");
+  }
+  if (!(backoff_factor > 0.0)) {
+    return Status::InvalidArgument("retry backoff_factor must be > 0, got " +
+                                   std::to_string(backoff_factor));
+  }
+  if (jitter < 0.0 || jitter > 1.0) {
+    return Status::InvalidArgument("retry jitter must be in [0, 1], got " +
+                                   std::to_string(jitter));
+  }
+  return Status::OK();
+}
+
 double BackoffDelayMs(const RetryPolicy& policy, int retry, Rng* rng) {
   if (retry < 1) retry = 1;
   double delay =

@@ -2,8 +2,10 @@
 #define DWQA_COMMON_RETRY_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -28,6 +30,11 @@ struct RetryPolicy {
   /// When false, delays are computed (and reported) but not slept —
   /// deterministic-schedule tests do not want wall-clock in the loop.
   bool sleep = true;
+
+  /// InvalidArgument on a policy that would loop zero times or backward:
+  /// `max_attempts < 1`, negative delays, non-positive backoff factor, or
+  /// jitter outside [0, 1].
+  Status Validate() const;
 };
 
 /// \brief What one RetryCall did, for reports and diagnostics.
@@ -56,14 +63,28 @@ void SleepForMs(double ms);
 /// transient failures (IsTransient) are retried; permanent errors and
 /// success return immediately. The last transient Status is returned when
 /// the budget runs out. `stats`, when given, is overwritten.
+///
+/// A non-null `deadline` is charged one unit per attempt (under `stage`);
+/// once the shared budget is exhausted the loop stops before the next
+/// attempt and returns kDeadlineExceeded. Because every nesting level
+/// charges the same Deadline object, budget spent by an inner RetryCall is
+/// immediately visible to the enclosing loop.
 template <typename Fn>
 Status RetryCall(const RetryPolicy& policy, Fn&& fn,
-                 RetryStats* stats = nullptr) {
+                 RetryStats* stats = nullptr, Deadline* deadline = nullptr,
+                 const std::string& stage = "retry") {
   Rng rng(policy.jitter_seed);
   RetryStats local;
   Status last = Status::OK();
   int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (deadline != nullptr) {
+      Status spend = deadline->Spend(stage);
+      if (!spend.ok()) {
+        last = spend;
+        break;
+      }
+    }
     ++local.attempts;
     last = fn();
     if (!IsTransient(last)) break;  // Success or permanent failure.
@@ -80,7 +101,9 @@ Status RetryCall(const RetryPolicy& policy, Fn&& fn,
 /// Result<T> flavour of RetryCall: `fn` returns Result<T>.
 template <typename T, typename Fn>
 Result<T> RetryResultCall(const RetryPolicy& policy, Fn&& fn,
-                          RetryStats* stats = nullptr) {
+                          RetryStats* stats = nullptr,
+                          Deadline* deadline = nullptr,
+                          const std::string& stage = "retry") {
   Result<T> last = Status::Unavailable("retry loop never ran");
   Status st = RetryCall(
       policy,
@@ -88,8 +111,10 @@ Result<T> RetryResultCall(const RetryPolicy& policy, Fn&& fn,
         last = fn();
         return last.status();
       },
-      stats);
-  (void)st;  // `last` carries the same status plus the value.
+      stats, deadline, stage);
+  // On a deadline trip the loop never re-ran `fn`, so `last` still holds an
+  // older status — surface the deadline error instead.
+  if (st.IsDeadlineExceeded()) return st;
   return last;
 }
 

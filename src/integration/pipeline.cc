@@ -11,15 +11,38 @@
 namespace dwqa {
 namespace integration {
 
+namespace {
+
+/// Constructors cannot return Status, so the pipeline validates its
+/// resilience knobs once here and every Run* entry point replays the
+/// verdict.
+Status ValidateResilienceConfig(const ResilienceConfig& resilience) {
+  DWQA_RETURN_NOT_OK(resilience.retry.Validate());
+  DWQA_RETURN_NOT_OK(resilience.breaker.Validate());
+  DWQA_RETURN_NOT_OK(resilience.deadline.Validate());
+  if (resilience.checkpoint_every == 0) {
+    return Status::InvalidArgument(
+        "checkpoint_every must be >= 1 (0 would checkpoint after every "
+        "boundary check yet never count a question)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 IntegrationPipeline::IntegrationPipeline(dw::Warehouse* warehouse,
                                          const ontology::UmlModel* uml,
                                          PipelineConfig config)
     : wh_(warehouse),
       uml_(uml),
       config_(std::move(config)),
-      fault_(config_.resilience.fault) {}
+      fault_(config_.resilience.fault),
+      breakers_(config_.resilience.breaker),
+      deadline_(config_.resilience.deadline),
+      config_status_(ValidateResilienceConfig(config_.resilience)) {}
 
 Status IntegrationPipeline::RunStep1() {
+  DWQA_RETURN_NOT_OK(config_status_);
   if (uml_ == nullptr) {
     return Status::InvalidArgument("UML model must not be null");
   }
@@ -110,25 +133,42 @@ Status IntegrationPipeline::RunStep4() {
 }
 
 Status IntegrationPipeline::IndexCorpus(const ir::DocumentStore* docs) {
+  DWQA_RETURN_NOT_OK(config_status_);
   if (!steps_done_[3]) {
     return Status::Internal("Step 4 must run before indexing the corpus");
   }
   aliqan_ = std::make_unique<qa::AliQAn>(&merged_, config_.qa);
+  aliqan_->set_deadline(&deadline_);
   if (config_.table_preprocess) {
     aliqan_->set_preprocessor(TablePreprocessor{});
   }
+  CircuitBreaker* breaker = breakers_.Get(kFaultPointIndex);
+  if (!breaker->Allow()) {
+    return Status::Unavailable(
+        "circuit open for 'ir.index': corpus indexation rejected");
+  }
+  // A half-open breaker grants exactly one probe attempt — the probe must
+  // not burn the whole retry budget re-testing a dependency the breaker
+  // already knows is sick.
+  RetryPolicy policy = config_.resilience.retry;
+  if (breaker->state() == BreakerState::kHalfOpen) policy.max_attempts = 1;
   // The corpus fetch can be flaky (the paper's sources are live web pages
   // and intranet reports); the injected fault fires *before* the actual
   // indexation so a retried attempt always starts from a clean slate.
   RetryStats stats;
   Status st = RetryCall(
-      config_.resilience.retry,
+      policy,
       [&]() -> Status {
         DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointIndex));
         return aliqan_->IndexCorpus(docs);
       },
-      &stats);
+      &stats, &deadline_, kFaultPointIndex);
   corpus_index_retries_ = size_t(stats.attempts > 0 ? stats.attempts - 1 : 0);
+  if (st.ok()) {
+    breaker->RecordSuccess();
+  } else if (!st.IsDeadlineExceeded()) {
+    breaker->RecordFailure();
+  }
   return st;
 }
 
@@ -191,9 +231,16 @@ Status IntegrationPipeline::LoadFeedCheckpoint(const std::string& path) {
   return Status::OK();
 }
 
+PipelineHealth IntegrationPipeline::Health() const {
+  PipelineHealth health;
+  health.Capture(deadline_, breakers_);
+  return health;
+}
+
 Result<FeedReport> IntegrationPipeline::RunStep5(
     const std::vector<std::string>& questions, const std::string& fact_name,
     const std::string& attribute, size_t answers_per_question) {
+  DWQA_RETURN_NOT_OK(config_status_);
   if (aliqan_ == nullptr) {
     return Status::Internal("IndexCorpus must run before Step 5");
   }
@@ -209,20 +256,27 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
   if (resilience.validate_facts) {
     // The Step-4 axioms (temperature intervals, unit lists) become the
     // admission rules of the feed; explicit per-attribute rules override
-    // the ontology-derived ones.
+    // the ontology-derived ones, and the confidence floor gates the
+    // degraded-ladder answers.
     validator_ = qa::FactValidator::FromOntology(merged_, {attribute});
-    if (!resilience.validator_rules.empty()) {
-      qa::ValidatorConfig vconfig = validator_.config();
-      for (const auto& [attr, rule] : resilience.validator_rules) {
-        vconfig.rules[attr] = rule;
-      }
-      validator_ = qa::FactValidator(std::move(vconfig));
+    qa::ValidatorConfig vconfig = validator_.config();
+    for (const auto& [attr, rule] : resilience.validator_rules) {
+      vconfig.rules[attr] = rule;
     }
+    vconfig.confidence_floor = resilience.confidence_floor;
+    validator_ = qa::FactValidator(std::move(vconfig));
   }
   FeedReport report;
   report.corpus_index_retries = corpus_index_retries_;
   dw::EtlLoader loader(wh_);
   size_t questions_since_checkpoint = 0;
+  // A boundary checkpoint save is allowed to fail (logged + counted +
+  // retried at the next boundary); only the final save is load-bearing.
+  auto save_checkpoint = [&]() -> Status {
+    DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointCheckpoint));
+    return SaveFeedCheckpoint(resilience.checkpoint_path);
+  };
+  CircuitBreaker* fetch_breaker = breakers_.Get(kFaultPointFetch);
   // Completed questions are only skipped under checkpoint/resume semantics
   // (a configured path or an explicitly loaded checkpoint). A plain
   // pipeline that re-asks a question still re-asks it — the fed-key dedup
@@ -233,26 +287,56 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
       ++report.questions_resumed;
       continue;
     }
+    // An exhausted budget skips the remaining questions without marking
+    // them completed — a checkpointed resume (with a fresh budget) re-asks
+    // exactly these.
+    if (deadline_.exhausted()) {
+      report.deadline_exhausted = true;
+      ++report.questions_deadline_skipped;
+      continue;
+    }
     ++report.questions_asked;
+    if (!fetch_breaker->Allow()) {
+      ++report.breaker_rejections;
+      ++report.questions_failed;
+      continue;
+    }
     // The per-question fetch/ask path is the flakiest link (a live page
     // fetch in the paper's setting): transient faults are retried with
-    // backoff, permanent failures fall through immediately.
+    // backoff, permanent failures fall through immediately. A half-open
+    // breaker grants a single probe attempt instead of the full budget.
+    RetryPolicy ask_policy = resilience.retry;
+    if (fetch_breaker->state() == BreakerState::kHalfOpen) {
+      ask_policy.max_attempts = 1;
+    }
     RetryStats ask_stats;
     Result<qa::AnswerSet> answers = RetryResultCall<qa::AnswerSet>(
-        resilience.retry,
+        ask_policy,
         [&]() -> Result<qa::AnswerSet> {
           DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointFetch));
           return aliqan_->Ask(question);
         },
-        &ask_stats);
+        &ask_stats, &deadline_, kFaultPointFetch);
     report.retries += size_t(ask_stats.attempts > 1 ? ask_stats.attempts - 1
                                                     : 0);
     report.transient_failures += size_t(ask_stats.transient_failures);
     if (!answers.ok()) {
+      if (answers.status().IsDeadlineExceeded()) {
+        // Budget ran out mid-ask: not the source's fault (no breaker
+        // failure) and not a question failure — the resume re-asks it.
+        report.deadline_exhausted = true;
+        ++report.questions_deadline_skipped;
+        continue;
+      }
+      fetch_breaker->RecordFailure();
+      report.wasted_retries +=
+          size_t(ask_stats.attempts > 1 ? ask_stats.attempts - 1 : 0);
       // Not marked completed: a checkpointed resume re-asks it.
       ++report.questions_failed;
       continue;
     }
+    fetch_breaker->RecordSuccess();
+    ++report.questions_by_degradation[answers->degradation];
     if (!answers->empty()) {
       ++report.questions_answered;
       std::vector<qa::StructuredFact> facts =
@@ -268,6 +352,8 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
           qa::RejectReason reason = validator_.Check(fact);
           if (reason != qa::RejectReason::kNone) {
             QuarantineFact(fact, reason, "", &report);
+            fact.disposition = qa::FactDisposition::kQuarantined;
+            report.facts.push_back(std::move(fact));
             continue;
           }
         }
@@ -279,6 +365,21 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
             (fact.date.has_value() ? fact.date->ToIsoString() : "?");
         if (config_.dedup_feed && fed_keys_.count(key) > 0) {
           ++report.rows_deduplicated;
+          fact.disposition = qa::FactDisposition::kDeduplicated;
+          report.facts.push_back(std::move(fact));
+          continue;
+        }
+        // One breaker per source URL: a single poisoned page is isolated
+        // without tripping the feed for the healthy sources.
+        const std::string source_name =
+            "source:" + (fact.url.empty() ? std::string("?") : fact.url);
+        CircuitBreaker* source_breaker = breakers_.Get(source_name);
+        if (!source_breaker->Allow()) {
+          ++report.breaker_rejections;
+          QuarantineFact(fact, qa::RejectReason::kCircuitOpen,
+                         "circuit open for " + source_name, &report);
+          fact.disposition = qa::FactDisposition::kQuarantined;
+          report.facts.push_back(std::move(fact));
           continue;
         }
         // Unit normalization per the Step-4 conversion axiom: the Weather
@@ -303,28 +404,48 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
         record.role_paths.push_back(
             {fact.url.empty() ? std::string("?") : fact.url});
         record.measures = {dw::Value(fact.value)};
+        RetryPolicy load_policy = resilience.retry;
+        if (source_breaker->state() == BreakerState::kHalfOpen) {
+          load_policy.max_attempts = 1;
+        }
         RetryStats load_stats;
         Status st = RetryCall(
-            resilience.retry,
+            load_policy,
             [&]() -> Status {
               DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointEtlLoad));
+              // Per-source scoped point ("dw.etl.load:<url>"): only rules
+              // armed with this exact name draw here, so a poisoned source
+              // never shifts the schedule of the healthy ones.
+              DWQA_RETURN_NOT_OK(fault_.Hit(
+                  std::string(kFaultPointEtlLoad) + ":" + fact.url));
               return loader.LoadRecord(fact_name, record);
             },
-            &load_stats);
+            &load_stats, &deadline_, kFaultPointEtlLoad);
         report.retries += size_t(
             load_stats.attempts > 1 ? load_stats.attempts - 1 : 0);
         report.transient_failures += size_t(load_stats.transient_failures);
         if (st.ok()) {
+          source_breaker->RecordSuccess();
           ++report.rows_loaded;
           ++rows_loaded_total_;
           if (config_.dedup_feed) fed_keys_.insert(key);
+          fact.disposition = qa::FactDisposition::kLoaded;
         } else {
+          if (st.IsDeadlineExceeded()) {
+            // Budget exhaustion is not evidence against the source.
+            report.deadline_exhausted = true;
+          } else {
+            source_breaker->RecordFailure();
+            report.wasted_retries += size_t(
+                load_stats.attempts > 1 ? load_stats.attempts - 1 : 0);
+          }
           ++report.rows_rejected;
           QuarantineFact(fact,
                          IsTransient(st)
                              ? qa::RejectReason::kTransientExhausted
                              : qa::RejectReason::kEtlRejected,
                          st.ToString(), &report);
+          fact.disposition = qa::FactDisposition::kRejected;
         }
         report.facts.push_back(std::move(fact));
       }
@@ -332,12 +453,33 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
     completed_questions_.insert(question);
     if (checkpointing &&
         ++questions_since_checkpoint >= resilience.checkpoint_every) {
-      DWQA_RETURN_NOT_OK(SaveFeedCheckpoint(resilience.checkpoint_path));
-      questions_since_checkpoint = 0;
+      Status saved = save_checkpoint();
+      if (saved.ok()) {
+        questions_since_checkpoint = 0;
+      } else {
+        // Satellite fix: a failed boundary save must not abort a feed that
+        // is otherwise making progress. Log it, count it, and retry at the
+        // next boundary (the counter keeps growing, so the next boundary
+        // check fires immediately).
+        ++report.checkpoint_failures;
+        DWQA_LOG(Warning) << "Step 5: checkpoint save failed ("
+                          << saved.ToString()
+                          << "); retrying at the next boundary";
+      }
     }
   }
   if (checkpointing && questions_since_checkpoint > 0) {
-    DWQA_RETURN_NOT_OK(SaveFeedCheckpoint(resilience.checkpoint_path));
+    // The final save is load-bearing: losing it would silently discard the
+    // progress of every question since the last good save.
+    DWQA_RETURN_NOT_OK(save_checkpoint());
+  }
+  if (deadline_.exhausted()) report.deadline_exhausted = true;
+  report.health.Capture(deadline_, breakers_);
+  report.health.breaker_rejections = report.breaker_rejections;
+  report.health.wasted_retries = report.wasted_retries;
+  for (const auto& [level, count] : report.questions_by_degradation) {
+    report.health.questions_by_degradation[qa::DegradationLevelName(level)] =
+        count;
   }
   steps_done_[4] = true;
   return report;

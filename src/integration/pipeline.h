@@ -1,18 +1,22 @@
 #ifndef DWQA_INTEGRATION_PIPELINE_H_
 #define DWQA_INTEGRATION_PIPELINE_H_
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "dw/quarantine.h"
 #include "dw/warehouse.h"
 #include "integration/feed_checkpoint.h"
+#include "integration/pipeline_health.h"
 #include "ir/document.h"
 #include "ontology/merge.h"
 #include "ontology/ontology.h"
@@ -45,6 +49,16 @@ struct ResilienceConfig {
   /// already exists.
   std::string checkpoint_path;
   size_t checkpoint_every = 1;
+  /// Circuit breakers per fault point and per source URL (off by default —
+  /// a disabled breaker admits everything and never trips).
+  BreakerConfig breaker;
+  /// Shared attempt/cost budget across indexation, ask and load
+  /// (unlimited by default).
+  DeadlineConfig deadline;
+  /// Forwarded to the fact validator: facts whose extraction confidence is
+  /// below this floor are quarantined (kBelowConfidenceFloor). The default
+  /// (-inf) admits everything, degraded-ladder answers included.
+  double confidence_floor = -std::numeric_limits<double>::infinity();
 };
 
 /// \brief Configuration of the five-step integration.
@@ -101,7 +115,28 @@ struct FeedReport {
   size_t transient_failures = 0;
   /// Retries the last IndexCorpus call needed (informational).
   size_t corpus_index_retries = 0;
+  /// Boundary checkpoint saves that failed (logged, retried at the next
+  /// boundary; only a failed *final* save fails the run).
+  size_t checkpoint_failures = 0;
+  /// Retry attempts beyond the first on operations that ultimately failed
+  /// — the waste the circuit breaker exists to cut.
+  size_t wasted_retries = 0;
+  /// Admissions refused by an open breaker (questions skipped + facts
+  /// quarantined with kCircuitOpen).
+  size_t breaker_rejections = 0;
+  /// Questions skipped (not asked, not completed) because the deadline
+  /// budget was already exhausted; a checkpointed resume re-asks them.
+  size_t questions_deadline_skipped = 0;
+  /// The shared deadline budget ran out at some point of this run.
+  bool deadline_exhausted = false;
+  /// Asked-and-answered questions per ladder rung (qa/degradation.h).
+  std::map<qa::DegradationLevel, size_t> questions_by_degradation;
+  /// Every extracted fact with its disposition
+  /// (loaded/deduplicated/quarantined/rejected) — the full audit trail, not
+  /// just the loaded rows.
   std::vector<qa::StructuredFact> facts;
+  /// Operational summary (budget per stage, breaker states).
+  PipelineHealth health;
 };
 
 /// \brief The paper's contribution: the ontology-mediated DW ⇄ QA
@@ -171,6 +206,11 @@ class IntegrationPipeline {
   const dw::QuarantineStore& quarantine() const { return quarantine_; }
   dw::QuarantineStore* mutable_quarantine() { return &quarantine_; }
   const FaultInjector& fault_injector() const { return fault_; }
+  const CircuitBreakerRegistry& breakers() const { return breakers_; }
+  const Deadline& deadline() const { return deadline_; }
+  /// Snapshot of budget + breaker state right now (RunStep5 also embeds
+  /// one, with the feed counters filled in, in FeedReport::health).
+  PipelineHealth Health() const;
   /// @}
 
  private:
@@ -194,6 +234,13 @@ class IntegrationPipeline {
   /// \name Resilience state
   /// @{
   FaultInjector fault_;
+  /// One breaker per fault point plus one per source URL, lazily created.
+  CircuitBreakerRegistry breakers_;
+  /// Shared cost budget across indexation, ask and load.
+  Deadline deadline_;
+  /// Result of validating ResilienceConfig at construction; checked at the
+  /// entry of every Run* method (constructors cannot return Status).
+  Status config_status_;
   qa::FactValidator validator_;
   dw::QuarantineStore quarantine_;
   /// Questions fully processed (asked, answered or empty, facts settled).

@@ -1,0 +1,66 @@
+#include "integration/pipeline_health.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace dwqa {
+namespace integration {
+
+void PipelineHealth::Capture(const Deadline& deadline,
+                             const CircuitBreakerRegistry& breakers_registry) {
+  budget_limit = deadline.budget();
+  budget_spent = deadline.spent();
+  deadline_exhausted = deadline.exhausted();
+  deadline_stage = deadline.exhausted_stage();
+  spent_by_stage = deadline.spent_by_stage();
+
+  breakers.clear();
+  breakers_open = 0;
+  for (const auto& [name, breaker] : breakers_registry.breakers()) {
+    BreakerHealth health;
+    health.name = name;
+    health.state = BreakerStateName(breaker.state());
+    health.opens = breaker.opens();
+    health.rejected = breaker.rejected();
+    health.failures = breaker.total_failures();
+    if (breaker.state() != BreakerState::kClosed) ++breakers_open;
+    breakers.push_back(std::move(health));
+  }
+}
+
+std::string PipelineHealth::RenderTable() const {
+  TablePrinter table({"component", "metric", "value"});
+  std::string limit = std::isinf(budget_limit)
+                          ? std::string("unlimited")
+                          : FormatDouble(budget_limit, 0);
+  table.AddRow({"deadline", "budget", limit});
+  table.AddRow({"deadline", "spent", FormatDouble(budget_spent, 0)});
+  table.AddRow({"deadline", "exhausted", deadline_exhausted ? "yes" : "no"});
+  if (!deadline_stage.empty()) {
+    table.AddRow({"deadline", "exhausted_at", deadline_stage});
+  }
+  for (const auto& [stage, spent] : spent_by_stage) {
+    table.AddRow({"deadline", "spent:" + stage, FormatDouble(spent, 0)});
+  }
+  for (const BreakerHealth& b : breakers) {
+    table.AddRow({"breaker:" + b.name, "state", b.state});
+    table.AddRow({"breaker:" + b.name, "opens", std::to_string(b.opens)});
+    table.AddRow(
+        {"breaker:" + b.name, "rejected", std::to_string(b.rejected)});
+    table.AddRow(
+        {"breaker:" + b.name, "failures", std::to_string(b.failures)});
+  }
+  table.AddRow({"breakers", "open", std::to_string(breakers_open)});
+  table.AddRow(
+      {"breakers", "rejections", std::to_string(breaker_rejections)});
+  for (const auto& [level, count] : questions_by_degradation) {
+    table.AddRow({"degradation", level, std::to_string(count)});
+  }
+  table.AddRow({"retries", "wasted", std::to_string(wasted_retries)});
+  return table.Render();
+}
+
+}  // namespace integration
+}  // namespace dwqa

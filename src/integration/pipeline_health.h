@@ -1,0 +1,69 @@
+#ifndef DWQA_INTEGRATION_PIPELINE_HEALTH_H_
+#define DWQA_INTEGRATION_PIPELINE_HEALTH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+
+namespace dwqa {
+namespace integration {
+
+/// \brief Snapshot of one circuit breaker for the health summary.
+struct BreakerHealth {
+  std::string name;
+  std::string state;
+  size_t opens = 0;
+  size_t rejected = 0;
+  size_t failures = 0;
+};
+
+/// \brief Operational summary of a feed run: budget spent per stage,
+/// breaker states, degradation mix. Rendered as a table by bench_degradation
+/// and printable from any FeedReport.
+struct PipelineHealth {
+  /// \name Deadline budget
+  /// @{
+  double budget_limit = 0.0;  ///< +inf when no deadline is configured.
+  double budget_spent = 0.0;
+  bool deadline_exhausted = false;
+  /// Stage that first hit the exhausted budget ("" when none did).
+  std::string deadline_stage;
+  /// Units charged per stage ("web.fetch", "qa.extraction", ...).
+  std::map<std::string, double> spent_by_stage;
+  /// @}
+
+  /// \name Circuit breakers
+  /// @{
+  std::vector<BreakerHealth> breakers;
+  size_t breakers_open = 0;
+  /// Admissions the breakers refused (facts quarantined as kCircuitOpen,
+  /// questions skipped).
+  size_t breaker_rejections = 0;
+  /// @}
+
+  /// \name Degradation mix
+  /// @{
+  /// Answered questions per DegradationLevel name.
+  std::map<std::string, size_t> questions_by_degradation;
+  /// @}
+
+  /// Retry attempts beyond the first on operations that ultimately failed
+  /// — the waste a breaker exists to cut.
+  size_t wasted_retries = 0;
+
+  /// Populates the budget and breaker sections from the live objects.
+  void Capture(const Deadline& deadline,
+               const CircuitBreakerRegistry& breakers_registry);
+
+  /// Renders the summary as one aligned table (common/table_printer).
+  std::string RenderTable() const;
+};
+
+}  // namespace integration
+}  // namespace dwqa
+
+#endif  // DWQA_INTEGRATION_PIPELINE_HEALTH_H_

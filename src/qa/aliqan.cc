@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "ir/html.h"
 #include "qa/answer_extractor.h"
+#include "qa/degradation.h"
 #include "qa/question_analyzer.h"
 
 namespace dwqa {
@@ -38,6 +39,9 @@ void AliQAn::set_preprocessor(Preprocessor preprocessor) {
 Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
   if (docs == nullptr) {
     return Status::InvalidArgument("document store must not be null");
+  }
+  if (deadline_ != nullptr) {
+    DWQA_RETURN_NOT_OK(deadline_->Spend("qa.index"));
   }
   auto start = std::chrono::steady_clock::now();
   docs_ = docs;
@@ -88,11 +92,17 @@ Result<AnswerSet> AliQAn::Ask(const std::string& question) {
   AnswerSet result;
 
   auto t0 = std::chrono::steady_clock::now();
+  if (deadline_ != nullptr) {
+    DWQA_RETURN_NOT_OK(deadline_->Spend("qa.analysis"));
+  }
   DWQA_ASSIGN_OR_RETURN(result.analysis, AnalyzeQuestion(question));
   timings_.analysis_ms = MsSince(t0);
 
   // Module 2 (or the unfiltered ablation).
   auto t1 = std::chrono::steady_clock::now();
+  if (deadline_ != nullptr) {
+    DWQA_RETURN_NOT_OK(deadline_->Spend("qa.retrieval"));
+  }
   std::vector<ir::Passage> passages;
   if (config_.use_ir_filter) {
     DWQA_ASSIGN_OR_RETURN(passages, SelectPassages(result.analysis));
@@ -113,6 +123,13 @@ Result<AnswerSet> AliQAn::Ask(const std::string& question) {
   std::vector<AnswerCandidate> candidates;
   size_t sentences = 0;
   for (const ir::Passage& p : passages) {
+    // One budget unit per analyzed passage. An exhausted budget does not
+    // fail the question: extraction stops and the ladder answers from
+    // whatever was already retrieved/extracted.
+    if (deadline_ != nullptr &&
+        !deadline_->Spend("qa.extraction").ok()) {
+      break;
+    }
     result.passages.push_back(p.text);
     const std::string& url =
         docs_->IsValid(p.doc) ? docs_->Get(p.doc).url : "";
@@ -126,6 +143,35 @@ Result<AnswerSet> AliQAn::Ask(const std::string& question) {
   }
   result.answers =
       AnswerExtractor::Rank(std::move(candidates), config_.max_answers);
+
+  // The answer ladder (qa/degradation.h): when the published extraction
+  // path comes up empty, climb down rung by rung rather than answer
+  // nothing. Both rungs are opt-in.
+  if (result.answers.empty() && config_.degradation.enable_relaxed) {
+    result.answers = AnswerExtractor::Rank(
+        RelaxedExtract(result.analysis, passages, docs_,
+                       config_.degradation, config_.max_answers),
+        config_.max_answers);
+    if (!result.answers.empty()) {
+      result.degradation = DegradationLevel::kRelaxedPattern;
+    }
+  }
+  if (result.answers.empty() && config_.degradation.enable_ir_only) {
+    result.answers =
+        IrOnlyAnswers(passages, docs_, config_.degradation);
+    if (!result.answers.empty()) {
+      result.degradation = DegradationLevel::kIrOnly;
+    }
+  }
+  if (result.answers.empty()) {
+    result.degradation = DegradationLevel::kUnanswered;
+    result.unanswered_reason = passages.empty()
+                                   ? "no passages retrieved"
+                                   : "no candidates extracted from " +
+                                         std::to_string(passages.size()) +
+                                         " passage(s)";
+  }
+
   result.sentences_analyzed = sentences;
   timings_.extraction_ms = MsSince(t2);
   timings_.sentences_analyzed = sentences;

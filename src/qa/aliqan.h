@@ -5,12 +5,14 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "ir/document.h"
 #include "ir/inverted_index.h"
 #include "ir/passage_index.h"
 #include "ontology/ontology.h"
 #include "qa/answer.h"
+#include "qa/degradation.h"
 #include "qa/question.h"
 
 namespace dwqa {
@@ -28,6 +30,8 @@ struct AliQAnConfig {
   bool use_ir_filter = true;
   /// Candidates kept per question.
   size_t max_answers = 5;
+  /// Answer ladder (qa/degradation.h). Both rungs default off.
+  DegradationConfig degradation;
 };
 
 /// \brief Wall-clock of the last Ask()/IndexCorpus() call, by phase — used
@@ -60,6 +64,12 @@ class AliQAn {
   /// Replaces the default preprocessor (tag stripping for HTML/XML).
   void set_preprocessor(Preprocessor preprocessor);
 
+  /// Installs a shared cost budget (owned by the caller, may be null).
+  /// Ask() charges it per phase and per passage analyzed; once exhausted,
+  /// extraction degrades to what was already retrieved instead of running
+  /// to completion.
+  void set_deadline(Deadline* deadline) { deadline_ = deadline; }
+
   const AliQAnConfig& config() const { return config_; }
 
   /// Off-line indexation phase. `docs` must outlive this object.
@@ -89,6 +99,7 @@ class AliQAn {
   AliQAnConfig config_;
   Preprocessor preprocessor_;
   const ir::DocumentStore* docs_ = nullptr;
+  Deadline* deadline_ = nullptr;
   std::vector<std::string> plain_;
   ir::PassageIndex passage_index_;
   ir::InvertedIndex doc_index_;

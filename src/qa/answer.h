@@ -7,6 +7,7 @@
 
 #include "common/date.h"
 #include "ir/document.h"
+#include "qa/degradation.h"
 #include "qa/question.h"
 #include "qa/taxonomy.h"
 
@@ -22,6 +23,9 @@ struct AnswerCandidate {
   std::string answer_text;
   AnswerType type = AnswerType::kObject;
   double score = 0.0;
+  /// Ladder rung that produced this candidate (kFull = the published
+  /// extraction path; see qa/degradation.h).
+  DegradationLevel level = DegradationLevel::kFull;
 
   /// The sentence the answer was extracted from.
   std::string sentence;
@@ -52,6 +56,11 @@ struct AnswerSet {
   /// Passages that were analyzed (for Table 1 display).
   std::vector<std::string> passages;
   size_t sentences_analyzed = 0;
+  /// Worst rung the ladder had to climb for this set: kFull when the
+  /// published path answered, kUnanswered when nothing did.
+  DegradationLevel degradation = DegradationLevel::kFull;
+  /// Why the set is empty (only meaningful at kUnanswered).
+  std::string unanswered_reason;
 
   bool empty() const { return answers.empty(); }
   const AnswerCandidate& best() const { return answers.front(); }

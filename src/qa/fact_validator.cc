@@ -26,6 +26,10 @@ const char* RejectReasonName(RejectReason reason) {
       return "EtlRejected";
     case RejectReason::kTransientExhausted:
       return "TransientExhausted";
+    case RejectReason::kCircuitOpen:
+      return "CircuitOpen";
+    case RejectReason::kBelowConfidenceFloor:
+      return "BelowConfidenceFloor";
   }
   return "Unknown";
 }
@@ -35,7 +39,8 @@ const std::vector<RejectReason>& AllRejectReasons() {
       RejectReason::kNonFiniteValue,   RejectReason::kValueOutOfRange,
       RejectReason::kBadUnit,          RejectReason::kInvalidDate,
       RejectReason::kMissingLocation,  RejectReason::kEtlRejected,
-      RejectReason::kTransientExhausted};
+      RejectReason::kTransientExhausted, RejectReason::kCircuitOpen,
+      RejectReason::kBelowConfidenceFloor};
   return *kAll;
 }
 
@@ -83,6 +88,9 @@ RejectReason FactValidator::Check(const StructuredFact& fact) const {
   const AttributeRule& rule =
       it == config_.rules.end() ? config_.default_rule : it->second;
 
+  if (fact.confidence < config_.confidence_floor) {
+    return RejectReason::kBelowConfidenceFloor;
+  }
   if (!std::isfinite(fact.value)) return RejectReason::kNonFiniteValue;
   if (!rule.allowed_units.empty()) {
     bool unit_ok = !rule.require_unit && fact.unit.empty();

@@ -36,6 +36,12 @@ enum class RejectReason {
   kEtlRejected,
   /// Transient load failures outlasted the retry budget.
   kTransientExhausted,
+  /// The source's circuit breaker is open: the source is isolated after
+  /// persistent failures and its facts are parked until it recovers.
+  kCircuitOpen,
+  /// The fact's extraction confidence is below the validator's floor —
+  /// typically a degraded-ladder answer the deployment chose not to trust.
+  kBelowConfidenceFloor,
 };
 
 /// "NonFiniteValue", "ValueOutOfRange", ... (stable, serialized into the
@@ -66,6 +72,10 @@ struct AttributeRule {
 struct ValidatorConfig {
   std::map<std::string, AttributeRule> rules;
   AttributeRule default_rule;
+  /// Facts whose `confidence` is below this floor are rejected with
+  /// kBelowConfidenceFloor. The default (-inf) admits everything, including
+  /// the low-scored degraded-ladder answers.
+  double confidence_floor = -std::numeric_limits<double>::infinity();
 };
 
 /// \brief Enforces the Step-4 axioms on extracted facts before they reach

@@ -8,6 +8,20 @@
 namespace dwqa {
 namespace qa {
 
+const char* FactDispositionName(FactDisposition disposition) {
+  switch (disposition) {
+    case FactDisposition::kLoaded:
+      return "Loaded";
+    case FactDisposition::kDeduplicated:
+      return "Deduplicated";
+    case FactDisposition::kQuarantined:
+      return "Quarantined";
+    case FactDisposition::kRejected:
+      return "Rejected";
+  }
+  return "Unknown";
+}
+
 std::string StructuredFact::ToDisplayString() const {
   std::string out = "(";
   out += FormatDouble(value, value == static_cast<int64_t>(value) ? 0 : 1);
@@ -42,6 +56,7 @@ Result<StructuredFact> ToStructuredFact(const AnswerCandidate& answer,
   fact.location = answer.location;
   fact.url = answer.url;
   fact.confidence = answer.score;
+  fact.level = answer.level;
   return fact;
 }
 
@@ -58,11 +73,13 @@ std::vector<StructuredFact> ToStructuredFacts(const AnswerSet& answers,
 std::string StructuredFactsToCsv(const std::vector<StructuredFact>& facts) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"attribute", "value", "unit", "date", "location", "url",
-                  "confidence"});
+                  "confidence", "level", "disposition"});
   for (const StructuredFact& f : facts) {
     rows.push_back({f.attribute, FormatDouble(f.value, 2), f.unit,
                     f.date.has_value() ? f.date->ToIsoString() : "",
-                    f.location, f.url, FormatDouble(f.confidence, 2)});
+                    f.location, f.url, FormatDouble(f.confidence, 2),
+                    DegradationLevelName(f.level),
+                    FactDispositionName(f.disposition)});
   }
   return Csv::Render(rows);
 }

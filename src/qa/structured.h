@@ -12,6 +12,25 @@
 namespace dwqa {
 namespace qa {
 
+/// \brief What the Step-5 feed ultimately did with a reported fact. Every
+/// extracted fact gets exactly one disposition, so
+/// `FeedReport::facts` is a complete audit trail, not just the loaded rows.
+enum class FactDisposition {
+  /// Reached the warehouse as a new row.
+  kLoaded = 0,
+  /// A duplicate of an already-fed row; dropped before the ETL boundary.
+  kDeduplicated,
+  /// Refused admission (validator axiom, confidence floor, open circuit)
+  /// and parked in the QuarantineStore.
+  kQuarantined,
+  /// Admitted to the ETL boundary but the load ultimately failed
+  /// (retry budget exhausted or ETL reject); also quarantined.
+  kRejected,
+};
+
+/// "Loaded", "Deduplicated", "Quarantined", "Rejected".
+const char* FactDispositionName(FactDisposition disposition);
+
 /// \brief The structured tuple Step 5 feeds into the DW: the paper's
 /// "(temperature – date – city – web page)" database row. The web page URL
 /// is always stored "in order to make the approach robust against errors ...
@@ -26,6 +45,10 @@ struct StructuredFact {
   std::string url;
   /// Extraction score of the answer the fact came from.
   double confidence = 0.0;
+  /// Ladder rung of the answer the fact came from (qa/degradation.h).
+  DegradationLevel level = DegradationLevel::kFull;
+  /// What the feed did with the fact (set by the Step-5 loop).
+  FactDisposition disposition = FactDisposition::kLoaded;
 
   /// "(8ºC – Monday, January 31, 2004 – Barcelona – URL)".
   std::string ToDisplayString() const;
@@ -41,7 +64,8 @@ std::vector<StructuredFact> ToStructuredFacts(const AnswerSet& answers,
                                               const std::string& attribute);
 
 /// Renders facts as CSV (attribute,value,unit,date,location,url,
-/// confidence) — the interchange form of the Step-5 database.
+/// confidence,level,disposition) — the interchange form of the Step-5
+/// database.
 std::string StructuredFactsToCsv(const std::vector<StructuredFact>& facts);
 
 }  // namespace qa

@@ -1,0 +1,139 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+BreakerConfig Enabled(size_t threshold = 3, size_t cooldown = 2) {
+  BreakerConfig config;
+  config.enabled = true;
+  config.failure_threshold = threshold;
+  config.cooldown_attempts = cooldown;
+  return config;
+}
+
+TEST(BreakerConfigTest, ZeroFailureThresholdIsRejected) {
+  BreakerConfig config;
+  config.failure_threshold = 0;
+  Status st = config.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_TRUE(Enabled().Validate().ok());
+  EXPECT_TRUE(BreakerConfig{}.Validate().ok());  // Defaults are valid.
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerAdmitsEverythingAndNeverTrips) {
+  CircuitBreaker breaker;  // enabled = false by default.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.rejected(), 0u);
+  EXPECT_EQ(breaker.opens(), 0u);
+  // Failures are still tallied for reports.
+  EXPECT_EQ(breaker.total_failures(), 20u);
+}
+
+TEST(CircuitBreakerTest, OpensOnNthConsecutiveFailure) {
+  CircuitBreaker breaker(Enabled(/*threshold=*/3));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();  // The 3rd consecutive failure trips it.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveFailureCount) {
+  CircuitBreaker breaker(Enabled(/*threshold=*/3));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // Streak broken.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2u);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsForTheCooldownThenGrantsTheProbe) {
+  CircuitBreaker breaker(Enabled(/*threshold=*/1, /*cooldown=*/3));
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // Three rejected admissions serve the cool-down...
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.rejected(), 3u);
+  // ...and the next admission is the half-open probe.
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // Only one probe at a time.
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesTheBreaker) {
+  CircuitBreaker breaker(Enabled(/*threshold=*/1, /*cooldown=*/1));
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.Allow());  // Cool-down.
+  ASSERT_TRUE(breaker.Allow());   // Probe granted.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndResetsTheCooldown) {
+  CircuitBreaker breaker(Enabled(/*threshold=*/1, /*cooldown=*/2));
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  ASSERT_TRUE(breaker.Allow());  // Probe.
+  breaker.RecordFailure();       // Probe failed.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // The cool-down restarts from zero: two more rejections before the next
+  // probe.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, WouldAllowIsNonMutating) {
+  CircuitBreaker breaker(Enabled(/*threshold=*/1, /*cooldown=*/2));
+  breaker.RecordFailure();
+  // Consulting the breaker any number of times advances nothing.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(breaker.WouldAllow());
+  EXPECT_EQ(breaker.rejected(), 0u);
+  // The committed admissions still serve the full cool-down.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_TRUE(breaker.WouldAllow());  // Probe would be granted...
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);  // ...but was not yet.
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "Closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "Open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "HalfOpen");
+}
+
+TEST(CircuitBreakerRegistryTest, GetCreatesOnDemandAndIsStable) {
+  CircuitBreakerRegistry registry(Enabled(/*threshold=*/1));
+  CircuitBreaker* a = registry.Get("source:http://a");
+  CircuitBreaker* b = registry.Get("source:http://b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.Get("source:http://a"), a);
+  EXPECT_EQ(registry.breakers().size(), 2u);
+  EXPECT_TRUE(registry.enabled());
+
+  a->RecordFailure();
+  EXPECT_EQ(registry.open_count(), 1u);  // a open, b closed.
+  EXPECT_EQ(b->state(), BreakerState::kClosed);
+}
+
+}  // namespace
+}  // namespace dwqa

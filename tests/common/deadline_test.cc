@@ -1,0 +1,180 @@
+#include "common/deadline.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/retry.h"
+
+namespace dwqa {
+namespace {
+
+RetryPolicy FastRetry(int max_attempts = 5) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.sleep = false;
+  return policy;
+}
+
+TEST(DeadlineConfigTest, NegativeOrNanBudgetIsRejected) {
+  DeadlineConfig config;
+  config.budget = -1.0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config.budget = std::nan("");
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config.budget = 0.0;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(DeadlineConfig{}.Validate().ok());  // Unlimited default.
+}
+
+TEST(DeadlineTest, DefaultIsUnlimitedButStillTallies) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.unlimited());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(deadline.Spend("stage").ok());
+  }
+  EXPECT_FALSE(deadline.exhausted());
+  EXPECT_EQ(deadline.spent(), 1000.0);
+  EXPECT_TRUE(deadline.Check("stage").ok());
+}
+
+TEST(DeadlineTest, TheChargeThatCrossesTheLineSucceeds) {
+  DeadlineConfig config;
+  config.budget = 3.0;
+  Deadline deadline(config);
+  EXPECT_TRUE(deadline.Spend("a").ok());
+  EXPECT_TRUE(deadline.Spend("a").ok());
+  // The third charge reaches the budget: the work was already under way,
+  // so it succeeds — but the budget is now exhausted.
+  EXPECT_TRUE(deadline.Spend("b").ok());
+  EXPECT_TRUE(deadline.exhausted());
+  Status st = deadline.Spend("c");
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_NE(st.message().find("'c'"), std::string::npos);
+  EXPECT_EQ(deadline.exhausted_stage(), "c");
+  // The failed charge was not booked.
+  EXPECT_EQ(deadline.spent(), 3.0);
+  EXPECT_EQ(deadline.remaining(), 0.0);
+}
+
+TEST(DeadlineTest, CheckDoesNotCharge) {
+  DeadlineConfig config;
+  config.budget = 2.0;
+  Deadline deadline(config);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(deadline.Check("probe").ok());
+  EXPECT_EQ(deadline.spent(), 0.0);
+  EXPECT_TRUE(deadline.Spend("a").ok());
+  EXPECT_TRUE(deadline.Spend("a").ok());
+  EXPECT_TRUE(deadline.Check("probe").IsDeadlineExceeded());
+}
+
+TEST(DeadlineTest, SpendIsAttributedPerStage) {
+  Deadline deadline;
+  ASSERT_TRUE(deadline.Spend("web.fetch").ok());
+  ASSERT_TRUE(deadline.Spend("web.fetch").ok());
+  ASSERT_TRUE(deadline.Spend("dw.etl.load", 3.0).ok());
+  const auto& by_stage = deadline.spent_by_stage();
+  EXPECT_EQ(by_stage.at("web.fetch"), 2.0);
+  EXPECT_EQ(by_stage.at("dw.etl.load"), 3.0);
+  EXPECT_EQ(deadline.spent(), 5.0);
+}
+
+Status GuardedOperation(Deadline* deadline) {
+  DWQA_CHECK_DEADLINE(deadline, "guarded");
+  return Status::OK();
+}
+
+TEST(DeadlineTest, CheckDeadlineMacroPropagates) {
+  EXPECT_TRUE(GuardedOperation(nullptr).ok());  // Null = no deadline.
+  Deadline fresh;
+  EXPECT_TRUE(GuardedOperation(&fresh).ok());
+  DeadlineConfig config;
+  config.budget = 0.0;
+  Deadline spent(config);
+  EXPECT_TRUE(GuardedOperation(&spent).IsDeadlineExceeded());
+}
+
+TEST(RetryDeadlineTest, RetryLoopStopsWhenTheBudgetRunsOut) {
+  DeadlineConfig config;
+  config.budget = 3.0;
+  Deadline deadline(config);
+  int calls = 0;
+  RetryStats stats;
+  Status st = RetryCall(
+      FastRetry(/*max_attempts=*/5),
+      [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("always transient");
+      },
+      &stats, &deadline, "flaky.op");
+  // The budget admits exactly 3 of the 5 attempts; the 4th is refused.
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_TRUE(deadline.exhausted());
+}
+
+TEST(RetryDeadlineTest, BudgetSpentByInnerLoopIsVisibleToTheOuterLoop) {
+  DeadlineConfig config;
+  config.budget = 4.0;
+  Deadline deadline(config);
+  // Inner loop burns 4 units on a hopeless operation...
+  RetryStats inner_stats;
+  Status inner = RetryCall(
+      FastRetry(/*max_attempts=*/10),
+      [&]() -> Status { return Status::Unavailable("hopeless"); },
+      &inner_stats, &deadline, "inner");
+  EXPECT_EQ(inner_stats.attempts, 4);
+  EXPECT_TRUE(inner.IsDeadlineExceeded());
+  // ...so the outer loop, sharing the same Deadline, never runs at all.
+  int outer_calls = 0;
+  RetryStats outer_stats;
+  Status outer = RetryCall(
+      FastRetry(),
+      [&]() -> Status {
+        ++outer_calls;
+        return Status::OK();
+      },
+      &outer_stats, &deadline, "outer");
+  EXPECT_EQ(outer_calls, 0);
+  EXPECT_EQ(outer_stats.attempts, 0);
+  EXPECT_TRUE(outer.IsDeadlineExceeded());
+  EXPECT_EQ(deadline.exhausted_stage(), "inner");
+}
+
+TEST(RetryDeadlineTest, RetryResultCallSurfacesTheDeadlineError) {
+  DeadlineConfig config;
+  config.budget = 2.0;
+  Deadline deadline(config);
+  Result<int> result = RetryResultCall<int>(
+      FastRetry(/*max_attempts=*/5),
+      [&]() -> Result<int> { return Status::Unavailable("flaky"); },
+      nullptr, &deadline, "op");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST(RetryPolicyValidateTest, BadPoliciesAreRejected) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());  // Defaults are valid.
+  policy.max_attempts = 0;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.base_delay_ms = -1.0;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.max_delay_ms = -0.5;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.backoff_factor = 0.0;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.jitter = 1.5;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+  policy = RetryPolicy{};
+  policy.jitter = -0.1;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dwqa
