@@ -1,0 +1,57 @@
+#ifndef DWQA_BENCH_BENCH_JSON_MAIN_H_
+#define DWQA_BENCH_BENCH_JSON_MAIN_H_
+
+// Drop-in replacement for BENCHMARK_MAIN() that tees every microbenchmark
+// run into the shared bench-JSON artifact (bench/bench_json.h) while still
+// printing the usual console table.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+
+namespace dwqa {
+namespace bench {
+
+/// Console output as usual, plus one JSON metric per benchmark run
+/// (adjusted real time, in the run's own time unit).
+class JsonTeeReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string bench_name)
+      : writer_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      writer_.Add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  ::benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ::benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  bool Flush() const { return writer_.Flush(); }
+
+ private:
+  JsonSectionWriter writer_;
+};
+
+}  // namespace bench
+}  // namespace dwqa
+
+/// BENCHMARK_MAIN() with the JSON tee. `name` is the section key in the
+/// merged artifact — use the binary's own name.
+#define DWQA_BENCH_JSON_MAIN(name)                                         \
+  int main(int argc, char** argv) {                                        \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::dwqa::bench::JsonTeeReporter reporter(name);                         \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                        \
+    reporter.Flush();                                                      \
+    ::benchmark::Shutdown();                                               \
+    return 0;                                                              \
+  }                                                                        \
+  int main(int, char**)
+
+#endif  // DWQA_BENCH_BENCH_JSON_MAIN_H_

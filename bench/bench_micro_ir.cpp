@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include "ir/inverted_index.h"
 #include "ir/passage_index.h"
 #include "web/synthetic_web.h"
@@ -77,4 +79,4 @@ BENCHMARK(BM_PassageIndexBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DWQA_BENCH_JSON_MAIN("bench_micro_ir");

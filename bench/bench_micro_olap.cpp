@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include "dw/olap.h"
 #include "integration/last_minute_sales.h"
 #include "web/weather_model.h"
@@ -84,4 +86,4 @@ BENCHMARK(BM_RollUpDerivation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DWQA_BENCH_JSON_MAIN("bench_micro_olap");

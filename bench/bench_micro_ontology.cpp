@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include "integration/last_minute_sales.h"
 #include "ontology/enrichment.h"
 #include "ontology/merge.h"
@@ -85,4 +87,4 @@ BENCHMARK(BM_LemmaLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DWQA_BENCH_JSON_MAIN("bench_micro_ontology");

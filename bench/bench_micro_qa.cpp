@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include "ontology/enrichment.h"
 #include "ontology/wordnet.h"
 #include "qa/aliqan.h"
@@ -95,4 +97,4 @@ BENCHMARK(BM_SpanishTranslation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DWQA_BENCH_JSON_MAIN("bench_micro_qa");

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_main.h"
+
 #include "text/chunker.h"
 #include "text/entities.h"
 #include "text/pos_tagger.h"
@@ -76,4 +78,4 @@ BENCHMARK(BM_SentenceSplit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DWQA_BENCH_JSON_MAIN("bench_micro_text");

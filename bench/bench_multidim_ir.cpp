@@ -28,6 +28,11 @@ int main() {
   auto webb = web::SyntheticWeb::Build(config).ValueOrDie();
 
   auto mdir = integration::MultidimIr::Create().ValueOrDie();
+  // Share one analyze-once corpus with the keyword index (the same object
+  // an AliQAn instance over this collection would own), so the baseline
+  // tokenizes each document exactly once too.
+  text::AnalyzedCorpus corpus;
+  if (!mdir.AttachCorpus(&corpus).ok()) return 1;
   // Categorize: weather pages carry their city and month; other pages are
   // registered under a catch-all location.
   for (const ir::Document& doc : webb.documents().documents()) {
@@ -75,6 +80,10 @@ int main() {
   PrintBanner(std::cout, "Collection roll-up: documents per city");
   std::cout << mdir.CountBy("location", "City").ValueOrDie()
                    .ToDisplayString();
+
+  std::cout << "\nShared AnalyzedCorpus: " << corpus.document_count()
+            << " documents, " << corpus.sentence_count() << " sentences, "
+            << corpus.dictionary().size() << " interned terms\n";
 
   std::cout << "\n[shape check] dimensional scoping narrows monotonically "
                "(all > city > quarter >= month)\nand the drill-down to one "

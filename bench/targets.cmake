@@ -33,3 +33,20 @@ dwqa_microbench(bench_micro_qa)
 dwqa_microbench(bench_micro_ir)
 dwqa_microbench(bench_micro_olap)
 dwqa_microbench(bench_micro_ontology)
+
+# Fast perf smokes: `ctest -L perf` runs the fig3 phase study in --smoke
+# mode plus one repetition of each microbench, all teeing into the shared
+# bench-JSON artifact (BENCH_phase3.json in the build dir unless
+# DWQA_BENCH_JSON overrides it). scripts/check.sh runs this label so a
+# broken bench or reporter fails CI, not just the nightly sweep.
+add_test(NAME perf_fig3_aliqan_phases_smoke
+  COMMAND bench_fig3_aliqan_phases --smoke
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR})
+set_tests_properties(perf_fig3_aliqan_phases_smoke PROPERTIES LABELS perf)
+foreach(micro bench_micro_text bench_micro_qa bench_micro_ir
+        bench_micro_olap bench_micro_ontology)
+  add_test(NAME perf_${micro}_smoke
+    COMMAND ${micro} --benchmark_min_time=0.01
+    WORKING_DIRECTORY ${CMAKE_BINARY_DIR})
+  set_tests_properties(perf_${micro}_smoke PROPERTIES LABELS perf)
+endforeach()

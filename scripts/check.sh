@@ -17,9 +17,30 @@ SANITIZE="${DWQA_SANITIZE-address,undefined}"
 GENERATOR=()
 command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
 
+# Lint: the POS tagger builds its lexicon at construction time, so a
+# `PosTagger tagger;` inside a loop body re-pays that cost per sentence.
+# The QA layer reads cached AnalyzedCorpus analyses instead; any tagger a
+# qa/ source still needs must be hoisted to function scope (2-space indent).
+# Indentation ≥ 4 spaces means the declaration sits inside a loop or other
+# nested block — reject it.
+if grep -rnE '^[[:space:]]{4,}(text::)?PosTagger [a-z_]+;' "$ROOT/src/qa"; then
+  echo "lint: PosTagger constructed inside a nested scope in src/qa/ —" \
+       "hoist it out of the loop (see text/analyzed_corpus.h)." >&2
+  exit 1
+fi
+
 cmake -B "$ROOT/$BUILD_DIR" "${GENERATOR[@]}" -S "$ROOT"
 cmake --build "$ROOT/$BUILD_DIR" -j
 ctest --test-dir "$ROOT/$BUILD_DIR" --output-on-failure
+
+# Perf smoke: the fig3 phase study (--smoke) plus one repetition of each
+# microbench, all merging into one bench-JSON artifact. Fails when a bench
+# breaks, when the JSON reporter breaks, or when the indexation-time
+# analysis stops paying for itself (fig3's ≥2x speedup shape check).
+echo
+echo "##### perf smoke (ctest -L perf) → $BUILD_DIR/BENCH_phase3.json #####"
+DWQA_BENCH_JSON="$ROOT/$BUILD_DIR/BENCH_phase3.json" \
+  ctest --test-dir "$ROOT/$BUILD_DIR" -L perf --output-on-failure
 
 if [ -n "$SANITIZE" ]; then
   SAN_DIR="${BUILD_DIR}-san"

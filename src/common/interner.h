@@ -1,0 +1,62 @@
+#ifndef DWQA_COMMON_INTERNER_H_
+#define DWQA_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dwqa {
+
+/// Identifier of an interned term. Postings lists, lemma sets and cached
+/// sentence analyses all speak TermId so that a corpus term is lowercased,
+/// stopword-checked and hashed exactly once — at indexation time.
+using TermId = uint32_t;
+
+/// Sentinel returned by TermDictionary::Find for unknown terms.
+inline constexpr TermId kInvalidTermId = 0xFFFFFFFFu;
+
+/// \brief Corpus-wide string interner.
+///
+/// One dictionary is owned by the AnalyzedCorpus and shared (by pointer)
+/// with every consumer built over the same corpus — the inverted index, the
+/// passage index, the multidimensional document warehouse — so a TermId is
+/// comparable across all of them. Ids are dense, assigned in first-seen
+/// order, and never invalidated; term strings live as the map keys and stay
+/// at a stable address for the dictionary's lifetime.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// The id of `term`, interning it first if unseen.
+  TermId Intern(const std::string& term) {
+    auto it = ids_.find(term);
+    if (it != ids_.end()) return it->second;
+    TermId id = static_cast<TermId>(terms_.size());
+    auto inserted = ids_.emplace(term, id).first;
+    terms_.push_back(&inserted->first);
+    return id;
+  }
+
+  /// The id of `term`, or kInvalidTermId when it was never interned. Query
+  /// paths use this so lookups never grow the dictionary.
+  TermId Find(const std::string& term) const {
+    auto it = ids_.find(term);
+    return it == ids_.end() ? kInvalidTermId : it->second;
+  }
+
+  /// The string of a valid id (undefined for kInvalidTermId or ids from a
+  /// different dictionary).
+  const std::string& Term(TermId id) const { return *terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  /// id → key in ids_ (node addresses are stable under rehash).
+  std::vector<const std::string*> terms_;
+};
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_INTERNER_H_

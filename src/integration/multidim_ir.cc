@@ -27,6 +27,19 @@ Result<MultidimIr> MultidimIr::Create() {
   return mdir;
 }
 
+Status MultidimIr::AttachCorpus(text::AnalyzedCorpus* corpus) {
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("corpus must not be null");
+  }
+  if (doc_count_ > 0) {
+    return Status::InvalidArgument(
+        "AttachCorpus must run before the first AddDocument");
+  }
+  corpus_ = corpus;
+  index_ = ir::InvertedIndex(corpus->mutable_dictionary());
+  return Status::OK();
+}
+
 Status MultidimIr::AddDocument(ir::DocId doc, const std::string& plain_text,
                                const std::string& city,
                                const std::string& country,
@@ -42,7 +55,15 @@ Status MultidimIr::AddDocument(ir::DocId doc, const std::string& plain_text,
                                        dw::DateMemberPath(published)));
   DWQA_RETURN_NOT_OK(wh_->InsertFact(
       "Documents", {loc, when}, {dw::Value(static_cast<int64_t>(doc))}));
-  index_.AddDocument(doc, plain_text);
+  if (corpus_ != nullptr) {
+    // Shared-corpus path: reuse the analyze-once representation (and feed
+    // it, so later consumers of the same corpus see this document too).
+    const text::AnalyzedDocument* analysis = corpus_->Find(doc);
+    if (analysis == nullptr) analysis = &corpus_->Add(doc, plain_text);
+    index_.AddAnalyzed(doc, *analysis);
+  } else {
+    index_.AddDocument(doc, plain_text);
+  }
   ++doc_count_;
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #include "dw/warehouse.h"
 #include "ir/document.h"
 #include "ir/inverted_index.h"
+#include "text/analyzed_corpus.h"
 
 namespace dwqa {
 namespace integration {
@@ -32,6 +33,13 @@ class MultidimIr {
  public:
   /// Creates the empty document warehouse.
   static Result<MultidimIr> Create();
+
+  /// Shares an analyze-once corpus (e.g. AliQAn's): the internal keyword
+  /// index is rebuilt over the corpus's TermDictionary, and AddDocument
+  /// reuses each document's cached analysis — analyzing it into `corpus`
+  /// first when absent — instead of re-tokenizing. Call before the first
+  /// AddDocument; `corpus` must outlive this object.
+  Status AttachCorpus(text::AnalyzedCorpus* corpus);
 
   /// Registers a document with its location/time categorization and
   /// indexes `plain_text` for keyword search.
@@ -68,6 +76,8 @@ class MultidimIr {
       const std::vector<dw::Filter>& filters) const;
 
   std::unique_ptr<dw::Warehouse> wh_;
+  /// Borrowed analyze-once corpus; null = self-contained tokenization.
+  text::AnalyzedCorpus* corpus_ = nullptr;
   ir::InvertedIndex index_;
   size_t doc_count_ = 0;
 };

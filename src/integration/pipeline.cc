@@ -289,8 +289,9 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
     }
     // An exhausted budget skips the remaining questions without marking
     // them completed — a checkpointed resume (with a fresh budget) re-asks
-    // exactly these.
-    if (deadline_.exhausted()) {
+    // exactly these. The Check() probe names this stage in the health
+    // report when the budget died on an earlier successful crossing charge.
+    if (!deadline_.Check("step5.ask").ok()) {
       report.deadline_exhausted = true;
       ++report.questions_deadline_skipped;
       continue;

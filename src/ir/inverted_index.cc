@@ -1,43 +1,51 @@
 #include "ir/inverted_index.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 
 #include "common/string_util.h"
-#include "ir/stopwords.h"
-#include "text/tokenizer.h"
+#include "ir/term_pipeline.h"
 
 namespace dwqa {
 namespace ir {
 
-namespace {
-
-std::vector<std::string> IndexTerms(const std::string& text) {
-  std::vector<std::string> terms;
-  for (const text::Token& t : text::Tokenizer::Tokenize(text)) {
-    if (t.lower.size() < 2 && !IsDigits(t.lower)) continue;
-    if (Stopwords::IsStopword(t.lower)) continue;
-    if (!std::isalnum(static_cast<unsigned char>(t.lower[0]))) continue;
-    terms.push_back(t.lower);
-  }
-  return terms;
-}
-
-}  // namespace
-
-void InvertedIndex::AddDocument(DocId doc_id, const std::string& text) {
-  std::unordered_map<std::string, uint32_t> tf;
-  std::vector<std::string> terms = IndexTerms(text);
-  for (const std::string& term : terms) ++tf[term];
+void InvertedIndex::Commit(DocId doc_id,
+                           const std::unordered_map<TermId, uint32_t>& tf,
+                           size_t doc_len) {
   for (const auto& [term, freq] : tf) {
     postings_[term].push_back({doc_id, freq});
   }
-  doc_lengths_[doc_id] = terms.size();
+  doc_lengths_[doc_id] = doc_len;
+}
+
+void InvertedIndex::AddDocument(DocId doc_id, const std::string& text) {
+  std::unordered_map<TermId, uint32_t> tf;
+  size_t doc_len = 0;
+  for (const std::string& term : DocumentTerms(text)) {
+    ++tf[dict_->Intern(term)];
+    ++doc_len;
+  }
+  Commit(doc_id, tf, doc_len);
+}
+
+void InvertedIndex::AddAnalyzed(DocId doc_id,
+                                const text::AnalyzedDocument& analysis) {
+  std::unordered_map<TermId, uint32_t> tf;
+  size_t doc_len = 0;
+  for (const text::AnalyzedSentence& s : analysis.sentences) {
+    for (size_t i = 0; i < s.tokens.size(); ++i) {
+      if (!IsDocumentTerm(s.tokens[i])) continue;
+      ++tf[s.token_ids[i]];
+      ++doc_len;
+    }
+  }
+  Commit(doc_id, tf, doc_len);
 }
 
 size_t InvertedIndex::DocFreq(const std::string& term) const {
-  auto it = postings_.find(ToLower(term));
+  TermId id = dict_->Find(ToLower(term));
+  if (id == kInvalidTermId) return 0;
+  auto it = postings_.find(id);
   return it == postings_.end() ? 0 : it->second.size();
 }
 
@@ -45,12 +53,14 @@ std::vector<DocHit> InvertedIndex::Search(const std::string& query,
                                           size_t k) const {
   const double n_docs = static_cast<double>(doc_lengths_.size());
   std::unordered_map<DocId, DocHit> acc;
-  std::vector<std::string> terms = IndexTerms(query);
+  std::vector<std::string> terms = DocumentTerms(query);
   // Deduplicate query terms: each distinct term contributes once.
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
   for (const std::string& term : terms) {
-    auto it = postings_.find(term);
+    TermId id = dict_->Find(term);
+    if (id == kInvalidTermId) continue;
+    auto it = postings_.find(id);
     if (it == postings_.end()) continue;
     double idf =
         std::log((n_docs + 1.0) / (static_cast<double>(it->second.size())));

@@ -1,12 +1,15 @@
 #ifndef DWQA_IR_INVERTED_INDEX_H_
 #define DWQA_IR_INVERTED_INDEX_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "ir/document.h"
+#include "text/analyzed_corpus.h"
 
 namespace dwqa {
 namespace ir {
@@ -24,10 +27,28 @@ struct DocHit {
 /// This is the "IR returns whole documents, in which the user has to further
 /// search" baseline of the paper (§1): keyword query in, ranked full
 /// documents out. Stopwords are discarded at both index and query time.
+///
+/// Postings are keyed by TermId. The index owns a private TermDictionary by
+/// default; constructing it over a shared dictionary (the AnalyzedCorpus's)
+/// lets AddAnalyzed reuse token ids interned at analysis time instead of
+/// re-tokenizing raw text. Query terms are resolved with a read-only Find,
+/// so searching never grows the dictionary.
 class InvertedIndex {
  public:
+  InvertedIndex() : owned_(std::make_unique<TermDictionary>()),
+                    dict_(owned_.get()) {}
+
+  /// Shares `dict` (must outlive the index). Ids interned by other users of
+  /// the same dictionary are directly comparable with this index's.
+  explicit InvertedIndex(TermDictionary* dict) : dict_(dict) {}
+
   /// Indexes the plain text of `doc_id` (caller strips markup first).
   void AddDocument(DocId doc_id, const std::string& plain_text);
+
+  /// Indexes a document from its cached indexation-time analysis: same
+  /// postings as AddDocument on the analyzed plain text, no re-tokenization.
+  /// Requires the index to share the corpus's dictionary.
+  void AddAnalyzed(DocId doc_id, const text::AnalyzedDocument& analysis);
 
   /// Ranks documents for a keyword query (stopwords dropped, lowercased,
   /// TF-IDF with length normalization). Top `k` hits, best first.
@@ -44,7 +65,13 @@ class InvertedIndex {
     DocId doc;
     uint32_t tf;
   };
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  void Commit(DocId doc_id,
+              const std::unordered_map<TermId, uint32_t>& tf,
+              size_t doc_len);
+
+  std::unique_ptr<TermDictionary> owned_;  ///< Null when dict_ is shared.
+  TermDictionary* dict_;
+  std::unordered_map<TermId, std::vector<Posting>> postings_;
   std::unordered_map<DocId, size_t> doc_lengths_;
 };
 

@@ -1,52 +1,48 @@
 #include "ir/passage_index.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <map>
 #include <set>
 
 #include "common/string_util.h"
-#include "ir/stopwords.h"
+#include "ir/term_pipeline.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
 
 namespace dwqa {
 namespace ir {
 
-namespace {
-
-std::vector<std::string> QueryTerms(const std::string& text) {
-  std::vector<std::string> terms;
-  for (const text::Token& t : text::Tokenizer::Tokenize(text)) {
-    if (t.lower.empty() ||
-        !std::isalnum(static_cast<unsigned char>(t.lower[0]))) {
-      continue;
-    }
-    if (Stopwords::IsStopword(t.lower)) continue;
-    terms.push_back(t.lower);
-  }
-  std::sort(terms.begin(), terms.end());
-  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-  return terms;
-}
-
-}  // namespace
-
 void PassageIndex::AddDocument(DocId doc_id, const std::string& text) {
   std::vector<std::string> sents = text::SentenceSplitter::Split(text);
   for (size_t s = 0; s < sents.size(); ++s) {
-    std::set<std::string> seen;
+    std::set<TermId> seen;
     for (const text::Token& t : text::Tokenizer::Tokenize(sents[s])) {
-      if (t.lower.empty() ||
-          !std::isalnum(static_cast<unsigned char>(t.lower[0]))) {
-        continue;
-      }
-      if (Stopwords::IsStopword(t.lower)) continue;
-      if (seen.insert(t.lower).second) {
-        postings_[t.lower].push_back({doc_id, static_cast<uint32_t>(s)});
+      if (!IsPassageTerm(t)) continue;
+      TermId id = dict_->Intern(t.lower);
+      if (seen.insert(id).second) {
+        postings_[id].push_back({doc_id, static_cast<uint32_t>(s)});
       }
     }
+  }
+  sentences_[doc_id] = std::move(sents);
+}
+
+void PassageIndex::AddAnalyzed(DocId doc_id,
+                               const text::AnalyzedDocument& analysis) {
+  std::vector<std::string> sents;
+  sents.reserve(analysis.sentences.size());
+  for (size_t s = 0; s < analysis.sentences.size(); ++s) {
+    const text::AnalyzedSentence& sentence = analysis.sentences[s];
+    std::set<TermId> seen;
+    for (size_t i = 0; i < sentence.tokens.size(); ++i) {
+      if (!IsPassageTerm(sentence.tokens[i])) continue;
+      if (seen.insert(sentence.token_ids[i]).second) {
+        postings_[sentence.token_ids[i]].push_back(
+            {doc_id, static_cast<uint32_t>(s)});
+      }
+    }
+    sents.push_back(sentence.text);
   }
   sentences_[doc_id] = std::move(sents);
 }
@@ -59,7 +55,9 @@ const std::vector<std::string>& PassageIndex::Sentences(DocId doc_id) const {
 
 std::vector<Passage> PassageIndex::Search(const std::string& query,
                                           size_t k) const {
-  std::vector<std::string> terms = QueryTerms(query);
+  std::vector<std::string> terms = PassageTerms(query);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
   if (terms.empty()) return {};
   const double n_docs = static_cast<double>(sentences_.size());
 
@@ -75,7 +73,9 @@ std::vector<Passage> PassageIndex::Search(const std::string& query,
   std::map<DocId, std::vector<SentenceHit>> by_doc;
   std::vector<double> idf(terms.size(), 0.0);
   for (size_t t = 0; t < terms.size(); ++t) {
-    auto it = postings_.find(terms[t]);
+    TermId id = dict_->Find(terms[t]);
+    if (id == kInvalidTermId) continue;
+    auto it = postings_.find(id);
     if (it == postings_.end()) continue;
     std::set<DocId> docs;
     for (const SentenceRef& ref : it->second) docs.insert(ref.doc);

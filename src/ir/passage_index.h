@@ -1,11 +1,14 @@
 #ifndef DWQA_IR_PASSAGE_INDEX_H_
 #define DWQA_IR_PASSAGE_INDEX_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "ir/document.h"
+#include "text/analyzed_corpus.h"
 
 namespace dwqa {
 namespace ir {
@@ -32,14 +35,32 @@ struct Passage {
 /// process — "IR tools are usually run as a first filtering phase, and QA
 /// works on IR output. In this way, time of analysis spent by users is
 /// highly decreased" (§1).
+///
+/// Postings are keyed by TermId (see ir/term_pipeline.h for the shared
+/// filtering gate). Like InvertedIndex, the index owns a dictionary unless
+/// constructed over a shared one, in which case AddAnalyzed reuses the
+/// corpus's cached token ids.
 class PassageIndex {
  public:
   /// `window` = number of consecutive sentences per passage (clamped to a
   /// minimum of one sentence).
-  explicit PassageIndex(size_t window = 8) : window_(window < 1 ? 1 : window) {}
+  explicit PassageIndex(size_t window = 8)
+      : window_(window < 1 ? 1 : window),
+        owned_(std::make_unique<TermDictionary>()),
+        dict_(owned_.get()) {}
+
+  /// Shares `dict` (must outlive the index).
+  PassageIndex(size_t window, TermDictionary* dict)
+      : window_(window < 1 ? 1 : window), dict_(dict) {}
 
   /// Splits and indexes the plain text of `doc_id`.
   void AddDocument(DocId doc_id, const std::string& plain_text);
+
+  /// Indexes a document from its cached indexation-time analysis: same
+  /// postings and stored sentences as AddDocument on the analyzed plain
+  /// text, no re-splitting or re-tokenization. Requires the index to share
+  /// the corpus's dictionary.
+  void AddAnalyzed(DocId doc_id, const text::AnalyzedDocument& analysis);
 
   /// Top-k passages for the query terms, best first. Adjacent overlapping
   /// windows of the same document are deduplicated (the best one is kept).
@@ -53,6 +74,8 @@ class PassageIndex {
 
  private:
   size_t window_;
+  std::unique_ptr<TermDictionary> owned_;  ///< Null when dict_ is shared.
+  TermDictionary* dict_;
   /// doc -> its sentences.
   std::unordered_map<DocId, std::vector<std::string>> sentences_;
   /// term -> (doc, sentence) occurrences.
@@ -60,7 +83,7 @@ class PassageIndex {
     DocId doc;
     uint32_t sentence;
   };
-  std::unordered_map<std::string, std::vector<SentenceRef>> postings_;
+  std::unordered_map<TermId, std::vector<SentenceRef>> postings_;
 };
 
 }  // namespace ir

@@ -1,0 +1,47 @@
+#include "ir/term_pipeline.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "ir/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace ir {
+
+bool IsPassageTerm(const text::Token& t) {
+  if (t.lower.empty() ||
+      !std::isalnum(static_cast<unsigned char>(t.lower[0]))) {
+    return false;
+  }
+  return !Stopwords::IsStopword(t.lower);
+}
+
+bool IsDocumentTerm(const text::Token& t) {
+  if (t.lower.size() < 2 && !IsDigits(t.lower)) return false;
+  return IsPassageTerm(t);
+}
+
+namespace {
+
+template <typename Pred>
+std::vector<std::string> FilteredTerms(const std::string& text, Pred keep) {
+  std::vector<std::string> terms;
+  for (const text::Token& t : text::Tokenizer::Tokenize(text)) {
+    if (keep(t)) terms.push_back(t.lower);
+  }
+  return terms;
+}
+
+}  // namespace
+
+std::vector<std::string> DocumentTerms(const std::string& text) {
+  return FilteredTerms(text, IsDocumentTerm);
+}
+
+std::vector<std::string> PassageTerms(const std::string& text) {
+  return FilteredTerms(text, IsPassageTerm);
+}
+
+}  // namespace ir
+}  // namespace dwqa

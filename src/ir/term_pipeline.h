@@ -1,0 +1,35 @@
+#ifndef DWQA_IR_TERM_PIPELINE_H_
+#define DWQA_IR_TERM_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "text/token.h"
+
+namespace dwqa {
+namespace ir {
+
+/// \brief The one term pipeline of the IR layer.
+///
+/// Both indexes used to carry their own copy of the lowercase/stopword
+/// logic; it now lives here so the raw-string AddDocument paths and the
+/// AnalyzedCorpus-fed AddAnalyzed paths filter tokens with the exact same
+/// predicates — which is what makes the two build paths posting-identical.
+
+/// Passage-index gate: alphanumeric-initial, non-stopword.
+bool IsPassageTerm(const text::Token& t);
+
+/// Document-index gate: IsPassageTerm plus dropping single-character
+/// non-digit tokens. (The asymmetry is historical and load-bearing: golden
+/// answers depend on each index keeping its published vocabulary.)
+bool IsDocumentTerm(const text::Token& t);
+
+/// Tokenizes `text` and keeps the lowercase form of tokens passing the
+/// respective gate, in order, duplicates included.
+std::vector<std::string> DocumentTerms(const std::string& text);
+std::vector<std::string> PassageTerms(const std::string& text);
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_TERM_PIPELINE_H_

@@ -14,6 +14,7 @@
 #include "qa/answer.h"
 #include "qa/degradation.h"
 #include "qa/question.h"
+#include "text/analyzed_corpus.h"
 
 namespace dwqa {
 namespace qa {
@@ -32,16 +33,38 @@ struct AliQAnConfig {
   size_t max_answers = 5;
   /// Answer ladder (qa/degradation.h). Both rungs default off.
   DegradationConfig degradation;
+  /// Ablation flag: when true, IndexCorpus skips the AnalyzedCorpus build
+  /// and the search phase re-tokenizes/tags/chunks every passage sentence
+  /// per question — the pre-refactor behaviour. The golden-equivalence
+  /// suite asserts both modes answer byte-identically;
+  /// bench_fig3_aliqan_phases reports the cached-path speedup.
+  bool reanalyze_per_question = false;
 };
 
 /// \brief Wall-clock of the last Ask()/IndexCorpus() call, by phase — used
 /// by bench_fig3_aliqan_phases.
+///
+/// Reset contract (tested by aliqan_test): IndexCorpus() zeroes
+/// `indexation_ms` and `indexation_sentences` on entry; Ask() zeroes the
+/// search-phase fields (`analysis_ms`, `retrieval_ms`, `extraction_ms`,
+/// `sentences_analyzed`, `sentences_analyzed_cached`) on entry. Each field
+/// therefore always describes the *last* call of its phase, never an
+/// accumulation or a stale previous question.
 struct PhaseTimings {
   double indexation_ms = 0.0;
   double analysis_ms = 0.0;
   double retrieval_ms = 0.0;
   double extraction_ms = 0.0;
+  /// Sentences the extraction module processed for the last Ask().
   size_t sentences_analyzed = 0;
+  /// Of those, how many were served from the AnalyzedCorpus cache instead
+  /// of being re-analyzed — the bench's cache hit rate. Equal to
+  /// sentences_analyzed on the cached path, 0 under reanalyze_per_question.
+  size_t sentences_analyzed_cached = 0;
+  /// Sentences analyzed (tokenize/tag/lemmatize/chunk/dates) by the last
+  /// IndexCorpus() — the one-time off-line cost the paper's Figure 3 puts
+  /// in the indexation phase.
+  size_t indexation_sentences = 0;
 };
 
 /// \brief The QA system: a reimplementation of AliQAn's architecture
@@ -49,11 +72,16 @@ struct PhaseTimings {
 ///
 /// Indexation phase (off-line): documents are normalized to plain text (a
 /// pluggable preprocessor handles HTML/XML; the integration layer plugs the
-/// table-aware preprocessor here) and indexed twice — the IR-n passage index
-/// for filtering and a document-level index for the IR baseline comparisons.
+/// table-aware preprocessor here), linguistically analyzed exactly once
+/// into the AnalyzedCorpus (sentence split, POS tags, lemmas, Syntactic
+/// Blocks, date mentions, interned term ids), and indexed twice from that
+/// analysis — the IR-n passage index for filtering and a document-level
+/// index for the IR baseline comparisons. Indexation is deliberately the
+/// expensive phase, exactly the paper's off-line/on-line split.
 ///
 /// Search phase: (1) question analysis, (2) selection of relevant passages,
-/// (3) extraction of the answer.
+/// (3) extraction of the answer — pattern matching over the cached
+/// analyses, no re-tokenization.
 class AliQAn {
  public:
   /// Normalizes a raw document to the plain text to index.
@@ -65,9 +93,11 @@ class AliQAn {
   void set_preprocessor(Preprocessor preprocessor);
 
   /// Installs a shared cost budget (owned by the caller, may be null).
-  /// Ask() charges it per phase and per passage analyzed; once exhausted,
-  /// extraction degrades to what was already retrieved instead of running
-  /// to completion.
+  /// IndexCorpus() charges one unit per analyzed sentence (the linguistic
+  /// work now lives there); Ask() charges per phase and per passage whose
+  /// cached analyses are pattern-matched. Once exhausted, extraction
+  /// degrades to what was already retrieved instead of running to
+  /// completion.
   void set_deadline(Deadline* deadline) { deadline_ = deadline; }
 
   const AliQAnConfig& config() const { return config_; }
@@ -89,6 +119,12 @@ class AliQAn {
   const ir::InvertedIndex& document_index() const { return doc_index_; }
   const ir::PassageIndex& passage_index() const { return passage_index_; }
 
+  /// The analyze-once corpus built by IndexCorpus (empty under the
+  /// reanalyze_per_question ablation). Consumers wanting the same term ids
+  /// — e.g. integration::MultidimIr — attach to this object.
+  const text::AnalyzedCorpus& corpus() const { return corpus_; }
+  text::AnalyzedCorpus* mutable_corpus() { return &corpus_; }
+
   /// Plain text of an indexed document.
   Result<std::string> PlainText(ir::DocId doc) const;
 
@@ -100,6 +136,11 @@ class AliQAn {
   Preprocessor preprocessor_;
   const ir::DocumentStore* docs_ = nullptr;
   Deadline* deadline_ = nullptr;
+  /// Owns the shared TermDictionary; declared before the indexes that
+  /// borrow its pointer so destruction order stays safe.
+  text::AnalyzedCorpus corpus_;
+  /// Raw plain text per doc — only populated under reanalyze_per_question
+  /// (the corpus stores plain text on the cached path).
   std::vector<std::string> plain_;
   ir::PassageIndex passage_index_;
   ir::InvertedIndex doc_index_;

@@ -27,30 +27,50 @@ constexpr double kDefaultMaxCelsius = 60.0;
 
 double FahrenheitToCelsius(double f) { return (f - 32.0) * 5.0 / 9.0; }
 
-/// Lemma set of one analyzed sentence.
-std::unordered_set<std::string> LemmaSet(const TokenSequence& toks) {
-  std::unordered_set<std::string> out;
-  for (const text::Token& t : toks) out.insert(t.lemma);
+/// Content lemmas of one question SB, pre-resolved against the corpus
+/// dictionary so per-sentence coverage is set membership, not re-tagging.
+struct SbLemmas {
+  /// All content tokens (DT/IN/OF/"," dropped), known to the dictionary or
+  /// not — the coverage denominator.
+  size_t total = 0;
+  /// Interned ids of the known content lemmas, one entry per token
+  /// occurrence (an SB lemma absent from the whole corpus can never hit).
+  std::vector<TermId> ids;
+};
+
+/// Tags each main SB once per extraction call and resolves its content
+/// lemmas to TermIds.
+std::vector<SbLemmas> ResolveSbs(const std::vector<std::string>& sbs,
+                                 const TermDictionary& dict) {
+  text::PosTagger tagger;
+  std::vector<SbLemmas> out;
+  out.reserve(sbs.size());
+  for (const std::string& sb : sbs) {
+    text::TokenSequence toks = text::Tokenizer::Tokenize(sb);
+    tagger.Tag(&toks);
+    SbLemmas resolved;
+    for (const text::Token& t : toks) {
+      if (t.tag == "DT" || t.tag == "IN" || t.tag == "OF" || t.tag == ",") {
+        continue;
+      }
+      ++resolved.total;
+      TermId id = dict.Find(t.lemma);
+      if (id != kInvalidTermId) resolved.ids.push_back(id);
+    }
+    out.push_back(std::move(resolved));
+  }
   return out;
 }
 
-/// Fraction of `sb`'s content lemmas present in `lemmas`.
-double SbCoverage(const std::string& sb,
-                  const std::unordered_set<std::string>& lemmas) {
-  text::TokenSequence toks = text::Tokenizer::Tokenize(sb);
-  text::PosTagger tagger;
-  tagger.Tag(&toks);
-  size_t total = 0;
+/// Fraction of the SB's content lemmas present in `lemmas`.
+double SbCoverage(const SbLemmas& sb,
+                  const std::unordered_set<TermId>& lemmas) {
+  if (sb.total == 0) return 0.0;
   size_t hit = 0;
-  for (const text::Token& t : toks) {
-    if (t.tag == "DT" || t.tag == "IN" || t.tag == "OF" || t.tag == ",") {
-      continue;
-    }
-    ++total;
-    if (lemmas.count(t.lemma)) ++hit;
+  for (TermId id : sb.ids) {
+    if (lemmas.count(id)) ++hit;
   }
-  if (total == 0) return 0.0;
-  return static_cast<double>(hit) / static_cast<double>(total);
+  return static_cast<double>(hit) / static_cast<double>(sb.total);
 }
 
 bool MentionEqualsAnyQuestionTerm(const std::string& mention,
@@ -121,27 +141,40 @@ bool AnswerExtractor::TemperaturePlausible(double value, char scale) const {
 std::vector<AnswerCandidate> AnswerExtractor::Extract(
     const QuestionAnalysis& q, const std::string& passage_text,
     ir::DocId doc, const std::string& url) const {
-  std::vector<AnswerCandidate> out;
-  std::vector<std::string> sentences =
-      text::SentenceSplitter::Split(passage_text);
-  text::PosTagger tagger;
+  // Legacy path: run the indexation-time analysis here and now, against a
+  // throwaway dictionary, then extract exactly as the fast path does. An SB
+  // lemma unknown to this passage-local dictionary cannot occur in any of
+  // its sentences, so coverage is unchanged.
+  TermDictionary dict;
+  text::CorpusAnalyzer analyzer(&dict, {.chunk = false});
+  std::vector<text::AnalyzedSentence> analyzed;
+  for (std::string& s : text::SentenceSplitter::Split(passage_text)) {
+    analyzed.push_back(analyzer.AnalyzeSentence(std::move(s)));
+  }
+  text::SentenceView view;
+  view.reserve(analyzed.size());
+  for (const text::AnalyzedSentence& s : analyzed) view.push_back(&s);
+  return ExtractAnalyzed(q, view, dict, passage_text, doc, url);
+}
 
-  // Pre-analyze all sentences (tokens + per-sentence date mentions), so a
-  // candidate in sentence i can borrow the most recent date from i-1, i-2...
-  // — the layout of the Figure 4 weather pages (date line, then data line).
-  std::vector<TokenSequence> analyzed;
-  std::vector<std::vector<DateMention>> sent_dates;
-  std::unordered_set<std::string> passage_lemmas;
-  for (const std::string& s : sentences) {
-    TokenSequence toks = text::Tokenizer::Tokenize(s);
-    tagger.Tag(&toks);
-    for (const text::Token& t : toks) passage_lemmas.insert(t.lemma);
-    sent_dates.push_back(EntityRecognizer::FindDates(toks));
-    analyzed.push_back(std::move(toks));
+std::vector<AnswerCandidate> AnswerExtractor::ExtractAnalyzed(
+    const QuestionAnalysis& q, const text::SentenceView& sentences,
+    const TermDictionary& dict, const std::string& passage_text,
+    ir::DocId doc, const std::string& url) const {
+  std::vector<AnswerCandidate> out;
+
+  // Resolve the question SBs once per passage; sentence analyses (tokens +
+  // per-sentence date mentions) come precomputed, so a candidate in
+  // sentence i can borrow the most recent date from i-1, i-2... — the
+  // layout of the Figure 4 weather pages (date line, then data line).
+  std::vector<SbLemmas> sb_lemmas = ResolveSbs(q.main_sbs, dict);
+  std::unordered_set<TermId> passage_lemmas;
+  for (const text::AnalyzedSentence* s : sentences) {
+    passage_lemmas.insert(s->lemma_set.begin(), s->lemma_set.end());
   }
 
   double passage_cov = 0.0;
-  for (const std::string& sb : q.main_sbs) {
+  for (const SbLemmas& sb : sb_lemmas) {
     passage_cov += SbCoverage(sb, passage_lemmas);
   }
 
@@ -150,7 +183,7 @@ std::vector<AnswerCandidate> AnswerExtractor::Extract(
     // Prefer a date in the same sentence (closest before the token, else
     // after); otherwise the latest date in a preceding sentence.
     const DateMention* best = nullptr;
-    for (const DateMention& d : sent_dates[sent_idx]) {
+    for (const DateMention& d : sentences[sent_idx]->dates) {
       if (best == nullptr ||
           (d.begin <= tok_idx &&
            (best->begin > tok_idx || d.begin >= best->begin))) {
@@ -159,7 +192,7 @@ std::vector<AnswerCandidate> AnswerExtractor::Extract(
     }
     if (best != nullptr) return best;
     for (size_t i = sent_idx; i-- > 0;) {
-      if (!sent_dates[i].empty()) return &sent_dates[i].back();
+      if (!sentences[i]->dates.empty()) return &sentences[i]->dates.back();
     }
     return nullptr;
   };
@@ -170,7 +203,7 @@ std::vector<AnswerCandidate> AnswerExtractor::Extract(
     auto city = onto_->FindClass("city");
     for (size_t i = sent_idx + 1; i-- > 0;) {
       for (const auto& pn :
-           EntityRecognizer::FindProperNouns(analyzed[i])) {
+           EntityRecognizer::FindProperNouns(sentences[i]->tokens)) {
         if (!city.ok()) break;
         for (ontology::ConceptId id : onto_->Find(ToLower(pn.text))) {
           if (onto_->IsA(id, *city)) return onto_->GetConcept(id).name;
@@ -183,17 +216,17 @@ std::vector<AnswerCandidate> AnswerExtractor::Extract(
   };
 
   for (size_t si = 0; si < sentences.size(); ++si) {
-    const TokenSequence& toks = analyzed[si];
-    std::unordered_set<std::string> lemmas = LemmaSet(toks);
+    const TokenSequence& toks = sentences[si]->tokens;
+    const std::vector<DateMention>& dates = sentences[si]->dates;
     double sent_cov = 0.0;
-    for (const std::string& sb : q.main_sbs) {
-      sent_cov += SbCoverage(sb, lemmas);
+    for (const SbLemmas& sb : sb_lemmas) {
+      sent_cov += SbCoverage(sb, sentences[si]->lemma_set);
     }
     double base = 2.0 * sent_cov + passage_cov;
 
     auto push = [&](AnswerCandidate cand) {
       cand.type = q.answer_type;
-      cand.sentence = sentences[si];
+      cand.sentence = sentences[si]->text;
       cand.passage_text = passage_text;
       cand.doc = doc;
       cand.url = url;
@@ -324,7 +357,7 @@ std::vector<AnswerCandidate> AnswerExtractor::Extract(
         for (const auto& m : EntityRecognizer::FindPercents(toks)) {
           for (size_t i = m.begin; i < m.end; ++i) taken.insert(i);
         }
-        for (const auto& d : sent_dates[si]) {
+        for (const auto& d : dates) {
           for (size_t i = d.begin; i < d.end; ++i) taken.insert(i);
         }
         for (const auto& m : EntityRecognizer::FindNumbers(toks)) {
@@ -339,7 +372,7 @@ std::vector<AnswerCandidate> AnswerExtractor::Extract(
         break;
       }
       case AnswerType::kTemporalDate: {
-        for (const DateMention& d : sent_dates[si]) {
+        for (const DateMention& d : dates) {
           AnswerCandidate c;
           c.answer_text = d.text;
           c.date = d.date;
@@ -351,7 +384,7 @@ std::vector<AnswerCandidate> AnswerExtractor::Extract(
         // A bare year is an acceptable (weaker) date answer: "When did
         // Iraq invade Kuwait?" → "1990".
         std::unordered_set<size_t> in_date;
-        for (const auto& d : sent_dates[si]) {
+        for (const auto& d : dates) {
           for (size_t i = d.begin; i < d.end; ++i) in_date.insert(i);
         }
         for (size_t i = 0; i < toks.size(); ++i) {

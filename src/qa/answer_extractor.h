@@ -4,9 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "ontology/ontology.h"
 #include "qa/answer.h"
 #include "qa/question.h"
+#include "text/analyzed_corpus.h"
 
 namespace dwqa {
 namespace qa {
@@ -22,15 +24,32 @@ namespace qa {
 /// (b) satisfaction of the type constraints, (c) agreement with the
 /// question's date constraint, and (d) the Step-4 axioms attached to the
 /// ontology (plausible temperature intervals, ºC/ºF consistency).
+///
+/// The linguistic analysis of the passage (tokenize/tag/lemmatize, date
+/// recognition) belongs to the off-line indexation phase: the fast path
+/// (ExtractAnalyzed) only pattern-matches over cached AnalyzedSentences.
+/// Extract is the legacy entry that re-analyzes raw passage text on the fly
+/// — kept for callers without an AnalyzedCorpus and as the before/after
+/// ablation of the golden-equivalence suite; both paths produce
+/// byte-identical candidates for the same text.
 class AnswerExtractor {
  public:
   explicit AnswerExtractor(const ontology::Ontology* onto) : onto_(onto) {}
 
-  /// Extracts and scores the candidates of one passage.
+  /// Extracts and scores the candidates of one passage, re-analyzing
+  /// `passage_text` sentence by sentence (the slow, pre-corpus path).
   std::vector<AnswerCandidate> Extract(const QuestionAnalysis& question,
                                        const std::string& passage_text,
                                        ir::DocId doc,
                                        const std::string& url) const;
+
+  /// Extracts from cached sentence analyses. `sentences` is the passage's
+  /// consecutive sentence range (views into an AnalyzedCorpus whose
+  /// dictionary is `dict`); `passage_text` is the passage's display text.
+  std::vector<AnswerCandidate> ExtractAnalyzed(
+      const QuestionAnalysis& question, const text::SentenceView& sentences,
+      const TermDictionary& dict, const std::string& passage_text,
+      ir::DocId doc, const std::string& url) const;
 
   /// Merges, deduplicates (by normalized answer text) and ranks candidate
   /// lists from several passages.

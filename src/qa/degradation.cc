@@ -7,10 +7,9 @@
 #include "ir/passage_index.h"
 #include "qa/answer.h"
 #include "qa/question.h"
+#include "text/analyzed_corpus.h"
 #include "text/entities.h"
-#include "text/pos_tagger.h"
 #include "text/sentence_splitter.h"
-#include "text/tokenizer.h"
 
 namespace dwqa {
 namespace qa {
@@ -59,71 +58,106 @@ bool WantsNumber(AnswerType type) {
 
 }  // namespace
 
+namespace {
+
+/// The rung-2 pattern pass over one passage's sentence analyses — shared
+/// between the cached-corpus path and the legacy re-analysis path.
+void RelaxedExtractFromSentences(
+    const QuestionAnalysis& q, const ir::Passage& p, const std::string& url,
+    const text::SentenceView& sentences, const DegradationConfig& config,
+    const std::string& fallback_location,
+    std::vector<AnswerCandidate>* out) {
+  // Dates carry across sentences, like the weather-page layout the full
+  // extractor models (date line, then data line).
+  const DateMention* last_date = nullptr;
+  for (const text::AnalyzedSentence* s : sentences) {
+    const TokenSequence& toks = s->tokens;
+    if (!s->dates.empty()) last_date = &s->dates.back();
+
+    auto push = [&](AnswerCandidate c) {
+      c.type = q.answer_type;
+      c.level = DegradationLevel::kRelaxedPattern;
+      c.score = config.relaxed_score;
+      c.sentence = s->text;
+      c.passage_text = p.text;
+      c.doc = p.doc;
+      c.url = url;
+      if (c.location.empty()) c.location = fallback_location;
+      if (!c.date.has_value() && last_date != nullptr) {
+        c.date = last_date->date;
+        c.date_complete = last_date->IsComplete();
+      }
+      out->push_back(std::move(c));
+    };
+
+    if (WantsNumber(q.answer_type)) {
+      // Any bare cardinal, unit or no unit — the Figure-5 stripped-table
+      // case where the strict "number + scale" pattern cannot fire.
+      // Cardinals inside a recognized date ("31", "2004") stay dates.
+      for (const auto& m : EntityRecognizer::FindNumbers(toks)) {
+        bool inside_date = false;
+        for (const DateMention& d : s->dates) {
+          if (m.begin >= d.begin && m.begin < d.end) inside_date = true;
+        }
+        if (inside_date) continue;
+        AnswerCandidate c;
+        c.answer_text = m.text;
+        c.has_value = true;
+        c.value = m.value;
+        push(std::move(c));
+      }
+    } else {
+      // Any proper noun, no semantic preference, no question-term filter.
+      for (const auto& pn : EntityRecognizer::FindProperNouns(toks)) {
+        AnswerCandidate c;
+        c.answer_text = pn.text;
+        push(std::move(c));
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<AnswerCandidate> RelaxedExtract(
     const QuestionAnalysis& q, const std::vector<ir::Passage>& passages,
     const ir::DocumentStore* docs, const DegradationConfig& config,
-    size_t max_answers) {
+    size_t max_answers, const text::AnalyzedCorpus* corpus) {
   std::vector<AnswerCandidate> out;
-  text::PosTagger tagger;
   std::string fallback_location =
       q.resolved_city.empty() ? q.location : q.resolved_city;
 
   for (const ir::Passage& p : passages) {
     const std::string& url =
         (docs != nullptr && docs->IsValid(p.doc)) ? docs->Get(p.doc).url : "";
-    std::vector<std::string> sentences =
-        text::SentenceSplitter::Split(p.text);
-    // Dates carry across sentences, like the weather-page layout the full
-    // extractor models (date line, then data line).
-    const DateMention* last_date = nullptr;
-    std::vector<std::vector<DateMention>> all_dates;
-    all_dates.reserve(sentences.size());
-    for (size_t si = 0; si < sentences.size(); ++si) {
-      TokenSequence toks = text::Tokenizer::Tokenize(sentences[si]);
-      tagger.Tag(&toks);
-      all_dates.push_back(EntityRecognizer::FindDates(toks));
-      if (!all_dates.back().empty()) last_date = &all_dates.back().back();
 
-      auto push = [&](AnswerCandidate c) {
-        c.type = q.answer_type;
-        c.level = DegradationLevel::kRelaxedPattern;
-        c.score = config.relaxed_score;
-        c.sentence = sentences[si];
-        c.passage_text = p.text;
-        c.doc = p.doc;
-        c.url = url;
-        if (c.location.empty()) c.location = fallback_location;
-        if (!c.date.has_value() && last_date != nullptr) {
-          c.date = last_date->date;
-          c.date_complete = last_date->IsComplete();
-        }
-        out.push_back(std::move(c));
-      };
-
-      if (WantsNumber(q.answer_type)) {
-        // Any bare cardinal, unit or no unit — the Figure-5 stripped-table
-        // case where the strict "number + scale" pattern cannot fire.
-        // Cardinals inside a recognized date ("31", "2004") stay dates.
-        for (const auto& m : EntityRecognizer::FindNumbers(toks)) {
-          bool inside_date = false;
-          for (const DateMention& d : all_dates.back()) {
-            if (m.begin >= d.begin && m.begin < d.end) inside_date = true;
-          }
-          if (inside_date) continue;
-          AnswerCandidate c;
-          c.answer_text = m.text;
-          c.has_value = true;
-          c.value = m.value;
-          push(std::move(c));
-        }
-      } else {
-        // Any proper noun, no semantic preference, no question-term filter.
-        for (const auto& pn : EntityRecognizer::FindProperNouns(toks)) {
-          AnswerCandidate c;
-          c.answer_text = pn.text;
-          push(std::move(c));
-        }
+    const text::AnalyzedDocument* analysis =
+        corpus != nullptr ? corpus->Find(p.doc) : nullptr;
+    if (analysis != nullptr &&
+        p.first_sentence < analysis->sentences.size()) {
+      // Cached path: the passage is a sentence range of an analyzed doc.
+      size_t last =
+          std::min(p.last_sentence, analysis->sentences.size() - 1);
+      text::SentenceView view;
+      view.reserve(last - p.first_sentence + 1);
+      for (size_t s = p.first_sentence; s <= last; ++s) {
+        view.push_back(&analysis->sentences[s]);
       }
+      RelaxedExtractFromSentences(q, p, url, view, config,
+                                  fallback_location, &out);
+    } else {
+      // Legacy path: analyze the passage text here and now.
+      TermDictionary dict;
+      text::CorpusAnalyzer analyzer(&dict, {.chunk = false});
+      std::vector<text::AnalyzedSentence> analyzed;
+      for (std::string& s : text::SentenceSplitter::Split(p.text)) {
+        analyzed.push_back(analyzer.AnalyzeSentence(std::move(s)));
+      }
+      text::SentenceView view;
+      view.reserve(analyzed.size());
+      for (const text::AnalyzedSentence& s : analyzed) view.push_back(&s);
+      RelaxedExtractFromSentences(q, p, url, view, config,
+                                  fallback_location, &out);
     }
   }
   if (out.size() > max_answers) out.resize(max_answers);

@@ -11,6 +11,10 @@ struct Passage;
 class DocumentStore;
 }  // namespace ir
 
+namespace text {
+class AnalyzedCorpus;
+}  // namespace text
+
 namespace qa {
 
 struct AnswerCandidate;
@@ -66,10 +70,16 @@ struct DegradationConfig {
 /// questions, proper nouns otherwise) from the retrieved passages without
 /// the strict answer patterns. Candidates carry `config.relaxed_score` and
 /// DegradationLevel::kRelaxedPattern.
+///
+/// When `corpus` is non-null and holds the passage's document, the rung
+/// pattern-matches over the cached indexation-time sentence analyses (the
+/// passage's [first_sentence, last_sentence] range); otherwise it
+/// re-analyzes the passage text on the fly. Both paths are byte-identical
+/// on the same text.
 std::vector<AnswerCandidate> RelaxedExtract(
     const QuestionAnalysis& q, const std::vector<ir::Passage>& passages,
     const ir::DocumentStore* docs, const DegradationConfig& config,
-    size_t max_answers);
+    size_t max_answers, const text::AnalyzedCorpus* corpus = nullptr);
 
 /// Rung 3: wraps the best retrieved passage as a valueless answer carrying
 /// `config.ir_only_score` and DegradationLevel::kIrOnly. Empty when there

@@ -1,0 +1,68 @@
+#include "text/analyzed_corpus.h"
+
+#include <utility>
+
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace dwqa {
+namespace text {
+
+AnalyzedSentence CorpusAnalyzer::AnalyzeSentence(std::string sentence) const {
+  AnalyzedSentence out;
+  out.text = std::move(sentence);
+  out.tokens = Tokenizer::Tokenize(out.text);
+  tagger_.Tag(&out.tokens);
+  if (options_.chunk) out.blocks = Chunker::Chunk(out.tokens);
+  out.dates = EntityRecognizer::FindDates(out.tokens);
+  out.token_ids.reserve(out.tokens.size());
+  out.lemma_ids.reserve(out.tokens.size());
+  for (const Token& t : out.tokens) {
+    out.token_ids.push_back(dict_->Intern(t.lower));
+    TermId lemma = dict_->Intern(t.lemma);
+    out.lemma_ids.push_back(lemma);
+    out.lemma_set.insert(lemma);
+  }
+  return out;
+}
+
+AnalyzedDocument CorpusAnalyzer::AnalyzeDocument(std::string plain) const {
+  AnalyzedDocument out;
+  out.plain = std::move(plain);
+  std::vector<std::string> sentences = SentenceSplitter::Split(out.plain);
+  out.sentences.reserve(sentences.size());
+  for (std::string& s : sentences) {
+    AnalyzedSentence analyzed = AnalyzeSentence(std::move(s));
+    out.token_count += analyzed.tokens.size();
+    out.lemma_set.insert(analyzed.lemma_set.begin(),
+                         analyzed.lemma_set.end());
+    out.sentences.push_back(std::move(analyzed));
+  }
+  return out;
+}
+
+const AnalyzedDocument& AnalyzedCorpus::Add(DocKey doc, std::string plain) {
+  CorpusAnalyzer analyzer(dict_.get());
+  AnalyzedDocument analyzed = analyzer.AnalyzeDocument(std::move(plain));
+  if (auto it = docs_.find(doc); it != docs_.end()) {
+    sentence_count_ -= it->second.sentences.size();
+  }
+  sentence_count_ += analyzed.sentences.size();
+  auto [it, inserted] = docs_.insert_or_assign(doc, std::move(analyzed));
+  (void)inserted;
+  return it->second;
+}
+
+const AnalyzedDocument* AnalyzedCorpus::Find(DocKey doc) const {
+  auto it = docs_.find(doc);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+void AnalyzedCorpus::Clear() {
+  docs_.clear();
+  sentence_count_ = 0;
+  *dict_ = TermDictionary();
+}
+
+}  // namespace text
+}  // namespace dwqa

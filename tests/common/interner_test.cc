@@ -1,0 +1,67 @@
+#include "common/interner.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+TEST(TermDictionaryTest, InternAssignsDenseFirstSeenIds) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Intern("barcelona"), 0u);
+  EXPECT_EQ(dict.Intern("weather"), 1u);
+  EXPECT_EQ(dict.Intern("temperature"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TermDictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  TermId id = dict.Intern("madrid");
+  EXPECT_EQ(dict.Intern("madrid"), id);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TermDictionaryTest, FindNeverGrowsTheDictionary) {
+  TermDictionary dict;
+  dict.Intern("known");
+  EXPECT_EQ(dict.Find("unknown"), kInvalidTermId);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.Find("known"), 0u);
+}
+
+TEST(TermDictionaryTest, TermRoundTrips) {
+  TermDictionary dict;
+  TermId a = dict.Intern("alpha");
+  TermId b = dict.Intern("beta");
+  EXPECT_EQ(dict.Term(a), "alpha");
+  EXPECT_EQ(dict.Term(b), "beta");
+}
+
+TEST(TermDictionaryTest, TermAddressesSurviveRehash) {
+  TermDictionary dict;
+  TermId first = dict.Intern("first");
+  const std::string* before = &dict.Term(first);
+  // Enough inserts to force several rehashes of the underlying map.
+  for (int i = 0; i < 5000; ++i) {
+    dict.Intern("term" + std::to_string(i));
+  }
+  EXPECT_EQ(before, &dict.Term(first));
+  EXPECT_EQ(*before, "first");
+}
+
+TEST(TermDictionaryTest, IdsStayValidAcrossManyInterns) {
+  TermDictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(dict.Intern("t" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.Term(ids[size_t(i)]), "t" + std::to_string(i));
+    EXPECT_EQ(dict.Find("t" + std::to_string(i)), ids[size_t(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace dwqa

@@ -84,17 +84,35 @@ class ChaosPipelineTest : public ::testing::Test {
   }
 
   Result<FeedReport> Feed(dw::Warehouse* wh, const ResilienceConfig& res,
-                          IntegrationPipeline** out_pipeline = nullptr) {
+                          IntegrationPipeline** out_pipeline = nullptr,
+                          bool reanalyze_per_question = false) {
     PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
     // Wider extraction than the default so each question yields several
     // facts — the per-source breaker needs a stream of loads to trip on.
     config.qa.max_answers = 10;
     config.qa.passages_to_analyze = 8;
+    config.qa.reanalyze_per_question = reanalyze_per_question;
     config.resilience = res;
     pipeline_ = std::make_unique<IntegrationPipeline>(wh, &uml_, config);
     if (out_pipeline != nullptr) *out_pipeline = pipeline_.get();
     DWQA_RETURN_NOT_OK(pipeline_->RunAll(&web_->documents()));
     return pipeline_->RunStep5({kQ1, kQ2}, "Weather", "temperature");
+  }
+
+  /// Units one unlimited-budget run spends through indexation (one
+  /// ir.index attempt + qa.index + one qa.index.analysis unit per analyzed
+  /// sentence). The budget tests calibrate against this probe instead of a
+  /// hard-coded constant so the per-sentence indexation charging can evolve
+  /// with the corpus.
+  double IndexationCost() {
+    PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
+    config.qa.max_answers = 10;
+    config.qa.passages_to_analyze = 8;
+    config.resilience.retry = FastRetry();
+    auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+    IntegrationPipeline probe(&wh, &uml_, config);
+    EXPECT_TRUE(probe.RunAll(&web_->documents()).ok());
+    return probe.deadline().spent();
   }
 
   ontology::UmlModel uml_;
@@ -341,12 +359,16 @@ TEST_F(ChaosPipelineTest, TinyBudgetSkipsQuestionsInsteadOfCrashing) {
   auto clean = Feed(&clean_wh, clean_res);
   ASSERT_TRUE(clean.ok());
 
-  // Indexation costs 2 units (one ir.index attempt + qa.index); the budget
-  // dies during the first question's analysis.
+  // A budget of exactly the indexation cost (which now includes one unit
+  // per analyzed sentence — the linguistic work moved off-line with the
+  // AnalyzedCorpus) lets indexation finish on its crossing charge and dies
+  // at the first question's analysis.
+  const double index_cost = IndexationCost();
+  ASSERT_GT(index_cost, 2.0);  // ir.index + qa.index + per-sentence units.
   IntegrationPipeline* p = nullptr;
   ResilienceConfig res;
   res.retry = FastRetry();
-  res.deadline.budget = 3.0;
+  res.deadline.budget = index_cost;
   auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
   auto report = Feed(&wh, res, &p);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -363,8 +385,8 @@ TEST_F(ChaosPipelineTest, TinyBudgetSkipsQuestionsInsteadOfCrashing) {
   EXPECT_TRUE(p->deadline().exhausted());
   EXPECT_FALSE(p->deadline().exhausted_stage().empty());
   EXPECT_TRUE(report->health.deadline_exhausted);
-  EXPECT_EQ(report->health.budget_limit, 3.0);
-  EXPECT_LE(report->health.budget_spent, 3.0);
+  EXPECT_EQ(report->health.budget_limit, index_cost);
+  EXPECT_LE(report->health.budget_spent, index_cost);
 }
 
 TEST_F(ChaosPipelineTest, MidRunBudgetDegradesButStaysConsistent) {
@@ -375,12 +397,12 @@ TEST_F(ChaosPipelineTest, MidRunBudgetDegradesButStaysConsistent) {
   ASSERT_TRUE(clean.ok());
   ASSERT_GT(clean->rows_loaded, 0u);
 
-  // Enough budget to answer Q1 and load part of its facts; the rest of the
-  // run is shed. The partial warehouse must still be a subset of the clean
-  // one — degraded means fewer rows, never different rows.
+  // Indexation plus enough to answer Q1 and load part of its facts; the
+  // rest of the run is shed. The partial warehouse must still be a subset
+  // of the clean one — degraded means fewer rows, never different rows.
   ResilienceConfig res;
   res.retry = FastRetry();
-  res.deadline.budget = 20.0;
+  res.deadline.budget = IndexationCost() + 18.0;
   auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
   auto report = Feed(&wh, res);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -408,6 +430,43 @@ TEST_F(ChaosPipelineTest, UnlimitedDeadlineChangesNothing) {
   EXPECT_FALSE(b->deadline_exhausted);
   EXPECT_EQ(b->questions_deadline_skipped, 0u);
   EXPECT_EQ(WeatherRows(a_wh), WeatherRows(b_wh));
+}
+
+/// Golden equivalence under chaos: at 10% transient faults with the same
+/// seed, the cached AnalyzedCorpus path and the reanalyze_per_question
+/// ablation (the pre-refactor per-question analysis) must load identical
+/// warehouse rows and report identical feed accounting. The fault RNG draws
+/// once per Hit() call, so any control-flow divergence between the two
+/// analysis modes would desynchronize the injected-fault sequence and show
+/// up as a row or counter diff.
+TEST_F(ChaosPipelineTest, TenPercentFaultsFeedIdenticallyInBothModes) {
+  ResilienceConfig res;
+  res.fault = FaultConfig::TransientEverywhere(0.10, 77);
+  res.retry = FastRetry();
+
+  auto cached_wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  auto cached = Feed(&cached_wh, res, nullptr, false);
+  ASSERT_TRUE(cached.ok());
+
+  auto ablation_wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  auto ablation = Feed(&ablation_wh, res, nullptr, true);
+  ASSERT_TRUE(ablation.ok());
+
+  EXPECT_EQ(WeatherRows(cached_wh), WeatherRows(ablation_wh));
+  EXPECT_EQ(cached->questions_asked, ablation->questions_asked);
+  EXPECT_EQ(cached->questions_answered, ablation->questions_answered);
+  EXPECT_EQ(cached->questions_failed, ablation->questions_failed);
+  EXPECT_EQ(cached->facts_extracted, ablation->facts_extracted);
+  EXPECT_EQ(cached->rows_loaded, ablation->rows_loaded);
+  EXPECT_EQ(cached->rows_deduplicated, ablation->rows_deduplicated);
+  EXPECT_EQ(cached->rows_quarantined, ablation->rows_quarantined);
+  EXPECT_EQ(cached->retries, ablation->retries);
+  EXPECT_EQ(cached->transient_failures, ablation->transient_failures);
+  // The accounting identity holds in both modes.
+  for (const FeedReport* r : {&*cached, &*ablation}) {
+    EXPECT_EQ(r->rows_loaded + r->rows_deduplicated + r->rows_quarantined,
+              r->facts_extracted);
+  }
 }
 
 }  // namespace

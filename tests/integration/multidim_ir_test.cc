@@ -114,6 +114,65 @@ TEST_F(MultidimIrTest, TopKRespected) {
   EXPECT_EQ(hits.size(), 2u);
 }
 
+TEST(MultidimIrCorpusTest, AttachValidatesItsPreconditions) {
+  auto mdir = MultidimIr::Create().ValueOrDie();
+  EXPECT_TRUE(mdir.AttachCorpus(nullptr).IsInvalidArgument());
+  ASSERT_TRUE(mdir.AddDocument(0, "some document text", "London",
+                               "United Kingdom", Date(1998, 1, 1))
+                  .ok());
+  text::AnalyzedCorpus corpus;
+  EXPECT_TRUE(mdir.AttachCorpus(&corpus).IsInvalidArgument());
+}
+
+TEST(MultidimIrCorpusTest, AttachedSearchMatchesSelfContainedSearch) {
+  const struct {
+    ir::DocId id;
+    const char* text;
+    const char* city;
+  } kDocs[] = {
+      {0, "the financial crisis deepened on wall street", "New York"},
+      {1, "financial crisis hits european banks", "London"},
+      {2, "city marathon draws record crowd", "New York"},
+  };
+  auto plain = MultidimIr::Create().ValueOrDie();
+  auto shared = MultidimIr::Create().ValueOrDie();
+  text::AnalyzedCorpus corpus;
+  ASSERT_TRUE(shared.AttachCorpus(&corpus).ok());
+  for (const auto& d : kDocs) {
+    ASSERT_TRUE(plain.AddDocument(d.id, d.text, d.city, "Country",
+                                  Date(1998, 2, 10))
+                    .ok());
+    ASSERT_TRUE(shared.AddDocument(d.id, d.text, d.city, "Country",
+                                   Date(1998, 2, 10))
+                    .ok());
+  }
+  // AddDocument fed the shared corpus as a side effect.
+  EXPECT_EQ(corpus.document_count(), 3u);
+  auto a = plain.Search("financial crisis", {}).ValueOrDie();
+  auto b = shared.Search("financial crisis", {}).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(MultidimIrCorpusTest, PreAnalyzedDocumentsAreNotReanalyzed) {
+  text::AnalyzedCorpus corpus;
+  corpus.Add(0, "the financial crisis deepened on wall street");
+  const text::AnalyzedDocument* before = corpus.Find(0);
+  auto mdir = MultidimIr::Create().ValueOrDie();
+  ASSERT_TRUE(mdir.AttachCorpus(&corpus).ok());
+  ASSERT_TRUE(mdir.AddDocument(0, "the financial crisis deepened on wall "
+                                  "street",
+                               "New York", "United States", Date(1998, 2, 10))
+                  .ok());
+  // The cached analysis was reused, not replaced.
+  EXPECT_EQ(corpus.Find(0), before);
+  EXPECT_EQ(corpus.document_count(), 1u);
+  EXPECT_EQ(mdir.Search("financial crisis", {}).ValueOrDie().size(), 1u);
+}
+
 }  // namespace
 }  // namespace integration
 }  // namespace dwqa

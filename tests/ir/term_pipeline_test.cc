@@ -1,0 +1,114 @@
+#include "ir/term_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/inverted_index.h"
+#include "ir/passage_index.h"
+#include "text/analyzed_corpus.h"
+
+namespace dwqa {
+namespace ir {
+namespace {
+
+text::Token Tok(const std::string& lower) {
+  text::Token t;
+  t.text = lower;
+  t.lower = lower;
+  return t;
+}
+
+TEST(TermPipelineTest, PassageTermsDropStopwordsAndNonAlnum) {
+  EXPECT_TRUE(IsPassageTerm(Tok("barcelona")));
+  EXPECT_TRUE(IsPassageTerm(Tok("2004")));
+  EXPECT_FALSE(IsPassageTerm(Tok("the")));
+  EXPECT_FALSE(IsPassageTerm(Tok(",")));
+  EXPECT_FALSE(IsPassageTerm(Tok("")));
+}
+
+TEST(TermPipelineTest, DocumentTermsAlsoDropOneCharNonDigits) {
+  EXPECT_FALSE(IsDocumentTerm(Tok("c")));
+  EXPECT_TRUE(IsDocumentTerm(Tok("8")));
+  EXPECT_TRUE(IsPassageTerm(Tok("c")));  // the asymmetry is deliberate
+}
+
+TEST(TermPipelineTest, DocumentAndPassageTermsKeepOrderAndDuplicates) {
+  std::vector<std::string> doc = DocumentTerms("The cat saw the cat.");
+  std::vector<std::string> expected = {"cat", "saw", "cat"};
+  EXPECT_EQ(doc, expected);
+  std::vector<std::string> pas = PassageTerms("Temperature 8\xC2\xBA C");
+  ASSERT_FALSE(pas.empty());
+  EXPECT_EQ(pas.front(), "temperature");
+}
+
+/// The analyze-once corpus must feed both indexes with postings identical
+/// to the raw-string path — the load-bearing equivalence of the refactor.
+class AnalyzedEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    texts_ = {
+        "Saturday, January 31, 2004\n"
+        "Barcelona Weather: Temperature 8\xC2\xBA C Clear skies today\n"
+        "Friday, January 30, 2004\n"
+        "Barcelona Weather: Temperature 7\xC2\xBA C Cloudy today\n",
+        "The stock market rose by 340 points in January of 2004.\n"
+        "Analysts in New York were surprised.\n",
+        "Iraq invaded Kuwait in 1990.\n",
+    };
+    for (size_t i = 0; i < texts_.size(); ++i) {
+      corpus_.Add(DocId(i), texts_[i]);
+    }
+  }
+
+  std::vector<std::string> texts_;
+  text::AnalyzedCorpus corpus_;
+};
+
+TEST_F(AnalyzedEquivalenceTest, InvertedIndexSearchIsIdentical) {
+  InvertedIndex raw;
+  InvertedIndex analyzed(corpus_.mutable_dictionary());
+  for (size_t i = 0; i < texts_.size(); ++i) {
+    raw.AddDocument(DocId(i), texts_[i]);
+    analyzed.AddAnalyzed(DocId(i), *corpus_.Find(DocId(i)));
+  }
+  for (const char* query :
+       {"barcelona weather", "temperature", "Kuwait invasion",
+        "stock market points", "nothing matches this"}) {
+    std::vector<DocHit> a = raw.Search(query, 10);
+    std::vector<DocHit> b = analyzed.Search(query, 10);
+    ASSERT_EQ(a.size(), b.size()) << query;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc) << query;
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << query;
+    }
+  }
+  for (const char* term : {"barcelona", "weather", "kuwait", "the", "8"}) {
+    EXPECT_EQ(raw.DocFreq(term), analyzed.DocFreq(term)) << term;
+  }
+}
+
+TEST_F(AnalyzedEquivalenceTest, PassageIndexSearchIsIdentical) {
+  PassageIndex raw(3);
+  PassageIndex analyzed(3, corpus_.mutable_dictionary());
+  for (size_t i = 0; i < texts_.size(); ++i) {
+    raw.AddDocument(DocId(i), texts_[i]);
+    analyzed.AddAnalyzed(DocId(i), *corpus_.Find(DocId(i)));
+  }
+  for (const char* query :
+       {"barcelona weather temperature", "Kuwait", "analysts New York",
+        "zzz unknown"}) {
+    std::vector<Passage> a = raw.Search(query, 5);
+    std::vector<Passage> b = analyzed.Search(query, 5);
+    ASSERT_EQ(a.size(), b.size()) << query;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc) << query;
+      EXPECT_EQ(a[i].first_sentence, b[i].first_sentence) << query;
+      EXPECT_EQ(a[i].last_sentence, b[i].last_sentence) << query;
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << query;
+      EXPECT_EQ(a[i].text, b[i].text) << query;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace dwqa

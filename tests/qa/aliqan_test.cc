@@ -153,6 +153,57 @@ TEST_F(AliQAnTest, TimingsPopulatedPerPhase) {
   EXPECT_GT(t.sentences_analyzed, 0u);
 }
 
+TEST_F(AliQAnTest, AskResetsSearchPhaseFieldsOnEntry) {
+  AliQAn aliqan(&wn_);
+  ASSERT_TRUE(aliqan.IndexCorpus(&docs_).ok());
+  ASSERT_TRUE(aliqan.Ask("What is the temperature in Barcelona?").ok());
+  ASSERT_GT(aliqan.last_timings().sentences_analyzed, 0u);
+  // A question retrieving no passages must not show the previous
+  // question's counters — Ask() zeroes the search-phase fields on entry.
+  ASSERT_TRUE(aliqan.Ask("Who is Xyzzyplugh?").ok());
+  const PhaseTimings& t = aliqan.last_timings();
+  EXPECT_EQ(t.sentences_analyzed, 0u);
+  EXPECT_EQ(t.sentences_analyzed_cached, 0u);
+}
+
+TEST_F(AliQAnTest, IndexCorpusResetsOnlyIndexationFields) {
+  AliQAn aliqan(&wn_);
+  ASSERT_TRUE(aliqan.IndexCorpus(&docs_).ok());
+  EXPECT_GT(aliqan.last_timings().indexation_ms, 0.0);
+  EXPECT_GT(aliqan.last_timings().indexation_sentences, 0u);
+  ASSERT_TRUE(aliqan.Ask("What is the temperature in Barcelona?").ok());
+  size_t asked_sentences = aliqan.last_timings().sentences_analyzed;
+  ASSERT_GT(asked_sentences, 0u);
+  // Re-indexing refreshes the indexation fields and leaves the last Ask()'s
+  // search-phase fields untouched.
+  size_t sentences_before = aliqan.last_timings().indexation_sentences;
+  ASSERT_TRUE(aliqan.IndexCorpus(&docs_).ok());
+  EXPECT_GT(aliqan.last_timings().indexation_ms, 0.0);
+  EXPECT_EQ(aliqan.last_timings().indexation_sentences, sentences_before);
+  EXPECT_EQ(aliqan.last_timings().sentences_analyzed, asked_sentences);
+}
+
+TEST_F(AliQAnTest, CachedSentenceCounterTracksAnalysisMode) {
+  const char kQuestion[] = "What is the temperature in Barcelona?";
+  AliQAn cached(&wn_);
+  ASSERT_TRUE(cached.IndexCorpus(&docs_).ok());
+  ASSERT_TRUE(cached.Ask(kQuestion).ok());
+  EXPECT_GT(cached.last_timings().sentences_analyzed, 0u);
+  EXPECT_EQ(cached.last_timings().sentences_analyzed_cached,
+            cached.last_timings().sentences_analyzed);
+
+  AliQAnConfig ablation;
+  ablation.reanalyze_per_question = true;
+  AliQAn reanalyzed(&wn_, ablation);
+  ASSERT_TRUE(reanalyzed.IndexCorpus(&docs_).ok());
+  ASSERT_TRUE(reanalyzed.Ask(kQuestion).ok());
+  EXPECT_GT(reanalyzed.last_timings().sentences_analyzed, 0u);
+  EXPECT_EQ(reanalyzed.last_timings().sentences_analyzed_cached, 0u);
+  // The ablation skips the corpus build entirely.
+  EXPECT_EQ(reanalyzed.corpus().document_count(), 0u);
+  EXPECT_EQ(reanalyzed.last_timings().indexation_sentences, 0u);
+}
+
 }  // namespace
 }  // namespace qa
 }  // namespace dwqa

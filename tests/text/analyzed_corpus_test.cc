@@ -1,0 +1,104 @@
+#include "text/analyzed_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace text {
+namespace {
+
+TEST(CorpusAnalyzerTest, SentenceFieldsAreParallelToTokens) {
+  TermDictionary dict;
+  CorpusAnalyzer analyzer(&dict);
+  AnalyzedSentence s =
+      analyzer.AnalyzeSentence("The temperature in Barcelona was 8 degrees.");
+  ASSERT_FALSE(s.tokens.empty());
+  EXPECT_EQ(s.token_ids.size(), s.tokens.size());
+  EXPECT_EQ(s.lemma_ids.size(), s.tokens.size());
+  for (size_t i = 0; i < s.tokens.size(); ++i) {
+    EXPECT_EQ(dict.Term(s.token_ids[i]), ToLower(s.tokens[i].text));
+    EXPECT_EQ(dict.Term(s.lemma_ids[i]), s.tokens[i].lemma);
+    EXPECT_TRUE(s.lemma_set.count(s.lemma_ids[i]));
+  }
+}
+
+TEST(CorpusAnalyzerTest, ChunkOptionControlsSyntacticBlocks) {
+  TermDictionary dict;
+  CorpusAnalyzer chunked(&dict, {.chunk = true});
+  CorpusAnalyzer flat(&dict, {.chunk = false});
+  const char kSentence[] = "The weather in Madrid was cloudy.";
+  EXPECT_FALSE(chunked.AnalyzeSentence(kSentence).blocks.empty());
+  EXPECT_TRUE(flat.AnalyzeSentence(kSentence).blocks.empty());
+}
+
+TEST(CorpusAnalyzerTest, DateMentionsAreCached) {
+  TermDictionary dict;
+  CorpusAnalyzer analyzer(&dict);
+  AnalyzedSentence s =
+      analyzer.AnalyzeSentence("Saturday, January 31, 2004 was clear.");
+  ASSERT_FALSE(s.dates.empty());
+}
+
+TEST(CorpusAnalyzerTest, DocumentSplitsIntoSentences) {
+  TermDictionary dict;
+  CorpusAnalyzer analyzer(&dict);
+  AnalyzedDocument doc = analyzer.AnalyzeDocument(
+      "Iraq invaded Kuwait in 1990.\nThe invasion started a war.\n");
+  EXPECT_EQ(doc.sentences.size(), 2u);
+  EXPECT_GT(doc.token_count, 0u);
+  // The document lemma set is the union of the sentence sets.
+  for (const AnalyzedSentence& s : doc.sentences) {
+    for (TermId id : s.lemma_set) {
+      EXPECT_TRUE(doc.lemma_set.count(id));
+    }
+  }
+}
+
+TEST(AnalyzedCorpusTest, AddFindContains) {
+  AnalyzedCorpus corpus;
+  EXPECT_FALSE(corpus.Contains(7));
+  EXPECT_EQ(corpus.Find(7), nullptr);
+  const AnalyzedDocument& doc = corpus.Add(7, "One sentence here.");
+  EXPECT_TRUE(corpus.Contains(7));
+  EXPECT_EQ(corpus.Find(7), &doc);
+  EXPECT_EQ(doc.plain, "One sentence here.");
+  EXPECT_EQ(corpus.document_count(), 1u);
+  EXPECT_EQ(corpus.sentence_count(), 1u);
+}
+
+TEST(AnalyzedCorpusTest, ReAddingADocReplacesItsSentenceCount) {
+  AnalyzedCorpus corpus;
+  corpus.Add(1, "First.\nSecond.\nThird.");
+  EXPECT_EQ(corpus.sentence_count(), 3u);
+  corpus.Add(1, "Only one now.");
+  EXPECT_EQ(corpus.document_count(), 1u);
+  EXPECT_EQ(corpus.sentence_count(), 1u);
+}
+
+TEST(AnalyzedCorpusTest, ClearResetsDictionaryInPlace) {
+  AnalyzedCorpus corpus;
+  TermDictionary* dict = corpus.mutable_dictionary();
+  corpus.Add(1, "Barcelona weather was clear.");
+  EXPECT_GT(dict->size(), 0u);
+  corpus.Clear();
+  // Borrowed pointers stay valid and observe the emptied dictionary.
+  EXPECT_EQ(corpus.mutable_dictionary(), dict);
+  EXPECT_EQ(dict->size(), 0u);
+  EXPECT_EQ(corpus.document_count(), 0u);
+  EXPECT_EQ(corpus.sentence_count(), 0u);
+}
+
+TEST(AnalyzedCorpusTest, DictionaryPointerSurvivesMove) {
+  AnalyzedCorpus corpus;
+  corpus.Add(1, "Madrid is in Spain.");
+  TermDictionary* dict = corpus.mutable_dictionary();
+  AnalyzedCorpus moved = std::move(corpus);
+  EXPECT_EQ(moved.mutable_dictionary(), dict);
+  ASSERT_NE(moved.Find(1), nullptr);
+  EXPECT_EQ(moved.Find(1)->plain, "Madrid is in Spain.");
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace dwqa
