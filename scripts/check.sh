@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Full verification sweep: configure, build, unit tests, a sanitizer pass
-# over the whole test suite, then all benches.
+# Full verification sweep: lints, configure, build, unit tests, a sanitizer
+# pass over the whole test suite, then all benches.
 #
 # Usage: scripts/check.sh [build-dir]
 #
 # Environment knobs:
 #   DWQA_SANITIZE       sanitizer list for the sanitizer pass
-#                       (default "address,undefined"; "" skips the pass)
+#                       (default "address,undefined"; "" skips the pass;
+#                       "thread" runs the TSan flavour CI uses for the
+#                       threads-labeled suite)
 #   DWQA_SKIP_BENCHES=1 skip the bench sweep
+#   DWQA_JOBS           bound build/test parallelism (default: unbounded -j,
+#                       which OOMs small CI runners)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -17,20 +21,14 @@ SANITIZE="${DWQA_SANITIZE-address,undefined}"
 GENERATOR=()
 command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
 
-# Lint: the POS tagger builds its lexicon at construction time, so a
-# `PosTagger tagger;` inside a loop body re-pays that cost per sentence.
-# The QA layer reads cached AnalyzedCorpus analyses instead; any tagger a
-# qa/ source still needs must be hoisted to function scope (2-space indent).
-# Indentation ≥ 4 spaces means the declaration sits inside a loop or other
-# nested block — reject it.
-if grep -rnE '^[[:space:]]{4,}(text::)?PosTagger [a-z_]+;' "$ROOT/src/qa"; then
-  echo "lint: PosTagger constructed inside a nested scope in src/qa/ —" \
-       "hoist it out of the loop (see text/analyzed_corpus.h)." >&2
-  exit 1
-fi
+JOBS=(-j)
+[ -n "${DWQA_JOBS:-}" ] && JOBS=(-j "$DWQA_JOBS")
+
+# Grep lints (shared with the CI lint job).
+"$ROOT/scripts/lint.sh"
 
 cmake -B "$ROOT/$BUILD_DIR" "${GENERATOR[@]}" -S "$ROOT"
-cmake --build "$ROOT/$BUILD_DIR" -j
+cmake --build "$ROOT/$BUILD_DIR" "${JOBS[@]}"
 ctest --test-dir "$ROOT/$BUILD_DIR" --output-on-failure
 
 # Perf smoke: the fig3 phase study (--smoke) plus one repetition of each
@@ -48,18 +46,24 @@ if [ -n "$SANITIZE" ]; then
   echo "##### sanitizer pass (-fsanitize=$SANITIZE) #####"
   cmake -B "$ROOT/$SAN_DIR" "${GENERATOR[@]}" -S "$ROOT" \
     -DDWQA_SANITIZE="$SANITIZE" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$ROOT/$SAN_DIR" -j
+  cmake --build "$ROOT/$SAN_DIR" "${JOBS[@]}"
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
     ctest --test-dir "$ROOT/$SAN_DIR" --output-on-failure
 
   # The fault-injection suite once more, alone and loudly: the chaos label
-  # is the contract that these tests exist and run sanitized.
+  # is the contract that these tests exist and run sanitized. The exit
+  # status is propagated explicitly — `set -e` does not survive callers
+  # that pipe this script (only the last pipeline member's status counts),
+  # so a swallowed chaos failure here once faked a green sweep.
   echo
   echo "##### chaos suite under sanitizers (ctest -L chaos) #####"
-  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
-  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
-    ctest --test-dir "$ROOT/$SAN_DIR" -L chaos --output-on-failure
+  if ! ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+       ctest --test-dir "$ROOT/$SAN_DIR" -L chaos --output-on-failure; then
+    echo "check.sh: chaos suite FAILED under -fsanitize=$SANITIZE" >&2
+    exit 1
+  fi
 fi
 
 if [ "${DWQA_SKIP_BENCHES:-0}" != 1 ]; then

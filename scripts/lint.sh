@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Grep lints shared by the local sweep (scripts/check.sh) and the CI lint
+# job. Each lint prints the offending lines and the rationale, then fails.
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+failed=0
+
+# Lint 1: the POS tagger builds its lexicon at construction time, so a
+# `PosTagger tagger;` inside a loop body re-pays that cost per sentence.
+# The QA layer reads cached AnalyzedCorpus analyses instead; any tagger a
+# qa/ source still needs must be hoisted to function scope (2-space indent).
+# Indentation ≥ 4 spaces means the declaration sits inside a loop or other
+# nested block — reject it.
+if grep -rnE '^[[:space:]]{4,}(text::)?PosTagger [a-z_]+;' "$ROOT/src/qa"; then
+  echo "lint: PosTagger constructed inside a nested scope in src/qa/ —" \
+       "hoist it out of the loop (see text/analyzed_corpus.h)." >&2
+  failed=1
+fi
+
+# Lint 2: common/thread_pool is the one threading primitive of the
+# codebase — its determinism contract (stable output ordering, threads=1 as
+# the literal serial path, lowest-index exception propagation) is what the
+# golden-equivalence suite certifies. A raw std::thread anywhere else in
+# src/ escapes that contract.
+if grep -rn 'std::thread' "$ROOT/src" \
+     --include='*.h' --include='*.cc' \
+     | grep -v '^[^:]*/common/thread_pool\.\(h\|cc\):' \
+     | grep -v 'hardware_concurrency'; then
+  echo "lint: raw std::thread outside common/thread_pool — use" \
+       "ThreadPool::Submit/ParallelFor so parallel output stays" \
+       "deterministic." >&2
+  failed=1
+fi
+
+exit "$failed"

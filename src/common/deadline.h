@@ -58,6 +58,15 @@ class Deadline {
   /// `stage` once it is gone.
   Status Check(const std::string& stage);
 
+  /// Replays every charge tallied by `other` into this deadline, stage by
+  /// stage, as if the work had been charged here directly. This is the
+  /// merge half of speculative execution: a parallel worker runs against a
+  /// private unlimited ledger, and the serial merge point absorbs that
+  /// ledger so spent/spent_by_stage match the serial run exactly. Returns
+  /// the first non-OK status a replayed charge produced (OK otherwise);
+  /// later charges are still applied so accounting never diverges.
+  Status Absorb(const Deadline& other);
+
   /// Stage that first observed exhaustion ("" while budget remains).
   const std::string& exhausted_stage() const { return exhausted_stage_; }
 

@@ -1,7 +1,11 @@
 #ifndef DWQA_COMMON_INTERNER_H_
 #define DWQA_COMMON_INTERNER_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +59,82 @@ class TermDictionary {
   std::unordered_map<std::string, TermId> ids_;
   /// id → key in ids_ (node addresses are stable under rehash).
   std::vector<const std::string*> terms_;
+};
+
+/// \brief Thread-safe interning front-end for the parallel indexation path.
+///
+/// Concurrent CorpusAnalyzer workers intern into this instead of the
+/// corpus's TermDictionary: terms are partitioned into `kShards` buckets by
+/// hash, each guarded by its own mutex, so workers interning disjoint
+/// vocabulary never contend and a shared term is still stored exactly once.
+///
+/// The ids it hands out are **provisional**: unique, stable for the
+/// interner's lifetime, and round-trippable through Term(), but their
+/// numbering depends on thread interleaving. They must never escape into
+/// postings or cached analyses — AnalyzedCorpus::AddBatch remaps them into
+/// the owned TermDictionary's dense first-seen-in-document-order ids at its
+/// serial merge point, which is what keeps a parallel build byte-identical
+/// to the serial one.
+class ShardedTermInterner {
+ public:
+  static constexpr size_t kShards = 16;
+
+  ShardedTermInterner() = default;
+  ShardedTermInterner(const ShardedTermInterner&) = delete;
+  ShardedTermInterner& operator=(const ShardedTermInterner&) = delete;
+
+  /// The provisional id of `term`, interning it first if unseen. Safe to
+  /// call from any number of threads concurrently.
+  TermId Intern(const std::string& term) {
+    const size_t s = std::hash<std::string>{}(term) % kShards;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.ids.find(term);
+    if (it != shard.ids.end()) return it->second;
+    // Ids interleave across shards (local index ∗ kShards + shard), so the
+    // id space stays dense enough for a flat remap table.
+    TermId id = static_cast<TermId>(shard.terms.size() * kShards + s);
+    auto inserted = shard.ids.emplace(term, id).first;
+    shard.terms.push_back(&inserted->first);
+    return id;
+  }
+
+  /// The string of a valid provisional id.
+  const std::string& Term(TermId id) const {
+    const Shard& shard = shards_[id % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return *shard.terms[id / kShards];
+  }
+
+  /// Exclusive upper bound on every id issued so far — the size a flat
+  /// id-indexed remap table needs.
+  size_t IdBound() const {
+    size_t longest = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      longest = std::max(longest, shard.terms.size());
+    }
+    return longest * kShards;
+  }
+
+  /// Distinct terms interned.
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.terms.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, TermId> ids;
+    /// local index → key in ids (node addresses survive rehash).
+    std::vector<const std::string*> terms;
+  };
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace dwqa

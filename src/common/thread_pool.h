@@ -1,0 +1,87 @@
+#ifndef DWQA_COMMON_THREAD_POOL_H_
+#define DWQA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dwqa {
+
+/// \brief Fixed-size, work-stealing-free thread pool with deterministic
+/// output ordering.
+///
+/// This is the one threading primitive of the codebase (a lint rejects raw
+/// `std::thread` elsewhere in src/). Design constraints, in order:
+///
+///  1. **Determinism.** Results are identified by their index, never by
+///     completion order: `ParallelFor(n, fn)` promises that `fn(i)` ran
+///     exactly once for every `i` and that the caller observes all writes
+///     after the join — so a caller filling `out[i]` gets the same output
+///     vector for any worker count, including zero. There is no work
+///     stealing and no reordering layer; tasks are dispensed from a single
+///     FIFO counter.
+///  2. **Degenerate case == serial code.** A pool built with `threads <= 1`
+///     starts no workers at all: Submit and ParallelFor run inline on the
+///     caller's thread, in index order. `threads = 1` configs therefore
+///     exercise the exact pre-parallelism code path.
+///  3. **Exception transparency.** A task exception is never swallowed:
+///     Submit surfaces it through the returned future, ParallelFor rethrows
+///     the lowest-index exception after all indices ran to completion.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; `0` and `1` start none (inline execution).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers running tasks (0 in the inline degenerate case).
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns its future. Inline pools run `fn` before
+  /// returning (the future is already ready); errors still travel through
+  /// the future in both modes.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+    } else {
+      Enqueue([task]() { (*task)(); });
+    }
+    return future;
+  }
+
+  /// Runs `fn(i)` for every `i` in `[0, n)` and blocks until all indices
+  /// completed. The calling thread participates, so a pool that is busy (or
+  /// inline) still makes progress. Indices are dispensed in increasing
+  /// order from a shared counter; when a task throws, the remaining indices
+  /// still run and the lowest-index exception is rethrown after the join.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_THREAD_POOL_H_

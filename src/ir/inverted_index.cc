@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/string_util.h"
 #include "ir/term_pipeline.h"
@@ -47,6 +48,29 @@ size_t InvertedIndex::DocFreq(const std::string& term) const {
   if (id == kInvalidTermId) return 0;
   auto it = postings_.find(id);
   return it == postings_.end() ? 0 : it->second.size();
+}
+
+std::string InvertedIndex::DebugString() const {
+  std::ostringstream out;
+  std::vector<TermId> term_ids;
+  term_ids.reserve(postings_.size());
+  for (const auto& [term, unused] : postings_) term_ids.push_back(term);
+  std::sort(term_ids.begin(), term_ids.end());
+  for (TermId term : term_ids) {
+    out << term << '=' << dict_->Term(term) << ':';
+    for (const Posting& p : postings_.at(term)) {
+      out << ' ' << p.doc << 'x' << p.tf;
+    }
+    out << '\n';
+  }
+  std::vector<DocId> docs;
+  docs.reserve(doc_lengths_.size());
+  for (const auto& [doc, unused] : doc_lengths_) docs.push_back(doc);
+  std::sort(docs.begin(), docs.end());
+  for (DocId doc : docs) {
+    out << "len " << doc << '=' << doc_lengths_.at(doc) << '\n';
+  }
+  return out.str();
 }
 
 std::vector<DocHit> InvertedIndex::Search(const std::string& query,

@@ -60,6 +60,13 @@ class InvertedIndex {
   /// Document frequency of `term` (lowercased).
   size_t DocFreq(const std::string& term) const;
 
+  /// Canonical dump of the whole index — every postings list (with term
+  /// strings, in TermId order, occurrences in insertion order) and every
+  /// document length. Two builds that produce identical dumps are
+  /// observationally identical; the serial↔parallel golden-equivalence
+  /// suite compares these byte for byte.
+  std::string DebugString() const;
+
  private:
   struct Posting {
     DocId doc;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "common/string_util.h"
 #include "ir/term_pipeline.h"
@@ -51,6 +52,29 @@ const std::vector<std::string>& PassageIndex::Sentences(DocId doc_id) const {
   static const std::vector<std::string> kEmpty;
   auto it = sentences_.find(doc_id);
   return it == sentences_.end() ? kEmpty : it->second;
+}
+
+std::string PassageIndex::DebugString() const {
+  std::ostringstream out;
+  std::vector<TermId> term_ids;
+  term_ids.reserve(postings_.size());
+  for (const auto& [term, unused] : postings_) term_ids.push_back(term);
+  std::sort(term_ids.begin(), term_ids.end());
+  for (TermId term : term_ids) {
+    out << term << '=' << dict_->Term(term) << ':';
+    for (const SentenceRef& ref : postings_.at(term)) {
+      out << ' ' << ref.doc << '.' << ref.sentence;
+    }
+    out << '\n';
+  }
+  std::vector<DocId> docs;
+  docs.reserve(sentences_.size());
+  for (const auto& [doc, unused] : sentences_) docs.push_back(doc);
+  std::sort(docs.begin(), docs.end());
+  for (DocId doc : docs) {
+    out << "sentences " << doc << '=' << sentences_.at(doc).size() << '\n';
+  }
+  return out.str();
 }
 
 std::vector<Passage> PassageIndex::Search(const std::string& query,

@@ -72,6 +72,12 @@ class PassageIndex {
   size_t window() const { return window_; }
   size_t document_count() const { return sentences_.size(); }
 
+  /// Canonical dump — every postings list (with term strings, in TermId
+  /// order, refs in insertion order) and per-document sentence counts. Used
+  /// by the serial↔parallel golden-equivalence suite; see
+  /// InvertedIndex::DebugString.
+  std::string DebugString() const;
+
  private:
   size_t window_;
   std::unique_ptr<TermDictionary> owned_;  ///< Null when dict_ is shared.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "ir/html.h"
 #include "qa/answer_extractor.h"
 #include "qa/degradation.h"
@@ -68,19 +70,55 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
     passage_index_ =
         ir::PassageIndex(config_.passage_window, corpus_.mutable_dictionary());
     doc_index_ = ir::InvertedIndex(corpus_.mutable_dictionary());
-    for (const ir::Document& doc : docs->documents()) {
-      const text::AnalyzedDocument& analysis =
-          corpus_.Add(doc.id, preprocessor_(doc));
-      // The linguistic cost now lives off-line: one unit per analyzed
-      // sentence, charged where the work happens (Figure 3's indexation
-      // phase), so the search phase only pays for pattern matching.
-      if (deadline_ != nullptr) {
-        DWQA_RETURN_NOT_OK(deadline_->Spend(
-            "qa.index.analysis",
-            static_cast<double>(analysis.sentences.size())));
+    // Parallel analysis needs an unlimited budget: with a finite one, the
+    // point of mid-run exhaustion depends on completion order, so the
+    // serial path is the only deterministic choice.
+    bool parallel = config_.threads > 1 &&
+                    (deadline_ == nullptr || deadline_->unlimited());
+    if (config_.threads > 1 && !parallel) {
+      DWQA_LOG(Info) << "qa.index: threads=" << config_.threads
+                     << " ignored under a finite deadline budget;"
+                     << " indexing serially";
+    }
+    if (parallel) {
+      // Preprocessing and linguistic analysis fan out over the pool; the
+      // dictionary remap, deadline charges and both AddAnalyzed index
+      // builds stay serialized in document order, so every id and posting
+      // is byte-identical to the serial build.
+      const auto& documents = docs->documents();
+      std::vector<text::AnalyzedCorpus::DocKey> keys(documents.size());
+      std::vector<std::string> plains(documents.size());
+      ThreadPool pool(config_.threads);
+      pool.ParallelFor(documents.size(), [&](size_t i) {
+        keys[i] = documents[i].id;
+        plains[i] = preprocessor_(documents[i]);
+      });
+      corpus_.AddBatch(keys, std::move(plains), &pool);
+      for (const ir::Document& doc : documents) {
+        const text::AnalyzedDocument* analysis = corpus_.Find(doc.id);
+        if (deadline_ != nullptr) {
+          DWQA_RETURN_NOT_OK(deadline_->Spend(
+              "qa.index.analysis",
+              static_cast<double>(analysis->sentences.size())));
+        }
+        passage_index_.AddAnalyzed(doc.id, *analysis);
+        doc_index_.AddAnalyzed(doc.id, *analysis);
       }
-      passage_index_.AddAnalyzed(doc.id, analysis);
-      doc_index_.AddAnalyzed(doc.id, analysis);
+    } else {
+      for (const ir::Document& doc : docs->documents()) {
+        const text::AnalyzedDocument& analysis =
+            corpus_.Add(doc.id, preprocessor_(doc));
+        // The linguistic cost now lives off-line: one unit per analyzed
+        // sentence, charged where the work happens (Figure 3's indexation
+        // phase), so the search phase only pays for pattern matching.
+        if (deadline_ != nullptr) {
+          DWQA_RETURN_NOT_OK(deadline_->Spend(
+              "qa.index.analysis",
+              static_cast<double>(analysis.sentences.size())));
+        }
+        passage_index_.AddAnalyzed(doc.id, analysis);
+        doc_index_.AddAnalyzed(doc.id, analysis);
+      }
     }
     timings_.indexation_sentences = corpus_.sentence_count();
   }
@@ -123,28 +161,36 @@ Result<std::string> AliQAn::PlainText(ir::DocId doc) const {
 }
 
 Result<AnswerSet> AliQAn::Ask(const std::string& question) {
+  return AskWith(question, &timings_, deadline_);
+}
+
+Result<AnswerSet> AliQAn::AskWith(const std::string& question,
+                                  PhaseTimings* timings,
+                                  Deadline* deadline) const {
+  PhaseTimings discard;
+  if (timings == nullptr) timings = &discard;
   if (docs_ == nullptr) {
     return Status::Internal("IndexCorpus must run before the search phase");
   }
-  // Per-call reset: the search-phase fields describe this Ask() only.
-  timings_.analysis_ms = 0.0;
-  timings_.retrieval_ms = 0.0;
-  timings_.extraction_ms = 0.0;
-  timings_.sentences_analyzed = 0;
-  timings_.sentences_analyzed_cached = 0;
+  // Per-call reset: the search-phase fields describe this call only.
+  timings->analysis_ms = 0.0;
+  timings->retrieval_ms = 0.0;
+  timings->extraction_ms = 0.0;
+  timings->sentences_analyzed = 0;
+  timings->sentences_analyzed_cached = 0;
   AnswerSet result;
 
   auto t0 = std::chrono::steady_clock::now();
-  if (deadline_ != nullptr) {
-    DWQA_RETURN_NOT_OK(deadline_->Spend("qa.analysis"));
+  if (deadline != nullptr) {
+    DWQA_RETURN_NOT_OK(deadline->Spend("qa.analysis"));
   }
   DWQA_ASSIGN_OR_RETURN(result.analysis, AnalyzeQuestion(question));
-  timings_.analysis_ms = MsSince(t0);
+  timings->analysis_ms = MsSince(t0);
 
   // Module 2 (or the unfiltered ablation).
   auto t1 = std::chrono::steady_clock::now();
-  if (deadline_ != nullptr) {
-    DWQA_RETURN_NOT_OK(deadline_->Spend("qa.retrieval"));
+  if (deadline != nullptr) {
+    DWQA_RETURN_NOT_OK(deadline->Spend("qa.retrieval"));
   }
   std::vector<ir::Passage> passages;
   if (config_.use_ir_filter) {
@@ -165,7 +211,7 @@ Result<AnswerSet> AliQAn::Ask(const std::string& question) {
       passages.push_back(std::move(p));
     }
   }
-  timings_.retrieval_ms = MsSince(t1);
+  timings->retrieval_ms = MsSince(t1);
 
   // Module 3: pattern matching over the cached indexation-time analyses
   // (or full re-analysis under the reanalyze_per_question ablation).
@@ -178,8 +224,8 @@ Result<AnswerSet> AliQAn::Ask(const std::string& question) {
     // One budget unit per analyzed passage. An exhausted budget does not
     // fail the question: extraction stops and the ladder answers from
     // whatever was already retrieved/extracted.
-    if (deadline_ != nullptr &&
-        !deadline_->Spend("qa.extraction").ok()) {
+    if (deadline != nullptr &&
+        !deadline->Spend("qa.extraction").ok()) {
       break;
     }
     result.passages.push_back(p.text);
@@ -244,9 +290,9 @@ Result<AnswerSet> AliQAn::Ask(const std::string& question) {
   }
 
   result.sentences_analyzed = sentences;
-  timings_.extraction_ms = MsSince(t2);
-  timings_.sentences_analyzed = sentences;
-  timings_.sentences_analyzed_cached = cached;
+  timings->extraction_ms = MsSince(t2);
+  timings->sentences_analyzed = sentences;
+  timings->sentences_analyzed_cached = cached;
   return result;
 }
 

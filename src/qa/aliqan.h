@@ -39,6 +39,13 @@ struct AliQAnConfig {
   /// suite asserts both modes answer byte-identically;
   /// bench_fig3_aliqan_phases reports the cached-path speedup.
   bool reanalyze_per_question = false;
+  /// Worker threads for the off-line indexation phase. 1 (the default) is
+  /// the serial path; N > 1 analyzes documents concurrently and merges
+  /// deterministically (AnalyzedCorpus::AddBatch), producing byte-identical
+  /// dictionaries and postings. Ignored — with a log line — when a finite
+  /// deadline budget is installed (mid-indexation exhaustion is inherently
+  /// order-dependent) or under the reanalyze_per_question ablation.
+  size_t threads = 1;
 };
 
 /// \brief Wall-clock of the last Ask()/IndexCorpus() call, by phase — used
@@ -114,6 +121,16 @@ class AliQAn {
 
   /// Full search phase: modules 1–3.
   Result<AnswerSet> Ask(const std::string& question);
+
+  /// The same search phase against caller-supplied timing and deadline
+  /// sinks, leaving the instance untouched. This is the speculation
+  /// primitive behind Pipeline's batched Step-5: workers run AskWith
+  /// against private unlimited Deadline ledgers concurrently (safe — the
+  /// index is quiescent and this method only reads it), and the serial
+  /// merge point later absorbs each ledger into the shared deadline. Both
+  /// `timings` and `deadline` may be null.
+  Result<AnswerSet> AskWith(const std::string& question,
+                            PhaseTimings* timings, Deadline* deadline) const;
 
   /// The document-level index (the IR baseline of bench_ir_vs_qa).
   const ir::InvertedIndex& document_index() const { return doc_index_; }

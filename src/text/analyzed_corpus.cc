@@ -18,8 +18,8 @@ AnalyzedSentence CorpusAnalyzer::AnalyzeSentence(std::string sentence) const {
   out.token_ids.reserve(out.tokens.size());
   out.lemma_ids.reserve(out.tokens.size());
   for (const Token& t : out.tokens) {
-    out.token_ids.push_back(dict_->Intern(t.lower));
-    TermId lemma = dict_->Intern(t.lemma);
+    out.token_ids.push_back(Intern(t.lower));
+    TermId lemma = Intern(t.lemma);
     out.lemma_ids.push_back(lemma);
     out.lemma_set.insert(lemma);
   }
@@ -51,6 +51,51 @@ const AnalyzedDocument& AnalyzedCorpus::Add(DocKey doc, std::string plain) {
   auto [it, inserted] = docs_.insert_or_assign(doc, std::move(analyzed));
   (void)inserted;
   return it->second;
+}
+
+void AnalyzedCorpus::AddBatch(const std::vector<DocKey>& keys,
+                              std::vector<std::string> plains,
+                              ThreadPool* pool) {
+  const size_t n = keys.size();
+  ShardedTermInterner shared;
+  std::vector<AnalyzedDocument> analyzed(n);
+  pool->ParallelFor(n, [&](size_t i) {
+    CorpusAnalyzer analyzer(&shared);
+    analyzed[i] = analyzer.AnalyzeDocument(std::move(plains[i]));
+  });
+
+  // Serial merge: walk documents in submission order and remap each
+  // provisional id into the owned dictionary the first time it appears.
+  // Because the walk visits ids in the same order AnalyzeSentence interns
+  // them (token lowercase form, then lemma, per token, per sentence), the
+  // dictionary assigns exactly the ids a serial build would have.
+  std::vector<TermId> remap(shared.IdBound(), kInvalidTermId);
+  auto map_id = [&](TermId provisional) {
+    TermId& final_id = remap[provisional];
+    if (final_id == kInvalidTermId) {
+      final_id = dict_->Intern(shared.Term(provisional));
+    }
+    return final_id;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    AnalyzedDocument& doc = analyzed[i];
+    doc.lemma_set.clear();
+    for (AnalyzedSentence& sentence : doc.sentences) {
+      sentence.lemma_set.clear();
+      for (size_t t = 0; t < sentence.token_ids.size(); ++t) {
+        sentence.token_ids[t] = map_id(sentence.token_ids[t]);
+        sentence.lemma_ids[t] = map_id(sentence.lemma_ids[t]);
+        sentence.lemma_set.insert(sentence.lemma_ids[t]);
+      }
+      doc.lemma_set.insert(sentence.lemma_set.begin(),
+                           sentence.lemma_set.end());
+    }
+    if (auto it = docs_.find(keys[i]); it != docs_.end()) {
+      sentence_count_ -= it->second.sentences.size();
+    }
+    sentence_count_ += doc.sentences.size();
+    docs_.insert_or_assign(keys[i], std::move(doc));
+  }
 }
 
 const AnalyzedDocument* AnalyzedCorpus::Find(DocKey doc) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/thread_pool.h"
 #include "text/chunker.h"
 #include "text/entities.h"
 #include "text/pos_tagger.h"
@@ -67,11 +68,24 @@ class CorpusAnalyzer {
   explicit CorpusAnalyzer(TermDictionary* dict, AnalyzeOptions options = {})
       : dict_(dict), options_(options) {}
 
+  /// Parallel-indexation variant: interns into the thread-safe shared
+  /// interner instead of a TermDictionary. The resulting ids are
+  /// provisional and must be remapped before they meet any consumer (see
+  /// AnalyzedCorpus::AddBatch).
+  explicit CorpusAnalyzer(ShardedTermInterner* shared,
+                          AnalyzeOptions options = {})
+      : shared_(shared), options_(options) {}
+
   AnalyzedSentence AnalyzeSentence(std::string sentence) const;
   AnalyzedDocument AnalyzeDocument(std::string plain) const;
 
  private:
-  TermDictionary* dict_;
+  TermId Intern(const std::string& term) const {
+    return dict_ != nullptr ? dict_->Intern(term) : shared_->Intern(term);
+  }
+
+  TermDictionary* dict_ = nullptr;
+  ShardedTermInterner* shared_ = nullptr;
   AnalyzeOptions options_;
   PosTagger tagger_;
 };
@@ -92,6 +106,16 @@ class AnalyzedCorpus {
   /// Analyzes `plain` and stores it under `doc` (replacing any previous
   /// analysis). The returned reference is stable until Clear().
   const AnalyzedDocument& Add(DocKey doc, std::string plain);
+
+  /// Parallel equivalent of calling Add(keys[i], plains[i]) for every i in
+  /// order: linguistic analysis (the dominant cost) runs on `pool` against
+  /// a shared thread-safe interner, then a serial merge remaps provisional
+  /// term ids into the owned dictionary in document order — replaying the
+  /// exact intern sequence of the serial path (per token: lowercase form,
+  /// then lemma) — so dictionary ids, lemma sets and every downstream
+  /// posting are byte-identical to the serial build for any worker count.
+  void AddBatch(const std::vector<DocKey>& keys,
+                std::vector<std::string> plains, ThreadPool* pool);
 
   /// The cached analysis, or nullptr when `doc` was never added.
   const AnalyzedDocument* Find(DocKey doc) const;

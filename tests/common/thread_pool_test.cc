@@ -1,0 +1,146 @@
+// Contract tests for the one threading primitive of the codebase:
+// deterministic output ordering, exception transparency, and the
+// zero/one-worker degenerate cases that make threads=1 configs exercise
+// the exact serial code path.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+TEST(ThreadPoolTest, ZeroAndOneThreadStartNoWorkers) {
+  EXPECT_EQ(ThreadPool(0).worker_count(), 0u);
+  EXPECT_EQ(ThreadPool(1).worker_count(), 0u);
+  EXPECT_EQ(ThreadPool(4).worker_count(), 4u);
+}
+
+TEST(ThreadPoolTest, InlinePoolRunsSubmitOnCallerThread) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  auto future = pool.Submit([caller]() {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 42;
+  });
+  // Inline Submit completes before returning.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[size_t(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  for (size_t threads : {size_t(1), size_t(3)}) {
+    ThreadPool pool(threads);
+    auto future = pool.Submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t(0), size_t(1), size_t(2), size_t(4)}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 500;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(kN, [&](size_t i) { ++visits[i]; });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForOutputIsIndependentOfWorkerCount) {
+  // The determinism contract: a caller filling out[i] gets the same vector
+  // for any worker count.
+  constexpr size_t kN = 200;
+  std::vector<std::vector<int>> results;
+  for (size_t threads : {size_t(1), size_t(2), size_t(8)}) {
+    ThreadPool pool(threads);
+    std::vector<int> out(kN, -1);
+    pool.ParallelFor(kN, [&](size_t i) { out[i] = int(i) * 3 + 1; });
+    results.push_back(std::move(out));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexException) {
+  for (size_t threads : {size_t(1), size_t(4)}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 100;
+    std::vector<std::atomic<int>> visits(kN);
+    std::string caught;
+    try {
+      pool.ParallelFor(kN, [&](size_t i) {
+        ++visits[i];
+        if (i == 7 || i == 60) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    // The lowest-index exception wins, deterministically.
+    EXPECT_EQ(caught, "boom at 7") << threads << " threads";
+    // A throwing index does not cancel the rest of the round.
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForMakesProgressWhilePoolIsBusy) {
+  // The calling thread participates, so a round larger than the worker
+  // count (or issued while workers chew on Submit backlog) still finishes.
+  ThreadPool pool(2);
+  std::atomic<int> background{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&background]() { ++background; }));
+  }
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(1000, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(background.load(), 8);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentRoundsOnOnePool) {
+  // Back-to-back ParallelFor rounds reuse the same workers without leaking
+  // state between rounds.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> out(64, 0);
+    pool.ParallelFor(out.size(), [&](size_t i) { out[i] = round; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), round * 64);
+  }
+}
+
+}  // namespace
+}  // namespace dwqa

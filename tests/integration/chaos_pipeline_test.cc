@@ -85,13 +85,16 @@ class ChaosPipelineTest : public ::testing::Test {
 
   Result<FeedReport> Feed(dw::Warehouse* wh, const ResilienceConfig& res,
                           IntegrationPipeline** out_pipeline = nullptr,
-                          bool reanalyze_per_question = false) {
+                          bool reanalyze_per_question = false,
+                          size_t parallel = 1) {
     PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
     // Wider extraction than the default so each question yields several
     // facts — the per-source breaker needs a stream of loads to trip on.
     config.qa.max_answers = 10;
     config.qa.passages_to_analyze = 8;
     config.qa.reanalyze_per_question = reanalyze_per_question;
+    config.qa.threads = parallel;
+    config.parallel_questions = parallel;
     config.resilience = res;
     pipeline_ = std::make_unique<IntegrationPipeline>(wh, &uml_, config);
     if (out_pipeline != nullptr) *out_pipeline = pipeline_.get();
@@ -464,6 +467,48 @@ TEST_F(ChaosPipelineTest, TenPercentFaultsFeedIdenticallyInBothModes) {
   EXPECT_EQ(cached->transient_failures, ablation->transient_failures);
   // The accounting identity holds in both modes.
   for (const FeedReport* r : {&*cached, &*ablation}) {
+    EXPECT_EQ(r->rows_loaded + r->rows_deduplicated + r->rows_quarantined,
+              r->facts_extracted);
+  }
+}
+
+/// Golden equivalence under chaos, serial vs batched: with 10% transient
+/// faults and the same seed, parallel indexation (threads=4) plus the
+/// batched Step-5 ask phase (parallel_questions=4) must load identical
+/// warehouse rows and report identical feed accounting as the fully serial
+/// run. All fault draws, retries and breaker decisions stay serialized at
+/// the merge point, so the injected-fault schedule cannot diverge.
+TEST_F(ChaosPipelineTest, TenPercentFaultsFeedIdenticallySerialAndBatched) {
+  ResilienceConfig res;
+  res.fault = FaultConfig::TransientEverywhere(0.10, 77);
+  res.retry = FastRetry();
+
+  auto serial_wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  auto serial = Feed(&serial_wh, res, nullptr, false, /*parallel=*/1);
+  ASSERT_TRUE(serial.ok());
+
+  auto batched_wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  auto batched = Feed(&batched_wh, res, nullptr, false, /*parallel=*/4);
+  ASSERT_TRUE(batched.ok());
+
+  EXPECT_EQ(WeatherRows(serial_wh), WeatherRows(batched_wh));
+  EXPECT_EQ(serial->questions_asked, batched->questions_asked);
+  EXPECT_EQ(serial->questions_answered, batched->questions_answered);
+  EXPECT_EQ(serial->questions_failed, batched->questions_failed);
+  EXPECT_EQ(serial->facts_extracted, batched->facts_extracted);
+  EXPECT_EQ(serial->rows_loaded, batched->rows_loaded);
+  EXPECT_EQ(serial->rows_deduplicated, batched->rows_deduplicated);
+  EXPECT_EQ(serial->rows_quarantined, batched->rows_quarantined);
+  EXPECT_EQ(serial->quarantined_by_reason, batched->quarantined_by_reason);
+  EXPECT_EQ(serial->retries, batched->retries);
+  EXPECT_EQ(serial->transient_failures, batched->transient_failures);
+  EXPECT_EQ(serial->wasted_retries, batched->wasted_retries);
+  EXPECT_EQ(serial->breaker_rejections, batched->breaker_rejections);
+  // Even the per-stage deadline ledger matches: the speculative workers'
+  // private ledgers were absorbed exactly where serial Ask() would have
+  // charged.
+  EXPECT_EQ(serial->health.budget_spent, batched->health.budget_spent);
+  for (const FeedReport* r : {&*serial, &*batched}) {
     EXPECT_EQ(r->rows_loaded + r->rows_deduplicated + r->rows_quarantined,
               r->facts_extracted);
   }

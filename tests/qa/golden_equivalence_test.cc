@@ -101,6 +101,37 @@ TEST_F(GoldenEquivalenceTest, WeatherQuestionsAnswerIdentically) {
   ExpectModesIdentical(web::QuestionFactory::WeatherQuestions(*web_));
 }
 
+TEST_F(GoldenEquivalenceTest, ParallelIndexationAnswersAndPostingsIdentical) {
+  // threads=4 fans the off-line analysis over a pool and must still produce
+  // the same dictionary ids, the same postings bytes and the same answers
+  // as the serial build (threads=1, the degenerate case).
+  AliQAnConfig serial_config = ModeConfig(false);
+  serial_config.threads = 1;
+  AliQAnConfig parallel_config = ModeConfig(false);
+  parallel_config.threads = 4;
+  AliQAn serial(&wn_, serial_config);
+  AliQAn parallel(&wn_, parallel_config);
+  ASSERT_TRUE(serial.IndexCorpus(&web_->documents()).ok());
+  ASSERT_TRUE(parallel.IndexCorpus(&web_->documents()).ok());
+  EXPECT_EQ(serial.corpus().dictionary().size(),
+            parallel.corpus().dictionary().size());
+  EXPECT_EQ(serial.document_index().DebugString(),
+            parallel.document_index().DebugString());
+  EXPECT_EQ(serial.passage_index().DebugString(),
+            parallel.passage_index().DebugString());
+  for (const web::GoldQuestion& gq :
+       web::QuestionFactory::WeatherQuestions(*web_)) {
+    Result<AnswerSet> a = serial.Ask(gq.question);
+    Result<AnswerSet> b = parallel.Ask(gq.question);
+    ASSERT_EQ(a.ok(), b.ok()) << gq.question;
+    if (!a.ok()) continue;
+    EXPECT_EQ(Serialize(*a), Serialize(*b)) << gq.question;
+    EXPECT_EQ(StructuredFactsToCsv(ToStructuredFacts(*a, "temperature")),
+              StructuredFactsToCsv(ToStructuredFacts(*b, "temperature")))
+        << gq.question;
+  }
+}
+
 TEST_F(GoldenEquivalenceTest, UnfilteredAblationAnswersIdentically) {
   // use_ir_filter=false walks whole documents through extraction — the
   // other passage shape (document-sized, first_sentence == 0).
