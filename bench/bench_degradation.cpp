@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "integration/last_minute_sales.h"
@@ -71,8 +73,28 @@ bool IsSubsetOf(const std::multiset<std::string>& sub,
 struct RunResult {
   integration::FeedReport report;
   std::multiset<std::string> rows;
+  std::vector<MetricSnapshot> metrics;
   double wall_ms = 0.0;
 };
+
+/// One flat key per series, Prometheus style: histogram series become
+/// `_sum`/`_count` scalars so the JsonSectionWriter (scalars only) can
+/// carry the whole registry snapshot into BENCH_phase3.json.
+void TeeMetrics(const std::vector<MetricSnapshot>& metrics,
+                bench::JsonSectionWriter* writer) {
+  for (const MetricSnapshot& snap : metrics) {
+    std::string key = snap.name;
+    for (const auto& [k, v] : snap.labels) {
+      key += "{" + k + "=" + v + "}";
+    }
+    if (snap.type == MetricType::kHistogram) {
+      writer->Add(key + "_sum", snap.sum, "ms");
+      writer->Add(key + "_count", double(snap.count), "");
+    } else {
+      writer->Add(key, snap.value, "");
+    }
+  }
+}
 
 }  // namespace
 
@@ -130,6 +152,7 @@ int main() {
     RunResult result;
     result.report = std::move(report);
     result.rows = WeatherRows(wh);
+    result.metrics = pipeline.metrics()->Snapshot();
     result.wall_ms = timer.ElapsedMs();
     return result;
   };
@@ -161,6 +184,7 @@ int main() {
                       "circuit open", "wasted retries", "breaker rejects",
                       "ddl exhausted", "rows vs clean", "wall (ms)"});
   integration::PipelineHealth chaos_health;
+  std::vector<MetricSnapshot> chaos_metrics;
   for (double rate : {0.1, 0.2, 0.3}) {
     for (double budget : {kUnlimited, kTight}) {
       RunResult off_result, on_result;
@@ -215,6 +239,7 @@ int main() {
       }
       if (rate == 0.3 && budget == kTight) {
         chaos_health = on_result.report.health;
+        chaos_metrics = on_result.metrics;
       }
     }
   }
@@ -285,6 +310,12 @@ int main() {
   shape_ok =
       shape_ok && ladder_on->questions_answered >
                       ladder_off->questions_answered;
+
+  // Tee the observability snapshot of the most chaotic cell into the shared
+  // bench artifact: a perf run leaves the full registry next to its timings.
+  bench::JsonSectionWriter writer("bench_degradation");
+  TeeMetrics(chaos_metrics, &writer);
+  writer.Flush();
 
   std::cout << (shape_ok
                     ? "\n[shape check] PASS — no crashes, the breaker "

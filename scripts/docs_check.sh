@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Doxygen warning gate for the core API (the CI docs job).
+#
+# Renders src/common — the layer every other module builds on, and the
+# home of the observability API — with WARN_AS_ERROR, so an undocumented
+# public item, a stale \param or a broken reference fails the build. The
+# base Doxyfile is reused; only the scope and the failure mode change.
+#
+# Usage: scripts/docs_check.sh   (requires doxygen on PATH)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if ! command -v doxygen >/dev/null 2>&1; then
+  echo "docs_check: doxygen not found on PATH — install it or skip." >&2
+  exit 1
+fi
+
+OUT="${TMPDIR:-/tmp}/dwqa-docs-check"
+rm -rf "$OUT"
+
+(
+  cat Doxyfile
+  echo "INPUT                  = src/common"
+  echo "OUTPUT_DIRECTORY       = $OUT"
+  echo "GENERATE_HTML          = NO"
+  echo "USE_MDFILE_AS_MAINPAGE ="
+  echo "WARN_AS_ERROR          = YES"
+) | doxygen -
+
+echo "docs_check: src/common renders with zero Doxygen warnings."

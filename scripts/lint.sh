@@ -35,4 +35,26 @@ if grep -rn 'std::thread' "$ROOT/src" \
   failed=1
 fi
 
+# Lint 3: the metric catalogue. Every metric name registered in code
+# (constants in src/common/metric_names.h plus any literal passed straight
+# to a Get* call) must be documented in docs/OBSERVABILITY.md — name, type,
+# labels and emitting path — or dashboards chase ghosts. Test-only metrics
+# use the dwqa_test_ prefix and are exempt.
+catalogue="$ROOT/docs/OBSERVABILITY.md"
+missing=0
+for name in $(grep -rhoE '"dwqa_[a-z0-9_]+"' "$ROOT/src" \
+                --include='*.h' --include='*.cc' \
+                | tr -d '"' | sort -u); do
+  case "$name" in dwqa_test_*) continue ;; esac
+  if ! grep -q "\`$name\`" "$catalogue"; then
+    echo "$name"
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "lint: metric names above are registered in src/ but missing from" \
+       "docs/OBSERVABILITY.md — add them to the catalogue." >&2
+  failed=1
+fi
+
 exit "$failed"

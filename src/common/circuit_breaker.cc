@@ -1,5 +1,7 @@
 #include "common/circuit_breaker.h"
 
+#include "common/metric_names.h"
+
 namespace dwqa {
 
 const char* BreakerStateName(BreakerState state) {
@@ -21,6 +23,29 @@ Status BreakerConfig::Validate() const {
         "reject every call forever)");
   }
   return Status::OK();
+}
+
+void CircuitBreaker::set_metrics(MetricRegistry* metrics,
+                                 const std::string& name) {
+  metrics_ = metrics;
+  metrics_name_ = name;
+}
+
+void CircuitBreaker::RecordTransition(const char* to) {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->GetCounter(kMetricBreakerTransitions,
+                   {{"breaker", metrics_name_}, {"to", to}},
+                   "Circuit breaker state transitions")
+      ->Increment();
+}
+
+void CircuitBreaker::RecordRejection() {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->GetCounter(kMetricBreakerRejections, {{"breaker", metrics_name_}},
+                   "Admissions refused by an open/half-open breaker")
+      ->Increment();
 }
 
 bool CircuitBreaker::WouldAllow() const {
@@ -46,10 +71,12 @@ bool CircuitBreaker::Allow() {
         // Cool-down served: this admission is the half-open probe.
         state_ = BreakerState::kHalfOpen;
         probe_outstanding_ = true;
+        RecordTransition("HalfOpen");
         return true;
       }
       ++cooldown_progress_;
       ++rejected_;
+      RecordRejection();
       return false;
     case BreakerState::kHalfOpen:
       if (!probe_outstanding_) {
@@ -57,6 +84,7 @@ bool CircuitBreaker::Allow() {
         return true;
       }
       ++rejected_;
+      RecordRejection();
       return false;
   }
   return true;
@@ -70,12 +98,19 @@ void CircuitBreaker::RecordSuccess() {
     state_ = BreakerState::kClosed;
     cooldown_progress_ = 0;
     probe_outstanding_ = false;
+    RecordTransition("Closed");
   }
 }
 
 void CircuitBreaker::RecordFailure() {
   ++consecutive_failures_;
   ++total_failures_;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter(kMetricBreakerFailures, {{"breaker", metrics_name_}},
+                     "Whole-operation failures recorded per breaker")
+        ->Increment();
+  }
   if (!config_.enabled) return;
   if (state_ == BreakerState::kHalfOpen) {
     // Probe failed: back to open, cool-down restarts from zero.
@@ -83,6 +118,7 @@ void CircuitBreaker::RecordFailure() {
     cooldown_progress_ = 0;
     probe_outstanding_ = false;
     ++opens_;
+    RecordTransition("Open");
     return;
   }
   if (state_ == BreakerState::kClosed &&
@@ -90,6 +126,7 @@ void CircuitBreaker::RecordFailure() {
     state_ = BreakerState::kOpen;
     cooldown_progress_ = 0;
     ++opens_;
+    RecordTransition("Open");
   }
 }
 
@@ -97,8 +134,16 @@ CircuitBreaker* CircuitBreakerRegistry::Get(const std::string& name) {
   auto it = breakers_.find(name);
   if (it == breakers_.end()) {
     it = breakers_.emplace(name, CircuitBreaker(config_)).first;
+    if (metrics_ != nullptr) it->second.set_metrics(metrics_, name);
   }
   return &it->second;
+}
+
+void CircuitBreakerRegistry::set_metrics(MetricRegistry* metrics) {
+  metrics_ = metrics;
+  for (auto& [name, breaker] : breakers_) {
+    breaker.set_metrics(metrics, name);
+  }
 }
 
 size_t CircuitBreakerRegistry::open_count() const {

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace dwqa {
@@ -54,7 +55,9 @@ struct BreakerConfig {
 /// re-opens it and restarts the cool-down from zero.
 class CircuitBreaker {
  public:
+  /// Disabled breaker (default config): every call admitted.
   CircuitBreaker() = default;
+  /// Breaker governed by `config` (thresholds, cool-down, enable flag).
   explicit CircuitBreaker(BreakerConfig config) : config_(config) {}
 
   /// Non-mutating admission test: would `Allow()` return true right now?
@@ -74,8 +77,11 @@ class CircuitBreaker {
   /// permanent error).
   void RecordFailure();
 
+  /// Current position of the closed → open → half-open machine.
   BreakerState state() const { return state_; }
+  /// False means the breaker is a pass-through (the default).
   bool enabled() const { return config_.enabled; }
+  /// The governing configuration.
   const BreakerConfig& config() const { return config_; }
 
   /// \name Counters for reports and the PipelineHealth summary
@@ -90,7 +96,17 @@ class CircuitBreaker {
   size_t total_failures() const { return total_failures_; }
   /// @}
 
+  /// Attaches a metrics registry (may be null): state transitions,
+  /// rejections and failures are mirrored into the
+  /// `dwqa_breaker_*` families labeled `{breaker=name}`.
+  void set_metrics(MetricRegistry* metrics, const std::string& name);
+
  private:
+  /// Mirrors a state transition into the registry.
+  void RecordTransition(const char* to);
+  /// Mirrors a refused admission into the registry.
+  void RecordRejection();
+
   BreakerConfig config_;
   BreakerState state_ = BreakerState::kClosed;
   size_t consecutive_failures_ = 0;
@@ -101,6 +117,9 @@ class CircuitBreaker {
   size_t rejected_ = 0;
   size_t opens_ = 0;
   size_t total_failures_ = 0;
+  /// Metrics sink (null = observability off) and this breaker's label.
+  MetricRegistry* metrics_ = nullptr;
+  std::string metrics_name_;
 };
 
 /// \brief Lazily-populated map of breakers, one per guarded dependency.
@@ -110,13 +129,17 @@ class CircuitBreaker {
 /// registry's BreakerConfig.
 class CircuitBreakerRegistry {
  public:
+  /// Registry handing out disabled pass-through breakers.
   CircuitBreakerRegistry() = default;
+  /// Registry whose breakers all share `config`.
   explicit CircuitBreakerRegistry(BreakerConfig config) : config_(config) {}
 
   /// The breaker named `name`, created on first use.
   CircuitBreaker* Get(const std::string& name);
 
+  /// False means every breaker handed out is a pass-through.
   bool enabled() const { return config_.enabled; }
+  /// All breakers created so far, keyed by name.
   const std::map<std::string, CircuitBreaker>& breakers() const {
     return breakers_;
   }
@@ -124,9 +147,14 @@ class CircuitBreakerRegistry {
   /// Breakers currently not closed — the isolated dependencies.
   size_t open_count() const;
 
+  /// Attaches a metrics registry: existing and future breakers mirror their
+  /// transitions/rejections/failures into it, labeled by breaker name.
+  void set_metrics(MetricRegistry* metrics);
+
  private:
   BreakerConfig config_;
   std::map<std::string, CircuitBreaker> breakers_;
+  MetricRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dwqa

@@ -15,16 +15,18 @@ namespace dwqa {
 /// recognizers of the NLP substrate, and the synthetic weather model.
 class Date {
  public:
+  /// All-zero sentinel date; IsValid() is false.
   Date() = default;
+  /// Unvalidated construction; use Make() for checked input.
   Date(int year, int month, int day) : year_(year), month_(month), day_(day) {}
 
   /// Validating factory. Fails on out-of-range month/day (leap years
   /// respected).
   static Result<Date> Make(int year, int month, int day);
 
-  int year() const { return year_; }
-  int month() const { return month_; }
-  int day() const { return day_; }
+  int year() const { return year_; }    ///< Calendar year.
+  int month() const { return month_; }  ///< 1..12.
+  int day() const { return day_; }      ///< 1..31.
 
   /// True if the fields form a real calendar date.
   bool IsValid() const;
@@ -41,6 +43,7 @@ class Date {
   /// Day count since 1970-01-01 (may be negative).
   int64_t ToEpochDays() const;
 
+  /// Inverse of ToEpochDays().
   static Date FromEpochDays(int64_t days);
 
   /// Next calendar day.
@@ -52,12 +55,15 @@ class Date {
   /// Paper style: "Monday, January 31, 2004".
   std::string ToLongString() const;
 
+  /// 28..31; leap Februaries respected.
   static int DaysInMonth(int year, int month);
+  /// Gregorian leap-year rule.
   static bool IsLeapYear(int year);
 
   /// Month name (full, case-insensitive) -> 1..12; 0 if unknown.
   static int MonthFromName(const std::string& name);
 
+  /// Lexicographic (year, month, day) ordering.
   auto operator<=>(const Date&) const = default;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/metric_names.h"
+
 namespace dwqa {
 
 Status DeadlineConfig::Validate() const {
@@ -15,8 +17,21 @@ Status DeadlineConfig::Validate() const {
   return Status::OK();
 }
 
+void Deadline::set_metrics(MetricRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    // Register the gauge at 0 so an unexhausted run still exports it.
+    metrics_->GetGauge(kMetricDeadlineExhausted, {},
+                      "1 once the shared deadline budget is exhausted")
+        ->Set(exhausted() ? 1.0 : 0.0);
+  }
+}
+
 Status Deadline::Exceeded(const std::string& stage) {
   if (exhausted_stage_.empty()) exhausted_stage_ = stage;
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge(kMetricDeadlineExhausted)->Set(1.0);
+  }
   return Status::DeadlineExceeded(
       "budget of " + std::to_string(config_.budget) +
       " units exhausted at stage '" + stage + "' (spent " +
@@ -27,6 +42,15 @@ Status Deadline::Spend(const std::string& stage, double cost) {
   if (exhausted()) return Exceeded(stage);
   spent_ += cost;
   spent_by_stage_[stage] += cost;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter(kMetricDeadlineSpentUnits, {{"stage", stage}},
+                     "Deadline budget units charged per stage")
+        ->Increment(cost);
+    if (exhausted()) {
+      metrics_->GetGauge(kMetricDeadlineExhausted)->Set(1.0);
+    }
+  }
   return Status::OK();
 }
 

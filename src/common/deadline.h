@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace dwqa {
@@ -37,16 +38,22 @@ class Deadline {
  public:
   /// Unlimited deadline: never exhausts, charges are still tallied.
   Deadline() = default;
+  /// Deadline with the configured (possibly finite) budget.
   explicit Deadline(DeadlineConfig config) : config_(config) {}
 
+  /// True for an infinite budget (the default).
   bool unlimited() const {
     return config_.budget == std::numeric_limits<double>::infinity();
   }
+  /// The configured budget in cost units.
   double budget() const { return config_.budget; }
+  /// Units charged so far.
   double spent() const { return spent_; }
+  /// Units left before exhaustion (0 once exhausted).
   double remaining() const {
     return spent_ >= config_.budget ? 0.0 : config_.budget - spent_;
   }
+  /// True once spent() has reached the budget.
   bool exhausted() const { return spent_ >= config_.budget; }
 
   /// Charges `cost` units attributed to `stage`. The charge that crosses
@@ -75,6 +82,13 @@ class Deadline {
     return spent_by_stage_;
   }
 
+  /// Attaches a metrics registry (owned by the caller, may be null): every
+  /// subsequent Spend mirrors its charge into
+  /// `dwqa_deadline_spent_units_total{stage}` and exhaustion flips the
+  /// `dwqa_deadline_exhausted` gauge. Private speculation ledgers stay
+  /// unattached, so Absorb-replayed charges are counted exactly once.
+  void set_metrics(MetricRegistry* metrics);
+
  private:
   Status Exceeded(const std::string& stage);
 
@@ -82,6 +96,7 @@ class Deadline {
   double spent_ = 0.0;
   std::string exhausted_stage_;
   std::map<std::string, double> spent_by_stage_;
+  MetricRegistry* metrics_ = nullptr;
 };
 
 /// Propagates kDeadlineExceeded out of the enclosing function when the

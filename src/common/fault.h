@@ -56,16 +56,16 @@ const char* FaultModeName(FaultMode mode);
 /// One armed fault: at `point`, with probability `probability` per hit,
 /// manifest as `mode`. Transient rules fail with `code`.
 struct FaultRule {
-  std::string point;
-  double probability = 0.0;
-  FaultMode mode = FaultMode::kTransient;
-  StatusCode code = StatusCode::kUnavailable;
+  std::string point;                        ///< Fault-point name to arm.
+  double probability = 0.0;                 ///< Per-hit firing probability.
+  FaultMode mode = FaultMode::kTransient;   ///< How the fault manifests.
+  StatusCode code = StatusCode::kUnavailable;  ///< Transient failure code.
 };
 
 /// \brief Configuration of a FaultInjector. No rules = injector disabled.
 struct FaultConfig {
-  uint64_t seed = 1;
-  std::vector<FaultRule> rules;
+  uint64_t seed = 1;             ///< Seed of the injector's RNG stream.
+  std::vector<FaultRule> rules;  ///< Armed rules; empty = disabled.
 
   /// Arms a transient rule of probability `rate` at every known fault point
   /// — the blanket "flaky world" used by the resilience bench.
@@ -85,6 +85,7 @@ class FaultInjector {
   /// Disabled injector: never fires, never draws.
   FaultInjector() = default;
 
+  /// Injector armed with `config`'s rules, drawing from its seeded stream.
   explicit FaultInjector(FaultConfig config);
 
   /// True when at least one rule is armed.
@@ -103,14 +104,19 @@ class FaultInjector {
 
   /// \name Stateless corruption primitives (deterministic given the Rng)
   /// @{
+  /// Cuts the payload at a random point.
   static std::string TruncatePayload(std::string payload, Rng* rng);
+  /// Transposes adjacent digit pairs.
   static std::string SwapDigits(std::string payload, Rng* rng);
+  /// Deletes unit markers (ºC / F) so extraction loses the scale.
   static std::string BreakUnits(std::string payload, Rng* rng);
   /// @}
 
   /// Times a rule fired at `point` (transient and corruption alike).
   size_t fires(const std::string& point) const;
+  /// Total rule firings across all points.
   size_t total_fires() const;
+  /// The armed configuration.
   const FaultConfig& config() const { return config_; }
 
  private:

@@ -30,6 +30,7 @@ inline constexpr TermId kInvalidTermId = 0xFFFFFFFFu;
 /// at a stable address for the dictionary's lifetime.
 class TermDictionary {
  public:
+  /// Empty dictionary.
   TermDictionary() = default;
 
   /// The id of `term`, interning it first if unseen.
@@ -53,6 +54,7 @@ class TermDictionary {
   /// different dictionary).
   const std::string& Term(TermId id) const { return *terms_[id]; }
 
+  /// Distinct terms interned so far.
   size_t size() const { return terms_.size(); }
 
  private:
@@ -77,10 +79,13 @@ class TermDictionary {
 /// to the serial one.
 class ShardedTermInterner {
  public:
+  /// Mutex stripes; provisional ids are packed `local * kShards + shard`.
   static constexpr size_t kShards = 16;
 
+  /// Empty interner.
   ShardedTermInterner() = default;
-  ShardedTermInterner(const ShardedTermInterner&) = delete;
+  ShardedTermInterner(const ShardedTermInterner&) = delete;  ///< Non-copyable.
+  /// Non-copyable.
   ShardedTermInterner& operator=(const ShardedTermInterner&) = delete;
 
   /// The provisional id of `term`, interning it first if unseen. Safe to

@@ -8,6 +8,8 @@
 
 namespace dwqa {
 
+/// Severity order for the logger: messages below the global threshold are
+/// dropped.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// \brief Minimal leveled logger writing to stderr.
@@ -16,12 +18,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// tests and benches; examples raise it to kInfo to narrate the pipeline.
 class Logger {
  public:
+  /// The global emission threshold.
   static LogLevel threshold();
+  /// Replaces the global emission threshold.
   static void set_threshold(LogLevel level);
 
   /// True if a message at `level` would be emitted.
   static bool Enabled(LogLevel level) { return level >= threshold(); }
 
+  /// Writes `message` to stderr when `level` clears the threshold.
   static void Log(LogLevel level, const std::string& message);
 };
 
@@ -30,9 +35,12 @@ namespace internal {
 /// Stream-style message collector; emits on destruction.
 class LogMessage {
  public:
+  /// Starts collecting a message at `level`.
   explicit LogMessage(LogLevel level) : level_(level) {}
+  /// Hands the collected message to the Logger.
   ~LogMessage() { Logger::Log(level_, stream_.str()); }
 
+  /// Appends `value` via operator<< into the pending message.
   template <typename T>
   LogMessage& operator<<(const T& value) {
     stream_ << value;

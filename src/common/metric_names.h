@@ -1,0 +1,129 @@
+#ifndef DWQA_COMMON_METRIC_NAMES_H_
+#define DWQA_COMMON_METRIC_NAMES_H_
+
+/// \file metric_names.h
+/// \brief The metric catalogue: every metric name the codebase registers.
+///
+/// All metric names live here, as constants, for three reasons: call sites
+/// cannot typo a name into a parallel series; the catalogue lint
+/// (scripts/lint.sh) can check that every name is documented in
+/// docs/OBSERVABILITY.md; and a reader gets the whole observability surface
+/// of the system in one header. Names follow the Prometheus convention:
+/// `dwqa_<layer>_<what>[_total|_ms]`, `_total` for counters, `_ms` for
+/// latency histograms. Label keys are listed next to each name.
+
+namespace dwqa {
+
+/// \name Deadline budget (common/deadline.h)
+/// @{
+/// Counter, labels {stage}: units charged to the shared budget per stage.
+inline constexpr char kMetricDeadlineSpentUnits[] =
+    "dwqa_deadline_spent_units_total";
+/// Gauge: 1 once the shared budget is exhausted, 0 before.
+inline constexpr char kMetricDeadlineExhausted[] = "dwqa_deadline_exhausted";
+/// @}
+
+/// \name Circuit breakers (common/circuit_breaker.h)
+/// @{
+/// Counter, labels {breaker, to}: state transitions per breaker
+/// (to = "Open" | "HalfOpen" | "Closed").
+inline constexpr char kMetricBreakerTransitions[] =
+    "dwqa_breaker_transitions_total";
+/// Counter, labels {breaker}: admissions refused while open/half-open.
+inline constexpr char kMetricBreakerRejections[] =
+    "dwqa_breaker_rejections_total";
+/// Counter, labels {breaker}: whole-operation failures recorded.
+inline constexpr char kMetricBreakerFailures[] =
+    "dwqa_breaker_failures_total";
+/// @}
+
+/// \name IR indexes (ir/inverted_index.h, ir/passage_index.h)
+/// @{
+/// Counter: PassageIndex::Search calls (the IR-n filtering lookups).
+inline constexpr char kMetricIrPassageLookups[] =
+    "dwqa_ir_passage_lookups_total";
+/// Histogram: PassageIndex::Search wall-clock latency.
+inline constexpr char kMetricIrPassageLookupLatency[] =
+    "dwqa_ir_passage_lookup_latency_ms";
+/// Counter: InvertedIndex::Search calls (document-level baseline lookups).
+inline constexpr char kMetricIrDocLookups[] = "dwqa_ir_doc_lookups_total";
+/// Histogram: InvertedIndex::Search wall-clock latency.
+inline constexpr char kMetricIrDocLookupLatency[] =
+    "dwqa_ir_doc_lookup_latency_ms";
+/// @}
+
+/// \name QA search and indexation phases (qa/aliqan.h)
+/// @{
+/// Counter: questions put through the search phase (Ask/AskWith calls,
+/// speculative batch asks included).
+inline constexpr char kMetricQaQuestions[] = "dwqa_qa_questions_total";
+/// Counter, labels {level}: answers produced per degradation-ladder rung.
+inline constexpr char kMetricQaAnswers[] = "dwqa_qa_answers_total";
+/// Histogram, labels {phase}: per-question latency of the three search
+/// modules (phase = "analysis" | "retrieval" | "extraction").
+inline constexpr char kMetricQaPhaseLatency[] = "dwqa_qa_phase_latency_ms";
+/// Counter, labels {source}: sentences the extraction module processed
+/// (source = "cached" from the AnalyzedCorpus, "fresh" re-analyzed).
+inline constexpr char kMetricQaSentencesAnalyzed[] =
+    "dwqa_qa_sentences_analyzed_total";
+/// Counter: documents put through off-line indexation.
+inline constexpr char kMetricQaIndexDocuments[] =
+    "dwqa_qa_index_documents_total";
+/// Counter: sentences linguistically analyzed at indexation time.
+inline constexpr char kMetricQaIndexSentences[] =
+    "dwqa_qa_index_sentences_total";
+/// Histogram: IndexCorpus wall-clock latency.
+inline constexpr char kMetricQaIndexLatency[] = "dwqa_qa_index_latency_ms";
+/// @}
+
+/// \name Step-5 feed (integration/pipeline.h)
+/// @{
+/// Counter, labels {outcome}: every question of a RunStep5 batch lands in
+/// exactly one outcome ("answered" | "unanswered" | "failed" | "resumed" |
+/// "deadline_skipped" | "breaker_rejected").
+inline constexpr char kMetricFeedQuestions[] = "dwqa_feed_questions_total";
+/// Counter, labels {level}: asked-and-answered questions per
+/// degradation-ladder rung (the feed-side twin of dwqa_qa_answers_total).
+inline constexpr char kMetricFeedQuestionsByLevel[] =
+    "dwqa_feed_questions_by_level_total";
+/// Counter, labels {disposition}: every extracted fact lands in exactly one
+/// disposition ("loaded" | "deduplicated" | "quarantined" | "rejected") —
+/// the metrics half of the FeedReport accounting identity.
+inline constexpr char kMetricFeedFacts[] = "dwqa_feed_facts_total";
+/// Counter, labels {reason}: facts diverted to the quarantine per typed
+/// RejectReason.
+inline constexpr char kMetricFeedQuarantined[] =
+    "dwqa_feed_quarantined_total";
+/// Counter: extra attempts spent on transient faults (ask + ETL).
+inline constexpr char kMetricFeedRetries[] = "dwqa_feed_retries_total";
+/// Counter: transient failures observed (masked or terminal).
+inline constexpr char kMetricFeedTransientFailures[] =
+    "dwqa_feed_transient_failures_total";
+/// Counter: retries beyond the first on ultimately-failed operations — the
+/// waste a circuit breaker exists to cut.
+inline constexpr char kMetricFeedWastedRetries[] =
+    "dwqa_feed_wasted_retries_total";
+/// Counter: boundary checkpoint saves that failed (retried next boundary).
+inline constexpr char kMetricFeedCheckpointFailures[] =
+    "dwqa_feed_checkpoint_failures_total";
+/// @}
+
+/// \name Warehouse / ETL boundary (integration/pipeline.cc, dw/etl.h)
+/// @{
+/// Histogram: per-record ETL load latency (retries included).
+inline constexpr char kMetricDwEtlLoadLatency[] =
+    "dwqa_dw_etl_load_latency_ms";
+/// Counter: rows that reached the warehouse.
+inline constexpr char kMetricDwEtlRowsLoaded[] =
+    "dwqa_dw_etl_rows_loaded_total";
+/// Counter: rows the ETL boundary ultimately refused.
+inline constexpr char kMetricDwEtlRowsRejected[] =
+    "dwqa_dw_etl_rows_rejected_total";
+/// Gauge: records currently parked in the dead-letter QuarantineStore.
+inline constexpr char kMetricDwQuarantineRecords[] =
+    "dwqa_dw_quarantine_records";
+/// @}
+
+}  // namespace dwqa
+
+#endif  // DWQA_COMMON_METRIC_NAMES_H_

@@ -31,6 +31,7 @@ class Result {
     }
   }
 
+  /// True when a value is held (the Status alternative is then OK).
   bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The failure Status, or OK when a value is held.
@@ -60,10 +61,13 @@ class Result {
     return fallback;
   }
 
+  /// \name Dereference — ValueOrDie() shorthands
+  /// @{
   const T& operator*() const& { return ValueOrDie(); }
   T& operator*() & { return ValueOrDie(); }
   const T* operator->() const { return &ValueOrDie(); }
   T* operator->() { return &ValueOrDie(); }
+  /// @}
 
  private:
   void DieIfNotOk() const {

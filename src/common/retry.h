@@ -21,12 +21,12 @@ namespace dwqa {
 struct RetryPolicy {
   /// Total tries, including the first one. 1 = no retries.
   int max_attempts = 5;
-  double base_delay_ms = 0.5;
-  double max_delay_ms = 8.0;
-  double backoff_factor = 2.0;
+  double base_delay_ms = 0.5;    ///< Delay before the second attempt.
+  double max_delay_ms = 8.0;     ///< Backoff cap.
+  double backoff_factor = 2.0;   ///< Multiplier between attempts.
   /// Fraction of the delay randomized away: delay *= 1 - U(0, jitter).
   double jitter = 0.5;
-  uint64_t jitter_seed = 42;
+  uint64_t jitter_seed = 42;  ///< Seed of the jitter draw stream.
   /// When false, delays are computed (and reported) but not slept —
   /// deterministic-schedule tests do not want wall-clock in the loop.
   bool sleep = true;
@@ -43,8 +43,9 @@ struct RetryStats {
   int attempts = 0;
   /// Transient failures seen (== attempts - 1 on eventual success).
   int transient_failures = 0;
-  double total_delay_ms = 0.0;
+  double total_delay_ms = 0.0;  ///< Backoff delay computed (slept or not).
 
+  /// Folds another call's stats into this one (batch reporting).
   void Accumulate(const RetryStats& other) {
     attempts += other.attempts;
     transient_failures += other.transient_failures;

@@ -15,6 +15,7 @@ namespace dwqa {
 /// platforms. Header-only on purpose: it is hot in the generators.
 class Rng {
  public:
+  /// Seeded stream; equal seeds give equal sequences on every platform.
   explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
 
   /// Next raw 64-bit value.

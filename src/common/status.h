@@ -70,10 +70,15 @@ class Status {
   }
   /// @}
 
+  /// True for the OK status.
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
   StatusCode code() const { return code_; }
+  /// The human-readable detail ("" for OK).
   const std::string& message() const { return message_; }
 
+  /// \name Per-code predicates
+  /// @{
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
@@ -87,6 +92,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  /// @}
 
   /// Renders e.g. "NotFound: concept 'airport' is not in the ontology".
   std::string ToString() const;

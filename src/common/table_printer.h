@@ -13,6 +13,7 @@ namespace dwqa {
 /// printer so that bench_output.txt is uniform and diffable.
 class TablePrinter {
  public:
+  /// A table with the given column headers.
   explicit TablePrinter(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
@@ -25,6 +26,7 @@ class TablePrinter {
   /// Convenience: renders to `os`.
   void Print(std::ostream& os) const;
 
+  /// Rows added so far (headers excluded).
   size_t row_count() const { return rows_.size(); }
 
  private:

@@ -39,10 +39,11 @@ class ThreadPool {
  public:
   /// Starts `threads` workers; `0` and `1` start none (inline execution).
   explicit ThreadPool(size_t threads);
+  /// Drains the queue and joins all workers.
   ~ThreadPool();
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(const ThreadPool&) = delete;             ///< Non-copyable.
+  ThreadPool& operator=(const ThreadPool&) = delete;  ///< Non-copyable.
 
   /// Workers running tasks (0 in the inline degenerate case).
   size_t worker_count() const { return workers_.size(); }

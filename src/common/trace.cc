@@ -1,0 +1,162 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dwqa {
+
+Span::Span(TraceRecorder* recorder, const std::string& name)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) return;
+  id_ = recorder_->StartSpan(name);
+  start_ = std::chrono::steady_clock::now();
+  open_ = true;
+}
+
+Span::~Span() { End(); }
+
+Span::Span(Span&& other) noexcept
+    : recorder_(other.recorder_),
+      id_(other.id_),
+      start_(other.start_),
+      open_(other.open_) {
+  other.recorder_ = nullptr;
+  other.open_ = false;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    recorder_ = other.recorder_;
+    id_ = other.id_;
+    start_ = other.start_;
+    open_ = other.open_;
+    other.recorder_ = nullptr;
+    other.open_ = false;
+  }
+  return *this;
+}
+
+void Span::Annotate(const std::string& key, const std::string& value) {
+  if (recorder_ == nullptr) return;
+  recorder_->Annotate(id_, key, value);
+}
+
+void Span::Annotate(const std::string& key, double value) {
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  Annotate(key, std::string(buf));
+}
+
+void Span::End() {
+  if (recorder_ == nullptr || !open_) return;
+  open_ = false;
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  recorder_->EndSpan(id_, ms);
+}
+
+size_t TraceRecorder::StartSpan(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = spans_.size();
+  span.name = name;
+  if (!open_stack_.empty()) {
+    span.parent = open_stack_.back();
+    span.depth = spans_[span.parent].depth + 1;
+  }
+  open_stack_.push_back(span.id);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::EndSpan(size_t id, double duration_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].duration_ms = duration_ms;
+  // Spans close in reverse start order under RAII; tolerate (and unwind
+  // past) an out-of-order close instead of corrupting the stack.
+  auto it = std::find(open_stack_.begin(), open_stack_.end(), id);
+  if (it != open_stack_.end()) open_stack_.erase(it, open_stack_.end());
+}
+
+void TraceRecorder::Annotate(size_t id, const std::string& key,
+                             const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].annotations.emplace_back(key, value);
+}
+
+std::vector<SpanRecord> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+bool TraceRecorder::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.empty();
+}
+
+std::string TraceRecorder::Render() const {
+  std::vector<SpanRecord> spans = this->spans();
+  // children[i] = ids of i's children, in start order; roots under kNoParent.
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (const SpanRecord& span : spans) {
+    if (span.parent == SpanRecord::kNoParent) {
+      roots.push_back(span.id);
+    } else {
+      children[span.parent].push_back(span.id);
+    }
+  }
+  std::ostringstream out;
+  // Depth-first render with box-drawing guides. `prefix` carries the
+  // vertical guides of the ancestors; `last` marks the final sibling.
+  struct Frame {
+    size_t id;
+    std::string prefix;
+    bool last;
+    bool root;
+  };
+  std::vector<Frame> stack;
+  for (size_t r = roots.size(); r-- > 0;) {
+    stack.push_back({roots[r], "", r + 1 == roots.size(), true});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const SpanRecord& span = spans[frame.id];
+    std::string line = frame.prefix;
+    if (!frame.root) line += frame.last ? "└─ " : "├─ ";
+    line += span.name;
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), " (%.2f ms)", span.duration_ms);
+    line += ms;
+    if (!span.annotations.empty()) {
+      line += " [";
+      for (size_t a = 0; a < span.annotations.size(); ++a) {
+        if (a > 0) line += " ";
+        line += span.annotations[a].first + "=" + span.annotations[a].second;
+      }
+      line += "]";
+    }
+    out << line << "\n";
+    std::string child_prefix =
+        frame.root ? frame.prefix
+                   : frame.prefix + (frame.last ? "   " : "│  ");
+    const std::vector<size_t>& kids = children[frame.id];
+    for (size_t k = kids.size(); k-- > 0;) {
+      stack.push_back({kids[k], child_prefix, k + 1 == kids.size(), false});
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dwqa

@@ -1,6 +1,7 @@
 #include "integration/pipeline.h"
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "dw/etl.h"
@@ -40,7 +41,10 @@ IntegrationPipeline::IntegrationPipeline(dw::Warehouse* warehouse,
       fault_(config_.resilience.fault),
       breakers_(config_.resilience.breaker),
       deadline_(config_.resilience.deadline),
-      config_status_(ValidateResilienceConfig(config_.resilience)) {}
+      config_status_(ValidateResilienceConfig(config_.resilience)) {
+  breakers_.set_metrics(&metrics_);
+  deadline_.set_metrics(&metrics_);
+}
 
 Status IntegrationPipeline::RunStep1() {
   DWQA_RETURN_NOT_OK(config_status_);
@@ -140,6 +144,7 @@ Status IntegrationPipeline::IndexCorpus(const ir::DocumentStore* docs) {
   }
   aliqan_ = std::make_unique<qa::AliQAn>(&merged_, config_.qa);
   aliqan_->set_deadline(&deadline_);
+  aliqan_->set_metrics(&metrics_);
   if (config_.table_preprocess) {
     aliqan_->set_preprocessor(TablePreprocessor{});
   }
@@ -198,6 +203,15 @@ void IntegrationPipeline::QuarantineFact(const qa::StructuredFact& fact,
   ++report->rows_quarantined;
   ++report->quarantined_by_reason[reason];
   ++reject_counts_[qa::RejectReasonName(reason)];
+  metrics_
+      .GetCounter(kMetricFeedQuarantined,
+                  {{"reason", qa::RejectReasonName(reason)}},
+                  "Facts diverted to the quarantine, by RejectReason")
+      ->Increment();
+  metrics_
+      .GetGauge(kMetricDwQuarantineRecords, {},
+                "Records currently held in the QuarantineStore")
+      ->Set(static_cast<double>(quarantine_.size()));
 }
 
 FeedCheckpoint IntegrationPipeline::MakeFeedCheckpoint() const {
@@ -234,8 +248,25 @@ Status IntegrationPipeline::LoadFeedCheckpoint(const std::string& path) {
 
 PipelineHealth IntegrationPipeline::Health() const {
   PipelineHealth health;
-  health.Capture(deadline_, breakers_);
+  health.Capture(deadline_, breakers_, metrics_);
   return health;
+}
+
+MetricsDump IntegrationPipeline::DumpMetrics() const {
+  MetricsDump dump;
+  dump.prometheus = metrics_.ExportPrometheus();
+  dump.json = metrics_.ExportJson();
+  return dump;
+}
+
+std::string IntegrationPipeline::RenderTraces() const {
+  std::string out;
+  for (const QuestionTrace& trace : traces_) {
+    if (trace.recorder == nullptr || trace.recorder->empty()) continue;
+    out += "=== " + trace.question + "\n";
+    out += trace.recorder->Render();
+  }
+  return out;
 }
 
 Result<FeedReport> IntegrationPipeline::RunStep5(
@@ -269,6 +300,36 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
   }
   FeedReport report;
   report.corpus_index_retries = corpus_index_retries_;
+  traces_.clear();
+  // Mirror helpers: every question gets exactly one terminal outcome, every
+  // extracted fact exactly one disposition, so the exported families sum to
+  // the FeedReport totals (the accounting identity the metrics test pins).
+  auto count_outcome = [&](const char* outcome) {
+    metrics_
+        .GetCounter(kMetricFeedQuestions, {{"outcome", outcome}},
+                    "Step-5 questions by terminal outcome")
+        ->Increment();
+  };
+  auto count_fact = [&](const char* disposition) {
+    metrics_
+        .GetCounter(kMetricFeedFacts, {{"disposition", disposition}},
+                    "Extracted facts by final disposition")
+        ->Increment();
+  };
+  auto count_retries = [&](const RetryStats& stats) {
+    if (stats.attempts > 1) {
+      metrics_
+          .GetCounter(kMetricFeedRetries, {},
+                      "Extra attempts spent on transient faults")
+          ->Increment(static_cast<double>(stats.attempts - 1));
+    }
+    if (stats.transient_failures > 0) {
+      metrics_
+          .GetCounter(kMetricFeedTransientFailures, {},
+                      "Transient failures observed by the feed")
+          ->Increment(static_cast<double>(stats.transient_failures));
+    }
+  };
   dw::EtlLoader loader(wh_);
   size_t questions_since_checkpoint = 0;
   // A boundary checkpoint save is allowed to fail (logged + counted +
@@ -320,6 +381,7 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
     const std::string& question = questions[qi];
     if (resume_semantics && completed_questions_.count(question) > 0) {
       ++report.questions_resumed;
+      count_outcome("resumed");
       continue;
     }
     // An exhausted budget skips the remaining questions without marking
@@ -329,12 +391,22 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
     if (!deadline_.Check("step5.ask").ok()) {
       report.deadline_exhausted = true;
       ++report.questions_deadline_skipped;
+      count_outcome("deadline_skipped");
       continue;
     }
     ++report.questions_asked;
+    TraceRecorder* trace = nullptr;
+    if (config_.trace_questions) {
+      traces_.push_back({question, std::make_unique<TraceRecorder>()});
+      trace = traces_.back().recorder.get();
+    }
+    Span question_span(trace, "step5.question");
+    question_span.Annotate("question", question);
     if (!fetch_breaker->Allow()) {
       ++report.breaker_rejections;
       ++report.questions_failed;
+      count_outcome("breaker_rejected");
+      question_span.Annotate("outcome", "breaker_rejected");
       continue;
     }
     // The per-question fetch/ask path is the flakiest link (a live page
@@ -359,31 +431,55 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
           if (spec.valid) {
             spec.valid = false;
             DWQA_RETURN_NOT_OK(deadline_.Absorb(spec.ledger));
+            question_span.Annotate("speculative", "true");
             return std::move(spec.answers);
           }
-          return aliqan_->Ask(question);
+          return aliqan_->Ask(question, trace);
         },
         &ask_stats, &deadline_, kFaultPointFetch);
     report.retries += size_t(ask_stats.attempts > 1 ? ask_stats.attempts - 1
                                                     : 0);
     report.transient_failures += size_t(ask_stats.transient_failures);
+    count_retries(ask_stats);
     if (!answers.ok()) {
       if (answers.status().IsDeadlineExceeded()) {
         // Budget ran out mid-ask: not the source's fault (no breaker
         // failure) and not a question failure — the resume re-asks it.
         report.deadline_exhausted = true;
         ++report.questions_deadline_skipped;
+        count_outcome("deadline_skipped");
+        question_span.Annotate("outcome", "deadline_skipped");
         continue;
       }
       fetch_breaker->RecordFailure();
       report.wasted_retries +=
           size_t(ask_stats.attempts > 1 ? ask_stats.attempts - 1 : 0);
+      if (ask_stats.attempts > 1) {
+        metrics_
+            .GetCounter(kMetricFeedWastedRetries, {},
+                        "Retry attempts beyond the first on operations "
+                        "that ultimately failed")
+            ->Increment(static_cast<double>(ask_stats.attempts - 1));
+      }
       // Not marked completed: a checkpointed resume re-asks it.
       ++report.questions_failed;
+      count_outcome("failed");
+      question_span.Annotate("outcome", "failed");
       continue;
     }
     fetch_breaker->RecordSuccess();
     ++report.questions_by_degradation[answers->degradation];
+    metrics_
+        .GetCounter(
+            kMetricFeedQuestionsByLevel,
+            {{"level", qa::DegradationLevelName(answers->degradation)}},
+            "Asked-and-answered Step-5 questions per ladder rung")
+        ->Increment();
+    count_outcome(answers->empty() ? "unanswered" : "answered");
+    question_span.Annotate("outcome",
+                           answers->empty() ? "unanswered" : "answered");
+    question_span.Annotate("level",
+                           qa::DegradationLevelName(answers->degradation));
     if (!answers->empty()) {
       ++report.questions_answered;
       std::vector<qa::StructuredFact> facts =
@@ -393,13 +489,21 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
       }
       for (qa::StructuredFact& fact : facts) {
         ++report.facts_extracted;
+        Span fact_span(trace, "step5.fact");
+        fact_span.Annotate("location", fact.location);
+        fact_span.Annotate("value", fact.value);
         // Admission control first: implausible facts go to the quarantine
         // before they can consume a dedup key or touch the ETL.
         if (resilience.validate_facts) {
+          Span validate_span(trace, "qa.validate");
           qa::RejectReason reason = validator_.Check(fact);
           if (reason != qa::RejectReason::kNone) {
+            validate_span.Annotate("reject", qa::RejectReasonName(reason));
+            validate_span.End();
             QuarantineFact(fact, reason, "", &report);
             fact.disposition = qa::FactDisposition::kQuarantined;
+            count_fact("quarantined");
+            fact_span.Annotate("disposition", "quarantined");
             report.facts.push_back(std::move(fact));
             continue;
           }
@@ -413,6 +517,8 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
         if (config_.dedup_feed && fed_keys_.count(key) > 0) {
           ++report.rows_deduplicated;
           fact.disposition = qa::FactDisposition::kDeduplicated;
+          count_fact("deduplicated");
+          fact_span.Annotate("disposition", "deduplicated");
           report.facts.push_back(std::move(fact));
           continue;
         }
@@ -426,6 +532,8 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
           QuarantineFact(fact, qa::RejectReason::kCircuitOpen,
                          "circuit open for " + source_name, &report);
           fact.disposition = qa::FactDisposition::kQuarantined;
+          count_fact("quarantined");
+          fact_span.Annotate("disposition", "quarantined");
           report.facts.push_back(std::move(fact));
           continue;
         }
@@ -456,27 +564,44 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
           load_policy.max_attempts = 1;
         }
         RetryStats load_stats;
-        Status st = RetryCall(
-            load_policy,
-            [&]() -> Status {
-              DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointEtlLoad));
-              // Per-source scoped point ("dw.etl.load:<url>"): only rules
-              // armed with this exact name draw here, so a poisoned source
-              // never shifts the schedule of the healthy ones.
-              DWQA_RETURN_NOT_OK(fault_.Hit(
-                  std::string(kFaultPointEtlLoad) + ":" + fact.url));
-              return loader.LoadRecord(fact_name, record);
-            },
-            &load_stats, &deadline_, kFaultPointEtlLoad);
+        Status st;
+        {
+          Span load_span(trace, "dw.etl.load");
+          ScopedLatencyTimer load_timer(metrics_.GetHistogram(
+              kMetricDwEtlLoadLatency, {},
+              MetricRegistry::LatencyBucketsMs(),
+              "Latency of ETL fact loads, retries included"));
+          st = RetryCall(
+              load_policy,
+              [&]() -> Status {
+                DWQA_RETURN_NOT_OK(fault_.Hit(kFaultPointEtlLoad));
+                // Per-source scoped point ("dw.etl.load:<url>"): only rules
+                // armed with this exact name draw here, so a poisoned
+                // source never shifts the schedule of the healthy ones.
+                DWQA_RETURN_NOT_OK(fault_.Hit(
+                    std::string(kFaultPointEtlLoad) + ":" + fact.url));
+                return loader.LoadRecord(fact_name, record);
+              },
+              &load_stats, &deadline_, kFaultPointEtlLoad);
+          load_span.Annotate("attempts",
+                             static_cast<double>(load_stats.attempts));
+        }
         report.retries += size_t(
             load_stats.attempts > 1 ? load_stats.attempts - 1 : 0);
         report.transient_failures += size_t(load_stats.transient_failures);
+        count_retries(load_stats);
         if (st.ok()) {
           source_breaker->RecordSuccess();
           ++report.rows_loaded;
           ++rows_loaded_total_;
+          metrics_
+              .GetCounter(kMetricDwEtlRowsLoaded, {},
+                          "Fact rows the ETL loaded into the warehouse")
+              ->Increment();
           if (config_.dedup_feed) fed_keys_.insert(key);
           fact.disposition = qa::FactDisposition::kLoaded;
+          count_fact("loaded");
+          fact_span.Annotate("disposition", "loaded");
         } else {
           if (st.IsDeadlineExceeded()) {
             // Budget exhaustion is not evidence against the source.
@@ -485,14 +610,27 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
             source_breaker->RecordFailure();
             report.wasted_retries += size_t(
                 load_stats.attempts > 1 ? load_stats.attempts - 1 : 0);
+            if (load_stats.attempts > 1) {
+              metrics_
+                  .GetCounter(kMetricFeedWastedRetries, {},
+                              "Retry attempts beyond the first on "
+                              "operations that ultimately failed")
+                  ->Increment(static_cast<double>(load_stats.attempts - 1));
+            }
           }
           ++report.rows_rejected;
+          metrics_
+              .GetCounter(kMetricDwEtlRowsRejected, {},
+                          "Fact rows the ETL layer refused")
+              ->Increment();
           QuarantineFact(fact,
                          IsTransient(st)
                              ? qa::RejectReason::kTransientExhausted
                              : qa::RejectReason::kEtlRejected,
                          st.ToString(), &report);
           fact.disposition = qa::FactDisposition::kRejected;
+          count_fact("rejected");
+          fact_span.Annotate("disposition", "rejected");
         }
         report.facts.push_back(std::move(fact));
       }
@@ -509,6 +647,10 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
         // next boundary (the counter keeps growing, so the next boundary
         // check fires immediately).
         ++report.checkpoint_failures;
+        metrics_
+            .GetCounter(kMetricFeedCheckpointFailures, {},
+                        "Boundary checkpoint saves that failed")
+            ->Increment();
         DWQA_LOG(Warning) << "Step 5: checkpoint save failed ("
                           << saved.ToString()
                           << "); retrying at the next boundary";

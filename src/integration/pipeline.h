@@ -11,8 +11,10 @@
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "common/trace.h"
 #include "dw/quarantine.h"
 #include "dw/warehouse.h"
 #include "integration/feed_checkpoint.h"
@@ -27,6 +29,25 @@
 
 namespace dwqa {
 namespace integration {
+
+/// \brief Both exporter renderings of one MetricRegistry snapshot, produced
+/// by IntegrationPipeline::DumpMetrics (and teed into BENCH_phase3.json by
+/// bench_degradation).
+struct MetricsDump {
+  /// Prometheus text exposition format.
+  std::string prometheus;
+  /// `{"schema": "dwqa-metrics-v1", "metrics": [...]}`.
+  std::string json;
+};
+
+/// \brief One recorded Step-5 question trace: the question text plus the
+/// span tree its processing produced.
+struct QuestionTrace {
+  std::string question;
+  /// The recorder holding the spans (unique_ptr: TraceRecorder owns a
+  /// mutex and is therefore not movable itself).
+  std::unique_ptr<TraceRecorder> recorder;
+};
 
 /// \brief Resilience of the Step-5 feed: how the pipeline survives an
 /// unreliable web, implausible extractions and mid-run crashes.
@@ -89,6 +110,11 @@ struct PipelineConfig {
   /// those of the serial run. Ignored — with a log line — under a finite
   /// deadline budget (mid-batch exhaustion is order-dependent).
   size_t parallel_questions = 1;
+  /// When true, RunStep5 records one trace tree per processed question
+  /// (step5.question → qa.ask → analysis/retrieval/extraction → per-fact
+  /// validate/load spans), retrievable via question_traces() /
+  /// RenderTraces(). Off by default — tracing allocates per question.
+  bool trace_questions = false;
   ResilienceConfig resilience;
 };
 
@@ -222,6 +248,25 @@ class IntegrationPipeline {
   PipelineHealth Health() const;
   /// @}
 
+  /// \name Observability
+  /// @{
+  /// The pipeline-wide metrics registry. Every component the pipeline owns
+  /// (deadline, breakers, QA engine, both IR indexes, the Step-5 feed)
+  /// records into it; tests and benches may register their own series too.
+  MetricRegistry* metrics() { return &metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  /// Renders the current registry contents through both exporters.
+  MetricsDump DumpMetrics() const;
+  /// Traces recorded by RunStep5 (empty unless
+  /// PipelineConfig::trace_questions is set). Cleared at the start of each
+  /// RunStep5 call, so they describe the last run.
+  const std::vector<QuestionTrace>& question_traces() const {
+    return traces_;
+  }
+  /// Flame-style rendering of every recorded trace, one block per question.
+  std::string RenderTraces() const;
+  /// @}
+
  private:
   /// Diverts `fact` to the quarantine and updates the report counters.
   void QuarantineFact(const qa::StructuredFact& fact,
@@ -231,6 +276,11 @@ class IntegrationPipeline {
   dw::Warehouse* wh_;
   const ontology::UmlModel* uml_;
   PipelineConfig config_;
+  /// Declared before the components that hold a pointer to it (breakers,
+  /// deadline, QA engine) so it outlives them all.
+  MetricRegistry metrics_;
+  /// Per-question trace trees of the last RunStep5 (trace_questions only).
+  std::vector<QuestionTrace> traces_;
 
   ontology::Ontology domain_;
   ontology::Ontology merged_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/metric_names.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 
@@ -27,6 +28,24 @@ void PipelineHealth::Capture(const Deadline& deadline,
     health.failures = breaker.total_failures();
     if (breaker.state() != BreakerState::kClosed) ++breakers_open;
     breakers.push_back(std::move(health));
+  }
+}
+
+void PipelineHealth::Capture(const Deadline& deadline,
+                             const CircuitBreakerRegistry& breakers_registry,
+                             const MetricRegistry& metrics) {
+  Capture(deadline, breakers_registry);
+  breaker_rejections =
+      static_cast<size_t>(metrics.FamilySum(kMetricBreakerRejections));
+  wasted_retries =
+      static_cast<size_t>(metrics.Value(kMetricFeedWastedRetries));
+  questions_by_degradation.clear();
+  for (const MetricSnapshot& series :
+       metrics.SnapshotFamily(kMetricFeedQuestionsByLevel)) {
+    auto level = series.labels.find("level");
+    if (level == series.labels.end()) continue;
+    questions_by_degradation[level->second] =
+        static_cast<size_t>(series.value);
   }
 }
 

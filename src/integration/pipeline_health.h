@@ -8,6 +8,7 @@
 
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
+#include "common/metrics.h"
 
 namespace dwqa {
 namespace integration {
@@ -58,6 +59,16 @@ struct PipelineHealth {
   /// Populates the budget and breaker sections from the live objects.
   void Capture(const Deadline& deadline,
                const CircuitBreakerRegistry& breakers_registry);
+
+  /// Same, plus the registry-backed sections: breaker_rejections,
+  /// wasted_retries and questions_by_degradation become thin views over the
+  /// `dwqa_breaker_rejections_total`, `dwqa_feed_wasted_retries_total` and
+  /// `dwqa_feed_questions_by_level_total` families, so a health snapshot
+  /// taken outside RunStep5 (IntegrationPipeline::Health) reports the same
+  /// cumulative numbers the exporters do.
+  void Capture(const Deadline& deadline,
+               const CircuitBreakerRegistry& breakers_registry,
+               const MetricRegistry& metrics);
 
   /// Renders the summary as one aligned table (common/table_printer).
   std::string RenderTable() const;

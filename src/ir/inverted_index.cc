@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/metric_names.h"
 #include "common/string_util.h"
 #include "ir/term_pipeline.h"
 
@@ -73,8 +74,23 @@ std::string InvertedIndex::DebugString() const {
   return out.str();
 }
 
+void InvertedIndex::set_metrics(MetricRegistry* metrics) {
+  if (metrics == nullptr) {
+    lookup_counter_ = nullptr;
+    lookup_latency_ = nullptr;
+    return;
+  }
+  lookup_counter_ = metrics->GetCounter(
+      kMetricIrDocLookups, {}, "Document-level index searches performed");
+  lookup_latency_ = metrics->GetHistogram(
+      kMetricIrDocLookupLatency, {}, MetricRegistry::LatencyBucketsMs(),
+      "Latency of document-level index searches");
+}
+
 std::vector<DocHit> InvertedIndex::Search(const std::string& query,
                                           size_t k) const {
+  ScopedLatencyTimer timer(lookup_latency_);
+  if (lookup_counter_ != nullptr) lookup_counter_->Increment();
   const double n_docs = static_cast<double>(doc_lengths_.size());
   std::unordered_map<DocId, DocHit> acc;
   std::vector<std::string> terms = DocumentTerms(query);

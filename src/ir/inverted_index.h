@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "ir/document.h"
 #include "text/analyzed_corpus.h"
@@ -67,6 +68,11 @@ class InvertedIndex {
   /// suite compares these byte for byte.
   std::string DebugString() const;
 
+  /// Attaches a metrics registry (may be null): every Search records
+  /// `dwqa_ir_doc_lookups_total` and a `dwqa_ir_doc_lookup_latency_ms`
+  /// observation. Recording is lock-free, so concurrent searchers are safe.
+  void set_metrics(MetricRegistry* metrics);
+
  private:
   struct Posting {
     DocId doc;
@@ -80,6 +86,10 @@ class InvertedIndex {
   TermDictionary* dict_;
   std::unordered_map<TermId, std::vector<Posting>> postings_;
   std::unordered_map<DocId, size_t> doc_lengths_;
+  /// Cached instruments (null = observability off); stable registry
+  /// pointers let Search record without re-resolving the series.
+  Counter* lookup_counter_ = nullptr;
+  Histogram* lookup_latency_ = nullptr;
 };
 
 }  // namespace ir

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/metric_names.h"
 #include "common/string_util.h"
 #include "ir/term_pipeline.h"
 #include "text/sentence_splitter.h"
@@ -77,8 +78,23 @@ std::string PassageIndex::DebugString() const {
   return out.str();
 }
 
+void PassageIndex::set_metrics(MetricRegistry* metrics) {
+  if (metrics == nullptr) {
+    lookup_counter_ = nullptr;
+    lookup_latency_ = nullptr;
+    return;
+  }
+  lookup_counter_ = metrics->GetCounter(
+      kMetricIrPassageLookups, {}, "IR-n passage index searches performed");
+  lookup_latency_ = metrics->GetHistogram(
+      kMetricIrPassageLookupLatency, {}, MetricRegistry::LatencyBucketsMs(),
+      "Latency of IR-n passage index searches");
+}
+
 std::vector<Passage> PassageIndex::Search(const std::string& query,
                                           size_t k) const {
+  ScopedLatencyTimer timer(lookup_latency_);
+  if (lookup_counter_ != nullptr) lookup_counter_->Increment();
   std::vector<std::string> terms = PassageTerms(query);
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());

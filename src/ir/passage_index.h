@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/metrics.h"
 #include "ir/document.h"
 #include "text/analyzed_corpus.h"
 
@@ -78,6 +79,12 @@ class PassageIndex {
   /// InvertedIndex::DebugString.
   std::string DebugString() const;
 
+  /// Attaches a metrics registry (may be null): every Search records
+  /// `dwqa_ir_passage_lookups_total` and a
+  /// `dwqa_ir_passage_lookup_latency_ms` observation. Recording is
+  /// lock-free, so concurrent searchers are safe.
+  void set_metrics(MetricRegistry* metrics);
+
  private:
   size_t window_;
   std::unique_ptr<TermDictionary> owned_;  ///< Null when dict_ is shared.
@@ -90,6 +97,10 @@ class PassageIndex {
     uint32_t sentence;
   };
   std::unordered_map<TermId, std::vector<SentenceRef>> postings_;
+  /// Cached instruments (null = observability off); stable registry
+  /// pointers let Search record without re-resolving the series.
+  Counter* lookup_counter_ = nullptr;
+  Histogram* lookup_latency_ = nullptr;
 };
 
 }  // namespace ir

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "ir/html.h"
@@ -40,6 +41,12 @@ void AliQAn::set_preprocessor(Preprocessor preprocessor) {
   preprocessor_ = std::move(preprocessor);
 }
 
+void AliQAn::set_metrics(MetricRegistry* metrics) {
+  metrics_ = metrics;
+  passage_index_.set_metrics(metrics);
+  doc_index_.set_metrics(metrics);
+}
+
 Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
   if (docs == nullptr) {
     return Status::InvalidArgument("document store must not be null");
@@ -60,6 +67,8 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
     passage_index_ =
         ir::PassageIndex(config_.passage_window, corpus_.mutable_dictionary());
     doc_index_ = ir::InvertedIndex(corpus_.mutable_dictionary());
+    passage_index_.set_metrics(metrics_);
+    doc_index_.set_metrics(metrics_);
     for (const ir::Document& doc : docs->documents()) {
       std::string plain = preprocessor_(doc);
       passage_index_.AddDocument(doc.id, plain);
@@ -70,6 +79,8 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
     passage_index_ =
         ir::PassageIndex(config_.passage_window, corpus_.mutable_dictionary());
     doc_index_ = ir::InvertedIndex(corpus_.mutable_dictionary());
+    passage_index_.set_metrics(metrics_);
+    doc_index_.set_metrics(metrics_);
     // Parallel analysis needs an unlimited budget: with a finite one, the
     // point of mid-run exhaustion depends on completion order, so the
     // serial path is the only deterministic choice.
@@ -123,6 +134,21 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
     timings_.indexation_sentences = corpus_.sentence_count();
   }
   timings_.indexation_ms = MsSince(start);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter(kMetricQaIndexDocuments, {},
+                     "Documents indexed by IndexCorpus")
+        ->Increment(static_cast<double>(docs->size()));
+    metrics_
+        ->GetCounter(kMetricQaIndexSentences, {},
+                     "Sentences linguistically analyzed at indexation time")
+        ->Increment(static_cast<double>(timings_.indexation_sentences));
+    metrics_
+        ->GetHistogram(kMetricQaIndexLatency, {},
+                       MetricRegistry::LatencyBucketsMs(),
+                       "Wall time of IndexCorpus runs")
+        ->Observe(timings_.indexation_ms);
+  }
   return Status::OK();
 }
 
@@ -160,13 +186,15 @@ Result<std::string> AliQAn::PlainText(ir::DocId doc) const {
   return analysis->plain;
 }
 
-Result<AnswerSet> AliQAn::Ask(const std::string& question) {
-  return AskWith(question, &timings_, deadline_);
+Result<AnswerSet> AliQAn::Ask(const std::string& question,
+                              TraceRecorder* trace) {
+  return AskWith(question, &timings_, deadline_, trace);
 }
 
 Result<AnswerSet> AliQAn::AskWith(const std::string& question,
                                   PhaseTimings* timings,
-                                  Deadline* deadline) const {
+                                  Deadline* deadline,
+                                  TraceRecorder* trace) const {
   PhaseTimings discard;
   if (timings == nullptr) timings = &discard;
   if (docs_ == nullptr) {
@@ -179,12 +207,24 @@ Result<AnswerSet> AliQAn::AskWith(const std::string& question,
   timings->sentences_analyzed = 0;
   timings->sentences_analyzed_cached = 0;
   AnswerSet result;
+  Span ask_span(trace, "qa.ask");
+  ask_span.Annotate("question", question);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter(kMetricQaQuestions, {}, "Questions the QA engine ran")
+        ->Increment();
+  }
 
   auto t0 = std::chrono::steady_clock::now();
   if (deadline != nullptr) {
     DWQA_RETURN_NOT_OK(deadline->Spend("qa.analysis"));
   }
-  DWQA_ASSIGN_OR_RETURN(result.analysis, AnalyzeQuestion(question));
+  {
+    Span span(trace, "qa.analysis");
+    DWQA_ASSIGN_OR_RETURN(result.analysis, AnalyzeQuestion(question));
+    span.Annotate("answer_type",
+                  AnswerTypeName(result.analysis.answer_type));
+  }
   timings->analysis_ms = MsSince(t0);
 
   // Module 2 (or the unfiltered ablation).
@@ -192,6 +232,7 @@ Result<AnswerSet> AliQAn::AskWith(const std::string& question,
   if (deadline != nullptr) {
     DWQA_RETURN_NOT_OK(deadline->Spend("qa.retrieval"));
   }
+  Span retrieval_span(trace, "ir.retrieval");
   std::vector<ir::Passage> passages;
   if (config_.use_ir_filter) {
     DWQA_ASSIGN_OR_RETURN(passages, SelectPassages(result.analysis));
@@ -211,11 +252,14 @@ Result<AnswerSet> AliQAn::AskWith(const std::string& question,
       passages.push_back(std::move(p));
     }
   }
+  retrieval_span.Annotate("passages", static_cast<double>(passages.size()));
+  retrieval_span.End();
   timings->retrieval_ms = MsSince(t1);
 
   // Module 3: pattern matching over the cached indexation-time analyses
   // (or full re-analysis under the reanalyze_per_question ablation).
   auto t2 = std::chrono::steady_clock::now();
+  Span extraction_span(trace, "qa.extraction");
   AnswerExtractor extractor(onto_);
   std::vector<AnswerCandidate> candidates;
   size_t sentences = 0;
@@ -259,11 +303,16 @@ Result<AnswerSet> AliQAn::AskWith(const std::string& question,
   }
   result.answers =
       AnswerExtractor::Rank(std::move(candidates), config_.max_answers);
+  extraction_span.Annotate("sentences", static_cast<double>(sentences));
+  extraction_span.Annotate("candidates",
+                           static_cast<double>(result.answers.size()));
+  extraction_span.End();
 
   // The answer ladder (qa/degradation.h): when the published extraction
   // path comes up empty, climb down rung by rung rather than answer
   // nothing. Both rungs are opt-in.
   if (result.answers.empty() && config_.degradation.enable_relaxed) {
+    Span span(trace, "qa.ladder.relaxed");
     result.answers = AnswerExtractor::Rank(
         RelaxedExtract(result.analysis, passages, docs_,
                        config_.degradation, config_.max_answers,
@@ -272,13 +321,16 @@ Result<AnswerSet> AliQAn::AskWith(const std::string& question,
     if (!result.answers.empty()) {
       result.degradation = DegradationLevel::kRelaxedPattern;
     }
+    span.Annotate("answers", static_cast<double>(result.answers.size()));
   }
   if (result.answers.empty() && config_.degradation.enable_ir_only) {
+    Span span(trace, "qa.ladder.ir_only");
     result.answers =
         IrOnlyAnswers(passages, docs_, config_.degradation);
     if (!result.answers.empty()) {
       result.degradation = DegradationLevel::kIrOnly;
     }
+    span.Annotate("answers", static_cast<double>(result.answers.size()));
   }
   if (result.answers.empty()) {
     result.degradation = DegradationLevel::kUnanswered;
@@ -293,6 +345,41 @@ Result<AnswerSet> AliQAn::AskWith(const std::string& question,
   timings->extraction_ms = MsSince(t2);
   timings->sentences_analyzed = sentences;
   timings->sentences_analyzed_cached = cached;
+  ask_span.Annotate("level", DegradationLevelName(result.degradation));
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter(kMetricQaAnswers,
+                     {{"level", DegradationLevelName(result.degradation)}},
+                     "Answer sets produced, by degradation level")
+        ->Increment();
+    Histogram* phase = metrics_->GetHistogram(
+        kMetricQaPhaseLatency, {{"phase", "analysis"}},
+        MetricRegistry::LatencyBucketsMs(),
+        "Latency of the three search-phase modules");
+    phase->Observe(timings->analysis_ms);
+    metrics_
+        ->GetHistogram(kMetricQaPhaseLatency, {{"phase", "retrieval"}},
+                       MetricRegistry::LatencyBucketsMs())
+        ->Observe(timings->retrieval_ms);
+    metrics_
+        ->GetHistogram(kMetricQaPhaseLatency, {{"phase", "extraction"}},
+                       MetricRegistry::LatencyBucketsMs())
+        ->Observe(timings->extraction_ms);
+    if (cached > 0) {
+      metrics_
+          ->GetCounter(kMetricQaSentencesAnalyzed, {{"source", "cached"}},
+                       "Sentences the extraction module consumed, by "
+                       "analysis source")
+          ->Increment(static_cast<double>(cached));
+    }
+    if (sentences > cached) {
+      metrics_
+          ->GetCounter(kMetricQaSentencesAnalyzed, {{"source", "fresh"}},
+                       "Sentences the extraction module consumed, by "
+                       "analysis source")
+          ->Increment(static_cast<double>(sentences - cached));
+    }
+  }
   return result;
 }
 

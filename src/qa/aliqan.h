@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "ir/document.h"
 #include "ir/inverted_index.h"
 #include "ir/passage_index.h"
@@ -107,6 +109,14 @@ class AliQAn {
   /// completion.
   void set_deadline(Deadline* deadline) { deadline_ = deadline; }
 
+  /// Attaches a metrics registry (owned by the caller, may be null). Ask
+  /// records per-question counters and phase latencies into the `dwqa_qa_*`
+  /// families; the registry is also propagated to both indexes (including
+  /// the fresh ones IndexCorpus builds), so retrieval feeds the
+  /// `dwqa_ir_*` families. Recording is lock-free, so speculative AskWith
+  /// workers may run concurrently against the same registry.
+  void set_metrics(MetricRegistry* metrics);
+
   const AliQAnConfig& config() const { return config_; }
 
   /// Off-line indexation phase. `docs` must outlive this object.
@@ -119,18 +129,24 @@ class AliQAn {
   Result<std::vector<ir::Passage>> SelectPassages(
       const QuestionAnalysis& analysis) const;
 
-  /// Full search phase: modules 1–3.
-  Result<AnswerSet> Ask(const std::string& question);
+  /// Full search phase: modules 1–3. When `trace` is non-null the call
+  /// contributes a `qa.ask` span tree (analysis → retrieval → extraction,
+  /// plus ladder rungs) to it.
+  Result<AnswerSet> Ask(const std::string& question,
+                        TraceRecorder* trace = nullptr);
 
   /// The same search phase against caller-supplied timing and deadline
   /// sinks, leaving the instance untouched. This is the speculation
   /// primitive behind Pipeline's batched Step-5: workers run AskWith
   /// against private unlimited Deadline ledgers concurrently (safe — the
   /// index is quiescent and this method only reads it), and the serial
-  /// merge point later absorbs each ledger into the shared deadline. Both
-  /// `timings` and `deadline` may be null.
+  /// merge point later absorbs each ledger into the shared deadline.
+  /// `timings`, `deadline` and `trace` may all be null; speculative
+  /// workers must pass a null `trace` (TraceRecorder parents spans off a
+  /// single serial stack).
   Result<AnswerSet> AskWith(const std::string& question,
-                            PhaseTimings* timings, Deadline* deadline) const;
+                            PhaseTimings* timings, Deadline* deadline,
+                            TraceRecorder* trace = nullptr) const;
 
   /// The document-level index (the IR baseline of bench_ir_vs_qa).
   const ir::InvertedIndex& document_index() const { return doc_index_; }
@@ -153,6 +169,7 @@ class AliQAn {
   Preprocessor preprocessor_;
   const ir::DocumentStore* docs_ = nullptr;
   Deadline* deadline_ = nullptr;
+  MetricRegistry* metrics_ = nullptr;
   /// Owns the shared TermDictionary; declared before the indexes that
   /// borrow its pointer so destruction order stays safe.
   text::AnalyzedCorpus corpus_;

@@ -1,0 +1,197 @@
+#include "common/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("dwqa_test_events_total");
+  counter->Increment();
+  counter->Increment(2.5);
+  EXPECT_DOUBLE_EQ(counter->value(), 3.5);
+}
+
+TEST(CounterTest, NegativeAndNanDeltasAreDropped) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("dwqa_test_events_total");
+  counter->Increment(5.0);
+  counter->Increment(-3.0);
+  counter->Increment(std::nan(""));
+  EXPECT_DOUBLE_EQ(counter->value(), 5.0);
+}
+
+TEST(GaugeTest, SetAndAddMoveBothWays) {
+  MetricRegistry registry;
+  Gauge* gauge = registry.GetGauge("dwqa_test_depth");
+  gauge->Set(10.0);
+  gauge->Add(-4.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 6.0);
+  gauge->Set(0.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram histogram({1.0, 5.0, 10.0});
+  histogram.Observe(0.5);   // <= 1
+  histogram.Observe(1.0);   // <= 1 (inclusive upper bound)
+  histogram.Observe(3.0);   // <= 5
+  histogram.Observe(100.0);  // +Inf
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 104.5);
+  std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite + the +Inf overflow.
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(MetricRegistryTest, SameNameAndLabelsReturnsTheSameInstrument) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("dwqa_test_events_total", {{"k", "v"}});
+  Counter* b = registry.GetCounter("dwqa_test_events_total", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  Counter* other =
+      registry.GetCounter("dwqa_test_events_total", {{"k", "w"}});
+  EXPECT_NE(a, other);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(MetricRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("dwqa_test_events_total",
+                                   {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("dwqa_test_events_total",
+                                   {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricRegistryTest, ValueAndFamilySumReadBack) {
+  MetricRegistry registry;
+  registry.GetCounter("dwqa_test_facts_total", {{"disposition", "loaded"}})
+      ->Increment(3.0);
+  registry
+      .GetCounter("dwqa_test_facts_total", {{"disposition", "rejected"}})
+      ->Increment(2.0);
+  EXPECT_DOUBLE_EQ(
+      registry.Value("dwqa_test_facts_total", {{"disposition", "loaded"}}),
+      3.0);
+  // Absent series reads as 0, Prometheus-style.
+  EXPECT_DOUBLE_EQ(registry.Value("dwqa_test_missing_total"), 0.0);
+  EXPECT_DOUBLE_EQ(registry.FamilySum("dwqa_test_facts_total"), 5.0);
+}
+
+TEST(MetricRegistryTest, SnapshotFamilyIsSortedByLabels) {
+  MetricRegistry registry;
+  registry.GetCounter("dwqa_test_total", {{"x", "b"}})->Increment();
+  registry.GetCounter("dwqa_test_total", {{"x", "a"}})->Increment(2.0);
+  registry.GetCounter("dwqa_other_total")->Increment();
+  std::vector<MetricSnapshot> family =
+      registry.SnapshotFamily("dwqa_test_total");
+  ASSERT_EQ(family.size(), 2u);
+  EXPECT_EQ(family[0].labels.at("x"), "a");
+  EXPECT_DOUBLE_EQ(family[0].value, 2.0);
+  EXPECT_EQ(family[1].labels.at("x"), "b");
+}
+
+TEST(MetricRegistryTest, HelpIsRecordedOnFirstProvidingCall) {
+  MetricRegistry registry;
+  registry.GetCounter("dwqa_test_total", {}, "");
+  registry.GetCounter("dwqa_test_total", {}, "first help");
+  registry.GetCounter("dwqa_test_total", {}, "second help");
+  std::vector<MetricSnapshot> snaps = registry.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].help, "first help");
+}
+
+TEST(ScopedLatencyTimerTest, ObservesOnceAndToleratesNull) {
+  MetricRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("dwqa_test_latency_ms", {}, {1e9});
+  {
+    ScopedLatencyTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram->count(), 1u);
+  {
+    ScopedLatencyTimer null_timer(nullptr);  // Must not crash.
+  }
+  EXPECT_EQ(histogram->count(), 1u);
+}
+
+// Golden exporter output: the exact exposition format is API — dashboards
+// and the BENCH_phase3.json tee parse it.
+TEST(ExportPrometheusTest, GoldenOutput) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("dwqa_test_events_total", {{"kind", "a"}},
+                  "Events seen")
+      ->Increment(3.0);
+  registry.GetCounter("dwqa_test_events_total", {{"kind", "b"}})
+      ->Increment(1.5);
+  registry.GetGauge("dwqa_test_depth", {}, "Current depth")->Set(7.0);
+  registry
+      .GetHistogram("dwqa_test_latency_ms", {}, {1.0, 5.0},
+                    "Latency of tests")
+      ->Observe(2.0);
+  EXPECT_EQ(registry.ExportPrometheus(),
+            "# HELP dwqa_test_depth Current depth\n"
+            "# TYPE dwqa_test_depth gauge\n"
+            "dwqa_test_depth 7\n"
+            "# HELP dwqa_test_events_total Events seen\n"
+            "# TYPE dwqa_test_events_total counter\n"
+            "dwqa_test_events_total{kind=\"a\"} 3\n"
+            "dwqa_test_events_total{kind=\"b\"} 1.5\n"
+            "# HELP dwqa_test_latency_ms Latency of tests\n"
+            "# TYPE dwqa_test_latency_ms histogram\n"
+            "dwqa_test_latency_ms_bucket{le=\"1\"} 0\n"
+            "dwqa_test_latency_ms_bucket{le=\"5\"} 1\n"
+            "dwqa_test_latency_ms_bucket{le=\"+Inf\"} 1\n"
+            "dwqa_test_latency_ms_sum 2\n"
+            "dwqa_test_latency_ms_count 1\n");
+}
+
+TEST(ExportPrometheusTest, LabelValuesAreEscaped) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("dwqa_test_total", {{"q", "say \"hi\"\nback\\slash"}})
+      ->Increment();
+  std::string out = registry.ExportPrometheus();
+  EXPECT_NE(out.find("q=\"say \\\"hi\\\"\\nback\\\\slash\""),
+            std::string::npos)
+      << out;
+}
+
+TEST(ExportJsonTest, GoldenOutput) {
+  MetricRegistry registry;
+  registry.GetCounter("dwqa_test_events_total", {{"kind", "a"}})
+      ->Increment(2.0);
+  registry.GetHistogram("dwqa_test_latency_ms", {}, {1.0})->Observe(0.5);
+  EXPECT_EQ(registry.ExportJson(),
+            "{\n"
+            "  \"schema\": \"dwqa-metrics-v1\",\n"
+            "  \"metrics\": [\n"
+            "    {\"name\": \"dwqa_test_events_total\", "
+            "\"type\": \"counter\", \"labels\": {\"kind\": \"a\"}, "
+            "\"value\": 2},\n"
+            "    {\"name\": \"dwqa_test_latency_ms\", "
+            "\"type\": \"histogram\", \"labels\": {}, \"count\": 1, "
+            "\"sum\": 0.5, \"buckets\": [{\"le\": 1, \"count\": 1}, "
+            "{\"le\": \"+Inf\", \"count\": 0}]}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(ExportTest, EmptyRegistryExportsCleanly) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.ExportPrometheus(), "");
+  EXPECT_EQ(registry.ExportJson(),
+            "{\n  \"schema\": \"dwqa-metrics-v1\",\n  \"metrics\": [\n"
+            "  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace dwqa

@@ -1,0 +1,124 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace dwqa {
+namespace {
+
+TEST(SpanTest, NullRecorderIsANoOp) {
+  Span span(nullptr, "qa.ask");
+  span.Annotate("k", "v");
+  span.Annotate("n", 3.0);
+  span.End();  // Must not crash.
+}
+
+TEST(TraceRecorderTest, NestedScopesFormATree) {
+  TraceRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  {
+    Span question(&recorder, "step5.question");
+    {
+      Span ask(&recorder, "qa.ask");
+      { Span analysis(&recorder, "qa.analysis"); }
+      { Span retrieval(&recorder, "ir.retrieval"); }
+    }
+    Span validate(&recorder, "qa.validate");
+  }
+  std::vector<SpanRecord> spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans[0].name, "step5.question");
+  EXPECT_EQ(spans[0].parent, SpanRecord::kNoParent);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "qa.ask");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "qa.analysis");
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].name, "ir.retrieval");
+  EXPECT_EQ(spans[3].parent, 1u);
+  // qa.validate starts after qa.ask closed, so it parents on the question.
+  EXPECT_EQ(spans[4].name, "qa.validate");
+  EXPECT_EQ(spans[4].parent, 0u);
+}
+
+TEST(TraceRecorderTest, ExplicitEndReleasesTheParentSlot) {
+  TraceRecorder recorder;
+  Span first(&recorder, "first");
+  first.End();
+  first.End();  // Idempotent.
+  Span second(&recorder, "second");
+  std::vector<SpanRecord> spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // `first` was closed, so `second` is a sibling root, not a child.
+  EXPECT_EQ(spans[1].parent, SpanRecord::kNoParent);
+}
+
+TEST(TraceRecorderTest, AnnotationsKeepCallOrderAndFormatNumbers) {
+  TraceRecorder recorder;
+  {
+    Span span(&recorder, "qa.ask");
+    span.Annotate("question", "temp?");
+    span.Annotate("passages", 5.0);
+    span.Annotate("score", 0.5);
+  }
+  std::vector<SpanRecord> spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].annotations.size(), 3u);
+  EXPECT_EQ(spans[0].annotations[0],
+            (std::pair<std::string, std::string>{"question", "temp?"}));
+  // Whole numbers render without a decimal point.
+  EXPECT_EQ(spans[0].annotations[1].second, "5");
+  EXPECT_EQ(spans[0].annotations[2].second, "0.5");
+}
+
+TEST(TraceRecorderTest, MovedFromSpanIsInert) {
+  TraceRecorder recorder;
+  {
+    Span outer(&recorder, "outer");
+    Span moved = std::move(outer);
+    outer.End();  // No effect: ownership transferred.
+    ASSERT_EQ(recorder.spans().size(), 1u);
+    EXPECT_EQ(recorder.spans()[0].duration_ms, 0.0);  // Still open.
+  }
+  // `moved` closed it on scope exit; an open child started before the move
+  // would still have parented correctly.
+  EXPECT_EQ(recorder.spans().size(), 1u);
+}
+
+TEST(TraceRecorderTest, RenderDrawsTheGuideTree) {
+  TraceRecorder recorder;
+  {
+    Span question(&recorder, "step5.question");
+    question.Annotate("question", "temp?");
+    {
+      Span ask(&recorder, "qa.ask");
+      { Span analysis(&recorder, "qa.analysis"); }
+      { Span retrieval(&recorder, "ir.retrieval"); }
+    }
+    Span load(&recorder, "dw.etl.load");
+  }
+  std::string rendered = recorder.Render();
+  // Durations are wall-clock; assert the structure around them.
+  EXPECT_NE(rendered.find("step5.question ("), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("[question=temp?]"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("├─ qa.ask ("), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("│  ├─ qa.analysis ("), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("│  └─ ir.retrieval ("), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("└─ dw.etl.load ("), std::string::npos) << rendered;
+}
+
+TEST(TraceRecorderTest, RenderHandlesMultipleRoots) {
+  TraceRecorder recorder;
+  { Span a(&recorder, "one"); }
+  { Span b(&recorder, "two"); }
+  std::string rendered = recorder.Render();
+  EXPECT_NE(rendered.find("one ("), std::string::npos);
+  EXPECT_NE(rendered.find("two ("), std::string::npos);
+  // Roots carry no guide glyphs.
+  EXPECT_EQ(rendered.find("├─"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwqa

@@ -1,0 +1,215 @@
+// End-to-end observability: the pipeline-wide MetricRegistry must cover
+// every layer (qa/ir/dw/feed/resilience), its feed families must agree with
+// the FeedReport accounting, and trace_questions must produce a renderable
+// span tree even for degraded answers.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metric_names.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+const char kQ1[] = "What is the temperature in Barcelona in January of 2004?";
+const char kQ2[] = "What is the temperature in Madrid in January of 2004?";
+
+RetryPolicy FastRetry() {
+  RetryPolicy policy;
+  policy.sleep = false;
+  return policy;
+}
+
+class MetricsPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    uml_ = LastMinuteSales::MakeUmlModel();
+    web::WebConfig config;
+    config.cities = {"Barcelona", "Madrid"};
+    config.months = {1};
+    web_ = std::make_unique<web::SyntheticWeb>(
+        web::SyntheticWeb::Build(config).ValueOrDie());
+  }
+
+  ontology::UmlModel uml_;
+  std::unique_ptr<web::SyntheticWeb> web_;
+};
+
+TEST_F(MetricsPipelineTest, RegistryCoversAllLayers) {
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline pipeline(&wh, &uml_,
+                               LastMinuteSales::DefaultPipelineConfig());
+  ASSERT_TRUE(pipeline.RunAll(&web_->documents()).ok());
+  auto report = pipeline.RunStep5({kQ1, kQ2}, "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->rows_loaded, 0u);
+
+  std::set<std::string> families;
+  for (const MetricSnapshot& snap : pipeline.metrics()->Snapshot()) {
+    families.insert(snap.name);
+  }
+  // The acceptance bar: at least 15 distinct metrics spanning the QA, IR,
+  // DW and integration layers after one indexed + fed run.
+  EXPECT_GE(families.size(), 15u);
+  for (const char* name : {
+           kMetricDeadlineSpentUnits, kMetricDeadlineExhausted,
+           kMetricQaIndexDocuments, kMetricQaIndexSentences,
+           kMetricQaIndexLatency, kMetricQaQuestions, kMetricQaAnswers,
+           kMetricQaPhaseLatency, kMetricQaSentencesAnalyzed,
+           kMetricIrPassageLookups, kMetricIrPassageLookupLatency,
+           kMetricFeedQuestions, kMetricFeedQuestionsByLevel,
+           kMetricFeedFacts, kMetricDwEtlRowsLoaded, kMetricDwEtlLoadLatency,
+       }) {
+    EXPECT_EQ(families.count(name), 1u) << "missing " << name;
+  }
+
+  // Both exporters render the same registry.
+  MetricsDump dump = pipeline.DumpMetrics();
+  EXPECT_NE(dump.prometheus.find("# TYPE dwqa_qa_questions_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      dump.prometheus.find("dwqa_feed_facts_total{disposition=\"loaded\"}"),
+      std::string::npos);
+  EXPECT_NE(dump.prometheus.find("dwqa_qa_phase_latency_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(dump.json.find("\"schema\": \"dwqa-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(dump.json.find("dwqa_dw_etl_rows_loaded_total"),
+            std::string::npos);
+}
+
+TEST_F(MetricsPipelineTest, FeedFamiliesMatchTheFeedReport) {
+  PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
+  // Fault injection makes the interesting counters (retries, transient
+  // failures, rejects) non-zero, so the agreement below is non-vacuous.
+  config.resilience.fault = FaultConfig::TransientEverywhere(0.2, 7);
+  config.resilience.retry = FastRetry();
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline pipeline(&wh, &uml_, config);
+  ASSERT_TRUE(pipeline.RunAll(&web_->documents()).ok());
+  auto report = pipeline.RunStep5({kQ1, kQ2}, "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+
+  const MetricRegistry& metrics = *pipeline.metrics();
+  // Accounting identity, registry side: every extracted fact carries
+  // exactly one disposition, and the buckets match the report's.
+  EXPECT_EQ(metrics.FamilySum(kMetricFeedFacts),
+            double(report->facts_extracted));
+  EXPECT_EQ(metrics.Value(kMetricFeedFacts, {{"disposition", "loaded"}}),
+            double(report->rows_loaded));
+  EXPECT_EQ(
+      metrics.Value(kMetricFeedFacts, {{"disposition", "deduplicated"}}),
+      double(report->rows_deduplicated));
+  EXPECT_EQ(metrics.Value(kMetricFeedFacts, {{"disposition", "rejected"}}),
+            double(report->rows_rejected));
+  EXPECT_EQ(
+      metrics.Value(kMetricFeedFacts, {{"disposition", "quarantined"}}),
+      double(report->rows_quarantined - report->rows_rejected));
+  EXPECT_EQ(metrics.FamilySum(kMetricFeedQuarantined),
+            double(report->rows_quarantined));
+
+  // Every question lands in exactly one outcome bucket.
+  EXPECT_EQ(metrics.FamilySum(kMetricFeedQuestions), 2.0);
+  EXPECT_EQ(
+      metrics.Value(kMetricFeedQuestions, {{"outcome", "answered"}}),
+      double(report->questions_answered));
+
+  // Resilience counters mirror the report one-for-one.
+  EXPECT_EQ(metrics.Value(kMetricFeedRetries), double(report->retries));
+  EXPECT_EQ(metrics.Value(kMetricFeedTransientFailures),
+            double(report->transient_failures));
+  EXPECT_EQ(metrics.Value(kMetricDwEtlRowsLoaded),
+            double(report->rows_loaded));
+  EXPECT_EQ(metrics.Value(kMetricDwEtlRowsRejected),
+            double(report->rows_rejected));
+
+  // Degradation mix: one by-level series per rung seen, equal counts.
+  for (const auto& [level, count] : report->questions_by_degradation) {
+    EXPECT_EQ(metrics.Value(kMetricFeedQuestionsByLevel,
+                            {{"level", qa::DegradationLevelName(level)}}),
+              double(count));
+  }
+}
+
+TEST_F(MetricsPipelineTest, HealthIsAThinViewOverTheRegistry) {
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline pipeline(&wh, &uml_,
+                               LastMinuteSales::DefaultPipelineConfig());
+  ASSERT_TRUE(pipeline.RunAll(&web_->documents()).ok());
+  auto report = pipeline.RunStep5({kQ1, kQ2}, "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+
+  // Health() outside RunStep5 now reports the cumulative registry numbers
+  // (these fields used to be empty outside a feed run).
+  PipelineHealth health = pipeline.Health();
+  std::map<std::string, size_t> expected;
+  for (const auto& [level, count] : report->questions_by_degradation) {
+    expected[qa::DegradationLevelName(level)] = count;
+  }
+  EXPECT_EQ(health.questions_by_degradation, expected);
+  EXPECT_EQ(health.wasted_retries, report->wasted_retries);
+  EXPECT_EQ(health.breaker_rejections, report->breaker_rejections);
+}
+
+TEST_F(MetricsPipelineTest, DegradedAnswerRendersAFullTrace) {
+  // Stripped corpus (no unit markers): the published extractor finds
+  // nothing and the IR-only rung answers with the best passage.
+  ir::DocumentStore docs;
+  docs.Add("web://weather-stripped", "weather", ir::DocFormat::kPlainText,
+           "Saturday, January 31, 2004\n"
+           "Barcelona Weather: Temperature 8 Clear skies today\n");
+  PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
+  config.qa.degradation.enable_ir_only = true;
+  config.trace_questions = true;
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline pipeline(&wh, &uml_, config);
+  ASSERT_TRUE(pipeline.RunAll(&docs).ok());
+  auto report = pipeline.RunStep5({kQ1}, "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->questions_by_degradation.count(
+                qa::DegradationLevel::kIrOnly),
+            1u);
+
+  ASSERT_EQ(pipeline.question_traces().size(), 1u);
+  EXPECT_EQ(pipeline.question_traces()[0].question, kQ1);
+  std::string rendered = pipeline.RenderTraces();
+  // The span tree walks the whole degraded path: question → ask →
+  // analysis/retrieval/extraction → the IR-only rung.
+  EXPECT_NE(rendered.find(kQ1), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("step5.question ("), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("└─ qa.ask ("), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("   ├─ qa.analysis ("), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("   ├─ ir.retrieval ("), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("   ├─ qa.extraction ("), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("   └─ qa.ladder.ir_only ("), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("level=IrOnly"), std::string::npos) << rendered;
+
+  // A second feed run clears the previous run's traces.
+  auto second = pipeline.RunStep5({kQ2}, "Weather", "temperature");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(pipeline.question_traces().size(), 1u);
+  EXPECT_EQ(pipeline.question_traces()[0].question, kQ2);
+}
+
+TEST_F(MetricsPipelineTest, TracingOffRecordsNothing) {
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline pipeline(&wh, &uml_,
+                               LastMinuteSales::DefaultPipelineConfig());
+  ASSERT_TRUE(pipeline.RunAll(&web_->documents()).ok());
+  ASSERT_TRUE(pipeline.RunStep5({kQ1}, "Weather", "temperature").ok());
+  EXPECT_TRUE(pipeline.question_traces().empty());
+  EXPECT_EQ(pipeline.RenderTraces(), "");
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa
