@@ -1,0 +1,233 @@
+// Serving-loop load study — the QA-as-a-service front-end replaying a
+// multi-tenant question stream under increasing chaos.
+//
+// Three tenants share one QaServer; ≥5000 requests (mostly `ask`, with
+// periodic `bi` roll-ups, deadline-capped asks and cache-bypassing asks)
+// replay against injected transient fault rates of 0%, 5% and 10% at the
+// ask path's fetch point. Reported per rate: outcome mix, cache behaviour,
+// latency percentiles (p50/p95/p99 from the server's own latency
+// histogram) and throughput.
+//
+// Shape check — the serving contract of the robustness issue: EVERY
+// request ends in an answer carrying a DegradationLevel or in a typed
+// rejection (Overloaded / DeadlineExceeded / CircuitOpen); no untyped
+// errors, no crashes, no hangs.
+//
+// `--smoke` shrinks the replay for the `perf`-labeled ctest smoke.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/date.h"
+#include "common/fault.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "integration/last_minute_sales.h"
+#include "serve/server.h"
+#include "web/question_factory.h"
+#include "web/synthetic_web.h"
+
+using namespace dwqa;
+using integration::LastMinuteSales;
+
+namespace {
+
+struct RateReport {
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t cached = 0;
+  size_t stale = 0;
+  size_t rejected = 0;
+  size_t untyped_errors = 0;
+  std::map<std::string, size_t> rejection_codes;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// The ask-endpoint latency series of the server registry.
+double AskQuantile(const MetricRegistry& metrics, double q) {
+  for (const MetricSnapshot& snapshot :
+       metrics.SnapshotFamily(kMetricServeRequestLatency)) {
+    auto it = snapshot.labels.find("endpoint");
+    if (it != snapshot.labels.end() && it->second == "ask") {
+      return HistogramQuantile(snapshot, q);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  PrintBanner(std::cout,
+              "QA-as-a-service under load — three tenants, chaos sweep, "
+              "typed outcomes only");
+
+  web::WebConfig web_config;
+  web_config.seed = 42;
+  web_config.cities = {"Barcelona", "Madrid", "Valencia",
+                       "Seville", "Paris", "Rome"};
+  web_config.months = {1, 2};
+  auto webb = web::SyntheticWeb::Build(web_config).ValueOrDie();
+  ontology::UmlModel uml = LastMinuteSales::MakeUmlModel();
+
+  // The replayed question pool: every (city, month) weather question.
+  std::vector<std::string> pool;
+  for (const web::GoldQuestion& gold :
+       web::QuestionFactory::WeatherQuestions(webb)) {
+    pool.push_back(gold.question);
+  }
+
+  const std::vector<std::string> tenants = {"alpha", "beta", "gamma"};
+  const size_t total_requests = smoke ? 600 : 5100;
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.10}
+            : std::vector<double>{0.0, 0.05, 0.10};
+
+  // Per-tenant warehouses outlive the servers of every chaos rate.
+  std::vector<std::unique_ptr<dw::Warehouse>> warehouses;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    auto wh = std::make_unique<dw::Warehouse>(
+        LastMinuteSales::MakeWarehouse().ValueOrDie());
+    if (!LastMinuteSales::GenerateSales(wh.get(), webb.weather(),
+                                        Date(2004, 1, 1), 59)
+             .ok()) {
+      std::cerr << "sales generation failed" << std::endl;
+      return 1;
+    }
+    warehouses.push_back(std::move(wh));
+  }
+
+  auto run = [&](double chaos) -> Result<RateReport> {
+    serve::ServerConfig server_config;
+    // Rate-limit each tenant below its arrival rate so a slice of the
+    // stream is shed with the typed Overloaded rejection — overload is
+    // part of the study, not an accident.
+    server_config.admission.rate.capacity = 8.0;
+    server_config.admission.rate.refill_per_tick = 0.30;
+    serve::QaServer server(server_config);
+
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      serve::ServeTenantConfig tenant;
+      tenant.name = tenants[i];
+      tenant.warehouse = warehouses[i].get();
+      tenant.uml = &uml;
+      tenant.docs = &webb.documents();
+      tenant.pipeline = LastMinuteSales::DefaultPipelineConfig();
+      tenant.pipeline.resilience.retry.sleep = false;
+      tenant.pipeline.resilience.fault =
+          FaultConfig::TransientEverywhere(chaos, /*seed=*/17 + i);
+      tenant.retry.sleep = false;
+      tenant.fault = FaultConfig::TransientEverywhere(chaos, /*seed=*/7 + i);
+      tenant.breaker.enabled = true;
+      // Entries go stale mid-replay, so the stale-while-degraded fallback
+      // is exercised, not just asserted on in tests.
+      tenant.cache.ttl_ticks = total_requests / 4;
+      DWQA_RETURN_NOT_OK(server.AddTenant(tenant));
+    }
+
+    RateReport report;
+    bench::Timer timer;
+    for (size_t i = 0; i < total_requests; ++i) {
+      serve::Request request;
+      request.id = i + 1;
+      request.tenant = tenants[i % tenants.size()];
+      if (i % 250 == 0) {
+        // Periodic Step-5 feeds keep each tenant's warehouse warm — and
+        // make the later `bi` roll-ups meaningful.
+        request.endpoint = serve::Endpoint::kFeed;
+        request.questions = {pool[0], pool[1], pool[2]};
+      } else if (i % 250 == 249) {
+        request.endpoint = serve::Endpoint::kBi;
+      } else {
+        request.endpoint = serve::Endpoint::kAsk;
+        request.questions = {pool[i % pool.size()]};
+        // Every 7th ask bypasses the cache (a live-path slice); every 13th
+        // carries a deliberately tiny deadline budget.
+        request.no_cache = (i % 7 == 0);
+        if (i % 13 == 0) request.budget = 2.0;
+      }
+      serve::Response response = server.Handle(request);
+      ++report.requests;
+      if (response.status == "ok") {
+        ++report.ok;
+        if (response.cached) ++report.cached;
+        if (response.stale) ++report.stale;
+        if (request.endpoint == serve::Endpoint::kAsk &&
+            response.AnswerField("degradation").empty()) {
+          ++report.untyped_errors;  // An answer without a level is a bug.
+        }
+      } else if (response.status == "rejected") {
+        ++report.rejected;
+        ++report.rejection_codes[response.code];
+      } else {
+        ++report.untyped_errors;
+        ++report.rejection_codes["error:" + response.code];
+      }
+    }
+    report.wall_ms = timer.ElapsedMs();
+    report.p50 = AskQuantile(*server.metrics(), 0.50);
+    report.p95 = AskQuantile(*server.metrics(), 0.95);
+    report.p99 = AskQuantile(*server.metrics(), 0.99);
+    DWQA_RETURN_NOT_OK(server.Drain());
+    return report;
+  };
+
+  bench::JsonSectionWriter json("bench_serve_load");
+  TablePrinter table({"chaos", "requests", "ok", "cached", "stale",
+                      "rejected", "codes", "p50 ms", "p95 ms", "p99 ms",
+                      "req/s"});
+  bool shape_ok = true;
+  for (double rate : rates) {
+    auto result = run(rate);
+    if (!result.ok()) {
+      std::cerr << result.status() << std::endl;
+      return 1;
+    }
+    const RateReport& r = *result;
+    // The contract: answers or typed rejections, nothing else; shedding
+    // visible once the rate limiter bites; at most the three typed codes.
+    shape_ok = shape_ok && r.untyped_errors == 0 &&
+               r.ok + r.rejected == r.requests && r.rejected > 0;
+    for (const auto& [code, count] : r.rejection_codes) {
+      shape_ok = shape_ok &&
+                 (code == "Overloaded" || code == "DeadlineExceeded" ||
+                  code == "CircuitOpen");
+    }
+    std::string codes;
+    for (const auto& [code, count] : r.rejection_codes) {
+      if (!codes.empty()) codes += " ";
+      codes += code + ":" + std::to_string(count);
+    }
+    const double qps = r.requests / (r.wall_ms / 1000.0);
+    const std::string label = std::to_string(int(rate * 100)) + "%";
+    table.AddRow({label, std::to_string(r.requests), std::to_string(r.ok),
+                  std::to_string(r.cached), std::to_string(r.stale),
+                  std::to_string(r.rejected), codes, FormatDouble(r.p50, 2),
+                  FormatDouble(r.p95, 2), FormatDouble(r.p99, 2),
+                  FormatDouble(qps, 0)});
+    json.Add("chaos_" + label + "_p50_ms", r.p50, "ms");
+    json.Add("chaos_" + label + "_p95_ms", r.p95, "ms");
+    json.Add("chaos_" + label + "_p99_ms", r.p99, "ms");
+    json.Add("chaos_" + label + "_throughput", qps, "q/s");
+    json.Add("chaos_" + label + "_rejected", double(r.rejected), "");
+    json.Add("chaos_" + label + "_cache_hits", double(r.cached), "");
+  }
+  table.Print(std::cout);
+  if (!json.Flush()) return 1;
+  std::cout << (shape_ok
+                    ? "[shape check] PASS — every request across the chaos "
+                      "sweep ended in an answer with a degradation level or "
+                      "a typed rejection (Overloaded / DeadlineExceeded / "
+                      "CircuitOpen).\n"
+                    : "[shape check] FAIL\n");
+  return shape_ok ? 0 : 1;
+}

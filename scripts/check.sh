@@ -64,6 +64,18 @@ if [ -n "$SANITIZE" ]; then
     echo "check.sh: chaos suite FAILED under -fsanitize=$SANITIZE" >&2
     exit 1
   fi
+
+  # The serving layer once more under the sanitizers, same contract as the
+  # chaos label: the suite must exist, and admission/cache/drain must be
+  # clean under -fsanitize, not just in the plain build.
+  echo
+  echo "##### serving suite under sanitizers (ctest -L serve) #####"
+  if ! ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+       ctest --test-dir "$ROOT/$SAN_DIR" -L serve --output-on-failure; then
+    echo "check.sh: serving suite FAILED under -fsanitize=$SANITIZE" >&2
+    exit 1
+  fi
 fi
 
 if [ "${DWQA_SKIP_BENCHES:-0}" != 1 ]; then

@@ -108,6 +108,65 @@ inline constexpr char kMetricFeedCheckpointFailures[] =
     "dwqa_feed_checkpoint_failures_total";
 /// @}
 
+/// \name Retry pressure (common/retry.h, MirrorRetryStats)
+/// @{
+/// Counter, labels {stage}: attempts a RetryCall made (first tries and
+/// retries alike), per guarded stage.
+inline constexpr char kMetricRetryAttempts[] = "dwqa_retry_attempts_total";
+/// Counter, labels {stage}: transient failures a RetryCall observed.
+inline constexpr char kMetricRetryTransientFailures[] =
+    "dwqa_retry_transient_failures_total";
+/// Counter, labels {stage}: RetryCalls that exhausted their attempt budget
+/// without succeeding — the give-ups behind breaker trips.
+inline constexpr char kMetricRetryGiveups[] = "dwqa_retry_giveups_total";
+/// @}
+
+/// \name Serving layer (serve/server.h, serve/admission.h,
+/// serve/answer_cache.h)
+/// @{
+/// Counter, labels {endpoint, outcome}: every request the server saw ends
+/// in exactly one outcome ("ok" | "rejected" | "error").
+inline constexpr char kMetricServeRequests[] = "dwqa_serve_requests_total";
+/// Counter, labels {reason}: admissions the server refused
+/// (reason = "queue_full" | "cost_budget" | "rate_limited" |
+/// "tenant_concurrency" | "draining" | "circuit_open" |
+/// "deadline_exceeded" | "unknown_tenant" | "bad_request").
+inline constexpr char kMetricServeRejections[] =
+    "dwqa_serve_rejections_total";
+/// Gauge: requests admitted and not yet finished.
+inline constexpr char kMetricServeQueueDepth[] = "dwqa_serve_queue_depth";
+/// Gauge: estimated cost units admitted and not yet finished.
+inline constexpr char kMetricServeQueuedCost[] = "dwqa_serve_queued_cost";
+/// Gauge, labels {tenant}: requests of one tenant currently in flight.
+inline constexpr char kMetricServeTenantInflight[] =
+    "dwqa_serve_tenant_inflight";
+/// Histogram, labels {endpoint}: wall-clock latency of executed requests
+/// (admission-rejected requests are not observed here).
+inline constexpr char kMetricServeRequestLatency[] =
+    "dwqa_serve_request_latency_ms";
+/// Gauge: 1 while the server is draining or drained, 0 while accepting.
+inline constexpr char kMetricServeDraining[] = "dwqa_serve_draining";
+/// Counter, labels {tenant, result}: answer-cache lookups
+/// (result = "hit" | "stale" | "miss").
+inline constexpr char kMetricServeCacheLookups[] =
+    "dwqa_serve_cache_lookups_total";
+/// Counter, labels {tenant}: answers inserted into the cache.
+inline constexpr char kMetricServeCacheInsertions[] =
+    "dwqa_serve_cache_insertions_total";
+/// Counter, labels {tenant}: entries evicted by the LRU memory cap.
+inline constexpr char kMetricServeCacheEvictions[] =
+    "dwqa_serve_cache_evictions_total";
+/// Gauge, labels {tenant}: bytes the cache currently holds.
+inline constexpr char kMetricServeCacheBytes[] = "dwqa_serve_cache_bytes";
+/// Gauge, labels {tenant}: entries the cache currently holds.
+inline constexpr char kMetricServeCacheEntries[] =
+    "dwqa_serve_cache_entries";
+/// Counter, labels {tenant}: stale cached answers served because the live
+/// path had already degraded past them (stale-while-degraded).
+inline constexpr char kMetricServeStaleServed[] =
+    "dwqa_serve_stale_served_total";
+/// @}
+
 /// \name Warehouse / ETL boundary (integration/pipeline.cc, dw/etl.h)
 /// @{
 /// Histogram: per-record ETL load latency (retries included).

@@ -88,6 +88,33 @@ std::string PrometheusLabels(const MetricLabels& labels,
 
 }  // namespace
 
+double HistogramQuantile(const MetricSnapshot& snapshot, double q) {
+  if (snapshot.type != MetricType::kHistogram || snapshot.count == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(snapshot.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+    uint64_t in_bucket = snapshot.bucket_counts[i];
+    if (static_cast<double>(cumulative + in_bucket) >= rank &&
+        in_bucket > 0) {
+      // The +Inf bucket has no upper bound to interpolate toward — clamp
+      // to the largest finite bound, as Prometheus does.
+      if (i >= snapshot.bounds.size()) {
+        return snapshot.bounds.empty() ? 0.0 : snapshot.bounds.back();
+      }
+      double lower = i == 0 ? 0.0 : snapshot.bounds[i - 1];
+      double upper = snapshot.bounds[i];
+      double into = rank - static_cast<double>(cumulative);
+      return lower +
+             (upper - lower) * (into / static_cast<double>(in_bucket));
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.bounds.empty() ? 0.0 : snapshot.bounds.back();
+}
+
 const char* MetricTypeName(MetricType type) {
   switch (type) {
     case MetricType::kCounter: return "counter";

@@ -135,6 +135,13 @@ struct MetricSnapshot {
   /// @}
 };
 
+/// Estimated `q`-quantile (q in [0, 1]) of a histogram snapshot, by linear
+/// interpolation inside the bucket the quantile falls into (the Prometheus
+/// `histogram_quantile` estimator). Observations in the +Inf bucket clamp
+/// to the largest finite bound. Returns 0 for an empty histogram or a
+/// non-histogram snapshot.
+double HistogramQuantile(const MetricSnapshot& snapshot, double q);
+
 /// \brief Thread-safe registry of named counters, gauges and histograms.
 ///
 /// One registry per pipeline (IntegrationPipeline owns one); components

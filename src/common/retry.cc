@@ -5,6 +5,8 @@
 #include <cmath>
 #include <thread>
 
+#include "common/metric_names.h"
+
 namespace dwqa {
 
 Status RetryPolicy::Validate() const {
@@ -36,6 +38,27 @@ double BackoffDelayMs(const RetryPolicy& policy, int retry, Rng* rng) {
     delay *= 1.0 - rng->NextDouble() * policy.jitter;
   }
   return std::max(delay, 0.0);
+}
+
+void MirrorRetryStats(MetricRegistry* metrics, const std::string& stage,
+                      const RetryStats& stats, bool gave_up) {
+  if (metrics == nullptr || stats.attempts <= 0) return;
+  metrics
+      ->GetCounter(kMetricRetryAttempts, {{"stage", stage}},
+                   "Attempts RetryCall made, per guarded stage")
+      ->Increment(static_cast<double>(stats.attempts));
+  if (stats.transient_failures > 0) {
+    metrics
+        ->GetCounter(kMetricRetryTransientFailures, {{"stage", stage}},
+                     "Transient failures RetryCall observed, per stage")
+        ->Increment(static_cast<double>(stats.transient_failures));
+  }
+  if (gave_up) {
+    metrics
+        ->GetCounter(kMetricRetryGiveups, {{"stage", stage}},
+                     "RetryCalls that exhausted their attempt budget")
+        ->Increment();
+  }
 }
 
 namespace internal {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -55,6 +56,16 @@ struct RetryStats {
 
 /// Backoff delay before retry number `retry` (1-based), jittered via `rng`.
 double BackoffDelayMs(const RetryPolicy& policy, int retry, Rng* rng);
+
+/// Mirrors one RetryCall's stats into the registry (null = observability
+/// off): attempts and transient failures go to
+/// `dwqa_retry_attempts_total{stage}` /
+/// `dwqa_retry_transient_failures_total{stage}`, and `gave_up` increments
+/// `dwqa_retry_giveups_total{stage}` — the per-stage retry pressure the
+/// Prometheus export shows for a served request. Call it once per settled
+/// operation, after the final attempt.
+void MirrorRetryStats(MetricRegistry* metrics, const std::string& stage,
+                      const RetryStats& stats, bool gave_up);
 
 namespace internal {
 void SleepForMs(double ms);

@@ -22,6 +22,11 @@ enum class StatusCode {
   kUnavailable,
   /// The operation ran out of time. Retryable like kUnavailable.
   kDeadlineExceeded,
+  /// The server refused new work because an admission budget (queue depth,
+  /// queued cost, rate limit, per-tenant concurrency) is exceeded. NOT
+  /// IsTransient: an in-process retry loop hammering an overloaded server
+  /// makes the overload worse — clients must back off instead.
+  kOverloaded,
 };
 
 /// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
@@ -68,6 +73,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
   /// @}
 
   /// True for the OK status.
@@ -92,6 +100,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   /// @}
 
   /// Renders e.g. "NotFound: concept 'airport' is not in the ontology".

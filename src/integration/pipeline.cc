@@ -170,6 +170,9 @@ Status IntegrationPipeline::IndexCorpus(const ir::DocumentStore* docs) {
       },
       &stats, &deadline_, kFaultPointIndex);
   corpus_index_retries_ = size_t(stats.attempts > 0 ? stats.attempts - 1 : 0);
+  // These stats were invisible to the registry (only FeedReport saw them);
+  // mirror them so indexation retry pressure shows up in the export.
+  MirrorRetryStats(&metrics_, kFaultPointIndex, stats, !st.ok());
   if (st.ok()) {
     breaker->RecordSuccess();
   } else if (!st.IsDeadlineExceeded()) {

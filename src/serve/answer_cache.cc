@@ -1,0 +1,127 @@
+#include "serve/answer_cache.h"
+
+#include "common/metric_names.h"
+
+namespace dwqa {
+namespace serve {
+
+Status AnswerCacheConfig::Validate() const {
+  if (ttl_ticks == 0) {
+    return Status::InvalidArgument("answer cache ttl_ticks must be > 0");
+  }
+  if (max_bytes == 0) {
+    return Status::InvalidArgument("answer cache max_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
+AnswerCache::AnswerCache(AnswerCacheConfig config) : config_(config) {}
+
+size_t AnswerCache::EntryBytes(const std::string& key,
+                               const CachedAnswer& answer) {
+  size_t bytes = key.size() + 64;  // Map/list node overhead, estimated.
+  for (const auto& [k, v] : answer.answer) {
+    bytes += k.size() + v.size() + 16;
+  }
+  return bytes;
+}
+
+void AnswerCache::CountLookup(const char* result) {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->GetCounter(kMetricServeCacheLookups,
+                   {{"tenant", tenant_}, {"result", result}},
+                   "Answer-cache lookups by result (hit/stale/miss)")
+      ->Increment();
+}
+
+CacheLookup AnswerCache::Get(const std::string& key, uint64_t now_tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheLookup lookup;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    CountLookup("miss");
+    return lookup;
+  }
+  Entry& entry = it->second;
+  lookup.found = true;
+  lookup.stale = now_tick - entry.inserted_tick > config_.ttl_ticks;
+  lookup.entry = entry.answer;
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  CountLookup(lookup.stale ? "stale" : "hit");
+  return lookup;
+}
+
+void AnswerCache::Put(const std::string& key, CachedAnswer answer,
+                      uint64_t now_tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = EntryBytes(key, answer);
+  if (bytes > config_.max_bytes) return;  // Can never fit.
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.answer = std::move(answer);
+  entry.inserted_tick = now_tick;
+  entry.bytes = bytes;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  bytes_ += bytes;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter(kMetricServeCacheInsertions, {{"tenant", tenant_}},
+                     "Answers inserted into the cache")
+        ->Increment();
+  }
+  EvictToFit();
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetGauge(kMetricServeCacheBytes, {{"tenant", tenant_}},
+                   "Estimated bytes the answer cache holds")
+        ->Set(static_cast<double>(bytes_));
+    metrics_
+        ->GetGauge(kMetricServeCacheEntries, {{"tenant", tenant_}},
+                   "Entries the answer cache holds")
+        ->Set(static_cast<double>(entries_.size()));
+  }
+}
+
+void AnswerCache::EvictToFit() {
+  while (bytes_ > config_.max_bytes && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter(kMetricServeCacheEvictions, {{"tenant", tenant_}},
+                       "Entries evicted by the LRU memory cap")
+          ->Increment();
+    }
+  }
+}
+
+size_t AnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t AnswerCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void AnswerCache::set_metrics(MetricRegistry* metrics,
+                              const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  tenant_ = tenant;
+}
+
+}  // namespace serve
+}  // namespace dwqa

@@ -1,0 +1,120 @@
+#ifndef DWQA_SERVE_ANSWER_CACHE_H_
+#define DWQA_SERVE_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "qa/degradation.h"
+
+namespace dwqa {
+namespace serve {
+
+/// \brief Tuning of an AnswerCache.
+///
+/// Time is measured in server *ticks* (one tick per accepted request), not
+/// wall clock — the repo's tests ban wall clocks, and tick-counted TTLs
+/// make expiry exactly reproducible: "this entry survives the next 64
+/// requests" is a deterministic statement, "it survives 30 seconds" is not.
+struct AnswerCacheConfig {
+  /// Ticks an entry stays fresh; after that it is served only as a stale
+  /// fallback (stale-while-degraded) until the LRU cap evicts it.
+  uint64_t ttl_ticks = 256;
+  /// Memory cap over the estimated entry footprint; the least recently
+  /// used entries are evicted until the cache fits.
+  size_t max_bytes = 1 << 20;
+
+  /// InvalidArgument on a zero TTL or byte cap (a cache that can hold
+  /// nothing should be disabled at the server instead).
+  Status Validate() const;
+};
+
+/// \brief One cached answer: the deterministic answer block of the
+/// response (exactly what the cold path would serialize — byte-identical
+/// hits), plus the ladder rung that produced it.
+struct CachedAnswer {
+  /// Ordered answer fields, as in serve::Response::answer.
+  std::vector<std::pair<std::string, std::string>> answer;
+  /// Rung of the cached answer; stale-while-degraded only serves entries
+  /// whose rung beats the live result's.
+  qa::DegradationLevel level = qa::DegradationLevel::kFull;
+};
+
+/// \brief Outcome of one cache lookup.
+struct CacheLookup {
+  bool found = false;  ///< An entry exists (fresh or stale).
+  bool stale = false;  ///< It has outlived the TTL.
+  CachedAnswer entry;  ///< The cached answer (valid when found).
+};
+
+/// \brief Bounded, TTL'd, LRU answer cache keyed by normalized question —
+/// the "cached-fast" rung of the Snippet-1 sync/direct/hybrid ladder.
+///
+/// Thread-safe: lookups and insertions from concurrent server workers are
+/// serialized on an internal mutex (entries are small; the critical
+/// section is a map lookup plus a list splice). One cache per tenant, so a
+/// tenant can neither read another tenant's answers nor evict them.
+class AnswerCache {
+ public:
+  explicit AnswerCache(AnswerCacheConfig config = {});
+
+  /// Looks up `key` at time `now_tick`. A found entry is moved to the
+  /// front of the LRU order, fresh or stale — a stale entry being used as
+  /// a degraded fallback is exactly the entry worth keeping around.
+  CacheLookup Get(const std::string& key, uint64_t now_tick);
+
+  /// Inserts (or replaces) the entry under `key`, then evicts from the LRU
+  /// tail until the byte cap holds. An entry larger than the whole cap is
+  /// dropped on the floor (with a lookup-miss worth of nothing — it cannot
+  /// fit, and evicting everything else for it would empty the cache).
+  void Put(const std::string& key, CachedAnswer answer, uint64_t now_tick);
+
+  /// Entries currently held.
+  size_t size() const;
+  /// Estimated bytes currently held.
+  size_t bytes() const;
+
+  /// Attaches a metrics registry (may be null). Lookups, insertions and
+  /// evictions are mirrored into the `dwqa_serve_cache_*` families labeled
+  /// `{tenant}`.
+  void set_metrics(MetricRegistry* metrics, const std::string& tenant);
+
+ private:
+  struct Entry {
+    CachedAnswer answer;
+    uint64_t inserted_tick = 0;
+    size_t bytes = 0;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Estimated footprint of one entry (key + fields + bookkeeping).
+  static size_t EntryBytes(const std::string& key,
+                           const CachedAnswer& answer);
+
+  /// Evicts LRU-tail entries until bytes_ <= config_.max_bytes.
+  /// Caller holds mu_.
+  void EvictToFit();
+  /// Mirrors a lookup result into the registry. Caller holds mu_.
+  void CountLookup(const char* result);
+
+  AnswerCacheConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  /// Keys in recency order, most recent first.
+  std::list<std::string> lru_;
+  size_t bytes_ = 0;
+  MetricRegistry* metrics_ = nullptr;
+  std::string tenant_;
+};
+
+}  // namespace serve
+}  // namespace dwqa
+
+#endif  // DWQA_SERVE_ANSWER_CACHE_H_

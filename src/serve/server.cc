@@ -1,0 +1,620 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/metric_names.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "integration/bi_analysis.h"
+#include "qa/degradation.h"
+
+namespace dwqa {
+namespace serve {
+
+namespace {
+
+/// The deterministic answer block of one AnswerSet — what the response
+/// carries and the cache stores. Only the best candidate is serialized:
+/// the serving layer answers questions, the feed endpoint is how a client
+/// gets the full candidate list into the warehouse.
+std::vector<std::pair<std::string, std::string>> AnswerFields(
+    const qa::AnswerSet& set) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back("degradation",
+                      qa::DegradationLevelName(set.degradation));
+  if (set.empty()) {
+    fields.emplace_back("answered", "0");
+    if (!set.unanswered_reason.empty()) {
+      fields.emplace_back("unanswered_reason", set.unanswered_reason);
+    }
+    return fields;
+  }
+  const qa::AnswerCandidate& best = set.best();
+  fields.emplace_back("answered", "1");
+  fields.emplace_back("answer", best.answer_text);
+  fields.emplace_back("score", FormatDouble(best.score, 4));
+  if (best.has_value) {
+    fields.emplace_back("value", FormatDouble(best.value, 2));
+    if (!best.unit.empty()) fields.emplace_back("unit", best.unit);
+  }
+  if (!best.location.empty()) fields.emplace_back("location", best.location);
+  if (best.date.has_value()) {
+    fields.emplace_back("date", best.date->ToIsoString());
+  }
+  if (!best.url.empty()) fields.emplace_back("url", best.url);
+  return fields;
+}
+
+/// Every shed-reason label the serving layer emits, for the health report.
+constexpr const char* kShedReasons[] = {
+    "queue_full",    "cost_budget",       "tenant_concurrency",
+    "rate_limited",  "draining",          "circuit_open",
+    "deadline_exceeded", "unknown_tenant", "bad_request",
+};
+
+}  // namespace
+
+QaServer::QaServer(ServerConfig config)
+    : config_(config), admission_(config.admission) {
+  admission_.set_metrics(&metrics_);
+  metrics_
+      .GetGauge(kMetricServeDraining, {},
+                "1 while the server is draining or drained, 0 while accepting")
+      ->Set(0.0);
+}
+
+Status QaServer::AddTenant(const ServeTenantConfig& tenant) {
+  DWQA_RETURN_NOT_OK(config_.admission.Validate());
+  if (tenant.name.empty()) {
+    return Status::InvalidArgument("tenant name must not be empty");
+  }
+  if (tenants_.count(tenant.name) > 0) {
+    return Status::AlreadyExists("tenant '" + tenant.name +
+                                 "' already registered");
+  }
+  if (tenant.warehouse == nullptr || tenant.uml == nullptr ||
+      tenant.docs == nullptr) {
+    return Status::InvalidArgument(
+        "tenant '" + tenant.name +
+        "' needs a warehouse, a UML model and a document corpus");
+  }
+  DWQA_RETURN_NOT_OK(tenant.cache.Validate());
+  DWQA_RETURN_NOT_OK(tenant.retry.Validate());
+  DWQA_RETURN_NOT_OK(tenant.breaker.Validate());
+  auto state = std::make_unique<Tenant>(tenant.cache, tenant.breaker,
+                                        tenant.fault);
+  state->config = tenant;
+  state->pipeline = std::make_unique<integration::IntegrationPipeline>(
+      tenant.warehouse, tenant.uml, tenant.pipeline);
+  DWQA_RETURN_NOT_OK(state->pipeline->RunAll(tenant.docs));
+  state->cache.set_metrics(&metrics_, tenant.name);
+  // The serve-side ask breaker reports into the tenant's own registry, so
+  // its `dwqa_breaker_*{breaker="serve.ask"}` series sit next to the
+  // pipeline breakers it complements.
+  state->breaker.set_metrics(state->pipeline->metrics(), "serve.ask");
+  tenants_.emplace(tenant.name, std::move(state));
+  return Status::OK();
+}
+
+QaServer::Tenant* QaServer::FindTenant(const std::string& name) {
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+integration::IntegrationPipeline* QaServer::tenant_pipeline(
+    const std::string& name) {
+  Tenant* tenant = FindTenant(name);
+  return tenant == nullptr ? nullptr : tenant->pipeline.get();
+}
+
+AnswerCache* QaServer::tenant_cache(const std::string& name) {
+  Tenant* tenant = FindTenant(name);
+  return tenant == nullptr ? nullptr : &tenant->cache;
+}
+
+size_t QaServer::inflight() const {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  return inflight_;
+}
+
+double QaServer::CostOf(const Request& request) const {
+  switch (request.endpoint) {
+    case Endpoint::kFeed:
+      return std::max<double>(1.0, config_.feed_cost_per_question *
+                                       static_cast<double>(
+                                           request.questions.size()));
+    case Endpoint::kBi:
+      return std::max(1.0, config_.bi_cost);
+    default:
+      return 1.0;
+  }
+}
+
+Response QaServer::MakeBase(const Request& request) const {
+  Response response;
+  response.id = request.id;
+  response.endpoint = EndpointName(request.endpoint);
+  response.status = "ok";
+  response.code = "OK";
+  return response;
+}
+
+Response QaServer::MakeReject(const Request& request, RejectKind kind,
+                              const std::string& reason,
+                              const std::string& detail) {
+  metrics_
+      .GetCounter(kMetricServeRejections, {{"reason", reason}},
+                  "Admissions the server refused, by reason")
+      ->Increment();
+  Response response = MakeBase(request);
+  response.status = "rejected";
+  response.code = RejectKindName(kind);
+  response.reason = reason;
+  response.payload = detail;
+  return response;
+}
+
+Response QaServer::MakeError(const Request& request,
+                             const Status& status) const {
+  Response response = MakeBase(request);
+  response.status = "error";
+  response.code = StatusCodeToString(status.code());
+  response.payload = status.message();
+  return response;
+}
+
+Response QaServer::MakeCached(const Request& request,
+                              const CacheLookup& lookup, Tenant* tenant) {
+  Response response = MakeBase(request);
+  response.cached = true;
+  response.stale = lookup.stale;
+  response.answer = lookup.entry.answer;
+  if (lookup.stale) {
+    metrics_
+        .GetCounter(kMetricServeStaleServed, {{"tenant", tenant->config.name}},
+                    "Stale cached answers served because the live path had "
+                    "already degraded past them")
+        ->Increment();
+  }
+  return response;
+}
+
+void QaServer::CountOutcome(const Request& request,
+                            const Response& response) {
+  metrics_
+      .GetCounter(kMetricServeRequests,
+                  {{"endpoint", EndpointName(request.endpoint)},
+                   {"outcome", response.status}},
+                  "Requests the server saw, by endpoint and terminal outcome")
+      ->Increment();
+}
+
+void QaServer::BeginRequest() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  ++inflight_;
+}
+
+void QaServer::FinishRequest(const std::string& tenant, double cost) {
+  admission_.Release(tenant, cost);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    --inflight_;
+  }
+  drain_cv_.notify_all();
+}
+
+Response QaServer::Handle(const Request& request) {
+  // One tick per request seen — the logical clock of cache TTLs and token
+  // buckets (rejected requests advance it too: overload is traffic).
+  uint64_t tick = tick_.fetch_add(1) + 1;
+  Response response;
+  if (request.endpoint == Endpoint::kHealth) {
+    response = HandleHealth(request);
+  } else if (request.endpoint == Endpoint::kMetrics) {
+    response = HandleMetrics(request);
+  } else if (draining()) {
+    response = MakeReject(
+        request, RejectKind::kDraining, "draining",
+        "server is draining; finish in-flight work is guaranteed, new "
+        "requests are not accepted");
+  } else {
+    Tenant* tenant = FindTenant(request.tenant);
+    if (tenant == nullptr) {
+      response = MakeReject(request, RejectKind::kUnknownTenant,
+                            "unknown_tenant",
+                            "no tenant '" + request.tenant + "' registered");
+    } else if (request.endpoint == Endpoint::kAsk &&
+               request.questions.size() != 1) {
+      response = MakeReject(request, RejectKind::kBadRequest, "bad_request",
+                            "ask takes exactly one question");
+    } else if (request.endpoint == Endpoint::kFeed &&
+               request.questions.empty()) {
+      response = MakeReject(request, RejectKind::kBadRequest, "bad_request",
+                            "feed needs at least one question");
+    } else {
+      double cost = CostOf(request);
+      AdmissionDecision admitted =
+          admission_.Admit(request.tenant, cost, tick);
+      if (!admitted.status.ok()) {
+        // The controller already counted the shed under its reason; compose
+        // the typed kOverloaded response without double counting.
+        response = MakeBase(request);
+        response.status = "rejected";
+        response.code = RejectKindName(RejectKind::kOverloaded);
+        response.reason = admitted.reason;
+        response.payload = admitted.status.message();
+      } else {
+        BeginRequest();
+        response = Execute(tenant, request, tick);
+        FinishRequest(request.tenant, cost);
+      }
+    }
+  }
+  CountOutcome(request, response);
+  return response;
+}
+
+Response QaServer::Execute(Tenant* tenant, const Request& request,
+                           uint64_t tick) {
+  Histogram* latency = metrics_.GetHistogram(
+      kMetricServeRequestLatency,
+      {{"endpoint", EndpointName(request.endpoint)}}, {},
+      "Wall-clock latency of executed requests");
+  ScopedLatencyTimer timer(latency);
+  switch (request.endpoint) {
+    case Endpoint::kAsk:
+      return ExecuteAsk(tenant, request, tick);
+    case Endpoint::kFeed:
+      return ExecuteFeed(tenant, request);
+    case Endpoint::kBi:
+      return ExecuteBi(tenant, request);
+    default:
+      return MakeError(request,
+                       Status::InvalidArgument(
+                           "health/metrics bypass Execute by construction"));
+  }
+}
+
+Response QaServer::ExecuteAsk(Tenant* tenant, const Request& request,
+                              uint64_t tick) {
+  const std::string& question = request.questions.front();
+  const std::string key = NormalizeQuestion(question);
+
+  CacheLookup lookup;
+  if (!request.no_cache) lookup = tenant->cache.Get(key, tick);
+  if (lookup.found && !lookup.stale) {
+    return MakeCached(request, lookup, tenant);
+  }
+
+  // Breaker admission before any live work. A half-open probe gets exactly
+  // one attempt (mirroring the feed path): hammering a recovering backend
+  // with a full retry schedule is how half-open storms start.
+  bool allowed = false;
+  bool half_open_probe = false;
+  {
+    std::lock_guard<std::mutex> lock(tenant->breaker_mu);
+    allowed = tenant->breaker.Allow();
+    half_open_probe =
+        allowed && tenant->breaker.state() == BreakerState::kHalfOpen;
+  }
+  if (!allowed) {
+    // Fast-fail — but a cached answer, even a stale one, beats a refusal.
+    if (lookup.found) return MakeCached(request, lookup, tenant);
+    return MakeReject(request, RejectKind::kCircuitOpen, "circuit_open",
+                      "tenant '" + request.tenant +
+                          "' ask breaker is open (cool-down in progress)");
+  }
+
+  // The per-request deadline: the client's budget (or the tenant default)
+  // threaded into the QA engine's ledger, so a slow request sheds via the
+  // degradation ladder instead of stalling a worker.
+  double budget = request.budget > 0.0 ? request.budget
+                                       : tenant->config.default_ask_budget;
+  DeadlineConfig deadline_config;
+  if (budget > 0.0) deadline_config.budget = budget;
+  Deadline deadline(deadline_config);
+
+  RetryPolicy policy = tenant->config.retry;
+  if (half_open_probe) policy.max_attempts = 1;
+
+  RetryStats stats;
+  Result<qa::AnswerSet> asked = RetryResultCall<qa::AnswerSet>(
+      policy,
+      [&]() -> Result<qa::AnswerSet> {
+        {
+          std::lock_guard<std::mutex> lock(tenant->chaos_mu);
+          DWQA_RETURN_NOT_OK(tenant->fault.Hit(kFaultPointFetch));
+        }
+        return tenant->pipeline->aliqan()->AskWith(question, nullptr,
+                                                   &deadline);
+      },
+      &stats, &deadline, kFaultPointFetch);
+  MirrorRetryStats(tenant->pipeline->metrics(), "serve.ask", stats,
+                   !asked.ok());
+
+  // Breaker outcome. Deadline exhaustion with no transient failure seen is
+  // a client-sized budget, not backend sickness — recording it as a failure
+  // would let one impatient client trip the breaker for everyone.
+  bool backend_healthy =
+      asked.ok() ||
+      (asked.status().IsDeadlineExceeded() && stats.transient_failures == 0);
+  {
+    std::lock_guard<std::mutex> lock(tenant->breaker_mu);
+    if (backend_healthy) {
+      tenant->breaker.RecordSuccess();
+    } else {
+      tenant->breaker.RecordFailure();
+    }
+  }
+
+  if (!asked.ok()) {
+    // Stale-while-degraded: an expired answer beats both a deadline trip
+    // and a transient-exhausted failure.
+    if (lookup.found) return MakeCached(request, lookup, tenant);
+    if (asked.status().IsDeadlineExceeded()) {
+      return MakeReject(request, RejectKind::kDeadlineExceeded,
+                        "deadline_exceeded", asked.status().message());
+    }
+    return MakeError(request, asked.status());
+  }
+
+  const qa::AnswerSet& set = *asked;
+  Response response = MakeBase(request);
+  response.answer = AnswerFields(set);
+  if (!set.empty() &&
+      set.degradation <= qa::DegradationLevel::kRelaxedPattern) {
+    // Only the top two ladder rungs are worth caching: an IR-only pointer
+    // or an unanswered set would poison later requests that could do
+    // better.
+    if (!request.no_cache) {
+      CachedAnswer entry;
+      entry.answer = response.answer;
+      entry.level = set.degradation;
+      tenant->cache.Put(key, std::move(entry), tick);
+    }
+  } else if (lookup.found && lookup.entry.level < set.degradation) {
+    // The live ladder dropped below the cached rung — stale-while-degraded
+    // serves the better (if older) answer.
+    return MakeCached(request, lookup, tenant);
+  }
+  return response;
+}
+
+Response QaServer::ExecuteFeed(Tenant* tenant, const Request& request) {
+  std::lock_guard<std::mutex> lock(tenant->state_mu);
+  Result<integration::FeedReport> fed = tenant->pipeline->RunStep5(
+      request.questions, request.fact_name, request.attribute);
+  if (!fed.ok()) return MakeError(request, fed.status());
+  const integration::FeedReport& report = *fed;
+  Response response = MakeBase(request);
+  auto& fields = response.answer;
+  fields.emplace_back("questions_asked",
+                      std::to_string(report.questions_asked));
+  fields.emplace_back("questions_answered",
+                      std::to_string(report.questions_answered));
+  fields.emplace_back("questions_failed",
+                      std::to_string(report.questions_failed));
+  fields.emplace_back("facts_extracted",
+                      std::to_string(report.facts_extracted));
+  fields.emplace_back("rows_loaded", std::to_string(report.rows_loaded));
+  fields.emplace_back("rows_deduplicated",
+                      std::to_string(report.rows_deduplicated));
+  fields.emplace_back("rows_quarantined",
+                      std::to_string(report.rows_quarantined));
+  fields.emplace_back("retries", std::to_string(report.retries));
+  fields.emplace_back("breaker_rejections",
+                      std::to_string(report.breaker_rejections));
+  fields.emplace_back("deadline_exhausted",
+                      report.deadline_exhausted ? "1" : "0");
+  for (const auto& [level, count] : report.questions_by_degradation) {
+    fields.emplace_back(
+        std::string("level_") + qa::DegradationLevelName(level),
+        std::to_string(count));
+  }
+  return response;
+}
+
+Response QaServer::ExecuteBi(Tenant* tenant, const Request& request) {
+  std::lock_guard<std::mutex> lock(tenant->state_mu);
+  Result<integration::BiReport> analyzed =
+      integration::BiAnalysis::SalesVsTemperature(
+          tenant->pipeline->warehouse());
+  if (!analyzed.ok()) return MakeError(request, analyzed.status());
+  const integration::BiReport& report = *analyzed;
+  Response response = MakeBase(request);
+  auto& fields = response.answer;
+  fields.emplace_back("joined_days", std::to_string(report.joined_days));
+  fields.emplace_back("correlation",
+                      FormatDouble(report.pearson_temperature_tickets, 4));
+  fields.emplace_back("best_low_c", FormatDouble(report.best.low_c, 1));
+  fields.emplace_back("best_high_c", FormatDouble(report.best.high_c, 1));
+  fields.emplace_back("best_avg_tickets",
+                      FormatDouble(report.best.avg_tickets, 2));
+  fields.emplace_back("best_observations",
+                      std::to_string(report.best.observations));
+  std::ostringstream ranges;
+  for (const auto& range : report.ranges) {
+    ranges << "[" << FormatDouble(range.low_c, 1) << ", "
+           << FormatDouble(range.high_c, 1)
+           << ") avg_tickets=" << FormatDouble(range.avg_tickets, 2)
+           << " observations=" << range.observations << "\n";
+  }
+  response.payload = ranges.str();
+  return response;
+}
+
+Response QaServer::HandleHealth(const Request& request) {
+  Response response = MakeBase(request);
+  auto& fields = response.answer;
+  fields.emplace_back("draining", draining() ? "1" : "0");
+  fields.emplace_back("tick", std::to_string(tick_.load()));
+  fields.emplace_back("queue_depth", std::to_string(admission_.depth()));
+  fields.emplace_back("queued_cost",
+                      FormatDouble(admission_.queued_cost(), 0));
+  fields.emplace_back("tenants", std::to_string(tenants_.size()));
+  std::ostringstream body;
+  for (auto& [name, tenant] : tenants_) {
+    if (!request.tenant.empty() && request.tenant != name) continue;
+    std::string ask_breaker;
+    {
+      std::lock_guard<std::mutex> lock(tenant->breaker_mu);
+      ask_breaker = BreakerStateName(tenant->breaker.state());
+    }
+    integration::PipelineHealth health;
+    {
+      std::lock_guard<std::mutex> lock(tenant->state_mu);
+      health = tenant->pipeline->Health();
+    }
+    body << "tenant " << name << ": ask_breaker=" << ask_breaker
+         << " breakers_open=" << health.breakers_open
+         << " inflight=" << admission_.tenant_inflight(name)
+         << " cache_entries=" << tenant->cache.size()
+         << " cache_bytes=" << tenant->cache.bytes();
+    for (const char* result : {"hit", "stale", "miss"}) {
+      body << " cache_" << result << "="
+           << FormatDouble(
+                  metrics_.Value(kMetricServeCacheLookups,
+                                 {{"tenant", name}, {"result", result}}),
+                  0);
+    }
+    body << " cache_evictions="
+         << FormatDouble(metrics_.Value(kMetricServeCacheEvictions,
+                                        {{"tenant", name}}),
+                         0)
+         << " stale_served="
+         << FormatDouble(
+                metrics_.Value(kMetricServeStaleServed, {{"tenant", name}}),
+                0)
+         << "\n";
+  }
+  body << "shed";
+  for (const char* reason : kShedReasons) {
+    body << " " << reason << "="
+         << FormatDouble(
+                metrics_.Value(kMetricServeRejections, {{"reason", reason}}),
+                0);
+  }
+  body << "\n";
+  response.payload = body.str();
+  return response;
+}
+
+Response QaServer::HandleMetrics(const Request& request) {
+  Response response = MakeBase(request);
+  std::ostringstream body;
+  body << metrics_.ExportPrometheus();
+  for (auto& [name, tenant] : tenants_) {
+    if (!request.tenant.empty() && request.tenant != name) continue;
+    body << "# tenant: " << name << "\n"
+         << tenant->pipeline->metrics()->ExportPrometheus();
+  }
+  response.payload = body.str();
+  return response;
+}
+
+Status QaServer::Drain() {
+  RequestDrain();
+  metrics_
+      .GetGauge(kMetricServeDraining, {},
+                "1 while the server is draining or drained, 0 while accepting")
+      ->Set(1.0);
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] { return inflight_ == 0; });
+    if (checkpoints_flushed_) return Status::OK();
+    checkpoints_flushed_ = true;
+  }
+  Status first_failure = Status::OK();
+  for (auto& [name, tenant] : tenants_) {
+    const std::string& path =
+        tenant->config.pipeline.resilience.checkpoint_path;
+    if (path.empty()) continue;
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    Status saved = tenant->pipeline->SaveFeedCheckpoint(path);
+    if (!saved.ok() && first_failure.ok()) first_failure = saved;
+  }
+  return first_failure;
+}
+
+Status QaServer::ServeStream(std::istream& in, std::ostream& out) {
+  Framing framing;
+  framing.max_frame_bytes = config_.max_frame_bytes;
+  ThreadPool pool(config_.workers);
+  // Responses in submission order; with workers <= 1 every future is
+  // already resolved when queued, so the stream is strictly serial.
+  std::deque<std::future<Response>> pending;
+  auto write = [&](const Response& response) -> Status {
+    return framing.WriteFrame(out, response.Serialize());
+  };
+  auto flush = [&](bool block) -> Status {
+    while (!pending.empty()) {
+      if (!block && pending.front().wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        break;
+      }
+      Response response = pending.front().get();
+      pending.pop_front();
+      DWQA_RETURN_NOT_OK(write(response));
+    }
+    return Status::OK();
+  };
+
+  Status termination = Status::OK();
+  while (!draining()) {
+    Result<std::string> body = framing.ReadFrame(in);
+    if (!body.ok()) {
+      // Clean EOF ends the session; a framing error is unrecoverable (the
+      // stream cannot be resynchronized) and is reported after the drain.
+      if (!body.status().IsNotFound()) termination = body.status();
+      break;
+    }
+    Result<Request> parsed = Request::Parse(*body);
+    if (!parsed.ok()) {
+      // The frame was well-formed, the request inside was not: answer it
+      // in order with a typed BadRequest instead of killing the session.
+      DWQA_RETURN_NOT_OK(flush(true));
+      metrics_
+          .GetCounter(kMetricServeRejections, {{"reason", "bad_request"}},
+                      "Admissions the server refused, by reason")
+          ->Increment();
+      Response bad;
+      bad.endpoint = "unknown";
+      bad.status = "rejected";
+      bad.code = RejectKindName(RejectKind::kBadRequest);
+      bad.reason = "bad_request";
+      bad.payload = parsed.status().message();
+      metrics_
+          .GetCounter(kMetricServeRequests,
+                      {{"endpoint", "unknown"}, {"outcome", bad.status}},
+                      "Requests the server saw, by endpoint and terminal "
+                      "outcome")
+          ->Increment();
+      DWQA_RETURN_NOT_OK(write(bad));
+      continue;
+    }
+    Request request = *parsed;
+    pending.push_back(pool.Submit([this, request] { return Handle(request); }));
+    // Bound the response buffer: admission bounds *execution*, but shed
+    // responses resolve instantly and would otherwise pile up here.
+    while (pending.size() > config_.workers * 4 + 4) {
+      Response response = pending.front().get();
+      pending.pop_front();
+      DWQA_RETURN_NOT_OK(write(response));
+    }
+    DWQA_RETURN_NOT_OK(flush(false));
+  }
+  DWQA_RETURN_NOT_OK(flush(true));
+  Status drained = Drain();
+  if (!termination.ok()) return termination;
+  return drained;
+}
+
+}  // namespace serve
+}  // namespace dwqa

@@ -1,0 +1,216 @@
+#ifndef DWQA_SERVE_SERVER_H_
+#define DWQA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/circuit_breaker.h"
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "integration/pipeline.h"
+#include "serve/admission.h"
+#include "serve/answer_cache.h"
+#include "serve/protocol.h"
+
+namespace dwqa {
+namespace serve {
+
+/// \brief One tenant's registration: the state its pipeline serves from
+/// (all caller-owned, must outlive the server) plus the tenant-scoped
+/// resilience knobs of the serving layer.
+struct ServeTenantConfig {
+  /// Tenant name — the `tenant=` routing key of every request.
+  std::string name;
+  /// The tenant's warehouse (fed by `feed`, read by `bi`).
+  dw::Warehouse* warehouse = nullptr;
+  /// The tenant's multidimensional UML model (pipeline Steps 1–3).
+  const ontology::UmlModel* uml = nullptr;
+  /// The tenant's document corpus, indexed at registration time.
+  const ir::DocumentStore* docs = nullptr;
+  /// The five-step pipeline configuration (per-tenant ontology/corpus
+  /// state, resilience machinery, checkpoint path).
+  integration::PipelineConfig pipeline;
+  /// The tenant's answer cache (TTL, byte cap).
+  AnswerCacheConfig cache;
+  /// Serve-side fault injection on the ask path (chaos tests/benches):
+  /// rules at `web.fetch` fire per live ask attempt, exactly like the
+  /// Step-5 feed's fetch faults.
+  FaultConfig fault;
+  /// Retry schedule of a live ask against those transient faults.
+  RetryPolicy retry;
+  /// Ask-path circuit breaker: repeated whole-ask failures trip it, and
+  /// tripped tenants fast-fail with kCircuitOpen (or a stale cached
+  /// answer) instead of burning retry budget per request.
+  BreakerConfig breaker;
+  /// Default per-request deadline budget in cost units when the request
+  /// does not carry `budget=` (0 = unlimited).
+  double default_ask_budget = 0.0;
+};
+
+/// \brief Server-wide tuning.
+struct ServerConfig {
+  /// Worker threads executing admitted requests. 1 (the default) executes
+  /// inline on the serving thread — the literal serial path, which is what
+  /// deterministic protocol tests run.
+  size_t workers = 1;
+  /// Admission control: bounded queue, cost budget, per-tenant concurrency
+  /// and rate limits.
+  AdmissionConfig admission;
+  /// Estimated admission cost of one `feed` question (an `ask` costs 1).
+  double feed_cost_per_question = 1.0;
+  /// Estimated admission cost of one `bi` request.
+  double bi_cost = 4.0;
+  /// Upper bound on one request frame.
+  size_t max_frame_bytes = 1 << 20;
+};
+
+/// \brief The QA-as-a-service front-end: a long-lived, multi-tenant
+/// request/response server over the five-step pipeline.
+///
+/// Each tenant owns an IntegrationPipeline (its own MetricRegistry,
+/// ontology, corpus, warehouse and resilience state — full isolation), an
+/// answer cache, a serve-side circuit breaker and a fault injector. The
+/// server owns the admission controller and a registry of server-level
+/// series (`dwqa_serve_*`).
+///
+/// Request lifecycle: `health`/`metrics` are never admission-controlled
+/// (the server must stay observable under overload). Everything else is
+/// admitted against the bounded queue / cost budget / tenant concurrency /
+/// token bucket and either executed or shed with a typed rejection
+/// (`Overloaded`, `CircuitOpen`, `Draining`, `DeadlineExceeded`) — a
+/// caller can always tell "back off" from "broken".
+///
+/// Thread-safety: `Handle` may be called from concurrent callers after all
+/// tenants are registered (`AddTenant` itself is not concurrent with
+/// serving). `ask` requests of one tenant run concurrently (the QA index
+/// is quiescent after registration); `feed` and `bi` serialize on a
+/// per-tenant mutex because they touch the warehouse.
+class QaServer {
+ public:
+  explicit QaServer(ServerConfig config = {});
+
+  /// Registers a tenant: builds its pipeline (Steps 1–4) and indexes its
+  /// corpus. Call before serving; not thread-safe against Handle.
+  Status AddTenant(const ServeTenantConfig& tenant);
+
+  /// Admits and executes one request, returning its response — the
+  /// synchronous core that both ServeStream workers and tests drive.
+  /// Thread-safe once tenants are registered.
+  Response Handle(const Request& request);
+
+  /// Serves framed requests from `in` until EOF, a framing error, or a
+  /// requested drain; responses are framed to `out` (executed requests in
+  /// submission order). Finishes every accepted request, then drains.
+  Status ServeStream(std::istream& in, std::ostream& out);
+
+  /// Asks the server to drain: only an atomic store, safe to call from a
+  /// signal handler (the example binary wires SIGTERM here). New requests
+  /// are rejected with the typed `Draining` code; in-flight requests run
+  /// to completion.
+  void RequestDrain() { drain_requested_.store(true); }
+
+  /// Blocks until every in-flight request finished, then flushes each
+  /// tenant's Step-5 checkpoint (when a checkpoint path is configured).
+  /// Implies RequestDrain; idempotent.
+  Status Drain();
+
+  /// True once a drain was requested (late arrivals are being rejected).
+  bool draining() const { return drain_requested_.load(); }
+
+  /// \name Introspection for tests and benches
+  /// @{
+  /// The server-level registry (`dwqa_serve_*` series).
+  MetricRegistry* metrics() { return &metrics_; }
+  /// A tenant's pipeline (null for an unknown name).
+  integration::IntegrationPipeline* tenant_pipeline(const std::string& name);
+  /// A tenant's answer cache (null for an unknown name).
+  AnswerCache* tenant_cache(const std::string& name);
+  /// The logical clock: one tick per request seen.
+  uint64_t now_tick() const { return tick_.load(); }
+  /// Advances the logical clock (tests age cache entries this way).
+  void AdvanceTicks(uint64_t ticks) { tick_.fetch_add(ticks); }
+  /// Requests currently admitted and unfinished.
+  size_t inflight() const;
+  /// @}
+
+ private:
+  struct Tenant {
+    ServeTenantConfig config;
+    std::unique_ptr<integration::IntegrationPipeline> pipeline;
+    AnswerCache cache;
+    /// Serve-side ask breaker (the pipeline's own breakers keep guarding
+    /// the feed path).
+    CircuitBreaker breaker;
+    FaultInjector fault;
+    /// Serializes feed/bi/health access to the pipeline + warehouse.
+    std::mutex state_mu;
+    /// Serializes breaker admissions/outcomes on the ask path.
+    std::mutex breaker_mu;
+    /// Serializes the fault injector's RNG stream on the ask path.
+    std::mutex chaos_mu;
+
+    Tenant(AnswerCacheConfig cache_config, BreakerConfig breaker_config,
+           FaultConfig fault_config)
+        : cache(cache_config), breaker(breaker_config),
+          fault(std::move(fault_config)) {}
+  };
+
+  Tenant* FindTenant(const std::string& name);
+
+  /// Executes an admitted request (no admission bookkeeping inside).
+  Response Execute(Tenant* tenant, const Request& request, uint64_t tick);
+  Response ExecuteAsk(Tenant* tenant, const Request& request,
+                      uint64_t tick);
+  Response ExecuteFeed(Tenant* tenant, const Request& request);
+  Response ExecuteBi(Tenant* tenant, const Request& request);
+  Response HandleHealth(const Request& request);
+  Response HandleMetrics(const Request& request);
+
+  /// Estimated admission cost of `request`.
+  double CostOf(const Request& request) const;
+
+  /// \name Response builders
+  /// @{
+  Response MakeBase(const Request& request) const;
+  Response MakeReject(const Request& request, RejectKind kind,
+                      const std::string& reason, const std::string& detail);
+  Response MakeError(const Request& request, const Status& status) const;
+  /// A response carrying a cached answer block.
+  Response MakeCached(const Request& request, const CacheLookup& lookup,
+                      Tenant* tenant);
+  /// @}
+
+  /// Counts the request's terminal outcome into
+  /// `dwqa_serve_requests_total{endpoint, outcome}`.
+  void CountOutcome(const Request& request, const Response& response);
+
+  /// In-flight accounting around Execute.
+  void BeginRequest();
+  void FinishRequest(const std::string& tenant, double cost);
+
+  ServerConfig config_;
+  /// Declared before every component holding a pointer to it.
+  MetricRegistry metrics_;
+  AdmissionController admission_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<bool> drain_requested_{false};
+
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t inflight_ = 0;
+  bool checkpoints_flushed_ = false;
+};
+
+}  // namespace serve
+}  // namespace dwqa
+
+#endif  // DWQA_SERVE_SERVER_H_

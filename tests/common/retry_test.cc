@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metric_names.h"
+#include "common/metrics.h"
+
 namespace dwqa {
 namespace {
 
@@ -136,6 +139,36 @@ TEST(RetryTest, AtLeastOneAttemptEvenWithZeroBudget) {
       &stats);
   EXPECT_TRUE(st.ok());
   EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, MirrorRetryStatsLandsInTheRegistry) {
+  MetricRegistry metrics;
+  RetryStats stats;
+  stats.attempts = 3;
+  stats.transient_failures = 2;
+  MirrorRetryStats(&metrics, "serve.ask", stats, /*gave_up=*/true);
+  EXPECT_DOUBLE_EQ(
+      metrics.Value(kMetricRetryAttempts, {{"stage", "serve.ask"}}), 3.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.Value(kMetricRetryTransientFailures, {{"stage", "serve.ask"}}),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.Value(kMetricRetryGiveups, {{"stage", "serve.ask"}}), 1.0);
+
+  // A clean second call only moves the attempt counter.
+  RetryStats clean;
+  clean.attempts = 1;
+  MirrorRetryStats(&metrics, "serve.ask", clean, /*gave_up=*/false);
+  EXPECT_DOUBLE_EQ(
+      metrics.Value(kMetricRetryAttempts, {{"stage", "serve.ask"}}), 4.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.Value(kMetricRetryGiveups, {{"stage", "serve.ask"}}), 1.0);
+
+  // Zero-attempt stats and a null registry are both no-ops, not crashes.
+  MirrorRetryStats(&metrics, "idle", RetryStats{}, /*gave_up=*/false);
+  EXPECT_DOUBLE_EQ(metrics.Value(kMetricRetryAttempts, {{"stage", "idle"}}),
+                   0.0);
+  MirrorRetryStats(nullptr, "serve.ask", stats, /*gave_up=*/true);
 }
 
 TEST(RetryTest, StatsAccumulate) {

@@ -1,0 +1,164 @@
+// Wire-format tests: framing, request/response round-trips, and the
+// question normalization behind the answer-cache key.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dwqa {
+namespace serve {
+namespace {
+
+TEST(EndpointTest, NamesRoundTrip) {
+  for (Endpoint endpoint :
+       {Endpoint::kAsk, Endpoint::kFeed, Endpoint::kBi, Endpoint::kHealth,
+        Endpoint::kMetrics}) {
+    auto parsed = ParseEndpoint(EndpointName(endpoint));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, endpoint);
+  }
+  EXPECT_FALSE(ParseEndpoint("teleport").ok());
+  EXPECT_FALSE(ParseEndpoint("").ok());
+}
+
+TEST(RequestTest, SerializeParseRoundTrip) {
+  Request req;
+  req.id = 7;
+  req.tenant = "acme";
+  req.endpoint = Endpoint::kAsk;
+  req.questions = {"What is the temperature in Madrid?"};
+  req.budget = 12.5;
+  req.no_cache = true;
+  auto parsed = Request::Parse(req.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, 7u);
+  EXPECT_EQ(parsed->tenant, "acme");
+  EXPECT_EQ(parsed->endpoint, Endpoint::kAsk);
+  ASSERT_EQ(parsed->questions.size(), 1u);
+  EXPECT_EQ(parsed->questions[0], "What is the temperature in Madrid?");
+  EXPECT_DOUBLE_EQ(parsed->budget, 12.5);
+  EXPECT_TRUE(parsed->no_cache);
+  EXPECT_EQ(parsed->fact_name, "Weather");
+  EXPECT_EQ(parsed->attribute, "temperature");
+}
+
+TEST(RequestTest, FeedCarriesSeveralQuestionsAndFactTarget) {
+  Request req;
+  req.id = 1;
+  req.tenant = "acme";
+  req.endpoint = Endpoint::kFeed;
+  req.fact_name = "Prices";
+  req.attribute = "price";
+  req.questions = {"q one", "q two", "q three"};
+  auto parsed = Request::Parse(req.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->endpoint, Endpoint::kFeed);
+  EXPECT_EQ(parsed->fact_name, "Prices");
+  EXPECT_EQ(parsed->attribute, "price");
+  EXPECT_EQ(parsed->questions,
+            (std::vector<std::string>{"q one", "q two", "q three"}));
+}
+
+TEST(RequestTest, RejectsMalformedBodies) {
+  // No endpoint at all.
+  EXPECT_FALSE(Request::Parse("id=1\n").ok());
+  // Unknown endpoint.
+  EXPECT_FALSE(Request::Parse("endpoint=warp\nid=1\n").ok());
+  // Non-numeric id.
+  EXPECT_FALSE(Request::Parse("endpoint=ask\nid=abc\n").ok());
+  // Non-numeric budget.
+  EXPECT_FALSE(Request::Parse("endpoint=ask\nid=1\nbudget=lots\n").ok());
+  // Header line without '='.
+  EXPECT_FALSE(Request::Parse("endpoint=ask\nbare line\n").ok());
+}
+
+TEST(RequestTest, IgnoresUnknownKeysForForwardCompatibility) {
+  auto parsed =
+      Request::Parse("endpoint=ask\nid=3\nshiny_new_option=yes\nq=hi\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, 3u);
+  ASSERT_EQ(parsed->questions.size(), 1u);
+}
+
+TEST(ResponseTest, SerializeParseRoundTripWithAnswerAndPayload) {
+  Response resp;
+  resp.id = 9;
+  resp.endpoint = "ask";
+  resp.status = "ok";
+  resp.code = "OK";
+  resp.cached = true;
+  resp.stale = true;
+  resp.answer = {{"degradation", "Full"}, {"answered", "1"},
+                 {"answer", "8\xC2\xBA\x43"}};
+  resp.payload = "line one\nline two\n";
+  const std::string body = resp.Serialize();
+  auto parsed = Response::Parse(body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id, 9u);
+  EXPECT_EQ(parsed->status, "ok");
+  EXPECT_TRUE(parsed->cached);
+  EXPECT_TRUE(parsed->stale);
+  EXPECT_EQ(parsed->AnswerField("degradation"), "Full");
+  EXPECT_EQ(parsed->AnswerField("answer"), "8\xC2\xBA\x43");
+  EXPECT_EQ(parsed->AnswerField("missing"), "");
+  EXPECT_EQ(parsed->payload, "line one\nline two\n");
+  // Re-serializing the parse reproduces the body byte for byte.
+  EXPECT_EQ(parsed->Serialize(), body);
+}
+
+TEST(ResponseTest, AnswerBlockIsTheCacheUnit) {
+  Response resp;
+  resp.answer = {{"a", "1"}, {"b", "two"}};
+  EXPECT_EQ(resp.AnswerBlock(), "a=1\nb=two\n");
+}
+
+TEST(FramingTest, WriteReadRoundTrip) {
+  Framing framing;
+  std::stringstream stream;
+  ASSERT_TRUE(framing.WriteFrame(stream, "endpoint=ask\nid=1\n").ok());
+  ASSERT_TRUE(framing.WriteFrame(stream, "second body").ok());
+  auto first = framing.ReadFrame(stream);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "endpoint=ask\nid=1\n");
+  auto second = framing.ReadFrame(stream);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "second body");
+  // Clean EOF is NotFound, distinguishable from a corrupt stream.
+  EXPECT_TRUE(framing.ReadFrame(stream).status().IsNotFound());
+}
+
+TEST(FramingTest, RejectsBadMagicOversizeAndTruncation) {
+  Framing framing;
+  framing.max_frame_bytes = 16;
+
+  std::stringstream bad_magic("HTTP/1.1 200 OK\n");
+  EXPECT_TRUE(
+      framing.ReadFrame(bad_magic).status().IsInvalidArgument());
+
+  std::stringstream oversize("DWQA1 1024\n");
+  EXPECT_TRUE(framing.ReadFrame(oversize).status().IsInvalidArgument());
+
+  std::stringstream truncated("DWQA1 10\nabc");
+  EXPECT_TRUE(framing.ReadFrame(truncated).status().IsIOError());
+
+  std::stringstream bad_length("DWQA1 ten\n");
+  EXPECT_TRUE(
+      framing.ReadFrame(bad_length).status().IsInvalidArgument());
+}
+
+TEST(NormalizeQuestionTest, CollapsesCaseWhitespaceAndPunctuation) {
+  EXPECT_EQ(NormalizeQuestion("What is  the temperature in Madrid?"),
+            "what is the temperature in madrid");
+  EXPECT_EQ(NormalizeQuestion("  what IS the\ttemperature in MADRID ?! "),
+            "what is the temperature in madrid");
+  // Different questions stay different.
+  EXPECT_NE(NormalizeQuestion("temperature in Madrid"),
+            NormalizeQuestion("temperature in Barcelona"));
+  EXPECT_EQ(NormalizeQuestion("???"), "");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dwqa

@@ -1,0 +1,341 @@
+// QaServer tests: multi-tenant serving over real pipelines — ask with
+// caching and byte-identical hits, stale-while-degraded fallbacks, typed
+// rejections (Overloaded / DeadlineExceeded / CircuitOpen / UnknownTenant /
+// BadRequest), the feed and BI endpoints, health/metrics bypassing
+// admission, and the retry-pressure mirroring of served asks.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/date.h"
+#include "common/metric_names.h"
+#include "integration/last_minute_sales.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace serve {
+namespace {
+
+constexpr char kQuestion[] =
+    "What is the temperature in Barcelona in January of 2004?";
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    web::WebConfig config;
+    config.seed = 42;
+    config.months = {1};
+    web_ = std::make_unique<web::SyntheticWeb>(
+        web::SyntheticWeb::Build(config).ValueOrDie());
+    uml_ = integration::LastMinuteSales::MakeUmlModel();
+    wh_a_ = std::make_unique<dw::Warehouse>(
+        integration::LastMinuteSales::MakeWarehouse().ValueOrDie());
+    wh_b_ = std::make_unique<dw::Warehouse>(
+        integration::LastMinuteSales::MakeWarehouse().ValueOrDie());
+    ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                    wh_a_.get(), web_->weather(), Date(2004, 1, 1), 60)
+                    .ok());
+  }
+
+  ServeTenantConfig TenantConfig(const std::string& name,
+                                 dw::Warehouse* warehouse) {
+    ServeTenantConfig tenant;
+    tenant.name = name;
+    tenant.warehouse = warehouse;
+    tenant.uml = &uml_;
+    tenant.docs = &web_->documents();
+    tenant.pipeline = integration::LastMinuteSales::DefaultPipelineConfig();
+    tenant.retry.sleep = false;
+    return tenant;
+  }
+
+  Request Ask(const std::string& tenant, const std::string& question,
+              uint64_t id = 1) {
+    Request request;
+    request.id = id;
+    request.tenant = tenant;
+    request.endpoint = Endpoint::kAsk;
+    request.questions = {question};
+    return request;
+  }
+
+  std::unique_ptr<web::SyntheticWeb> web_;
+  ontology::UmlModel uml_;
+  std::unique_ptr<dw::Warehouse> wh_a_;
+  std::unique_ptr<dw::Warehouse> wh_b_;
+};
+
+TEST_F(ServeTest, AskAnswersThenServesByteIdenticalCacheHit) {
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Response cold = server.Handle(Ask("a", kQuestion, 1));
+  ASSERT_EQ(cold.status, "ok") << cold.payload;
+  EXPECT_EQ(cold.code, "OK");
+  EXPECT_FALSE(cold.cached);
+  EXPECT_EQ(cold.AnswerField("answered"), "1");
+  EXPECT_EQ(cold.AnswerField("degradation"), "Full");
+  EXPECT_FALSE(cold.AnswerField("answer").empty());
+
+  Response hit = server.Handle(Ask("a", kQuestion, 2));
+  ASSERT_EQ(hit.status, "ok");
+  EXPECT_TRUE(hit.cached);
+  EXPECT_FALSE(hit.stale);
+  // The acceptance criterion: a cache hit is byte-identical to the cold
+  // path's answer block.
+  EXPECT_EQ(hit.AnswerBlock(), cold.AnswerBlock());
+  EXPECT_EQ(hit.id, 2u);
+
+  // Normalization: case/whitespace/punctuation variants share the entry.
+  Response variant = server.Handle(
+      Ask("a", "what is THE temperature  in barcelona in January of 2004 ?",
+          3));
+  EXPECT_TRUE(variant.cached);
+  EXPECT_EQ(variant.AnswerBlock(), cold.AnswerBlock());
+
+  // nocache bypasses the cache and still answers identically.
+  Request fresh = Ask("a", kQuestion, 4);
+  fresh.no_cache = true;
+  Response live = server.Handle(fresh);
+  ASSERT_EQ(live.status, "ok");
+  EXPECT_FALSE(live.cached);
+  EXPECT_EQ(live.AnswerBlock(), cold.AnswerBlock());
+}
+
+TEST_F(ServeTest, TenantsAreIsolated) {
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+  ASSERT_TRUE(server.AddTenant(TenantConfig("b", wh_b_.get())).ok());
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get()))
+                  .IsAlreadyExists());
+
+  ASSERT_EQ(server.Handle(Ask("a", kQuestion, 1)).status, "ok");
+  // Tenant a's question is not in tenant b's cache, and did not touch
+  // tenant b's pipeline registry.
+  Response other = server.Handle(Ask("b", kQuestion, 2));
+  ASSERT_EQ(other.status, "ok");
+  EXPECT_FALSE(other.cached);
+  EXPECT_DOUBLE_EQ(
+      server.tenant_pipeline("a")->metrics()->Value("dwqa_qa_questions_total"),
+      server.tenant_pipeline("b")->metrics()->Value(
+          "dwqa_qa_questions_total"));
+}
+
+TEST_F(ServeTest, UnknownTenantAndMalformedRequestsGetTypedRejections) {
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Response unknown = server.Handle(Ask("nobody", kQuestion));
+  EXPECT_EQ(unknown.status, "rejected");
+  EXPECT_EQ(unknown.code, "UnknownTenant");
+  EXPECT_EQ(unknown.reason, "unknown_tenant");
+
+  Request no_question = Ask("a", kQuestion);
+  no_question.questions.clear();
+  Response bad = server.Handle(no_question);
+  EXPECT_EQ(bad.status, "rejected");
+  EXPECT_EQ(bad.code, "BadRequest");
+
+  Request two_questions = Ask("a", kQuestion);
+  two_questions.questions.push_back("another?");
+  EXPECT_EQ(server.Handle(two_questions).code, "BadRequest");
+
+  Request empty_feed;
+  empty_feed.tenant = "a";
+  empty_feed.endpoint = Endpoint::kFeed;
+  EXPECT_EQ(server.Handle(empty_feed).code, "BadRequest");
+
+  EXPECT_DOUBLE_EQ(server.metrics()->Value(kMetricServeRejections,
+                                           {{"reason", "unknown_tenant"}}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(server.metrics()->Value(kMetricServeRejections,
+                                           {{"reason", "bad_request"}}),
+                   3.0);
+}
+
+TEST_F(ServeTest, RateLimitShedsWithTypedOverloaded) {
+  ServerConfig config;
+  config.admission.rate.capacity = 1.0;
+  config.admission.rate.refill_per_tick = 0.0001;
+  QaServer server(config);
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Request fresh = Ask("a", kQuestion, 1);
+  fresh.no_cache = true;
+  ASSERT_EQ(server.Handle(fresh).status, "ok");
+
+  fresh.id = 2;
+  Response shed = server.Handle(fresh);
+  EXPECT_EQ(shed.status, "rejected");
+  EXPECT_EQ(shed.code, "Overloaded");
+  EXPECT_EQ(shed.reason, "rate_limited");
+  EXPECT_DOUBLE_EQ(server.metrics()->Value(kMetricServeRejections,
+                                           {{"reason", "rate_limited"}}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      server.metrics()->Value(kMetricServeRequests,
+                              {{"endpoint", "ask"}, {"outcome", "rejected"}}),
+      1.0);
+}
+
+TEST_F(ServeTest, TinyBudgetEndsInAnswerOrTypedDeadlineRejection) {
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Request starved = Ask("a", kQuestion);
+  starved.no_cache = true;
+  starved.budget = 1.0;
+  Response response = server.Handle(starved);
+  // The robustness contract: a starved request still ends in either a
+  // (possibly degraded) answer or the typed DeadlineExceeded rejection —
+  // never a hang, never an untyped error.
+  if (response.status == "ok") {
+    EXPECT_FALSE(response.AnswerField("degradation").empty());
+  } else {
+    EXPECT_EQ(response.status, "rejected");
+    EXPECT_EQ(response.code, "DeadlineExceeded");
+    EXPECT_EQ(response.reason, "deadline_exceeded");
+  }
+}
+
+TEST_F(ServeTest, StaleWhileDegradedServesTheExpiredCacheEntry) {
+  ServeTenantConfig tenant = TenantConfig("a", wh_a_.get());
+  tenant.cache.ttl_ticks = 1;
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(tenant).ok());
+
+  Response cold = server.Handle(Ask("a", kQuestion, 1));
+  ASSERT_EQ(cold.status, "ok");
+  ASSERT_EQ(cold.AnswerField("answered"), "1");
+
+  // Let the entry outlive its TTL, then starve the live path: the stale
+  // entry beats whatever rung the degraded live ask could reach.
+  server.AdvanceTicks(10);
+  Request starved = Ask("a", kQuestion, 2);
+  starved.budget = 1.0;
+  Response fallback = server.Handle(starved);
+  ASSERT_EQ(fallback.status, "ok");
+  EXPECT_TRUE(fallback.cached);
+  EXPECT_TRUE(fallback.stale);
+  EXPECT_EQ(fallback.AnswerBlock(), cold.AnswerBlock());
+  EXPECT_GE(server.metrics()->Value(kMetricServeStaleServed,
+                                    {{"tenant", "a"}}),
+            1.0);
+}
+
+TEST_F(ServeTest, BreakerTripsFastFailsAndMirrorsRetryPressure) {
+  ServeTenantConfig tenant = TenantConfig("chaotic", wh_b_.get());
+  FaultRule always_down;
+  always_down.point = kFaultPointFetch;
+  always_down.probability = 1.0;
+  tenant.fault.rules = {always_down};
+  tenant.retry.max_attempts = 2;
+  tenant.breaker.enabled = true;
+  tenant.breaker.failure_threshold = 1;
+  tenant.breaker.cooldown_attempts = 2;
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(tenant).ok());
+
+  // First ask: both attempts hit the armed fault, the request errors, the
+  // breaker trips — and the retry pressure is mirrored into the tenant's
+  // registry (the satellite fix: RetryStats no longer die inside the
+  // request).
+  Response down = server.Handle(Ask("chaotic", kQuestion, 1));
+  EXPECT_EQ(down.status, "error");
+  EXPECT_EQ(down.code, "Unavailable");
+  MetricRegistry* registry = server.tenant_pipeline("chaotic")->metrics();
+  EXPECT_DOUBLE_EQ(
+      registry->Value(kMetricRetryAttempts, {{"stage", "serve.ask"}}), 2.0);
+  EXPECT_DOUBLE_EQ(registry->Value(kMetricRetryTransientFailures,
+                                   {{"stage", "serve.ask"}}),
+                   2.0);
+  EXPECT_DOUBLE_EQ(
+      registry->Value(kMetricRetryGiveups, {{"stage", "serve.ask"}}), 1.0);
+
+  // While open: fast-fail with the typed CircuitOpen rejection, no retry
+  // budget burned (the attempt counters do not move).
+  for (uint64_t id = 2; id <= 3; ++id) {
+    Response rejected = server.Handle(Ask("chaotic", kQuestion, id));
+    EXPECT_EQ(rejected.status, "rejected");
+    EXPECT_EQ(rejected.code, "CircuitOpen");
+    EXPECT_EQ(rejected.reason, "circuit_open");
+  }
+  EXPECT_DOUBLE_EQ(
+      registry->Value(kMetricRetryAttempts, {{"stage", "serve.ask"}}), 2.0);
+
+  // Cool-down served: the next ask is the half-open probe — one attempt,
+  // which the armed fault fails again.
+  Response probe = server.Handle(Ask("chaotic", kQuestion, 4));
+  EXPECT_EQ(probe.status, "error");
+  EXPECT_DOUBLE_EQ(
+      registry->Value(kMetricRetryAttempts, {{"stage", "serve.ask"}}), 3.0);
+}
+
+TEST_F(ServeTest, FeedThenBiClosesTheLoop) {
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Request feed;
+  feed.id = 1;
+  feed.tenant = "a";
+  feed.endpoint = Endpoint::kFeed;
+  feed.questions = {kQuestion};
+  Response fed = server.Handle(feed);
+  ASSERT_EQ(fed.status, "ok") << fed.payload;
+  EXPECT_EQ(fed.AnswerField("questions_asked"), "1");
+  EXPECT_EQ(fed.AnswerField("questions_answered"), "1");
+  EXPECT_NE(fed.AnswerField("rows_loaded"), "0");
+
+  Request bi;
+  bi.id = 2;
+  bi.tenant = "a";
+  bi.endpoint = Endpoint::kBi;
+  Response analyzed = server.Handle(bi);
+  ASSERT_EQ(analyzed.status, "ok") << analyzed.payload;
+  EXPECT_NE(analyzed.AnswerField("joined_days"), "0");
+  EXPECT_FALSE(analyzed.AnswerField("best_low_c").empty());
+  EXPECT_FALSE(analyzed.payload.empty());
+}
+
+TEST_F(ServeTest, HealthAndMetricsBypassAdmissionAndReportTheServer) {
+  ServerConfig config;
+  config.admission.rate.capacity = 1.0;
+  config.admission.rate.refill_per_tick = 0.0001;
+  QaServer server(config);
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  // Exhaust the rate budget...
+  ASSERT_EQ(server.Handle(Ask("a", kQuestion, 1)).status, "ok");
+  ASSERT_EQ(server.Handle(Ask("a", kQuestion, 2)).status, "rejected");
+
+  // ...health and metrics still answer: the server stays observable under
+  // overload.
+  Request health;
+  health.id = 3;
+  health.endpoint = Endpoint::kHealth;
+  Response healthy = server.Handle(health);
+  ASSERT_EQ(healthy.status, "ok");
+  EXPECT_EQ(healthy.AnswerField("draining"), "0");
+  EXPECT_EQ(healthy.AnswerField("tenants"), "1");
+  EXPECT_NE(healthy.payload.find("tenant a:"), std::string::npos);
+  EXPECT_NE(healthy.payload.find("rate_limited=1"), std::string::npos);
+
+  Request metrics;
+  metrics.id = 4;
+  metrics.endpoint = Endpoint::kMetrics;
+  Response exported = server.Handle(metrics);
+  ASSERT_EQ(exported.status, "ok");
+  EXPECT_NE(exported.payload.find("dwqa_serve_requests_total"),
+            std::string::npos);
+  EXPECT_NE(exported.payload.find("# tenant: a"), std::string::npos);
+  EXPECT_NE(exported.payload.find("dwqa_qa_questions_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dwqa
