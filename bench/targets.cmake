@@ -30,6 +30,7 @@ dwqa_bench(bench_answer_taxonomy)
 dwqa_bench(bench_multidim_ir)
 dwqa_bench(bench_serve_load)
 target_link_libraries(bench_serve_load PRIVATE dwqa_serve)
+dwqa_bench(bench_recovery)
 dwqa_microbench(bench_micro_text)
 dwqa_microbench(bench_micro_qa)
 dwqa_microbench(bench_micro_ir)
@@ -49,6 +50,10 @@ add_test(NAME perf_serve_load_smoke
   COMMAND bench_serve_load --smoke
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR})
 set_tests_properties(perf_serve_load_smoke PROPERTIES LABELS perf)
+add_test(NAME perf_recovery_smoke
+  COMMAND bench_recovery --smoke
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR})
+set_tests_properties(perf_recovery_smoke PROPERTIES LABELS perf)
 foreach(micro bench_micro_text bench_micro_qa bench_micro_ir
         bench_micro_olap bench_micro_ontology)
   add_test(NAME perf_${micro}_smoke

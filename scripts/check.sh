@@ -76,6 +76,19 @@ if [ -n "$SANITIZE" ]; then
     echo "check.sh: serving suite FAILED under -fsanitize=$SANITIZE" >&2
     exit 1
   fi
+
+  # The durability layer once more under the sanitizers: the WAL parser,
+  # the recovery replay and above all the crash-point sweep (every mutating
+  # fs op × {stop, torn-write}) must be clean under -fsanitize — torn and
+  # bit-flipped inputs are exactly where parsers walk off buffers.
+  echo
+  echo "##### durability suite under sanitizers (ctest -L durability) #####"
+  if ! ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+       ctest --test-dir "$ROOT/$SAN_DIR" -L durability --output-on-failure; then
+    echo "check.sh: durability suite FAILED under -fsanitize=$SANITIZE" >&2
+    exit 1
+  fi
 fi
 
 if [ "${DWQA_SKIP_BENCHES:-0}" != 1 ]; then

@@ -104,6 +104,17 @@ std::string Date::ToIsoString() const {
   return buf;
 }
 
+Result<Date> Date::FromIsoString(const std::string& iso) {
+  std::vector<std::string> parts = Split(iso, '-');
+  if (parts.size() != 3 || parts[0].size() != 4 || !IsDigits(parts[0]) ||
+      parts[1].size() != 2 || !IsDigits(parts[1]) || parts[2].size() != 2 ||
+      !IsDigits(parts[2])) {
+    return Status::InvalidArgument("not an ISO date (YYYY-MM-DD): '" + iso +
+                                   "'");
+  }
+  return Make(std::stoi(parts[0]), std::stoi(parts[1]), std::stoi(parts[2]));
+}
+
 std::string Date::ToLongString() const {
   return DayOfWeekName() + ", " + MonthName() + " " + std::to_string(day_) +
          ", " + std::to_string(year_);

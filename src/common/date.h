@@ -52,6 +52,9 @@ class Date {
   /// "2004-01-31".
   std::string ToIsoString() const;
 
+  /// Inverse of ToIsoString(): parses "YYYY-MM-DD" (validated via Make).
+  static Result<Date> FromIsoString(const std::string& iso);
+
   /// Paper style: "Monday, January 31, 2004".
   std::string ToLongString() const;
 

@@ -28,6 +28,11 @@ inline constexpr char kFaultPointEtlLoad[] = "dw.etl.load";
 /// FaultConfig::TransientEverywhere — arming it must not shift the draw
 /// schedule of existing blanket-fault tests.
 inline constexpr char kFaultPointCheckpoint[] = "integration.checkpoint";
+/// A mutating operation of a FaultFs (common/io.h): WAL appends, snapshot
+/// writes, renames. Like the checkpoint point, NOT part of
+/// TransientEverywhere — durability chaos is armed explicitly so the draw
+/// schedule of existing blanket-fault tests stays frozen.
+inline constexpr char kFaultPointIoWrite[] = "io.write";
 /// @}
 ///
 /// A rule may also scope a point to one source by suffixing the source URL,

@@ -167,6 +167,52 @@ inline constexpr char kMetricServeStaleServed[] =
     "dwqa_serve_stale_served_total";
 /// @}
 
+/// \name Write-ahead log (dw/wal.h)
+/// @{
+/// Counter: records successfully appended (and, with sync_each_append,
+/// fsynced) to the WAL — i.e. facts that became committed.
+inline constexpr char kMetricWalAppends[] = "dwqa_wal_appends_total";
+/// Counter: payload bytes appended (framing overhead excluded).
+inline constexpr char kMetricWalAppendBytes[] =
+    "dwqa_wal_append_bytes_total";
+/// Counter: appends that failed (serialization, I/O, injected crash).
+inline constexpr char kMetricWalAppendFailures[] =
+    "dwqa_wal_append_failures_total";
+/// Counter: fsync barriers issued against the current segment.
+inline constexpr char kMetricWalSyncs[] = "dwqa_wal_syncs_total";
+/// Counter: segment rotations (size-triggered and explicit alike).
+inline constexpr char kMetricWalRotations[] = "dwqa_wal_rotations_total";
+/// Gauge: highest LSN the writer has committed (0 = empty log).
+inline constexpr char kMetricWalLastLsn[] = "dwqa_wal_last_lsn";
+/// Gauge: live segment files (after covered-segment retention drops).
+inline constexpr char kMetricWalSegments[] = "dwqa_wal_segments";
+/// @}
+
+/// \name Recovery / fsck (dw/recovery.h)
+/// @{
+/// Counter, labels {outcome}: Recovery::Open calls ("ok" | "error").
+inline constexpr char kMetricRecoveryOpens[] = "dwqa_recovery_opens_total";
+/// Counter: WAL records replayed into the warehouse (post-snapshot tail).
+inline constexpr char kMetricRecoveryReplayed[] =
+    "dwqa_recovery_replayed_records_total";
+/// Counter: replayed records diverted to quarantine (CRC mismatch,
+/// validator reject, ETL refusal).
+inline constexpr char kMetricRecoveryQuarantined[] =
+    "dwqa_recovery_quarantined_total";
+/// Counter: torn-tail bytes truncated from the log during open.
+inline constexpr char kMetricRecoveryTornBytes[] =
+    "dwqa_recovery_torn_bytes_total";
+/// Counter: well-framed records whose payload failed its CRC (bit rot).
+inline constexpr char kMetricRecoveryCorruptRecords[] =
+    "dwqa_recovery_corrupt_records_total";
+/// Gauge: covering LSN of the snapshot recovery loaded (0 = none).
+inline constexpr char kMetricRecoverySnapshotLsn[] =
+    "dwqa_recovery_snapshot_lsn";
+/// Histogram: wall-clock latency of Recovery::Open.
+inline constexpr char kMetricRecoveryOpenLatency[] =
+    "dwqa_recovery_open_latency_ms";
+/// @}
+
 /// \name Warehouse / ETL boundary (integration/pipeline.cc, dw/etl.h)
 /// @{
 /// Histogram: per-record ETL load latency (retries included).

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

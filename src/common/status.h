@@ -27,6 +27,10 @@ enum class StatusCode {
   /// IsTransient: an in-process retry loop hammering an overloaded server
   /// makes the overload worse — clients must back off instead.
   kOverloaded,
+  /// Durable data failed an integrity check: a WAL record or snapshot file
+  /// whose checksum, framing or manifest does not verify. Never transient —
+  /// the bytes on disk are wrong and will stay wrong.
+  kCorruption,
 };
 
 /// \brief Outcome of a fallible operation (Arrow/RocksDB idiom).
@@ -76,6 +80,9 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
   /// @}
 
   /// True for the OK status.
@@ -101,6 +108,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   /// @}
 
   /// Renders e.g. "NotFound: concept 'airport' is not in the ontology".

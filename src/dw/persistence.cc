@@ -1,8 +1,6 @@
 #include "dw/persistence.h"
 
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <set>
 
 #include "common/csv.h"
 #include "common/string_util.h"
@@ -13,8 +11,6 @@ namespace dwqa {
 namespace dw {
 
 namespace {
-
-namespace fs = std::filesystem;
 
 Result<ColumnType> ColumnTypeFromName(const std::string& name) {
   if (name == "int64") return ColumnType::kInt64;
@@ -30,22 +26,6 @@ Result<AggFn> AggFnFromName(const std::string& name) {
     if (name == AggFnName(fn)) return fn;
   }
   return Status::InvalidArgument("unknown aggregation '" + name + "'");
-}
-
-Result<std::string> ReadFile(const fs::path& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open '" + path.string() + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-Status WriteFile(const fs::path& path, const std::string& content) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path.string() + "'");
-  out << content;
-  return out.good() ? Status::OK()
-                    : Status::IOError("write failed: " + path.string());
 }
 
 /// Filesystem-safe file stem for a schema object name.
@@ -104,6 +84,11 @@ Result<MdSchema> SchemaSerde::FromText(const std::string& text) {
     return Status::InvalidArgument("schema line " + std::to_string(line_no) +
                                    ": " + why);
   };
+  // Duplicate names are rejected at the line that re-declares them, so the
+  // error points at the offending line rather than the later flush point.
+  std::set<std::string> dim_names;
+  std::set<std::string> fact_names;
+  std::set<std::string> level_names;
 
   for (const std::string& raw_line : Split(text, '\n')) {
     ++line_no;
@@ -115,9 +100,13 @@ Result<MdSchema> SchemaSerde::FromText(const std::string& text) {
       if (fields.size() != 2 || fields[1].empty()) {
         return malformed("malformed dimension line");
       }
+      if (!dim_names.insert(fields[1]).second) {
+        return malformed("duplicate dimension '" + fields[1] + "'");
+      }
       DWQA_RETURN_NOT_OK(flush());
       mode = Mode::kDimension;
       dim.name = fields[1];
+      level_names.clear();
     } else if (kind == "level") {
       if (mode != Mode::kDimension) {
         return malformed("level outside a dimension");
@@ -125,10 +114,17 @@ Result<MdSchema> SchemaSerde::FromText(const std::string& text) {
       if (fields.size() != 2 || fields[1].empty()) {
         return malformed("malformed level line");
       }
+      if (!level_names.insert(fields[1]).second) {
+        return malformed("duplicate level '" + fields[1] +
+                         "' in dimension '" + dim.name + "'");
+      }
       dim.levels.push_back({fields[1]});
     } else if (kind == "fact") {
       if (fields.size() != 2 || fields[1].empty()) {
         return malformed("malformed fact line");
+      }
+      if (!fact_names.insert(fields[1]).second) {
+        return malformed("duplicate fact '" + fields[1] + "'");
       }
       DWQA_RETURN_NOT_OK(flush());
       mode = Mode::kFact;
@@ -162,35 +158,32 @@ Result<MdSchema> SchemaSerde::FromText(const std::string& text) {
   return schema;
 }
 
-Status WarehousePersistence::Save(const Warehouse& wh,
-                                  const std::string& dir) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create directory '" + dir +
-                           "': " + ec.message());
-  }
-  DWQA_RETURN_NOT_OK(
-      WriteFile(fs::path(dir) / "schema.txt", SchemaSerde::ToText(
-                                                  wh.schema())));
+Status WarehousePersistence::Save(const Warehouse& wh, const std::string& dir,
+                                  Fs* fs) {
+  fs = FsOrReal(fs);
+  DWQA_RETURN_NOT_OK(fs->CreateDirs(dir));
+  DWQA_RETURN_NOT_OK(WriteFileAtomic(fs, dir + "/schema.txt",
+                                     SchemaSerde::ToText(wh.schema())));
   for (const DimensionDef& dim : wh.schema().dimensions()) {
     DWQA_ASSIGN_OR_RETURN(const Table* table, wh.DimensionTable(dim.name));
     DWQA_RETURN_NOT_OK(
-        WriteFile(fs::path(dir) / ("dim_" + Slug(dim.name) + ".csv"),
-                  CsvEtl::ExportTable(*table)));
+        WriteFileAtomic(fs, dir + "/dim_" + Slug(dim.name) + ".csv",
+                        CsvEtl::ExportTable(*table)));
   }
   for (const FactDef& fact : wh.schema().facts()) {
     DWQA_ASSIGN_OR_RETURN(std::string csv, CsvEtl::ExportFact(wh,
                                                               fact.name));
-    DWQA_RETURN_NOT_OK(WriteFile(
-        fs::path(dir) / ("fact_" + Slug(fact.name) + ".csv"), csv));
+    DWQA_RETURN_NOT_OK(WriteFileAtomic(
+        fs, dir + "/fact_" + Slug(fact.name) + ".csv", csv));
   }
   return Status::OK();
 }
 
-Result<Warehouse> WarehousePersistence::Load(const std::string& dir) {
+Result<Warehouse> WarehousePersistence::Load(const std::string& dir,
+                                             Fs* fs) {
+  fs = FsOrReal(fs);
   DWQA_ASSIGN_OR_RETURN(std::string schema_text,
-                        ReadFile(fs::path(dir) / "schema.txt"));
+                        fs->ReadFile(dir + "/schema.txt"));
   DWQA_ASSIGN_OR_RETURN(MdSchema schema,
                         SchemaSerde::FromText(schema_text));
   DWQA_ASSIGN_OR_RETURN(Warehouse wh, Warehouse::Create(std::move(schema)));
@@ -199,7 +192,7 @@ Result<Warehouse> WarehousePersistence::Load(const std::string& dir) {
   // are reassigned but identical because order is preserved).
   for (const DimensionDef& dim : wh.schema().dimensions()) {
     std::string file = "dim_" + Slug(dim.name) + ".csv";
-    DWQA_ASSIGN_OR_RETURN(std::string csv, ReadFile(fs::path(dir) / file));
+    DWQA_ASSIGN_OR_RETURN(std::string csv, fs->ReadFile(dir + "/" + file));
     auto parsed = Csv::Parse(csv);
     if (!parsed.ok()) {
       return Status::InvalidArgument("malformed '" + file +
@@ -236,7 +229,7 @@ Result<Warehouse> WarehousePersistence::Load(const std::string& dir) {
   }
   for (const FactDef& fact : wh.schema().facts()) {
     std::string file = "fact_" + Slug(fact.name) + ".csv";
-    DWQA_ASSIGN_OR_RETURN(std::string csv, ReadFile(fs::path(dir) / file));
+    DWQA_ASSIGN_OR_RETURN(std::string csv, fs->ReadFile(dir + "/" + file));
     auto records = CsvEtl::ImportFactRecords(wh.schema(), fact.name, csv);
     if (!records.ok()) {
       return Status::InvalidArgument("malformed '" + file +

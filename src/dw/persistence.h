@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/io.h"
 #include "common/result.h"
 #include "dw/warehouse.h"
 
@@ -32,10 +33,16 @@ class SchemaSerde {
 /// (`dim_<Name>.csv`, so members without facts survive). Load rebuilds the
 /// warehouse; surrogate keys are reassigned but all level values, member
 /// sets and fact rows round-trip exactly.
+///
+/// All I/O goes through a common/io Fs (null = the real filesystem) so the
+/// crash-point harness can interpose. Each file is written atomically
+/// (temp + fsync + rename): a crash mid-save leaves every file either its
+/// old or its new version, never a torn half-write.
 class WarehousePersistence {
  public:
-  static Status Save(const Warehouse& warehouse, const std::string& dir);
-  static Result<Warehouse> Load(const std::string& dir);
+  static Status Save(const Warehouse& warehouse, const std::string& dir,
+                     Fs* fs = nullptr);
+  static Result<Warehouse> Load(const std::string& dir, Fs* fs = nullptr);
 };
 
 }  // namespace dw

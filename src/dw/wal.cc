@@ -1,0 +1,515 @@
+#include "dw/wal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/metric_names.h"
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace dw {
+
+namespace {
+
+/// Shortest decimal form that round-trips a double exactly.
+std::string FormatExact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool ParseUint64(const std::string& s, uint64_t* out) {
+  if (!IsDigits(s) || s.size() > 20) return false;
+  errno = 0;
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Rejects field content that would tear the line/tab framing.
+Status CheckField(const std::string& field_name, const std::string& value) {
+  if (value.find('\t') != std::string::npos ||
+      value.find('\n') != std::string::npos ||
+      value.find('\r') != std::string::npos) {
+    return Status::InvalidArgument("WAL fact field '" + field_name +
+                                   "' contains tab/newline: cannot frame");
+  }
+  return Status::OK();
+}
+
+Status PayloadError(size_t line_no, const std::string& what) {
+  return Status::Corruption("WAL fact payload line " +
+                            std::to_string(line_no) + ": " + what);
+}
+
+std::string SegmentFileName(Lsn start_lsn) {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(start_lsn));
+  return buf;
+}
+
+bool IsSegmentFileName(const std::string& name, Lsn* start_lsn) {
+  if (!StartsWith(name, "wal-") || !EndsWith(name, ".log")) return false;
+  std::string digits = name.substr(4, name.size() - 8);
+  if (digits.size() != 20) return false;
+  return ParseUint64(digits, start_lsn);
+}
+
+constexpr char kSegmentMagic[] = "dwqa-wal";
+constexpr char kSegmentVersion[] = "1";
+
+std::string SegmentHeader(Lsn start_lsn) {
+  return std::string(kSegmentMagic) + "\t" + kSegmentVersion + "\t" +
+         std::to_string(start_lsn) + "\n";
+}
+
+std::string FrameRecord(Lsn lsn, const std::string& payload) {
+  return "rec\t" + std::to_string(lsn) + "\t" +
+         std::to_string(payload.size()) + "\t" + Crc32Hex(payload) + "\n" +
+         payload + "\n";
+}
+
+}  // namespace
+
+Result<std::string> WalFactSerde::ToPayload(const WalFact& fact) {
+  DWQA_RETURN_NOT_OK(CheckField("fact_name", fact.fact_name));
+  DWQA_RETURN_NOT_OK(CheckField("attribute", fact.attribute));
+  DWQA_RETURN_NOT_OK(CheckField("unit", fact.unit));
+  DWQA_RETURN_NOT_OK(CheckField("date_iso", fact.date_iso));
+  DWQA_RETURN_NOT_OK(CheckField("location", fact.location));
+  DWQA_RETURN_NOT_OK(CheckField("url", fact.url));
+  DWQA_RETURN_NOT_OK(CheckField("dedup_key", fact.dedup_key));
+  if (fact.fact_name.empty()) {
+    return Status::InvalidArgument("WAL fact has empty fact_name");
+  }
+  std::string out;
+  out += "fact\t" + fact.fact_name + "\n";
+  out += "attr\t" + fact.attribute + "\t" + FormatExact(fact.value) + "\t" +
+         fact.unit + "\t" + fact.date_iso + "\t" + fact.location + "\t" +
+         FormatExact(fact.confidence) + "\n";
+  out += "url\t" + fact.url + "\n";
+  out += "key\t" + fact.dedup_key + "\n";
+  for (const auto& path : fact.record.role_paths) {
+    out += "role";
+    for (const auto& member : path) {
+      DWQA_RETURN_NOT_OK(CheckField("role member", member));
+      out += "\t" + member;
+    }
+    out += "\n";
+  }
+  for (const auto& measure : fact.record.measures) {
+    if (measure.is_null()) {
+      out += "measure\tnull\t\n";
+    } else if (measure.is_int()) {
+      out += "measure\tint64\t" + std::to_string(measure.as_int()) + "\n";
+    } else if (measure.is_double()) {
+      out += "measure\tdouble\t" + FormatExact(measure.as_double()) + "\n";
+    } else if (measure.is_date()) {
+      out += "measure\tdate\t" + measure.as_date().ToIsoString() + "\n";
+    } else {
+      DWQA_RETURN_NOT_OK(CheckField("measure", measure.as_string()));
+      out += "measure\tstring\t" + measure.as_string() + "\n";
+    }
+  }
+  return out;
+}
+
+Result<WalFact> WalFactSerde::FromPayload(const std::string& payload) {
+  WalFact fact;
+  bool saw_fact = false;
+  bool saw_attr = false;
+  std::vector<std::string> lines = Split(payload, '\n');
+  // A well-formed payload ends with '\n', leaving one trailing empty field.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const size_t line_no = i + 1;
+    std::vector<std::string> fields = Split(lines[i], '\t');
+    const std::string& tag = fields[0];
+    if (tag == "fact") {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return PayloadError(line_no, "expected 'fact<TAB><name>'");
+      }
+      if (saw_fact) return PayloadError(line_no, "duplicate 'fact' line");
+      fact.fact_name = fields[1];
+      saw_fact = true;
+    } else if (tag == "attr") {
+      if (fields.size() != 7) {
+        return PayloadError(line_no, "expected 7 'attr' fields, got " +
+                                         std::to_string(fields.size()));
+      }
+      if (saw_attr) return PayloadError(line_no, "duplicate 'attr' line");
+      fact.attribute = fields[1];
+      if (!ParseDouble(fields[2], &fact.value)) {
+        return PayloadError(line_no, "bad value '" + fields[2] + "'");
+      }
+      fact.unit = fields[3];
+      fact.date_iso = fields[4];
+      fact.location = fields[5];
+      if (!ParseDouble(fields[6], &fact.confidence)) {
+        return PayloadError(line_no, "bad confidence '" + fields[6] + "'");
+      }
+      saw_attr = true;
+    } else if (tag == "url") {
+      if (fields.size() != 2) {
+        return PayloadError(line_no, "expected 'url<TAB><url>'");
+      }
+      fact.url = fields[1];
+    } else if (tag == "key") {
+      if (fields.size() != 2) {
+        return PayloadError(line_no, "expected 'key<TAB><dedup key>'");
+      }
+      fact.dedup_key = fields[1];
+    } else if (tag == "role") {
+      fact.record.role_paths.emplace_back(fields.begin() + 1, fields.end());
+    } else if (tag == "measure") {
+      if (fields.size() != 3) {
+        return PayloadError(line_no, "expected 'measure<TAB><type><TAB><repr>'");
+      }
+      const std::string& type = fields[1];
+      const std::string& repr = fields[2];
+      if (type == "null") {
+        fact.record.measures.emplace_back();
+      } else if (type == "int64") {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(repr.c_str(), &end, 10);
+        if (repr.empty() || errno == ERANGE ||
+            end != repr.c_str() + repr.size()) {
+          return PayloadError(line_no, "bad int64 measure '" + repr + "'");
+        }
+        fact.record.measures.emplace_back(static_cast<int64_t>(v));
+      } else if (type == "double") {
+        double v = 0;
+        if (!ParseDouble(repr, &v)) {
+          return PayloadError(line_no, "bad double measure '" + repr + "'");
+        }
+        fact.record.measures.emplace_back(v);
+      } else if (type == "date") {
+        auto date = Date::FromIsoString(repr);
+        if (!date.ok()) {
+          return PayloadError(line_no, "bad date measure '" + repr + "'");
+        }
+        fact.record.measures.emplace_back(*date);
+      } else if (type == "string") {
+        fact.record.measures.emplace_back(repr);
+      } else {
+        return PayloadError(line_no, "unknown measure type '" + type + "'");
+      }
+    } else {
+      return PayloadError(line_no, "unknown tag '" + tag + "'");
+    }
+  }
+  if (!saw_fact) return PayloadError(lines.size(), "missing 'fact' line");
+  if (!saw_attr) return PayloadError(lines.size(), "missing 'attr' line");
+  return fact;
+}
+
+namespace {
+
+/// Parses one segment file into `scan`. Returns false when a torn region
+/// was found (the caller stops scanning later segments).
+bool ScanSegment(const std::string& file, const std::string& content,
+                 Lsn filename_lsn, WalScan* scan) {
+  WalSegmentInfo info;
+  info.file = file;
+  auto tear = [&](size_t offset, const std::string& why) {
+    info.torn_offset = offset;
+    scan->torn_tail = true;
+    scan->torn_bytes += content.size() - offset;
+    scan->issues.push_back(file + ": torn tail at offset " +
+                           std::to_string(offset) + " (" + why + ")");
+    scan->segments.push_back(info);
+    return false;
+  };
+
+  // Header line: dwqa-wal<TAB>1<TAB><start_lsn>
+  size_t nl = content.find('\n');
+  if (nl == std::string::npos) return tear(0, "incomplete header");
+  {
+    std::vector<std::string> fields = Split(content.substr(0, nl), '\t');
+    if (fields.size() != 3 || fields[0] != kSegmentMagic ||
+        fields[1] != kSegmentVersion ||
+        !ParseUint64(fields[2], &info.start_lsn)) {
+      return tear(0, "bad header");
+    }
+  }
+  if (info.start_lsn != filename_lsn) {
+    scan->issues.push_back(file + ": header start LSN " +
+                           std::to_string(info.start_lsn) +
+                           " does not match file name");
+  }
+
+  size_t pos = nl + 1;
+  while (pos < content.size()) {
+    size_t rec_nl = content.find('\n', pos);
+    if (rec_nl == std::string::npos) return tear(pos, "incomplete record header");
+    std::vector<std::string> fields =
+        Split(content.substr(pos, rec_nl - pos), '\t');
+    uint64_t lsn = 0;
+    uint64_t len = 0;
+    if (fields.size() != 4 || fields[0] != "rec" ||
+        !ParseUint64(fields[1], &lsn) || !ParseUint64(fields[2], &len) ||
+        fields[3].size() != 8) {
+      return tear(pos, "bad record header");
+    }
+    size_t payload_start = rec_nl + 1;
+    if (payload_start + len + 1 > content.size()) {
+      return tear(pos, "truncated payload of record " + std::to_string(lsn));
+    }
+    if (content[payload_start + len] != '\n') {
+      return tear(pos, "missing record terminator after record " +
+                           std::to_string(lsn));
+    }
+    std::string payload = content.substr(payload_start, len);
+    size_t next = payload_start + len + 1;
+    if (Crc32Hex(payload) != fields[3]) {
+      // Framing is intact — the payload itself rotted. Skip the record
+      // but keep scanning: later records are still trustworthy.
+      scan->corrupt_records.push_back(WalRecord{lsn, std::move(payload)});
+      scan->issues.push_back(file + ": CRC mismatch on record " +
+                             std::to_string(lsn) + " at offset " +
+                             std::to_string(pos));
+      pos = next;
+      continue;
+    }
+    if (lsn <= scan->last_lsn) {
+      scan->issues.push_back(file + ": non-monotonic LSN " +
+                             std::to_string(lsn) + " at offset " +
+                             std::to_string(pos));
+    } else {
+      scan->last_lsn = lsn;
+    }
+    if (info.first_lsn == 0) info.first_lsn = lsn;
+    info.last_lsn = lsn;
+    ++info.records;
+    scan->records.push_back(WalRecord{lsn, std::move(payload)});
+    pos = next;
+  }
+  scan->segments.push_back(info);
+  return true;
+}
+
+}  // namespace
+
+Result<WalScan> ScanWal(const std::string& dir, Fs* fs) {
+  fs = FsOrReal(fs);
+  WalScan scan;
+  if (!fs->Exists(dir)) return scan;
+  DWQA_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  bool torn = false;
+  for (const std::string& name : names) {
+    Lsn filename_lsn = 0;
+    if (!IsSegmentFileName(name, &filename_lsn)) continue;
+    const std::string path = dir + "/" + name;
+    if (torn) {
+      // Framing past the first tear cannot be trusted; later segments are
+      // part of the torn region.
+      auto size = fs->FileSize(path);
+      scan.torn_bytes += size.ok() ? static_cast<size_t>(*size) : 0;
+      scan.issues.push_back(name + ": unreachable past torn tail");
+      WalSegmentInfo info;
+      info.file = name;
+      info.start_lsn = filename_lsn;
+      info.torn_offset = 0;
+      scan.segments.push_back(info);
+      continue;
+    }
+    DWQA_ASSIGN_OR_RETURN(std::string content, fs->ReadFile(path));
+    if (!ScanSegment(name, content, filename_lsn, &scan)) torn = true;
+  }
+  return scan;
+}
+
+Result<size_t> TruncateTornTail(const std::string& dir, const WalScan& scan,
+                                Fs* fs) {
+  fs = FsOrReal(fs);
+  if (!scan.torn_tail) return static_cast<size_t>(0);
+  size_t dropped = 0;
+  bool past_tear = false;
+  for (const WalSegmentInfo& info : scan.segments) {
+    const std::string path = dir + "/" + info.file;
+    if (past_tear) {
+      DWQA_ASSIGN_OR_RETURN(uint64_t size, fs->FileSize(path));
+      dropped += static_cast<size_t>(size);
+      DWQA_RETURN_NOT_OK(fs->RemoveFile(path));
+      continue;
+    }
+    if (!info.torn()) continue;
+    past_tear = true;
+    DWQA_ASSIGN_OR_RETURN(uint64_t size, fs->FileSize(path));
+    dropped += static_cast<size_t>(size) - info.torn_offset;
+    if (info.torn_offset == 0) {
+      // Not even the header survived: drop the whole segment file.
+      DWQA_RETURN_NOT_OK(fs->RemoveFile(path));
+    } else {
+      DWQA_RETURN_NOT_OK(fs->TruncateFile(path, info.torn_offset));
+      DWQA_RETURN_NOT_OK(fs->SyncFile(path));
+    }
+  }
+  return dropped;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   WalOptions options,
+                                                   Fs* fs,
+                                                   MetricRegistry* metrics) {
+  fs = FsOrReal(fs);
+  DWQA_RETURN_NOT_OK(fs->CreateDirs(dir));
+  DWQA_ASSIGN_OR_RETURN(WalScan scan, ScanWal(dir, fs));
+  if (scan.torn_tail) {
+    DWQA_RETURN_NOT_OK(TruncateTornTail(dir, scan, fs).status());
+    DWQA_ASSIGN_OR_RETURN(scan, ScanWal(dir, fs));
+  }
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(dir, options, fs, metrics));
+  writer->last_lsn_ = scan.last_lsn;
+  for (const WalSegmentInfo& info : scan.segments) {
+    writer->segments_.push_back(
+        Segment{info.file, info.start_lsn, info.last_lsn});
+  }
+  if (writer->segments_.empty()) {
+    DWQA_RETURN_NOT_OK(writer->StartSegment(scan.last_lsn + 1));
+  } else {
+    DWQA_ASSIGN_OR_RETURN(
+        uint64_t size,
+        fs->FileSize(dir + "/" + writer->segments_.back().file));
+    writer->current_segment_bytes_ = static_cast<size_t>(size);
+  }
+  if (metrics != nullptr) {
+    metrics->GetGauge(kMetricWalLastLsn)->Set(
+        static_cast<double>(writer->last_lsn_));
+    metrics->GetGauge(kMetricWalSegments)->Set(
+        static_cast<double>(writer->segments_.size()));
+  }
+  return writer;
+}
+
+std::string WalWriter::current_segment_path() const {
+  return dir_ + "/" + segments_.back().file;
+}
+
+Status WalWriter::StartSegment(Lsn start_lsn) {
+  const std::string name = SegmentFileName(start_lsn);
+  const std::string path = dir_ + "/" + name;
+  const std::string header = SegmentHeader(start_lsn);
+  DWQA_RETURN_NOT_OK(fs_->WriteFile(path, header));
+  if (options_.sync_each_append) DWQA_RETURN_NOT_OK(fs_->SyncFile(path));
+  segments_.push_back(Segment{name, start_lsn, 0});
+  current_segment_bytes_ = header.size();
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge(kMetricWalSegments)->Set(
+        static_cast<double>(segments_.size()));
+  }
+  return Status::OK();
+}
+
+Result<Lsn> WalWriter::Append(const std::string& payload) {
+  auto fail = [&](Status status) -> Result<Lsn> {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter(kMetricWalAppendFailures)->Increment();
+    }
+    return status;
+  };
+  const Lsn lsn = last_lsn_ + 1;
+  // An empty current segment never rotates: the fresh segment would carry
+  // the same start LSN (and thus the same file name) as the one it
+  // replaces.
+  const bool segment_empty = segments_.back().last_lsn == 0;
+  if (!segment_empty &&
+      (rotate_pending_ || current_segment_bytes_ >= options_.segment_bytes)) {
+    Status started = StartSegment(lsn);
+    if (!started.ok()) return fail(started);
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter(kMetricWalRotations)->Increment();
+    }
+  }
+  rotate_pending_ = false;
+  const std::string path = current_segment_path();
+  const std::string frame = FrameRecord(lsn, payload);
+  Status appended = fs_->AppendFile(path, frame);
+  if (!appended.ok()) return fail(appended);
+  if (options_.sync_each_append) {
+    Status synced = fs_->SyncFile(path);
+    if (!synced.ok()) return fail(synced);
+    dirty_ = false;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter(kMetricWalSyncs)->Increment();
+    }
+  } else {
+    dirty_ = true;
+  }
+  last_lsn_ = lsn;
+  segments_.back().last_lsn = lsn;
+  current_segment_bytes_ += frame.size();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(kMetricWalAppends)->Increment();
+    metrics_->GetCounter(kMetricWalAppendBytes)
+        ->Increment(static_cast<double>(payload.size()));
+    metrics_->GetGauge(kMetricWalLastLsn)->Set(static_cast<double>(lsn));
+  }
+  return lsn;
+}
+
+Result<Lsn> WalWriter::AppendFact(const WalFact& fact) {
+  auto payload = WalFactSerde::ToPayload(fact);
+  if (!payload.ok()) {
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter(kMetricWalAppendFailures)->Increment();
+    }
+    return payload.status();
+  }
+  return Append(*payload);
+}
+
+Status WalWriter::Sync() {
+  if (!dirty_) return Status::OK();
+  DWQA_RETURN_NOT_OK(fs_->SyncFile(current_segment_path()));
+  dirty_ = false;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(kMetricWalSyncs)->Increment();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Rotate() {
+  DWQA_RETURN_NOT_OK(Sync());
+  rotate_pending_ = true;
+  return Status::OK();
+}
+
+Result<size_t> WalWriter::DropSegmentsCoveredBy(Lsn covered_lsn) {
+  size_t dropped = 0;
+  while (segments_.size() > 1) {
+    const Segment& oldest = segments_.front();
+    // An empty old segment (last_lsn 0) is covered iff the next segment
+    // starts at or below the cover point; its own records would have been.
+    Lsn high = oldest.last_lsn != 0 ? oldest.last_lsn
+                                    : segments_[1].start_lsn - 1;
+    if (high > covered_lsn) break;
+    DWQA_RETURN_NOT_OK(fs_->RemoveFile(dir_ + "/" + oldest.file));
+    segments_.erase(segments_.begin());
+    ++dropped;
+  }
+  if (metrics_ != nullptr && dropped > 0) {
+    metrics_->GetGauge(kMetricWalSegments)->Set(
+        static_cast<double>(segments_.size()));
+  }
+  return dropped;
+}
+
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,199 @@
+#ifndef DWQA_DW_WAL_H_
+#define DWQA_DW_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "dw/etl.h"
+
+namespace dwqa {
+namespace dw {
+
+/// Log sequence number: position of a record in the warehouse's write-ahead
+/// log. Strictly monotonic, starting at 1; 0 means "nothing logged yet".
+using Lsn = uint64_t;
+
+/// \brief One parsed WAL record: its LSN plus the raw payload bytes.
+struct WalRecord {
+  Lsn lsn = 0;
+  std::string payload;
+};
+
+/// \brief The logical content of a Step-5 fact WAL record: everything the
+/// recovery replay needs to re-admit the fact — the ETL-shaped record, plus
+/// the extraction metadata the Step-4 validator re-checks and the dedup key
+/// the feed's idempotence rests on.
+///
+/// Lives in dw/ (not qa/) so recovery does not depend on the QA layer; the
+/// integration pipeline converts its qa::StructuredFact into this shape at
+/// append time and supplies a validator callback at recovery time.
+struct WalFact {
+  std::string fact_name;   ///< Warehouse fact to load into.
+  std::string attribute;   ///< "temperature", "price" — the analyzed attr.
+  double value = 0.0;      ///< Extracted measure value (post-conversion).
+  std::string unit;        ///< Normalized unit ("ºC"), may be empty.
+  std::string date_iso;    ///< ISO date or "" when the fact had none.
+  std::string location;    ///< City role value.
+  std::string url;         ///< Source page (the paper's provenance column).
+  double confidence = 0.0; ///< Extraction score of the source answer.
+  std::string dedup_key;   ///< (attribute|location|date) feed key.
+  FactRecord record;       ///< The exact ETL record the live run loaded.
+};
+
+/// \brief Text round-trip of a WalFact, WAL-payload shaped: line-based,
+/// tab-separated, hardened against adversarial bytes.
+///
+///   fact<TAB>Weather
+///   attr<TAB>temperature<TAB>8<TAB>ºC<TAB>2004-01-31<TAB>Barcelona<TAB>0.75
+///   url<TAB>http://weather.example/barcelona
+///   key<TAB>temperature|barcelona|2004-01-31
+///   role<TAB>Barcelona
+///   role<TAB>2004-01-31<TAB>2004-01<TAB>2004
+///   measure<TAB>double<TAB>8
+///
+/// ToPayload refuses fields containing tabs or newlines (they would tear
+/// the framing) with a typed error naming the field; FromPayload returns
+/// typed errors with the offending payload line number, never crashes.
+class WalFactSerde {
+ public:
+  static Result<std::string> ToPayload(const WalFact& fact);
+  static Result<WalFact> FromPayload(const std::string& payload);
+};
+
+/// \brief Options of a WalWriter.
+struct WalOptions {
+  /// Segment rotation threshold: a segment that has grown past this many
+  /// bytes is closed and a new one started at the next append.
+  size_t segment_bytes = 64 * 1024;
+  /// fsync after every append: the default durability barrier. Off, the
+  /// tail is only guaranteed after an explicit Sync() (higher throughput,
+  /// bench_recovery measures both).
+  bool sync_each_append = true;
+};
+
+/// \brief One scanned WAL segment file.
+struct WalSegmentInfo {
+  std::string file;     ///< File name inside the log dir ("wal-….log").
+  Lsn start_lsn = 0;    ///< LSN the segment header declares.
+  Lsn first_lsn = 0;    ///< First valid record (0 when empty).
+  Lsn last_lsn = 0;     ///< Last valid record (0 when empty).
+  size_t records = 0;   ///< Valid records in the segment.
+  /// Byte offset of a torn/malformed tail inside this file
+  /// (std::string::npos when the segment is clean).
+  size_t torn_offset = static_cast<size_t>(-1);
+
+  bool torn() const { return torn_offset != static_cast<size_t>(-1); }
+};
+
+/// \brief Result of scanning a WAL directory.
+struct WalScan {
+  /// Every CRC-valid record, in (segment, offset) order — replay order.
+  std::vector<WalRecord> records;
+  std::vector<WalSegmentInfo> segments;
+  Lsn last_lsn = 0;             ///< Highest valid LSN seen (0 = empty log).
+  bool torn_tail = false;       ///< A torn/malformed region was found.
+  size_t torn_bytes = 0;        ///< Bytes from the first tear to EOF.
+  /// Well-framed records whose payload failed its CRC (bit rot): skipped,
+  /// never replayed; recovery quarantines them.
+  std::vector<WalRecord> corrupt_records;
+  /// Human-readable findings ("wal-…log: torn tail at offset 132").
+  std::vector<std::string> issues;
+};
+
+/// Scans every segment of `dir` (non-destructively): parses records,
+/// validates CRCs and LSN monotonicity, locates torn tails. An empty or
+/// absent directory yields an empty scan, not an error. Scanning stops at
+/// the first torn region (framing cannot be trusted past it); well-framed
+/// CRC failures are skipped and collected instead.
+Result<WalScan> ScanWal(const std::string& dir, Fs* fs = nullptr);
+
+/// Truncates the torn region a scan found: the tail of the torn segment is
+/// cut at the tear offset and any later segment files are removed (their
+/// framing is unreachable past the tear). Returns bytes dropped.
+Result<size_t> TruncateTornTail(const std::string& dir, const WalScan& scan,
+                                Fs* fs = nullptr);
+
+/// \brief Append side of the write-ahead log.
+///
+/// Layout: `dir/wal-<start-lsn, 20 digits>.log`, each segment a text
+/// header line `dwqa-wal<TAB>1<TAB><start_lsn>` followed by framed records
+///
+///   rec<TAB><lsn><TAB><payload-bytes><TAB><crc32-hex>\n
+///   <payload>\n
+///
+/// with the CRC computed over the payload bytes. A record is *committed*
+/// once its append (and, with sync_each_append, its fsync) returned OK —
+/// the crash-point sweep asserts exactly the committed set survives
+/// recovery. Open() continues an existing log: it scans for the highest
+/// LSN, truncates any torn tail (same policy as recovery), and appends to
+/// the newest segment.
+class WalWriter {
+ public:
+  /// Opens (or creates) the log at `dir`. `metrics` (optional) receives
+  /// the dwqa_wal_* series.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& dir, WalOptions options = {}, Fs* fs = nullptr,
+      MetricRegistry* metrics = nullptr);
+
+  /// Appends one record, assigning the next LSN. With sync_each_append the
+  /// record is durable when this returns OK.
+  Result<Lsn> Append(const std::string& payload);
+
+  /// WalFactSerde::ToPayload + Append.
+  Result<Lsn> AppendFact(const WalFact& fact);
+
+  /// fsyncs the current segment (a no-op barrier when everything appended
+  /// so far was already synced).
+  Status Sync();
+
+  /// Closes the current segment and starts a new one at the next append.
+  Status Rotate();
+
+  /// Removes whole segments every record of which has LSN <= `covered_lsn`
+  /// (a snapshot with that covering LSN makes them redundant). The current
+  /// segment is never removed. Returns segments dropped.
+  Result<size_t> DropSegmentsCoveredBy(Lsn covered_lsn);
+
+  Lsn last_lsn() const { return last_lsn_; }
+  const std::string& dir() const { return dir_; }
+  /// Full path of the segment the next append writes to.
+  std::string current_segment_path() const;
+  size_t segment_count() const { return segments_.size(); }
+
+ private:
+  WalWriter(std::string dir, WalOptions options, Fs* fs,
+            MetricRegistry* metrics)
+      : dir_(std::move(dir)), options_(options), fs_(fs),
+        metrics_(metrics) {}
+
+  /// Starts a fresh segment whose header declares `start_lsn`.
+  Status StartSegment(Lsn start_lsn);
+
+  std::string dir_;
+  WalOptions options_;
+  Fs* fs_;
+  MetricRegistry* metrics_;
+  Lsn last_lsn_ = 0;
+  /// (file name, first LSN, last LSN) of every live segment, oldest first.
+  struct Segment {
+    std::string file;
+    Lsn start_lsn = 0;
+    Lsn last_lsn = 0;
+  };
+  std::vector<Segment> segments_;
+  size_t current_segment_bytes_ = 0;
+  /// Bytes appended to the current segment since the last fsync.
+  bool dirty_ = false;
+  /// A rotation was requested; the next append opens a new segment.
+  bool rotate_pending_ = false;
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_WAL_H_

@@ -1,8 +1,7 @@
 #include "integration/feed_checkpoint.h"
 
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <cerrno>
+#include <cstdlib>
 
 #include "common/string_util.h"
 
@@ -11,22 +10,48 @@ namespace integration {
 
 namespace {
 
-namespace fs = std::filesystem;
-
 constexpr char kMagic[] = "dwqa-feed-checkpoint";
-constexpr char kVersion[] = "1";
+/// Version 2 added the `lsn` line; version-1 files (no WAL position) still
+/// load, with wal_lsn = 0.
+constexpr char kVersion[] = "2";
+constexpr char kCompatVersion[] = "1";
 
 Status MalformedLine(size_t line_no, const std::string& why) {
   return Status::InvalidArgument("checkpoint line " +
                                  std::to_string(line_no) + ": " + why);
 }
 
+/// Overflow-safe digits → uint64 (std::stoull throws on overflow).
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (!IsDigits(s) || s.size() > 20) return false;
+  errno = 0;
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
+
+Status ValidateCheckpointAgainstLsn(const FeedCheckpoint& checkpoint,
+                                    uint64_t recovered_lsn) {
+  if (checkpoint.wal_lsn > recovered_lsn) {
+    return Status::OutOfRange(
+        "stale checkpoint: it records WAL position " +
+        std::to_string(checkpoint.wal_lsn) +
+        " but the recovered data only reaches LSN " +
+        std::to_string(recovered_lsn) +
+        " — the checkpoint claims progress the durable data does not back");
+  }
+  return Status::OK();
+}
 
 std::string FeedCheckpointSerde::ToText(const FeedCheckpoint& checkpoint) {
   std::string out;
   out += std::string(kMagic) + "\t" + kVersion + "\n";
   out += "loaded\t" + std::to_string(checkpoint.rows_loaded) + "\n";
+  out += "lsn\t" + std::to_string(checkpoint.wal_lsn) + "\n";
   for (const std::string& question : checkpoint.completed_questions) {
     out += "question\t" + question + "\n";
   }
@@ -56,7 +81,7 @@ Result<FeedCheckpoint> FeedCheckpointSerde::FromText(
                              "expected '" + std::string(kMagic) +
                                  "<TAB>version' header, got '" + line + "'");
       }
-      if (fields[1] != kVersion) {
+      if (fields[1] != kVersion && fields[1] != kCompatVersion) {
         return Status::InvalidArgument("unsupported checkpoint version '" +
                                        fields[1] + "'");
       }
@@ -64,10 +89,15 @@ Result<FeedCheckpoint> FeedCheckpointSerde::FromText(
       continue;
     }
     if (kind == "loaded") {
-      if (fields.size() != 2 || !IsDigits(fields[1])) {
+      uint64_t loaded = 0;
+      if (fields.size() != 2 || !ParseU64(fields[1], &loaded)) {
         return MalformedLine(line_no, "malformed loaded line");
       }
-      checkpoint.rows_loaded = std::stoull(fields[1]);
+      checkpoint.rows_loaded = static_cast<size_t>(loaded);
+    } else if (kind == "lsn") {
+      if (fields.size() != 2 || !ParseU64(fields[1], &checkpoint.wal_lsn)) {
+        return MalformedLine(line_no, "malformed lsn line");
+      }
     } else if (kind == "question") {
       if (fields.size() != 2 || fields[1].empty()) {
         return MalformedLine(line_no, "malformed question line");
@@ -79,10 +109,11 @@ Result<FeedCheckpoint> FeedCheckpointSerde::FromText(
       }
       checkpoint.fed_keys.insert(fields[1]);
     } else if (kind == "reject") {
-      if (fields.size() != 3 || !IsDigits(fields[2])) {
+      uint64_t count = 0;
+      if (fields.size() != 3 || !ParseU64(fields[2], &count)) {
         return MalformedLine(line_no, "malformed reject line");
       }
-      checkpoint.reject_counts[fields[1]] = std::stoull(fields[2]);
+      checkpoint.reject_counts[fields[1]] = static_cast<size_t>(count);
     } else {
       return MalformedLine(line_no, "unknown record kind '" + kind + "'");
     }
@@ -96,47 +127,24 @@ Result<FeedCheckpoint> FeedCheckpointSerde::FromText(
 }
 
 Status FeedCheckpointFile::Save(const FeedCheckpoint& checkpoint,
-                                const std::string& path) {
-  fs::path target(path);
-  if (target.has_parent_path()) {
-    std::error_code ec;
-    fs::create_directories(target.parent_path(), ec);
-    if (ec) {
-      return Status::IOError("cannot create directory '" +
-                             target.parent_path().string() +
-                             "': " + ec.message());
-    }
+                                const std::string& path, Fs* fs) {
+  fs = FsOrReal(fs);
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    DWQA_RETURN_NOT_OK(fs->CreateDirs(path.substr(0, slash)));
   }
-  fs::path tmp = target;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) return Status::IOError("cannot open '" + tmp.string() + "'");
-    out << FeedCheckpointSerde::ToText(checkpoint);
-    if (!out.good()) {
-      return Status::IOError("write failed: " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, target, ec);
-  if (ec) {
-    return Status::IOError("cannot rename '" + tmp.string() + "' to '" +
-                           target.string() + "': " + ec.message());
-  }
-  return Status::OK();
+  return WriteFileAtomic(fs, path, FeedCheckpointSerde::ToText(checkpoint));
 }
 
-Result<FeedCheckpoint> FeedCheckpointFile::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return FeedCheckpointSerde::FromText(buffer.str());
+Result<FeedCheckpoint> FeedCheckpointFile::Load(const std::string& path,
+                                                Fs* fs) {
+  fs = FsOrReal(fs);
+  DWQA_ASSIGN_OR_RETURN(std::string text, fs->ReadFile(path));
+  return FeedCheckpointSerde::FromText(text);
 }
 
-bool FeedCheckpointFile::Exists(const std::string& path) {
-  std::error_code ec;
-  return fs::exists(fs::path(path), ec);
+bool FeedCheckpointFile::Exists(const std::string& path, Fs* fs) {
+  return FsOrReal(fs)->Exists(path);
 }
 
 }  // namespace integration

@@ -1,10 +1,12 @@
 #ifndef DWQA_INTEGRATION_FEED_CHECKPOINT_H_
 #define DWQA_INTEGRATION_FEED_CHECKPOINT_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 
+#include "common/io.h"
 #include "common/result.h"
 
 namespace dwqa {
@@ -26,15 +28,29 @@ struct FeedCheckpoint {
   std::map<std::string, size_t> reject_counts;
   /// Cumulative rows loaded across resumed runs.
   size_t rows_loaded = 0;
+  /// Highest WAL LSN committed when this checkpoint was taken (0 when the
+  /// feed runs without a WAL). A checkpoint can never be *ahead* of the
+  /// durable data it summarizes — ValidateCheckpointAgainstLsn enforces
+  /// that on load.
+  uint64_t wal_lsn = 0;
 
   bool operator==(const FeedCheckpoint& other) const = default;
 };
 
+/// The satellite invariant between checkpoint and WAL: a checkpoint whose
+/// recorded WAL position exceeds the recovered LSN claims progress the
+/// durable data does not back (a stale copy restored over a rolled-back
+/// warehouse, or a checkpoint from a different log). Returns OutOfRange in
+/// that case, OK otherwise.
+Status ValidateCheckpointAgainstLsn(const FeedCheckpoint& checkpoint,
+                                    uint64_t recovered_lsn);
+
 /// \brief Text round-trip, WarehousePersistence-style: line-based,
 /// tab-separated, with a versioned magic header.
 ///
-///   dwqa-feed-checkpoint<TAB>1
+///   dwqa-feed-checkpoint<TAB>2
 ///   loaded<TAB>62
+///   lsn<TAB>62
 ///   question<TAB>What is the temperature in Barcelona in January of 2004?
 ///   key<TAB>temperature|barcelona|2004-01-31
 ///   reject<TAB>ValueOutOfRange<TAB>3
@@ -48,16 +64,20 @@ class FeedCheckpointSerde {
 };
 
 /// \brief File-backed checkpoint with atomic replace.
+///
+/// All I/O goes through a common/io Fs (null = the real filesystem) so the
+/// crash-point harness can interpose on checkpoint saves.
 class FeedCheckpointFile {
  public:
-  /// Writes via a temp file + rename so a crash mid-save leaves the
-  /// previous checkpoint intact (never a half-written one).
+  /// Writes via a temp file + fsync + rename so a crash mid-save leaves
+  /// the previous checkpoint intact (never a half-written one).
   static Status Save(const FeedCheckpoint& checkpoint,
-                     const std::string& path);
+                     const std::string& path, Fs* fs = nullptr);
 
-  static Result<FeedCheckpoint> Load(const std::string& path);
+  static Result<FeedCheckpoint> Load(const std::string& path,
+                                     Fs* fs = nullptr);
 
-  static bool Exists(const std::string& path);
+  static bool Exists(const std::string& path, Fs* fs = nullptr);
 };
 
 }  // namespace integration

@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "dw/etl.h"
+#include "dw/snapshot.h"
 #include "integration/table_preprocess.h"
 #include "ontology/enrichment.h"
 #include "ontology/uml_to_ontology.h"
@@ -223,17 +224,27 @@ FeedCheckpoint IntegrationPipeline::MakeFeedCheckpoint() const {
   checkpoint.fed_keys = fed_keys_;
   checkpoint.reject_counts = reject_counts_;
   checkpoint.rows_loaded = rows_loaded_total_;
+  checkpoint.wal_lsn = wal_last_lsn();
   return checkpoint;
 }
 
 Status IntegrationPipeline::SaveFeedCheckpoint(
     const std::string& path) const {
-  return FeedCheckpointFile::Save(MakeFeedCheckpoint(), path);
+  return FeedCheckpointFile::Save(MakeFeedCheckpoint(), path,
+                                  config_.resilience.durability.fs);
 }
 
 Status IntegrationPipeline::LoadFeedCheckpoint(const std::string& path) {
   DWQA_ASSIGN_OR_RETURN(FeedCheckpoint checkpoint,
-                        FeedCheckpointFile::Load(path));
+                        FeedCheckpointFile::Load(
+                            path, config_.resilience.durability.fs));
+  // A checkpoint ahead of the recovered WAL claims rows the durable data
+  // cannot back — refuse it instead of silently skipping questions whose
+  // facts were rolled back with the log.
+  if (wal_ != nullptr) {
+    DWQA_RETURN_NOT_OK(
+        ValidateCheckpointAgainstLsn(checkpoint, wal_->last_lsn()));
+  }
   completed_questions_.insert(checkpoint.completed_questions.begin(),
                               checkpoint.completed_questions.end());
   fed_keys_.insert(checkpoint.fed_keys.begin(), checkpoint.fed_keys.end());
@@ -246,6 +257,37 @@ Status IntegrationPipeline::LoadFeedCheckpoint(const std::string& path) {
                  << checkpoint.completed_questions.size()
                  << " questions completed, " << checkpoint.fed_keys.size()
                  << " keys fed)";
+  return Status::OK();
+}
+
+Status IntegrationPipeline::EnsureWalOpen() {
+  const DurabilityConfig& durability = config_.resilience.durability;
+  if (durability.dir.empty() || wal_ != nullptr) return Status::OK();
+  dw::WalOptions options;
+  options.segment_bytes = durability.wal_segment_bytes;
+  options.sync_each_append = durability.sync_each_append;
+  DWQA_ASSIGN_OR_RETURN(
+      wal_, dw::WalWriter::Open(durability.dir, options, durability.fs,
+                                &metrics_));
+  DWQA_LOG(Info) << "Step 5: WAL open at '" << durability.dir
+                 << "', last LSN " << wal_->last_lsn();
+  return Status::OK();
+}
+
+Status IntegrationPipeline::FlushDurability() {
+  if (wal_ == nullptr) return Status::OK();
+  const DurabilityConfig& durability = config_.resilience.durability;
+  DWQA_RETURN_NOT_OK(wal_->Sync());
+  if (!durability.snapshot_on_flush) return Status::OK();
+  DWQA_ASSIGN_OR_RETURN(
+      std::string snapshot_path,
+      dw::SnapshotWriter::Write(durability.dir, *wh_, wal_->last_lsn(),
+                                durability.fs));
+  DWQA_ASSIGN_OR_RETURN(size_t dropped,
+                        wal_->DropSegmentsCoveredBy(wal_->last_lsn()));
+  DWQA_LOG(Info) << "Step 5: snapshot '" << snapshot_path << "' at LSN "
+                 << wal_->last_lsn() << ", " << dropped
+                 << " covered WAL segment(s) dropped";
   return Status::OK();
 }
 
@@ -283,9 +325,13 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
     return Status::InvalidArgument("warehouse must not be null");
   }
   const ResilienceConfig& resilience = config_.resilience;
+  // The WAL opens before the checkpoint loads: LoadFeedCheckpoint compares
+  // the checkpoint's recorded LSN against the recovered log.
+  DWQA_RETURN_NOT_OK(EnsureWalOpen());
   const bool checkpointing = !resilience.checkpoint_path.empty();
   if (checkpointing && !checkpoint_loaded_ &&
-      FeedCheckpointFile::Exists(resilience.checkpoint_path)) {
+      FeedCheckpointFile::Exists(resilience.checkpoint_path,
+                                 resilience.durability.fs)) {
     DWQA_RETURN_NOT_OK(LoadFeedCheckpoint(resilience.checkpoint_path));
   }
   if (resilience.validate_facts) {
@@ -562,6 +608,38 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
         record.role_paths.push_back(
             {fact.url.empty() ? std::string("?") : fact.url});
         record.measures = {dw::Value(fact.value)};
+        // Write-ahead: the fact is durable before the ETL sees it. A crash
+        // from here on replays the record idempotently on recovery; an
+        // append failure quarantines the fact — loading a row the log does
+        // not hold would make recovery lose it.
+        if (wal_ != nullptr) {
+          Span wal_span(trace, "wal.append");
+          dw::WalFact wal_fact;
+          wal_fact.fact_name = fact_name;
+          wal_fact.attribute = attribute;
+          wal_fact.value = fact.value;
+          wal_fact.unit = fact.unit;
+          wal_fact.date_iso =
+              fact.date.has_value() ? fact.date->ToIsoString() : "";
+          wal_fact.location = fact.location;
+          wal_fact.url = fact.url;
+          wal_fact.confidence = fact.confidence;
+          wal_fact.dedup_key = key;
+          wal_fact.record = record;
+          Result<dw::Lsn> appended = wal_->AppendFact(wal_fact);
+          if (!appended.ok()) {
+            wal_span.Annotate("outcome", "failed");
+            wal_span.End();
+            QuarantineFact(fact, qa::RejectReason::kWalFailed,
+                           appended.status().ToString(), &report);
+            fact.disposition = qa::FactDisposition::kQuarantined;
+            count_fact("quarantined");
+            fact_span.Annotate("disposition", "quarantined");
+            report.facts.push_back(std::move(fact));
+            continue;
+          }
+          wal_span.Annotate("lsn", static_cast<double>(*appended));
+        }
         RetryPolicy load_policy = resilience.retry;
         if (source_breaker->state() == BreakerState::kHalfOpen) {
           load_policy.max_attempts = 1;

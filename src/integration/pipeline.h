@@ -16,6 +16,7 @@
 #include "common/retry.h"
 #include "common/trace.h"
 #include "dw/quarantine.h"
+#include "dw/wal.h"
 #include "dw/warehouse.h"
 #include "integration/feed_checkpoint.h"
 #include "integration/pipeline_health.h"
@@ -49,6 +50,34 @@ struct QuestionTrace {
   std::unique_ptr<TraceRecorder> recorder;
 };
 
+/// \brief Crash-safe durability of the Step-5 feed (dw/wal.h,
+/// dw/snapshot.h, dw/recovery.h).
+///
+/// When `dir` is set, every fact that survives validation, dedup and
+/// breaker admission is appended to the write-ahead log *before* it
+/// touches the ETL: a crash at any point loses at most the unacknowledged
+/// tail, and Recovery::Open restores the warehouse to exactly the
+/// acknowledged fact set. FlushDurability() (called by QaServer::Drain and
+/// available to embedders) syncs the log, cuts an atomic snapshot and
+/// drops the WAL segments the snapshot covers.
+struct DurabilityConfig {
+  /// Durability root (WAL segments + snapshot directories). Empty (the
+  /// default) disables the WAL entirely — zero cost for feeds that do not
+  /// need crash safety.
+  std::string dir;
+  /// Segment rotation threshold, forwarded to dw::WalOptions.
+  size_t wal_segment_bytes = 64 * 1024;
+  /// fsync after every append (the crash-safety default). Turning this off
+  /// trades the tail of the log for throughput.
+  bool sync_each_append = true;
+  /// Cut a snapshot (and garbage-collect covered WAL segments) on
+  /// FlushDurability. Off leaves flush = sync only.
+  bool snapshot_on_flush = true;
+  /// All durability I/O goes through this Fs (null = real filesystem) so
+  /// the crash-point harness can interpose.
+  Fs* fs = nullptr;
+};
+
 /// \brief Resilience of the Step-5 feed: how the pipeline survives an
 /// unreliable web, implausible extractions and mid-run crashes.
 struct ResilienceConfig {
@@ -80,6 +109,8 @@ struct ResilienceConfig {
   /// below this floor are quarantined (kBelowConfidenceFloor). The default
   /// (-inf) admits everything, degraded-ladder answers included.
   double confidence_floor = -std::numeric_limits<double>::infinity();
+  /// Write-ahead logging + snapshots of the feed (off unless dir is set).
+  DurabilityConfig durability;
 };
 
 /// \brief Configuration of the five-step integration.
@@ -225,8 +256,22 @@ class IntegrationPipeline {
   Status SaveFeedCheckpoint(const std::string& path) const;
   /// Restores feed progress from `path`: completed questions are skipped
   /// by subsequent RunStep5 calls and restored fed keys dedup against the
-  /// rows the interrupted run already loaded.
+  /// rows the interrupted run already loaded. When the WAL is enabled, a
+  /// checkpoint whose recorded WAL position exceeds the log's LSN is
+  /// rejected with OutOfRange (ValidateCheckpointAgainstLsn) — it claims
+  /// progress the durable data does not back.
   Status LoadFeedCheckpoint(const std::string& path);
+  /// @}
+
+  /// \name Durability (ResilienceConfig::durability)
+  /// @{
+  /// Syncs the WAL and, when snapshot_on_flush, cuts an atomic snapshot at
+  /// the current LSN and drops the WAL segments it covers. No-op (OK) when
+  /// durability is disabled.
+  Status FlushDurability();
+  /// Highest LSN the WAL has acknowledged (0 when durability is disabled
+  /// or the WAL has not been opened yet).
+  uint64_t wal_last_lsn() const { return wal_ ? wal_->last_lsn() : 0; }
   /// @}
 
   /// \name Introspection for benches/tests
@@ -273,6 +318,9 @@ class IntegrationPipeline {
                       qa::RejectReason reason, const std::string& detail,
                       FeedReport* report);
 
+  /// Opens the WAL on first use (durability.dir set, wal_ still null).
+  Status EnsureWalOpen();
+
   dw::Warehouse* wh_;
   const ontology::UmlModel* uml_;
   PipelineConfig config_;
@@ -311,6 +359,8 @@ class IntegrationPipeline {
   size_t corpus_index_retries_ = 0;
   /// Guards against re-loading the checkpoint on every RunStep5 call.
   bool checkpoint_loaded_ = false;
+  /// Write-ahead log (null until the first RunStep5 with durability on).
+  std::unique_ptr<dw::WalWriter> wal_;
   /// @}
 };
 

@@ -30,6 +30,10 @@ const char* RejectReasonName(RejectReason reason) {
       return "CircuitOpen";
     case RejectReason::kBelowConfidenceFloor:
       return "BelowConfidenceFloor";
+    case RejectReason::kWalFailed:
+      return "WalFailed";
+    case RejectReason::kWalCorrupt:
+      return "WalCorrupt";
   }
   return "Unknown";
 }
@@ -40,7 +44,8 @@ const std::vector<RejectReason>& AllRejectReasons() {
       RejectReason::kBadUnit,          RejectReason::kInvalidDate,
       RejectReason::kMissingLocation,  RejectReason::kEtlRejected,
       RejectReason::kTransientExhausted, RejectReason::kCircuitOpen,
-      RejectReason::kBelowConfidenceFloor};
+      RejectReason::kBelowConfidenceFloor, RejectReason::kWalFailed,
+      RejectReason::kWalCorrupt};
   return *kAll;
 }
 

@@ -42,6 +42,12 @@ enum class RejectReason {
   /// The fact's extraction confidence is below the validator's floor —
   /// typically a degraded-ladder answer the deployment chose not to trust.
   kBelowConfidenceFloor,
+  /// The fact could not be made durable: its write-ahead-log append failed.
+  /// The feed refuses to load what it cannot replay after a crash.
+  kWalFailed,
+  /// A replayed WAL record was corrupt (CRC mismatch or unparseable
+  /// payload). Assigned by recovery, not the live feed.
+  kWalCorrupt,
 };
 
 /// "NonFiniteValue", "ValueOutOfRange", ... (stable, serialized into the

@@ -533,10 +533,14 @@ Status QaServer::Drain() {
   }
   Status first_failure = Status::OK();
   for (auto& [name, tenant] : tenants_) {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    // Durable data first: the checkpoint written below records the WAL
+    // position the flush just made durable, never one past it.
+    Status flushed = tenant->pipeline->FlushDurability();
+    if (!flushed.ok() && first_failure.ok()) first_failure = flushed;
     const std::string& path =
         tenant->config.pipeline.resilience.checkpoint_path;
     if (path.empty()) continue;
-    std::lock_guard<std::mutex> lock(tenant->state_mu);
     Status saved = tenant->pipeline->SaveFeedCheckpoint(path);
     if (!saved.ok() && first_failure.ok()) first_failure = saved;
   }

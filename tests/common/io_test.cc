@@ -1,0 +1,170 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace dwqa {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_io_test";
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  stdfs::path dir_;
+};
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32Hex("123456789"), "cbf43926");
+}
+
+TEST(Crc32Test, SingleBitFlipChangesTheSum) {
+  std::string data = "the quick brown fox";
+  uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(Crc32(flipped), clean) << "flip at byte " << i;
+  }
+}
+
+TEST_F(IoTest, RealFsRoundTrip) {
+  Fs* fs = RealFilesystem();
+  ASSERT_TRUE(fs->WriteFile(Path("a.txt"), "hello").ok());
+  EXPECT_TRUE(fs->Exists(Path("a.txt")));
+  EXPECT_EQ(fs->ReadFile(Path("a.txt")).ValueOrDie(), "hello");
+  ASSERT_TRUE(fs->AppendFile(Path("a.txt"), " world").ok());
+  EXPECT_EQ(fs->ReadFile(Path("a.txt")).ValueOrDie(), "hello world");
+  EXPECT_EQ(fs->FileSize(Path("a.txt")).ValueOrDie(), 11u);
+  ASSERT_TRUE(fs->TruncateFile(Path("a.txt"), 5).ok());
+  EXPECT_EQ(fs->ReadFile(Path("a.txt")).ValueOrDie(), "hello");
+  ASSERT_TRUE(fs->Rename(Path("a.txt"), Path("b.txt")).ok());
+  EXPECT_FALSE(fs->Exists(Path("a.txt")));
+  EXPECT_TRUE(fs->Exists(Path("b.txt")));
+  ASSERT_TRUE(fs->RemoveFile(Path("b.txt")).ok());
+  EXPECT_FALSE(fs->Exists(Path("b.txt")));
+}
+
+TEST_F(IoTest, ListDirIsSorted) {
+  Fs* fs = RealFilesystem();
+  ASSERT_TRUE(fs->WriteFile(Path("c"), "").ok());
+  ASSERT_TRUE(fs->WriteFile(Path("a"), "").ok());
+  ASSERT_TRUE(fs->WriteFile(Path("b"), "").ok());
+  auto entries = fs->ListDir(dir_.string()).ValueOrDie();
+  EXPECT_EQ(entries, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(IoTest, ReadOfMissingFileIsIOError) {
+  EXPECT_TRUE(
+      RealFilesystem()->ReadFile(Path("ghost")).status().IsIOError());
+}
+
+TEST_F(IoTest, WriteFileAtomicReplacesAndLeavesNoTmp) {
+  Fs* fs = RealFilesystem();
+  ASSERT_TRUE(WriteFileAtomic(fs, Path("x"), "first").ok());
+  ASSERT_TRUE(WriteFileAtomic(fs, Path("x"), "second").ok());
+  EXPECT_EQ(fs->ReadFile(Path("x")).ValueOrDie(), "second");
+  EXPECT_FALSE(fs->Exists(Path("x") + ".tmp"));
+}
+
+TEST_F(IoTest, FaultFsRecordsMutatingOpsOnly) {
+  FaultFs fs(RealFilesystem());
+  ASSERT_TRUE(fs.WriteFile(Path("f"), "data").ok());
+  ASSERT_TRUE(fs.AppendFile(Path("f"), "+").ok());
+  ASSERT_TRUE(fs.SyncFile(Path("f")).ok());
+  // Reads do not book ops: the crash sweep only enumerates writes.
+  EXPECT_TRUE(fs.ReadFile(Path("f")).ok());
+  EXPECT_TRUE(fs.Exists(Path("f")));
+  EXPECT_TRUE(fs.FileSize(Path("f")).ok());
+  EXPECT_EQ(fs.op_count(), 3u);
+  ASSERT_EQ(fs.op_log().size(), 3u);
+  EXPECT_EQ(fs.op_log()[0].substr(0, 6), "write:");
+  EXPECT_EQ(fs.op_log()[1].substr(0, 7), "append:");
+  EXPECT_EQ(fs.op_log()[2].substr(0, 5), "sync:");
+  EXPECT_FALSE(fs.crashed());
+}
+
+TEST_F(IoTest, StopCrashDropsTheOpAndKillsTheFs) {
+  FaultFs fs(RealFilesystem());
+  ASSERT_TRUE(fs.WriteFile(Path("f"), "keep").ok());
+  CrashPlan plan;
+  plan.crash_at_op = 1;  // The append below (op 0 is the write above... )
+  fs.Arm(plan);          // ...but Arm resets the counter: op 0 is next.
+  ASSERT_TRUE(fs.WriteFile(Path("g"), "other").ok());
+  EXPECT_FALSE(fs.crashed());
+  // Op 1: the crashing append. kStop = nothing reaches the disk.
+  Status st = fs.AppendFile(Path("f"), "lost");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_EQ(RealFilesystem()->ReadFile(Path("f")).ValueOrDie(), "keep");
+  // Every later mutating op fails; reads still work (recovery needs them).
+  EXPECT_TRUE(fs.WriteFile(Path("h"), "x").IsIOError());
+  EXPECT_TRUE(fs.SyncFile(Path("f")).IsIOError());
+  EXPECT_TRUE(fs.Rename(Path("f"), Path("i")).IsIOError());
+  EXPECT_TRUE(fs.ReadFile(Path("f")).ok());
+}
+
+TEST_F(IoTest, TornWriteLandsAStrictPrefix) {
+  FaultFs fs(RealFilesystem());
+  CrashPlan plan;
+  plan.crash_at_op = 0;
+  plan.mode = CrashMode::kTornWrite;
+  fs.Arm(plan);
+  std::string data(100, 'x');
+  EXPECT_TRUE(fs.AppendFile(Path("torn"), data).IsIOError());
+  EXPECT_TRUE(fs.crashed());
+  std::string landed =
+      RealFilesystem()->Exists(Path("torn"))
+          ? RealFilesystem()->ReadFile(Path("torn")).ValueOrDie()
+          : "";
+  EXPECT_LT(landed.size(), data.size());
+  EXPECT_EQ(landed, data.substr(0, landed.size()));
+}
+
+TEST_F(IoTest, BitFlipCorruptsExactlyOneBit) {
+  FaultFs fs(RealFilesystem());
+  CrashPlan plan;
+  plan.crash_at_op = 0;
+  plan.mode = CrashMode::kBitFlip;
+  fs.Arm(plan);
+  std::string data = "checksums must catch this";
+  EXPECT_TRUE(fs.WriteFile(Path("flip"), data).IsIOError());
+  std::string landed = RealFilesystem()->ReadFile(Path("flip")).ValueOrDie();
+  ASSERT_EQ(landed.size(), data.size());
+  size_t differing_bits = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    uint8_t diff = uint8_t(data[i]) ^ uint8_t(landed[i]);
+    while (diff != 0) {
+      differing_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(differing_bits, 1u);
+  EXPECT_NE(Crc32(landed), Crc32(data));
+}
+
+TEST_F(IoTest, RecorderPlanNeverCrashes) {
+  FaultFs fs(RealFilesystem());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fs.AppendFile(Path("busy"), "x").ok());
+  }
+  EXPECT_FALSE(fs.crashed());
+  EXPECT_EQ(fs.op_count(), 50u);
+}
+
+}  // namespace
+}  // namespace dwqa

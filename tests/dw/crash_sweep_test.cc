@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "dw/etl.h"
+#include "dw/recovery.h"
+#include "integration/feed_checkpoint.h"
+#include "integration/last_minute_sales.h"
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+/// The committed-state oracle: every (city, date) the workload *acknowledged*
+/// — a WAL append that returned OK — must be present after recovery, in
+/// workload order.
+struct WorkloadResult {
+  std::vector<std::string> committed_keys;  ///< Acknowledged, in order.
+  size_t ops = 0;                           ///< Mutating fs ops attempted.
+  std::vector<std::string> op_log;
+};
+
+WalFact MakeFact(int day, const std::string& city) {
+  char date[11];
+  std::snprintf(date, sizeof(date), "2004-01-%02d", day);
+  WalFact fact;
+  fact.fact_name = "Weather";
+  fact.attribute = "temperature";
+  fact.value = 5.0 + day;
+  fact.unit = "\xC2\xBA\x43";
+  fact.date_iso = date;
+  fact.location = city;
+  fact.url = "http://weather.example/" + city;
+  fact.confidence = 0.9;
+  fact.dedup_key = "temperature|" + city + "|" + date;
+  fact.record.role_paths = {
+      {city}, DateMemberPath(Date::FromIsoString(date).ValueOrDie()),
+      {fact.url}};
+  fact.record.measures = {Value(fact.value)};
+  return fact;
+}
+
+std::string FactKey(const WalFact& fact) {
+  return fact.location + "|" + fact.date_iso;
+}
+
+/// The recovered-state projection comparable against the oracle.
+std::multiset<std::string> WarehouseKeys(const Warehouse& wh) {
+  const Table* table = wh.FactTable("Weather").ValueOrDie();
+  size_t loc = table->ColumnIndex("fk_location").ValueOrDie();
+  size_t day = table->ColumnIndex("fk_day").ValueOrDie();
+  std::multiset<std::string> keys;
+  for (size_t r = 0; r < table->row_count(); ++r) {
+    std::string city =
+        wh.MemberLevelValue("City", MemberId(table->Get(r, loc).as_int()),
+                            "City")
+            .ValueOrDie();
+    std::string date =
+        wh.MemberLevelValue("Date", MemberId(table->Get(r, day).as_int()),
+                            "Date")
+            .ValueOrDie();
+    keys.insert(city + "|" + date);
+  }
+  return keys;
+}
+
+/// One full durability workload against `fs`: open the WAL, feed facts,
+/// snapshot mid-way (dropping covered segments), feed more facts across a
+/// segment rotation, save a checkpoint. Exercises every crash-point family
+/// the issue names: WAL append, segment rotate, snapshot temp write,
+/// manifest write, rename, checkpoint save.
+WorkloadResult RunWorkload(const std::string& dir, FaultFs* fs) {
+  WorkloadResult result;
+  auto record_ops = [&]() {
+    result.ops = fs->op_count();
+    result.op_log = fs->op_log();
+  };
+  WalOptions options;
+  options.segment_bytes = 256;  // Small enough to force a rotation.
+  auto wal = WalWriter::Open(dir, options, fs);
+  if (!wal.ok()) {
+    record_ops();
+    return result;
+  }
+  Warehouse wh = integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  EtlLoader loader(&wh);
+  const std::vector<std::string> cities = {"Barcelona", "Madrid"};
+  auto feed = [&](int from, int to) -> bool {
+    for (int day = from; day <= to; ++day) {
+      WalFact fact = MakeFact(day, cities[size_t(day) % cities.size()]);
+      auto appended = (*wal)->AppendFact(fact);
+      if (!appended.ok()) return false;
+      // Acknowledged: the fact is committed whatever happens next.
+      result.committed_keys.push_back(FactKey(fact));
+      if (!loader.LoadRecord(fact.fact_name, fact.record).ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!feed(1, 4)) {
+    record_ops();
+    return result;
+  }
+  // Mid-run flush: snapshot + WAL garbage collection.
+  if (SnapshotWriter::Write(dir, wh, (*wal)->last_lsn(), fs).ok()) {
+    (void)(*wal)->DropSegmentsCoveredBy((*wal)->last_lsn());
+  }
+  if (!feed(5, 8)) {
+    record_ops();
+    return result;
+  }
+  integration::FeedCheckpoint checkpoint;
+  checkpoint.rows_loaded = result.committed_keys.size();
+  checkpoint.wal_lsn = (*wal)->last_lsn();
+  (void)integration::FeedCheckpointFile::Save(checkpoint,
+                                              dir + "/feed.ckpt", fs);
+  record_ops();
+  return result;
+}
+
+class CrashSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_crash_sweep";
+    stdfs::remove_all(dir_);
+  }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  stdfs::path dir_;
+};
+
+/// The tentpole assertion: for EVERY mutating-fs-operation index and for
+/// both kStop and kTornWrite crash modes, recovery after the crash yields
+/// exactly the committed prefix of the workload — never a lost
+/// acknowledged fact, never a phantom beyond the one unacknowledged
+/// append a crash-during-sync can leave fully on disk.
+TEST_F(CrashSweepTest, EveryCrashPointRecoversTheCommittedState) {
+  // Recorder pass: enumerate the ops of a crash-free run.
+  FaultFs recorder(RealFilesystem());
+  WorkloadResult full = RunWorkload(Dir(), &recorder);
+  ASSERT_GT(full.ops, 20u) << "workload too small to be a real sweep";
+  ASSERT_EQ(full.committed_keys.size(), 8u);
+
+  for (CrashMode mode : {CrashMode::kStop, CrashMode::kTornWrite}) {
+    for (size_t crash_at = 0; crash_at < full.ops; ++crash_at) {
+      stdfs::remove_all(dir_);
+      CrashPlan plan;
+      plan.crash_at_op = crash_at;
+      plan.mode = mode;
+      plan.seed = 17 + crash_at;
+      FaultFs fs(RealFilesystem(), plan);
+      WorkloadResult crashed = RunWorkload(Dir(), &fs);
+      ASSERT_TRUE(fs.crashed())
+          << "op " << crash_at << " never executed";
+      const std::string context =
+          std::string(CrashModeName(mode)) + " @ op " +
+          std::to_string(crash_at) + " (" + fs.op_log()[crash_at] + ")";
+
+      // Recover through the REAL filesystem: the crash is over, the
+      // surviving bytes are what a restarted process would see.
+      RecoveryOptions options;
+      options.bootstrap_schema =
+          integration::LastMinuteSales::MakeSchema();
+      auto recovered = Recovery::Open(Dir(), options);
+      ASSERT_TRUE(recovered.ok())
+          << context << ": " << recovered.status().ToString();
+
+      // The recovered fact set must be the committed prefix — with one
+      // exception: a crash during the *sync* of an append that already
+      // landed fully leaves a durable, unacknowledged record. Recovery
+      // may legitimately surface it (committed + 1), never more.
+      std::multiset<std::string> keys =
+          WarehouseKeys(recovered->warehouse);
+      size_t committed = crashed.committed_keys.size();
+      ASSERT_GE(keys.size(), committed) << context << ": lost a committed fact";
+      ASSERT_LE(keys.size(), committed + 1) << context << ": phantom facts";
+      const std::string& crash_op = crashed.op_log[crash_at];
+      if (keys.size() == committed + 1) {
+        ASSERT_EQ(crash_op.substr(0, 5), "sync:")
+            << context << ": extra fact without a crashed sync";
+      }
+      // Byte-identical prefix: every committed key is present.
+      std::multiset<std::string> expected(
+          crashed.committed_keys.begin(), crashed.committed_keys.end());
+      if (keys.size() == committed + 1) {
+        expected.insert(full.committed_keys[committed]);
+      }
+      ASSERT_EQ(keys, expected) << context;
+
+      // After recovery truncated/cleaned, the directory must fsck clean.
+      FsckOptions fsck_options;
+      auto checkpoint =
+          integration::FeedCheckpointFile::Load(Dir() + "/feed.ckpt");
+      if (checkpoint.ok()) {
+        fsck_options.has_checkpoint_lsn = true;
+        fsck_options.checkpoint_lsn = checkpoint->wal_lsn;
+      }
+      FsckReport fsck = Fsck(Dir(), fsck_options).ValueOrDie();
+      EXPECT_TRUE(fsck.clean())
+          << context << ": "
+          << (fsck.issues.empty() ? "" : fsck.issues[0]);
+    }
+  }
+}
+
+/// kBitFlip is about detection, not clean recovery: a flipped bit in a
+/// committed WAL record must be caught by the CRC and quarantined, never
+/// silently loaded.
+TEST_F(CrashSweepTest, BitFlipDuringAppendIsCaughtByTheCrc) {
+  // Find an append op to flip by recording a clean run first.
+  FaultFs recorder(RealFilesystem());
+  WorkloadResult full = RunWorkload(Dir(), &recorder);
+  size_t append_op = full.ops;
+  for (size_t i = 0; i < full.op_log.size(); ++i) {
+    if (full.op_log[i].substr(0, 7) == "append:" &&
+        full.op_log[i].find("wal-") != std::string::npos) {
+      append_op = i;  // Keep the LAST WAL append: a committed-record flip.
+    }
+  }
+  ASSERT_LT(append_op, full.ops);
+
+  stdfs::remove_all(dir_);
+  CrashPlan plan;
+  plan.crash_at_op = append_op;
+  plan.mode = CrashMode::kBitFlip;
+  FaultFs fs(RealFilesystem(), plan);
+  WorkloadResult crashed = RunWorkload(Dir(), &fs);
+  ASSERT_TRUE(fs.crashed());
+
+  RecoveryOptions options;
+  options.bootstrap_schema = integration::LastMinuteSales::MakeSchema();
+  auto recovered = Recovery::Open(Dir(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // The flipped record is either inside the framing (CRC catches it →
+  // quarantined) or tore the framing (truncated). Either way it must not
+  // be loaded as a fact, and nothing committed before it may be lost.
+  std::multiset<std::string> keys = WarehouseKeys(recovered->warehouse);
+  EXPECT_EQ(keys.size(), crashed.committed_keys.size());
+  EXPECT_TRUE(recovered->corrupt_records > 0 ||
+              recovered->torn_bytes_truncated > 0)
+      << "the flip vanished: neither quarantined nor truncated";
+}
+
+/// A bit flip inside a committed snapshot file must fail manifest
+/// verification and make recovery fall back (to an older snapshot or the
+/// WAL), not load rotten data.
+TEST_F(CrashSweepTest, BitFlippedSnapshotFileIsRejectedByTheManifest) {
+  FaultFs recorder(RealFilesystem());
+  WorkloadResult full = RunWorkload(Dir(), &recorder);
+  ASSERT_EQ(full.committed_keys.size(), 8u);
+
+  // Corrupt one byte of one data file inside the committed snapshot.
+  std::string snapshot;
+  for (const auto& entry : stdfs::directory_iterator(dir_)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("snap-", 0) == 0) {
+      snapshot = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(snapshot.empty());
+  std::string target = snapshot + "/fact_Weather.csv";
+  std::string content =
+      RealFilesystem()->ReadFile(target).ValueOrDie();
+  ASSERT_FALSE(content.empty());
+  content[content.size() / 3] ^= 0x10;
+  ASSERT_TRUE(RealFilesystem()->WriteFile(target, content).ok());
+
+  EXPECT_FALSE(VerifySnapshot(snapshot).ok());
+  RecoveryOptions options;
+  options.bootstrap_schema = integration::LastMinuteSales::MakeSchema();
+  auto recovered = Recovery::Open(Dir(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // The snapshot is distrusted wholesale; whatever the WAL still holds is
+  // replayed instead. Garbage collection dropped only *fully* covered
+  // segments, so recovery yields at least every post-snapshot fact, at
+  // most the full committed set, and never invents rows — and the
+  // fallback is reported, not silent.
+  std::multiset<std::string> keys = WarehouseKeys(recovered->warehouse);
+  std::multiset<std::string> tail(full.committed_keys.begin() + 4,
+                                  full.committed_keys.end());
+  std::multiset<std::string> all(full.committed_keys.begin(),
+                                 full.committed_keys.end());
+  EXPECT_TRUE(std::includes(keys.begin(), keys.end(), tail.begin(),
+                            tail.end()))
+      << "a post-snapshot committed fact was lost";
+  EXPECT_TRUE(std::includes(all.begin(), all.end(), keys.begin(),
+                            keys.end()))
+      << "recovery invented a fact";
+  EXPECT_FALSE(recovered->issues.empty());
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,304 @@
+#include "dw/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/metrics.h"
+#include "common/metric_names.h"
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+WalFact SampleFact(double value = 8.0, const std::string& city = "Barcelona") {
+  WalFact fact;
+  fact.fact_name = "Weather";
+  fact.attribute = "temperature";
+  fact.value = value;
+  fact.unit = "\xC2\xBA\x43";  // ºC
+  fact.date_iso = "2004-01-31";
+  fact.location = city;
+  fact.url = "http://weather.example/" + city;
+  fact.confidence = 0.75;
+  fact.dedup_key = "temperature|" + city + "|2004-01-31";
+  fact.record.role_paths = {{city}, {"2004-01-31", "2004-01", "2004"},
+                            {fact.url}};
+  fact.record.measures = {Value(value)};
+  return fact;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_wal_test";
+    stdfs::remove_all(dir_);
+  }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  stdfs::path dir_;
+};
+
+TEST(WalFactSerdeTest, RoundTrip) {
+  WalFact fact = SampleFact();
+  std::string payload = WalFactSerde::ToPayload(fact).ValueOrDie();
+  WalFact back = WalFactSerde::FromPayload(payload).ValueOrDie();
+  EXPECT_EQ(back.fact_name, fact.fact_name);
+  EXPECT_EQ(back.attribute, fact.attribute);
+  EXPECT_DOUBLE_EQ(back.value, fact.value);
+  EXPECT_EQ(back.unit, fact.unit);
+  EXPECT_EQ(back.date_iso, fact.date_iso);
+  EXPECT_EQ(back.location, fact.location);
+  EXPECT_EQ(back.url, fact.url);
+  EXPECT_DOUBLE_EQ(back.confidence, fact.confidence);
+  EXPECT_EQ(back.dedup_key, fact.dedup_key);
+  EXPECT_EQ(back.record.role_paths, fact.record.role_paths);
+  ASSERT_EQ(back.record.measures.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.record.measures[0].as_double(), 8.0);
+}
+
+TEST(WalFactSerdeTest, AwkwardDoublesRoundTripExactly) {
+  for (double v : {-0.0, 1.0 / 3.0, 1e-300, 1.7976931348623157e308,
+                   -273.15000000000003}) {
+    WalFact fact = SampleFact(v);
+    std::string payload = WalFactSerde::ToPayload(fact).ValueOrDie();
+    WalFact back = WalFactSerde::FromPayload(payload).ValueOrDie();
+    EXPECT_EQ(back.value, v);
+  }
+}
+
+TEST(WalFactSerdeTest, EmbeddedTabsAndNewlinesRefusedWithFieldName) {
+  WalFact tabbed = SampleFact();
+  tabbed.location = "Bar\tcelona";
+  Status st = WalFactSerde::ToPayload(tabbed).status();
+  ASSERT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("location"), std::string::npos);
+
+  WalFact newlined = SampleFact();
+  newlined.url = "http://evil.example/\ninjected";
+  st = WalFactSerde::ToPayload(newlined).status();
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("url"), std::string::npos);
+
+  WalFact bad_role = SampleFact();
+  bad_role.record.role_paths[0][0] = "a\rb";
+  EXPECT_FALSE(WalFactSerde::ToPayload(bad_role).ok());
+
+  WalFact nameless = SampleFact();
+  nameless.fact_name.clear();
+  EXPECT_FALSE(WalFactSerde::ToPayload(nameless).ok());
+}
+
+TEST(WalFactSerdeTest, AdversarialPayloadsRejectedWithLineNumbers) {
+  // Each case must produce a typed Corruption error, never a crash.
+  const char* cases[] = {
+      "",                                  // Nothing at all.
+      "garbage\n",                         // Unknown tag.
+      "fact\tWeather\n",                   // Missing attr.
+      "attr\ttemperature\t8\t\t\t\t0.5\n", // Missing fact.
+      "fact\tWeather\nattr\tonly\tthree\n",
+      "fact\tWeather\nattr\tt\tNaNsense\t\t\t\t0.5\n",
+      "fact\tWeather\nattr\tt\t8\t\t\t\tmaybe\n",
+      "fact\t\n",
+      "fact\tWeather\nfact\tWeather\nattr\tt\t8\t\t\t\t0.5\n",
+      "fact\tWeather\nattr\tt\t8\t\t\t\t0.5\nmeasure\tdouble\n",
+      "fact\tWeather\nattr\tt\t8\t\t\t\t0.5\nmeasure\tquux\t8\n",
+      "fact\tWeather\nattr\tt\t8\t\t\t\t0.5\nmeasure\tint64\t99999999999999999999\n",
+      "fact\tWeather\nattr\tt\t8\t\t\t\t0.5\nmeasure\tdate\tnot-a-date\n",
+  };
+  for (const char* text : cases) {
+    auto parsed = WalFactSerde::FromPayload(text);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_TRUE(parsed.status().IsCorruption()) << parsed.status().ToString();
+    EXPECT_NE(parsed.status().message().find("line"), std::string::npos)
+        << parsed.status().ToString();
+  }
+  // A truncated prefix of a valid payload never parses either.
+  std::string full = WalFactSerde::ToPayload(SampleFact()).ValueOrDie();
+  for (size_t cut = 0; cut < full.size(); cut += 7) {
+    WalFactSerde::FromPayload(full.substr(0, cut));  // Must not crash.
+  }
+}
+
+TEST_F(WalTest, AppendAssignsMonotonicLsnsAndSurvivesReopen) {
+  MetricRegistry metrics;
+  {
+    auto wal = WalWriter::Open(Dir(), {}, nullptr, &metrics).ValueOrDie();
+    EXPECT_EQ(wal->last_lsn(), 0u);
+    EXPECT_EQ(wal->Append("one").ValueOrDie(), 1u);
+    EXPECT_EQ(wal->Append("two").ValueOrDie(), 2u);
+    EXPECT_EQ(wal->AppendFact(SampleFact()).ValueOrDie(), 3u);
+  }
+  // Reopen continues the LSN sequence.
+  auto wal = WalWriter::Open(Dir()).ValueOrDie();
+  EXPECT_EQ(wal->last_lsn(), 3u);
+  EXPECT_EQ(wal->Append("four").ValueOrDie(), 4u);
+
+  WalScan scan = ScanWal(Dir()).ValueOrDie();
+  ASSERT_EQ(scan.records.size(), 4u);
+  EXPECT_EQ(scan.records[0].payload, "one");
+  EXPECT_EQ(scan.records[3].payload, "four");
+  EXPECT_EQ(scan.last_lsn, 4u);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_TRUE(scan.corrupt_records.empty());
+
+  EXPECT_EQ(metrics.GetCounter(kMetricWalAppends)->value(), 3.0);
+}
+
+TEST_F(WalTest, SegmentsRotateAtTheByteThreshold) {
+  WalOptions options;
+  options.segment_bytes = 64;  // Tiny: every append or two rotates.
+  auto wal = WalWriter::Open(Dir(), options).ValueOrDie();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(wal->Append("payload-" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(wal->segment_count(), 1u);
+  WalScan scan = ScanWal(Dir()).ValueOrDie();
+  EXPECT_EQ(scan.records.size(), 6u);
+  EXPECT_GT(scan.segments.size(), 1u);
+  // Each segment header declares the LSN its file name carries.
+  for (const WalSegmentInfo& info : scan.segments) {
+    EXPECT_FALSE(info.torn());
+  }
+}
+
+TEST_F(WalTest, ExplicitRotateStartsANewSegment) {
+  auto wal = WalWriter::Open(Dir()).ValueOrDie();
+  ASSERT_TRUE(wal->Append("a").ok());
+  std::string first_segment = wal->current_segment_path();
+  ASSERT_TRUE(wal->Rotate().ok());
+  ASSERT_TRUE(wal->Append("b").ok());
+  EXPECT_NE(wal->current_segment_path(), first_segment);
+  EXPECT_EQ(wal->segment_count(), 2u);
+}
+
+TEST_F(WalTest, DropSegmentsCoveredKeepsTheTail) {
+  WalOptions options;
+  options.segment_bytes = 1;  // Rotate on every append.
+  auto wal = WalWriter::Open(Dir(), options).ValueOrDie();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(wal->Append("p" + std::to_string(i)).ok());
+  }
+  ASSERT_EQ(wal->segment_count(), 4u);  // One record per segment.
+  size_t dropped = wal->DropSegmentsCoveredBy(2).ValueOrDie();
+  EXPECT_EQ(dropped, 2u);
+  // Records past the cover point are still scannable.
+  WalScan scan = ScanWal(Dir()).ValueOrDie();
+  ASSERT_FALSE(scan.records.empty());
+  EXPECT_EQ(scan.last_lsn, 4u);
+  for (const WalRecord& rec : scan.records) {
+    EXPECT_GT(rec.lsn, 2u);
+  }
+  // The current segment is never dropped, even when fully covered.
+  EXPECT_EQ(wal->DropSegmentsCoveredBy(100).ValueOrDie(), 1u);
+  EXPECT_EQ(wal->segment_count(), 1u);
+  EXPECT_EQ(ScanWal(Dir()).ValueOrDie().last_lsn, 4u);
+}
+
+TEST_F(WalTest, TornTailIsDetectedAndTruncatedOnReopen) {
+  {
+    auto wal = WalWriter::Open(Dir()).ValueOrDie();
+    ASSERT_TRUE(wal->Append("committed-1").ok());
+    ASSERT_TRUE(wal->Append("committed-2").ok());
+  }
+  // Simulate a torn append: half a record header lands at the tail.
+  WalScan before = ScanWal(Dir()).ValueOrDie();
+  ASSERT_EQ(before.segments.size(), 1u);
+  std::string segment = Dir() + "/" + before.segments[0].file;
+  {
+    std::ofstream out(segment, std::ios::app | std::ios::binary);
+    out << "rec\t3\t99";  // No CRC, no newline, no payload.
+  }
+  WalScan torn = ScanWal(Dir()).ValueOrDie();
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_GT(torn.torn_bytes, 0u);
+  EXPECT_EQ(torn.records.size(), 2u);  // Committed records still parse.
+
+  // Reopen truncates the tear and appends cleanly after it.
+  auto wal = WalWriter::Open(Dir()).ValueOrDie();
+  EXPECT_EQ(wal->last_lsn(), 2u);
+  ASSERT_TRUE(wal->Append("after-recovery").ok());
+  WalScan after = ScanWal(Dir()).ValueOrDie();
+  EXPECT_FALSE(after.torn_tail);
+  ASSERT_EQ(after.records.size(), 3u);
+  EXPECT_EQ(after.records[2].payload, "after-recovery");
+}
+
+TEST_F(WalTest, CrcMismatchSkipsTheRecordButKeepsFraming) {
+  {
+    auto wal = WalWriter::Open(Dir()).ValueOrDie();
+    ASSERT_TRUE(wal->Append("first").ok());
+    ASSERT_TRUE(wal->Append("second").ok());
+    ASSERT_TRUE(wal->Append("third").ok());
+  }
+  WalScan clean = ScanWal(Dir()).ValueOrDie();
+  std::string segment = Dir() + "/" + clean.segments[0].file;
+  // Flip one byte inside the middle record's payload ("second").
+  std::ifstream in(segment, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  size_t at = content.find("second");
+  ASSERT_NE(at, std::string::npos);
+  content[at] ^= 0x20;
+  {
+    std::ofstream out(segment, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  WalScan scan = ScanWal(Dir()).ValueOrDie();
+  EXPECT_FALSE(scan.torn_tail);  // Framing intact: not a tear.
+  ASSERT_EQ(scan.corrupt_records.size(), 1u);
+  EXPECT_EQ(scan.corrupt_records[0].lsn, 2u);
+  // The healthy neighbours still replay.
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].payload, "first");
+  EXPECT_EQ(scan.records[1].payload, "third");
+  ASSERT_FALSE(scan.issues.empty());
+  EXPECT_NE(scan.issues[0].find("CRC mismatch"), std::string::npos);
+}
+
+TEST_F(WalTest, GarbageSegmentHeaderIsATornTail) {
+  stdfs::create_directories(dir_);
+  {
+    std::ofstream out(dir_ / "wal-00000000000000000001.log",
+                      std::ios::binary);
+    out << "this is not a wal segment\nat all\n";
+  }
+  WalScan scan = ScanWal(Dir()).ValueOrDie();
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_TRUE(scan.records.empty());
+  // Open() recovers by dropping the unusable file and starting fresh.
+  auto wal = WalWriter::Open(Dir()).ValueOrDie();
+  EXPECT_EQ(wal->Append("fresh").ValueOrDie(), 1u);
+}
+
+TEST_F(WalTest, ScanOfMissingDirectoryIsEmptyNotAnError) {
+  WalScan scan = ScanWal(Dir() + "/never_created").ValueOrDie();
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.last_lsn, 0u);
+  EXPECT_FALSE(scan.torn_tail);
+}
+
+TEST_F(WalTest, UnsyncedAppendsAreFlushedByExplicitSync) {
+  WalOptions options;
+  options.sync_each_append = false;
+  MetricRegistry metrics;
+  auto wal = WalWriter::Open(Dir(), options, nullptr, &metrics).ValueOrDie();
+  ASSERT_TRUE(wal->Append("a").ok());
+  ASSERT_TRUE(wal->Append("b").ok());
+  double syncs_before = metrics.GetCounter(kMetricWalSyncs)->value();
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(metrics.GetCounter(kMetricWalSyncs)->value(), syncs_before + 1);
+  // A second Sync with nothing dirty is a no-op barrier.
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(metrics.GetCounter(kMetricWalSyncs)->value(), syncs_before + 1);
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

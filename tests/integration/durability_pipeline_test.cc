@@ -1,0 +1,190 @@
+#include <filesystem>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/metric_names.h"
+#include "dw/recovery.h"
+#include "dw/snapshot.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+const char kQ1[] = "What is the temperature in Barcelona in January of 2004?";
+const char kQ2[] = "What is the temperature in Madrid in January of 2004?";
+
+/// Every fact row rendered column-by-column — the comparison unit for
+/// "recovery restores the byte-identical row set the live feed loaded".
+std::multiset<std::string> WeatherRows(const dw::Warehouse& wh) {
+  const dw::Table* table = wh.FactTable("Weather").ValueOrDie();
+  std::multiset<std::string> rows;
+  for (size_t r = 0; r < table->row_count(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < table->column_count(); ++c) {
+      row += table->Get(r, c).ToString() + "|";
+    }
+    rows.insert(row);
+  }
+  return rows;
+}
+
+class DurabilityPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    uml_ = LastMinuteSales::MakeUmlModel();
+    web::WebConfig config;
+    config.cities = {"Barcelona", "Madrid"};
+    config.months = {1};
+    web_ = std::make_unique<web::SyntheticWeb>(
+        web::SyntheticWeb::Build(config).ValueOrDie());
+    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_durability_pipeline";
+    stdfs::remove_all(dir_);
+  }
+  void TearDown() override { stdfs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  PipelineConfig DurableConfig() {
+    PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
+    config.resilience.durability.dir = Dir();
+    return config;
+  }
+
+  ontology::UmlModel uml_;
+  std::unique_ptr<web::SyntheticWeb> web_;
+  stdfs::path dir_;
+};
+
+/// The tentpole wiring, end to end: a durable feed logs every loaded fact
+/// to the WAL before the warehouse sees it, a flush snapshots + garbage
+/// collects, and Recovery::Open on the durability directory rebuilds the
+/// byte-identical Weather row set.
+TEST_F(DurabilityPipelineTest, FeedFlushRecoverRoundTrip) {
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline p(&wh, &uml_, DurableConfig());
+  ASSERT_TRUE(p.RunAll(&web_->documents()).ok());
+  auto report = p.RunStep5({kQ1, kQ2}, "Weather", "temperature");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GT(report->rows_loaded, 0u);
+
+  // Every loaded row was WAL-logged first: one LSN per loaded row.
+  EXPECT_EQ(p.wal_last_lsn(), report->rows_loaded);
+  EXPECT_EQ(p.metrics()->Value(kMetricWalAppends),
+            double(report->rows_loaded));
+  EXPECT_EQ(p.metrics()->Value(kMetricWalLastLsn),
+            double(report->rows_loaded));
+  EXPECT_GT(p.metrics()->Value(kMetricWalAppendBytes), 0.0);
+
+  // Flush: snapshot at the current LSN, covered segments dropped.
+  ASSERT_TRUE(p.FlushDurability().ok());
+  auto snapshots = dw::ListSnapshots(Dir()).ValueOrDie();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].lsn, p.wal_last_lsn());
+
+  // A restarted process recovers the identical warehouse.
+  dw::RecoveryOptions options;
+  options.bootstrap_schema = LastMinuteSales::MakeSchema();
+  auto recovered = dw::Recovery::Open(Dir(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->snapshot_lsn, p.wal_last_lsn());
+  EXPECT_EQ(WeatherRows(recovered->warehouse), WeatherRows(wh));
+  EXPECT_TRUE(recovered->quarantine.empty());
+
+  auto fsck = dw::Fsck(Dir()).ValueOrDie();
+  EXPECT_TRUE(fsck.clean())
+      << (fsck.issues.empty() ? "" : fsck.issues[0]);
+}
+
+/// Without a flush, the WAL alone carries the state: cold-start replay
+/// through the bootstrap schema rebuilds every loaded row.
+TEST_F(DurabilityPipelineTest, WalOnlyReplayRestoresTheRows) {
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline p(&wh, &uml_, DurableConfig());
+  ASSERT_TRUE(p.RunAll(&web_->documents()).ok());
+  auto report = p.RunStep5({kQ1, kQ2}, "Weather", "temperature");
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->rows_loaded, 0u);
+
+  dw::RecoveryOptions options;
+  options.bootstrap_schema = LastMinuteSales::MakeSchema();
+  auto recovered = dw::Recovery::Open(Dir(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->snapshot_lsn, 0u);
+  EXPECT_EQ(recovered->replayed, report->rows_loaded);
+  EXPECT_EQ(WeatherRows(recovered->warehouse), WeatherRows(wh));
+}
+
+/// Satellite 2 end to end: the checkpoint written by a durable feed
+/// records the WAL position, and a checkpoint claiming progress beyond
+/// the recovered LSN is rejected with a typed error instead of silently
+/// skipping questions the durable data never saw.
+TEST_F(DurabilityPipelineTest, StaleCheckpointAheadOfTheWalIsRejected) {
+  PipelineConfig config = DurableConfig();
+  config.resilience.checkpoint_path = Dir() + "/feed.ckpt";
+  {
+    auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+    IntegrationPipeline p(&wh, &uml_, config);
+    ASSERT_TRUE(p.RunAll(&web_->documents()).ok());
+    auto report = p.RunStep5({kQ1, kQ2}, "Weather", "temperature");
+    ASSERT_TRUE(report.ok());
+    ASSERT_GT(report->rows_loaded, 0u);
+    // The saved checkpoint records exactly the log's position.
+    auto checkpoint =
+        FeedCheckpointFile::Load(config.resilience.checkpoint_path)
+            .ValueOrDie();
+    EXPECT_EQ(checkpoint.wal_lsn, p.wal_last_lsn());
+  }
+
+  // Forge a checkpoint from "the future": its recorded WAL position
+  // exceeds anything this log ever assigned.
+  auto checkpoint =
+      FeedCheckpointFile::Load(config.resilience.checkpoint_path)
+          .ValueOrDie();
+  checkpoint.wal_lsn = 1000000;
+  ASSERT_TRUE(FeedCheckpointFile::Save(checkpoint,
+                                       config.resilience.checkpoint_path)
+                  .ok());
+
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline p(&wh, &uml_, config);
+  ASSERT_TRUE(p.RunAll(&web_->documents()).ok());
+  auto report = p.RunStep5({kQ1, kQ2}, "Weather", "temperature");
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsOutOfRange()) << report.status().ToString();
+  EXPECT_NE(report.status().message().find("stale checkpoint"),
+            std::string::npos);
+}
+
+/// A second RunStep5 on the same pipeline appends to the same log — LSNs
+/// continue, nothing is re-logged for deduplicated facts.
+TEST_F(DurabilityPipelineTest, SecondBatchContinuesTheLogWithoutRelogging) {
+  auto wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  IntegrationPipeline p(&wh, &uml_, DurableConfig());
+  ASSERT_TRUE(p.RunAll(&web_->documents()).ok());
+  auto first = p.RunStep5({kQ1}, "Weather", "temperature");
+  ASSERT_TRUE(first.ok());
+  uint64_t lsn_after_first = p.wal_last_lsn();
+  ASSERT_GT(lsn_after_first, 0u);
+
+  // Re-asking the same question dedups every fact: no new WAL records.
+  auto again = p.RunStep5({kQ1}, "Weather", "temperature");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows_loaded, 0u);
+  EXPECT_EQ(p.wal_last_lsn(), lsn_after_first);
+
+  // A genuinely new question extends the log.
+  auto second = p.RunStep5({kQ2}, "Weather", "temperature");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(p.wal_last_lsn(), lsn_after_first + second->rows_loaded);
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa
