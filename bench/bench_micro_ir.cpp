@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "bench/bench_json_main.h"
 
 #include "ir/inverted_index.h"
@@ -76,6 +80,79 @@ void BM_PassageIndexBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PassageIndexBuild);
+
+// ---------------------------------------------------------------------------
+// Corpus-size sweep for the segmented index cores (36 / 1k / 10k docs):
+// full rebuild grows with the corpus, appending one document to a built
+// index must stay flat (memtable insert + amortized seal/merge), and
+// querying the merged manifest shows the block-max search cost.
+
+/// Deterministic short document — enough shared vocabulary for real
+/// posting lists, enough variation for distinct postings.
+std::string SweepDoc(size_t i) {
+  static const char* kCities[] = {"Barcelona", "Madrid", "Valencia",
+                                  "Seville"};
+  std::ostringstream out;
+  out << "The temperature in " << kCities[i % 4] << " on day "
+      << (i % 28 + 1) << " of January was " << (i % 30)
+      << " degrees. Flights from terminal " << (i % 9) << " were "
+      << ((i % 2 != 0) ? "delayed" : "punctual") << " that morning.";
+  return out.str();
+}
+
+void BM_SegmentedFullBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::string> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) docs.push_back(SweepDoc(i));
+  for (auto _ : state) {
+    InvertedIndex index;
+    for (size_t i = 0; i < n; ++i) {
+      index.AddDocument(dwqa::ir::DocId(i), docs[i]);
+    }
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+BENCHMARK(BM_SegmentedFullBuild)
+    ->Arg(36)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SegmentedIncrementalIngest(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  InvertedIndex index;
+  for (size_t i = 0; i < n; ++i) {
+    index.AddDocument(dwqa::ir::DocId(i), SweepDoc(i));
+  }
+  // Pre-render the appended text so only the index append is timed.
+  std::vector<std::string> extra;
+  for (size_t i = 0; i < 1024; ++i) extra.push_back(SweepDoc(n + i));
+  size_t next = n;
+  for (auto _ : state) {
+    index.AddDocument(dwqa::ir::DocId(next), extra[(next - n) % 1024]);
+    ++next;
+  }
+}
+BENCHMARK(BM_SegmentedIncrementalIngest)->Arg(36)->Arg(1000)->Arg(10000);
+
+void BM_SegmentedMergedQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  dwqa::ir::SegmentedIndexOptions options;
+  options.seal_every = 8;
+  options.merge_trigger = 4;
+  InvertedIndex index(options);
+  for (size_t i = 0; i < n; ++i) {
+    index.AddDocument(dwqa::ir::DocId(i), SweepDoc(i));
+  }
+  index.WaitForMerges();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Search("temperature Barcelona January degrees"));
+  }
+}
+BENCHMARK(BM_SegmentedMergedQuery)->Arg(36)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

@@ -1,7 +1,10 @@
 // serve — QA-as-a-service on stdin/stdout: a long-lived, multi-tenant
 // serving loop speaking the framed DWQA1 protocol (docs/SERVING.md).
 // Two tenants ("alpha" and "beta") are registered over the synthetic web,
-// each with its own pipeline, answer cache and circuit breaker.
+// each with its own pipeline, answer cache and circuit breaker. Tenant
+// alpha owns a mutable copy of the corpus, so its `ingest` endpoint is
+// live: a document posted in the frame payload becomes searchable
+// without a reindex (DESIGN.md §14).
 //
 //   printf 'DWQA1 %s' "$(printf 'endpoint=ask\nid=1\ntenant=alpha\nq=What is the temperature in Barcelona in January of 2004?\n' | wc -c)" \
 //     && printf '\nendpoint=ask\nid=1\ntenant=alpha\nq=...\n'
@@ -17,6 +20,7 @@
 #include <csignal>
 #include <iostream>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/date.h"
@@ -49,6 +53,12 @@ int main() {
   config.admission.per_tenant_concurrency = 8;
   serve::QaServer server(config);
 
+  // Alpha's corpus copy stays mutable so the ingest endpoint can append.
+  ir::DocumentStore alpha_docs;
+  for (const ir::Document& doc : webb.documents().documents()) {
+    alpha_docs.Add(doc.url, doc.title, doc.format, doc.raw);
+  }
+
   std::vector<std::unique_ptr<dw::Warehouse>> warehouses;
   for (const char* name : {"alpha", "beta"}) {
     auto wh = std::make_unique<dw::Warehouse>(
@@ -64,6 +74,10 @@ int main() {
     tenant.warehouse = wh.get();
     tenant.uml = &uml;
     tenant.docs = &webb.documents();
+    if (std::string_view(name) == "alpha") {
+      tenant.docs = &alpha_docs;
+      tenant.ingest_docs = &alpha_docs;
+    }
     tenant.pipeline = LastMinuteSales::DefaultPipelineConfig();
     tenant.breaker.enabled = true;
     if (auto st = server.AddTenant(tenant); !st.ok()) {

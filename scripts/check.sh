@@ -89,6 +89,18 @@ if [ -n "$SANITIZE" ]; then
     echo "check.sh: durability suite FAILED under -fsanitize=$SANITIZE" >&2
     exit 1
   fi
+
+  # The segmented-index suite once more under the sanitizers: delta+varint
+  # decoding, block skipping and the merge/query races are exactly where
+  # an off-by-one walks off a postings buffer.
+  echo
+  echo "##### segmented-index suite under sanitizers (ctest -L index) #####"
+  if ! ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+       ctest --test-dir "$ROOT/$SAN_DIR" -L index --output-on-failure; then
+    echo "check.sh: segmented-index suite FAILED under -fsanitize=$SANITIZE" >&2
+    exit 1
+  fi
 fi
 
 if [ "${DWQA_SKIP_BENCHES:-0}" != 1 ]; then

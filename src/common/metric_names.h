@@ -52,6 +52,46 @@ inline constexpr char kMetricIrDocLookupLatency[] =
     "dwqa_ir_doc_lookup_latency_ms";
 /// @}
 
+/// \name Segmented index cores (ir/segmented_index.h)
+///
+/// All families carry the label {index = "doc" | "passage"} — one series
+/// per index kind.
+/// @{
+/// Gauge, labels {index}: sealed segments currently in the manifest.
+inline constexpr char kMetricIndexSegments[] = "dwqa_index_segments";
+/// Counter, labels {index}: memtables sealed into immutable segments.
+inline constexpr char kMetricIndexSeals[] = "dwqa_index_seals_total";
+/// Counter, labels {index}: tiered segment merges run (background or
+/// inline).
+inline constexpr char kMetricIndexMerges[] = "dwqa_index_merges_total";
+/// Histogram, labels {index}: wall-clock latency of one segment merge.
+inline constexpr char kMetricIndexMergeLatency[] =
+    "dwqa_index_merge_latency_ms";
+/// Gauge, labels {index}: compressed postings bytes across sealed segments.
+inline constexpr char kMetricIndexPostingsBytes[] =
+    "dwqa_index_postings_bytes";
+/// Counter, labels {index}: whole segments skipped by the top-k score
+/// bound without opening a postings list.
+inline constexpr char kMetricIndexPrunedSegments[] =
+    "dwqa_index_pruned_segments_total";
+/// Counter, labels {index}: posting blocks stepped over undecoded by the
+/// block-max bound (single-term document queries).
+inline constexpr char kMetricIndexPrunedBlocks[] =
+    "dwqa_index_pruned_blocks_total";
+/// Counter, labels {index}: candidate documents skipped unscored by the
+/// block-max / repeat-bonus score bound.
+inline constexpr char kMetricIndexPrunedCandidates[] =
+    "dwqa_index_pruned_candidates_total";
+/// Counter, labels {index}: candidate sentence windows skipped unscored
+/// when their document was pruned (passage index only).
+inline constexpr char kMetricIndexPrunedWindows[] =
+    "dwqa_index_pruned_windows_total";
+/// Counter: documents made searchable through the incremental-ingest path
+/// (AliQAn::IngestNewDocuments) — appends, never rebuilds.
+inline constexpr char kMetricIndexIngestDocs[] =
+    "dwqa_index_ingest_docs_total";
+/// @}
+
 /// \name QA search and indexation phases (qa/aliqan.h)
 /// @{
 /// Counter: questions put through the search phase (Ask/AskWith calls,

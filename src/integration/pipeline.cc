@@ -182,6 +182,15 @@ Status IntegrationPipeline::IndexCorpus(const ir::DocumentStore* docs) {
   return st;
 }
 
+Result<size_t> IntegrationPipeline::IngestNewDocuments() {
+  DWQA_RETURN_NOT_OK(config_status_);
+  if (aliqan_ == nullptr) {
+    return Status::Internal(
+        "IndexCorpus must run before incremental ingest");
+  }
+  return aliqan_->IngestNewDocuments();
+}
+
 Status IntegrationPipeline::RunAll(const ir::DocumentStore* docs) {
   DWQA_RETURN_NOT_OK(RunStep1());
   DWQA_RETURN_NOT_OK(RunStep2());

@@ -235,6 +235,13 @@ class IntegrationPipeline {
   /// ontology). `docs` must outlive the pipeline.
   Status IndexCorpus(const ir::DocumentStore* docs);
 
+  /// Incremental ingest: indexes every document appended to the store
+  /// since IndexCorpus (or the previous ingest) — an append into the QA
+  /// system's segmented indexes, cost proportional to the new documents
+  /// only. Returns the number of documents ingested; they are answerable
+  /// by Ask/RunStep5 on return.
+  Result<size_t> IngestNewDocuments();
+
   /// Steps 1–4 plus corpus indexation.
   Status RunAll(const ir::DocumentStore* docs);
 

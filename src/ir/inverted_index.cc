@@ -1,8 +1,6 @@
 #include "ir/inverted_index.h"
 
 #include <algorithm>
-#include <cmath>
-#include <sstream>
 
 #include "common/metric_names.h"
 #include "common/string_util.h"
@@ -11,27 +9,12 @@
 namespace dwqa {
 namespace ir {
 
-void InvertedIndex::Commit(DocId doc_id,
-                           const std::unordered_map<TermId, uint32_t>& tf,
-                           size_t doc_len) {
-  for (const auto& [term, freq] : tf) {
-    postings_[term].push_back({doc_id, freq});
-  }
-  doc_lengths_[doc_id] = doc_len;
-}
+namespace {
 
-void InvertedIndex::AddDocument(DocId doc_id, const std::string& text) {
-  std::unordered_map<TermId, uint32_t> tf;
-  size_t doc_len = 0;
-  for (const std::string& term : DocumentTerms(text)) {
-    ++tf[dict_->Intern(term)];
-    ++doc_len;
-  }
-  Commit(doc_id, tf, doc_len);
-}
-
-void InvertedIndex::AddAnalyzed(DocId doc_id,
-                                const text::AnalyzedDocument& analysis) {
+/// Term-frequency extraction shared by the add paths: the tf map plus the
+/// document length (kept terms, duplicates included).
+std::pair<std::unordered_map<TermId, uint32_t>, size_t> AnalyzedTf(
+    const text::AnalyzedDocument& analysis) {
   std::unordered_map<TermId, uint32_t> tf;
   size_t doc_len = 0;
   for (const text::AnalyzedSentence& s : analysis.sentences) {
@@ -41,40 +24,59 @@ void InvertedIndex::AddAnalyzed(DocId doc_id,
       ++doc_len;
     }
   }
-  Commit(doc_id, tf, doc_len);
+  return {std::move(tf), doc_len};
+}
+
+}  // namespace
+
+void InvertedIndex::AddDocument(DocId doc_id, const std::string& text) {
+  std::unordered_map<TermId, uint32_t> tf;
+  size_t doc_len = 0;
+  for (const std::string& term : DocumentTerms(text)) {
+    ++tf[dict_->Intern(term)];
+    ++doc_len;
+  }
+  core_->Add(doc_id, tf, doc_len);
+}
+
+void InvertedIndex::AddAnalyzed(DocId doc_id,
+                                const text::AnalyzedDocument& analysis) {
+  auto [tf, doc_len] = AnalyzedTf(analysis);
+  core_->Add(doc_id, tf, doc_len);
+}
+
+void InvertedIndex::AddAnalyzedBatch(
+    const std::vector<std::pair<DocId, const text::AnalyzedDocument*>>& docs,
+    ThreadPool* pool) {
+  size_t shard_count = pool == nullptr ? 1 : std::max<size_t>(
+                                                 1, pool->worker_count());
+  shard_count = std::min(shard_count, std::max<size_t>(1, docs.size()));
+  size_t per_shard = (docs.size() + shard_count - 1) / shard_count;
+  std::vector<DocSegment::Builder> shards(shard_count);
+  auto build_shard = [&](size_t s) {
+    size_t begin = s * per_shard;
+    size_t end = std::min(begin + per_shard, docs.size());
+    for (size_t i = begin; i < end; ++i) {
+      auto [tf, doc_len] = AnalyzedTf(*docs[i].second);
+      shards[s].Add(docs[i].first, tf, doc_len);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(shard_count, build_shard);
+  } else {
+    for (size_t s = 0; s < shard_count; ++s) build_shard(s);
+  }
+  core_->AddSealedShards(std::move(shards), pool);
 }
 
 size_t InvertedIndex::DocFreq(const std::string& term) const {
   TermId id = dict_->Find(ToLower(term));
   if (id == kInvalidTermId) return 0;
-  auto it = postings_.find(id);
-  return it == postings_.end() ? 0 : it->second.size();
-}
-
-std::string InvertedIndex::DebugString() const {
-  std::ostringstream out;
-  std::vector<TermId> term_ids;
-  term_ids.reserve(postings_.size());
-  for (const auto& [term, unused] : postings_) term_ids.push_back(term);
-  std::sort(term_ids.begin(), term_ids.end());
-  for (TermId term : term_ids) {
-    out << term << '=' << dict_->Term(term) << ':';
-    for (const Posting& p : postings_.at(term)) {
-      out << ' ' << p.doc << 'x' << p.tf;
-    }
-    out << '\n';
-  }
-  std::vector<DocId> docs;
-  docs.reserve(doc_lengths_.size());
-  for (const auto& [doc, unused] : doc_lengths_) docs.push_back(doc);
-  std::sort(docs.begin(), docs.end());
-  for (DocId doc : docs) {
-    out << "len " << doc << '=' << doc_lengths_.at(doc) << '\n';
-  }
-  return out.str();
+  return core_->DocFreq(id);
 }
 
 void InvertedIndex::set_metrics(MetricRegistry* metrics) {
+  core_->set_metrics(metrics, "doc");
   if (metrics == nullptr) {
     lookup_counter_ = nullptr;
     lookup_latency_ = nullptr;
@@ -91,39 +93,7 @@ std::vector<DocHit> InvertedIndex::Search(const std::string& query,
                                           size_t k) const {
   ScopedLatencyTimer timer(lookup_latency_);
   if (lookup_counter_ != nullptr) lookup_counter_->Increment();
-  const double n_docs = static_cast<double>(doc_lengths_.size());
-  std::unordered_map<DocId, DocHit> acc;
-  std::vector<std::string> terms = DocumentTerms(query);
-  // Deduplicate query terms: each distinct term contributes once.
-  std::sort(terms.begin(), terms.end());
-  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-  for (const std::string& term : terms) {
-    TermId id = dict_->Find(term);
-    if (id == kInvalidTermId) continue;
-    auto it = postings_.find(id);
-    if (it == postings_.end()) continue;
-    double idf =
-        std::log((n_docs + 1.0) / (static_cast<double>(it->second.size())));
-    for (const Posting& p : it->second) {
-      auto len_it = doc_lengths_.find(p.doc);
-      double len = len_it == doc_lengths_.end() || len_it->second == 0
-                       ? 1.0
-                       : static_cast<double>(len_it->second);
-      DocHit& hit = acc[p.doc];
-      hit.doc = p.doc;
-      hit.score += (static_cast<double>(p.tf) / std::sqrt(len)) * idf;
-      ++hit.matched_terms;
-    }
-  }
-  std::vector<DocHit> hits;
-  hits.reserve(acc.size());
-  for (auto& [doc, hit] : acc) hits.push_back(hit);
-  std::sort(hits.begin(), hits.end(), [](const DocHit& a, const DocHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;  // Deterministic tie-break.
-  });
-  if (hits.size() > k) hits.resize(k);
-  return hits;
+  return core_->SearchTopK(ResolveDocumentQuery(query, *dict_), k);
 }
 
 }  // namespace ir

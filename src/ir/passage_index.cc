@@ -1,13 +1,11 @@
 #include "ir/passage_index.h"
 
 #include <algorithm>
-#include <cmath>
-#include <map>
 #include <set>
-#include <sstream>
 
 #include "common/metric_names.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "ir/term_pipeline.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
@@ -15,70 +13,87 @@
 namespace dwqa {
 namespace ir {
 
-void PassageIndex::AddDocument(DocId doc_id, const std::string& text) {
-  std::vector<std::string> sents = text::SentenceSplitter::Split(text);
-  for (size_t s = 0; s < sents.size(); ++s) {
-    std::set<TermId> seen;
-    for (const text::Token& t : text::Tokenizer::Tokenize(sents[s])) {
-      if (!IsPassageTerm(t)) continue;
-      TermId id = dict_->Intern(t.lower);
-      if (seen.insert(id).second) {
-        postings_[id].push_back({doc_id, static_cast<uint32_t>(s)});
-      }
-    }
-  }
-  sentences_[doc_id] = std::move(sents);
-}
+namespace {
 
-void PassageIndex::AddAnalyzed(DocId doc_id,
-                               const text::AnalyzedDocument& analysis) {
-  std::vector<std::string> sents;
-  sents.reserve(analysis.sentences.size());
+/// Per-sentence distinct-term extraction from a cached analysis (the gate
+/// and the first-occurrence dedup of the raw AddDocument path, minus the
+/// tokenization it no longer needs).
+std::vector<std::vector<TermId>> AnalyzedSentenceTerms(
+    const text::AnalyzedDocument& analysis) {
+  std::vector<std::vector<TermId>> sentence_terms(analysis.sentences.size());
   for (size_t s = 0; s < analysis.sentences.size(); ++s) {
     const text::AnalyzedSentence& sentence = analysis.sentences[s];
     std::set<TermId> seen;
     for (size_t i = 0; i < sentence.tokens.size(); ++i) {
       if (!IsPassageTerm(sentence.tokens[i])) continue;
       if (seen.insert(sentence.token_ids[i]).second) {
-        postings_[sentence.token_ids[i]].push_back(
-            {doc_id, static_cast<uint32_t>(s)});
+        sentence_terms[s].push_back(sentence.token_ids[i]);
       }
     }
+  }
+  return sentence_terms;
+}
+
+std::vector<std::string> AnalyzedSentenceTexts(
+    const text::AnalyzedDocument& analysis) {
+  std::vector<std::string> sents;
+  sents.reserve(analysis.sentences.size());
+  for (const text::AnalyzedSentence& sentence : analysis.sentences) {
     sents.push_back(sentence.text);
   }
-  sentences_[doc_id] = std::move(sents);
+  return sents;
 }
 
-const std::vector<std::string>& PassageIndex::Sentences(DocId doc_id) const {
-  static const std::vector<std::string> kEmpty;
-  auto it = sentences_.find(doc_id);
-  return it == sentences_.end() ? kEmpty : it->second;
-}
+}  // namespace
 
-std::string PassageIndex::DebugString() const {
-  std::ostringstream out;
-  std::vector<TermId> term_ids;
-  term_ids.reserve(postings_.size());
-  for (const auto& [term, unused] : postings_) term_ids.push_back(term);
-  std::sort(term_ids.begin(), term_ids.end());
-  for (TermId term : term_ids) {
-    out << term << '=' << dict_->Term(term) << ':';
-    for (const SentenceRef& ref : postings_.at(term)) {
-      out << ' ' << ref.doc << '.' << ref.sentence;
+void PassageIndex::AddDocument(DocId doc_id, const std::string& text) {
+  std::vector<std::string> sents = text::SentenceSplitter::Split(text);
+  std::vector<std::vector<TermId>> sentence_terms(sents.size());
+  for (size_t s = 0; s < sents.size(); ++s) {
+    std::set<TermId> seen;
+    for (const text::Token& t : text::Tokenizer::Tokenize(sents[s])) {
+      if (!IsPassageTerm(t)) continue;
+      TermId id = dict_->Intern(t.lower);
+      if (seen.insert(id).second) sentence_terms[s].push_back(id);
     }
-    out << '\n';
   }
-  std::vector<DocId> docs;
-  docs.reserve(sentences_.size());
-  for (const auto& [doc, unused] : sentences_) docs.push_back(doc);
-  std::sort(docs.begin(), docs.end());
-  for (DocId doc : docs) {
-    out << "sentences " << doc << '=' << sentences_.at(doc).size() << '\n';
+  core_->Add(doc_id, std::move(sents), sentence_terms);
+}
+
+void PassageIndex::AddAnalyzed(DocId doc_id,
+                               const text::AnalyzedDocument& analysis) {
+  core_->Add(doc_id, AnalyzedSentenceTexts(analysis),
+             AnalyzedSentenceTerms(analysis));
+}
+
+void PassageIndex::AddAnalyzedBatch(
+    const std::vector<std::pair<DocId, const text::AnalyzedDocument*>>& docs,
+    ThreadPool* pool) {
+  size_t shard_count = pool == nullptr ? 1 : std::max<size_t>(
+                                                 1, pool->worker_count());
+  shard_count = std::min(shard_count, std::max<size_t>(1, docs.size()));
+  size_t per_shard = (docs.size() + shard_count - 1) / shard_count;
+  std::vector<PassageSegment::Builder> shards(shard_count);
+  std::vector<std::pair<DocId, std::vector<std::string>>> sentences(
+      docs.size());
+  auto build_shard = [&](size_t s) {
+    size_t begin = s * per_shard;
+    size_t end = std::min(begin + per_shard, docs.size());
+    for (size_t i = begin; i < end; ++i) {
+      shards[s].Add(docs[i].first, AnalyzedSentenceTerms(*docs[i].second));
+      sentences[i] = {docs[i].first, AnalyzedSentenceTexts(*docs[i].second)};
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(shard_count, build_shard);
+  } else {
+    for (size_t s = 0; s < shard_count; ++s) build_shard(s);
   }
-  return out.str();
+  core_->AddSealedShards(std::move(shards), std::move(sentences), pool);
 }
 
 void PassageIndex::set_metrics(MetricRegistry* metrics) {
+  core_->set_metrics(metrics, "passage");
   if (metrics == nullptr) {
     lookup_counter_ = nullptr;
     lookup_latency_ = nullptr;
@@ -95,102 +110,7 @@ std::vector<Passage> PassageIndex::Search(const std::string& query,
                                           size_t k) const {
   ScopedLatencyTimer timer(lookup_latency_);
   if (lookup_counter_ != nullptr) lookup_counter_->Increment();
-  std::vector<std::string> terms = PassageTerms(query);
-  std::sort(terms.begin(), terms.end());
-  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-  if (terms.empty()) return {};
-  const double n_docs = static_cast<double>(sentences_.size());
-
-  // Per document: the matched sentences, each with the set of query terms
-  // it contains (term index → idf). Window scoring is presence-based — a
-  // term contributes its full idf once per window plus a small bonus per
-  // extra occurrence — so a page repeating "January ... 2004" on every line
-  // does not drown out a page covering *all* the query terms.
-  struct SentenceHit {
-    uint32_t sentence;
-    size_t term;
-  };
-  std::map<DocId, std::vector<SentenceHit>> by_doc;
-  std::vector<double> idf(terms.size(), 0.0);
-  for (size_t t = 0; t < terms.size(); ++t) {
-    TermId id = dict_->Find(terms[t]);
-    if (id == kInvalidTermId) continue;
-    auto it = postings_.find(id);
-    if (it == postings_.end()) continue;
-    std::set<DocId> docs;
-    for (const SentenceRef& ref : it->second) docs.insert(ref.doc);
-    idf[t] =
-        std::log((n_docs + 1.0) / static_cast<double>(docs.size()));
-    for (const SentenceRef& ref : it->second) {
-      by_doc[ref.doc].push_back({ref.sentence, t});
-    }
-  }
-  if (by_doc.empty()) return {};
-
-  constexpr double kRepeatBonus = 0.05;
-  std::vector<Passage> all;
-  for (const auto& [doc, doc_hits] : by_doc) {
-    size_t n_sents = Sentences(doc).size();
-    // Candidate windows start at each matched sentence.
-    std::set<uint32_t> starts;
-    for (const SentenceHit& h : doc_hits) starts.insert(h.sentence);
-    for (uint32_t first : starts) {
-      size_t last = std::min(n_sents == 0 ? size_t(first) : n_sents - 1,
-                             size_t(first) + window_ - 1);
-      std::vector<size_t> occurrences(terms.size(), 0);
-      for (const SentenceHit& h : doc_hits) {
-        if (h.sentence >= first && h.sentence <= last) {
-          ++occurrences[h.term];
-        }
-      }
-      double score = 0.0;
-      for (size_t t = 0; t < terms.size(); ++t) {
-        if (occurrences[t] == 0) continue;
-        score += idf[t] +
-                 kRepeatBonus * idf[t] *
-                     static_cast<double>(occurrences[t] - 1);
-      }
-      Passage p;
-      p.doc = doc;
-      p.first_sentence = first;
-      p.last_sentence = last;
-      p.score = score;
-      all.push_back(p);
-    }
-  }
-
-  // Rank: all candidate windows, deduplicated per (doc, first) and capped.
-  std::sort(all.begin(), all.end(), [](const Passage& a, const Passage& b) {
-    if (a.score != b.score) return a.score > b.score;
-    if (a.doc != b.doc) return a.doc < b.doc;
-    return a.first_sentence < b.first_sentence;
-  });
-  std::vector<Passage> out;
-  std::set<std::pair<DocId, size_t>> taken;
-  for (const Passage& p : all) {
-    if (out.size() >= k) break;
-    // Skip windows overlapping an already selected window of the same doc.
-    bool overlaps = false;
-    for (const Passage& sel : out) {
-      if (sel.doc == p.doc && p.first_sentence <= sel.last_sentence &&
-          sel.first_sentence <= p.last_sentence) {
-        overlaps = true;
-        break;
-      }
-    }
-    if (overlaps) continue;
-    Passage chosen = p;
-    const std::vector<std::string>& sents = Sentences(p.doc);
-    std::string text;
-    for (size_t s = chosen.first_sentence;
-         s <= chosen.last_sentence && s < sents.size(); ++s) {
-      if (!text.empty()) text += '\n';
-      text += sents[s];
-    }
-    chosen.text = std::move(text);
-    out.push_back(std::move(chosen));
-  }
-  return out;
+  return core_->SearchTopK(ResolvePassageQuery(query, *dict_), k);
 }
 
 }  // namespace ir

@@ -4,14 +4,20 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/interner.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "ir/document.h"
+#include "ir/segmented_index.h"
 #include "text/analyzed_corpus.h"
 
 namespace dwqa {
+
+class ThreadPool;
+
 namespace ir {
 
 /// \brief A passage: `size` consecutive sentences of one document (the
@@ -38,23 +44,37 @@ struct Passage {
 /// highly decreased" (§1).
 ///
 /// Postings are keyed by TermId (see ir/term_pipeline.h for the shared
-/// filtering gate). Like InvertedIndex, the index owns a dictionary unless
-/// constructed over a shared one, in which case AddAnalyzed reuses the
-/// corpus's cached token ids.
+/// filtering gate and ResolvePassageQuery for the query side). Like
+/// InvertedIndex, the index owns a dictionary unless constructed over a
+/// shared one, in which case AddAnalyzed reuses the corpus's cached token
+/// ids.
+///
+/// Storage is the LSM-style segmented core (ir/segmented_index.h): adds
+/// are incremental appends, and retrieval prunes candidate documents whose
+/// score bound cannot reach the current top-k instead of scoring every
+/// window — byte-identical results for every segment layout.
 class PassageIndex {
  public:
   /// `window` = number of consecutive sentences per passage (clamped to a
   /// minimum of one sentence).
-  explicit PassageIndex(size_t window = 8)
-      : window_(window < 1 ? 1 : window),
-        owned_(std::make_unique<TermDictionary>()),
-        dict_(owned_.get()) {}
+  explicit PassageIndex(size_t window = 8,
+                        const SegmentedIndexOptions& options = {})
+      : owned_(std::make_unique<TermDictionary>()),
+        dict_(owned_.get()),
+        core_(std::make_unique<SegmentedPassageIndex>(window, options)) {}
 
   /// Shares `dict` (must outlive the index).
-  PassageIndex(size_t window, TermDictionary* dict)
-      : window_(window < 1 ? 1 : window), dict_(dict) {}
+  PassageIndex(size_t window, TermDictionary* dict,
+               const SegmentedIndexOptions& options = {})
+      : dict_(dict),
+        core_(std::make_unique<SegmentedPassageIndex>(window, options)) {}
 
-  /// Splits and indexes the plain text of `doc_id`.
+  /// Movable (IndexCorpus replaces its indexes wholesale).
+  PassageIndex(PassageIndex&&) noexcept = default;
+  PassageIndex& operator=(PassageIndex&&) noexcept = default;
+
+  /// Splits and indexes the plain text of `doc_id` — an incremental
+  /// append; the document is searchable immediately.
   void AddDocument(DocId doc_id, const std::string& plain_text);
 
   /// Indexes a document from its cached indexation-time analysis: same
@@ -63,40 +83,56 @@ class PassageIndex {
   /// the corpus's dictionary.
   void AddAnalyzed(DocId doc_id, const text::AnalyzedDocument& analysis);
 
+  /// Bulk build: one sealed segment per contiguous shard of `docs`, shards
+  /// built and sealed concurrently on `pool`, appended in shard order —
+  /// postings byte-identical to the serial AddAnalyzed loop.
+  void AddAnalyzedBatch(
+      const std::vector<std::pair<DocId, const text::AnalyzedDocument*>>& docs,
+      ThreadPool* pool);
+
   /// Top-k passages for the query terms, best first. Adjacent overlapping
   /// windows of the same document are deduplicated (the best one is kept).
+  /// Safe concurrently with other searches and with background merges.
   std::vector<Passage> Search(const std::string& query, size_t k = 5) const;
 
-  /// The stored sentences of a document.
-  const std::vector<std::string>& Sentences(DocId doc_id) const;
+  /// The stored sentences of a document. The reference stays valid across
+  /// seals and merges (sentence text lives outside the segments).
+  const std::vector<std::string>& Sentences(DocId doc_id) const {
+    return core_->Sentences(doc_id);
+  }
 
-  size_t window() const { return window_; }
-  size_t document_count() const { return sentences_.size(); }
+  size_t window() const { return core_->window(); }
+  size_t document_count() const { return core_->document_count(); }
 
   /// Canonical dump — every postings list (with term strings, in TermId
   /// order, refs in insertion order) and per-document sentence counts. Used
-  /// by the serial↔parallel golden-equivalence suite; see
-  /// InvertedIndex::DebugString.
-  std::string DebugString() const;
+  /// by the golden-equivalence suites; see InvertedIndex::DebugString.
+  std::string DebugString() const { return core_->DebugString(*dict_); }
+
+  /// Seals the current memtable into a segment (test/ingest hook).
+  void SealMemtable() { core_->SealMemtable(); }
+  size_t sealed_segment_count() const {
+    return core_->sealed_segment_count();
+  }
+  /// Compressed postings bytes across sealed segments.
+  size_t postings_bytes() const { return core_->postings_bytes(); }
+  /// Blocks until no background merge is scheduled or running.
+  void WaitForMerges() const { core_->WaitForMerges(); }
 
   /// Attaches a metrics registry (may be null): every Search records
   /// `dwqa_ir_passage_lookups_total` and a
-  /// `dwqa_ir_passage_lookup_latency_ms` observation. Recording is
-  /// lock-free, so concurrent searchers are safe.
+  /// `dwqa_ir_passage_lookup_latency_ms` observation, and the segmented
+  /// core feeds the `dwqa_index_*` families under {index="passage"}.
+  /// Recording is lock-free, so concurrent searchers are safe.
   void set_metrics(MetricRegistry* metrics);
 
+  /// Trace sink for `index.seal` / inline `index.merge` spans (null off).
+  void set_trace(TraceRecorder* trace) { core_->set_trace(trace); }
+
  private:
-  size_t window_;
   std::unique_ptr<TermDictionary> owned_;  ///< Null when dict_ is shared.
   TermDictionary* dict_;
-  /// doc -> its sentences.
-  std::unordered_map<DocId, std::vector<std::string>> sentences_;
-  /// term -> (doc, sentence) occurrences.
-  struct SentenceRef {
-    DocId doc;
-    uint32_t sentence;
-  };
-  std::unordered_map<TermId, std::vector<SentenceRef>> postings_;
+  std::unique_ptr<SegmentedPassageIndex> core_;
   /// Cached instruments (null = observability off); stable registry
   /// pointers let Search record without re-resolving the series.
   Counter* lookup_counter_ = nullptr;

@@ -1,0 +1,223 @@
+#include "ir/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dwqa {
+namespace ir {
+
+void AppendVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+uint64_t ReadVarint(const std::string& bytes, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t byte = static_cast<uint8_t>(bytes[*pos]);
+    ++*pos;
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+PostingList EncodePostings(
+    const std::vector<std::pair<uint32_t, uint32_t>>& postings,
+    size_t block_postings, const std::function<double(size_t)>& weight) {
+  if (block_postings < 1) block_postings = 1;
+  PostingList list;
+  list.count = static_cast<uint32_t>(postings.size());
+  for (size_t begin = 0; begin < postings.size(); begin += block_postings) {
+    size_t end = std::min(begin + block_postings, postings.size());
+    PostingBlock block;
+    block.offset = static_cast<uint32_t>(list.bytes.size());
+    block.count = static_cast<uint32_t>(end - begin);
+    block.last_ordinal = postings[end - 1].first;
+    for (size_t i = begin; i < end; ++i) {
+      // First posting of a block stores its ordinal absolutely, the rest
+      // the delta from their predecessor — blocks decode independently.
+      uint32_t delta = i == begin ? postings[i].first
+                                  : postings[i].first - postings[i - 1].first;
+      AppendVarint(&list.bytes, delta);
+      AppendVarint(&list.bytes, postings[i].second);
+      block.max_weight = std::max(block.max_weight, weight(i));
+    }
+    list.max_weight = std::max(list.max_weight, block.max_weight);
+    list.blocks.push_back(block);
+  }
+  return list;
+}
+
+PostingCursor::PostingCursor(const PostingList* list) : list_(list) {
+  LoadBlockStart();
+}
+
+void PostingCursor::LoadBlockStart() {
+  if (done()) return;
+  pos_ = list_->blocks[block_].offset;
+  index_in_block_ = 0;
+  ordinal_ = static_cast<uint32_t>(ReadVarint(list_->bytes, &pos_));
+  payload_ = static_cast<uint32_t>(ReadVarint(list_->bytes, &pos_));
+}
+
+void PostingCursor::Next() {
+  ++index_in_block_;
+  if (index_in_block_ >= list_->blocks[block_].count) {
+    ++block_;
+    LoadBlockStart();
+    return;
+  }
+  ordinal_ += static_cast<uint32_t>(ReadVarint(list_->bytes, &pos_));
+  payload_ = static_cast<uint32_t>(ReadVarint(list_->bytes, &pos_));
+}
+
+bool PostingCursor::SkipBlock() {
+  ++block_;
+  LoadBlockStart();
+  return !done();
+}
+
+namespace {
+
+/// `tf / sqrt(len)` with the zero-length guard the monolithic index used —
+/// the TF part of the TF-IDF score, and therefore the per-posting weight
+/// whose block maxima make `idf * max_weight` a true score upper bound.
+double DocPostingWeight(uint32_t tf, uint32_t doc_len) {
+  double len = doc_len == 0 ? 1.0 : static_cast<double>(doc_len);
+  return static_cast<double>(tf) / std::sqrt(len);
+}
+
+}  // namespace
+
+void DocSegment::Builder::Add(DocId doc,
+                              const std::unordered_map<TermId, uint32_t>& tf,
+                              size_t doc_len) {
+  uint32_t ordinal = static_cast<uint32_t>(docs.size());
+  for (const auto& [term, freq] : tf) {
+    postings[term].push_back({ordinal, freq});
+  }
+  docs.push_back(doc);
+  lengths.push_back(static_cast<uint32_t>(doc_len));
+}
+
+std::shared_ptr<const DocSegment> DocSegment::Seal(Builder builder,
+                                                   size_t block_postings) {
+  std::shared_ptr<DocSegment> seg(new DocSegment());
+  seg->docs_ = std::move(builder.docs);
+  seg->lengths_ = std::move(builder.lengths);
+  for (auto& [term, pairs] : builder.postings) {
+    PostingList list = EncodePostings(
+        pairs, block_postings, [&pairs, seg = seg.get()](size_t i) {
+          return DocPostingWeight(pairs[i].second,
+                                  seg->lengths_[pairs[i].first]);
+        });
+    seg->postings_bytes_ += list.bytes.size();
+    seg->postings_.emplace(term, std::move(list));
+  }
+  return seg;
+}
+
+std::shared_ptr<const DocSegment> DocSegment::Merge(const DocSegment& left,
+                                                    const DocSegment& right,
+                                                    size_t block_postings) {
+  Builder builder;
+  builder.docs = left.docs_;
+  builder.docs.insert(builder.docs.end(), right.docs_.begin(),
+                      right.docs_.end());
+  builder.lengths = left.lengths_;
+  builder.lengths.insert(builder.lengths.end(), right.lengths_.begin(),
+                         right.lengths_.end());
+  uint32_t offset = static_cast<uint32_t>(left.doc_count());
+  for (const auto& [term, list] : left.postings_) {
+    auto& pairs = builder.postings[term];
+    pairs.reserve(list.count);
+    ForEachPosting(list, [&pairs](uint32_t ordinal, uint32_t tf) {
+      pairs.push_back({ordinal, tf});
+    });
+  }
+  for (const auto& [term, list] : right.postings_) {
+    auto& pairs = builder.postings[term];
+    pairs.reserve(pairs.size() + list.count);
+    ForEachPosting(list, [&pairs, offset](uint32_t ordinal, uint32_t tf) {
+      pairs.push_back({ordinal + offset, tf});
+    });
+  }
+  return Seal(std::move(builder), block_postings);
+}
+
+const PostingList* DocSegment::Find(TermId term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+void PassageSegment::Builder::Add(
+    DocId doc, const std::vector<std::vector<TermId>>& sentence_terms) {
+  uint32_t ordinal = static_cast<uint32_t>(docs.size());
+  for (uint32_t s = 0; s < sentence_terms.size(); ++s) {
+    for (TermId term : sentence_terms[s]) {
+      postings[term].push_back({ordinal, s});
+    }
+  }
+  docs.push_back(doc);
+}
+
+std::shared_ptr<const PassageSegment> PassageSegment::Seal(
+    Builder builder, size_t block_postings) {
+  std::shared_ptr<PassageSegment> seg(new PassageSegment());
+  seg->docs_ = std::move(builder.docs);
+  auto zero_weight = [](size_t) { return 0.0; };
+  for (auto& [term, pairs] : builder.postings) {
+    TermInfo info;
+    // Refs of one document are contiguous (ordinals are non-decreasing);
+    // one pass over the runs yields df and the max per-document run.
+    uint32_t run = 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      run = (i > 0 && pairs[i].first == pairs[i - 1].first) ? run + 1 : 1;
+      if (run == 1) ++info.doc_freq;
+      info.max_occurrences = std::max(info.max_occurrences, run);
+    }
+    info.list = EncodePostings(pairs, block_postings, zero_weight);
+    seg->postings_bytes_ += info.list.bytes.size();
+    seg->terms_.emplace(term, std::move(info));
+  }
+  return seg;
+}
+
+std::shared_ptr<const PassageSegment> PassageSegment::Merge(
+    const PassageSegment& left, const PassageSegment& right,
+    size_t block_postings) {
+  Builder builder;
+  builder.docs = left.docs_;
+  builder.docs.insert(builder.docs.end(), right.docs_.begin(),
+                      right.docs_.end());
+  uint32_t offset = static_cast<uint32_t>(left.doc_count());
+  for (const auto& [term, info] : left.terms_) {
+    auto& pairs = builder.postings[term];
+    pairs.reserve(info.list.count);
+    ForEachPosting(info.list, [&pairs](uint32_t ordinal, uint32_t sentence) {
+      pairs.push_back({ordinal, sentence});
+    });
+  }
+  for (const auto& [term, info] : right.terms_) {
+    auto& pairs = builder.postings[term];
+    pairs.reserve(pairs.size() + info.list.count);
+    ForEachPosting(info.list,
+                   [&pairs, offset](uint32_t ordinal, uint32_t sentence) {
+                     pairs.push_back({ordinal + offset, sentence});
+                   });
+  }
+  return Seal(std::move(builder), block_postings);
+}
+
+const PassageSegment::TermInfo* PassageSegment::Find(TermId term) const {
+  auto it = terms_.find(term);
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ir
+}  // namespace dwqa

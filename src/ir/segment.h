@@ -1,0 +1,240 @@
+#ifndef DWQA_IR_SEGMENT_H_
+#define DWQA_IR_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "ir/document.h"
+
+namespace dwqa {
+namespace ir {
+
+/// \file segment.h
+/// \brief Immutable sealed index segments — the storage unit of the
+/// LSM-style segmented indexes (ir/segmented_index.h).
+///
+/// A segment is built once from a batch of documents, sealed into
+/// delta+varint-compressed postings with per-block max-score metadata, and
+/// never mutated again; readers share it through `shared_ptr<const ...>`,
+/// so a background merge can swap the manifest under live queries without
+/// invalidating anything a reader already holds.
+///
+/// Documents inside a segment are addressed by a dense local *ordinal*
+/// (0-based insertion order) rather than their global DocId: ordinals are
+/// strictly increasing along every postings list, which is what makes the
+/// delta coding tight, and a per-segment ordinal→DocId table restores the
+/// global id at scoring time.
+
+/// Appends `value` to `out` in LEB128 (7 bits per byte, high bit = more).
+void AppendVarint(std::string* out, uint64_t value);
+
+/// Reads a varint at `*pos`, advancing it past the value. Segments are
+/// built and decoded in-process, never parsed from untrusted input, so a
+/// malformed byte stream is a programming error rather than a recoverable
+/// condition.
+uint64_t ReadVarint(const std::string& bytes, size_t* pos);
+
+/// \brief Skip metadata of one block of a postings list: enough to bound
+/// every score in the block (`max_weight`) and to step over it without
+/// decoding a byte (`offset`/`count`/`last_ordinal`).
+struct PostingBlock {
+  /// Byte offset of the block's first posting in PostingList::bytes.
+  uint32_t offset = 0;
+  /// Postings encoded in the block.
+  uint32_t count = 0;
+  /// Local ordinal of the block's last posting (upper bound for skips).
+  uint32_t last_ordinal = 0;
+  /// Max per-posting score weight in the block (block-max pruning bound);
+  /// 0 for lists whose postings carry no weight (passage sentence refs).
+  double max_weight = 0.0;
+};
+
+/// \brief One compressed postings list: (ordinal, payload) pairs —
+/// payload is the term frequency for document postings and the sentence
+/// number for passage postings — delta+varint coded in fixed-size blocks.
+///
+/// Within a block the first posting stores its ordinal absolutely and the
+/// rest store the (non-negative) delta from the previous posting, so every
+/// block decodes independently of its predecessors.
+struct PostingList {
+  std::string bytes;
+  std::vector<PostingBlock> blocks;
+  /// Total postings across all blocks.
+  uint32_t count = 0;
+  /// Max block max_weight — the list-level (segment-level) pruning bound.
+  double max_weight = 0.0;
+};
+
+/// Seals `postings` — (ordinal, payload) pairs with non-decreasing
+/// ordinals — into a compressed list with `block_postings` postings per
+/// block (clamped to ≥ 1). `weight(i)` scores posting `i` for the
+/// block-max metadata; pass a constant-zero weight for lists that are
+/// never score-pruned.
+PostingList EncodePostings(
+    const std::vector<std::pair<uint32_t, uint32_t>>& postings,
+    size_t block_postings, const std::function<double(size_t)>& weight);
+
+/// \brief Forward decoder over one PostingList with block-granular skips.
+class PostingCursor {
+ public:
+  /// Positions on the first posting (done() when the list is empty).
+  explicit PostingCursor(const PostingList* list);
+
+  bool done() const { return block_ >= list_->blocks.size(); }
+  uint32_t ordinal() const { return ordinal_; }
+  uint32_t payload() const { return payload_; }
+  /// Pruning bound of the current block (callable only when !done()).
+  double block_max() const { return list_->blocks[block_].max_weight; }
+
+  /// Advances one posting.
+  void Next();
+  /// Jumps to the first posting of the next block without decoding the
+  /// rest of the current one. Returns false when the list is exhausted.
+  bool SkipBlock();
+
+ private:
+  void LoadBlockStart();
+
+  const PostingList* list_;
+  size_t block_ = 0;
+  uint32_t index_in_block_ = 0;
+  size_t pos_ = 0;
+  uint32_t ordinal_ = 0;
+  uint32_t payload_ = 0;
+};
+
+/// Invokes `fn(ordinal, payload)` for every posting of `list`, in order.
+template <typename Fn>
+void ForEachPosting(const PostingList& list, Fn fn) {
+  for (PostingCursor c(&list); !c.done(); c.Next()) {
+    fn(c.ordinal(), c.payload());
+  }
+}
+
+/// \brief Immutable document-level segment: per-ordinal DocId/length
+/// tables plus compressed (ordinal, tf) postings per term.
+///
+/// The per-posting score weight baked into the block metadata is
+/// `tf / sqrt(len)` — the TF part of the TF-IDF used by InvertedIndex —
+/// so a query-time upper bound is just `idf * max_weight`.
+class DocSegment {
+ public:
+  /// \brief Accumulates documents before sealing. Also serves as the
+  /// segmented index's mutable memtable: the builder's uncompressed
+  /// vectors are directly searchable.
+  struct Builder {
+    std::vector<DocId> docs;
+    std::vector<uint32_t> lengths;
+    /// term → (ordinal, tf), ordinals strictly increasing per term.
+    std::unordered_map<TermId, std::vector<std::pair<uint32_t, uint32_t>>>
+        postings;
+
+    /// Appends one document (the next local ordinal).
+    void Add(DocId doc, const std::unordered_map<TermId, uint32_t>& tf,
+             size_t doc_len);
+    bool empty() const { return docs.empty(); }
+    size_t doc_count() const { return docs.size(); }
+  };
+
+  /// Compresses `builder` into an immutable segment. A builder with
+  /// documents but no postings (all text stopword-filtered away) seals
+  /// into a valid, searchable, postings-free segment.
+  static std::shared_ptr<const DocSegment> Seal(Builder builder,
+                                                size_t block_postings);
+
+  /// Merges two segments into one, `left`'s documents first — ordinals of
+  /// `right` shift up by `left.doc_count()`, so concatenating postings in
+  /// segment-manifest order is invariant under merging. Deterministic:
+  /// depends only on the two inputs.
+  static std::shared_ptr<const DocSegment> Merge(const DocSegment& left,
+                                                 const DocSegment& right,
+                                                 size_t block_postings);
+
+  size_t doc_count() const { return docs_.size(); }
+  DocId doc(uint32_t ordinal) const { return docs_[ordinal]; }
+  uint32_t length(uint32_t ordinal) const { return lengths_[ordinal]; }
+
+  /// The term's postings list, or null when absent from this segment.
+  const PostingList* Find(TermId term) const;
+  const std::unordered_map<TermId, PostingList>& postings() const {
+    return postings_;
+  }
+  /// Compressed postings payload held by this segment, in bytes.
+  size_t postings_bytes() const { return postings_bytes_; }
+
+ private:
+  DocSegment() = default;
+
+  std::vector<DocId> docs_;
+  std::vector<uint32_t> lengths_;
+  std::unordered_map<TermId, PostingList> postings_;
+  size_t postings_bytes_ = 0;
+};
+
+/// \brief Immutable passage-level segment: an ordinal→DocId table plus
+/// compressed (ordinal, sentence) refs per term.
+///
+/// Sentence *text* deliberately lives outside segments (in the segmented
+/// index's doc→sentences table): PassageIndex::Sentences hands out
+/// long-lived references, which must survive seals and merges.
+class PassageSegment {
+ public:
+  /// \brief Accumulates documents before sealing; doubles as the
+  /// segmented passage index's memtable.
+  struct Builder {
+    std::vector<DocId> docs;
+    /// term → (ordinal, sentence) refs, ordinals non-decreasing and
+    /// sentences increasing within one ordinal (one ref per sentence a
+    /// term occurs in — presence, not frequency).
+    std::unordered_map<TermId, std::vector<std::pair<uint32_t, uint32_t>>>
+        postings;
+
+    /// Appends one document: `sentence_terms[s]` lists the distinct terms
+    /// of sentence `s` (insertion order, already deduplicated).
+    void Add(DocId doc, const std::vector<std::vector<TermId>>& sentence_terms);
+    bool empty() const { return docs.empty(); }
+    size_t doc_count() const { return docs.size(); }
+  };
+
+  /// \brief Per-term statistics sealed alongside the refs.
+  struct TermInfo {
+    PostingList list;
+    /// Distinct documents of this segment containing the term.
+    uint32_t doc_freq = 0;
+    /// Max refs (matched sentences) of the term within any one document —
+    /// bounds the per-document repeat bonus for pruning.
+    uint32_t max_occurrences = 0;
+  };
+
+  static std::shared_ptr<const PassageSegment> Seal(Builder builder,
+                                                    size_t block_postings);
+
+  /// See DocSegment::Merge — same ordering contract.
+  static std::shared_ptr<const PassageSegment> Merge(const PassageSegment& left,
+                                                     const PassageSegment& right,
+                                                     size_t block_postings);
+
+  size_t doc_count() const { return docs_.size(); }
+  DocId doc(uint32_t ordinal) const { return docs_[ordinal]; }
+  const TermInfo* Find(TermId term) const;
+  const std::unordered_map<TermId, TermInfo>& terms() const { return terms_; }
+  size_t postings_bytes() const { return postings_bytes_; }
+
+ private:
+  PassageSegment() = default;
+
+  std::vector<DocId> docs_;
+  std::unordered_map<TermId, TermInfo> terms_;
+  size_t postings_bytes_ = 0;
+};
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_SEGMENT_H_

@@ -1,0 +1,910 @@
+#include "ir/segmented_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/metric_names.h"
+#include "common/thread_pool.h"
+#include "ir/inverted_index.h"
+#include "ir/passage_index.h"
+
+namespace dwqa {
+namespace ir {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Min-heap of the best k scores seen so far. `value()` is the current
+/// k-th best — the exact pruning threshold: a candidate with an upper
+/// bound strictly below it cannot enter the top k, not even as a tie, so
+/// skipping it never changes the result.
+class TopKThreshold {
+ public:
+  explicit TopKThreshold(size_t k) : k_(k) {}
+  void Push(double score) {
+    if (heap_.size() < k_) {
+      heap_.push(score);
+    } else if (score > heap_.top()) {
+      heap_.pop();
+      heap_.push(score);
+    }
+  }
+  bool full() const { return k_ > 0 && heap_.size() >= k_; }
+  double value() const { return heap_.top(); }
+
+ private:
+  size_t k_;
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap_;
+};
+
+void Bump(Counter* counter, double delta = 1.0) {
+  if (counter != nullptr && delta != 0.0) counter->Increment(delta);
+}
+
+/// Picks the adjacent sealed pair with the fewest combined documents
+/// (leftmost on ties). Deterministic tiered policy: small young segments
+/// coalesce first, old big ones are rewritten rarely.
+template <typename Seg>
+size_t PickMergePair(const std::vector<std::shared_ptr<const Seg>>& sealed) {
+  size_t best = 0;
+  size_t best_docs = std::numeric_limits<size_t>::max();
+  for (size_t i = 0; i + 1 < sealed.size(); ++i) {
+    size_t docs = sealed[i]->doc_count() + sealed[i + 1]->doc_count();
+    if (docs < best_docs) {
+      best_docs = docs;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Replaces the (still adjacent) pair `left`/`right` in `sealed` with
+/// `merged`. Appends only happen at the tail and one merge runs at a time,
+/// so the pair found by pointer identity is the pair that was planned.
+template <typename Seg>
+void SpliceMerged(std::vector<std::shared_ptr<const Seg>>* sealed,
+                  const Seg* left, std::shared_ptr<const Seg> merged) {
+  for (size_t i = 0; i + 1 < sealed->size(); ++i) {
+    if ((*sealed)[i].get() == left) {
+      (*sealed)[i] = std::move(merged);
+      sealed->erase(sealed->begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SegmentedDocIndex
+// ---------------------------------------------------------------------------
+
+SegmentedDocIndex::SegmentedDocIndex(SegmentedIndexOptions options)
+    : options_(options) {}
+
+SegmentedDocIndex::~SegmentedDocIndex() { WaitForMerges(); }
+
+void SegmentedDocIndex::WaitForMerges() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+}
+
+void SegmentedDocIndex::Add(DocId doc,
+                            const std::unordered_map<TermId, uint32_t>& tf,
+                            size_t doc_len) {
+  for (const auto& [term, unused] : tf) ++df_[term];
+  memtable_.Add(doc, tf, doc_len);
+  ++total_docs_;
+  if (options_.seal_every > 0 && memtable_.doc_count() >= options_.seal_every) {
+    SealMemtable();
+  }
+}
+
+void SegmentedDocIndex::SealMemtable() {
+  if (memtable_.empty() || options_.seal_every == 0) return;
+  Span span(trace_, "index.seal");
+  span.Annotate("index", "doc");
+  span.Annotate("docs", static_cast<double>(memtable_.doc_count()));
+  auto segment =
+      DocSegment::Seal(std::move(memtable_), options_.block_postings);
+  memtable_ = DocSegment::Builder();
+  AppendSealed(std::move(segment));
+}
+
+void SegmentedDocIndex::AddSealedShards(
+    std::vector<DocSegment::Builder> shards, ThreadPool* pool) {
+  if (options_.seal_every == 0) {
+    // Monolithic mode stays pure-memtable: splice the shards into the
+    // memtable in shard order — indistinguishable from serial Adds.
+    for (DocSegment::Builder& shard : shards) {
+      uint32_t offset = static_cast<uint32_t>(memtable_.doc_count());
+      for (auto& [term, pairs] : shard.postings) {
+        auto& dst = memtable_.postings[term];
+        dst.reserve(dst.size() + pairs.size());
+        for (const auto& [ordinal, tf] : pairs) {
+          dst.push_back({ordinal + offset, tf});
+        }
+        df_[term] += pairs.size();
+      }
+      memtable_.docs.insert(memtable_.docs.end(), shard.docs.begin(),
+                            shard.docs.end());
+      memtable_.lengths.insert(memtable_.lengths.end(), shard.lengths.begin(),
+                               shard.lengths.end());
+      total_docs_ += shard.doc_count();
+    }
+    return;
+  }
+  SealMemtable();  // Anything already buffered keeps its place in order.
+  std::vector<std::shared_ptr<const DocSegment>> segments(shards.size());
+  auto seal_one = [&](size_t i) {
+    if (shards[i].empty()) return;
+    segments[i] =
+        DocSegment::Seal(std::move(shards[i]), options_.block_postings);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(shards.size(), seal_one);
+  } else {
+    for (size_t i = 0; i < shards.size(); ++i) seal_one(i);
+  }
+  for (auto& segment : segments) {
+    if (segment == nullptr) continue;
+    total_docs_ += segment->doc_count();
+    for (const auto& [term, list] : segment->postings()) {
+      df_[term] += list.count;
+    }
+    AppendSealed(std::move(segment));
+  }
+}
+
+void SegmentedDocIndex::AppendSealed(
+    std::shared_ptr<const DocSegment> segment) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sealed_bytes_ += segment->postings_bytes();
+  sealed_.push_back(std::move(segment));
+  Bump(metrics_.seals);
+  UpdateManifestGaugesLocked();
+  StartMergesLocked(&lock);
+}
+
+void SegmentedDocIndex::StartMergesLocked(std::unique_lock<std::mutex>* lock) {
+  while (!merge_inflight_ && sealed_.size() > options_.merge_trigger) {
+    size_t i = PickMergePair(sealed_);
+    auto left = sealed_[i];
+    auto right = sealed_[i + 1];
+    merge_inflight_ = true;
+    if (options_.merge_pool != nullptr) {
+      options_.merge_pool->Submit(
+          [this, left, right] { RunMerge(left, right); });
+      return;  // RunMerge chains the next merge itself.
+    }
+    lock->unlock();
+    {
+      Span span(trace_, "index.merge");
+      span.Annotate("index", "doc");
+      span.Annotate("docs",
+                    static_cast<double>(left->doc_count() + right->doc_count()));
+      RunMerge(left, right);
+    }
+    lock->lock();
+  }
+}
+
+void SegmentedDocIndex::RunMerge(std::shared_ptr<const DocSegment> left,
+                                 std::shared_ptr<const DocSegment> right) {
+  auto start = std::chrono::steady_clock::now();
+  auto merged = DocSegment::Merge(*left, *right, options_.block_postings);
+  std::unique_lock<std::mutex> lock(mu_);
+  sealed_bytes_ += merged->postings_bytes();
+  sealed_bytes_ -= left->postings_bytes() + right->postings_bytes();
+  SpliceMerged(&sealed_, left.get(), std::move(merged));
+  Bump(metrics_.merges);
+  if (metrics_.merge_latency != nullptr) {
+    metrics_.merge_latency->Observe(MsSince(start));
+  }
+  UpdateManifestGaugesLocked();
+  merge_inflight_ = false;
+  if (options_.merge_pool != nullptr) StartMergesLocked(&lock);
+  merge_cv_.notify_all();
+}
+
+void SegmentedDocIndex::UpdateManifestGaugesLocked() {
+  if (metrics_.segments != nullptr) {
+    metrics_.segments->Set(static_cast<double>(sealed_.size()));
+  }
+  if (metrics_.postings_bytes != nullptr) {
+    metrics_.postings_bytes->Set(static_cast<double>(sealed_bytes_));
+  }
+}
+
+size_t SegmentedDocIndex::DocFreq(TermId term) const {
+  auto it = df_.find(term);
+  return it == df_.end() ? 0 : it->second;
+}
+
+size_t SegmentedDocIndex::sealed_segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_.size();
+}
+
+size_t SegmentedDocIndex::postings_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_bytes_;
+}
+
+std::vector<DocHit> SegmentedDocIndex::SearchTopK(
+    const std::vector<TermId>& ids, size_t k) const {
+  // Snapshot the sealed manifest; segments are immutable, so the merge
+  // swapping the manifest later cannot invalidate this reader's view. The
+  // memtable is read directly — writers are externally excluded.
+  std::vector<std::shared_ptr<const DocSegment>> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed = sealed_;
+  }
+  const double n_docs = static_cast<double>(total_docs_);
+  struct QueryTerm {
+    TermId id;
+    double idf;
+  };
+  std::vector<QueryTerm> query;
+  query.reserve(ids.size());
+  for (TermId id : ids) {
+    auto it = df_.find(id);
+    if (it == df_.end() || it->second == 0) continue;
+    query.push_back(
+        {id, std::log((n_docs + 1.0) / static_cast<double>(it->second))});
+  }
+  std::vector<DocHit> hits;
+  if (query.empty()) return hits;
+  TopKThreshold theta(k);
+
+  // The memtable first: it is free to score (no decode) and warms the
+  // pruning threshold before the sealed segments are visited.
+  {
+    struct Cursor {
+      const std::vector<std::pair<uint32_t, uint32_t>>* pairs;
+      size_t pos = 0;
+      double idf;
+    };
+    std::vector<Cursor> cursors;
+    for (const QueryTerm& t : query) {
+      auto it = memtable_.postings.find(t.id);
+      if (it == memtable_.postings.end()) continue;
+      cursors.push_back({&it->second, 0, t.idf});
+    }
+    while (true) {
+      uint32_t candidate = std::numeric_limits<uint32_t>::max();
+      for (const Cursor& c : cursors) {
+        if (c.pos < c.pairs->size()) {
+          candidate = std::min(candidate, (*c.pairs)[c.pos].first);
+        }
+      }
+      if (candidate == std::numeric_limits<uint32_t>::max()) break;
+      uint32_t raw_len = memtable_.lengths[candidate];
+      double len = raw_len == 0 ? 1.0 : static_cast<double>(raw_len);
+      DocHit hit;
+      hit.doc = memtable_.docs[candidate];
+      // Contributions accumulate in query-term order — the same floating-
+      // point summation order as the monolithic per-term loop.
+      for (Cursor& c : cursors) {
+        if (c.pos >= c.pairs->size() || (*c.pairs)[c.pos].first != candidate) {
+          continue;
+        }
+        hit.score += (static_cast<double>((*c.pairs)[c.pos].second) /
+                      std::sqrt(len)) *
+                     c.idf;
+        ++hit.matched_terms;
+        ++c.pos;
+      }
+      theta.Push(hit.score);
+      hits.push_back(hit);
+    }
+  }
+
+  for (const auto& segment : sealed) {
+    struct Cursor {
+      PostingCursor cursor;
+      double idf;
+    };
+    std::vector<Cursor> cursors;
+    double segment_bound = 0.0;
+    for (const QueryTerm& t : query) {
+      const PostingList* list = segment->Find(t.id);
+      if (list == nullptr) continue;
+      segment_bound += t.idf * list->max_weight;
+      cursors.push_back({PostingCursor(list), t.idf});
+    }
+    if (cursors.empty()) continue;
+    // Whole-segment skip: no document in it can reach the k-th score.
+    if (theta.full() && segment_bound < theta.value()) {
+      Bump(metrics_.pruned_segments);
+      continue;
+    }
+    while (true) {
+      // Single-term lists support true block skips: a block whose best
+      // posting cannot reach the threshold is stepped over undecoded.
+      if (cursors.size() == 1 && theta.full()) {
+        Cursor& c = cursors[0];
+        while (!c.cursor.done() &&
+               c.idf * c.cursor.block_max() < theta.value()) {
+          Bump(metrics_.pruned_blocks);
+          c.cursor.SkipBlock();
+        }
+      }
+      uint32_t candidate = std::numeric_limits<uint32_t>::max();
+      for (const Cursor& c : cursors) {
+        if (!c.cursor.done()) {
+          candidate = std::min(candidate, c.cursor.ordinal());
+        }
+      }
+      if (candidate == std::numeric_limits<uint32_t>::max()) break;
+      // Candidate-level block-max bound: the sum of the participating
+      // cursors' current block maxima, in the same term order (and with
+      // per-term weights no smaller than) the actual score — monotone
+      // IEEE rounding makes the summed bound a true bound.
+      double bound = 0.0;
+      for (const Cursor& c : cursors) {
+        if (!c.cursor.done() && c.cursor.ordinal() == candidate) {
+          bound += c.idf * c.cursor.block_max();
+        }
+      }
+      if (theta.full() && bound < theta.value()) {
+        Bump(metrics_.pruned_candidates);
+        for (Cursor& c : cursors) {
+          if (!c.cursor.done() && c.cursor.ordinal() == candidate) {
+            c.cursor.Next();
+          }
+        }
+        continue;
+      }
+      uint32_t raw_len = segment->length(candidate);
+      double len = raw_len == 0 ? 1.0 : static_cast<double>(raw_len);
+      DocHit hit;
+      hit.doc = segment->doc(candidate);
+      for (Cursor& c : cursors) {
+        if (c.cursor.done() || c.cursor.ordinal() != candidate) continue;
+        hit.score += (static_cast<double>(c.cursor.payload()) /
+                      std::sqrt(len)) *
+                     c.idf;
+        ++hit.matched_terms;
+        c.cursor.Next();
+      }
+      theta.Push(hit.score);
+      hits.push_back(hit);
+    }
+  }
+
+  // Total order — segment layout and visit order cannot influence it.
+  std::sort(hits.begin(), hits.end(), [](const DocHit& a, const DocHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;  // Deterministic tie-break.
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::string SegmentedDocIndex::DebugString(const TermDictionary& dict) const {
+  std::vector<std::shared_ptr<const DocSegment>> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed = sealed_;
+  }
+  std::ostringstream out;
+  std::vector<TermId> term_ids;
+  term_ids.reserve(df_.size());
+  for (const auto& [term, unused] : df_) term_ids.push_back(term);
+  std::sort(term_ids.begin(), term_ids.end());
+  for (TermId term : term_ids) {
+    out << term << '=' << dict.Term(term) << ':';
+    for (const auto& segment : sealed) {
+      const PostingList* list = segment->Find(term);
+      if (list == nullptr) continue;
+      ForEachPosting(*list, [&](uint32_t ordinal, uint32_t tf) {
+        out << ' ' << segment->doc(ordinal) << 'x' << tf;
+      });
+    }
+    auto it = memtable_.postings.find(term);
+    if (it != memtable_.postings.end()) {
+      for (const auto& [ordinal, tf] : it->second) {
+        out << ' ' << memtable_.docs[ordinal] << 'x' << tf;
+      }
+    }
+    out << '\n';
+  }
+  std::vector<std::pair<DocId, uint32_t>> lengths;
+  lengths.reserve(total_docs_);
+  for (const auto& segment : sealed) {
+    for (uint32_t ordinal = 0; ordinal < segment->doc_count(); ++ordinal) {
+      lengths.push_back({segment->doc(ordinal), segment->length(ordinal)});
+    }
+  }
+  for (size_t i = 0; i < memtable_.doc_count(); ++i) {
+    lengths.push_back({memtable_.docs[i], memtable_.lengths[i]});
+  }
+  std::sort(lengths.begin(), lengths.end());
+  for (const auto& [doc, len] : lengths) {
+    out << "len " << doc << '=' << len << '\n';
+  }
+  return out.str();
+}
+
+void SegmentedDocIndex::set_metrics(MetricRegistry* metrics,
+                                    const std::string& kind) {
+  if (metrics == nullptr) {
+    metrics_ = Instruments();
+    return;
+  }
+  MetricLabels labels = {{"index", kind}};
+  metrics_.seals = metrics->GetCounter(kMetricIndexSeals, labels,
+                                       "Memtables sealed into segments");
+  metrics_.merges =
+      metrics->GetCounter(kMetricIndexMerges, labels, "Segment merges run");
+  metrics_.merge_latency = metrics->GetHistogram(
+      kMetricIndexMergeLatency, labels, MetricRegistry::LatencyBucketsMs(),
+      "Wall time of segment merges");
+  metrics_.segments = metrics->GetGauge(kMetricIndexSegments, labels,
+                                        "Sealed segments in the manifest");
+  metrics_.postings_bytes =
+      metrics->GetGauge(kMetricIndexPostingsBytes, labels,
+                        "Compressed postings bytes across sealed segments");
+  metrics_.pruned_segments = metrics->GetCounter(
+      kMetricIndexPrunedSegments, labels,
+      "Whole segments skipped by the top-k score bound");
+  metrics_.pruned_blocks = metrics->GetCounter(
+      kMetricIndexPrunedBlocks, labels,
+      "Posting blocks skipped undecoded by the block-max bound");
+  metrics_.pruned_candidates = metrics->GetCounter(
+      kMetricIndexPrunedCandidates, labels,
+      "Candidate documents skipped unscored by the block-max bound");
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedPassageIndex
+// ---------------------------------------------------------------------------
+
+SegmentedPassageIndex::SegmentedPassageIndex(size_t window,
+                                             SegmentedIndexOptions options)
+    : window_(window < 1 ? 1 : window), options_(options) {}
+
+SegmentedPassageIndex::~SegmentedPassageIndex() { WaitForMerges(); }
+
+void SegmentedPassageIndex::WaitForMerges() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  merge_cv_.wait(lock, [this] { return !merge_inflight_; });
+}
+
+void SegmentedPassageIndex::Add(
+    DocId doc, std::vector<std::string> sentences,
+    const std::vector<std::vector<TermId>>& sentence_terms) {
+  std::set<TermId> in_doc;
+  for (const auto& terms : sentence_terms) {
+    for (TermId term : terms) in_doc.insert(term);
+  }
+  for (TermId term : in_doc) ++df_[term];
+  memtable_.Add(doc, sentence_terms);
+  sentences_[doc] = std::move(sentences);
+  if (options_.seal_every > 0 && memtable_.doc_count() >= options_.seal_every) {
+    SealMemtable();
+  }
+}
+
+void SegmentedPassageIndex::SealMemtable() {
+  if (memtable_.empty() || options_.seal_every == 0) return;
+  Span span(trace_, "index.seal");
+  span.Annotate("index", "passage");
+  span.Annotate("docs", static_cast<double>(memtable_.doc_count()));
+  auto segment =
+      PassageSegment::Seal(std::move(memtable_), options_.block_postings);
+  memtable_ = PassageSegment::Builder();
+  AppendSealed(std::move(segment));
+}
+
+void SegmentedPassageIndex::AddSealedShards(
+    std::vector<PassageSegment::Builder> shards,
+    std::vector<std::pair<DocId, std::vector<std::string>>> sentences,
+    ThreadPool* pool) {
+  for (auto& [doc, sents] : sentences) {
+    sentences_[doc] = std::move(sents);
+  }
+  if (options_.seal_every == 0) {
+    // Monolithic mode stays pure-memtable (see SegmentedDocIndex).
+    for (PassageSegment::Builder& shard : shards) {
+      uint32_t offset = static_cast<uint32_t>(memtable_.doc_count());
+      for (auto& [term, pairs] : shard.postings) {
+        auto& dst = memtable_.postings[term];
+        dst.reserve(dst.size() + pairs.size());
+        size_t distinct = 0;
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          if (i == 0 || pairs[i].first != pairs[i - 1].first) ++distinct;
+          dst.push_back({pairs[i].first + offset, pairs[i].second});
+        }
+        df_[term] += distinct;
+      }
+      memtable_.docs.insert(memtable_.docs.end(), shard.docs.begin(),
+                            shard.docs.end());
+    }
+    return;
+  }
+  SealMemtable();
+  std::vector<std::shared_ptr<const PassageSegment>> segments(shards.size());
+  auto seal_one = [&](size_t i) {
+    if (shards[i].empty()) return;
+    segments[i] =
+        PassageSegment::Seal(std::move(shards[i]), options_.block_postings);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(shards.size(), seal_one);
+  } else {
+    for (size_t i = 0; i < shards.size(); ++i) seal_one(i);
+  }
+  for (auto& segment : segments) {
+    if (segment == nullptr) continue;
+    for (const auto& [term, info] : segment->terms()) {
+      df_[term] += info.doc_freq;
+    }
+    AppendSealed(std::move(segment));
+  }
+}
+
+void SegmentedPassageIndex::AppendSealed(
+    std::shared_ptr<const PassageSegment> segment) {
+  std::unique_lock<std::mutex> lock(mu_);
+  sealed_bytes_ += segment->postings_bytes();
+  sealed_.push_back(std::move(segment));
+  Bump(metrics_.seals);
+  UpdateManifestGaugesLocked();
+  StartMergesLocked(&lock);
+}
+
+void SegmentedPassageIndex::StartMergesLocked(
+    std::unique_lock<std::mutex>* lock) {
+  while (!merge_inflight_ && sealed_.size() > options_.merge_trigger) {
+    size_t i = PickMergePair(sealed_);
+    auto left = sealed_[i];
+    auto right = sealed_[i + 1];
+    merge_inflight_ = true;
+    if (options_.merge_pool != nullptr) {
+      options_.merge_pool->Submit(
+          [this, left, right] { RunMerge(left, right); });
+      return;
+    }
+    lock->unlock();
+    {
+      Span span(trace_, "index.merge");
+      span.Annotate("index", "passage");
+      span.Annotate("docs",
+                    static_cast<double>(left->doc_count() + right->doc_count()));
+      RunMerge(left, right);
+    }
+    lock->lock();
+  }
+}
+
+void SegmentedPassageIndex::RunMerge(
+    std::shared_ptr<const PassageSegment> left,
+    std::shared_ptr<const PassageSegment> right) {
+  auto start = std::chrono::steady_clock::now();
+  auto merged = PassageSegment::Merge(*left, *right, options_.block_postings);
+  std::unique_lock<std::mutex> lock(mu_);
+  sealed_bytes_ += merged->postings_bytes();
+  sealed_bytes_ -= left->postings_bytes() + right->postings_bytes();
+  SpliceMerged(&sealed_, left.get(), std::move(merged));
+  Bump(metrics_.merges);
+  if (metrics_.merge_latency != nullptr) {
+    metrics_.merge_latency->Observe(MsSince(start));
+  }
+  UpdateManifestGaugesLocked();
+  merge_inflight_ = false;
+  if (options_.merge_pool != nullptr) StartMergesLocked(&lock);
+  merge_cv_.notify_all();
+}
+
+void SegmentedPassageIndex::UpdateManifestGaugesLocked() {
+  if (metrics_.segments != nullptr) {
+    metrics_.segments->Set(static_cast<double>(sealed_.size()));
+  }
+  if (metrics_.postings_bytes != nullptr) {
+    metrics_.postings_bytes->Set(static_cast<double>(sealed_bytes_));
+  }
+}
+
+const std::vector<std::string>& SegmentedPassageIndex::Sentences(
+    DocId doc) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = sentences_.find(doc);
+  return it == sentences_.end() ? kEmpty : it->second;
+}
+
+size_t SegmentedPassageIndex::DocFreq(TermId term) const {
+  auto it = df_.find(term);
+  return it == df_.end() ? 0 : it->second;
+}
+
+size_t SegmentedPassageIndex::sealed_segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_.size();
+}
+
+size_t SegmentedPassageIndex::postings_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_bytes_;
+}
+
+std::vector<Passage> SegmentedPassageIndex::SearchTopK(
+    const std::vector<TermId>& ids, size_t k) const {
+  std::vector<std::shared_ptr<const PassageSegment>> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed = sealed_;
+  }
+  const double n_docs = static_cast<double>(sentences_.size());
+  struct QueryTerm {
+    TermId id;
+    double idf;
+  };
+  std::vector<QueryTerm> query;
+  for (TermId id : ids) {
+    auto it = df_.find(id);
+    if (it == df_.end() || it->second == 0) continue;
+    query.push_back(
+        {id, std::log((n_docs + 1.0) / static_cast<double>(it->second))});
+  }
+  if (query.empty()) return {};
+  constexpr double kRepeatBonus = 0.05;
+
+  TopKThreshold theta(k);
+  std::vector<Passage> candidates;
+
+  // One matched sentence of one candidate document: which query term, in
+  // which sentence.
+  struct Hit {
+    uint32_t sentence;
+    size_t term;
+  };
+
+  // Scores every window of one candidate document exactly like the
+  // monolithic index, then greedily keeps the document's non-overlapping
+  // best windows (score desc, start asc — the global selection order
+  // restricted to this document), feeding them to the global candidate
+  // pool and the pruning threshold.
+  auto score_document = [&](DocId doc, const std::vector<Hit>& doc_hits) {
+    std::vector<size_t> total_occurrences(query.size(), 0);
+    std::set<uint32_t> starts;
+    for (const Hit& h : doc_hits) {
+      ++total_occurrences[h.term];
+      starts.insert(h.sentence);
+    }
+    // A window's occurrence counts are bounded by the whole document's,
+    // and the per-term score is monotone in the count — the document
+    // bound is the window formula evaluated on the whole document.
+    double doc_bound = 0.0;
+    for (size_t t = 0; t < query.size(); ++t) {
+      if (total_occurrences[t] == 0) continue;
+      doc_bound += query[t].idf +
+                   kRepeatBonus * query[t].idf *
+                       static_cast<double>(total_occurrences[t] - 1);
+    }
+    if (theta.full() && doc_bound < theta.value()) {
+      Bump(metrics_.pruned_candidates);
+      Bump(metrics_.pruned_windows, static_cast<double>(starts.size()));
+      return;
+    }
+    size_t n_sents = Sentences(doc).size();
+    std::vector<Passage> windows;
+    for (uint32_t first : starts) {
+      size_t last = std::min(n_sents == 0 ? size_t(first) : n_sents - 1,
+                             size_t(first) + window_ - 1);
+      std::vector<size_t> occurrences(query.size(), 0);
+      for (const Hit& h : doc_hits) {
+        if (h.sentence >= first && h.sentence <= last) {
+          ++occurrences[h.term];
+        }
+      }
+      double score = 0.0;
+      for (size_t t = 0; t < query.size(); ++t) {
+        if (occurrences[t] == 0) continue;
+        score += query[t].idf +
+                 kRepeatBonus * query[t].idf *
+                     static_cast<double>(occurrences[t] - 1);
+      }
+      Passage p;
+      p.doc = doc;
+      p.first_sentence = first;
+      p.last_sentence = last;
+      p.score = score;
+      windows.push_back(p);
+    }
+    std::sort(windows.begin(), windows.end(),
+              [](const Passage& a, const Passage& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.first_sentence < b.first_sentence;
+              });
+    std::vector<const Passage*> selected;
+    for (const Passage& w : windows) {
+      bool overlaps = false;
+      for (const Passage* sel : selected) {
+        if (w.first_sentence <= sel->last_sentence &&
+            sel->first_sentence <= w.last_sentence) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) continue;
+      selected.push_back(&w);
+      theta.Push(w.score);
+      candidates.push_back(w);
+    }
+  };
+
+  // Candidate documents are grouped per source (each ordinal maps to one
+  // global DocId, and a document lives in exactly one source), so pruning
+  // decisions always see the document's full hit set.
+  auto scan_source = [&](const auto& find_postings,
+                         const std::vector<DocId>& docs) {
+    std::vector<std::pair<uint32_t, Hit>> triples;
+    for (size_t t = 0; t < query.size(); ++t) {
+      find_postings(query[t].id, [&](uint32_t ordinal, uint32_t sentence) {
+        triples.push_back({ordinal, {sentence, t}});
+      });
+    }
+    if (triples.empty()) return;
+    std::stable_sort(triples.begin(), triples.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<Hit> doc_hits;
+    for (size_t i = 0; i < triples.size();) {
+      uint32_t ordinal = triples[i].first;
+      doc_hits.clear();
+      for (; i < triples.size() && triples[i].first == ordinal; ++i) {
+        doc_hits.push_back(triples[i].second);
+      }
+      score_document(docs[ordinal], doc_hits);
+    }
+  };
+
+  // Memtable first (cheapest threshold warm-up), sealed segments after.
+  scan_source(
+      [&](TermId id, const std::function<void(uint32_t, uint32_t)>& fn) {
+        auto it = memtable_.postings.find(id);
+        if (it == memtable_.postings.end()) return;
+        for (const auto& [ordinal, sentence] : it->second) {
+          fn(ordinal, sentence);
+        }
+      },
+      memtable_.docs);
+  for (const auto& segment : sealed) {
+    // Segment-level bound: every window score in the segment is bounded
+    // by the sum of the per-term (idf + repeat bonus at the per-document
+    // max occurrence count) bounds.
+    double segment_bound = 0.0;
+    bool any = false;
+    for (const QueryTerm& t : query) {
+      const PassageSegment::TermInfo* info = segment->Find(t.id);
+      if (info == nullptr) continue;
+      any = true;
+      segment_bound +=
+          t.idf + kRepeatBonus * t.idf *
+                      static_cast<double>(info->max_occurrences - 1);
+    }
+    if (!any) continue;
+    if (theta.full() && segment_bound < theta.value()) {
+      Bump(metrics_.pruned_segments);
+      continue;
+    }
+    std::vector<DocId> docs(segment->doc_count());
+    for (uint32_t ordinal = 0; ordinal < segment->doc_count(); ++ordinal) {
+      docs[ordinal] = segment->doc(ordinal);
+    }
+    scan_source(
+        [&](TermId id, const std::function<void(uint32_t, uint32_t)>& fn) {
+          const PassageSegment::TermInfo* info = segment->Find(id);
+          if (info == nullptr) return;
+          ForEachPosting(info->list, fn);
+        },
+        docs);
+  }
+
+  // Global rank over every selected window — a total order, so the
+  // per-source visit order above cannot leak into the result.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Passage& a, const Passage& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.doc != b.doc) return a.doc < b.doc;
+              return a.first_sentence < b.first_sentence;
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  for (Passage& p : candidates) {
+    const std::vector<std::string>& sents = Sentences(p.doc);
+    std::string text;
+    for (size_t s = p.first_sentence; s <= p.last_sentence && s < sents.size();
+         ++s) {
+      if (!text.empty()) text += '\n';
+      text += sents[s];
+    }
+    p.text = std::move(text);
+  }
+  return candidates;
+}
+
+std::string SegmentedPassageIndex::DebugString(
+    const TermDictionary& dict) const {
+  std::vector<std::shared_ptr<const PassageSegment>> sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed = sealed_;
+  }
+  std::ostringstream out;
+  std::vector<TermId> term_ids;
+  term_ids.reserve(df_.size());
+  for (const auto& [term, unused] : df_) term_ids.push_back(term);
+  std::sort(term_ids.begin(), term_ids.end());
+  for (TermId term : term_ids) {
+    out << term << '=' << dict.Term(term) << ':';
+    for (const auto& segment : sealed) {
+      const PassageSegment::TermInfo* info = segment->Find(term);
+      if (info == nullptr) continue;
+      ForEachPosting(info->list, [&](uint32_t ordinal, uint32_t sentence) {
+        out << ' ' << segment->doc(ordinal) << '.' << sentence;
+      });
+    }
+    auto it = memtable_.postings.find(term);
+    if (it != memtable_.postings.end()) {
+      for (const auto& [ordinal, sentence] : it->second) {
+        out << ' ' << memtable_.docs[ordinal] << '.' << sentence;
+      }
+    }
+    out << '\n';
+  }
+  std::vector<DocId> docs;
+  docs.reserve(sentences_.size());
+  for (const auto& [doc, unused] : sentences_) docs.push_back(doc);
+  std::sort(docs.begin(), docs.end());
+  for (DocId doc : docs) {
+    out << "sentences " << doc << '=' << sentences_.at(doc).size() << '\n';
+  }
+  return out.str();
+}
+
+void SegmentedPassageIndex::set_metrics(MetricRegistry* metrics,
+                                        const std::string& kind) {
+  if (metrics == nullptr) {
+    metrics_ = Instruments();
+    return;
+  }
+  MetricLabels labels = {{"index", kind}};
+  metrics_.seals = metrics->GetCounter(kMetricIndexSeals, labels,
+                                       "Memtables sealed into segments");
+  metrics_.merges =
+      metrics->GetCounter(kMetricIndexMerges, labels, "Segment merges run");
+  metrics_.merge_latency = metrics->GetHistogram(
+      kMetricIndexMergeLatency, labels, MetricRegistry::LatencyBucketsMs(),
+      "Wall time of segment merges");
+  metrics_.segments = metrics->GetGauge(kMetricIndexSegments, labels,
+                                        "Sealed segments in the manifest");
+  metrics_.postings_bytes =
+      metrics->GetGauge(kMetricIndexPostingsBytes, labels,
+                        "Compressed postings bytes across sealed segments");
+  metrics_.pruned_segments = metrics->GetCounter(
+      kMetricIndexPrunedSegments, labels,
+      "Whole segments skipped by the top-k score bound");
+  metrics_.pruned_candidates = metrics->GetCounter(
+      kMetricIndexPrunedCandidates, labels,
+      "Candidate documents skipped unscored by the score bound");
+  metrics_.pruned_windows = metrics->GetCounter(
+      kMetricIndexPrunedWindows, labels,
+      "Candidate sentence windows skipped unscored by the score bound");
+}
+
+}  // namespace ir
+}  // namespace dwqa

@@ -1,0 +1,253 @@
+#ifndef DWQA_IR_SEGMENTED_INDEX_H_
+#define DWQA_IR_SEGMENTED_INDEX_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "ir/segment.h"
+
+namespace dwqa {
+
+class ThreadPool;
+
+namespace ir {
+
+struct DocHit;
+struct Passage;
+
+/// \file segmented_index.h
+/// \brief LSM-style segmented index cores: a mutable memtable plus a
+/// manifest of immutable sealed segments (ir/segment.h), with tiered
+/// background merging and block-max top-k pruning.
+///
+/// `InvertedIndex` and `PassageIndex` re-seat on these cores: AddDocument/
+/// AddAnalyzed become incremental appends (a freshly fetched page is
+/// searchable without a rebuild), and Search fans out across segments,
+/// merging top-k results with exact score-bound pruning.
+///
+/// **Determinism.** Results are byte-identical regardless of segment count
+/// or merge timing: segments keep documents in insertion order, merges
+/// concatenate adjacent segments (preserving manifest order), per-document
+/// scores accumulate in the same sorted-unique query-term order as the
+/// monolithic code, pruning only ever discards candidates strictly below
+/// the current top-k threshold, and the final (score, id) sort is a total
+/// order. `seal_every = 0` disables sealing entirely — the pure-memtable
+/// configuration *is* the old monolithic index.
+///
+/// **Concurrency contract.** Reads (Search*/DebugString/counters) are safe
+/// concurrently with each other and with background merges; writers
+/// (Add*/Seal*) require external exclusion from both readers and other
+/// writers — the same quiescent-index contract the serving layer already
+/// relies on. The destructor blocks until in-flight merges finish.
+struct SegmentedIndexOptions {
+  /// Memtable documents per sealed segment. 0 = never seal (monolithic
+  /// mode: one mutable memtable, no merges, no pruning metadata).
+  size_t seal_every = 64;
+  /// Sealed-segment count above which a merge is triggered: the adjacent
+  /// pair with the fewest combined documents (leftmost on ties) merges
+  /// into one, repeatedly, until the manifest is back at or below the
+  /// trigger. Deterministic: depends only on the manifest shape.
+  size_t merge_trigger = 8;
+  /// Postings per block of the sealed lists (block-max skip granularity).
+  size_t block_postings = 128;
+  /// When non-null, merges run on this pool in the background (the pool
+  /// must outlive the index; the index's destructor drains its own merge
+  /// before returning). Null = merges run inline at the seal point.
+  ThreadPool* merge_pool = nullptr;
+};
+
+/// \brief Segmented core of the document-level InvertedIndex.
+class SegmentedDocIndex {
+ public:
+  explicit SegmentedDocIndex(SegmentedIndexOptions options);
+  /// Waits for the in-flight background merge (if any) before releasing
+  /// the manifest.
+  ~SegmentedDocIndex();
+
+  SegmentedDocIndex(const SegmentedDocIndex&) = delete;
+  SegmentedDocIndex& operator=(const SegmentedDocIndex&) = delete;
+
+  /// Appends one document (writer API). Seals the memtable when it reaches
+  /// `seal_every` documents.
+  void Add(DocId doc, const std::unordered_map<TermId, uint32_t>& tf,
+           size_t doc_len);
+
+  /// Appends pre-built shards as sealed segments, in shard order; the
+  /// expensive compression runs in parallel on `pool` (null/inline pools
+  /// seal serially). Parallel bulk build path of IndexCorpus.
+  void AddSealedShards(std::vector<DocSegment::Builder> shards,
+                       ThreadPool* pool);
+
+  /// Seals the current memtable (no-op when empty or seal_every == 0).
+  void SealMemtable();
+
+  /// Exact top-`k` hits for the resolved query terms, best first
+  /// (score desc, DocId asc). `ids` must be in sorted-unique term order
+  /// (ir/term_pipeline ResolveDocumentQuery) — score accumulation order is
+  /// part of the byte-identity contract.
+  std::vector<DocHit> SearchTopK(const std::vector<TermId>& ids,
+                                 size_t k) const;
+
+  size_t document_count() const { return total_docs_; }
+  size_t term_count() const { return df_.size(); }
+  /// Documents containing the term, across all segments and the memtable.
+  size_t DocFreq(TermId term) const;
+
+  /// Canonical dump, byte-identical to the monolithic index's for the same
+  /// insertion order: postings per term (TermId order, refs in insertion
+  /// order) then per-document lengths.
+  std::string DebugString(const TermDictionary& dict) const;
+
+  size_t sealed_segment_count() const;
+  /// Compressed postings bytes across sealed segments.
+  size_t postings_bytes() const;
+  /// Blocks until no merge is in flight (scheduled or running).
+  void WaitForMerges() const;
+
+  /// Attaches the `dwqa_index_*` instruments under the label
+  /// {index=`kind`}; null turns instrumentation off.
+  void set_metrics(MetricRegistry* metrics, const std::string& kind);
+  /// Trace sink for `index.seal` / inline `index.merge` spans (null off).
+  /// Background merges are never traced: TraceRecorder parents spans off
+  /// one serial stack.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  struct Instruments {
+    Counter* seals = nullptr;
+    Counter* merges = nullptr;
+    Histogram* merge_latency = nullptr;
+    Gauge* segments = nullptr;
+    Gauge* postings_bytes = nullptr;
+    Counter* pruned_segments = nullptr;
+    Counter* pruned_blocks = nullptr;
+    Counter* pruned_candidates = nullptr;
+  };
+
+  void AppendSealed(std::shared_ptr<const DocSegment> segment);
+  /// Starts (and, without a pool, runs) merges until the manifest is at or
+  /// below the trigger. Requires `lock` held on mu_.
+  void StartMergesLocked(std::unique_lock<std::mutex>* lock);
+  void RunMerge(std::shared_ptr<const DocSegment> left,
+                std::shared_ptr<const DocSegment> right);
+  void UpdateManifestGaugesLocked();
+
+  SegmentedIndexOptions options_;
+  /// Mutable memtable (writer-owned; merges never touch it).
+  DocSegment::Builder memtable_;
+  /// Sealed manifest in document order; guarded by mu_ (readers snapshot
+  /// it, the merge swaps adjacent entries in place).
+  std::vector<std::shared_ptr<const DocSegment>> sealed_;
+  size_t sealed_bytes_ = 0;
+  /// Global per-term document frequency and document total — maintained
+  /// incrementally at Add time, invariant under seal/merge.
+  std::unordered_map<TermId, size_t> df_;
+  size_t total_docs_ = 0;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable merge_cv_;
+  bool merge_inflight_ = false;
+
+  Instruments metrics_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+/// \brief Segmented core of the IR-n PassageIndex.
+///
+/// Sentence text lives in an index-level doc→sentences table (never inside
+/// segments), so the references PassageIndex::Sentences hands out survive
+/// seals and merges. Pruning is per candidate document: the sum of
+/// idf + repeat-bonus upper bounds over the document's matched terms
+/// bounds every window score, so documents strictly below the current
+/// k-th selected window score are skipped without scoring any window.
+class SegmentedPassageIndex {
+ public:
+  SegmentedPassageIndex(size_t window, SegmentedIndexOptions options);
+  ~SegmentedPassageIndex();
+
+  SegmentedPassageIndex(const SegmentedPassageIndex&) = delete;
+  SegmentedPassageIndex& operator=(const SegmentedPassageIndex&) = delete;
+
+  /// Appends one document: its sentences and, per sentence, the distinct
+  /// terms it contains (insertion order, pre-deduplicated).
+  void Add(DocId doc, std::vector<std::string> sentences,
+           const std::vector<std::vector<TermId>>& sentence_terms);
+
+  /// Bulk path: stores `sentences` (doc → sentence list, in document
+  /// order) and appends the pre-built shards as sealed segments, sealing
+  /// in parallel on `pool`.
+  void AddSealedShards(
+      std::vector<PassageSegment::Builder> shards,
+      std::vector<std::pair<DocId, std::vector<std::string>>> sentences,
+      ThreadPool* pool);
+
+  void SealMemtable();
+
+  /// Exact top-`k` passages, best first (score desc, DocId asc, first
+  /// sentence asc), windows of `window()` sentences, overlapping windows
+  /// of one document deduplicated — byte-identical to the monolithic
+  /// PassageIndex::Search. `ids` per ResolvePassageQuery order.
+  std::vector<Passage> SearchTopK(const std::vector<TermId>& ids,
+                                  size_t k) const;
+
+  const std::vector<std::string>& Sentences(DocId doc) const;
+  size_t window() const { return window_; }
+  size_t document_count() const { return sentences_.size(); }
+  size_t DocFreq(TermId term) const;
+
+  std::string DebugString(const TermDictionary& dict) const;
+
+  size_t sealed_segment_count() const;
+  size_t postings_bytes() const;
+  void WaitForMerges() const;
+
+  void set_metrics(MetricRegistry* metrics, const std::string& kind);
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  struct Instruments {
+    Counter* seals = nullptr;
+    Counter* merges = nullptr;
+    Histogram* merge_latency = nullptr;
+    Gauge* segments = nullptr;
+    Gauge* postings_bytes = nullptr;
+    Counter* pruned_segments = nullptr;
+    Counter* pruned_candidates = nullptr;
+    Counter* pruned_windows = nullptr;
+  };
+
+  void AppendSealed(std::shared_ptr<const PassageSegment> segment);
+  void StartMergesLocked(std::unique_lock<std::mutex>* lock);
+  void RunMerge(std::shared_ptr<const PassageSegment> left,
+                std::shared_ptr<const PassageSegment> right);
+  void UpdateManifestGaugesLocked();
+
+  size_t window_;
+  SegmentedIndexOptions options_;
+  PassageSegment::Builder memtable_;
+  std::vector<std::shared_ptr<const PassageSegment>> sealed_;
+  size_t sealed_bytes_ = 0;
+  std::unordered_map<TermId, size_t> df_;
+  /// doc → sentences; address-stable across seals and merges.
+  std::unordered_map<DocId, std::vector<std::string>> sentences_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable merge_cv_;
+  bool merge_inflight_ = false;
+
+  Instruments metrics_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace ir
+}  // namespace dwqa
+
+#endif  // DWQA_IR_SEGMENTED_INDEX_H_

@@ -1,5 +1,6 @@
 #include "ir/term_pipeline.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "common/string_util.h"
@@ -41,6 +42,33 @@ std::vector<std::string> DocumentTerms(const std::string& text) {
 
 std::vector<std::string> PassageTerms(const std::string& text) {
   return FilteredTerms(text, IsPassageTerm);
+}
+
+namespace {
+
+std::vector<TermId> ResolveQuery(std::vector<std::string> terms,
+                                 const TermDictionary& dict) {
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  std::vector<TermId> ids;
+  ids.reserve(terms.size());
+  for (const std::string& term : terms) {
+    TermId id = dict.Find(term);
+    if (id != kInvalidTermId) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::vector<TermId> ResolveDocumentQuery(const std::string& query,
+                                         const TermDictionary& dict) {
+  return ResolveQuery(DocumentTerms(query), dict);
+}
+
+std::vector<TermId> ResolvePassageQuery(const std::string& query,
+                                        const TermDictionary& dict) {
+  return ResolveQuery(PassageTerms(query), dict);
 }
 
 }  // namespace ir

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "text/token.h"
 
 namespace dwqa {
@@ -28,6 +29,21 @@ bool IsDocumentTerm(const text::Token& t);
 /// respective gate, in order, duplicates included.
 std::vector<std::string> DocumentTerms(const std::string& text);
 std::vector<std::string> PassageTerms(const std::string& text);
+
+/// Query-side term resolution, shared by both indexes (each used to carry
+/// its own copy of the lowercase/dedup/lookup steps): tokenizes and gates
+/// `query` exactly like the corresponding Add path, deduplicates, and
+/// resolves the surviving terms against `dict` with a read-only Find —
+/// searching never grows the dictionary.
+///
+/// The returned ids are in sorted-unique *term-string* order with unknown
+/// terms dropped. That order is load-bearing: per-document scores
+/// accumulate term by term in this order, so it pins the floating-point
+/// summation order the golden-equivalence suite depends on.
+std::vector<TermId> ResolveDocumentQuery(const std::string& query,
+                                         const TermDictionary& dict);
+std::vector<TermId> ResolvePassageQuery(const std::string& query,
+                                        const TermDictionary& dict);
 
 }  // namespace ir
 }  // namespace dwqa

@@ -34,8 +34,18 @@ AliQAn::AliQAn(const ontology::Ontology* onto, AliQAnConfig config)
     : onto_(onto),
       config_(config),
       preprocessor_(DefaultPreprocess),
-      passage_index_(config.passage_window, corpus_.mutable_dictionary()),
-      doc_index_(corpus_.mutable_dictionary()) {}
+      merge_pool_(config.index_merge_threads > 0
+                      ? std::make_unique<ThreadPool>(config.index_merge_threads)
+                      : nullptr),
+      passage_index_(config.passage_window, corpus_.mutable_dictionary(),
+                     EffectiveIndexOptions()),
+      doc_index_(corpus_.mutable_dictionary(), EffectiveIndexOptions()) {}
+
+ir::SegmentedIndexOptions AliQAn::EffectiveIndexOptions() const {
+  ir::SegmentedIndexOptions options = config_.index_options;
+  options.merge_pool = merge_pool_.get();
+  return options;
+}
 
 void AliQAn::set_preprocessor(Preprocessor preprocessor) {
   preprocessor_ = std::move(preprocessor);
@@ -65,8 +75,10 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
     // the per-question search phase (the pre-AnalyzedCorpus behaviour).
     plain_.reserve(docs->size());
     passage_index_ =
-        ir::PassageIndex(config_.passage_window, corpus_.mutable_dictionary());
-    doc_index_ = ir::InvertedIndex(corpus_.mutable_dictionary());
+        ir::PassageIndex(config_.passage_window, corpus_.mutable_dictionary(),
+                         EffectiveIndexOptions());
+    doc_index_ = ir::InvertedIndex(corpus_.mutable_dictionary(),
+                                   EffectiveIndexOptions());
     passage_index_.set_metrics(metrics_);
     doc_index_.set_metrics(metrics_);
     for (const ir::Document& doc : docs->documents()) {
@@ -77,8 +89,10 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
     }
   } else {
     passage_index_ =
-        ir::PassageIndex(config_.passage_window, corpus_.mutable_dictionary());
-    doc_index_ = ir::InvertedIndex(corpus_.mutable_dictionary());
+        ir::PassageIndex(config_.passage_window, corpus_.mutable_dictionary(),
+                         EffectiveIndexOptions());
+    doc_index_ = ir::InvertedIndex(corpus_.mutable_dictionary(),
+                                   EffectiveIndexOptions());
     passage_index_.set_metrics(metrics_);
     doc_index_.set_metrics(metrics_);
     // Parallel analysis needs an unlimited budget: with a finite one, the
@@ -105,6 +119,8 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
         plains[i] = preprocessor_(documents[i]);
       });
       corpus_.AddBatch(keys, std::move(plains), &pool);
+      std::vector<std::pair<ir::DocId, const text::AnalyzedDocument*>> batch;
+      batch.reserve(documents.size());
       for (const ir::Document& doc : documents) {
         const text::AnalyzedDocument* analysis = corpus_.Find(doc.id);
         if (deadline_ != nullptr) {
@@ -112,9 +128,13 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
               "qa.index.analysis",
               static_cast<double>(analysis->sentences.size())));
         }
-        passage_index_.AddAnalyzed(doc.id, *analysis);
-        doc_index_.AddAnalyzed(doc.id, *analysis);
+        batch.emplace_back(doc.id, analysis);
       }
+      // Both indexes build their postings shards concurrently on the same
+      // pool — one sealed segment per shard, byte-identical to the serial
+      // AddAnalyzed loop (AddAnalyzedBatch's contract).
+      passage_index_.AddAnalyzedBatch(batch, &pool);
+      doc_index_.AddAnalyzedBatch(batch, &pool);
     } else {
       for (const ir::Document& doc : docs->documents()) {
         const text::AnalyzedDocument& analysis =
@@ -133,6 +153,7 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
     }
     timings_.indexation_sentences = corpus_.sentence_count();
   }
+  indexed_docs_ = docs->size();
   timings_.indexation_ms = MsSince(start);
   if (metrics_ != nullptr) {
     metrics_
@@ -150,6 +171,47 @@ Status AliQAn::IndexCorpus(const ir::DocumentStore* docs) {
         ->Observe(timings_.indexation_ms);
   }
   return Status::OK();
+}
+
+Result<size_t> AliQAn::IngestNewDocuments() {
+  if (docs_ == nullptr) {
+    return Status::Internal(
+        "IndexCorpus must run before incremental ingest");
+  }
+  const auto& documents = docs_->documents();
+  size_t added = 0;
+  while (indexed_docs_ < documents.size()) {
+    const ir::Document& doc = documents[indexed_docs_];
+    ++indexed_docs_;
+    ++added;
+    if (config_.reanalyze_per_question) {
+      std::string plain = preprocessor_(doc);
+      passage_index_.AddDocument(doc.id, plain);
+      doc_index_.AddDocument(doc.id, plain);
+      plain_.push_back(std::move(plain));
+      continue;
+    }
+    const text::AnalyzedDocument& analysis =
+        corpus_.Add(doc.id, preprocessor_(doc));
+    passage_index_.AddAnalyzed(doc.id, analysis);
+    doc_index_.AddAnalyzed(doc.id, analysis);
+    timings_.indexation_sentences += analysis.sentences.size();
+    // Same per-sentence charge as IndexCorpus: the linguistic work is
+    // billed where it happens. The cursor has already advanced past this
+    // document, so a retry after a budget refill resumes with the next.
+    if (deadline_ != nullptr) {
+      DWQA_RETURN_NOT_OK(deadline_->Spend(
+          "qa.index.analysis",
+          static_cast<double>(analysis.sentences.size())));
+    }
+  }
+  if (metrics_ != nullptr && added > 0) {
+    metrics_
+        ->GetCounter(kMetricIndexIngestDocs, {},
+                     "Documents made searchable via incremental ingest")
+        ->Increment(static_cast<double>(added));
+  }
+  return added;
 }
 
 Result<QuestionAnalysis> AliQAn::AnalyzeQuestion(

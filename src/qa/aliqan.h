@@ -2,16 +2,19 @@
 #define DWQA_QA_ALIQAN_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "ir/document.h"
 #include "ir/inverted_index.h"
 #include "ir/passage_index.h"
+#include "ir/segmented_index.h"
 #include "ontology/ontology.h"
 #include "qa/answer.h"
 #include "qa/degradation.h"
@@ -48,6 +51,15 @@ struct AliQAnConfig {
   /// deadline budget is installed (mid-indexation exhaustion is inherently
   /// order-dependent) or under the reanalyze_per_question ablation.
   size_t threads = 1;
+  /// Segment policy for both indexes (ir/segmented_index.h): memtable seal
+  /// threshold, merge trigger, posting-block size. `merge_pool` is ignored
+  /// here — set index_merge_threads instead and AliQAn owns the pool.
+  ir::SegmentedIndexOptions index_options;
+  /// Background threads for segment merges. 0 (the default) merges inline
+  /// on the writer thread; N > 0 runs merges on an AliQAn-owned pool so
+  /// ingest returns before compaction finishes. Either way searches stay
+  /// byte-identical — merge timing never changes results.
+  size_t index_merge_threads = 0;
 };
 
 /// \brief Wall-clock of the last Ask()/IndexCorpus() call, by phase — used
@@ -122,6 +134,13 @@ class AliQAn {
   /// Off-line indexation phase. `docs` must outlive this object.
   Status IndexCorpus(const ir::DocumentStore* docs);
 
+  /// Incremental ingest: indexes every document appended to the store
+  /// since the last IndexCorpus()/IngestNewDocuments() call — an append
+  /// into both segmented indexes, never a rebuild, so the cost is
+  /// proportional to the new documents and independent of corpus size.
+  /// New documents are searchable on return. Returns the number ingested.
+  Result<size_t> IngestNewDocuments();
+
   /// Module 1: question analysis.
   Result<QuestionAnalysis> AnalyzeQuestion(const std::string& question) const;
 
@@ -164,12 +183,19 @@ class AliQAn {
   const PhaseTimings& last_timings() const { return timings_; }
 
  private:
+  /// config_.index_options with the owned merge pool injected.
+  ir::SegmentedIndexOptions EffectiveIndexOptions() const;
+
   const ontology::Ontology* onto_;
   AliQAnConfig config_;
   Preprocessor preprocessor_;
   const ir::DocumentStore* docs_ = nullptr;
   Deadline* deadline_ = nullptr;
   MetricRegistry* metrics_ = nullptr;
+  /// Background merge pool (null when index_merge_threads == 0). Declared
+  /// before the indexes that submit work to it: index destructors wait for
+  /// in-flight merges, so the pool must be destroyed after them.
+  std::unique_ptr<ThreadPool> merge_pool_;
   /// Owns the shared TermDictionary; declared before the indexes that
   /// borrow its pointer so destruction order stays safe.
   text::AnalyzedCorpus corpus_;
@@ -179,6 +205,8 @@ class AliQAn {
   ir::PassageIndex passage_index_;
   ir::InvertedIndex doc_index_;
   PhaseTimings timings_;
+  /// Documents of docs_ already indexed — the IngestNewDocuments cursor.
+  size_t indexed_docs_ = 0;
 };
 
 }  // namespace qa

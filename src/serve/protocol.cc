@@ -68,6 +68,7 @@ const char* EndpointName(Endpoint endpoint) {
     case Endpoint::kAsk: return "ask";
     case Endpoint::kFeed: return "feed";
     case Endpoint::kBi: return "bi";
+    case Endpoint::kIngest: return "ingest";
     case Endpoint::kHealth: return "health";
     case Endpoint::kMetrics: return "metrics";
   }
@@ -78,6 +79,7 @@ Result<Endpoint> ParseEndpoint(const std::string& name) {
   if (name == "ask") return Endpoint::kAsk;
   if (name == "feed") return Endpoint::kFeed;
   if (name == "bi") return Endpoint::kBi;
+  if (name == "ingest") return Endpoint::kIngest;
   if (name == "health") return Endpoint::kHealth;
   if (name == "metrics") return Endpoint::kMetrics;
   return Status::InvalidArgument("protocol: unknown endpoint '" + name +
@@ -105,7 +107,11 @@ std::string Request::Serialize() const {
   if (no_cache) out << "nocache=1\n";
   if (fact_name != "Weather") out << "fact=" << fact_name << "\n";
   if (attribute != "temperature") out << "attribute=" << attribute << "\n";
+  if (!doc_url.empty()) out << "url=" << doc_url << "\n";
+  if (!doc_title.empty()) out << "title=" << doc_title << "\n";
+  if (doc_format != "text") out << "format=" << doc_format << "\n";
   for (const auto& q : questions) out << "q=" << q << "\n";
+  if (!doc_content.empty()) out << "\n" << doc_content;
   return out.str();
 }
 
@@ -137,6 +143,16 @@ Result<Request> Request::Parse(const std::string& body) {
       req.fact_name = value;
     } else if (key == "attribute") {
       req.attribute = value;
+    } else if (key == "url") {
+      req.doc_url = value;
+    } else if (key == "title") {
+      req.doc_title = value;
+    } else if (key == "format") {
+      if (value != "text" && value != "html" && value != "xml") {
+        return Status::InvalidArgument("protocol: unknown format '" + value +
+                                       "'");
+      }
+      req.doc_format = value;
     } else if (key == "q") {
       req.questions.push_back(value);
     }
@@ -145,6 +161,7 @@ Result<Request> Request::Parse(const std::string& body) {
   if (!saw_endpoint) {
     return Status::InvalidArgument("protocol: request without endpoint=");
   }
+  req.doc_content = split.payload;
   return req;
 }
 

@@ -28,16 +28,18 @@ namespace serve {
 /// golden tests. Values must not contain newlines; multi-line content
 /// travels in the payload section.
 
-/// \brief The five endpoints of the serving layer.
+/// \brief The six endpoints of the serving layer.
 enum class Endpoint {
   kAsk,      ///< One question against the tenant's QA engine.
   kFeed,     ///< A Step-5 feed batch (questions → facts → warehouse).
   kBi,       ///< The sales-vs-weather BI analysis over the tenant's DW.
+  kIngest,   ///< Appends one document to the tenant's corpus and indexes
+             ///< it incrementally (segmented-index append, no rebuild).
   kHealth,   ///< Server-level health (never admission-controlled).
   kMetrics,  ///< Prometheus export (never admission-controlled).
 };
 
-/// "ask", "feed", "bi", "health", "metrics" — the wire names.
+/// "ask", "feed", "bi", "ingest", "health", "metrics" — the wire names.
 const char* EndpointName(Endpoint endpoint);
 
 /// Parses a wire name; InvalidArgument on an unknown endpoint.
@@ -83,6 +85,18 @@ struct Request {
   /// When true the answer cache is bypassed (live-fresh, Snippet-1 "direct
   /// mode"); default is cached-fast.
   bool no_cache = false;
+  /// \name Ingest document (`ingest` endpoint only)
+  /// @{
+  /// Source URL (`url=` header; may be empty).
+  std::string doc_url;
+  /// Document title (`title=` header; may be empty).
+  std::string doc_title;
+  /// "text" | "html" | "xml" (`format=` header; default "text").
+  std::string doc_format = "text";
+  /// Raw document content. Travels in the payload section (after the blank
+  /// line) because header values cannot contain newlines.
+  std::string doc_content;
+  /// @}
 
   /// Renders the `key=value` body (not the frame).
   std::string Serialize() const;

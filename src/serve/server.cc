@@ -85,6 +85,12 @@ Status QaServer::AddTenant(const ServeTenantConfig& tenant) {
         "tenant '" + tenant.name +
         "' needs a warehouse, a UML model and a document corpus");
   }
+  if (tenant.ingest_docs != nullptr && tenant.ingest_docs != tenant.docs) {
+    return Status::InvalidArgument(
+        "tenant '" + tenant.name +
+        "': ingest_docs must alias docs — ingest appends to the same store "
+        "the indexes were built from");
+  }
   DWQA_RETURN_NOT_OK(tenant.cache.Validate());
   DWQA_RETURN_NOT_OK(tenant.retry.Validate());
   DWQA_RETURN_NOT_OK(tenant.breaker.Validate());
@@ -132,6 +138,8 @@ double QaServer::CostOf(const Request& request) const {
                                            request.questions.size()));
     case Endpoint::kBi:
       return std::max(1.0, config_.bi_cost);
+    case Endpoint::kIngest:
+      return std::max(1.0, config_.ingest_cost);
     default:
       return 1.0;
   }
@@ -238,6 +246,11 @@ Response QaServer::Handle(const Request& request) {
                request.questions.empty()) {
       response = MakeReject(request, RejectKind::kBadRequest, "bad_request",
                             "feed needs at least one question");
+    } else if (request.endpoint == Endpoint::kIngest &&
+               request.doc_content.empty()) {
+      response = MakeReject(request, RejectKind::kBadRequest, "bad_request",
+                            "ingest needs document content in the payload "
+                            "section (after the blank line)");
     } else {
       double cost = CostOf(request);
       AdmissionDecision admitted =
@@ -275,6 +288,8 @@ Response QaServer::Execute(Tenant* tenant, const Request& request,
       return ExecuteFeed(tenant, request);
     case Endpoint::kBi:
       return ExecuteBi(tenant, request);
+    case Endpoint::kIngest:
+      return ExecuteIngest(tenant, request);
     default:
       return MakeError(request,
                        Status::InvalidArgument(
@@ -325,6 +340,9 @@ Response QaServer::ExecuteAsk(Tenant* tenant, const Request& request,
   if (half_open_probe) policy.max_attempts = 1;
 
   RetryStats stats;
+  // Shared corpus lock: concurrent asks proceed together, an in-flight
+  // ingest's index append is never observed half-done.
+  std::shared_lock<std::shared_mutex> corpus_lock(tenant->corpus_mu);
   Result<qa::AnswerSet> asked = RetryResultCall<qa::AnswerSet>(
       policy,
       [&]() -> Result<qa::AnswerSet> {
@@ -336,6 +354,7 @@ Response QaServer::ExecuteAsk(Tenant* tenant, const Request& request,
                                                    &deadline);
       },
       &stats, &deadline, kFaultPointFetch);
+  corpus_lock.unlock();
   MirrorRetryStats(tenant->pipeline->metrics(), "serve.ask", stats,
                    !asked.ok());
 
@@ -389,6 +408,9 @@ Response QaServer::ExecuteAsk(Tenant* tenant, const Request& request,
 
 Response QaServer::ExecuteFeed(Tenant* tenant, const Request& request) {
   std::lock_guard<std::mutex> lock(tenant->state_mu);
+  // Feed reads the QA indexes (Step-5 asks questions): shared corpus lock,
+  // acquired after state_mu per the documented order.
+  std::shared_lock<std::shared_mutex> corpus_lock(tenant->corpus_mu);
   Result<integration::FeedReport> fed = tenant->pipeline->RunStep5(
       request.questions, request.fact_name, request.attribute);
   if (!fed.ok()) return MakeError(request, fed.status());
@@ -447,6 +469,32 @@ Response QaServer::ExecuteBi(Tenant* tenant, const Request& request) {
            << " observations=" << range.observations << "\n";
   }
   response.payload = ranges.str();
+  return response;
+}
+
+Response QaServer::ExecuteIngest(Tenant* tenant, const Request& request) {
+  ir::DocumentStore* store = tenant->config.ingest_docs;
+  if (store == nullptr) {
+    return MakeReject(request, RejectKind::kBadRequest, "bad_request",
+                      "tenant '" + request.tenant +
+                          "' was registered without a mutable document "
+                          "store; ingest is disabled");
+  }
+  ir::DocFormat format = ir::DocFormat::kPlainText;
+  if (request.doc_format == "html") format = ir::DocFormat::kHtml;
+  if (request.doc_format == "xml") format = ir::DocFormat::kXml;
+  // Exclusive corpus lock: the append and its indexation are atomic with
+  // respect to asks/feeds — either the document is fully searchable or not
+  // yet visible. Cached answers are not invalidated; they age out via TTL
+  // (or a client asks with nocache=1 for a live-fresh view).
+  std::unique_lock<std::shared_mutex> corpus_lock(tenant->corpus_mu);
+  store->Add(request.doc_url, request.doc_title, format,
+             request.doc_content);
+  Result<size_t> ingested = tenant->pipeline->IngestNewDocuments();
+  if (!ingested.ok()) return MakeError(request, ingested.status());
+  Response response = MakeBase(request);
+  response.answer.emplace_back("ingested", std::to_string(*ingested));
+  response.answer.emplace_back("documents", std::to_string(store->size()));
   return response;
 }
 

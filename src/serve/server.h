@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/circuit_breaker.h"
@@ -35,6 +36,11 @@ struct ServeTenantConfig {
   const ontology::UmlModel* uml = nullptr;
   /// The tenant's document corpus, indexed at registration time.
   const ir::DocumentStore* docs = nullptr;
+  /// Mutable alias of `docs` enabling the `ingest` endpoint: ingest
+  /// appends documents here and incrementally indexes them (a segmented
+  /// append, never a rebuild). Null (the default) leaves the corpus
+  /// immutable and ingest requests are rejected as BadRequest.
+  ir::DocumentStore* ingest_docs = nullptr;
   /// The five-step pipeline configuration (per-tenant ontology/corpus
   /// state, resilience machinery, checkpoint path).
   integration::PipelineConfig pipeline;
@@ -68,6 +74,9 @@ struct ServerConfig {
   double feed_cost_per_question = 1.0;
   /// Estimated admission cost of one `bi` request.
   double bi_cost = 4.0;
+  /// Estimated admission cost of one `ingest` request (preprocess +
+  /// linguistic analysis + two index appends for one document).
+  double ingest_cost = 2.0;
   /// Upper bound on one request frame.
   size_t max_frame_bytes = 1 << 20;
 };
@@ -90,9 +99,11 @@ struct ServerConfig {
 ///
 /// Thread-safety: `Handle` may be called from concurrent callers after all
 /// tenants are registered (`AddTenant` itself is not concurrent with
-/// serving). `ask` requests of one tenant run concurrently (the QA index
-/// is quiescent after registration); `feed` and `bi` serialize on a
-/// per-tenant mutex because they touch the warehouse.
+/// serving). `ask` requests of one tenant run concurrently under a shared
+/// corpus lock; `ingest` takes that lock exclusively while it appends to
+/// the segmented indexes, so asks never observe a half-indexed document;
+/// `feed` and `bi` serialize on a per-tenant mutex because they touch the
+/// warehouse.
 class QaServer {
  public:
   explicit QaServer(ServerConfig config = {});
@@ -152,6 +163,10 @@ class QaServer {
     FaultInjector fault;
     /// Serializes feed/bi/health access to the pipeline + warehouse.
     std::mutex state_mu;
+    /// Guards the corpus + QA indexes: asks and feeds read under a shared
+    /// lock, ingest appends under an exclusive one. Always acquired after
+    /// state_mu when both are held.
+    std::shared_mutex corpus_mu;
     /// Serializes breaker admissions/outcomes on the ask path.
     std::mutex breaker_mu;
     /// Serializes the fault injector's RNG stream on the ask path.
@@ -171,6 +186,7 @@ class QaServer {
                       uint64_t tick);
   Response ExecuteFeed(Tenant* tenant, const Request& request);
   Response ExecuteBi(Tenant* tenant, const Request& request);
+  Response ExecuteIngest(Tenant* tenant, const Request& request);
   Response HandleHealth(const Request& request);
   Response HandleMetrics(const Request& request);
 

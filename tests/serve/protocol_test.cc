@@ -13,8 +13,8 @@ namespace {
 
 TEST(EndpointTest, NamesRoundTrip) {
   for (Endpoint endpoint :
-       {Endpoint::kAsk, Endpoint::kFeed, Endpoint::kBi, Endpoint::kHealth,
-        Endpoint::kMetrics}) {
+       {Endpoint::kAsk, Endpoint::kFeed, Endpoint::kBi, Endpoint::kIngest,
+        Endpoint::kHealth, Endpoint::kMetrics}) {
     auto parsed = ParseEndpoint(EndpointName(endpoint));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, endpoint);
@@ -59,6 +59,31 @@ TEST(RequestTest, FeedCarriesSeveralQuestionsAndFactTarget) {
   EXPECT_EQ(parsed->attribute, "price");
   EXPECT_EQ(parsed->questions,
             (std::vector<std::string>{"q one", "q two", "q three"}));
+}
+
+TEST(RequestTest, IngestRoundTripsHeadersAndPayloadContent) {
+  Request req;
+  req.id = 11;
+  req.tenant = "acme";
+  req.endpoint = Endpoint::kIngest;
+  req.doc_url = "http://example.test/new-page";
+  req.doc_title = "A new page";
+  req.doc_format = "html";
+  // Content travels in the payload section, so newlines and '=' survive.
+  req.doc_content = "<html>line one\nkey = value\n</html>\n";
+  auto parsed = Request::Parse(req.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->endpoint, Endpoint::kIngest);
+  EXPECT_EQ(parsed->tenant, "acme");
+  EXPECT_EQ(parsed->doc_url, "http://example.test/new-page");
+  EXPECT_EQ(parsed->doc_title, "A new page");
+  EXPECT_EQ(parsed->doc_format, "html");
+  EXPECT_EQ(parsed->doc_content, req.doc_content);
+}
+
+TEST(RequestTest, IngestRejectsUnknownDocumentFormat) {
+  EXPECT_FALSE(
+      Request::Parse("endpoint=ingest\nid=1\nformat=pdf\n\nbody").ok());
 }
 
 TEST(RequestTest, RejectsMalformedBodies) {

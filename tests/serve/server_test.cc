@@ -301,6 +301,73 @@ TEST_F(ServeTest, FeedThenBiClosesTheLoop) {
   EXPECT_FALSE(analyzed.payload.empty());
 }
 
+TEST_F(ServeTest, IngestAppendsToTheCorpusThroughTheServingPath) {
+  // Tenant with a mutable store: its own copy of the synthetic web docs.
+  ir::DocumentStore docs;
+  for (const ir::Document& d : web_->documents().documents()) {
+    docs.Add(d.url, d.title, d.format, d.raw);
+  }
+  ServeTenantConfig tenant = TenantConfig("a", wh_a_.get());
+  tenant.docs = &docs;
+  tenant.ingest_docs = &docs;
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(tenant).ok());
+
+  // First ask builds the index over the initial corpus.
+  ASSERT_EQ(server.Handle(Ask("a", kQuestion, 1)).status, "ok");
+  const size_t before = docs.size();
+
+  Request ingest;
+  ingest.id = 2;
+  ingest.tenant = "a";
+  ingest.endpoint = Endpoint::kIngest;
+  ingest.doc_url = "http://synthetic.test/extra";
+  ingest.doc_title = "Extra page";
+  ingest.doc_content = "The new terminal of El Prat opened in Barcelona.";
+  Response response = server.Handle(ingest);
+  ASSERT_EQ(response.status, "ok") << response.payload;
+  EXPECT_EQ(response.AnswerField("ingested"), "1");
+  EXPECT_EQ(response.AnswerField("documents"), std::to_string(before + 1));
+  // The pipeline really appended to its segmented indexes.
+  EXPECT_DOUBLE_EQ(server.tenant_pipeline("a")->metrics()->Value(
+                       kMetricIndexIngestDocs),
+                   1.0);
+
+  // The serving path keeps answering after the corpus grew.
+  Request fresh = Ask("a", kQuestion, 3);
+  fresh.no_cache = true;
+  EXPECT_EQ(server.Handle(fresh).status, "ok");
+}
+
+TEST_F(ServeTest, IngestRejectsWhenDisabledEmptyOrMisconfigured) {
+  // ingest_docs must alias docs: a separate store is a config error.
+  ir::DocumentStore other;
+  ServeTenantConfig bad = TenantConfig("x", wh_b_.get());
+  bad.ingest_docs = &other;
+  QaServer server;
+  EXPECT_TRUE(server.AddTenant(bad).IsInvalidArgument());
+
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  // Content is mandatory — rejected before touching the tenant.
+  Request empty;
+  empty.id = 1;
+  empty.tenant = "a";
+  empty.endpoint = Endpoint::kIngest;
+  empty.doc_url = "http://synthetic.test/empty";
+  Response no_content = server.Handle(empty);
+  EXPECT_EQ(no_content.status, "rejected");
+  EXPECT_EQ(no_content.code, "BadRequest");
+
+  // A tenant registered without a mutable store has ingest disabled.
+  Request ingest = empty;
+  ingest.id = 2;
+  ingest.doc_content = "some text";
+  Response disabled = server.Handle(ingest);
+  EXPECT_EQ(disabled.status, "rejected");
+  EXPECT_EQ(disabled.code, "BadRequest");
+}
+
 TEST_F(ServeTest, HealthAndMetricsBypassAdmissionAndReportTheServer) {
   ServerConfig config;
   config.admission.rate.capacity = 1.0;
