@@ -4,7 +4,11 @@
 // each with its own pipeline, answer cache and circuit breaker. Tenant
 // alpha owns a mutable copy of the corpus, so its `ingest` endpoint is
 // live: a document posted in the frame payload becomes searchable
-// without a reindex (DESIGN.md §14).
+// without a reindex (DESIGN.md §14). Alpha also carries a materialized
+// view catalog derived from the schema's conformed levels, so its `bi`
+// responses answer from pre-aggregated views (`sales_from_view=1`,
+// maintained incrementally as `feed` loads facts — DESIGN.md §15), while
+// beta demonstrates the recompute fallback.
 //
 //   printf 'DWQA1 %s' "$(printf 'endpoint=ask\nid=1\ntenant=alpha\nq=What is the temperature in Barcelona in January of 2004?\n' | wc -c)" \
 //     && printf '\nendpoint=ask\nid=1\ntenant=alpha\nq=...\n'
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "common/date.h"
+#include "dw/materialized_view.h"
 #include "integration/last_minute_sales.h"
 #include "serve/server.h"
 #include "web/synthetic_web.h"
@@ -60,14 +65,32 @@ int main() {
   }
 
   std::vector<std::unique_ptr<dw::Warehouse>> warehouses;
+  std::vector<std::unique_ptr<dw::ViewCatalog>> catalogs;
   for (const char* name : {"alpha", "beta"}) {
     auto wh = std::make_unique<dw::Warehouse>(
         LastMinuteSales::MakeWarehouse().ValueOrDie());
+    if (std::string_view(name) == "alpha") {
+      auto views = std::make_unique<dw::ViewCatalog>();
+      if (auto st = views->DefineAll(
+              dw::DeriveViewsFromSchema(wh->schema()));
+          !st.ok()) {
+        std::cerr << st << std::endl;
+        return 1;
+      }
+      wh->AttachViews(views.get());
+      catalogs.push_back(std::move(views));
+    }
     if (auto generated = LastMinuteSales::GenerateSales(
             wh.get(), webb.weather(), Date(2004, 1, 1), 59);
         !generated.ok()) {
       std::cerr << generated.status() << std::endl;
       return 1;
+    }
+    if (wh->views() != nullptr) {
+      if (auto st = wh->views()->Bind(*wh); !st.ok()) {
+        std::cerr << st << std::endl;
+        return 1;
+      }
     }
     serve::ServeTenantConfig tenant;
     tenant.name = name;

@@ -40,6 +40,15 @@ echo "##### perf smoke (ctest -L perf) → $BUILD_DIR/BENCH_phase3.json #####"
 DWQA_BENCH_JSON="$ROOT/$BUILD_DIR/BENCH_phase3.json" \
   ctest --test-dir "$ROOT/$BUILD_DIR" -L perf --output-on-failure
 
+# The perf-regression gate CI runs, locally: gated benches (view reads,
+# maintenance cost, cold replay) must stay within 2x of the committed
+# baseline. Regenerate with `scripts/bench_compare.py ... --update` after
+# an intentional perf change and commit the new bench/baseline.json.
+python3 "$ROOT/scripts/bench_compare.py" \
+  --current "$ROOT/$BUILD_DIR/BENCH_phase3.json" \
+  --baseline "$ROOT/bench/baseline.json" \
+  --report "$ROOT/$BUILD_DIR/bench_diff.md"
+
 if [ -n "$SANITIZE" ]; then
   SAN_DIR="${BUILD_DIR}-san"
   echo
@@ -99,6 +108,19 @@ if [ -n "$SANITIZE" ]; then
        UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
        ctest --test-dir "$ROOT/$SAN_DIR" -L index --output-on-failure; then
     echo "check.sh: segmented-index suite FAILED under -fsanitize=$SANITIZE" >&2
+    exit 1
+  fi
+
+  # The materialized-view suite once more under the sanitizers: delta
+  # maintenance mutating shared AggStates under the catalog lock, the
+  # chaos-fed equivalence sweep and the crash-point view-recovery sweep
+  # must be clean under -fsanitize, not just byte-identical.
+  echo
+  echo "##### materialized-view suite under sanitizers (ctest -L views) #####"
+  if ! ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+       ctest --test-dir "$ROOT/$SAN_DIR" -L views --output-on-failure; then
+    echo "check.sh: materialized-view suite FAILED under -fsanitize=$SANITIZE" >&2
     exit 1
   fi
 fi

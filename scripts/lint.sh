@@ -57,4 +57,24 @@ if [ "$missing" -ne 0 ]; then
   failed=1
 fi
 
+# Lint 4: the span taxonomy, same contract as the metric catalogue. Every
+# span name opened in src/ (a string literal at a `Span x(recorder, "...")`
+# construction site — `view.maintain`, `qa.ask`, `wal.append`, ...) must be
+# documented in docs/OBSERVABILITY.md, or trace trees grow anonymous nodes
+# nobody can interpret.
+missing_spans=0
+for name in $(grep -rhoE 'Span [a-z_]+\([a-zA-Z_>.()-]+, *"[a-z0-9._]+"' \
+                "$ROOT/src" --include='*.h' --include='*.cc' \
+                | grep -oE '"[a-z0-9._]+"' | tr -d '"' | sort -u); do
+  if ! grep -q "\`$name\`" "$catalogue"; then
+    echo "$name"
+    missing_spans=1
+  fi
+done
+if [ "$missing_spans" -ne 0 ]; then
+  echo "lint: span names above are opened in src/ but missing from" \
+       "docs/OBSERVABILITY.md — add them to the span taxonomy." >&2
+  failed=1
+fi
+
 exit "$failed"

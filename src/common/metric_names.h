@@ -253,6 +253,27 @@ inline constexpr char kMetricRecoveryOpenLatency[] =
     "dwqa_recovery_open_latency_ms";
 /// @}
 
+/// \name Materialized OLAP views (dw/materialized_view.h)
+/// @{
+/// Gauge: views currently bound in the catalog.
+inline constexpr char kMetricViewCount[] = "dwqa_view_count";
+/// Gauge: aggregate groups materialized across all views.
+inline constexpr char kMetricViewGroups[] = "dwqa_view_groups";
+/// Counter: per-view delta applications — one per view touched per
+/// inserted fact (incremental maintenance volume).
+inline constexpr char kMetricViewMaintenanceUpdates[] =
+    "dwqa_view_maintenance_updates_total";
+/// Histogram: per-fact incremental maintenance latency across all views.
+inline constexpr char kMetricViewMaintainLatency[] =
+    "dwqa_view_maintain_latency_ms";
+/// Counter, labels {view}: queries answered from a matching view.
+inline constexpr char kMetricViewReads[] = "dwqa_view_reads_total";
+/// Counter: view lookups that missed — the recompute fallbacks.
+inline constexpr char kMetricViewMisses[] = "dwqa_view_misses_total";
+/// Counter: full rebuild scans of the catalog (Bind, recovery).
+inline constexpr char kMetricViewRebuilds[] = "dwqa_view_rebuilds_total";
+/// @}
+
 /// \name Warehouse / ETL boundary (integration/pipeline.cc, dw/etl.h)
 /// @{
 /// Histogram: per-record ETL load latency (retries included).

@@ -1,0 +1,34 @@
+#include "dw/cost_estimator.h"
+
+#include <algorithm>
+
+#include "dw/materialized_view.h"
+
+namespace dwqa {
+namespace dw {
+
+Result<CostEstimate> CostEstimator::Estimate(const Warehouse& wh,
+                                             const OlapQuery& query) const {
+  CostEstimate estimate;
+  const ViewCatalog* views = wh.views();
+  if (views != nullptr) {
+    auto groups = views->EstimateGroups(query);
+    if (groups.ok()) {
+      estimate.estimated_rows = *groups;
+      estimate.from_view = true;
+    }
+  }
+  if (!estimate.from_view) {
+    DWQA_ASSIGN_OR_RETURN(estimate.estimated_rows,
+                          wh.FactRowCount(query.fact));
+  }
+  double units = options_.rows_per_unit > 0.0
+                     ? static_cast<double>(estimate.estimated_rows) /
+                           options_.rows_per_unit
+                     : static_cast<double>(estimate.estimated_rows);
+  estimate.cost_units = std::max(options_.min_units, units);
+  return estimate;
+}
+
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,58 @@
+#ifndef DWQA_DW_COST_ESTIMATOR_H_
+#define DWQA_DW_COST_ESTIMATOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dw/olap.h"
+
+namespace dwqa {
+namespace dw {
+
+/// \brief The cost estimate of one OLAP query, before executing it.
+struct CostEstimate {
+  /// Rows the query will touch: the matched view's group cardinality, or
+  /// the fact table's full row count for a recompute scan.
+  size_t estimated_rows = 0;
+  /// True when a materialized view covers the query (microsecond read).
+  bool from_view = false;
+  /// Normalized admission weight: max(min_units, rows / rows_per_unit).
+  double cost_units = 1.0;
+};
+
+/// \brief Rows-touched estimator for OLAP/BI queries, from table and view
+/// cardinalities — never from executing the query.
+///
+/// The serving layer consults this before admission (the `estimate_cost`
+/// pattern): a query a view covers costs its group count (tiny, stable as
+/// facts stream in), a recompute costs the full fact scan (grows with the
+/// warehouse), so under load the admission cost budget sheds the expensive
+/// recomputes first while view-answered dashboards keep flowing.
+class CostEstimator {
+ public:
+  struct Options {
+    /// Fact rows one admission cost unit buys.
+    double rows_per_unit = 1000.0;
+    /// Floor under every estimate (admission costs are >= 1 by convention).
+    double min_units = 1.0;
+  };
+
+  CostEstimator() = default;
+  explicit CostEstimator(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Estimates `query` against `wh`: the attached view catalog's matching
+  /// group count when one covers it, the fact row count otherwise. Fails
+  /// only when the fact itself is unknown.
+  Result<CostEstimate> Estimate(const Warehouse& wh,
+                                const OlapQuery& query) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_COST_ESTIMATOR_H_

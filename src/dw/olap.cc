@@ -27,8 +27,7 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
-namespace {
-bool Compare(double lhs, CompareOp op, double rhs) {
+bool EvalCompare(double lhs, CompareOp op, double rhs) {
   switch (op) {
     case CompareOp::kLess:
       return lhs < rhs;
@@ -43,7 +42,6 @@ bool Compare(double lhs, CompareOp op, double rhs) {
   }
   return false;
 }
-}  // namespace
 
 std::string OlapResult::ToDisplayString(size_t max_rows) const {
   TablePrinter printer(headers);
@@ -59,40 +57,6 @@ std::string OlapResult::ToDisplayString(size_t max_rows) const {
   }
   return out;
 }
-
-namespace {
-
-struct AggState {
-  double sum = 0.0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  size_t count = 0;
-
-  void Add(double v) {
-    sum += v;
-    min = std::min(min, v);
-    max = std::max(max, v);
-    ++count;
-  }
-
-  Value Finish(AggFn fn) const {
-    switch (fn) {
-      case AggFn::kSum:
-        return Value(sum);
-      case AggFn::kCount:
-        return Value(static_cast<int64_t>(count));
-      case AggFn::kAvg:
-        return count == 0 ? Value() : Value(sum / double(count));
-      case AggFn::kMin:
-        return count == 0 ? Value() : Value(min);
-      case AggFn::kMax:
-        return count == 0 ? Value() : Value(max);
-    }
-    return Value();
-  }
-};
-
-}  // namespace
 
 Result<OlapResult> OlapEngine::Execute(const OlapQuery& query) const {
   DWQA_ASSIGN_OR_RETURN(const FactDef* fact,
@@ -198,7 +162,7 @@ Result<OlapResult> OlapEngine::Execute(const OlapQuery& query) const {
           states[h.measure_index]
               .Finish(query.measures[h.measure_index].agg)
               .ToDouble();
-      if (!Compare(aggregated, h.op, h.value)) {
+      if (!EvalCompare(aggregated, h.op, h.value)) {
         keep = false;
         break;
       }

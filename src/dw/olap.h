@@ -1,6 +1,8 @@
 #ifndef DWQA_DW_OLAP_H_
 #define DWQA_DW_OLAP_H_
 
+#include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,46 @@ struct Filter {
 enum class CompareOp { kLess, kLessEqual, kGreater, kGreaterEqual, kEqual };
 
 const char* CompareOpName(CompareOp op);
+
+/// Evaluates `lhs op rhs` — the one comparator both the OLAP engine and the
+/// materialized-view reader apply to HAVING predicates.
+bool EvalCompare(double lhs, CompareOp op, double rhs);
+
+/// \brief Running aggregate of one measure within one group.
+///
+/// Shared by the OLAP engine's hash aggregation and the materialized-view
+/// maintenance path: a view's groups are byte-identical to a recompute
+/// because both sides accumulate through this struct and render through the
+/// same Finish().
+struct AggState {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  size_t count = 0;
+
+  void Add(double v) {
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    ++count;
+  }
+
+  Value Finish(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kSum:
+        return Value(sum);
+      case AggFn::kCount:
+        return Value(static_cast<int64_t>(count));
+      case AggFn::kAvg:
+        return count == 0 ? Value() : Value(sum / double(count));
+      case AggFn::kMin:
+        return count == 0 ? Value() : Value(min);
+      case AggFn::kMax:
+        return count == 0 ? Value() : Value(max);
+    }
+    return Value();
+  }
+};
 
 /// Post-aggregation predicate: keep groups whose aggregated measure
 /// compares true against `value`. `measure_index` refers to the query's

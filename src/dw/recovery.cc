@@ -4,6 +4,7 @@
 
 #include "common/metric_names.h"
 #include "dw/etl.h"
+#include "dw/materialized_view.h"
 #include "dw/persistence.h"
 
 namespace dwqa {
@@ -92,6 +93,14 @@ Result<RecoveredWarehouse> OpenImpl(const std::string& dir,
   recovered.snapshot_lsn = snapshot_lsn;
   recovered.last_lsn = snapshot_lsn;
   recovered.issues = std::move(issues);
+
+  // View state is derivable: rebuild it from the snapshot's fact multiset
+  // now, then let the WAL replay below stream every recovered fact through
+  // the incremental-maintenance hook — the exact path the live feed takes.
+  if (options.views != nullptr) {
+    recovered.warehouse.AttachViews(options.views);
+    DWQA_RETURN_NOT_OK(options.views->Bind(recovered.warehouse));
+  }
 
   // 3. Scan the WAL; cut the torn tail (those bytes never committed).
   DWQA_ASSIGN_OR_RETURN(WalScan scan, ScanWal(dir, fs));

@@ -37,6 +37,14 @@ struct RecoveryOptions {
   bool truncate_torn_tail = true;
   /// Receives the dwqa_recovery_* series (null = observability off).
   MetricRegistry* metrics = nullptr;
+  /// Materialized-view catalog to attach to the recovered warehouse
+  /// (caller-owned, with its view set already Define()d). View state is
+  /// derivable, so it is never persisted: recovery rebuilds it from the
+  /// recovered fact multiset (Bind after the snapshot loads) and the WAL
+  /// replay routes every replayed fact's delta through incremental
+  /// maintenance — the crash-point sweep asserts the result equals a
+  /// from-scratch rebuild at every crash point.
+  ViewCatalog* views = nullptr;
 };
 
 /// \brief The outcome of Recovery::Open: the rebuilt warehouse plus the

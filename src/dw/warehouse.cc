@@ -1,6 +1,7 @@
 #include "dw/warehouse.h"
 
 #include "common/string_util.h"
+#include "dw/materialized_view.h"
 
 namespace dwqa {
 namespace dw {
@@ -147,7 +148,15 @@ Status Warehouse::InsertFact(std::string_view fact,
     row.emplace_back(static_cast<int64_t>(id));
   }
   for (const Value& m : measures) row.push_back(m);
-  return fact_tables_[fi].AppendRow(row);
+  DWQA_RETURN_NOT_OK(fact_tables_[fi].AppendRow(row));
+  // Incremental view maintenance: the delta of this one fact, applied to
+  // every bound view of the fact, before the insert returns — views are
+  // never staler than the fact tables.
+  if (views_ != nullptr) {
+    DWQA_RETURN_NOT_OK(
+        views_->OnFactInserted(*this, fi, member_per_role, measures));
+  }
+  return Status::OK();
 }
 
 Result<const Table*> Warehouse::FactTable(std::string_view fact) const {

@@ -15,6 +15,8 @@
 namespace dwqa {
 namespace dw {
 
+class ViewCatalog;
+
 /// Surrogate key of a dimension member (row in the dimension table).
 using MemberId = int32_t;
 constexpr MemberId kInvalidMember = -1;
@@ -67,8 +69,22 @@ class Warehouse {
   /// Number of rows of a fact table.
   Result<size_t> FactRowCount(std::string_view fact) const;
 
+  /// Attaches a materialized-view catalog: every subsequent InsertFact
+  /// routes its delta through ViewCatalog::OnFactInserted (incremental
+  /// maintenance). The catalog is caller-owned and must outlive the
+  /// warehouse. The pointer travels with warehouse moves; the catalog never
+  /// points back, so moving the warehouse (recovery does, repeatedly) is
+  /// safe. Null detaches.
+  void AttachViews(ViewCatalog* views) { views_ = views; }
+
+  /// The attached view catalog (null = none). BI readers consult it first;
+  /// the cost estimator reads its cardinalities.
+  ViewCatalog* views() const { return views_; }
+
  private:
   Warehouse() = default;
+
+  ViewCatalog* views_ = nullptr;
 
   MdSchema schema_;
   /// Parallel to schema_.dimensions().

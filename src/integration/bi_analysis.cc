@@ -4,33 +4,102 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "dw/materialized_view.h"
 #include "dw/olap.h"
 
 namespace dwqa {
 namespace integration {
 
+const char* BiModeName(BiMode mode) {
+  switch (mode) {
+    case BiMode::kViewFirst:
+      return "view_first";
+    case BiMode::kViewOnly:
+      return "view_only";
+    case BiMode::kRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Answers `query` from the warehouse's view catalog when `mode` allows and
+/// a view covers it (byte-identical to the recompute by the catalog's
+/// contract), recomputing otherwise. kViewOnly never scans base facts.
+Result<dw::OlapResult> RunQuery(const dw::Warehouse& wh,
+                                const dw::OlapEngine& engine,
+                                const dw::OlapQuery& query, BiMode mode,
+                                bool* from_view) {
+  *from_view = false;
+  if (mode != BiMode::kRecompute && wh.views() != nullptr) {
+    auto viewed = wh.views()->Answer(query);
+    if (viewed.ok()) {
+      *from_view = true;
+      return viewed;
+    }
+    if (!viewed.status().IsNotFound()) return viewed.status();
+  }
+  if (mode == BiMode::kViewOnly) {
+    return Status::Unavailable(
+        "no materialized view covers the '" + query.fact +
+        "' aggregate and view-only mode never recomputes from base facts");
+  }
+  return engine.Execute(query);
+}
+
+}  // namespace
+
+dw::OlapQuery BiAnalysis::SalesQuery(const std::string& sales_fact) {
+  // Daily tickets per destination city.
+  dw::OlapQuery q;
+  q.fact = sales_fact;
+  q.measures = {{"Tickets", dw::AggFn::kSum}};
+  q.group_by = {{"destination", "City"}, {"date", "Date"}};
+  return q;
+}
+
+dw::OlapQuery BiAnalysis::WeatherQuery(const std::string& weather_fact) {
+  // Daily temperature per city from the QA-fed Weather fact (average of
+  // the extracted tuples for that day).
+  dw::OlapQuery q;
+  q.fact = weather_fact;
+  q.measures = {{"TemperatureC", dw::AggFn::kAvg}};
+  q.group_by = {{"location", "City"}, {"day", "Date"}};
+  return q;
+}
+
+Result<dw::CostEstimate> BiAnalysis::EstimateCost(
+    const dw::Warehouse& wh, const dw::CostEstimator& estimator,
+    const std::string& sales_fact, const std::string& weather_fact) {
+  DWQA_ASSIGN_OR_RETURN(dw::CostEstimate sales,
+                        estimator.Estimate(wh, SalesQuery(sales_fact)));
+  DWQA_ASSIGN_OR_RETURN(dw::CostEstimate weather,
+                        estimator.Estimate(wh, WeatherQuery(weather_fact)));
+  dw::CostEstimate combined;
+  combined.estimated_rows = sales.estimated_rows + weather.estimated_rows;
+  combined.from_view = sales.from_view && weather.from_view;
+  combined.cost_units = sales.cost_units + weather.cost_units;
+  return combined;
+}
+
 Result<BiReport> BiAnalysis::SalesVsTemperature(
     const dw::Warehouse& wh, const std::string& sales_fact,
-    const std::string& weather_fact, double bucket_width_c) {
+    const std::string& weather_fact, double bucket_width_c, BiMode mode) {
   if (bucket_width_c <= 0.0) {
     return Status::InvalidArgument("bucket width must be positive");
   }
   dw::OlapEngine engine(&wh);
 
-  // Daily tickets per destination city.
-  dw::OlapQuery sales_q;
-  sales_q.fact = sales_fact;
-  sales_q.measures = {{"Tickets", dw::AggFn::kSum}};
-  sales_q.group_by = {{"destination", "City"}, {"date", "Date"}};
-  DWQA_ASSIGN_OR_RETURN(dw::OlapResult sales, engine.Execute(sales_q));
+  bool sales_from_view = false;
+  DWQA_ASSIGN_OR_RETURN(
+      dw::OlapResult sales,
+      RunQuery(wh, engine, SalesQuery(sales_fact), mode, &sales_from_view));
 
-  // Daily temperature per city from the QA-fed Weather fact (average of
-  // the extracted tuples for that day).
-  dw::OlapQuery weather_q;
-  weather_q.fact = weather_fact;
-  weather_q.measures = {{"TemperatureC", dw::AggFn::kAvg}};
-  weather_q.group_by = {{"location", "City"}, {"day", "Date"}};
-  DWQA_ASSIGN_OR_RETURN(dw::OlapResult weather, engine.Execute(weather_q));
+  bool weather_from_view = false;
+  DWQA_ASSIGN_OR_RETURN(dw::OlapResult weather,
+                        RunQuery(wh, engine, WeatherQuery(weather_fact),
+                                 mode, &weather_from_view));
 
   std::map<std::pair<std::string, std::string>, double> temp_by_city_day;
   for (const auto& row : weather.rows) {
@@ -70,6 +139,8 @@ Result<BiReport> BiAnalysis::SalesVsTemperature(
 
   BiReport report;
   report.joined_days = n;
+  report.sales_from_view = sales_from_view;
+  report.weather_from_view = weather_from_view;
   for (auto& [bucket, stat] : buckets) {
     stat.avg_tickets /= static_cast<double>(stat.observations);
     report.ranges.push_back(stat);

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "dw/cost_estimator.h"
+#include "dw/olap.h"
 #include "dw/warehouse.h"
 
 namespace dwqa {
@@ -30,19 +32,58 @@ struct BiReport {
   /// The bucket with the highest average tickets.
   TempRangeStat best;
   size_t joined_days = 0;
+  /// True when the sales aggregate came from a materialized view (the
+  /// answer is byte-identical either way; this is observability).
+  bool sales_from_view = false;
+  /// Same, for the weather aggregate.
+  bool weather_from_view = false;
 };
+
+/// How the analysis sources its two OLAP aggregates.
+enum class BiMode {
+  /// Views when the attached catalog covers a query, recompute otherwise
+  /// (the default — always answers, as cheaply as possible).
+  kViewFirst,
+  /// Views only: fails with Unavailable when a needed view is missing.
+  /// The serving layer's degradation rung for estimated-too-expensive BI
+  /// requests — it never touches base facts.
+  kViewOnly,
+  /// Full recompute, ignoring any attached catalog (golden suites compare
+  /// kViewFirst against this for byte-identity).
+  kRecompute,
+};
+
+const char* BiModeName(BiMode mode);
 
 /// \brief The BI layer closing the loop of Step 5: joins the operational
 /// Last Minute Sales fact with the QA-fed Weather fact on (destination
 /// city, date) and reports ticket demand per temperature range.
 class BiAnalysis {
  public:
-  /// `bucket_width_c` sets the temperature bin size.
+  /// The canonical sales aggregate: daily tickets per destination city.
+  static dw::OlapQuery SalesQuery(
+      const std::string& sales_fact = "LastMinuteSales");
+
+  /// The canonical weather aggregate: daily average temperature per city.
+  static dw::OlapQuery WeatherQuery(
+      const std::string& weather_fact = "Weather");
+
+  /// `bucket_width_c` sets the temperature bin size. With a view catalog
+  /// attached to `warehouse`, both aggregates are answered from matching
+  /// views when covered (per `mode`) — byte-identical to the recompute.
   static Result<BiReport> SalesVsTemperature(
       const dw::Warehouse& warehouse,
       const std::string& sales_fact = "LastMinuteSales",
       const std::string& weather_fact = "Weather",
-      double bucket_width_c = 5.0);
+      double bucket_width_c = 5.0, BiMode mode = BiMode::kViewFirst);
+
+  /// Combined cost estimate of the whole analysis — the sum of its two
+  /// aggregates' estimates, without executing either. The serving layer
+  /// weighs `bi` admissions with this.
+  static Result<dw::CostEstimate> EstimateCost(
+      const dw::Warehouse& warehouse, const dw::CostEstimator& estimator,
+      const std::string& sales_fact = "LastMinuteSales",
+      const std::string& weather_fact = "Weather");
 };
 
 }  // namespace integration

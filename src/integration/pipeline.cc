@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "dw/etl.h"
+#include "dw/materialized_view.h"
 #include "dw/snapshot.h"
 #include "integration/table_preprocess.h"
 #include "ontology/enrichment.h"
@@ -31,6 +32,27 @@ Status ValidateResilienceConfig(const ResilienceConfig& resilience) {
   return Status::OK();
 }
 
+/// Points the warehouse's view catalog (when attached) at one question's
+/// trace recorder for the scope of its fact loads, and always resets it —
+/// the recorder is per-question state the catalog must not outlive-hold.
+class ScopedViewTrace {
+ public:
+  ScopedViewTrace(dw::Warehouse* wh, TraceRecorder* trace)
+      : views_(wh != nullptr ? wh->views() : nullptr) {
+    if (views_ != nullptr && trace != nullptr) {
+      views_->set_trace_recorder(trace);
+    }
+  }
+  ~ScopedViewTrace() {
+    if (views_ != nullptr) views_->set_trace_recorder(nullptr);
+  }
+  ScopedViewTrace(const ScopedViewTrace&) = delete;
+  ScopedViewTrace& operator=(const ScopedViewTrace&) = delete;
+
+ private:
+  dw::ViewCatalog* views_;
+};
+
 }  // namespace
 
 IntegrationPipeline::IntegrationPipeline(dw::Warehouse* warehouse,
@@ -45,6 +67,11 @@ IntegrationPipeline::IntegrationPipeline(dw::Warehouse* warehouse,
       config_status_(ValidateResilienceConfig(config_.resilience)) {
   breakers_.set_metrics(&metrics_);
   deadline_.set_metrics(&metrics_);
+  // An attached view catalog reports its dwqa_view_* series next to the
+  // feed metrics it is maintained by.
+  if (wh_ != nullptr && wh_->views() != nullptr) {
+    wh_->views()->set_metrics(&metrics_);
+  }
 }
 
 Status IntegrationPipeline::RunStep1() {
@@ -460,6 +487,10 @@ Result<FeedReport> IntegrationPipeline::RunStep5(
     }
     Span question_span(trace, "step5.question");
     question_span.Annotate("question", question);
+    // Point the view catalog's `view.maintain` spans at this question's
+    // recorder for the duration of its fact loads (reset on every exit
+    // path — the recorder dies with the iteration).
+    ScopedViewTrace view_trace(wh_, trace);
     if (!fetch_breaker->Allow()) {
       ++report.breaker_rejections;
       ++report.questions_failed;

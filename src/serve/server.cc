@@ -12,6 +12,7 @@
 #include "common/metric_names.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "dw/cost_estimator.h"
 #include "integration/bi_analysis.h"
 #include "qa/degradation.h"
 
@@ -130,14 +131,29 @@ size_t QaServer::inflight() const {
   return inflight_;
 }
 
-double QaServer::CostOf(const Request& request) const {
+double QaServer::CostOf(Tenant* tenant, const Request& request) {
   switch (request.endpoint) {
     case Endpoint::kFeed:
       return std::max<double>(1.0, config_.feed_cost_per_question *
                                        static_cast<double>(
                                            request.questions.size()));
-    case Endpoint::kBi:
-      return std::max(1.0, config_.bi_cost);
+    case Endpoint::kBi: {
+      if (config_.bi_rows_per_cost_unit <= 0.0 || tenant == nullptr) {
+        return std::max(1.0, config_.bi_cost);
+      }
+      // Rows-touched estimate from table/view cardinalities — a dashboard
+      // a materialized view covers admits at its group count (cheap and
+      // flat as facts stream in); a recompute admits at the full fact
+      // scan, so it is the first thing the cost budget sheds.
+      dw::CostEstimator estimator({config_.bi_rows_per_cost_unit, 1.0});
+      std::lock_guard<std::mutex> lock(tenant->state_mu);
+      auto estimate = integration::BiAnalysis::EstimateCost(
+          tenant->pipeline->warehouse(), estimator);
+      if (!estimate.ok()) return std::max(1.0, config_.bi_cost);
+      // bi_cost stays the floor: a small warehouse admits at the flat
+      // weight it always did; only genuinely expensive scans weigh more.
+      return std::max(config_.bi_cost, estimate->cost_units);
+    }
     case Endpoint::kIngest:
       return std::max(1.0, config_.ingest_cost);
     default:
@@ -252,7 +268,7 @@ Response QaServer::Handle(const Request& request) {
                             "ingest needs document content in the payload "
                             "section (after the blank line)");
     } else {
-      double cost = CostOf(request);
+      double cost = CostOf(tenant, request);
       AdmissionDecision admitted =
           admission_.Admit(request.tenant, cost, tick);
       if (!admitted.status.ok()) {
@@ -445,13 +461,52 @@ Response QaServer::ExecuteFeed(Tenant* tenant, const Request& request) {
 
 Response QaServer::ExecuteBi(Tenant* tenant, const Request& request) {
   std::lock_guard<std::mutex> lock(tenant->state_mu);
+  const dw::Warehouse& wh = tenant->pipeline->warehouse();
+  // Degradation ladder: estimate first. A request whose estimated cost
+  // clears max_bi_cost drops one rung to view-only answering (precomputed
+  // aggregates, never a base-fact scan); when the tenant's views cannot
+  // cover the analysis either, it is shed with a typed rejection —
+  // expensive queries go first, cheap view reads keep flowing.
+  integration::BiMode mode = integration::BiMode::kViewFirst;
+  dw::CostEstimate estimate;
+  if (config_.bi_rows_per_cost_unit > 0.0) {
+    dw::CostEstimator estimator({config_.bi_rows_per_cost_unit, 1.0});
+    auto estimated = integration::BiAnalysis::EstimateCost(wh, estimator);
+    if (estimated.ok()) {
+      estimate = *estimated;
+      if (config_.max_bi_cost > 0.0 &&
+          estimate.cost_units > config_.max_bi_cost && !estimate.from_view) {
+        mode = integration::BiMode::kViewOnly;
+      }
+    }
+  }
   Result<integration::BiReport> analyzed =
       integration::BiAnalysis::SalesVsTemperature(
-          tenant->pipeline->warehouse());
-  if (!analyzed.ok()) return MakeError(request, analyzed.status());
+          wh, "LastMinuteSales", "Weather", 5.0, mode);
+  if (!analyzed.ok()) {
+    if (mode == integration::BiMode::kViewOnly &&
+        analyzed.status().IsUnavailable()) {
+      return MakeReject(
+          request, RejectKind::kOverloaded, "bi_cost",
+          "estimated cost " + FormatDouble(estimate.cost_units, 1) +
+              " exceeds max_bi_cost " +
+              FormatDouble(config_.max_bi_cost, 1) +
+              " and no materialized view covers the analysis");
+    }
+    return MakeError(request, analyzed.status());
+  }
   const integration::BiReport& report = *analyzed;
   Response response = MakeBase(request);
   auto& fields = response.answer;
+  fields.emplace_back("bi_mode", integration::BiModeName(mode));
+  fields.emplace_back("cost_estimate",
+                      FormatDouble(estimate.cost_units, 1));
+  fields.emplace_back("estimated_rows",
+                      std::to_string(estimate.estimated_rows));
+  fields.emplace_back("sales_from_view",
+                      report.sales_from_view ? "1" : "0");
+  fields.emplace_back("weather_from_view",
+                      report.weather_from_view ? "1" : "0");
   fields.emplace_back("joined_days", std::to_string(report.joined_days));
   fields.emplace_back("correlation",
                       FormatDouble(report.pearson_temperature_tickets, 4));

@@ -72,8 +72,21 @@ struct ServerConfig {
   AdmissionConfig admission;
   /// Estimated admission cost of one `feed` question (an `ask` costs 1).
   double feed_cost_per_question = 1.0;
-  /// Estimated admission cost of one `bi` request.
+  /// Admission cost of one `bi` request when no estimate is available,
+  /// and the floor under every estimate.
   double bi_cost = 4.0;
+  /// Fact rows one admission cost unit buys when estimating a `bi`
+  /// request's cost from the tenant's warehouse (view group cardinality
+  /// when a materialized view covers the aggregates, full fact scan
+  /// otherwise) — so recompute-path BI requests weigh more and the cost
+  /// budget sheds them first under load. 0 disables estimation (flat
+  /// bi_cost).
+  double bi_rows_per_cost_unit = 1000.0;
+  /// Estimated-cost ceiling of one `bi` request (0 = unlimited). Above
+  /// it the request degrades one ladder rung to view-only answering, and
+  /// is shed with a typed kOverloaded `bi_cost` rejection when the
+  /// tenant's views cannot cover the analysis.
+  double max_bi_cost = 0.0;
   /// Estimated admission cost of one `ingest` request (preprocess +
   /// linguistic analysis + two index appends for one document).
   double ingest_cost = 2.0;
@@ -190,8 +203,10 @@ class QaServer {
   Response HandleHealth(const Request& request);
   Response HandleMetrics(const Request& request);
 
-  /// Estimated admission cost of `request`.
-  double CostOf(const Request& request) const;
+  /// Estimated admission cost of `request`. For `bi`, consults the
+  /// per-query cost estimator against the tenant's warehouse (briefly
+  /// under its state lock); every other endpoint is a static weight.
+  double CostOf(Tenant* tenant, const Request& request);
 
   /// \name Response builders
   /// @{

@@ -1,0 +1,123 @@
+#include "dw/cost_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "dw/materialized_view.h"
+#include "dw/olap.h"
+#include "integration/last_minute_sales.h"
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+OlapQuery CityTickets() {
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "City"}};
+  return q;
+}
+
+class CostEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wh_ = std::make_unique<Warehouse>(
+        integration::LastMinuteSales::MakeWarehouse().ValueOrDie());
+    web::WeatherModel weather(42);
+    ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                    wh_.get(), weather, Date(2004, 1, 1), 30)
+                    .ok());
+    rows_ = wh_->FactRowCount("LastMinuteSales").ValueOrDie();
+    ASSERT_GT(rows_, 100u);
+  }
+
+  std::unique_ptr<Warehouse> wh_;
+  size_t rows_ = 0;
+};
+
+TEST_F(CostEstimatorTest, NoViewsMeansFullScanEstimate) {
+  CostEstimator estimator;
+  CostEstimate estimate = estimator.Estimate(*wh_, CityTickets()).ValueOrDie();
+  EXPECT_FALSE(estimate.from_view);
+  EXPECT_EQ(estimate.estimated_rows, rows_);
+  // Default options: 1000 rows per unit, floor 1.
+  EXPECT_DOUBLE_EQ(estimate.cost_units,
+                   std::max(1.0, double(rows_) / 1000.0));
+}
+
+TEST_F(CostEstimatorTest, ViewCoverageCollapsesTheEstimate) {
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.DefineAll(DeriveViewsFromSchema(wh_->schema())).ok());
+  wh_->AttachViews(&catalog);
+  ASSERT_TRUE(catalog.Bind(*wh_).ok());
+
+  CostEstimator estimator;
+  CostEstimate viewed = estimator.Estimate(*wh_, CityTickets()).ValueOrDie();
+  EXPECT_TRUE(viewed.from_view);
+  // Rows-touched is the view's group cardinality: a handful of cities,
+  // orders of magnitude under the fact row count.
+  EXPECT_GT(viewed.estimated_rows, 0u);
+  EXPECT_LT(viewed.estimated_rows, rows_ / 10);
+  EXPECT_DOUBLE_EQ(viewed.cost_units, 1.0);  // Hits the floor.
+
+  // A filtered query misses every view and pays the full-scan estimate —
+  // a sharper unit scale keeps both sides off the floor so the weights
+  // actually separate.
+  CostEstimator::Options sharp;
+  sharp.rows_per_unit = 10.0;
+  sharp.min_units = 0.1;
+  CostEstimator sharp_estimator(sharp);
+  OlapQuery filtered = CityTickets();
+  filtered.filters = {{"date", "Year", {"2004"}}};
+  CostEstimate scanned =
+      sharp_estimator.Estimate(*wh_, filtered).ValueOrDie();
+  EXPECT_FALSE(scanned.from_view);
+  EXPECT_EQ(scanned.estimated_rows, rows_);
+  EXPECT_GT(scanned.cost_units,
+            sharp_estimator.Estimate(*wh_, CityTickets())
+                .ValueOrDie()
+                .cost_units);
+}
+
+TEST_F(CostEstimatorTest, OptionsScaleTheUnits) {
+  CostEstimator::Options options;
+  options.rows_per_unit = 10.0;
+  options.min_units = 2.0;
+  CostEstimator estimator(options);
+  CostEstimate estimate = estimator.Estimate(*wh_, CityTickets()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(estimate.cost_units,
+                   std::max(2.0, double(rows_) / 10.0));
+
+  // Non-positive rows_per_unit degenerates to raw rows (clamped to the
+  // floor) rather than dividing by zero.
+  CostEstimator::Options raw;
+  raw.rows_per_unit = 0.0;
+  raw.min_units = 1.0;
+  CostEstimate raw_estimate =
+      CostEstimator(raw).Estimate(*wh_, CityTickets()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(raw_estimate.cost_units, double(rows_));
+}
+
+TEST_F(CostEstimatorTest, UnknownFactIsNotFound) {
+  CostEstimator estimator;
+  OlapQuery q = CityTickets();
+  q.fact = "Ghost";
+  EXPECT_TRUE(estimator.Estimate(*wh_, q).status().IsNotFound());
+}
+
+TEST_F(CostEstimatorTest, EmptyFactTableCostsTheFloor) {
+  Warehouse empty =
+      integration::LastMinuteSales::MakeWarehouse().ValueOrDie();
+  CostEstimator estimator;
+  CostEstimate estimate =
+      estimator.Estimate(empty, CityTickets()).ValueOrDie();
+  EXPECT_EQ(estimate.estimated_rows, 0u);
+  EXPECT_DOUBLE_EQ(estimate.cost_units, 1.0);
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

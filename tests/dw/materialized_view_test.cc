@@ -1,0 +1,438 @@
+#include "dw/materialized_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metric_names.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "dw/olap.h"
+#include "integration/last_minute_sales.h"
+
+namespace dwqa {
+namespace dw {
+namespace {
+
+/// Byte-identity oracle: a view answer must be indistinguishable from the
+/// recompute — same headers, same group order, same cell Values, same scan
+/// counters, same rendering.
+void ExpectSameResult(const OlapResult& view, const OlapResult& engine,
+                      const std::string& context) {
+  ASSERT_EQ(view.headers, engine.headers) << context;
+  ASSERT_EQ(view.rows.size(), engine.rows.size()) << context;
+  for (size_t r = 0; r < engine.rows.size(); ++r) {
+    ASSERT_EQ(view.rows[r].size(), engine.rows[r].size())
+        << context << " row " << r;
+    for (size_t c = 0; c < engine.rows[r].size(); ++c) {
+      EXPECT_TRUE(view.rows[r][c] == engine.rows[r][c])
+          << context << " cell (" << r << "," << c
+          << "): " << view.rows[r][c].ToString() << " vs "
+          << engine.rows[r][c].ToString();
+    }
+  }
+  EXPECT_EQ(view.facts_scanned, engine.facts_scanned) << context;
+  EXPECT_EQ(view.facts_matched, engine.facts_matched) << context;
+  EXPECT_EQ(view.ToDisplayString(), engine.ToDisplayString()) << context;
+}
+
+/// The OlapTest cube: 2 dimensions, 1 fact, 2 measures, 4 rows.
+class MaterializedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MdSchema s;
+    ASSERT_TRUE(
+        s.AddDimension({"Geo", {{"Airport"}, {"City"}, {"Country"}}}).ok());
+    ASSERT_TRUE(
+        s.AddDimension({"Date", {{"Date"}, {"Month"}, {"Year"}}}).ok());
+    FactDef f;
+    f.name = "Sales";
+    f.measures = {{"Price", ColumnType::kDouble, AggFn::kSum},
+                  {"Tickets", ColumnType::kDouble, AggFn::kSum}};
+    f.roles = {{"dest", "Geo"}, {"when", "Date"}};
+    ASSERT_TRUE(s.AddFact(std::move(f)).ok());
+    wh_ = std::make_unique<Warehouse>(
+        Warehouse::Create(std::move(s)).ValueOrDie());
+
+    prat_ = wh_->AddMember("Geo", {"El Prat", "Barcelona", "Spain"})
+                .ValueOrDie();
+    barajas_ =
+        wh_->AddMember("Geo", {"Barajas", "Madrid", "Spain"}).ValueOrDie();
+    jfk_ = wh_->AddMember("Geo", {"JFK", "New York", "United States"})
+               .ValueOrDie();
+    d1_ = wh_->AddMember("Date", {"2004-01-01", "2004-01", "2004"})
+              .ValueOrDie();
+    d2_ = wh_->AddMember("Date", {"2004-02-01", "2004-02", "2004"})
+              .ValueOrDie();
+  }
+
+  void Ins(MemberId g, MemberId d, double price, double tickets) {
+    ASSERT_TRUE(
+        wh_->InsertFact("Sales", {g, d}, {Value(price), Value(tickets)})
+            .ok());
+  }
+
+  void InsAll() {
+    Ins(prat_, d1_, 100, 2);
+    Ins(prat_, d2_, 200, 4);
+    Ins(barajas_, d1_, 50, 1);
+    Ins(jfk_, d1_, 300, 3);
+  }
+
+  /// Defines + binds the derived view set and attaches it to the cube.
+  void BindDerived(ViewCatalog* catalog) {
+    ASSERT_TRUE(
+        catalog->DefineAll(DeriveViewsFromSchema(wh_->schema())).ok());
+    wh_->AttachViews(catalog);
+    ASSERT_TRUE(catalog->Bind(*wh_).ok());
+  }
+
+  std::unique_ptr<Warehouse> wh_;
+  MemberId prat_, barajas_, jfk_, d1_, d2_;
+};
+
+TEST_F(MaterializedViewTest, DeriveCoversEveryRoleLevelRung) {
+  std::vector<ViewDefinition> views = DeriveViewsFromSchema(wh_->schema());
+  std::set<std::string> names;
+  for (const auto& v : views) names.insert(v.name);
+  // One single-axis view per (role, level): 2 roles × 3 levels.
+  for (const char* expect :
+       {"Sales/dest.Airport", "Sales/dest.City", "Sales/dest.Country",
+        "Sales/when.Date", "Sales/when.Month", "Sales/when.Year"}) {
+    EXPECT_TRUE(names.count(expect)) << expect;
+  }
+  // Neither dimension is conformed here (no shared level name, one fact),
+  // so no two-axis slices are derived.
+  for (const auto& name : names) {
+    EXPECT_EQ(name.find('+'), std::string::npos) << name;
+  }
+}
+
+TEST_F(MaterializedViewTest, DeriveParsesConformedLevels) {
+  std::vector<ViewDefinition> views =
+      DeriveViewsFromSchema(integration::LastMinuteSales::MakeSchema());
+  std::set<std::string> names;
+  for (const auto& v : views) names.insert(v.name);
+  // The dashboard slices the BI layer reads: City × Date on both facts.
+  EXPECT_TRUE(names.count("LastMinuteSales/destination.City+date.Date"));
+  EXPECT_TRUE(names.count("Weather/location.City+day.Date"));
+  // Single-axis ladders exist even for unconformed dimensions...
+  EXPECT_TRUE(names.count("LastMinuteSales/customer.Customer"));
+  EXPECT_TRUE(names.count("Weather/source.Url"));
+  // ...but unconformed levels never participate in two-axis slices.
+  for (const auto& name : names) {
+    if (name.find('+') == std::string::npos) continue;
+    EXPECT_EQ(name.find("customer."), std::string::npos) << name;
+    EXPECT_EQ(name.find("source."), std::string::npos) << name;
+  }
+}
+
+TEST_F(MaterializedViewTest, DefineValidatesAndRejectsDuplicates) {
+  ViewCatalog catalog;
+  ViewDefinition def;
+  def.name = "v";
+  def.fact = "Sales";
+  def.group_by = {{"dest", "City"}};
+  ASSERT_TRUE(catalog.Define(def).ok());
+  EXPECT_TRUE(catalog.Define(def).IsAlreadyExists());
+  ViewDefinition empty_fact;
+  empty_fact.name = "w";
+  empty_fact.group_by = {{"dest", "City"}};
+  EXPECT_TRUE(catalog.Define(empty_fact).IsInvalidArgument());
+  ViewDefinition no_axes;
+  no_axes.name = "x";
+  no_axes.fact = "Sales";
+  EXPECT_TRUE(catalog.Define(no_axes).IsInvalidArgument());
+}
+
+TEST_F(MaterializedViewTest, BindRejectsUnknownFactRoleLevelMeasure) {
+  auto try_bind = [&](ViewDefinition def) {
+    ViewCatalog catalog;
+    def.name = "v";
+    EXPECT_TRUE(catalog.Define(def).ok());
+    return catalog.Bind(*wh_);
+  };
+  ViewDefinition ghost_fact;
+  ghost_fact.fact = "Ghost";
+  ghost_fact.group_by = {{"dest", "City"}};
+  EXPECT_TRUE(try_bind(ghost_fact).IsNotFound());
+  ViewDefinition ghost_role;
+  ghost_role.fact = "Sales";
+  ghost_role.group_by = {{"ghost", "City"}};
+  EXPECT_FALSE(try_bind(ghost_role).ok());
+  ViewDefinition ghost_level;
+  ghost_level.fact = "Sales";
+  ghost_level.group_by = {{"dest", "Continent"}};
+  EXPECT_FALSE(try_bind(ghost_level).ok());
+  ViewDefinition ghost_measure;
+  ghost_measure.fact = "Sales";
+  ghost_measure.group_by = {{"dest", "City"}};
+  ghost_measure.measures = {"Altitude"};
+  EXPECT_FALSE(try_bind(ghost_measure).ok());
+}
+
+/// The tentpole pin: every derived view answers every measure under every
+/// aggregation function byte-identically to the full recompute.
+TEST_F(MaterializedViewTest, AnswerMatchesRecomputeForEveryAggFn) {
+  InsAll();
+  ViewCatalog catalog;
+  BindDerived(&catalog);
+  OlapEngine engine(wh_.get());
+  for (const ViewDefinition& def : DeriveViewsFromSchema(wh_->schema())) {
+    for (const char* measure : {"Price", "Tickets"}) {
+      for (AggFn fn : {AggFn::kSum, AggFn::kCount, AggFn::kAvg, AggFn::kMin,
+                       AggFn::kMax}) {
+        OlapQuery q;
+        q.fact = def.fact;
+        q.measures = {{measure, fn}};
+        q.group_by = def.group_by;
+        auto viewed = catalog.Answer(q);
+        ASSERT_TRUE(viewed.ok())
+            << def.name << ": " << viewed.status().ToString();
+        ExpectSameResult(*viewed, engine.Execute(q).ValueOrDie(),
+                         def.name + "/" + measure);
+      }
+    }
+    // Multi-measure projection in one query.
+    OlapQuery q;
+    q.fact = def.fact;
+    q.measures = {{"Tickets", AggFn::kSum}, {"Price", AggFn::kAvg}};
+    q.group_by = def.group_by;
+    ExpectSameResult(catalog.Answer(q).ValueOrDie(),
+                     engine.Execute(q).ValueOrDie(), def.name + "/multi");
+  }
+}
+
+TEST_F(MaterializedViewTest, IncrementalMaintenanceEqualsRebuild) {
+  // Bind over an EMPTY warehouse, then insert: every fact arrives through
+  // OnFactInserted.
+  ViewCatalog incremental;
+  BindDerived(&incremental);
+  InsAll();
+  EXPECT_GT(incremental.maintenance_updates(), 0u);
+
+  // A second catalog bound AFTER the inserts sees only the rebuild path.
+  ViewCatalog rebuilt;
+  ASSERT_TRUE(
+      rebuilt.DefineAll(DeriveViewsFromSchema(wh_->schema())).ok());
+  ASSERT_TRUE(rebuilt.Bind(*wh_).ok());
+  EXPECT_EQ(rebuilt.maintenance_updates(), 0u);
+
+  OlapEngine engine(wh_.get());
+  for (const ViewDefinition& def : DeriveViewsFromSchema(wh_->schema())) {
+    OlapQuery q;
+    q.fact = def.fact;
+    q.measures = {{"Price", AggFn::kSum}, {"Tickets", AggFn::kCount}};
+    q.group_by = def.group_by;
+    OlapResult golden = engine.Execute(q).ValueOrDie();
+    ExpectSameResult(incremental.Answer(q).ValueOrDie(), golden,
+                     def.name + "/incremental");
+    ExpectSameResult(rebuilt.Answer(q).ValueOrDie(), golden,
+                     def.name + "/rebuilt");
+  }
+
+  // The two catalogs materialized identical state.
+  auto a = incremental.StatsSnapshot();
+  auto b = rebuilt.StatsSnapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].groups, b[i].groups) << a[i].name;
+    EXPECT_EQ(a[i].facts_absorbed, b[i].facts_absorbed) << a[i].name;
+  }
+}
+
+TEST_F(MaterializedViewTest, HavingAppliedIdentically) {
+  InsAll();
+  ViewCatalog catalog;
+  BindDerived(&catalog);
+  OlapEngine engine(wh_.get());
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  q.having = {{0, CompareOp::kGreater, 100.0}};
+  OlapResult viewed = catalog.Answer(q).ValueOrDie();
+  ExpectSameResult(viewed, engine.Execute(q).ValueOrDie(), "having");
+  ASSERT_EQ(viewed.rows.size(), 2u);  // Barcelona 300, New York 300.
+
+  // A HAVING referring past the measure list fails with the engine's exact
+  // message — callers can't tell the paths apart even on errors.
+  q.having = {{3, CompareOp::kGreater, 0.0}};
+  auto view_err = catalog.Answer(q).status();
+  auto engine_err = engine.Execute(q).status();
+  ASSERT_FALSE(view_err.ok());
+  EXPECT_EQ(view_err.ToString(), engine_err.ToString());
+}
+
+TEST_F(MaterializedViewTest, FilteredQueriesAlwaysMiss) {
+  InsAll();
+  ViewCatalog catalog;
+  BindDerived(&catalog);
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  q.filters = {{"when", "Year", {"2004"}}};
+  EXPECT_TRUE(catalog.Answer(q).status().IsNotFound());
+  EXPECT_TRUE(catalog.EstimateGroups(q).status().IsNotFound());
+  // The recompute fallback still answers it.
+  EXPECT_TRUE(OlapEngine(wh_.get()).Execute(q).ok());
+}
+
+TEST_F(MaterializedViewTest, MissesOnUnknownShapes) {
+  InsAll();
+  ViewCatalog catalog;
+  BindDerived(&catalog);
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}, {"when", "Date"}};
+  // Derived single-axis views don't cover the two-axis shape...
+  EXPECT_TRUE(catalog.Answer(q).status().IsNotFound());
+  // ...until one is registered against the live warehouse.
+  ViewDefinition slice;
+  slice.name = "city_date";
+  slice.fact = "Sales";
+  slice.group_by = q.group_by;
+  ASSERT_TRUE(catalog.Register(*wh_, slice).ok());
+  ExpectSameResult(catalog.Answer(q).ValueOrDie(),
+                   OlapEngine(wh_.get()).Execute(q).ValueOrDie(),
+                   "registered slice");
+  // Swapped axis order is a different shape.
+  q.group_by = {{"when", "Date"}, {"dest", "City"}};
+  EXPECT_TRUE(catalog.Answer(q).status().IsNotFound());
+  // No measures at all is never view-answerable.
+  q.group_by = {{"dest", "City"}};
+  q.measures.clear();
+  EXPECT_TRUE(catalog.Answer(q).status().IsNotFound());
+  // Unknown fact.
+  OlapQuery ghost;
+  ghost.fact = "Ghost";
+  ghost.measures = {{"Price", AggFn::kSum}};
+  ghost.group_by = {{"dest", "City"}};
+  EXPECT_TRUE(catalog.Answer(ghost).status().IsNotFound());
+}
+
+TEST_F(MaterializedViewTest, MatchingIsCaseInsensitiveButSpellingIsTheQuerys) {
+  InsAll();
+  ViewCatalog catalog;
+  BindDerived(&catalog);
+  OlapQuery q;
+  q.fact = "sales";
+  q.measures = {{"PRICE", AggFn::kSum}};
+  q.group_by = {{"DEST", "city"}};
+  auto viewed = catalog.Answer(q);
+  ASSERT_TRUE(viewed.ok()) << viewed.status().ToString();
+  // Headers come from the query's own spelling on both paths.
+  ExpectSameResult(*viewed,
+                   OlapEngine(wh_.get()).Execute(q).ValueOrDie(),
+                   "case-insensitive");
+  EXPECT_EQ(viewed->headers[0], "DEST.city");
+}
+
+TEST_F(MaterializedViewTest, StatsAndMetricsObserveMaintenance) {
+  MetricRegistry metrics;
+  ViewCatalog catalog;
+  catalog.set_metrics(&metrics);
+  BindDerived(&catalog);
+  EXPECT_EQ(catalog.view_count(), 6u);
+  EXPECT_DOUBLE_EQ(metrics.Value(kMetricViewRebuilds), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Value(kMetricViewCount), 6.0);
+  InsAll();
+  // 4 facts × 6 views of the Sales fact.
+  EXPECT_EQ(catalog.maintenance_updates(), 24u);
+  EXPECT_DOUBLE_EQ(metrics.Value(kMetricViewMaintenanceUpdates), 24.0);
+  for (const ViewStats& stats : catalog.StatsSnapshot()) {
+    EXPECT_EQ(stats.fact, "Sales");
+    EXPECT_EQ(stats.facts_absorbed, 4u) << stats.name;
+    EXPECT_GT(stats.groups, 0u) << stats.name;
+  }
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Price", AggFn::kSum}};
+  q.group_by = {{"dest", "City"}};
+  ASSERT_TRUE(catalog.Answer(q).ok());
+  EXPECT_DOUBLE_EQ(metrics.FamilySum(kMetricViewReads), 1.0);
+  q.filters = {{"when", "Year", {"2004"}}};
+  ASSERT_FALSE(catalog.Answer(q).ok());
+  EXPECT_DOUBLE_EQ(metrics.Value(kMetricViewMisses), 1.0);
+}
+
+TEST_F(MaterializedViewTest, RebindIsIdempotent) {
+  InsAll();
+  ViewCatalog catalog;
+  BindDerived(&catalog);
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"dest", "Country"}};
+  OlapResult before = catalog.Answer(q).ValueOrDie();
+  ASSERT_TRUE(catalog.Bind(*wh_).ok());
+  ExpectSameResult(catalog.Answer(q).ValueOrDie(), before, "re-bind");
+}
+
+/// The `views` label's TSan target: BI readers race incremental
+/// maintenance through the catalog's shared_mutex. Readers must always see
+/// a fact-aligned snapshot — a SUM exactly `tickets_per_fact ×` the row
+/// count the same result reports, never a torn in-between.
+TEST_F(MaterializedViewTest, ConcurrentReadsSeeFactAlignedSnapshots) {
+  constexpr double kTicketsPerFact = 2.0;
+  constexpr int kFacts = 300;
+  ViewCatalog catalog;
+  BindDerived(&catalog);
+  ThreadPool pool(4);
+  auto writer = pool.Submit([&]() {
+    for (int i = 0; i < kFacts; ++i) {
+      Status inserted = wh_->InsertFact(
+          "Sales", {prat_, i % 2 == 0 ? d1_ : d2_},
+          {Value(100.0), Value(kTicketsPerFact)});
+      if (!inserted.ok()) return inserted;
+    }
+    return Status::OK();
+  });
+  std::vector<std::future<Status>> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.push_back(pool.Submit([&]() {
+      OlapQuery q;
+      q.fact = "Sales";
+      q.measures = {{"Tickets", AggFn::kSum}};
+      q.group_by = {{"dest", "Country"}};
+      for (int i = 0; i < 200; ++i) {
+        auto r = catalog.Answer(q);
+        if (!r.ok()) return r.status();
+        double sum = 0.0;
+        for (const auto& row : r->rows) sum += row[1].ToDouble();
+        if (sum != kTicketsPerFact * double(r->facts_matched)) {
+          return Status::Internal("torn read: sum " + std::to_string(sum) +
+                                  " over " +
+                                  std::to_string(r->facts_matched) +
+                                  " facts");
+        }
+        (void)catalog.EstimateGroups(q);
+        (void)catalog.StatsSnapshot();
+      }
+      return Status::OK();
+    }));
+  }
+  EXPECT_TRUE(writer.get().ok());
+  for (auto& reader : readers) {
+    Status status = reader.get();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  // After the race settles, the view still equals the recompute.
+  OlapQuery q;
+  q.fact = "Sales";
+  q.measures = {{"Tickets", AggFn::kSum}, {"Price", AggFn::kAvg}};
+  q.group_by = {{"dest", "Country"}};
+  ExpectSameResult(catalog.Answer(q).ValueOrDie(),
+                   OlapEngine(wh_.get()).Execute(q).ValueOrDie(),
+                   "post-race");
+}
+
+}  // namespace
+}  // namespace dw
+}  // namespace dwqa

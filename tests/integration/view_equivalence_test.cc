@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "dw/etl.h"
+#include "dw/materialized_view.h"
+#include "dw/olap.h"
+#include "integration/bi_analysis.h"
+#include "integration/last_minute_sales.h"
+#include "integration/pipeline.h"
+#include "web/synthetic_web.h"
+
+namespace dwqa {
+namespace integration {
+namespace {
+
+/// Feeds the Weather fact directly from the weather model (a perfect
+/// extractor), so equivalence is tested over a dense join.
+void FeedPerfectWeather(dw::Warehouse* wh, const web::WeatherModel& weather,
+                        const Date& start, int days) {
+  dw::EtlLoader loader(wh);
+  for (const auto& airport : LastMinuteSales::Airports()) {
+    Date d = start;
+    for (int i = 0; i < days; ++i, d = d.NextDay()) {
+      auto temp = weather.TemperatureCelsius(airport.city, d);
+      if (!temp.ok()) continue;
+      dw::FactRecord rec;
+      rec.role_paths = {{airport.city}, dw::DateMemberPath(d), {"truth://"}};
+      rec.measures = {dw::Value(*temp)};
+      ASSERT_TRUE(loader.LoadRecord("Weather", rec).ok());
+    }
+  }
+}
+
+void ExpectSameReport(const BiReport& a, const BiReport& b) {
+  ASSERT_EQ(a.ranges.size(), b.ranges.size());
+  for (size_t i = 0; i < a.ranges.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ranges[i].low_c, b.ranges[i].low_c);
+    EXPECT_DOUBLE_EQ(a.ranges[i].high_c, b.ranges[i].high_c);
+    EXPECT_EQ(a.ranges[i].observations, b.ranges[i].observations);
+    EXPECT_DOUBLE_EQ(a.ranges[i].avg_tickets, b.ranges[i].avg_tickets);
+  }
+  EXPECT_DOUBLE_EQ(a.pearson_temperature_tickets,
+                   b.pearson_temperature_tickets);
+  EXPECT_DOUBLE_EQ(a.best.low_c, b.best.low_c);
+  EXPECT_DOUBLE_EQ(a.best.high_c, b.best.high_c);
+  EXPECT_EQ(a.joined_days, b.joined_days);
+}
+
+void ExpectSameOlap(const dw::OlapResult& view, const dw::OlapResult& engine,
+                    const std::string& context) {
+  ASSERT_EQ(view.headers, engine.headers) << context;
+  ASSERT_EQ(view.rows.size(), engine.rows.size()) << context;
+  for (size_t r = 0; r < engine.rows.size(); ++r) {
+    for (size_t c = 0; c < engine.rows[r].size(); ++c) {
+      EXPECT_TRUE(view.rows[r][c] == engine.rows[r][c])
+          << context << " cell (" << r << "," << c << ")";
+    }
+  }
+  EXPECT_EQ(view.facts_scanned, engine.facts_scanned) << context;
+  EXPECT_EQ(view.facts_matched, engine.facts_matched) << context;
+  EXPECT_EQ(view.ToDisplayString(), engine.ToDisplayString()) << context;
+}
+
+/// The golden pin: with the derived catalog maintained incrementally
+/// through the whole feed, the view-first analysis is byte-identical to the
+/// full recompute — and both paths report where each aggregate came from.
+TEST(ViewEquivalenceTest, ViewFirstReportEqualsRecompute) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  dw::ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.DefineAll(dw::DeriveViewsFromSchema(wh.schema())).ok());
+  wh.AttachViews(&catalog);
+  ASSERT_TRUE(catalog.Bind(wh).ok());
+
+  web::WeatherModel weather(42);
+  ASSERT_TRUE(LastMinuteSales::GenerateSales(&wh, weather, Date(2004, 1, 1),
+                                             180)
+                  .ok());
+  FeedPerfectWeather(&wh, weather, Date(2004, 1, 1), 180);
+  EXPECT_GT(catalog.maintenance_updates(), 0u);
+
+  BiReport viewed = BiAnalysis::SalesVsTemperature(
+                        wh, "LastMinuteSales", "Weather", 5.0,
+                        BiMode::kViewFirst)
+                        .ValueOrDie();
+  BiReport recomputed = BiAnalysis::SalesVsTemperature(
+                            wh, "LastMinuteSales", "Weather", 5.0,
+                            BiMode::kRecompute)
+                            .ValueOrDie();
+  EXPECT_TRUE(viewed.sales_from_view);
+  EXPECT_TRUE(viewed.weather_from_view);
+  EXPECT_FALSE(recomputed.sales_from_view);
+  EXPECT_FALSE(recomputed.weather_from_view);
+  ExpectSameReport(viewed, recomputed);
+
+  // A catalog bound from scratch over the final facts answers the same.
+  dw::ViewCatalog rebuilt;
+  ASSERT_TRUE(
+      rebuilt.DefineAll(dw::DeriveViewsFromSchema(wh.schema())).ok());
+  ASSERT_TRUE(rebuilt.Bind(wh).ok());
+  dw::OlapEngine engine(&wh);
+  for (const auto& q :
+       {BiAnalysis::SalesQuery(), BiAnalysis::WeatherQuery()}) {
+    dw::OlapResult golden = engine.Execute(q).ValueOrDie();
+    ExpectSameOlap(catalog.Answer(q).ValueOrDie(), golden,
+                   q.fact + "/incremental");
+    ExpectSameOlap(rebuilt.Answer(q).ValueOrDie(), golden,
+                   q.fact + "/rebuilt");
+  }
+}
+
+TEST(ViewEquivalenceTest, ViewOnlyModeAnswersFromViewsOrFailsTyped) {
+  dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  web::WeatherModel weather(7);
+  ASSERT_TRUE(LastMinuteSales::GenerateSales(&wh, weather, Date(2004, 6, 1),
+                                             60)
+                  .ok());
+  FeedPerfectWeather(&wh, weather, Date(2004, 6, 1), 60);
+
+  // No catalog attached: view-only has nothing to answer from.
+  EXPECT_TRUE(BiAnalysis::SalesVsTemperature(wh, "LastMinuteSales",
+                                             "Weather", 5.0,
+                                             BiMode::kViewOnly)
+                  .status()
+                  .IsUnavailable());
+
+  dw::ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.DefineAll(dw::DeriveViewsFromSchema(wh.schema())).ok());
+  wh.AttachViews(&catalog);
+  ASSERT_TRUE(catalog.Bind(wh).ok());
+  BiReport viewed = BiAnalysis::SalesVsTemperature(wh, "LastMinuteSales",
+                                                   "Weather", 5.0,
+                                                   BiMode::kViewOnly)
+                        .ValueOrDie();
+  EXPECT_TRUE(viewed.sales_from_view);
+  EXPECT_TRUE(viewed.weather_from_view);
+  ExpectSameReport(viewed,
+                   BiAnalysis::SalesVsTemperature(wh, "LastMinuteSales",
+                                                  "Weather", 5.0,
+                                                  BiMode::kRecompute)
+                       .ValueOrDie());
+}
+
+/// The chaos pin: across a 0–30% transient-fault sweep of the live Step-5
+/// feed (retries masking some faults, quarantine absorbing others), the
+/// incrementally-maintained views stay byte-identical to a recompute over
+/// whatever facts actually landed.
+TEST(ViewEquivalenceTest, ViewsStayIdenticalUnderChaosFeedSweep) {
+  const ontology::UmlModel uml = LastMinuteSales::MakeUmlModel();
+  web::WebConfig web_config;
+  web_config.cities = {"Barcelona", "Madrid"};
+  web_config.months = {1};
+  web_config.table_weather = false;
+  web::SyntheticWeb web =
+      web::SyntheticWeb::Build(web_config).ValueOrDie();
+
+  for (double rate : {0.0, 0.1, 0.2, 0.3}) {
+    SCOPED_TRACE("fault rate " + std::to_string(rate));
+    dw::Warehouse wh = LastMinuteSales::MakeWarehouse().ValueOrDie();
+    dw::ViewCatalog catalog;
+    ASSERT_TRUE(
+        catalog.DefineAll(dw::DeriveViewsFromSchema(wh.schema())).ok());
+    wh.AttachViews(&catalog);
+    ASSERT_TRUE(catalog.Bind(wh).ok());
+    web::WeatherModel weather(42);
+    ASSERT_TRUE(LastMinuteSales::GenerateSales(&wh, weather,
+                                               Date(2004, 1, 1), 31)
+                    .ok());
+
+    PipelineConfig config = LastMinuteSales::DefaultPipelineConfig();
+    config.qa.max_answers = 10;
+    config.qa.passages_to_analyze = 8;
+    config.resilience.fault = FaultConfig::TransientEverywhere(
+        rate, /*seed=*/uint64_t(rate * 100) + 1);
+    config.resilience.retry.max_attempts = 4;
+    config.resilience.retry.sleep = false;
+    IntegrationPipeline pipeline(&wh, &uml, config);
+    ASSERT_TRUE(pipeline.RunAll(&web.documents()).ok());
+    auto report = pipeline.RunStep5(
+        {"What is the temperature in Barcelona in January of 2004?",
+         "What is the temperature in Madrid in January of 2004?"},
+        "Weather", "temperature");
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    // Whatever the chaos let through, views == recompute, byte for byte.
+    dw::OlapEngine engine(&wh);
+    for (const auto& q :
+         {BiAnalysis::SalesQuery(), BiAnalysis::WeatherQuery()}) {
+      auto viewed = catalog.Answer(q);
+      ASSERT_TRUE(viewed.ok()) << viewed.status().ToString();
+      ExpectSameOlap(*viewed, engine.Execute(q).ValueOrDie(), q.fact);
+    }
+    auto viewed_report = BiAnalysis::SalesVsTemperature(
+        wh, "LastMinuteSales", "Weather", 5.0, BiMode::kViewFirst);
+    auto golden_report = BiAnalysis::SalesVsTemperature(
+        wh, "LastMinuteSales", "Weather", 5.0, BiMode::kRecompute);
+    ASSERT_EQ(viewed_report.ok(), golden_report.ok());
+    if (viewed_report.ok()) {
+      ExpectSameReport(*viewed_report, *golden_report);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace integration
+}  // namespace dwqa

@@ -13,6 +13,7 @@
 
 #include "common/date.h"
 #include "common/metric_names.h"
+#include "dw/materialized_view.h"
 #include "integration/last_minute_sales.h"
 #include "web/synthetic_web.h"
 
@@ -401,6 +402,149 @@ TEST_F(ServeTest, HealthAndMetricsBypassAdmissionAndReportTheServer) {
   EXPECT_NE(exported.payload.find("# tenant: a"), std::string::npos);
   EXPECT_NE(exported.payload.find("dwqa_qa_questions_total"),
             std::string::npos);
+}
+
+TEST_F(ServeTest, BiAnswersFromViewsAndMatchesTheRecomputeTenant) {
+  // Tenant "viewed" carries a bound derived catalog; tenant "plain" serves
+  // the same warehouse contents without one.
+  ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                  wh_b_.get(), web_->weather(), Date(2004, 1, 1), 60)
+                  .ok());
+  dw::ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.DefineAll(dw::DeriveViewsFromSchema(wh_a_->schema())).ok());
+  wh_a_->AttachViews(&catalog);
+  ASSERT_TRUE(catalog.Bind(*wh_a_).ok());
+
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(TenantConfig("viewed", wh_a_.get())).ok());
+  ASSERT_TRUE(server.AddTenant(TenantConfig("plain", wh_b_.get())).ok());
+  for (const char* tenant : {"viewed", "plain"}) {
+    Request feed;
+    feed.id = 1;
+    feed.tenant = tenant;
+    feed.endpoint = Endpoint::kFeed;
+    feed.questions = {kQuestion};
+    ASSERT_EQ(server.Handle(feed).status, "ok") << tenant;
+  }
+
+  Request bi;
+  bi.id = 2;
+  bi.endpoint = Endpoint::kBi;
+  bi.tenant = "viewed";
+  Response viewed = server.Handle(bi);
+  ASSERT_EQ(viewed.status, "ok") << viewed.payload;
+  EXPECT_EQ(viewed.AnswerField("bi_mode"), "view_first");
+  EXPECT_EQ(viewed.AnswerField("sales_from_view"), "1");
+  EXPECT_EQ(viewed.AnswerField("weather_from_view"), "1");
+  bi.tenant = "plain";
+  Response plain = server.Handle(bi);
+  ASSERT_EQ(plain.status, "ok") << plain.payload;
+  EXPECT_EQ(plain.AnswerField("sales_from_view"), "0");
+  EXPECT_EQ(plain.AnswerField("weather_from_view"), "0");
+
+  // Byte-identity at the serving layer: same warehouse contents, same
+  // analysis — view-answered or recomputed.
+  EXPECT_EQ(viewed.payload, plain.payload);
+  for (const char* field : {"joined_days", "correlation", "best_low_c",
+                            "best_high_c", "best_avg_tickets",
+                            "best_observations"}) {
+    EXPECT_EQ(viewed.AnswerField(field), plain.AnswerField(field)) << field;
+  }
+  // The view-backed estimate touches group cardinalities, not fact rows.
+  EXPECT_LT(std::stoul(viewed.AnswerField("estimated_rows")),
+            std::stoul(plain.AnswerField("estimated_rows")));
+}
+
+TEST_F(ServeTest, ExpensiveBiIsShedFirstWithoutViews) {
+  // One cost unit per fact row makes the 60-day sales table expensive;
+  // the ceiling degrades the request to view-only, and with no views to
+  // fall back on it is shed with the typed bi_cost rejection.
+  ServerConfig config;
+  config.bi_rows_per_cost_unit = 1.0;
+  config.max_bi_cost = 5.0;
+  QaServer server(config);
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Request bi;
+  bi.id = 1;
+  bi.tenant = "a";
+  bi.endpoint = Endpoint::kBi;
+  Response shed = server.Handle(bi);
+  EXPECT_EQ(shed.status, "rejected");
+  EXPECT_EQ(shed.code, "Overloaded");
+  EXPECT_EQ(shed.reason, "bi_cost");
+  EXPECT_NE(shed.payload.find("max_bi_cost"), std::string::npos);
+
+  // An ask on the same tenant still flows: only the expensive analysis
+  // shed, not the tenant.
+  EXPECT_EQ(server.Handle(Ask("a", kQuestion, 2)).status, "ok");
+}
+
+TEST_F(ServeTest, ViewsKeepExpensiveBiUnderTheCeiling) {
+  dw::ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.DefineAll(dw::DeriveViewsFromSchema(wh_a_->schema())).ok());
+  wh_a_->AttachViews(&catalog);
+  ASSERT_TRUE(catalog.Bind(*wh_a_).ok());
+
+  ServerConfig config;
+  config.bi_rows_per_cost_unit = 1.0;
+  config.max_bi_cost = 5.0;
+  QaServer server(config);
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+  Request feed;
+  feed.id = 1;
+  feed.tenant = "a";
+  feed.endpoint = Endpoint::kFeed;
+  feed.questions = {kQuestion};
+  ASSERT_EQ(server.Handle(feed).status, "ok");
+
+  // Same pressure as the shed test — but the catalog covers both
+  // aggregates, so the estimate stays at group cardinality and the
+  // request is answered from views instead of being shed.
+  Request bi;
+  bi.id = 2;
+  bi.tenant = "a";
+  bi.endpoint = Endpoint::kBi;
+  Response answered = server.Handle(bi);
+  ASSERT_EQ(answered.status, "ok") << answered.payload;
+  EXPECT_EQ(answered.AnswerField("bi_mode"), "view_first");
+  EXPECT_EQ(answered.AnswerField("sales_from_view"), "1");
+}
+
+TEST_F(ServeTest, AdmissionCostBudgetWeighsBiByItsEstimate) {
+  // Cost budget below the recompute estimate: the admission controller
+  // sheds the un-viewed bi before execution with the cost_budget reason.
+  ServerConfig config;
+  config.bi_rows_per_cost_unit = 1.0;
+  config.admission.max_queued_cost = 50.0;
+  QaServer server(config);
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Request bi;
+  bi.id = 1;
+  bi.tenant = "a";
+  bi.endpoint = Endpoint::kBi;
+  Response shed = server.Handle(bi);
+  EXPECT_EQ(shed.status, "rejected");
+  EXPECT_EQ(shed.code, "Overloaded");
+  EXPECT_EQ(shed.reason, "cost_budget");
+
+  // With views attached the same request weighs its bi_cost floor and
+  // clears the same budget.
+  dw::ViewCatalog catalog;
+  ASSERT_TRUE(
+      catalog.DefineAll(dw::DeriveViewsFromSchema(wh_b_->schema())).ok());
+  wh_b_->AttachViews(&catalog);
+  ASSERT_TRUE(catalog.Bind(*wh_b_).ok());
+  ASSERT_TRUE(server.AddTenant(TenantConfig("b", wh_b_.get())).ok());
+  bi.id = 2;
+  bi.tenant = "b";
+  Response cheap = server.Handle(bi);
+  // Empty warehouse: the analysis itself finds nothing to join, but the
+  // request was ADMITTED — the estimator weighed the views, not the scan.
+  EXPECT_NE(cheap.reason, "cost_budget");
 }
 
 }  // namespace
