@@ -1,0 +1,176 @@
+// Federation cost study — what the fan-out/merge path charges relative to
+// physically merging the warehouses, and how partner chaos degrades it.
+//
+// Two warehouses (the local airline plus the partner of the federation
+// scenario) answer the same representative OLAP queries three ways: the
+// merged-warehouse oracle (MergeWarehouses once, then plain OlapEngine),
+// and the FederatedEngine at 0%, 5% and 10% injected sub-query failure.
+// Shape check: at 0% chaos the federated answers must be byte-identical
+// to the oracle — a federation layer that is fast but wrong benches as a
+// failure, not a number. Under chaos the engine must keep answering with
+// typed partial coverage; any hard error is likewise fatal to the bench.
+//
+// `--smoke` shrinks the fact volume and repetitions for the `perf`-labeled
+// ctest smoke.
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "dw/federation/federated_engine.h"
+#include "dw/federation/merge_warehouses.h"
+#include "dw/federation/partner_warehouse.h"
+#include "dw/olap.h"
+#include "integration/last_minute_sales.h"
+#include "web/weather_model.h"
+
+using namespace dwqa;
+using dw::AggFn;
+using dw::OlapEngine;
+using dw::OlapQuery;
+using dw::OlapResult;
+using dw::Warehouse;
+using integration::LastMinuteSales;
+
+namespace {
+
+/// The query mix: one roll-up that exercises the km→mi unit conversion and
+/// one finer-grained cube whose group count scales with the day range.
+std::vector<OlapQuery> QueryMix() {
+  OlapQuery rollup;
+  rollup.fact = "LastMinuteSales";
+  rollup.measures = {{"Tickets", AggFn::kSum}, {"Miles", AggFn::kSum}};
+  rollup.group_by = {{"destination", "Country"}};
+
+  OlapQuery cube;
+  cube.fact = "LastMinuteSales";
+  cube.measures = {{"Tickets", AggFn::kSum}};
+  cube.group_by = {{"destination", "City"}, {"date", "Date"}};
+
+  return {rollup, cube};
+}
+
+bool SameResult(const OlapResult& a, const OlapResult& b) {
+  if (a.headers != b.headers || a.rows.size() != b.rows.size()) return false;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r] != b.rows[r]) return false;
+  }
+  return true;
+}
+
+struct FedSample {
+  double mean_ms = 0.0;
+  int partial = 0;  ///< executions that came back with coverage gaps
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  PrintBanner(std::cout,
+              "Federation cost — fan-out/merge vs the merged-warehouse "
+              "oracle, 2 warehouses at 0-10% partner chaos");
+
+  const int days = smoke ? 31 : 180;
+  const int reps = smoke ? 40 : 200;
+
+  // Local airline with its sales, partner with sales and weather.
+  Date start(2004, 1, 1);
+  Warehouse local = LastMinuteSales::MakeWarehouse().ValueOrDie();
+  web::WeatherModel weather(42);
+  DWQA_CHECK(
+      LastMinuteSales::GenerateSales(&local, weather, start, days).ok());
+  Warehouse remote = dw::fed::PartnerAirline::MakeWarehouse().ValueOrDie();
+  DWQA_CHECK(
+      dw::fed::PartnerAirline::GeneratePartnerSales(&remote, start, days)
+          .ok());
+  DWQA_CHECK(
+      dw::fed::PartnerAirline::GeneratePartnerWeather(&remote, start, days)
+          .ok());
+
+  dw::fed::SchemaMatcher matcher(
+      dw::fed::PartnerAirline::DefaultMatcherOptions());
+  dw::fed::SchemaMapping mapping = matcher.Match(local, remote).ValueOrDie();
+
+  const std::vector<OlapQuery> queries = QueryMix();
+  bench::JsonSectionWriter json("bench_federation");
+  TablePrinter table({"path", "chaos", "mean query (ms)", "partial runs"});
+
+  // The oracle: pay the physical merge once, then query one warehouse.
+  double merge_ms = 0.0;
+  std::vector<OlapResult> oracle_answers;
+  double oracle_mean_ms = 0.0;
+  {
+    bench::Timer timer;
+    auto merged = dw::fed::MergeWarehouses(local, remote, mapping);
+    merge_ms = timer.ElapsedMs();
+    DWQA_CHECK(merged.ok());
+    OlapEngine engine(&*merged);
+    for (const OlapQuery& q : queries) {
+      oracle_answers.push_back(engine.Execute(q).ValueOrDie());
+    }
+    bench::Timer loop;
+    for (int i = 0; i < reps; ++i) {
+      DWQA_CHECK(engine.Execute(queries[i % queries.size()]).ok());
+    }
+    oracle_mean_ms = loop.ElapsedMs() / reps;
+  }
+  table.AddRow({"merged oracle", "0%", FormatDouble(oracle_mean_ms, 3), "0"});
+  json.Add("merge_oracle_build_ms", merge_ms, "ms");
+  json.Add("oracle_query_mean_ms", oracle_mean_ms, "ms");
+
+  // The federated path at increasing partner failure probability.
+  const std::vector<double> chaos_levels = {0.0, 0.05, 0.10};
+  for (double chaos : chaos_levels) {
+    FaultConfig config;
+    config.seed = 97;
+    if (chaos > 0.0) {
+      config.rules = {{kFaultPointFedSubquery, chaos}};
+    }
+    FaultInjector injector(config);
+    dw::fed::FederatedEngine engine(&local);
+    DWQA_CHECK(engine
+                   .AddRemote("partner", &remote, mapping,
+                              chaos > 0.0 ? &injector : nullptr)
+                   .ok());
+
+    FedSample sample;
+    bench::Timer loop;
+    for (int i = 0; i < reps; ++i) {
+      auto fed = engine.Execute(queries[i % queries.size()]);
+      // Chaos must degrade coverage, never the call: a hard error here is
+      // a federation bug, not a slow run.
+      DWQA_CHECK(fed.ok());
+      if (!fed->coverage.full()) ++sample.partial;
+      if (chaos == 0.0 && i < int(queries.size()) &&
+          !SameResult(oracle_answers[i], fed->result)) {
+        std::cerr << "bench_federation: federated answer DIVERGED from the "
+                     "merged oracle at 0% chaos (query "
+                  << i << ")\n";
+        return 1;
+      }
+    }
+    sample.mean_ms = loop.ElapsedMs() / reps;
+
+    const std::string tag =
+        std::to_string(int(chaos * 100 + 0.5)) + "%";
+    table.AddRow({"federated", tag, FormatDouble(sample.mean_ms, 3),
+                  std::to_string(sample.partial)});
+    json.Add("fed_chaos_" + tag + "_mean_ms", sample.mean_ms, "ms");
+    json.Add("fed_chaos_" + tag + "_partial", double(sample.partial), "");
+  }
+
+  table.Print(std::cout);
+  if (!json.Flush()) {
+    std::cerr << "bench_federation: bench-JSON flush failed\n";
+    return 1;
+  }
+  return 0;
+}

@@ -31,6 +31,7 @@ dwqa_bench(bench_multidim_ir)
 dwqa_bench(bench_serve_load)
 target_link_libraries(bench_serve_load PRIVATE dwqa_serve)
 dwqa_bench(bench_recovery)
+dwqa_bench(bench_federation)
 dwqa_microbench(bench_micro_text)
 dwqa_microbench(bench_micro_qa)
 dwqa_microbench(bench_micro_ir)
@@ -54,6 +55,10 @@ add_test(NAME perf_recovery_smoke
   COMMAND bench_recovery --smoke
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR})
 set_tests_properties(perf_recovery_smoke PROPERTIES LABELS perf)
+add_test(NAME perf_federation_smoke
+  COMMAND bench_federation --smoke
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR})
+set_tests_properties(perf_federation_smoke PROPERTIES LABELS perf)
 foreach(micro bench_micro_text bench_micro_qa bench_micro_ir
         bench_micro_olap bench_micro_ontology)
   add_test(NAME perf_${micro}_smoke

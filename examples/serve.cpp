@@ -4,9 +4,23 @@
 // each with its own pipeline, answer cache and circuit breaker. Tenant
 // alpha owns a mutable copy of the corpus, so its `ingest` endpoint is
 // live: a document posted in the frame payload becomes searchable
-// without a reindex (DESIGN.md §14). Alpha also carries a materialized
-// view catalog derived from the schema's conformed levels, so its `bi`
-// responses answer from pre-aggregated views (`sales_from_view=1`,
+// without a reindex (DESIGN.md §14). An ingest frame carries the
+// document metadata as headers — `url=`, `title=`, and `format=` with
+// one of `text` (default), `html` or `xml`; any other format value is
+// rejected at parse time with "protocol: unknown format '...'" — and
+// the document body after the blank line:
+//
+//   endpoint=ingest
+//   id=9
+//   tenant=alpha
+//   url=http://example.test/new-page
+//   format=html
+//
+//   <html>the body, verbatim — newlines welcome</html>
+//
+// Alpha also carries a materialized view catalog derived from the
+// schema's conformed levels, so its `bi` responses answer from
+// pre-aggregated views (`sales_from_view=1`,
 // maintained incrementally as `feed` loads facts — DESIGN.md §15), while
 // beta demonstrates the recompute fallback.
 //
@@ -116,7 +130,10 @@ int main() {
 
   std::cerr << "dwqa serve — tenants: alpha, beta; corpus: "
             << webb.documents().size()
-            << " documents. Reading DWQA1 frames from stdin.\n";
+            << " documents. Reading DWQA1 frames from stdin.\n"
+            << "endpoints: ask feed bi ingest health metrics; ingest "
+               "headers: url= title= format= (text|html|xml, payload = "
+               "document body); see docs/SERVING.md\n";
   Status st = server.ServeStream(std::cin, std::cout);
   if (!st.ok()) {
     std::cerr << st << std::endl;

@@ -36,6 +36,10 @@ GATED = [
     ("bench_micro_olap", "BM_InsertFactMaintenance/0"),
     ("bench_micro_olap", "BM_InsertFactMaintenance/1"),
     ("bench_recovery", "cold_replay_200_ms"),
+    # Federated answering decaying toward (or past) the merged-oracle cost
+    # would mean the fan-out/merge path lost its reason to exist.
+    ("bench_federation", "oracle_query_mean_ms"),
+    ("bench_federation", "fed_chaos_0%_mean_ms"),
 ]
 
 # Everything normalises to seconds before the ratio so a unit change in a

@@ -123,6 +123,19 @@ if [ -n "$SANITIZE" ]; then
     echo "check.sh: materialized-view suite FAILED under -fsanitize=$SANITIZE" >&2
     exit 1
   fi
+
+  # The federation suite once more under the sanitizers: cross-warehouse
+  # merges reassociate shared AggStates, the fan-out path runs sub-queries
+  # on pool threads, and the chaos-degraded coverage paths are exactly
+  # where a partial result could read a dead partial aggregate.
+  echo
+  echo "##### federation suite under sanitizers (ctest -L federation) #####"
+  if ! ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+       UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+       ctest --test-dir "$ROOT/$SAN_DIR" -L federation --output-on-failure; then
+    echo "check.sh: federation suite FAILED under -fsanitize=$SANITIZE" >&2
+    exit 1
+  fi
 fi
 
 if [ "${DWQA_SKIP_BENCHES:-0}" != 1 ]; then

@@ -2,9 +2,11 @@
 # Doxygen warning gate for the core API (the CI docs job).
 #
 # Renders src/common — the layer every other module builds on, and the
-# home of the observability API — with WARN_AS_ERROR, so an undocumented
-# public item, a stale \param or a broken reference fails the build. The
-# base Doxyfile is reused; only the scope and the failure mode change.
+# home of the observability API — plus the warehouse layer src/dw and its
+# federation subsystem src/dw/federation with WARN_AS_ERROR, so an
+# undocumented public item, a stale \param or a broken reference fails the
+# build. The base Doxyfile is reused; only the scope and the failure mode
+# change.
 #
 # Usage: scripts/docs_check.sh   (requires doxygen on PATH)
 set -euo pipefail
@@ -22,11 +24,12 @@ rm -rf "$OUT"
 
 (
   cat Doxyfile
-  echo "INPUT                  = src/common"
+  echo "INPUT                  = src/common src/dw src/dw/federation"
   echo "OUTPUT_DIRECTORY       = $OUT"
   echo "GENERATE_HTML          = NO"
   echo "USE_MDFILE_AS_MAINPAGE ="
   echo "WARN_AS_ERROR          = YES"
 ) | doxygen -
 
-echo "docs_check: src/common renders with zero Doxygen warnings."
+echo "docs_check: src/common + src/dw (+ federation) render with zero" \
+     "Doxygen warnings."

@@ -33,6 +33,11 @@ inline constexpr char kFaultPointCheckpoint[] = "integration.checkpoint";
 /// TransientEverywhere — durability chaos is armed explicitly so the draw
 /// schedule of existing blanket-fault tests stays frozen.
 inline constexpr char kFaultPointIoWrite[] = "io.write";
+/// Dispatching one federated sub-query to a member warehouse
+/// (dw/federation/federated_engine.h). NOT part of TransientEverywhere —
+/// federation chaos is armed per member warehouse so partial-coverage
+/// degradation can be exercised without perturbing feed-path schedules.
+inline constexpr char kFaultPointFedSubquery[] = "fed.subquery";
 /// @}
 ///
 /// A rule may also scope a point to one source by suffixing the source URL,

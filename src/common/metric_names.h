@@ -290,6 +290,28 @@ inline constexpr char kMetricDwQuarantineRecords[] =
     "dwqa_dw_quarantine_records";
 /// @}
 
+/// \name Warehouse federation (dw/federation/federated_engine.h)
+/// @{
+/// Counter, labels {coverage}: federated queries by terminal coverage
+/// ("full" | "partial" | "failed").
+inline constexpr char kMetricFedQueries[] = "dwqa_fed_queries_total";
+/// Counter, labels {warehouse, outcome}: per-warehouse sub-queries
+/// (outcome = "ok" | "error" | "skipped").
+inline constexpr char kMetricFedSubqueries[] = "dwqa_fed_subqueries_total";
+/// Histogram, labels {warehouse}: wall-clock latency of one sub-query.
+inline constexpr char kMetricFedSubqueryLatency[] =
+    "dwqa_fed_subquery_latency_ms";
+/// Counter: groups folded through AggState::Merge across all sub-results.
+inline constexpr char kMetricFedGroupsMerged[] =
+    "dwqa_fed_groups_merged_total";
+/// Counter, labels {policy, resolution}: cross-warehouse fact-key
+/// conflicts, by the policy that resolved them and the resolution taken
+/// (resolution = "local" | "remote" | "quarantined" | "deduplicated").
+inline constexpr char kMetricFedConflicts[] = "dwqa_fed_conflicts_total";
+/// Histogram: wall-clock latency of the partial-aggregate merge phase.
+inline constexpr char kMetricFedMergeLatency[] = "dwqa_fed_merge_latency_ms";
+/// @}
+
 }  // namespace dwqa
 
 #endif  // DWQA_COMMON_METRIC_NAMES_H_

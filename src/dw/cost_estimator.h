@@ -30,6 +30,7 @@ struct CostEstimate {
 /// recomputes first while view-answered dashboards keep flowing.
 class CostEstimator {
  public:
+  /// Tuning knobs mapping fact-scan volume onto admission cost units.
   struct Options {
     /// Fact rows one admission cost unit buys.
     double rows_per_unit = 1000.0;

@@ -1,0 +1,629 @@
+#include "dw/federation/federated_engine.h"
+
+#include <future>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "common/metric_names.h"
+#include "common/string_util.h"
+#include "dw/cost_estimator.h"
+#include "dw/materialized_view.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+namespace {
+
+/// How one original group-by axis is reconstructed from a sub-result.
+enum class AxisKind {
+  kValue,            ///< Sub-result carries the value verbatim.
+  kValueTranslated,  ///< Carried value, canonicalized through a member map.
+  kSentinel,         ///< Axis absent remotely: the "(unattributed)" member.
+  kNull,             ///< Level absent remotely: remote members are null.
+};
+
+struct AxisPlan {
+  AxisKind kind = AxisKind::kValue;
+  /// Lowercased remote base name → canonical local spelling
+  /// (kValueTranslated only).
+  const std::map<std::string, std::string>* member_map = nullptr;
+};
+
+/// One member warehouse's share of a federated query.
+struct SubPlan {
+  std::string name;
+  const Warehouse* warehouse = nullptr;
+  FaultInjector* chaos = nullptr;
+  OlapQuery subquery;
+  std::vector<AxisPlan> axes;       ///< One per original group-by axis.
+  std::vector<double> conversions;  ///< Per underlying measure, remote→local.
+  std::set<size_t> excluded;        ///< Fact rows a conflict policy removed.
+  /// A filter proved this member's share empty: exact zero contribution,
+  /// no sub-query dispatched.
+  bool zero_contribution = false;
+};
+
+/// OlapEngine::Execute with a conflict-exclusion set: identical scan, but
+/// excluded fact rows are skipped (they do not exist in the merged oracle,
+/// so they must not exist here either). Mirrors dw/olap.cc.
+Result<OlapResult> ExecuteWithExclusions(const Warehouse& wh,
+                                         const OlapQuery& query,
+                                         const std::set<size_t>& excluded) {
+  DWQA_ASSIGN_OR_RETURN(const FactDef* fact,
+                        wh.schema().FindFact(query.fact));
+  DWQA_ASSIGN_OR_RETURN(const Table* ftab, wh.FactTable(query.fact));
+  std::vector<size_t> measure_cols;
+  for (const QueryMeasure& qm : query.measures) {
+    DWQA_ASSIGN_OR_RETURN(size_t mi, fact->MeasureIndex(qm.measure));
+    measure_cols.push_back(fact->roles.size() + mi);
+  }
+  struct Axis {
+    size_t fk_col;
+    std::string dimension;
+    std::string level;
+  };
+  std::vector<Axis> axes;
+  for (const GroupBy& g : query.group_by) {
+    DWQA_ASSIGN_OR_RETURN(size_t ri, fact->RoleIndex(g.role));
+    axes.push_back({ri, fact->roles[ri].dimension, g.level});
+  }
+  struct ResolvedFilter {
+    size_t fk_col;
+    std::string dimension;
+    std::string level;
+    std::unordered_set<std::string> values;
+  };
+  std::vector<ResolvedFilter> filters;
+  for (const Filter& f : query.filters) {
+    DWQA_ASSIGN_OR_RETURN(size_t ri, fact->RoleIndex(f.role));
+    ResolvedFilter rf{ri, fact->roles[ri].dimension, f.level, {}};
+    for (const std::string& v : f.values) rf.values.insert(ToLower(v));
+    filters.push_back(std::move(rf));
+  }
+  std::map<std::vector<std::string>, std::vector<AggState>> groups;
+  OlapResult result;
+  result.facts_scanned = ftab->row_count() - excluded.size();
+  for (size_t r = 0; r < ftab->row_count(); ++r) {
+    if (excluded.count(r)) continue;
+    bool keep = true;
+    for (const ResolvedFilter& f : filters) {
+      MemberId member =
+          static_cast<MemberId>(ftab->Get(r, f.fk_col).as_int());
+      DWQA_ASSIGN_OR_RETURN(
+          std::string v, wh.MemberLevelValue(f.dimension, member, f.level));
+      if (!f.values.count(ToLower(v))) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    ++result.facts_matched;
+    std::vector<std::string> key;
+    for (const Axis& a : axes) {
+      MemberId member =
+          static_cast<MemberId>(ftab->Get(r, a.fk_col).as_int());
+      DWQA_ASSIGN_OR_RETURN(
+          std::string v, wh.MemberLevelValue(a.dimension, member, a.level));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), query.measures.size());
+    for (size_t m = 0; m < measure_cols.size(); ++m) {
+      it->second[m].Add(ftab->column(measure_cols[m]).GetDouble(r));
+    }
+  }
+  for (const GroupBy& g : query.group_by) {
+    result.headers.push_back(g.role + "." + g.level);
+  }
+  for (const QueryMeasure& qm : query.measures) {
+    result.headers.push_back(std::string(AggFnName(qm.agg)) + "(" +
+                             qm.measure + ")");
+  }
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row;
+    for (const std::string& k : key) row.emplace_back(k);
+    for (size_t m = 0; m < states.size(); ++m) {
+      row.push_back(states[m].Finish(query.measures[m].agg));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+/// Runs one member's sub-query: exclusion-aware scan when a conflict policy
+/// removed rows, otherwise view-first with a recompute fallback (each
+/// member honors its own materialized-view catalog).
+Result<OlapResult> RunSubquery(const SubPlan& plan) {
+  if (!plan.excluded.empty()) {
+    return ExecuteWithExclusions(*plan.warehouse, plan.subquery,
+                                 plan.excluded);
+  }
+  if (plan.warehouse->views() != nullptr) {
+    Result<OlapResult> from_view =
+        plan.warehouse->views()->Answer(plan.subquery);
+    if (from_view.ok()) return from_view;
+  }
+  return OlapEngine(plan.warehouse).Execute(plan.subquery);
+}
+
+}  // namespace
+
+const char* CoverageName(const FederatedCoverage& coverage) {
+  if (coverage.answered == 0) return "failed";
+  return coverage.full() ? "full" : "partial";
+}
+
+FederatedEngine::FederatedEngine(const Warehouse* local,
+                                 std::string local_name)
+    : local_(local), local_name_(std::move(local_name)) {}
+
+Status FederatedEngine::AddRemote(std::string name, const Warehouse* remote,
+                                  SchemaMapping mapping,
+                                  FaultInjector* chaos) {
+  if (remote == nullptr) {
+    return Status::InvalidArgument("remote warehouse must not be null");
+  }
+  if (ToLower(name) == ToLower(local_name_)) {
+    return Status::AlreadyExists("member name '" + name +
+                                 "' collides with the local warehouse");
+  }
+  for (const Remote& r : remotes_) {
+    if (ToLower(r.name) == ToLower(name)) {
+      return Status::AlreadyExists("member name '" + name +
+                                   "' already registered");
+    }
+  }
+  remotes_.push_back({std::move(name), remote, std::move(mapping), chaos});
+  return Status::OK();
+}
+
+Result<FederatedResult> FederatedEngine::Execute(
+    const OlapQuery& query) const {
+  if (local_ == nullptr) {
+    return Status::InvalidArgument("federation has no local warehouse");
+  }
+  if (query.measures.empty()) {
+    return Status::InvalidArgument("OLAP query needs at least one measure");
+  }
+
+  FederatedResult out;
+  Span plan_span(trace_, "fed.plan");
+  plan_span.Annotate("fact", query.fact);
+  plan_span.Annotate("members",
+                     static_cast<double>(1 + remotes_.size()));
+
+  // Validate the query against the local schema (the federation's query
+  // vocabulary), mirroring the OLAP engine's resolution errors.
+  DWQA_ASSIGN_OR_RETURN(const FactDef* lfact,
+                        local_->schema().FindFact(query.fact));
+  for (const Having& h : query.having) {
+    if (h.measure_index >= query.measures.size()) {
+      return Status::InvalidArgument(
+          "HAVING refers to measure index " +
+          std::to_string(h.measure_index) + ", query has " +
+          std::to_string(query.measures.size()));
+    }
+  }
+
+  // Distinct underlying measures, in first-mention order; every original
+  // measure indexes into this list.
+  std::vector<std::string> underlying;
+  std::vector<size_t> orig_to_underlying;
+  for (const QueryMeasure& qm : query.measures) {
+    DWQA_RETURN_NOT_OK(lfact->MeasureIndex(qm.measure).status());
+    size_t slot = underlying.size();
+    for (size_t u = 0; u < underlying.size(); ++u) {
+      if (ToLower(underlying[u]) == ToLower(qm.measure)) slot = u;
+    }
+    if (slot == underlying.size()) underlying.push_back(qm.measure);
+    orig_to_underlying.push_back(slot);
+  }
+  // The axis/filter vocabulary must resolve locally too.
+  for (const GroupBy& g : query.group_by) {
+    DWQA_ASSIGN_OR_RETURN(size_t ri, lfact->RoleIndex(g.role));
+    DWQA_ASSIGN_OR_RETURN(
+        const DimensionDef* dim,
+        local_->schema().FindDimension(lfact->roles[ri].dimension));
+    DWQA_RETURN_NOT_OK(dim->LevelIndex(g.level).status());
+  }
+  for (const Filter& f : query.filters) {
+    DWQA_ASSIGN_OR_RETURN(size_t ri, lfact->RoleIndex(f.role));
+    DWQA_ASSIGN_OR_RETURN(
+        const DimensionDef* dim,
+        local_->schema().FindDimension(lfact->roles[ri].dimension));
+    DWQA_RETURN_NOT_OK(dim->LevelIndex(f.level).status());
+  }
+
+  // Expand each underlying measure into the four components of its
+  // aggregation state: sub-queries ship AggStates, not finished values.
+  auto expand_measures = [](const std::vector<std::string>& names) {
+    std::vector<QueryMeasure> expanded;
+    for (const std::string& name : names) {
+      expanded.push_back({name, AggFn::kSum});
+      expanded.push_back({name, AggFn::kCount});
+      expanded.push_back({name, AggFn::kMin});
+      expanded.push_back({name, AggFn::kMax});
+    }
+    return expanded;
+  };
+
+  std::vector<SubPlan> plans;
+  out.coverage.warehouses_total = 1 + remotes_.size();
+
+  SubPlan local_plan;
+  local_plan.name = local_name_;
+  local_plan.warehouse = local_;
+  local_plan.chaos = local_chaos_;
+  local_plan.subquery.fact = query.fact;
+  local_plan.subquery.measures = expand_measures(underlying);
+  local_plan.subquery.group_by = query.group_by;
+  local_plan.subquery.filters = query.filters;
+  local_plan.axes.assign(query.group_by.size(), AxisPlan{});
+  local_plan.conversions.assign(underlying.size(), 1.0);
+  plans.push_back(std::move(local_plan));
+
+  for (const Remote& r : remotes_) {
+    const FactMapping* fm = r.mapping.FindLocalFact(query.fact);
+    if (fm == nullptr) {
+      out.coverage.missing.push_back(
+          {r.name, "no schema mapping for fact '" + query.fact + "'"});
+      if (metrics_ != nullptr) {
+        metrics_
+            ->GetCounter(kMetricFedSubqueries,
+                         {{"warehouse", r.name}, {"outcome", "skipped"}})
+            ->Increment();
+      }
+      continue;
+    }
+    SubPlan plan;
+    plan.name = r.name;
+    plan.warehouse = r.warehouse;
+    plan.chaos = r.chaos;
+    plan.subquery.fact = fm->remote_fact;
+    std::vector<std::string> remote_measures;
+    for (const std::string& name : underlying) {
+      const MeasureMapping* mm = fm->FindLocalMeasure(name);
+      // FactMapping guarantees every local measure maps; guarded anyway.
+      if (mm == nullptr) break;
+      remote_measures.push_back(mm->remote_measure);
+      plan.conversions.push_back(mm->conversion);
+    }
+    if (remote_measures.size() != underlying.size()) {
+      out.coverage.missing.push_back(
+          {r.name, "a queried measure is not mapped"});
+      continue;
+    }
+    plan.subquery.measures = expand_measures(remote_measures);
+
+    for (const GroupBy& g : query.group_by) {
+      DWQA_ASSIGN_OR_RETURN(size_t ri, lfact->RoleIndex(g.role));
+      const std::string& dim_name = lfact->roles[ri].dimension;
+      const RoleMapping* rm = fm->FindLocalRole(g.role);
+      const DimensionMapping* dm =
+          rm == nullptr ? nullptr : r.mapping.FindLocalDimension(dim_name);
+      const LevelMapping* lm =
+          dm == nullptr ? nullptr : dm->FindLocalLevel(g.level);
+      if (rm == nullptr || dm == nullptr) {
+        plan.axes.push_back({AxisKind::kSentinel, nullptr});
+        continue;
+      }
+      if (lm == nullptr) {
+        plan.axes.push_back({AxisKind::kNull, nullptr});
+        continue;
+      }
+      DWQA_ASSIGN_OR_RETURN(
+          const DimensionDef* ld, local_->schema().FindDimension(dim_name));
+      DWQA_ASSIGN_OR_RETURN(
+          const DimensionDef* rd,
+          r.warehouse->schema().FindDimension(dm->remote_dimension));
+      const bool base_pair =
+          ToLower(g.level) == ToLower(ld->levels.front().name) &&
+          ToLower(lm->remote_level) == ToLower(rd->levels.front().name);
+      plan.subquery.group_by.push_back({rm->remote_role, lm->remote_level});
+      plan.axes.push_back({base_pair ? AxisKind::kValueTranslated
+                                     : AxisKind::kValue,
+                           base_pair ? &dm->member_map : nullptr});
+    }
+
+    for (const Filter& f : query.filters) {
+      if (plan.zero_contribution) break;
+      DWQA_ASSIGN_OR_RETURN(size_t ri, lfact->RoleIndex(f.role));
+      const std::string& dim_name = lfact->roles[ri].dimension;
+      const RoleMapping* rm = fm->FindLocalRole(f.role);
+      const DimensionMapping* dm =
+          rm == nullptr ? nullptr : r.mapping.FindLocalDimension(dim_name);
+      const LevelMapping* lm =
+          dm == nullptr ? nullptr : dm->FindLocalLevel(f.level);
+      auto contains = [&](const std::string& needle) {
+        for (const std::string& v : f.values) {
+          if (ToLower(v) == ToLower(needle)) return true;
+        }
+        return false;
+      };
+      if (rm == nullptr || dm == nullptr) {
+        // Every remote fact sits on the sentinel along this axis: the
+        // filter either passes all remote rows or none of them.
+        if (!contains(kUnattributedMember)) plan.zero_contribution = true;
+        continue;
+      }
+      if (lm == nullptr) {
+        // Remote members are null at this level ("" after rendering).
+        if (!contains("")) plan.zero_contribution = true;
+        continue;
+      }
+      DWQA_ASSIGN_OR_RETURN(
+          const DimensionDef* ld, local_->schema().FindDimension(dim_name));
+      DWQA_ASSIGN_OR_RETURN(
+          const DimensionDef* rd,
+          r.warehouse->schema().FindDimension(dm->remote_dimension));
+      const bool base_pair =
+          ToLower(f.level) == ToLower(ld->levels.front().name) &&
+          ToLower(lm->remote_level) == ToLower(rd->levels.front().name);
+      Filter translated{rm->remote_role, lm->remote_level, {}};
+      if (!base_pair) {
+        translated.values = f.values;  // Vocabularies agree above base.
+      } else {
+        for (const std::string& v : f.values) {
+          // Remote spellings whose canonical local form is this value…
+          for (const auto& [remote_lower, canonical] : dm->member_map) {
+            if (ToLower(canonical) == ToLower(v)) {
+              translated.values.push_back(remote_lower);
+            }
+          }
+          // …plus the value itself unless it is a remote spelling of a
+          // *different* local member (then matching it would double count).
+          if (!dm->member_map.count(ToLower(v))) {
+            translated.values.push_back(v);
+          }
+        }
+      }
+      plan.subquery.filters.push_back(std::move(translated));
+    }
+
+    if (fm->key_complete) {
+      DWQA_ASSIGN_OR_RETURN(
+          ConflictResolution resolution,
+          ResolveConflicts(*local_, *r.warehouse, r.mapping, *fm, policy_));
+      if (metrics_ != nullptr) {
+        const std::string policy_name =
+            ConflictPolicyName(policy_.conflicts);
+        auto bump = [&](const char* resolved, size_t n) {
+          if (n == 0) return;
+          metrics_
+              ->GetCounter(kMetricFedConflicts, {{"policy", policy_name},
+                                                 {"resolution", resolved}})
+              ->Increment(static_cast<double>(n));
+        };
+        bump("deduplicated", resolution.stats.deduplicated_rows);
+        bump("quarantined", resolution.stats.quarantined_rows);
+        if (policy_.conflicts != ConflictPolicy::kQuarantine) {
+          bump("remote", resolution.stats.remote_rows_dropped);
+          bump("local", resolution.stats.local_rows_dropped);
+        }
+      }
+      plan.excluded = std::move(resolution.remote_excluded);
+      for (size_t row : resolution.local_excluded) {
+        plans.front().excluded.insert(row);
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  if (trace_ != nullptr) {
+    CostEstimator estimator;
+    for (const SubPlan& plan : plans) {
+      auto estimate = estimator.Estimate(*plan.warehouse, plan.subquery);
+      if (estimate.ok()) {
+        plan_span.Annotate(plan.name + ".cost_units",
+                           estimate->cost_units);
+      }
+    }
+  }
+  plan_span.End();
+
+  // ---- Fan-out: probe each member's chaos injector serially (injectors
+  // are not thread-safe), then dispatch the surviving sub-queries on the
+  // pool. Workers receive no recorder and no injector.
+  Span fanout_span(trace_, "fed.fanout");
+  struct Dispatched {
+    const SubPlan* plan;
+    std::future<Result<OlapResult>> future;
+  };
+  std::vector<Dispatched> dispatched;
+  for (const SubPlan& plan : plans) {
+    if (plan.zero_contribution) {
+      // The translated filter proved this member's share empty: exact.
+      ++out.coverage.answered;
+      if (metrics_ != nullptr) {
+        metrics_
+            ->GetCounter(kMetricFedSubqueries,
+                         {{"warehouse", plan.name}, {"outcome", "skipped"}})
+            ->Increment();
+      }
+      continue;
+    }
+    if (plan.chaos != nullptr) {
+      Status chaos_status;
+      {
+        std::lock_guard<std::mutex> lock(chaos_mu_);
+        chaos_status = plan.chaos->Hit(kFaultPointFedSubquery);
+      }
+      if (!chaos_status.ok()) {
+        out.coverage.missing.push_back({plan.name, chaos_status.message()});
+        if (metrics_ != nullptr) {
+          metrics_
+              ->GetCounter(kMetricFedSubqueries,
+                           {{"warehouse", plan.name}, {"outcome", "error"}})
+              ->Increment();
+        }
+        continue;
+      }
+    }
+    Histogram* latency =
+        metrics_ == nullptr
+            ? nullptr
+            : metrics_->GetHistogram(kMetricFedSubqueryLatency,
+                                     {{"warehouse", plan.name}});
+    auto task = [&plan, latency]() -> Result<OlapResult> {
+      ScopedLatencyTimer timer(latency);
+      return RunSubquery(plan);
+    };
+    Dispatched d{&plan, pool_ != nullptr
+                            ? pool_->Submit(task)
+                            : std::async(std::launch::deferred, task)};
+    dispatched.push_back(std::move(d));
+  }
+
+  std::vector<std::pair<const SubPlan*, OlapResult>> sub_results;
+  for (Dispatched& d : dispatched) {
+    Result<OlapResult> result = d.future.get();
+    if (!result.ok()) {
+      out.coverage.missing.push_back(
+          {d.plan->name, result.status().message()});
+      if (metrics_ != nullptr) {
+        metrics_
+            ->GetCounter(kMetricFedSubqueries, {{"warehouse", d.plan->name},
+                                                {"outcome", "error"}})
+            ->Increment();
+      }
+      continue;
+    }
+    ++out.coverage.answered;
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter(kMetricFedSubqueries,
+                       {{"warehouse", d.plan->name}, {"outcome", "ok"}})
+          ->Increment();
+    }
+    sub_results.emplace_back(d.plan, std::move(*result));
+  }
+  fanout_span.Annotate("answered",
+                       static_cast<double>(out.coverage.answered));
+  fanout_span.Annotate("missing",
+                       static_cast<double>(out.coverage.missing.size()));
+  fanout_span.End();
+
+  if (out.coverage.answered == 0) {
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter(kMetricFedQueries, {{"coverage", "failed"}})
+          ->Increment();
+    }
+    std::string reasons;
+    for (const CoverageGap& gap : out.coverage.missing) {
+      if (!reasons.empty()) reasons += "; ";
+      reasons += gap.warehouse + ": " + gap.reason;
+    }
+    return Status::Unavailable("federation: no member could answer (" +
+                               reasons + ")");
+  }
+
+  // ---- Merge: reconstruct each sub-result's aggregation states, convert
+  // remote units, canonicalize keys, and fold with AggState::Merge — the
+  // exact arithmetic a single-warehouse scan would have run.
+  Span merge_span(trace_, "fed.merge");
+  Histogram* merge_latency =
+      metrics_ == nullptr
+          ? nullptr
+          : metrics_->GetHistogram(kMetricFedMergeLatency);
+  size_t groups_merged = 0;
+  {
+    ScopedLatencyTimer merge_timer(merge_latency);
+    std::map<std::vector<std::string>, std::vector<AggState>> groups;
+    for (const auto& [plan, sub] : sub_results) {
+      out.result.facts_scanned += sub.facts_scanned;
+      out.result.facts_matched += sub.facts_matched;
+      size_t value_axes = 0;
+      for (const AxisPlan& axis : plan->axes) {
+        if (axis.kind == AxisKind::kValue ||
+            axis.kind == AxisKind::kValueTranslated) {
+          ++value_axes;
+        }
+      }
+      for (const std::vector<Value>& row : sub.rows) {
+        std::vector<std::string> key;
+        size_t pos = 0;
+        for (const AxisPlan& axis : plan->axes) {
+          switch (axis.kind) {
+            case AxisKind::kSentinel:
+              key.push_back(kUnattributedMember);
+              break;
+            case AxisKind::kNull:
+              key.push_back("");
+              break;
+            case AxisKind::kValueTranslated: {
+              std::string v = row[pos++].ToString();
+              auto it = axis.member_map->find(ToLower(v));
+              key.push_back(it == axis.member_map->end() ? v : it->second);
+              break;
+            }
+            case AxisKind::kValue:
+              key.push_back(row[pos++].ToString());
+              break;
+          }
+        }
+        auto [it, inserted] =
+            groups.try_emplace(std::move(key), underlying.size());
+        for (size_t u = 0; u < underlying.size(); ++u) {
+          size_t base = value_axes + 4 * u;
+          AggState st;
+          st.count = static_cast<size_t>(row[base + 1].as_int());
+          if (st.count == 0) continue;  // Empty share, nothing to fold.
+          double conv = plan->conversions[u];
+          st.sum = row[base].ToDouble() * conv;
+          st.min = row[base + 2].ToDouble() * conv;
+          st.max = row[base + 3].ToDouble() * conv;
+          it->second[u].Merge(st);
+        }
+        ++groups_merged;
+      }
+    }
+    for (const GroupBy& g : query.group_by) {
+      out.result.headers.push_back(g.role + "." + g.level);
+    }
+    for (const QueryMeasure& qm : query.measures) {
+      out.result.headers.push_back(std::string(AggFnName(qm.agg)) + "(" +
+                                   qm.measure + ")");
+    }
+    for (const auto& [key, states] : groups) {
+      bool keep = true;
+      for (const Having& h : query.having) {
+        double aggregated =
+            states[orig_to_underlying[h.measure_index]]
+                .Finish(query.measures[h.measure_index].agg)
+                .ToDouble();
+        if (!EvalCompare(aggregated, h.op, h.value)) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      std::vector<Value> row;
+      for (const std::string& k : key) row.emplace_back(k);
+      for (size_t m = 0; m < query.measures.size(); ++m) {
+        row.push_back(states[orig_to_underlying[m]].Finish(
+            query.measures[m].agg));
+      }
+      out.result.rows.push_back(std::move(row));
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(kMetricFedGroupsMerged)
+        ->Increment(static_cast<double>(groups_merged));
+    metrics_
+        ->GetCounter(kMetricFedQueries,
+                     {{"coverage", CoverageName(out.coverage)}})
+        ->Increment();
+  }
+  merge_span.Annotate("groups", static_cast<double>(out.result.rows.size()));
+  merge_span.Annotate("coverage", CoverageName(out.coverage));
+  merge_span.End();
+  return out;
+}
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

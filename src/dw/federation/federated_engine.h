@@ -1,0 +1,137 @@
+#ifndef DWQA_DW_FEDERATION_FEDERATED_ENGINE_H_
+#define DWQA_DW_FEDERATION_FEDERATED_ENGINE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "dw/federation/merge_warehouses.h"
+#include "dw/federation/schema_mapping.h"
+#include "dw/olap.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+/// \file federated_engine.h
+/// \brief Query-time federation: plan a BI query against the schema
+/// mappings, fan per-warehouse sub-queries out on the ThreadPool, merge
+/// the partial aggregates with the shared AggState arithmetic.
+///
+/// Each sub-query ships the *aggregation state* (sum/count/min/max per
+/// group and measure) rather than finished values, so the merged answer is
+/// byte-identical to the same query over the MergeWarehouses oracle — the
+/// same split/merge identity the materialized views rely on, stretched
+/// across warehouses. Per-warehouse failures (chaos or real) degrade into
+/// a typed partial-coverage annotation instead of an error; only the loss
+/// of every member warehouse fails the query.
+
+/// \brief One member warehouse that could not contribute to an answer.
+struct CoverageGap {
+  std::string warehouse;  ///< Member name ("local", "partner", ...).
+  std::string reason;     ///< Human-readable failure reason.
+};
+
+/// \brief Which member warehouses an answer actually covers.
+struct FederatedCoverage {
+  size_t warehouses_total = 0;  ///< Members the plan addressed.
+  size_t answered = 0;          ///< Members whose share is exact.
+  std::vector<CoverageGap> missing;  ///< The members that are not.
+
+  /// True when every member contributed.
+  bool full() const { return answered == warehouses_total; }
+};
+
+/// "full", "partial", or "failed" (nothing answered).
+const char* CoverageName(const FederatedCoverage& coverage);
+
+/// \brief A federated answer: the merged OLAP result plus its coverage.
+struct FederatedResult {
+  OlapResult result;            ///< Merged rows, oracle-identical shape.
+  FederatedCoverage coverage;   ///< Which members the rows cover.
+};
+
+/// \brief The federation planner/executor over one local warehouse and any
+/// number of mapped remote warehouses.
+///
+/// Thread-safety: Execute is const and safe to call concurrently (chaos
+/// injectors are probed under an internal mutex; metrics instruments are
+/// lock-free; sub-queries go through the view catalogs' shared locks). The
+/// trace recorder is the exception — TraceRecorder parenting assumes one
+/// logical flow of control, so set one only where Execute calls are
+/// serialized (the serving layer holds its tenant lock) and leave it null
+/// for concurrent use. Pool workers never touch the recorder or the
+/// injectors.
+class FederatedEngine {
+ public:
+  /// Engine over `local` (not owned, must outlive the engine), reported in
+  /// coverage under `local_name`.
+  explicit FederatedEngine(const Warehouse* local,
+                           std::string local_name = "local");
+
+  /// Registers a remote member warehouse (not owned) under `name`, reached
+  /// through `mapping` (local→remote). `chaos` (optional, not owned) is
+  /// probed at `fed.subquery` before each dispatch — NOT thread-safe by
+  /// itself, so the engine serializes all probes internally.
+  Status AddRemote(std::string name, const Warehouse* remote,
+                   SchemaMapping mapping, FaultInjector* chaos = nullptr);
+
+  /// Arms a chaos injector on the local member as well.
+  void set_local_chaos(FaultInjector* chaos) { local_chaos_ = chaos; }
+
+  /// Pool the sub-queries fan out on (null = inline, serial execution).
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Receives the dwqa_fed_* series (null = observability off).
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+
+  /// Recorder for `fed.plan` / `fed.fanout` / `fed.merge` spans. See the
+  /// class comment: only safe when Execute calls are serialized.
+  void set_trace_recorder(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Conflict policy applied to key-complete fact mappings at query time —
+  /// keep it equal to the MergeWarehouses policy for oracle identity.
+  void set_policy(MergePolicy policy) { policy_ = std::move(policy); }
+
+  /// Registered remote members.
+  size_t remote_count() const { return remotes_.size(); }
+  /// The schema mapping of remote member `i`.
+  const SchemaMapping& mapping(size_t i) const { return remotes_[i].mapping; }
+
+  /// Plans, fans out and merges `query` (spelled against the *local*
+  /// schema). Headers, group ordering and values are byte-identical to
+  /// OlapEngine::Execute over the MergeWarehouses oracle when coverage is
+  /// full. Fails only on an invalid query or when no member could answer.
+  Result<FederatedResult> Execute(const OlapQuery& query) const;
+
+ private:
+  struct Remote {
+    std::string name;
+    const Warehouse* warehouse = nullptr;
+    SchemaMapping mapping;
+    FaultInjector* chaos = nullptr;
+  };
+
+  const Warehouse* local_;
+  std::string local_name_;
+  std::vector<Remote> remotes_;
+  FaultInjector* local_chaos_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  MetricRegistry* metrics_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  MergePolicy policy_;
+  /// Serializes chaos-injector probes (FaultInjector mutates its RNG).
+  mutable std::mutex chaos_mu_;
+};
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_FEDERATION_FEDERATED_ENGINE_H_

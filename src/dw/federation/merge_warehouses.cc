@@ -1,0 +1,438 @@
+#include "dw/federation/merge_warehouses.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+namespace {
+
+constexpr char kKeySep = '\x1f';
+
+/// Rows of one fact grouped by their federation key: the row indices and
+/// the (ordered, then sorted) measure vectors sharing each key.
+struct KeyedRows {
+  std::map<std::string, std::vector<size_t>> rows;
+  std::map<std::string, std::vector<std::vector<double>>> measures;
+};
+
+std::string RenderMeasures(const FactMapping& fact,
+                           const std::vector<double>& values) {
+  std::vector<std::string> parts;
+  for (size_t m = 0; m < fact.measures.size(); ++m) {
+    parts.push_back(fact.measures[m].local_measure + "=" +
+                    FormatDouble(values[m], 4));
+  }
+  return Join(parts, ";");
+}
+
+QuarantineRecord MakeConflictRecord(const FactMapping& fact,
+                                    const std::string& side,
+                                    const std::string& fact_name,
+                                    size_t row, const std::string& key,
+                                    const std::vector<double>& values) {
+  QuarantineRecord record;
+  record.attribute = fact.local_fact;
+  record.value = RenderMeasures(fact, values);
+  // The key carries the full provenance; pick its date and place parts into
+  // the record's dedicated fields so quarantine reports read like the
+  // Step-5 validator's (location = the member, not the whole key).
+  for (const std::string& part : Split(key, kKeySep)) {
+    if (record.date_iso.empty() && Date::FromIsoString(part).ok()) {
+      record.date_iso = part;
+    } else if (StartsWith(part, "http://") ||
+               StartsWith(part, "https://")) {
+      if (record.url.empty()) record.url = part;
+    } else if (record.location.empty()) {
+      record.location = part;
+    }
+  }
+  if (record.url.empty()) {
+    record.url = "dw://" + side + "/" + fact_name + "#row" +
+                 std::to_string(row);
+  }
+  record.reason = "FederationConflict";
+  record.detail = "cross-warehouse measure disagreement under policy "
+                  "'quarantine' (" + side + " row " + std::to_string(row) +
+                  " of '" + fact_name + "', key " +
+                  ReplaceAll(key, std::string(1, kKeySep), "|") + ")";
+  return record;
+}
+
+}  // namespace
+
+const char* ConflictPolicyName(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kPreferLocal:
+      return "prefer_local";
+    case ConflictPolicy::kPreferFresher:
+      return "prefer_fresher";
+    case ConflictPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
+Result<ConflictResolution> ResolveConflicts(const Warehouse& local,
+                                            const Warehouse& remote,
+                                            const SchemaMapping& mapping,
+                                            const FactMapping& fact,
+                                            const MergePolicy& policy) {
+  ConflictResolution resolution;
+  // Without a complete key the two fact tables do not share a key space:
+  // the merge is purely additive and there is nothing to resolve.
+  if (!fact.key_complete) return resolution;
+
+  DWQA_ASSIGN_OR_RETURN(const FactDef* lf,
+                        local.schema().FindFact(fact.local_fact));
+  DWQA_ASSIGN_OR_RETURN(const FactDef* rf,
+                        remote.schema().FindFact(fact.remote_fact));
+  DWQA_ASSIGN_OR_RETURN(const Table* ltab, local.FactTable(fact.local_fact));
+  DWQA_ASSIGN_OR_RETURN(const Table* rtab,
+                        remote.FactTable(fact.remote_fact));
+
+  // Resolve, per mapped role, the fk columns and base levels on both sides
+  // plus the member map that canonicalizes remote spellings.
+  struct KeyPart {
+    size_t local_col = 0;
+    size_t remote_col = 0;
+    std::string local_dim, local_base;
+    std::string remote_dim, remote_base;
+    const std::map<std::string, std::string>* member_map = nullptr;
+  };
+  std::vector<KeyPart> parts;
+  for (const RoleMapping& rm : fact.roles) {
+    KeyPart part;
+    DWQA_ASSIGN_OR_RETURN(part.local_col, lf->RoleIndex(rm.local_role));
+    DWQA_ASSIGN_OR_RETURN(part.remote_col, rf->RoleIndex(rm.remote_role));
+    part.local_dim = lf->roles[part.local_col].dimension;
+    part.remote_dim = rf->roles[part.remote_col].dimension;
+    DWQA_ASSIGN_OR_RETURN(const DimensionDef* ld,
+                          local.schema().FindDimension(part.local_dim));
+    DWQA_ASSIGN_OR_RETURN(const DimensionDef* rd,
+                          remote.schema().FindDimension(part.remote_dim));
+    part.local_base = ld->levels.front().name;
+    part.remote_base = rd->levels.front().name;
+    const DimensionMapping* dm = mapping.FindLocalDimension(part.local_dim);
+    part.member_map = dm == nullptr ? nullptr : &dm->member_map;
+    parts.push_back(std::move(part));
+  }
+  std::vector<size_t> local_mcols, remote_mcols;
+  for (const MeasureMapping& mm : fact.measures) {
+    DWQA_ASSIGN_OR_RETURN(size_t lm, lf->MeasureIndex(mm.local_measure));
+    DWQA_ASSIGN_OR_RETURN(size_t rm, rf->MeasureIndex(mm.remote_measure));
+    local_mcols.push_back(lf->roles.size() + lm);
+    remote_mcols.push_back(rf->roles.size() + rm);
+  }
+
+  auto key_rows = [&](const Warehouse& wh, const Table* tab, bool is_local)
+      -> Result<KeyedRows> {
+    KeyedRows keyed;
+    for (size_t r = 0; r < tab->row_count(); ++r) {
+      std::vector<std::string> key_parts;
+      for (const KeyPart& part : parts) {
+        size_t col = is_local ? part.local_col : part.remote_col;
+        MemberId member = static_cast<MemberId>(tab->Get(r, col).as_int());
+        DWQA_ASSIGN_OR_RETURN(
+            std::string v,
+            wh.MemberLevelValue(is_local ? part.local_dim : part.remote_dim,
+                                member,
+                                is_local ? part.local_base
+                                         : part.remote_base));
+        if (!is_local && part.member_map != nullptr) {
+          auto it = part.member_map->find(ToLower(v));
+          if (it != part.member_map->end()) v = it->second;
+        }
+        key_parts.push_back(ToLower(v));
+      }
+      std::string key = Join(key_parts, std::string(1, kKeySep));
+      std::vector<double> values;
+      const std::vector<size_t>& mcols =
+          is_local ? local_mcols : remote_mcols;
+      for (size_t m = 0; m < mcols.size(); ++m) {
+        double v = tab->column(mcols[m]).GetDouble(r);
+        if (!is_local) v *= fact.measures[m].conversion;
+        values.push_back(v);
+      }
+      keyed.rows[key].push_back(r);
+      keyed.measures[key].push_back(std::move(values));
+    }
+    return keyed;
+  };
+
+  DWQA_ASSIGN_OR_RETURN(KeyedRows lkeyed, key_rows(local, ltab, true));
+  DWQA_ASSIGN_OR_RETURN(KeyedRows rkeyed, key_rows(remote, rtab, false));
+
+  const bool remote_fresher =
+      policy.remote_refresh_iso > policy.local_refresh_iso;
+  for (const auto& [key, lrows] : lkeyed.rows) {
+    auto rit = rkeyed.rows.find(key);
+    if (rit == rkeyed.rows.end()) continue;
+    ++resolution.stats.keys_in_both;
+    std::vector<std::vector<double>> lvals = lkeyed.measures[key];
+    std::vector<std::vector<double>> rvals = rkeyed.measures[key];
+    std::sort(lvals.begin(), lvals.end());
+    std::sort(rvals.begin(), rvals.end());
+    if (lvals == rvals) {
+      // The remote warehouse carries the same observations: keep one copy.
+      for (size_t r : rit->second) resolution.remote_excluded.insert(r);
+      resolution.stats.deduplicated_rows += rit->second.size();
+      continue;
+    }
+    ++resolution.stats.conflicting_keys;
+    switch (policy.conflicts) {
+      case ConflictPolicy::kPreferLocal:
+        for (size_t r : rit->second) resolution.remote_excluded.insert(r);
+        resolution.stats.remote_rows_dropped += rit->second.size();
+        break;
+      case ConflictPolicy::kPreferFresher:
+        if (remote_fresher) {
+          for (size_t r : lrows) resolution.local_excluded.insert(r);
+          resolution.stats.local_rows_dropped += lrows.size();
+        } else {
+          for (size_t r : rit->second) resolution.remote_excluded.insert(r);
+          resolution.stats.remote_rows_dropped += rit->second.size();
+        }
+        break;
+      case ConflictPolicy::kQuarantine:
+        for (size_t i = 0; i < lrows.size(); ++i) {
+          resolution.local_excluded.insert(lrows[i]);
+          resolution.quarantine.push_back(MakeConflictRecord(
+              fact, "local", fact.local_fact, lrows[i], key,
+              lkeyed.measures[key][i]));
+        }
+        for (size_t i = 0; i < rit->second.size(); ++i) {
+          resolution.remote_excluded.insert(rit->second[i]);
+          resolution.quarantine.push_back(MakeConflictRecord(
+              fact, "remote", fact.remote_fact, rit->second[i], key,
+              rkeyed.measures[key][i]));
+        }
+        resolution.stats.local_rows_dropped += lrows.size();
+        resolution.stats.remote_rows_dropped += rit->second.size();
+        resolution.stats.quarantined_rows +=
+            lrows.size() + rit->second.size();
+        break;
+    }
+  }
+  return resolution;
+}
+
+Result<Warehouse> MergeWarehouses(const Warehouse& local,
+                                  const Warehouse& remote,
+                                  const SchemaMapping& mapping,
+                                  const MergePolicy& policy,
+                                  QuarantineStore* quarantine,
+                                  MergeWarehousesReport* report) {
+  DWQA_ASSIGN_OR_RETURN(Warehouse merged,
+                        Warehouse::Create(local.schema()));
+  MergeWarehousesReport local_report;
+
+  // 1. Re-register every local member in dimension-table row order, so the
+  // surrogate keys of the merged warehouse coincide with the local ones and
+  // local fact rows can be copied verbatim.
+  size_t local_member_rows = 0;
+  for (const DimensionDef& dim : local.schema().dimensions()) {
+    DWQA_ASSIGN_OR_RETURN(const Table* dtab, local.DimensionTable(dim.name));
+    local_member_rows += dtab->row_count();
+    for (size_t r = 0; r < dtab->row_count(); ++r) {
+      std::vector<std::string> path;
+      for (size_t c = 0; c < dim.levels.size(); ++c) {
+        path.push_back(dtab->Get(r, c).ToString());
+      }
+      while (!path.empty() && path.back().empty()) path.pop_back();
+      DWQA_RETURN_NOT_OK(merged.AddMember(dim.name, path).status());
+    }
+  }
+
+  // 2. Resolve conflicts per key-complete fact mapping — the same
+  // exclusions the FederatedEngine applies at query time.
+  std::map<std::string, ConflictResolution> resolutions;
+  for (const FactMapping& fm : mapping.facts) {
+    DWQA_ASSIGN_OR_RETURN(
+        ConflictResolution resolution,
+        ResolveConflicts(local, remote, mapping, fm, policy));
+    if (quarantine != nullptr) {
+      for (const QuarantineRecord& record : resolution.quarantine) {
+        quarantine->Add(record);
+      }
+    }
+    local_report.conflicts[fm.local_fact] = resolution.stats;
+    resolutions[ToLower(fm.local_fact)] = std::move(resolution);
+  }
+
+  // 3. Copy every kept local fact row (surrogate keys unchanged).
+  for (const FactDef& fact : local.schema().facts()) {
+    DWQA_ASSIGN_OR_RETURN(const Table* ftab, local.FactTable(fact.name));
+    auto rit = resolutions.find(ToLower(fact.name));
+    const std::set<size_t>* excluded =
+        rit == resolutions.end() ? nullptr : &rit->second.local_excluded;
+    for (size_t r = 0; r < ftab->row_count(); ++r) {
+      if (excluded != nullptr && excluded->count(r)) continue;
+      std::vector<MemberId> members;
+      for (size_t c = 0; c < fact.roles.size(); ++c) {
+        members.push_back(static_cast<MemberId>(ftab->Get(r, c).as_int()));
+      }
+      std::vector<Value> measures;
+      for (size_t m = 0; m < fact.measures.size(); ++m) {
+        measures.push_back(ftab->Get(r, fact.roles.size() + m));
+      }
+      DWQA_RETURN_NOT_OK(merged.InsertFact(fact.name, members, measures));
+      ++local_report.local_facts_kept;
+    }
+  }
+
+  // 4. Register the "(unattributed)" sentinel for every dimension that
+  // backs an unmapped local role of a mapped fact: remote facts roll up
+  // into the sentinel along those axes instead of dropping them.
+  for (const FactMapping& fm : mapping.facts) {
+    if (fm.unmapped_local_roles.empty()) continue;
+    DWQA_ASSIGN_OR_RETURN(const FactDef* lf,
+                          local.schema().FindFact(fm.local_fact));
+    for (const std::string& role : fm.unmapped_local_roles) {
+      DWQA_ASSIGN_OR_RETURN(size_t ri, lf->RoleIndex(role));
+      const std::string& dim_name = lf->roles[ri].dimension;
+      DWQA_ASSIGN_OR_RETURN(const DimensionDef* dim,
+                            local.schema().FindDimension(dim_name));
+      std::vector<std::string> path(dim->levels.size(), kUnattributedMember);
+      DWQA_RETURN_NOT_OK(merged.AddMember(dim_name, path).status());
+    }
+  }
+
+  // 5. Translate remote-only members of every mapped dimension whose base
+  // levels aligned: mapped local levels take the remote value, unmapped
+  // local levels stay null.
+  for (const DimensionMapping& dm : mapping.dimensions) {
+    DWQA_ASSIGN_OR_RETURN(const DimensionDef* ld,
+                          local.schema().FindDimension(dm.local_dimension));
+    DWQA_ASSIGN_OR_RETURN(
+        const DimensionDef* rd,
+        remote.schema().FindDimension(dm.remote_dimension));
+    const LevelMapping* base = dm.FindLocalLevel(ld->levels.front().name);
+    if (base == nullptr ||
+        ToLower(base->remote_level) != ToLower(rd->levels.front().name)) {
+      local_report.notes.push_back(
+          "dimension '" + dm.local_dimension +
+          "': base levels did not align — remote members not merged");
+      continue;
+    }
+    DWQA_ASSIGN_OR_RETURN(const Table* rdtab,
+                          remote.DimensionTable(dm.remote_dimension));
+    for (size_t r = 0; r < rdtab->row_count(); ++r) {
+      std::string base_value = rdtab->Get(r, 0).ToString();
+      if (base_value.empty()) continue;
+      if (dm.member_map.count(ToLower(base_value))) continue;  // Shared.
+      std::vector<std::string> path;
+      for (const LevelDef& level : ld->levels) {
+        const LevelMapping* lm = dm.FindLocalLevel(level.name);
+        if (lm == nullptr) {
+          path.push_back("");
+          continue;
+        }
+        DWQA_ASSIGN_OR_RETURN(
+            std::string v,
+            remote.MemberLevelValue(dm.remote_dimension,
+                                    static_cast<MemberId>(r),
+                                    lm->remote_level));
+        path.push_back(std::move(v));
+      }
+      while (!path.empty() && path.back().empty()) path.pop_back();
+      DWQA_RETURN_NOT_OK(merged.AddMember(dm.local_dimension, path).status());
+    }
+  }
+
+  // 6. Insert every kept remote fact row, members translated through the
+  // member maps (or the sentinel) and measures converted into local units.
+  for (const FactMapping& fm : mapping.facts) {
+    DWQA_ASSIGN_OR_RETURN(const FactDef* lf,
+                          local.schema().FindFact(fm.local_fact));
+    DWQA_ASSIGN_OR_RETURN(const FactDef* rf,
+                          remote.schema().FindFact(fm.remote_fact));
+    DWQA_ASSIGN_OR_RETURN(const Table* rtab,
+                          remote.FactTable(fm.remote_fact));
+    const ConflictResolution& resolution =
+        resolutions[ToLower(fm.local_fact)];
+    for (size_t r = 0; r < rtab->row_count(); ++r) {
+      if (resolution.remote_excluded.count(r)) continue;
+      std::vector<MemberId> members;
+      bool resolvable = true;
+      for (const DimRole& role : lf->roles) {
+        const std::string& dim_name = role.dimension;
+        const RoleMapping* rm = fm.FindLocalRole(role.role);
+        if (rm == nullptr) {
+          DWQA_ASSIGN_OR_RETURN(
+              MemberId sentinel,
+              merged.FindMember(dim_name, kUnattributedMember));
+          members.push_back(sentinel);
+          continue;
+        }
+        DWQA_ASSIGN_OR_RETURN(size_t rri, rf->RoleIndex(rm->remote_role));
+        MemberId remote_member =
+            static_cast<MemberId>(rtab->Get(r, rri).as_int());
+        DWQA_ASSIGN_OR_RETURN(
+            const DimensionDef* rd,
+            remote.schema().FindDimension(rf->roles[rri].dimension));
+        DWQA_ASSIGN_OR_RETURN(
+            std::string base_value,
+            remote.MemberLevelValue(rf->roles[rri].dimension, remote_member,
+                                    rd->levels.front().name));
+        const DimensionMapping* dm = mapping.FindLocalDimension(dim_name);
+        if (dm != nullptr) {
+          auto it = dm->member_map.find(ToLower(base_value));
+          if (it != dm->member_map.end()) base_value = it->second;
+        }
+        auto found = merged.FindMember(dim_name, base_value);
+        if (!found.ok()) {
+          resolvable = false;
+          break;
+        }
+        members.push_back(*found);
+      }
+      if (!resolvable) {
+        local_report.notes.push_back(
+            "fact '" + fm.remote_fact + "' row " + std::to_string(r) +
+            ": a remote member could not be translated — row skipped");
+        continue;
+      }
+      std::vector<Value> measures;
+      for (const MeasureDef& md : lf->measures) {
+        const MeasureMapping* mm = fm.FindLocalMeasure(md.name);
+        DWQA_ASSIGN_OR_RETURN(size_t rmi, rf->MeasureIndex(mm->remote_measure));
+        double v = rtab->column(rf->roles.size() + rmi).GetDouble(r);
+        measures.push_back(Value(v * mm->conversion));
+      }
+      DWQA_RETURN_NOT_OK(
+          merged.InsertFact(fm.local_fact, members, measures));
+      ++local_report.remote_facts_merged;
+    }
+  }
+
+  for (const FactDef& rfact : remote.schema().facts()) {
+    bool mapped = false;
+    for (const FactMapping& fm : mapping.facts) {
+      if (ToLower(fm.remote_fact) == ToLower(rfact.name)) mapped = true;
+    }
+    if (!mapped) {
+      local_report.notes.push_back("remote fact '" + rfact.name +
+                                   "' has no mapping — not merged");
+    }
+  }
+
+  size_t merged_member_rows = 0;
+  for (const DimensionDef& dim : merged.schema().dimensions()) {
+    DWQA_ASSIGN_OR_RETURN(const Table* dtab,
+                          merged.DimensionTable(dim.name));
+    merged_member_rows += dtab->row_count();
+  }
+  local_report.members_added = merged_member_rows - local_member_rows;
+
+  if (report != nullptr) *report = std::move(local_report);
+  return merged;
+}
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,118 @@
+#ifndef DWQA_DW_FEDERATION_MERGE_WAREHOUSES_H_
+#define DWQA_DW_FEDERATION_MERGE_WAREHOUSES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/federation/schema_mapping.h"
+#include "dw/quarantine.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+/// \file merge_warehouses.h
+/// \brief Offline schema-instance merge of two warehouses under a
+/// SchemaMapping — the golden oracle of the federation layer.
+///
+/// MergeWarehouses materializes one warehouse (in the *local* schema) that
+/// contains the local facts plus every mergeable remote fact, members
+/// translated and measures unit-converted through the mapping. The
+/// FederatedEngine is asserted byte-identical against queries over this
+/// oracle, and both share ResolveConflicts so they exclude the exact same
+/// rows when the two warehouses disagree.
+
+/// How cross-warehouse fact conflicts (same key, different measures) are
+/// resolved.
+enum class ConflictPolicy {
+  kPreferLocal,    ///< The local warehouse's rows win.
+  kPreferFresher,  ///< The warehouse with the later refresh date wins.
+  kQuarantine,     ///< Both sides' rows are excluded and quarantined.
+};
+
+/// "prefer_local", "prefer_fresher", "quarantine".
+const char* ConflictPolicyName(ConflictPolicy policy);
+
+/// \brief Conflict-handling configuration of a merge (and of the
+/// FederatedEngine, which applies the same exclusions at query time).
+struct MergePolicy {
+  /// The conflict policy applied to key-complete fact mappings.
+  ConflictPolicy conflicts = ConflictPolicy::kPreferLocal;
+  /// ISO date of the local warehouse's last refresh (kPreferFresher).
+  std::string local_refresh_iso = "1970-01-01";
+  /// ISO date of the remote warehouse's last refresh (kPreferFresher).
+  std::string remote_refresh_iso = "1970-01-01";
+};
+
+/// \brief Counters of one fact's conflict resolution.
+struct ConflictStats {
+  size_t keys_in_both = 0;        ///< Fact keys present on both sides.
+  size_t deduplicated_rows = 0;   ///< Remote rows identical to local ones.
+  size_t conflicting_keys = 0;    ///< Keys whose measures disagree.
+  size_t local_rows_dropped = 0;  ///< Local rows a policy excluded.
+  size_t remote_rows_dropped = 0;  ///< Remote rows excluded (conflict only).
+  size_t quarantined_rows = 0;    ///< Rows routed to the quarantine store.
+};
+
+/// \brief The row exclusions one conflict pass computed.
+///
+/// Shared by MergeWarehouses (which skips excluded rows while
+/// materializing) and FederatedEngine::Execute (which skips them while
+/// scanning), so the two paths always agree on which rows exist.
+struct ConflictResolution {
+  std::set<size_t> local_excluded;   ///< Excluded local fact-row indices.
+  std::set<size_t> remote_excluded;  ///< Excluded remote fact-row indices.
+  /// One record per quarantined row (kQuarantine policy only); reason is
+  /// "FederationConflict". Not yet sequenced — QuarantineStore::Add stamps.
+  std::vector<QuarantineRecord> quarantine;
+  ConflictStats stats;  ///< What happened, for reports and metrics.
+};
+
+/// Resolves cross-warehouse conflicts of one key-complete fact mapping:
+/// rows sharing a fact key (the tuple of base-level member values per
+/// mapped role, remote members canonicalized through the member map) with
+/// identical measure multisets are deduplicated (remote copy excluded);
+/// disagreeing keys are resolved per `policy`. Fact mappings that are not
+/// key-complete merge purely additively — the resolution is then empty.
+Result<ConflictResolution> ResolveConflicts(const Warehouse& local,
+                                            const Warehouse& remote,
+                                            const SchemaMapping& mapping,
+                                            const FactMapping& fact,
+                                            const MergePolicy& policy);
+
+/// \brief Summary of one MergeWarehouses run.
+struct MergeWarehousesReport {
+  size_t local_facts_kept = 0;     ///< Local fact rows materialized.
+  size_t remote_facts_merged = 0;  ///< Remote fact rows materialized.
+  size_t members_added = 0;        ///< Dimension members the merge created.
+  /// Conflict counters per local fact name (key-complete mappings only).
+  std::map<std::string, ConflictStats> conflicts;
+  /// Remote facts without a mapping, dimensions skipped, and similar.
+  std::vector<std::string> notes;
+};
+
+/// Materializes the offline merge of `remote` into `local` under `mapping`:
+/// a new warehouse in the local schema holding every kept local fact, a
+/// "(unattributed)" sentinel member per dimension that backs an unmapped
+/// fact role, every translated remote member, and every kept remote fact
+/// with measures converted into local units. Conflicts are resolved per
+/// `policy`; kQuarantine exclusions are routed into `quarantine` when one
+/// is provided. `report` (optional) receives the run summary. The merged
+/// warehouse has no view catalog attached — callers derive and bind one if
+/// they want view-answered queries.
+Result<Warehouse> MergeWarehouses(const Warehouse& local,
+                                  const Warehouse& remote,
+                                  const SchemaMapping& mapping,
+                                  const MergePolicy& policy = {},
+                                  QuarantineStore* quarantine = nullptr,
+                                  MergeWarehousesReport* report = nullptr);
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_FEDERATION_MERGE_WAREHOUSES_H_

@@ -1,0 +1,190 @@
+#include "dw/federation/partner_warehouse.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dw/etl.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+const std::vector<PartnerAirport>& PartnerAirline::Airports() {
+  static const auto* kAirports = new std::vector<PartnerAirport>{
+      // Overlap with the local airline, same spelling.
+      {"El Prat", "Barcelona", "Catalonia", "Spain"},
+      {"Barajas", "Madrid", "Community of Madrid", "Spain"},
+      {"Charles de Gaulle", "Paris", "Ile-de-France", "France"},
+      {"Fiumicino", "Rome", "Lazio", "Italy"},
+      // Overlap under an alias: the local warehouse spells it "JFK".
+      {"Kennedy International Airport", "New York", "New York",
+       "United States"},
+      // Partner-only aerodromes.
+      {"Brandenburg", "Berlin", "Berlin", "Germany"},
+      {"Portela", "Lisbon", "Lisbon District", "Portugal"},
+      {"Schwechat", "Vienna", "Lower Austria", "Austria"},
+      {"Kloten", "Zurich", "Canton of Zurich", "Switzerland"},
+      {"Gardermoen", "Oslo", "Viken", "Norway"},
+  };
+  return *kAirports;
+}
+
+const std::vector<std::vector<std::string>>& PartnerAirline::Aircraft() {
+  static const auto* kAircraft = new std::vector<std::vector<std::string>>{
+      {"A320", "Airbus"},
+      {"A350", "Airbus"},
+      {"B737", "Boeing"},
+      {"E195", "Embraer"},
+  };
+  return *kAircraft;
+}
+
+MdSchema PartnerAirline::MakeSchema() {
+  MdSchema schema;
+  // The partner's designers renamed two levels of the geography rollup:
+  // "Airports" (plural — the matcher's partial tier) and "Member State"
+  // (the head-word tier). City and Country survive verbatim.
+  DWQA_CHECK(schema
+                 .AddDimension({"Aerodrome",
+                                {{"Airports"},
+                                 {"City"},
+                                 {"Member State"},
+                                 {"Country"}}})
+                 .ok());
+  DWQA_CHECK(
+      schema.AddDimension({"Date", {{"Date"}, {"Month"}, {"Year"}}}).ok());
+  // The Aircraft dimension has no local counterpart: local queries that
+  // group by it cannot exist, and partner facts roll it up away.
+  DWQA_CHECK(
+      schema.AddDimension({"Aircraft", {{"Model"}, {"Manufacturer"}}}).ok());
+  DWQA_CHECK(schema.AddDimension({"City", {{"City"}, {"Country"}}}).ok());
+  DWQA_CHECK(schema.AddDimension({"Source", {{"Url"}}}).ok());
+
+  FactDef sales;
+  sales.name = "Partner Sales";
+  sales.measures = {
+      {"Price", ColumnType::kDouble, AggFn::kSum},
+      {"DistanceKm", ColumnType::kDouble, AggFn::kSum},
+      {"Tickets", ColumnType::kDouble, AggFn::kSum},
+      // Remote-only measure in a non-convertible currency: the mapping
+      // ignores it (only *local* measures must map).
+      {"BaggageFees", ColumnType::kDouble, AggFn::kSum},
+  };
+  sales.roles = {{"origin", "Aerodrome"},
+                 {"destination", "Aerodrome"},
+                 {"date", "Date"},
+                 {"aircraft", "Aircraft"}};
+  DWQA_CHECK(schema.AddFact(std::move(sales)).ok());
+
+  FactDef weather;
+  weather.name = "Weather";
+  weather.measures = {{"TemperatureC", ColumnType::kDouble, AggFn::kAvg}};
+  weather.roles = {{"location", "City"}, {"day", "Date"},
+                   {"source", "Source"}};
+  DWQA_CHECK(schema.AddFact(std::move(weather)).ok());
+  return schema;
+}
+
+Result<Warehouse> PartnerAirline::MakeWarehouse() {
+  DWQA_ASSIGN_OR_RETURN(Warehouse wh, Warehouse::Create(MakeSchema()));
+  for (const PartnerAirport& a : Airports()) {
+    DWQA_RETURN_NOT_OK(
+        wh.AddMember("Aerodrome", {a.name, a.city, a.state, a.country})
+            .status());
+  }
+  for (const std::vector<std::string>& path : Aircraft()) {
+    DWQA_RETURN_NOT_OK(wh.AddMember("Aircraft", path).status());
+  }
+  return wh;
+}
+
+Result<size_t> PartnerAirline::GeneratePartnerSales(Warehouse* wh,
+                                                    const Date& start,
+                                                    int days, uint64_t seed) {
+  if (wh == nullptr) {
+    return Status::InvalidArgument("warehouse must not be null");
+  }
+  Rng rng(seed);
+  const auto& airports = Airports();
+  const auto& aircraft = Aircraft();
+  size_t inserted = 0;
+  Date date = start;
+  for (int d = 0; d < days; ++d, date = date.NextDay()) {
+    DWQA_ASSIGN_OR_RETURN(MemberId date_m,
+                          wh->AddMember("Date", DateMemberPath(date)));
+    for (size_t dest = 0; dest < airports.size(); ++dest) {
+      // Deterministic dyadic measures: quarter-euro prices, integer
+      // kilometres and ticket counts — partial sums are exact, so the
+      // federated merge is bit-equal to the oracle's single pass.
+      int tickets = 1 + static_cast<int>(rng.NextBelow(8));
+      size_t origin = rng.NextIndex(airports.size());
+      if (origin == dest) origin = (origin + 1) % airports.size();
+      DWQA_ASSIGN_OR_RETURN(
+          MemberId origin_m,
+          wh->FindMember("Aerodrome", airports[origin].name));
+      DWQA_ASSIGN_OR_RETURN(
+          MemberId dest_m, wh->FindMember("Aerodrome", airports[dest].name));
+      DWQA_ASSIGN_OR_RETURN(
+          MemberId craft_m,
+          wh->FindMember("Aircraft",
+                         aircraft[rng.NextIndex(aircraft.size())][0]));
+      double price = 0.25 * static_cast<double>(240 + rng.NextBelow(800));
+      double km = static_cast<double>(400 + rng.NextBelow(2600));
+      double baggage = 0.25 * static_cast<double>(rng.NextBelow(120));
+      DWQA_RETURN_NOT_OK(wh->InsertFact(
+          "Partner Sales", {origin_m, dest_m, date_m, craft_m},
+          {Value(price), Value(km), Value(static_cast<double>(tickets)),
+           Value(baggage)}));
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+Result<size_t> PartnerAirline::GeneratePartnerWeather(Warehouse* wh,
+                                                      const Date& start,
+                                                      int days,
+                                                      uint64_t seed) {
+  if (wh == nullptr) {
+    return Status::InvalidArgument("warehouse must not be null");
+  }
+  Rng rng(seed);
+  size_t inserted = 0;
+  Date date = start;
+  for (int d = 0; d < days; ++d, date = date.NextDay()) {
+    DWQA_ASSIGN_OR_RETURN(MemberId date_m,
+                          wh->AddMember("Date", DateMemberPath(date)));
+    for (const PartnerAirport& a : Airports()) {
+      DWQA_ASSIGN_OR_RETURN(MemberId city_m,
+                            wh->AddMember("City", {a.city, a.country}));
+      const std::string url =
+          "http://partner.example/weather/" + ToLower(a.city);
+      DWQA_ASSIGN_OR_RETURN(MemberId src_m, wh->AddMember("Source", {url}));
+      // Half-degree temperatures in [-5, 25] — dyadic, so kAvg sums merge
+      // exactly across the federation.
+      double temp = 0.5 * static_cast<double>(rng.NextBelow(61)) - 5.0;
+      DWQA_RETURN_NOT_OK(wh->InsertFact("Weather", {city_m, date_m, src_m},
+                                        {Value(temp)}));
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+MatcherOptions PartnerAirline::DefaultMatcherOptions() {
+  MatcherOptions options;
+  options.local_units["price"] = "EUR";
+  options.local_units["miles"] = "mi";
+  options.remote_units["price"] = "EUR";
+  options.remote_units["distancekm"] = "km";
+  options.remote_units["baggagefees"] = "USD";
+  // 1 km = 0.625 mi in this scenario's bookkeeping: the factor is a dyadic
+  // rational on purpose, so converted partial sums remain exact.
+  options.unit_conversions["km->mi"] = kKmToMiles;
+  options.member_aliases["jfk"] = {"Kennedy International Airport"};
+  return options;
+}
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

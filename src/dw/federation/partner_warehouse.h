@@ -1,0 +1,92 @@
+#ifndef DWQA_DW_FEDERATION_PARTNER_WAREHOUSE_H_
+#define DWQA_DW_FEDERATION_PARTNER_WAREHOUSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/result.h"
+#include "dw/federation/schema_mapping.h"
+#include "dw/warehouse.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+/// \file partner_warehouse.h
+/// \brief The second synthetic warehouse of the federation scenario: a
+/// partner airline whose star schema overlaps the Last Minute Sales model
+/// but was designed by someone else.
+///
+/// The overlap is deliberate and typed: renamed levels ("Airports",
+/// "Member State"), a renamed unit-bearing measure (DistanceKm in
+/// kilometres against the local Miles), one extra dimension (Aircraft) the
+/// local schema lacks, a missing one (Customer) the local schema has, and
+/// a member population that intersects the local airports without
+/// coinciding. Every generated measure is a dyadic rational (quarter-euro
+/// prices, integer kilometres and tickets, half-degree temperatures) so
+/// partial-aggregate merges are exact and federated answers can be
+/// asserted byte-identical to the merged-warehouse oracle.
+
+/// \brief An aerodrome the partner airline serves, with its rollup path.
+struct PartnerAirport {
+  std::string name;     ///< "Kennedy International Airport"
+  std::string city;     ///< "New York"
+  std::string state;    ///< "New York" (the partner's "Member State" level)
+  std::string country;  ///< "United States"
+};
+
+/// \brief Builders of the partner airline's warehouse and data.
+class PartnerAirline {
+ public:
+  /// The partner's aerodromes: four overlap the local airline's airports
+  /// under the same spelling, one overlaps under an alias ("Kennedy
+  /// International Airport" for the local "JFK"), five are partner-only.
+  static const std::vector<PartnerAirport>& Airports();
+
+  /// Aircraft models flown by the partner: {model, manufacturer} pairs for
+  /// the Aircraft dimension the local schema has no counterpart of.
+  static const std::vector<std::vector<std::string>>& Aircraft();
+
+  /// The partner's star schema. Dimensions: Aerodrome (Airports → City →
+  /// Member State → Country), Date, Aircraft (Model → Manufacturer), City
+  /// and Source. Facts: "Partner Sales" (Price EUR, DistanceKm km, Tickets,
+  /// BaggageFees USD; roles origin/destination/date/aircraft) and the same
+  /// "Weather" feedback fact the local warehouse carries.
+  static MdSchema MakeSchema();
+
+  /// Creates the partner warehouse and registers aerodrome and aircraft
+  /// members.
+  static Result<Warehouse> MakeWarehouse();
+
+  /// Populates "Partner Sales" with `days` days of deterministic synthetic
+  /// sales starting at `start`. All measures are dyadic rationals. Returns
+  /// rows inserted.
+  static Result<size_t> GeneratePartnerSales(Warehouse* warehouse,
+                                             const Date& start, int days,
+                                             uint64_t seed = 11);
+
+  /// Populates the partner's "Weather" fact with half-degree temperatures
+  /// for its destination cities, sourced from partner-domain URLs (so the
+  /// fact keys never collide with the locally ingested weather). Returns
+  /// rows inserted.
+  static Result<size_t> GeneratePartnerWeather(Warehouse* warehouse,
+                                               const Date& start, int days,
+                                               uint64_t seed = 13);
+
+  /// Matcher options of the scenario: declared measure units (local Price
+  /// EUR / Miles mi, partner Price EUR / DistanceKm km / BaggageFees USD),
+  /// the km→mi conversion (0.625, exactly representable so converted sums
+  /// stay dyadic), and the JFK alias bridging the two member populations.
+  static MatcherOptions DefaultMatcherOptions();
+
+  /// The exact km→mi factor used by DefaultMatcherOptions().
+  static constexpr double kKmToMiles = 0.625;
+};
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_FEDERATION_PARTNER_WAREHOUSE_H_

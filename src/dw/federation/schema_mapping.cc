@@ -1,0 +1,546 @@
+#include "dw/federation/schema_mapping.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+using ontology::MergeDecision;
+using ontology::MergeRecord;
+using ontology::MergeReport;
+using ontology::Ontology;
+using ontology::OntologyMerger;
+
+const char* MatchKindName(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "exact";
+    case MatchKind::kPartial:
+      return "partial";
+    case MatchKind::kHeadWord:
+      return "head-word";
+    case MatchKind::kUnit:
+      return "unit";
+    case MatchKind::kAlias:
+      return "alias";
+  }
+  return "?";
+}
+
+const LevelMapping* DimensionMapping::FindLocalLevel(
+    const std::string& level) const {
+  for (const LevelMapping& lm : levels) {
+    if (ToLower(lm.local_level) == ToLower(level)) return &lm;
+  }
+  return nullptr;
+}
+
+const RoleMapping* FactMapping::FindLocalRole(const std::string& role) const {
+  for (const RoleMapping& rm : roles) {
+    if (ToLower(rm.local_role) == ToLower(role)) return &rm;
+  }
+  return nullptr;
+}
+
+const MeasureMapping* FactMapping::FindLocalMeasure(
+    const std::string& measure) const {
+  for (const MeasureMapping& mm : measures) {
+    if (ToLower(mm.local_measure) == ToLower(measure)) return &mm;
+  }
+  return nullptr;
+}
+
+const FactMapping* SchemaMapping::FindLocalFact(
+    const std::string& fact) const {
+  for (const FactMapping& fm : facts) {
+    if (ToLower(fm.local_fact) == ToLower(fact)) return &fm;
+  }
+  return nullptr;
+}
+
+const DimensionMapping* SchemaMapping::FindLocalDimension(
+    const std::string& dimension) const {
+  for (const DimensionMapping& dm : dimensions) {
+    if (ToLower(dm.local_dimension) == ToLower(dimension)) return &dm;
+  }
+  return nullptr;
+}
+
+SchemaMatcher::SchemaMatcher(MatcherOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<LevelMapping> SchemaMatcher::MatchLevels(
+    const DimensionDef& local, const DimensionDef& remote,
+    std::vector<std::string>* notes) const {
+  const size_t nl = local.levels.size();
+  const size_t nr = remote.levels.size();
+  std::vector<int> local_to_remote(nl, -1);
+  std::vector<bool> remote_claimed(nr, false);
+  std::vector<MatchKind> kinds(nl, MatchKind::kExact);
+  std::vector<double> sims(nl, 1.0);
+
+  auto lower_local = [&](size_t i) { return ToLower(local.levels[i].name); };
+  auto lower_remote = [&](size_t j) {
+    return ToLower(remote.levels[j].name);
+  };
+
+  // Tier 1: exact lemma.
+  for (size_t i = 0; i < nl; ++i) {
+    for (size_t j = 0; j < nr; ++j) {
+      if (remote_claimed[j]) continue;
+      if (lower_local(i) == lower_remote(j)) {
+        local_to_remote[i] = static_cast<int>(j);
+        remote_claimed[j] = true;
+        kinds[i] = MatchKind::kExact;
+        sims[i] = 1.0;
+        break;
+      }
+    }
+  }
+
+  // Tier 2: best partial string match at or above the threshold; an exact
+  // tie between two remote candidates is refused, never guessed.
+  if (options_.merge.enable_partial) {
+    for (size_t i = 0; i < nl; ++i) {
+      if (local_to_remote[i] >= 0) continue;
+      int best = -1;
+      double best_sim = options_.merge.partial_threshold;
+      bool tie = false;
+      for (size_t j = 0; j < nr; ++j) {
+        if (remote_claimed[j]) continue;
+        double sim = StringSimilarity(lower_local(i), lower_remote(j));
+        if (sim > best_sim) {
+          best = static_cast<int>(j);
+          best_sim = sim;
+          tie = false;
+        } else if (best >= 0 && sim == best_sim) {
+          tie = true;
+        }
+      }
+      if (best >= 0 && tie) {
+        if (notes != nullptr) {
+          notes->push_back("level '" + local.levels[i].name + "' of '" +
+                           local.name +
+                           "': partial-match tie between remote levels of '" +
+                           remote.name + "' — refused");
+        }
+        continue;
+      }
+      if (best >= 0) {
+        local_to_remote[i] = best;
+        remote_claimed[static_cast<size_t>(best)] = true;
+        kinds[i] = MatchKind::kPartial;
+        sims[i] = best_sim;
+      }
+    }
+  }
+
+  // Tier 3: head-word hyponymy. Pass (a) matches a head against the other
+  // side's full lemma ("Member State" under "State"); pass (b) matches head
+  // against head. A head shared by several local levels is ambiguous and
+  // refused — the satellite edge case this matcher is tested on.
+  if (options_.merge.enable_head) {
+    for (size_t j = 0; j < nr; ++j) {
+      if (remote_claimed[j]) continue;
+      const std::string rhead = OntologyMerger::HeadWord(remote.levels[j].name);
+      std::vector<size_t> pass_a;
+      std::vector<size_t> pass_b;
+      for (size_t i = 0; i < nl; ++i) {
+        if (local_to_remote[i] >= 0) continue;
+        const std::string lhead =
+            OntologyMerger::HeadWord(local.levels[i].name);
+        if (rhead == lower_local(i) || lhead == lower_remote(j)) {
+          pass_a.push_back(i);
+        } else if (!rhead.empty() && rhead == lhead) {
+          pass_b.push_back(i);
+        }
+      }
+      const std::vector<size_t>& candidates =
+          pass_a.empty() ? pass_b : pass_a;
+      if (candidates.size() > 1) {
+        if (notes != nullptr) {
+          std::vector<std::string> names;
+          for (size_t i : candidates) names.push_back(local.levels[i].name);
+          notes->push_back("level '" + remote.levels[j].name + "' of '" +
+                           remote.name + "': head word '" + rhead +
+                           "' is ambiguous between local levels {" +
+                           Join(names, ", ") + "} — refused");
+        }
+        continue;
+      }
+      if (candidates.size() == 1) {
+        size_t i = candidates.front();
+        local_to_remote[i] = static_cast<int>(j);
+        remote_claimed[j] = true;
+        kinds[i] = MatchKind::kHeadWord;
+        sims[i] = StringSimilarity(lower_local(i), lower_remote(j));
+      }
+    }
+  }
+
+  std::vector<LevelMapping> out;
+  for (size_t i = 0; i < nl; ++i) {
+    if (local_to_remote[i] < 0) continue;
+    out.push_back({local.levels[i].name,
+                   remote.levels[static_cast<size_t>(local_to_remote[i])].name,
+                   kinds[i], sims[i]});
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> SchemaMatcher::MatchMembers(
+    const Warehouse& local_wh, const DimensionDef& local,
+    const Warehouse& remote_wh, const DimensionDef& remote) const {
+  // Build a tiny "upper" ontology from the local members and a "domain"
+  // ontology from the remote ones, then run the Step-3 merge: exact
+  // instance matching through the lemma/alias index is exactly the member
+  // alignment federation needs, and the alias enrichment is the paper's
+  // "Kennedy International Airport gains the alias JFK" behaviour.
+  auto add_aliases = [&](Ontology* onto, ontology::ConceptId id,
+                         const std::string& name) -> Status {
+    auto it = options_.member_aliases.find(ToLower(name));
+    if (it == options_.member_aliases.end()) return Status::OK();
+    for (const std::string& alias : it->second) {
+      DWQA_RETURN_NOT_OK(onto->AddAlias(id, alias));
+    }
+    return Status::OK();
+  };
+
+  Ontology upper;
+  DWQA_ASSIGN_OR_RETURN(
+      ontology::ConceptId upper_class,
+      upper.AddConcept(local.levels.front().name, "", "dw"));
+  DWQA_ASSIGN_OR_RETURN(std::vector<std::string> local_members,
+                        local_wh.MemberNames(local.name));
+  for (const std::string& name : local_members) {
+    if (name.empty()) continue;
+    DWQA_ASSIGN_OR_RETURN(ontology::ConceptId id,
+                          upper.AddInstance(name, "", "dw"));
+    DWQA_RETURN_NOT_OK(
+        upper.AddRelation(id, ontology::RelationKind::kInstanceOf,
+                          upper_class));
+    DWQA_RETURN_NOT_OK(add_aliases(&upper, id, name));
+  }
+
+  Ontology domain;
+  DWQA_ASSIGN_OR_RETURN(
+      ontology::ConceptId domain_class,
+      domain.AddConcept(remote.levels.front().name, "", "dw"));
+  DWQA_ASSIGN_OR_RETURN(std::vector<std::string> remote_members,
+                        remote_wh.MemberNames(remote.name));
+  for (const std::string& name : remote_members) {
+    if (name.empty()) continue;
+    DWQA_ASSIGN_OR_RETURN(ontology::ConceptId id,
+                          domain.AddInstance(name, "", "dw"));
+    DWQA_RETURN_NOT_OK(
+        domain.AddRelation(id, ontology::RelationKind::kInstanceOf,
+                           domain_class));
+    DWQA_RETURN_NOT_OK(add_aliases(&domain, id, name));
+  }
+
+  DWQA_ASSIGN_OR_RETURN(MergeReport report,
+                        OntologyMerger::Merge(&upper, domain, options_.merge));
+  std::map<std::string, std::string> member_map;
+  for (const MergeRecord& record : report.records) {
+    if (!record.is_instance) continue;
+    if (record.decision != MergeDecision::kExactMatch) continue;
+    member_map[ToLower(record.domain_concept)] = record.target;
+  }
+  return member_map;
+}
+
+bool SchemaMatcher::MatchMeasures(const FactDef& local, const FactDef& remote,
+                                  std::vector<MeasureMapping>* out,
+                                  std::vector<std::string>* notes) const {
+  const size_t nl = local.measures.size();
+  const size_t nr = remote.measures.size();
+  std::vector<bool> remote_claimed(nr, false);
+
+  auto unit_of = [](const std::map<std::string, std::string>& units,
+                    const std::string& name) -> std::string {
+    auto it = units.find(ToLower(name));
+    return it == units.end() ? std::string() : it->second;
+  };
+  // Conversion factor remote → local, 1.0 when units agree, < 0 when the
+  // units are declared, differ and no conversion is registered.
+  auto conversion = [&](const std::string& local_unit,
+                        const std::string& remote_unit) -> double {
+    if (local_unit.empty() || remote_unit.empty() ||
+        ToLower(local_unit) == ToLower(remote_unit)) {
+      return 1.0;
+    }
+    auto it = options_.unit_conversions.find(ToLower(remote_unit) + "->" +
+                                             ToLower(local_unit));
+    return it == options_.unit_conversions.end() ? -1.0 : it->second;
+  };
+
+  bool all_mapped = true;
+  std::vector<size_t> unit_pass;  // Local measures deferred to tier 4.
+  for (size_t i = 0; i < nl; ++i) {
+    const std::string lname = ToLower(local.measures[i].name);
+    const std::string lunit = unit_of(options_.local_units, lname);
+    int best = -1;
+    MatchKind kind = MatchKind::kExact;
+    double best_sim = options_.merge.partial_threshold;
+    // Tier 1: exact.
+    for (size_t j = 0; j < nr; ++j) {
+      if (remote_claimed[j]) continue;
+      if (lname == ToLower(remote.measures[j].name)) {
+        best = static_cast<int>(j);
+        kind = MatchKind::kExact;
+        break;
+      }
+    }
+    // Tier 2: partial.
+    if (best < 0 && options_.merge.enable_partial) {
+      for (size_t j = 0; j < nr; ++j) {
+        if (remote_claimed[j]) continue;
+        double sim =
+            StringSimilarity(lname, ToLower(remote.measures[j].name));
+        if (sim > best_sim) {
+          best = static_cast<int>(j);
+          best_sim = sim;
+          kind = MatchKind::kPartial;
+        }
+      }
+    }
+    // Tier 3: head word, either direction, unique candidate only.
+    if (best < 0 && options_.merge.enable_head) {
+      const std::string lhead = OntologyMerger::HeadWord(local.measures[i].name);
+      std::vector<size_t> candidates;
+      for (size_t j = 0; j < nr; ++j) {
+        if (remote_claimed[j]) continue;
+        const std::string rhead =
+            OntologyMerger::HeadWord(remote.measures[j].name);
+        if (rhead == lname || lhead == ToLower(remote.measures[j].name)) {
+          candidates.push_back(j);
+        }
+      }
+      if (candidates.size() == 1) {
+        best = static_cast<int>(candidates.front());
+        kind = MatchKind::kHeadWord;
+      }
+    }
+    if (best < 0) {
+      unit_pass.push_back(i);
+      continue;
+    }
+    const std::string& rname_orig =
+        remote.measures[static_cast<size_t>(best)].name;
+    const std::string runit = unit_of(options_.remote_units, rname_orig);
+    double factor = conversion(lunit, runit);
+    if (factor < 0.0) {
+      // The unit gate: a name-matched measure whose declared units differ
+      // and cannot be converted must NOT auto-map (the EUR/USD edge case).
+      if (notes != nullptr) {
+        notes->push_back("measure '" + local.measures[i].name + "' (" +
+                         lunit + ") of '" + local.name +
+                         "' name-matches remote '" + rname_orig + "' (" +
+                         runit + ") but the units are not convertible — "
+                         "refused");
+      }
+      unit_pass.push_back(i);
+      continue;
+    }
+    remote_claimed[static_cast<size_t>(best)] = true;
+    out->push_back({local.measures[i].name, rname_orig, kind, factor, lunit,
+                    runit});
+  }
+
+  // Tier 4: a unique convertible unit pair rescues name-incompatible
+  // measures (Miles ↔ DistanceKm through km→mi).
+  for (size_t i : unit_pass) {
+    const std::string lunit =
+        unit_of(options_.local_units, local.measures[i].name);
+    std::vector<std::pair<size_t, double>> candidates;
+    if (!lunit.empty()) {
+      for (size_t j = 0; j < nr; ++j) {
+        if (remote_claimed[j]) continue;
+        const std::string runit =
+            unit_of(options_.remote_units, remote.measures[j].name);
+        if (runit.empty()) continue;
+        double factor = conversion(lunit, runit);
+        if (factor > 0.0 && ToLower(lunit) != ToLower(runit)) {
+          candidates.emplace_back(j, factor);
+        }
+      }
+    }
+    if (candidates.size() == 1) {
+      auto [j, factor] = candidates.front();
+      remote_claimed[j] = true;
+      out->push_back({local.measures[i].name, remote.measures[j].name,
+                      MatchKind::kUnit, factor, lunit,
+                      unit_of(options_.remote_units,
+                              remote.measures[j].name)});
+      continue;
+    }
+    if (notes != nullptr && candidates.size() > 1) {
+      notes->push_back("measure '" + local.measures[i].name + "' of '" +
+                       local.name +
+                       "': several remote measures convert into '" + lunit +
+                       "' — refused");
+    }
+    all_mapped = false;
+  }
+  return all_mapped;
+}
+
+Result<SchemaMapping> SchemaMatcher::Match(const Warehouse& local,
+                                           const Warehouse& remote) const {
+  SchemaMapping mapping;
+  const MdSchema& ls = local.schema();
+  const MdSchema& rs = remote.schema();
+
+  // ---- Dimensions: score every pair by aligned-level count, assign
+  // greedily (best score first, exact dimension-name match breaking ties).
+  struct DimCandidate {
+    size_t li = 0;
+    size_t rj = 0;
+    std::vector<LevelMapping> levels;
+    std::vector<std::string> notes;
+    bool name_exact = false;
+  };
+  std::vector<DimCandidate> candidates;
+  for (size_t li = 0; li < ls.dimensions().size(); ++li) {
+    for (size_t rj = 0; rj < rs.dimensions().size(); ++rj) {
+      DimCandidate c;
+      c.li = li;
+      c.rj = rj;
+      c.levels =
+          MatchLevels(ls.dimensions()[li], rs.dimensions()[rj], &c.notes);
+      c.name_exact = ToLower(ls.dimensions()[li].name) ==
+                     ToLower(rs.dimensions()[rj].name);
+      if (!c.levels.empty()) candidates.push_back(std::move(c));
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const DimCandidate& a, const DimCandidate& b) {
+                     if (a.levels.size() != b.levels.size()) {
+                       return a.levels.size() > b.levels.size();
+                     }
+                     if (a.name_exact != b.name_exact) return a.name_exact;
+                     if (a.li != b.li) return a.li < b.li;
+                     return a.rj < b.rj;
+                   });
+  std::set<size_t> local_claimed;
+  std::set<size_t> remote_claimed;
+  for (const DimCandidate& c : candidates) {
+    if (local_claimed.count(c.li) || remote_claimed.count(c.rj)) continue;
+    local_claimed.insert(c.li);
+    remote_claimed.insert(c.rj);
+    const DimensionDef& ld = ls.dimensions()[c.li];
+    const DimensionDef& rd = rs.dimensions()[c.rj];
+    DimensionMapping dm;
+    dm.local_dimension = ld.name;
+    dm.remote_dimension = rd.name;
+    dm.levels = c.levels;
+    for (const std::string& note : c.notes) mapping.notes.push_back(note);
+    // Members align only when the two *base* levels aligned with each
+    // other — otherwise remote base members have no local counterpart
+    // level and member translation would be meaningless.
+    const LevelMapping* base_lm = dm.FindLocalLevel(ld.levels.front().name);
+    if (base_lm != nullptr &&
+        ToLower(base_lm->remote_level) == ToLower(rd.levels.front().name)) {
+      DWQA_ASSIGN_OR_RETURN(dm.member_map,
+                            MatchMembers(local, ld, remote, rd));
+    }
+    mapping.dimensions.push_back(std::move(dm));
+  }
+
+  // ---- Facts: a pair is viable when every local measure maps and at
+  // least one role does; the best-scoring remote candidate wins.
+  std::set<size_t> remote_facts_claimed;
+  for (size_t fi = 0; fi < ls.facts().size(); ++fi) {
+    const FactDef& lf = ls.facts()[fi];
+    struct FactCandidate {
+      size_t rj = 0;
+      FactMapping fm;
+      std::vector<std::string> notes;
+      bool name_exact = false;
+      size_t score = 0;
+    };
+    std::vector<FactCandidate> fact_candidates;
+    // Notes of refused candidates, surfaced only when the fact ends up
+    // unmapped — they then explain *why* (e.g. the unit gate).
+    std::vector<std::string> refusal_notes;
+    for (size_t rj = 0; rj < rs.facts().size(); ++rj) {
+      if (remote_facts_claimed.count(rj)) continue;
+      const FactDef& rf = rs.facts()[rj];
+      FactCandidate c;
+      c.rj = rj;
+      c.fm.local_fact = lf.name;
+      c.fm.remote_fact = rf.name;
+      c.name_exact = ToLower(lf.name) == ToLower(rf.name);
+      if (!MatchMeasures(lf, rf, &c.fm.measures, &c.notes)) {
+        refusal_notes.insert(refusal_notes.end(), c.notes.begin(),
+                             c.notes.end());
+        continue;
+      }
+      // Roles: same role name over mapped dimensions first, then the
+      // unique remaining remote role over the mapped remote dimension.
+      std::set<std::string> remote_roles_claimed;
+      for (const DimRole& lrole : lf.roles) {
+        const DimensionMapping* dm =
+            mapping.FindLocalDimension(lrole.dimension);
+        const DimRole* matched = nullptr;
+        if (dm != nullptr) {
+          for (const DimRole& rrole : rf.roles) {
+            if (remote_roles_claimed.count(ToLower(rrole.role))) continue;
+            if (ToLower(rrole.dimension) !=
+                ToLower(dm->remote_dimension)) {
+              continue;
+            }
+            if (ToLower(rrole.role) == ToLower(lrole.role)) {
+              matched = &rrole;
+              break;
+            }
+            if (matched == nullptr) {
+              matched = &rrole;  // Unique-dimension fallback candidate.
+            } else {
+              matched = nullptr;  // Two candidates, no name match: refuse.
+              break;
+            }
+          }
+        }
+        if (matched != nullptr) {
+          remote_roles_claimed.insert(ToLower(matched->role));
+          c.fm.roles.push_back({lrole.role, matched->role});
+        } else {
+          c.fm.unmapped_local_roles.push_back(lrole.role);
+        }
+      }
+      if (c.fm.roles.empty()) continue;
+      c.fm.key_complete = c.fm.unmapped_local_roles.empty();
+      c.score = c.fm.roles.size() + c.fm.measures.size();
+      fact_candidates.push_back(std::move(c));
+    }
+    std::stable_sort(fact_candidates.begin(), fact_candidates.end(),
+                     [](const FactCandidate& a, const FactCandidate& b) {
+                       if (a.name_exact != b.name_exact) return a.name_exact;
+                       if (a.score != b.score) return a.score > b.score;
+                       return a.rj < b.rj;
+                     });
+    if (fact_candidates.empty()) {
+      for (std::string& note : refusal_notes) {
+        mapping.notes.push_back(std::move(note));
+      }
+      mapping.notes.push_back("fact '" + lf.name +
+                              "' has no mergeable remote counterpart");
+      continue;
+    }
+    FactCandidate& won = fact_candidates.front();
+    remote_facts_claimed.insert(won.rj);
+    for (const std::string& note : won.notes) mapping.notes.push_back(note);
+    mapping.facts.push_back(std::move(won.fm));
+  }
+  return mapping;
+}
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

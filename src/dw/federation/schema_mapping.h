@@ -1,0 +1,200 @@
+#ifndef DWQA_DW_FEDERATION_SCHEMA_MAPPING_H_
+#define DWQA_DW_FEDERATION_SCHEMA_MAPPING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/warehouse.h"
+#include "ontology/merge.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+
+/// \file schema_mapping.h
+/// \brief Ontology-mediated schema alignment between two autonomous
+/// warehouses.
+///
+/// The SchemaMatcher reuses the Step-3 concept-matching ladder of
+/// ontology/merge.h — exact lemma, partial string similarity, head word —
+/// to align the dimension hierarchies, fact roles and measures of a remote
+/// warehouse with the local one, and OntologyMerger::Merge itself to align
+/// dimension *members* (instances), including the paper's alias enrichment
+/// ("Kennedy International Airport" ↔ "JFK"). The result is a typed
+/// SchemaMapping that both the FederatedEngine (query fan-out) and
+/// MergeWarehouses (instance merge) plan against.
+
+/// How one schema element pair was aligned.
+enum class MatchKind {
+  kExact,     ///< Identical lemma ("City" ↔ "City").
+  kPartial,   ///< High string similarity ("Airports" ↔ "Airport").
+  kHeadWord,  ///< Head-word hyponymy ("Member State" ↔ "State").
+  kUnit,      ///< Paired through a registered unit conversion.
+  kAlias,     ///< Matched through a registered member alias.
+};
+
+/// "exact", "partial", "head-word", "unit", "alias".
+const char* MatchKindName(MatchKind kind);
+
+/// Base-level member registered in the local dimension for every local
+/// fact role the remote schema has no counterpart for: remote facts roll
+/// up into this sentinel instead of silently dropping the axis.
+inline constexpr char kUnattributedMember[] = "(unattributed)";
+
+/// \brief One aligned hierarchy-level pair of a dimension mapping.
+struct LevelMapping {
+  std::string local_level;   ///< Level name in the local schema.
+  std::string remote_level;  ///< Level name in the remote schema.
+  MatchKind kind = MatchKind::kExact;  ///< How the pair was aligned.
+  double similarity = 1.0;   ///< String similarity of the pair's lemmas.
+};
+
+/// \brief One aligned dimension pair with its level and member alignments.
+struct DimensionMapping {
+  std::string local_dimension;   ///< Dimension name in the local schema.
+  std::string remote_dimension;  ///< Dimension name in the remote schema.
+  /// Aligned level pairs, in local finest-first order. Local levels with
+  /// no remote counterpart are simply absent (remote members are null
+  /// there after a merge).
+  std::vector<LevelMapping> levels;
+  /// Lowercased remote base-member name → canonical local spelling, from
+  /// the ontology instance merge ("kennedy international airport" →
+  /// "JFK"). Remote-only members are absent.
+  std::map<std::string, std::string> member_map;
+
+  /// The mapping whose local side is `level` (case-insensitive), or null.
+  const LevelMapping* FindLocalLevel(const std::string& level) const;
+};
+
+/// \brief One aligned measure pair, with the unit conversion that takes a
+/// remote value into the local measure's unit (1.0 when units agree).
+struct MeasureMapping {
+  std::string local_measure;   ///< Measure name in the local fact.
+  std::string remote_measure;  ///< Measure name in the remote fact.
+  MatchKind kind = MatchKind::kExact;  ///< How the pair was aligned.
+  /// Multiplier converting one remote value into local units
+  /// (kilometres × 0.625 → miles).
+  double conversion = 1.0;
+  std::string local_unit;   ///< Declared local unit ("" when none).
+  std::string remote_unit;  ///< Declared remote unit ("" when none).
+};
+
+/// \brief One aligned dimension-role pair of a fact mapping.
+struct RoleMapping {
+  std::string local_role;   ///< Role name in the local fact.
+  std::string remote_role;  ///< Role name in the remote fact.
+};
+
+/// \brief The alignment of one local fact with one remote fact.
+///
+/// A FactMapping is only emitted when *every* local measure mapped —
+/// otherwise merged aggregates would silently miss the remote share.
+/// Remote-only measures are ignored; remote-only roles roll up away.
+struct FactMapping {
+  std::string local_fact;   ///< Fact name in the local schema.
+  std::string remote_fact;  ///< Fact name in the remote schema.
+  std::vector<RoleMapping> roles;        ///< Aligned role pairs.
+  std::vector<MeasureMapping> measures;  ///< Aligned measure pairs.
+  /// Local roles with no remote counterpart: remote facts land on the
+  /// kUnattributedMember sentinel along these axes.
+  std::vector<std::string> unmapped_local_roles;
+  /// True when every local role mapped — only then do the two fact tables
+  /// share a key space and the conflict policies of merge_warehouses.h
+  /// apply. Facts with unmapped roles merge purely additively.
+  bool key_complete = false;
+
+  /// The role mapping whose local side is `role` (case-insensitive), null
+  /// when the role is unmapped.
+  const RoleMapping* FindLocalRole(const std::string& role) const;
+  /// The measure mapping whose local side is `measure` (case-insensitive),
+  /// or null.
+  const MeasureMapping* FindLocalMeasure(const std::string& measure) const;
+};
+
+/// \brief The full typed alignment of two warehouse schemas.
+struct SchemaMapping {
+  std::vector<DimensionMapping> dimensions;  ///< Aligned dimension pairs.
+  std::vector<FactMapping> facts;            ///< Aligned (mergeable) facts.
+  /// Human-readable refusals and ambiguities the matcher recorded instead
+  /// of guessing (ambiguous head-word ties, unconvertible units).
+  std::vector<std::string> notes;
+
+  /// The fact mapping whose local side is `fact` (case-insensitive), or
+  /// null when the fact has no mergeable remote counterpart.
+  const FactMapping* FindLocalFact(const std::string& fact) const;
+  /// The dimension mapping whose local side is `dimension`
+  /// (case-insensitive), or null.
+  const DimensionMapping* FindLocalDimension(
+      const std::string& dimension) const;
+};
+
+/// \brief Knobs of the schema matcher.
+struct MatcherOptions {
+  /// Thresholds of the Step-3 ladder (partial-match similarity floor,
+  /// head-word enablement) — shared with the ontology merger.
+  ontology::MergeOptions merge;
+  /// Lowercased local measure name → declared unit ("price" → "EUR").
+  /// Measures absent here have no declared unit.
+  std::map<std::string, std::string> local_units;
+  /// Lowercased remote measure name → declared unit.
+  std::map<std::string, std::string> remote_units;
+  /// "remoteunit->localunit" (lowercased) → multiplicative conversion
+  /// factor ("km->mi" → 0.625). Name-matched measures whose declared units
+  /// differ do NOT map without an entry here; unit-only pairs (kUnit) map
+  /// only through one.
+  std::map<std::string, double> unit_conversions;
+  /// Lowercased base-member name → extra aliases, registered on the
+  /// matching side's member instances before the ontology merge
+  /// ("jfk" → {"Kennedy International Airport"}).
+  std::map<std::string, std::vector<std::string>> member_aliases;
+};
+
+/// \brief Aligns a remote warehouse schema (and its members) against the
+/// local one, producing the SchemaMapping that federation plans with.
+///
+/// Matching ladder per element kind, mirroring paper Step 3:
+///   1. exact lemma;
+///   2. partial string match at or above `merge.partial_threshold`
+///      (a tie between two equally-similar candidates is refused and
+///      recorded in `notes` — never guessed);
+///   3. head word ("Member State" aligns under "State"; a head shared by
+///      several local levels is ambiguous and refused);
+///   4. measures only: a unique convertible unit pair ("km" ↔ "mi").
+/// Members are aligned by OntologyMerger::Merge over per-dimension
+/// instance ontologies, so alias enrichment and exact instance matching
+/// behave exactly as in the Step-3 ontology merge.
+class SchemaMatcher {
+ public:
+  /// Matcher with `options` (defaults mirror the ontology merger's).
+  explicit SchemaMatcher(MatcherOptions options = {});
+
+  /// Aligns `remote`'s schema and members against `local`'s.
+  Result<SchemaMapping> Match(const Warehouse& local,
+                              const Warehouse& remote) const;
+
+ private:
+  /// Aligns the levels of one dimension pair (empty result = no overlap).
+  std::vector<LevelMapping> MatchLevels(const DimensionDef& local,
+                                        const DimensionDef& remote,
+                                        std::vector<std::string>* notes) const;
+  /// Aligns base-level members of one matched dimension pair via the
+  /// Step-3 ontology merge.
+  Result<std::map<std::string, std::string>> MatchMembers(
+      const Warehouse& local_wh, const DimensionDef& local,
+      const Warehouse& remote_wh, const DimensionDef& remote) const;
+  /// Aligns the measures of one fact pair; false when a local measure
+  /// cannot map (the fact pair is then refused).
+  bool MatchMeasures(const FactDef& local, const FactDef& remote,
+                     std::vector<MeasureMapping>* out,
+                     std::vector<std::string>* notes) const;
+
+  MatcherOptions options_;
+};
+
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa
+
+#endif  // DWQA_DW_FEDERATION_SCHEMA_MAPPING_H_

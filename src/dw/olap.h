@@ -61,6 +61,19 @@ struct AggState {
     ++count;
   }
 
+  /// Folds another partial aggregate into this one — the merge half of the
+  /// split/merge identity the federation layer relies on: accumulating a
+  /// row set in partitions and merging the partials lands on the same state
+  /// as accumulating the whole set in one pass (exactly so for min/max/
+  /// count, and for sums of dyadic-rational measures; within rounding for
+  /// arbitrary doubles).
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    count += other.count;
+  }
+
   Value Finish(AggFn fn) const {
     switch (fn) {
       case AggFn::kSum:

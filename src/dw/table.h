@@ -44,6 +44,7 @@ class Column {
   std::vector<Date> dates_;
 };
 
+/// \brief Name and type of one table column.
 struct ColumnDef {
   std::string name;
   ColumnType type = ColumnType::kString;

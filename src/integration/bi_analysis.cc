@@ -48,6 +48,77 @@ Result<dw::OlapResult> RunQuery(const dw::Warehouse& wh,
   return engine.Execute(query);
 }
 
+/// The shared tail of both analyses: joins the two aggregates on (city,
+/// day), buckets tickets by temperature and computes the correlation. The
+/// local and federated paths differ only in where the aggregates came from.
+Result<BiReport> JoinAndBucket(const dw::OlapResult& sales,
+                               const dw::OlapResult& weather,
+                               const std::string& sales_fact,
+                               const std::string& weather_fact,
+                               double bucket_width_c) {
+  std::map<std::pair<std::string, std::string>, double> temp_by_city_day;
+  for (const auto& row : weather.rows) {
+    temp_by_city_day[{ToLower(row[0].ToString()), row[1].ToString()}] =
+        row[2].ToDouble();
+  }
+
+  // Join and bucket.
+  std::map<int64_t, TempRangeStat> buckets;
+  double sum_t = 0, sum_k = 0, sum_tt = 0, sum_kk = 0, sum_tk = 0;
+  size_t n = 0;
+  for (const auto& row : sales.rows) {
+    auto it = temp_by_city_day.find(
+        {ToLower(row[0].ToString()), row[1].ToString()});
+    if (it == temp_by_city_day.end()) continue;
+    double temp = it->second;
+    double tickets = row[2].ToDouble();
+    int64_t bucket = static_cast<int64_t>(
+        std::floor(temp / bucket_width_c));
+    TempRangeStat& stat = buckets[bucket];
+    stat.low_c = static_cast<double>(bucket) * bucket_width_c;
+    stat.high_c = stat.low_c + bucket_width_c;
+    stat.avg_tickets += tickets;  // Sum for now; divided below.
+    ++stat.observations;
+    sum_t += temp;
+    sum_k += tickets;
+    sum_tt += temp * temp;
+    sum_kk += tickets * tickets;
+    sum_tk += temp * tickets;
+    ++n;
+  }
+  if (n == 0) {
+    return Status::NotFound(
+        "no (city, day) pairs joined between '" + sales_fact + "' and '" +
+        weather_fact + "' — has Step 5 fed the warehouse?");
+  }
+
+  BiReport report;
+  report.joined_days = n;
+  for (auto& [bucket, stat] : buckets) {
+    stat.avg_tickets /= static_cast<double>(stat.observations);
+    report.ranges.push_back(stat);
+  }
+  report.best = report.ranges.front();
+  for (const TempRangeStat& s : report.ranges) {
+    // Prefer well-supported buckets (≥ 3 observations) over outliers.
+    bool better = s.avg_tickets > report.best.avg_tickets;
+    if (report.best.observations >= 3 && s.observations < 3) better = false;
+    if (report.best.observations < 3 && s.observations >= 3 &&
+        s.avg_tickets > 0) {
+      better = true;
+    }
+    if (better) report.best = s;
+  }
+  double dn = static_cast<double>(n);
+  double cov = sum_tk / dn - (sum_t / dn) * (sum_k / dn);
+  double var_t = sum_tt / dn - (sum_t / dn) * (sum_t / dn);
+  double var_k = sum_kk / dn - (sum_k / dn) * (sum_k / dn);
+  if (var_t > 0 && var_k > 0) {
+    report.pearson_temperature_tickets = cov / std::sqrt(var_t * var_k);
+  }
+  return report;
+}
+
 }  // namespace
 
 dw::OlapQuery BiAnalysis::SalesQuery(const std::string& sales_fact) {
@@ -101,69 +172,32 @@ Result<BiReport> BiAnalysis::SalesVsTemperature(
                         RunQuery(wh, engine, WeatherQuery(weather_fact),
                                  mode, &weather_from_view));
 
-  std::map<std::pair<std::string, std::string>, double> temp_by_city_day;
-  for (const auto& row : weather.rows) {
-    temp_by_city_day[{ToLower(row[0].ToString()), row[1].ToString()}] =
-        row[2].ToDouble();
-  }
-
-  // Join and bucket.
-  std::map<int64_t, TempRangeStat> buckets;
-  double sum_t = 0, sum_k = 0, sum_tt = 0, sum_kk = 0, sum_tk = 0;
-  size_t n = 0;
-  for (const auto& row : sales.rows) {
-    auto it = temp_by_city_day.find(
-        {ToLower(row[0].ToString()), row[1].ToString()});
-    if (it == temp_by_city_day.end()) continue;
-    double temp = it->second;
-    double tickets = row[2].ToDouble();
-    int64_t bucket = static_cast<int64_t>(
-        std::floor(temp / bucket_width_c));
-    TempRangeStat& stat = buckets[bucket];
-    stat.low_c = static_cast<double>(bucket) * bucket_width_c;
-    stat.high_c = stat.low_c + bucket_width_c;
-    stat.avg_tickets += tickets;  // Sum for now; divided below.
-    ++stat.observations;
-    sum_t += temp;
-    sum_k += tickets;
-    sum_tt += temp * temp;
-    sum_kk += tickets * tickets;
-    sum_tk += temp * tickets;
-    ++n;
-  }
-  if (n == 0) {
-    return Status::NotFound(
-        "no (city, day) pairs joined between '" + sales_fact + "' and '" +
-        weather_fact + "' — has Step 5 fed the warehouse?");
-  }
-
-  BiReport report;
-  report.joined_days = n;
+  DWQA_ASSIGN_OR_RETURN(BiReport report,
+                        JoinAndBucket(sales, weather, sales_fact,
+                                      weather_fact, bucket_width_c));
   report.sales_from_view = sales_from_view;
   report.weather_from_view = weather_from_view;
-  for (auto& [bucket, stat] : buckets) {
-    stat.avg_tickets /= static_cast<double>(stat.observations);
-    report.ranges.push_back(stat);
-  }
-  report.best = report.ranges.front();
-  for (const TempRangeStat& s : report.ranges) {
-    // Prefer well-supported buckets (≥ 3 observations) over outliers.
-    bool better = s.avg_tickets > report.best.avg_tickets;
-    if (report.best.observations >= 3 && s.observations < 3) better = false;
-    if (report.best.observations < 3 && s.observations >= 3 &&
-        s.avg_tickets > 0) {
-      better = true;
-    }
-    if (better) report.best = s;
-  }
-  double dn = static_cast<double>(n);
-  double cov = sum_tk / dn - (sum_t / dn) * (sum_k / dn);
-  double var_t = sum_tt / dn - (sum_t / dn) * (sum_t / dn);
-  double var_k = sum_kk / dn - (sum_k / dn) * (sum_k / dn);
-  if (var_t > 0 && var_k > 0) {
-    report.pearson_temperature_tickets = cov / std::sqrt(var_t * var_k);
-  }
   return report;
+}
+
+Result<FederatedBiReport> BiAnalysis::SalesVsTemperatureFederated(
+    const dw::fed::FederatedEngine& engine, const std::string& sales_fact,
+    const std::string& weather_fact, double bucket_width_c) {
+  if (bucket_width_c <= 0.0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  DWQA_ASSIGN_OR_RETURN(dw::fed::FederatedResult sales,
+                        engine.Execute(SalesQuery(sales_fact)));
+  DWQA_ASSIGN_OR_RETURN(dw::fed::FederatedResult weather,
+                        engine.Execute(WeatherQuery(weather_fact)));
+  FederatedBiReport out;
+  out.sales_coverage = std::move(sales.coverage);
+  out.weather_coverage = std::move(weather.coverage);
+  DWQA_ASSIGN_OR_RETURN(out.report,
+                        JoinAndBucket(sales.result, weather.result,
+                                      sales_fact, weather_fact,
+                                      bucket_width_c));
+  return out;
 }
 
 }  // namespace integration

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "dw/cost_estimator.h"
+#include "dw/federation/federated_engine.h"
 #include "dw/olap.h"
 #include "dw/warehouse.h"
 
@@ -55,6 +56,21 @@ enum class BiMode {
 
 const char* BiModeName(BiMode mode);
 
+/// \brief A federated sales-vs-weather analysis: the report plus which
+/// member warehouses each of its two aggregates actually covers.
+struct FederatedBiReport {
+  BiReport report;
+  /// Coverage of the sales aggregate's fan-out.
+  dw::fed::FederatedCoverage sales_coverage;
+  /// Coverage of the weather aggregate's fan-out.
+  dw::fed::FederatedCoverage weather_coverage;
+
+  /// True when both aggregates covered every member warehouse.
+  bool full() const {
+    return sales_coverage.full() && weather_coverage.full();
+  }
+};
+
 /// \brief The BI layer closing the loop of Step 5: joins the operational
 /// Last Minute Sales fact with the QA-fed Weather fact on (destination
 /// city, date) and reports ticket demand per temperature range.
@@ -76,6 +92,18 @@ class BiAnalysis {
       const std::string& sales_fact = "LastMinuteSales",
       const std::string& weather_fact = "Weather",
       double bucket_width_c = 5.0, BiMode mode = BiMode::kViewFirst);
+
+  /// The federated variant: both aggregates fan out across `engine`'s
+  /// member warehouses and merge back before the same join/bucket/
+  /// correlation pass as the local analysis — with a full-coverage
+  /// federation of one warehouse this returns byte-identical numbers to
+  /// SalesVsTemperature. Per-warehouse failures degrade into the coverage
+  /// annotations; only the loss of every member fails the analysis.
+  static Result<FederatedBiReport> SalesVsTemperatureFederated(
+      const dw::fed::FederatedEngine& engine,
+      const std::string& sales_fact = "LastMinuteSales",
+      const std::string& weather_fact = "Weather",
+      double bucket_width_c = 5.0);
 
   /// Combined cost estimate of the whole analysis — the sum of its two
   /// aggregates' estimates, without executing either. The serving layer

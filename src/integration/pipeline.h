@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/trace.h"
+#include "dw/federation/federated_engine.h"
 #include "dw/quarantine.h"
 #include "dw/wal.h"
 #include "dw/warehouse.h"
@@ -300,6 +301,19 @@ class IntegrationPipeline {
   PipelineHealth Health() const;
   /// @}
 
+  /// \name Federation (dw/federation)
+  /// @{
+  /// Attaches a federated query engine whose local member is this
+  /// pipeline's warehouse (caller-owned, must outlive the pipeline). The
+  /// BI layer and the serving `bi` endpoint route `scope=federated`
+  /// requests through it; nothing else changes when none is attached.
+  void AttachFederation(dw::fed::FederatedEngine* federation) {
+    federation_ = federation;
+  }
+  /// The attached federation engine (null when the tenant has none).
+  dw::fed::FederatedEngine* federation() const { return federation_; }
+  /// @}
+
   /// \name Observability
   /// @{
   /// The pipeline-wide metrics registry. Every component the pipeline owns
@@ -331,6 +345,9 @@ class IntegrationPipeline {
   dw::Warehouse* wh_;
   const ontology::UmlModel* uml_;
   PipelineConfig config_;
+  /// Federated query engine over this warehouse + mapped partners
+  /// (caller-owned; null = tenant is not federated).
+  dw::fed::FederatedEngine* federation_ = nullptr;
   /// Declared before the components that hold a pointer to it (breakers,
   /// deadline, QA engine) so it outlives them all.
   MetricRegistry metrics_;

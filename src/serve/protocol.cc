@@ -105,6 +105,7 @@ std::string Request::Serialize() const {
   if (!tenant.empty()) out << "tenant=" << tenant << "\n";
   if (budget > 0.0) out << "budget=" << budget << "\n";
   if (no_cache) out << "nocache=1\n";
+  if (!scope.empty()) out << "scope=" << scope << "\n";
   if (fact_name != "Weather") out << "fact=" << fact_name << "\n";
   if (attribute != "temperature") out << "attribute=" << attribute << "\n";
   if (!doc_url.empty()) out << "url=" << doc_url << "\n";
@@ -139,6 +140,12 @@ Result<Request> Request::Parse(const std::string& body) {
       }
     } else if (key == "nocache") {
       req.no_cache = value == "1" || value == "true";
+    } else if (key == "scope") {
+      if (value != "local" && value != "federated") {
+        return Status::InvalidArgument("protocol: unknown scope '" + value +
+                                       "'");
+      }
+      req.scope = value;
     } else if (key == "fact") {
       req.fact_name = value;
     } else if (key == "attribute") {

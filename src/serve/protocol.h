@@ -85,6 +85,11 @@ struct Request {
   /// When true the answer cache is bypassed (live-fresh, Snippet-1 "direct
   /// mode"); default is cached-fast.
   bool no_cache = false;
+  /// Warehouse scope of a `bi` request (`scope=` header): "" or "local"
+  /// answers from the tenant's own warehouse; "federated" fans the analysis
+  /// out across the tenant's federation (rejected as BadRequest when the
+  /// tenant has none). Any other value fails Parse.
+  std::string scope;
   /// \name Ingest document (`ingest` endpoint only)
   /// @{
   /// Source URL (`url=` header; may be empty).

@@ -101,6 +101,9 @@ Status QaServer::AddTenant(const ServeTenantConfig& tenant) {
   state->pipeline = std::make_unique<integration::IntegrationPipeline>(
       tenant.warehouse, tenant.uml, tenant.pipeline);
   DWQA_RETURN_NOT_OK(state->pipeline->RunAll(tenant.docs));
+  if (tenant.federation != nullptr) {
+    state->pipeline->AttachFederation(tenant.federation);
+  }
   state->cache.set_metrics(&metrics_, tenant.name);
   // The serve-side ask breaker reports into the tenant's own registry, so
   // its `dwqa_breaker_*{breaker="serve.ask"}` series sit next to the
@@ -461,6 +464,7 @@ Response QaServer::ExecuteFeed(Tenant* tenant, const Request& request) {
 
 Response QaServer::ExecuteBi(Tenant* tenant, const Request& request) {
   std::lock_guard<std::mutex> lock(tenant->state_mu);
+  if (request.scope == "federated") return ExecuteBiFederated(tenant, request);
   const dw::Warehouse& wh = tenant->pipeline->warehouse();
   // Degradation ladder: estimate first. A request whose estimated cost
   // clears max_bi_cost drops one rung to view-only answering (precomputed
@@ -507,6 +511,64 @@ Response QaServer::ExecuteBi(Tenant* tenant, const Request& request) {
                       report.sales_from_view ? "1" : "0");
   fields.emplace_back("weather_from_view",
                       report.weather_from_view ? "1" : "0");
+  fields.emplace_back("joined_days", std::to_string(report.joined_days));
+  fields.emplace_back("correlation",
+                      FormatDouble(report.pearson_temperature_tickets, 4));
+  fields.emplace_back("best_low_c", FormatDouble(report.best.low_c, 1));
+  fields.emplace_back("best_high_c", FormatDouble(report.best.high_c, 1));
+  fields.emplace_back("best_avg_tickets",
+                      FormatDouble(report.best.avg_tickets, 2));
+  fields.emplace_back("best_observations",
+                      std::to_string(report.best.observations));
+  std::ostringstream ranges;
+  for (const auto& range : report.ranges) {
+    ranges << "[" << FormatDouble(range.low_c, 1) << ", "
+           << FormatDouble(range.high_c, 1)
+           << ") avg_tickets=" << FormatDouble(range.avg_tickets, 2)
+           << " observations=" << range.observations << "\n";
+  }
+  response.payload = ranges.str();
+  return response;
+}
+
+Response QaServer::ExecuteBiFederated(Tenant* tenant,
+                                      const Request& request) {
+  // Caller holds state_mu: federated analyses serialize with local bi/feed
+  // requests of this tenant, which is also what makes the engine's trace
+  // recorder (if the embedder set one) safe here.
+  dw::fed::FederatedEngine* federation = tenant->pipeline->federation();
+  if (federation == nullptr) {
+    return MakeReject(request, RejectKind::kBadRequest, "bad_request",
+                      "tenant '" + request.tenant +
+                          "' has no federation attached; scope=federated "
+                          "is unavailable");
+  }
+  Result<integration::FederatedBiReport> analyzed =
+      integration::BiAnalysis::SalesVsTemperatureFederated(*federation);
+  if (!analyzed.ok()) return MakeError(request, analyzed.status());
+  const integration::FederatedBiReport& fed = *analyzed;
+  Response response = MakeBase(request);
+  auto& fields = response.answer;
+  fields.emplace_back("bi_mode", "federated");
+  fields.emplace_back("coverage", fed.full() ? "full" : "partial");
+  fields.emplace_back(
+      "fed_members",
+      std::to_string(fed.sales_coverage.warehouses_total));
+  fields.emplace_back("sales_coverage",
+                      dw::fed::CoverageName(fed.sales_coverage));
+  fields.emplace_back("weather_coverage",
+                      dw::fed::CoverageName(fed.weather_coverage));
+  // One typed line per member gap, so a partial answer always says whose
+  // share is missing and why.
+  for (const dw::fed::CoverageGap& gap : fed.sales_coverage.missing) {
+    fields.emplace_back("fed_missing",
+                        "sales/" + gap.warehouse + ": " + gap.reason);
+  }
+  for (const dw::fed::CoverageGap& gap : fed.weather_coverage.missing) {
+    fields.emplace_back("fed_missing",
+                        "weather/" + gap.warehouse + ": " + gap.reason);
+  }
+  const integration::BiReport& report = fed.report;
   fields.emplace_back("joined_days", std::to_string(report.joined_days));
   fields.emplace_back("correlation",
                       FormatDouble(report.pearson_temperature_tickets, 4));

@@ -59,6 +59,11 @@ struct ServeTenantConfig {
   /// Default per-request deadline budget in cost units when the request
   /// does not carry `budget=` (0 = unlimited).
   double default_ask_budget = 0.0;
+  /// Federated query engine whose local member is this tenant's warehouse
+  /// (caller-owned, must outlive the server; null = tenant not federated).
+  /// `bi` requests with `scope=federated` fan out through it; the engine's
+  /// remotes, pool, policy and metrics are entirely the caller's wiring.
+  dw::fed::FederatedEngine* federation = nullptr;
 };
 
 /// \brief Server-wide tuning.
@@ -199,6 +204,10 @@ class QaServer {
                       uint64_t tick);
   Response ExecuteFeed(Tenant* tenant, const Request& request);
   Response ExecuteBi(Tenant* tenant, const Request& request);
+  /// The scope=federated branch of `bi` (caller holds the tenant's
+  /// state_mu): fans both aggregates across the tenant's federation and
+  /// annotates the response with typed per-member coverage.
+  Response ExecuteBiFederated(Tenant* tenant, const Request& request);
   Response ExecuteIngest(Tenant* tenant, const Request& request);
   Response HandleHealth(const Request& request);
   Response HandleMetrics(const Request& request);

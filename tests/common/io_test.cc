@@ -1,6 +1,7 @@
 #include "common/io.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -12,7 +13,7 @@ namespace stdfs = std::filesystem;
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_io_test";
+    dir_ = stdfs::path(::testing::TempDir()) / (std::string("dwqa_io_test.") + std::to_string(::getpid()));
     stdfs::remove_all(dir_);
     stdfs::create_directories(dir_);
   }

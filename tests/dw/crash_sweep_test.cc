@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <algorithm>
@@ -129,7 +130,7 @@ WorkloadResult RunWorkload(const std::string& dir, FaultFs* fs) {
 class CrashSweepTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_crash_sweep";
+    dir_ = stdfs::path(::testing::TempDir()) / (std::string("dwqa_crash_sweep.") + std::to_string(::getpid()));
     stdfs::remove_all(dir_);
   }
   void TearDown() override { stdfs::remove_all(dir_); }

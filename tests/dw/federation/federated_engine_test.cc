@@ -1,0 +1,444 @@
+#include "dw/federation/federated_engine.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/fault.h"
+#include "common/metric_names.h"
+#include "common/metrics.h"
+#include "dw/etl.h"
+#include "dw/federation/merge_warehouses.h"
+#include "dw/federation/partner_warehouse.h"
+#include "dw/materialized_view.h"
+#include "dw/olap.h"
+#include "integration/last_minute_sales.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+namespace {
+
+constexpr int kDays = 7;
+
+/// Byte-identity: headers, group order, and every cell's type *and* value
+/// (Value::operator== compares the variant, so a double 3.0 is not an
+/// int64 3). Scan counters are deliberately not compared — the federated
+/// path scans two warehouses.
+void ExpectSameResult(const OlapResult& oracle, const OlapResult& fed) {
+  ASSERT_EQ(oracle.headers, fed.headers);
+  ASSERT_EQ(oracle.rows.size(), fed.rows.size());
+  for (size_t r = 0; r < oracle.rows.size(); ++r) {
+    ASSERT_EQ(oracle.rows[r].size(), fed.rows[r].size()) << "row " << r;
+    for (size_t c = 0; c < oracle.rows[r].size(); ++c) {
+      EXPECT_EQ(oracle.rows[r][c], fed.rows[r][c])
+          << "row " << r << " col " << c << " oracle='"
+          << oracle.rows[r][c].ToString() << "' fed='"
+          << fed.rows[r][c].ToString() << "'";
+    }
+  }
+}
+
+/// The two-airline federation scenario, including one cross-warehouse
+/// weather conflict so every query also exercises conflict exclusions.
+class FederatedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Date start(2004, 1, 1);
+    auto local = integration::LastMinuteSales::MakeWarehouse();
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    local_ = std::make_unique<Warehouse>(std::move(*local));
+    web::WeatherModel weather(42);
+    ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                    local_.get(), weather, start, kDays)
+                    .ok());
+    // Locally ingested weather (dyadic temperatures, local source URLs —
+    // no key collision with the partner's readings)…
+    InsertLocalWeather("New York", "United States", "2004-01-02", 21.5,
+                       "http://local.example/weather/new-york");
+    InsertLocalWeather("Barcelona", "Spain", "2004-01-03", 9.25,
+                       "http://local.example/weather/barcelona");
+    // …plus one reading under the partner's exact fact key, so the
+    // conflict machinery is live in every test.
+    InsertLocalWeather("Barcelona", "Spain", "2004-01-01", 99.0,
+                       "http://partner.example/weather/barcelona");
+
+    auto remote = PartnerAirline::MakeWarehouse();
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    remote_ = std::make_unique<Warehouse>(std::move(*remote));
+    ASSERT_TRUE(
+        PartnerAirline::GeneratePartnerSales(remote_.get(), start, kDays)
+            .ok());
+    ASSERT_TRUE(
+        PartnerAirline::GeneratePartnerWeather(remote_.get(), start, kDays)
+            .ok());
+
+    SchemaMatcher matcher(PartnerAirline::DefaultMatcherOptions());
+    auto mapping = matcher.Match(*local_, *remote_);
+    ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+    mapping_ = std::move(*mapping);
+  }
+
+  void InsertLocalWeather(const std::string& city, const std::string& country,
+                          const std::string& iso_day, double temperature_c,
+                          const std::string& url) {
+    auto city_id = local_->AddMember("City", {city, country});
+    ASSERT_TRUE(city_id.ok());
+    auto day = Date::FromIsoString(iso_day);
+    ASSERT_TRUE(day.ok());
+    auto day_id = local_->AddMember("Date", DateMemberPath(*day));
+    ASSERT_TRUE(day_id.ok());
+    auto source_id = local_->AddMember("Source", {url});
+    ASSERT_TRUE(source_id.ok());
+    ASSERT_TRUE(local_->InsertFact("Weather", {*city_id, *day_id, *source_id},
+                                   {Value(temperature_c)})
+                    .ok());
+  }
+
+  /// Builds the engine under `policy` (no pool — deterministic inline).
+  /// Heap-allocated: the engine owns a mutex and cannot move.
+  std::unique_ptr<FederatedEngine> MakeEngine(
+      const MergePolicy& policy = {}) {
+    auto engine = std::make_unique<FederatedEngine>(local_.get());
+    EXPECT_TRUE(engine->AddRemote("partner", remote_.get(), mapping_).ok());
+    engine->set_policy(policy);
+    return engine;
+  }
+
+  /// Asserts `query` answers byte-identically to the merged oracle under
+  /// `policy`, with full coverage.
+  void ExpectOracleIdentity(const OlapQuery& query,
+                            const MergePolicy& policy = {}) {
+    auto oracle_wh = MergeWarehouses(*local_, *remote_, mapping_, policy);
+    ASSERT_TRUE(oracle_wh.ok()) << oracle_wh.status().ToString();
+    auto oracle = OlapEngine(&*oracle_wh).Execute(query);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+    auto engine = MakeEngine(policy);
+    auto fed = engine->Execute(query);
+    ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+    EXPECT_TRUE(fed->coverage.full());
+    EXPECT_EQ(fed->coverage.warehouses_total, 2u);
+    ExpectSameResult(*oracle, fed->result);
+  }
+
+  std::unique_ptr<Warehouse> local_;
+  std::unique_ptr<Warehouse> remote_;
+  SchemaMapping mapping_;
+};
+
+OlapQuery SalesByCityDay() {
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "City"}, {"date", "Date"}};
+  return q;
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleOnCityDayTickets) {
+  ExpectOracleIdentity(SalesByCityDay());
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleOnCountryRollUpWithUnitConversion) {
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}, {"Miles", AggFn::kSum}};
+  q.group_by = {{"destination", "Country"}};
+  // SUM(Miles) folds converted partner kilometres into local miles — the
+  // dyadic 0.625 factor keeps the merged sums exact.
+  ExpectOracleIdentity(q);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleAcrossTranslatedAirportMembers) {
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"origin", "Airport"}};
+  // Partner rows out of "Kennedy International Airport" must land in the
+  // local "JFK" group, not a group of their own.
+  ExpectOracleIdentity(q);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleOnSentinelCustomerGroups) {
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"customer", "Customer"}};
+  // The partner has no customer role: its rows group under the sentinel.
+  ExpectOracleIdentity(q);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleUnderSliceAndAliasFilters) {
+  OlapQuery by_city = SalesByCityDay();
+  by_city.filters = {{"destination", "City", {"Barcelona"}}};
+  ExpectOracleIdentity(by_city);
+
+  OlapQuery by_alias;
+  by_alias.fact = "LastMinuteSales";
+  by_alias.measures = {{"Tickets", AggFn::kSum}};
+  by_alias.group_by = {{"origin", "Airport"}};
+  // Filtering on the local spelling must still include the partner rows
+  // recorded under the aliased member name.
+  by_alias.filters = {{"origin", "Airport", {"JFK"}}};
+  ExpectOracleIdentity(by_alias);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleWhenFilterTouchesUnmappedRole) {
+  // A real segment: the partner (all sentinel rows) contributes nothing,
+  // and its sub-query is skipped rather than dispatched.
+  OlapQuery business;
+  business.fact = "LastMinuteSales";
+  business.measures = {{"Tickets", AggFn::kSum}};
+  business.group_by = {{"destination", "Country"}};
+  business.filters = {{"customer", "Segment", {"Business"}}};
+  ExpectOracleIdentity(business);
+
+  // The sentinel itself: only the partner's rows qualify.
+  OlapQuery unattributed = business;
+  unattributed.filters = {
+      {"customer", "Customer", {std::string(kUnattributedMember)}}};
+  ExpectOracleIdentity(unattributed);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleOnHavingAppliedPostMerge) {
+  // The HAVING threshold must see *merged* sums: a group that clears it
+  // only with both warehouses' tickets combined stays in the answer.
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "City"}};
+  q.having = {{0, CompareOp::kGreater, 40.0}};
+  ExpectOracleIdentity(q);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleOnMixedAggregates) {
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum},
+                {"Tickets", AggFn::kCount},
+                {"Miles", AggFn::kMin},
+                {"Price", AggFn::kMax}};
+  q.group_by = {{"destination", "Country"}};
+  ExpectOracleIdentity(q);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleOnFederatedWeatherAverages) {
+  OlapQuery q;
+  q.fact = "Weather";
+  q.measures = {{"TemperatureC", AggFn::kAvg}};
+  q.group_by = {{"location", "City"}, {"day", "Date"}};
+  // Half-degree partner readings + quarter-degree local ones: the dyadic
+  // sums make the merged averages exact.
+  ExpectOracleIdentity(q);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleUnderEveryConflictPolicy) {
+  OlapQuery q;
+  q.fact = "Weather";
+  q.measures = {{"TemperatureC", AggFn::kAvg},
+                {"TemperatureC", AggFn::kCount}};
+  q.group_by = {{"location", "City"}, {"day", "Date"}};
+
+  MergePolicy prefer_local;
+  prefer_local.conflicts = ConflictPolicy::kPreferLocal;
+  ExpectOracleIdentity(q, prefer_local);
+
+  MergePolicy prefer_fresher;
+  prefer_fresher.conflicts = ConflictPolicy::kPreferFresher;
+  prefer_fresher.local_refresh_iso = "2004-01-01";
+  prefer_fresher.remote_refresh_iso = "2004-02-01";
+  ExpectOracleIdentity(q, prefer_fresher);
+
+  MergePolicy quarantine;
+  quarantine.conflicts = ConflictPolicy::kQuarantine;
+  ExpectOracleIdentity(q, quarantine);
+}
+
+TEST_F(FederatedEngineTest, MatchesOracleWithViewCatalogsAttached) {
+  // Each member answers its sub-query from its own materialized views —
+  // the catalog contract (views byte-identical to recompute) composes
+  // with the federation contract.
+  ViewCatalog local_views;
+  ASSERT_TRUE(
+      local_views.DefineAll(DeriveViewsFromSchema(local_->schema())).ok());
+  local_->AttachViews(&local_views);
+  ASSERT_TRUE(local_views.Bind(*local_).ok());
+  ViewCatalog remote_views;
+  ASSERT_TRUE(
+      remote_views.DefineAll(DeriveViewsFromSchema(remote_->schema())).ok());
+  remote_->AttachViews(&remote_views);
+  ASSERT_TRUE(remote_views.Bind(*remote_).ok());
+
+  ExpectOracleIdentity(SalesByCityDay());
+
+  OlapQuery weather;
+  weather.fact = "Weather";
+  weather.measures = {{"TemperatureC", AggFn::kAvg}};
+  weather.group_by = {{"location", "City"}, {"day", "Date"}};
+  ExpectOracleIdentity(weather);
+
+  local_->AttachViews(nullptr);
+  remote_->AttachViews(nullptr);
+}
+
+TEST_F(FederatedEngineTest, RemoteFailureDegradesToTypedPartialCoverage) {
+  FaultConfig config;
+  config.rules = {{kFaultPointFedSubquery, 1.0}};
+  FaultInjector chaos(config);
+
+  FederatedEngine engine(local_.get());
+  ASSERT_TRUE(
+      engine.AddRemote("partner", remote_.get(), mapping_, &chaos).ok());
+
+  OlapQuery q = SalesByCityDay();
+  auto fed = engine.Execute(q);
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+  EXPECT_FALSE(fed->coverage.full());
+  EXPECT_EQ(fed->coverage.answered, 1u);
+  ASSERT_EQ(fed->coverage.missing.size(), 1u);
+  EXPECT_EQ(fed->coverage.missing[0].warehouse, "partner");
+  EXPECT_FALSE(fed->coverage.missing[0].reason.empty());
+
+  // The partial answer is exactly the local share — never a silent
+  // partial sum mixing a half-failed fan-out.
+  auto local_only = OlapEngine(local_.get()).Execute(q);
+  ASSERT_TRUE(local_only.ok());
+  ExpectSameResult(*local_only, fed->result);
+}
+
+TEST_F(FederatedEngineTest, AllMembersFailingIsATypedError) {
+  FaultConfig config;
+  config.rules = {{kFaultPointFedSubquery, 1.0}};
+  FaultInjector local_chaos(config);
+  FaultInjector remote_chaos(config);
+
+  FederatedEngine engine(local_.get());
+  ASSERT_TRUE(
+      engine.AddRemote("partner", remote_.get(), mapping_, &remote_chaos)
+          .ok());
+  engine.set_local_chaos(&local_chaos);
+
+  auto fed = engine.Execute(SalesByCityDay());
+  ASSERT_FALSE(fed.ok());
+  EXPECT_TRUE(fed.status().IsUnavailable()) << fed.status().ToString();
+  EXPECT_NE(fed.status().message().find("no member could answer"),
+            std::string::npos)
+      << fed.status().ToString();
+}
+
+TEST_F(FederatedEngineTest, CountsQueriesSubqueriesAndMergedGroups) {
+  MetricRegistry metrics;
+  auto engine = MakeEngine();
+  engine->set_metrics(&metrics);
+
+  auto fed = engine->Execute(SalesByCityDay());
+  ASSERT_TRUE(fed.ok());
+  EXPECT_EQ(metrics.Value(kMetricFedQueries, {{"coverage", "full"}}), 1.0);
+  EXPECT_EQ(metrics.Value(kMetricFedSubqueries,
+                          {{"warehouse", "local"}, {"outcome", "ok"}}),
+            1.0);
+  EXPECT_EQ(metrics.Value(kMetricFedSubqueries,
+                          {{"warehouse", "partner"}, {"outcome", "ok"}}),
+            1.0);
+  EXPECT_GE(metrics.Value(kMetricFedGroupsMerged),
+            static_cast<double>(fed->result.rows.size()));
+
+  // A chaos-degraded query lands in the partial bucket with a typed
+  // error outcome for the failed member.
+  FaultConfig config;
+  config.rules = {{kFaultPointFedSubquery, 1.0}};
+  FaultInjector chaos(config);
+  FederatedEngine flaky(local_.get());
+  ASSERT_TRUE(
+      flaky.AddRemote("partner", remote_.get(), mapping_, &chaos).ok());
+  flaky.set_metrics(&metrics);
+  ASSERT_TRUE(flaky.Execute(SalesByCityDay()).ok());
+  EXPECT_EQ(metrics.Value(kMetricFedQueries, {{"coverage", "partial"}}), 1.0);
+  EXPECT_EQ(metrics.Value(kMetricFedSubqueries,
+                          {{"warehouse", "partner"}, {"outcome", "error"}}),
+            1.0);
+}
+
+TEST_F(FederatedEngineTest, CountsConflictResolutions) {
+  MetricRegistry metrics;
+  MergePolicy quarantine;
+  quarantine.conflicts = ConflictPolicy::kQuarantine;
+  auto engine = MakeEngine(quarantine);
+  engine->set_metrics(&metrics);
+
+  OlapQuery q;
+  q.fact = "Weather";
+  q.measures = {{"TemperatureC", AggFn::kAvg}};
+  q.group_by = {{"location", "City"}};
+  ASSERT_TRUE(engine->Execute(q).ok());
+  EXPECT_EQ(metrics.Value(kMetricFedConflicts,
+                          {{"policy", "quarantine"},
+                           {"resolution", "quarantined"}}),
+            2.0);
+}
+
+TEST_F(FederatedEngineTest, SkippedFilterShortCircuitCountsAsSkipped) {
+  MetricRegistry metrics;
+  auto engine = MakeEngine();
+  engine->set_metrics(&metrics);
+
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"destination", "Country"}};
+  q.filters = {{"customer", "Segment", {"Business"}}};
+  auto fed = engine->Execute(q);
+  ASSERT_TRUE(fed.ok());
+  EXPECT_TRUE(fed->coverage.full());  // zero contribution is still exact
+  EXPECT_EQ(metrics.Value(kMetricFedSubqueries,
+                          {{"warehouse", "partner"}, {"outcome", "skipped"}}),
+            1.0);
+}
+
+TEST_F(FederatedEngineTest, ThreadPoolFanOutMatchesInlineExecution) {
+  ThreadPool pool(4);
+  auto pooled = MakeEngine();
+  pooled->set_pool(&pool);
+  auto inline_engine = MakeEngine();
+
+  OlapQuery q = SalesByCityDay();
+  auto fanned = pooled->Execute(q);
+  auto serial = inline_engine->Execute(q);
+  ASSERT_TRUE(fanned.ok() && serial.ok());
+  ExpectSameResult(serial->result, fanned->result);
+}
+
+TEST_F(FederatedEngineTest, RejectsInvalidQueriesAndRegistrations) {
+  auto engine = MakeEngine();
+
+  OlapQuery unknown_fact = SalesByCityDay();
+  unknown_fact.fact = "NoSuchFact";
+  EXPECT_FALSE(engine->Execute(unknown_fact).ok());
+
+  OlapQuery unknown_measure = SalesByCityDay();
+  unknown_measure.measures = {{"NoSuchMeasure", AggFn::kSum}};
+  EXPECT_FALSE(engine->Execute(unknown_measure).ok());
+
+  OlapQuery bad_having = SalesByCityDay();
+  bad_having.having = {{7, CompareOp::kGreater, 0.0}};
+  auto result = engine->Execute(bad_having);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("HAVING refers to measure index"),
+            std::string::npos);
+
+  FederatedEngine fresh(local_.get());
+  EXPECT_TRUE(fresh.AddRemote("local", remote_.get(), mapping_)
+                  .IsAlreadyExists());
+  EXPECT_TRUE(fresh.AddRemote("partner", nullptr, mapping_)
+                  .IsInvalidArgument());
+  ASSERT_TRUE(fresh.AddRemote("partner", remote_.get(), mapping_).ok());
+  EXPECT_TRUE(fresh.AddRemote("Partner", remote_.get(), mapping_)
+                  .IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,102 @@
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/metric_names.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "dw/federation/federated_engine.h"
+#include "dw/federation/partner_warehouse.h"
+#include "dw/olap.h"
+#include "integration/last_minute_sales.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+namespace {
+
+/// Concurrent Execute calls against one pool-backed engine: every caller
+/// must get the same answer a serial engine computes, with no data races
+/// (this suite runs under TSan via the `threads` label). No trace recorder
+/// is attached — the engine's documented exception to thread-safety.
+TEST(FederationConcurrencyTest, ConcurrentExecutesMatchSerialAnswers) {
+  Date start(2004, 1, 1);
+  auto local = integration::LastMinuteSales::MakeWarehouse();
+  ASSERT_TRUE(local.ok());
+  web::WeatherModel weather(42);
+  ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(&*local, weather,
+                                                          start, 7)
+                  .ok());
+  auto remote = PartnerAirline::MakeWarehouse();
+  ASSERT_TRUE(remote.ok());
+  ASSERT_TRUE(PartnerAirline::GeneratePartnerSales(&*remote, start, 7).ok());
+  SchemaMatcher matcher(PartnerAirline::DefaultMatcherOptions());
+  auto mapping = matcher.Match(*local, *remote);
+  ASSERT_TRUE(mapping.ok());
+
+  ThreadPool pool(4);
+  MetricRegistry metrics;
+  FederatedEngine engine(&*local);
+  ASSERT_TRUE(engine.AddRemote("partner", &*remote, *mapping).ok());
+  engine.set_pool(&pool);
+  engine.set_metrics(&metrics);
+
+  // Three distinct query shapes, answered serially first.
+  std::vector<OlapQuery> queries(3);
+  queries[0].fact = "LastMinuteSales";
+  queries[0].measures = {{"Tickets", AggFn::kSum}};
+  queries[0].group_by = {{"destination", "City"}, {"date", "Date"}};
+  queries[1].fact = "LastMinuteSales";
+  queries[1].measures = {{"Miles", AggFn::kSum}, {"Tickets", AggFn::kCount}};
+  queries[1].group_by = {{"destination", "Country"}};
+  queries[2].fact = "LastMinuteSales";
+  queries[2].measures = {{"Price", AggFn::kMax}};
+  queries[2].group_by = {{"origin", "Airport"}};
+  queries[2].filters = {{"origin", "Airport", {"JFK", "El Prat"}}};
+
+  std::vector<OlapResult> expected;
+  for (const OlapQuery& q : queries) {
+    auto serial = engine.Execute(q);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    expected.push_back(std::move(serial->result));
+  }
+
+  constexpr size_t kCallers = 8;
+  constexpr size_t kRounds = 5;
+  std::vector<std::string> failures(kCallers);
+  std::vector<std::thread> callers;
+  for (size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t qi = (t + round) % queries.size();
+        auto fed = engine.Execute(queries[qi]);
+        if (!fed.ok()) {
+          failures[t] = fed.status().ToString();
+          return;
+        }
+        if (!fed->coverage.full() ||
+            fed->result.rows != expected[qi].rows ||
+            fed->result.headers != expected[qi].headers) {
+          failures[t] = "caller " + std::to_string(t) +
+                        " diverged from the serial answer on query " +
+                        std::to_string(qi);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  for (const std::string& failure : failures) EXPECT_EQ(failure, "");
+
+  // Every execution was counted, and all of them with full coverage.
+  EXPECT_EQ(metrics.Value(kMetricFedQueries, {{"coverage", "full"}}),
+            static_cast<double>(queries.size() + kCallers * kRounds));
+}
+
+}  // namespace
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,300 @@
+#include "dw/federation/merge_warehouses.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "dw/etl.h"
+#include "dw/federation/partner_warehouse.h"
+#include "dw/olap.h"
+#include "dw/quarantine.h"
+#include "integration/last_minute_sales.h"
+#include "web/weather_model.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+namespace {
+
+constexpr int kDays = 5;
+
+/// Min/count of TemperatureC for one (city, day) — enough to read a single
+/// weather row back and to count how many survive a conflict policy.
+Result<OlapResult> QueryCityDayTemp(const Warehouse& wh,
+                                    const std::string& city,
+                                    const std::string& day) {
+  OlapQuery q;
+  q.fact = "Weather";
+  q.measures = {{"TemperatureC", AggFn::kMin}, {"TemperatureC", AggFn::kCount}};
+  q.group_by = {{"location", "City"}};
+  q.filters = {{"location", "City", {city}}, {"day", "Date", {day}}};
+  return OlapEngine(&wh).Execute(q);
+}
+
+/// The merge scenario: local airline + partner airline over the same
+/// 5-day window, with one locally inserted weather row that shares the
+/// partner's (Barcelona, 2004-01-01, partner URL) fact key.
+class MergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Date start(2004, 1, 1);
+
+    auto remote = PartnerAirline::MakeWarehouse();
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    remote_ = std::make_unique<Warehouse>(std::move(*remote));
+    ASSERT_TRUE(
+        PartnerAirline::GeneratePartnerSales(remote_.get(), start, kDays)
+            .ok());
+    ASSERT_TRUE(
+        PartnerAirline::GeneratePartnerWeather(remote_.get(), start, kDays)
+            .ok());
+
+    // Read the partner's Barcelona temperature for the shared key before
+    // deciding what the local copy says about it.
+    auto partner_row =
+        QueryCityDayTemp(*remote_, "Barcelona", "2004-01-01");
+    ASSERT_TRUE(partner_row.ok()) << partner_row.status().ToString();
+    ASSERT_EQ(partner_row->rows.size(), 1u);
+    partner_temp_ = partner_row->rows[0][1].as_double();
+
+    auto local = integration::LastMinuteSales::MakeWarehouse();
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    local_ = std::make_unique<Warehouse>(std::move(*local));
+    web::WeatherModel weather(42);
+    ASSERT_TRUE(integration::LastMinuteSales::GenerateSales(
+                    local_.get(), weather, start, kDays)
+                    .ok());
+  }
+
+  /// Inserts a local Weather row under the partner's Barcelona fact key.
+  void InsertLocalWeather(double temperature_c) {
+    auto city = local_->AddMember("City", {"Barcelona", "Spain"});
+    ASSERT_TRUE(city.ok());
+    auto day = local_->AddMember("Date", DateMemberPath(Date(2004, 1, 1)));
+    ASSERT_TRUE(day.ok());
+    auto source = local_->AddMember(
+        "Source", {"http://partner.example/weather/barcelona"});
+    ASSERT_TRUE(source.ok());
+    ASSERT_TRUE(local_->InsertFact("Weather", {*city, *day, *source},
+                                   {Value(temperature_c)})
+                    .ok());
+  }
+
+  /// Runs the matcher (after all member insertions, so the instance merge
+  /// sees the final populations).
+  SchemaMapping Match() {
+    SchemaMatcher matcher(PartnerAirline::DefaultMatcherOptions());
+    auto mapping = matcher.Match(*local_, *remote_);
+    EXPECT_TRUE(mapping.ok()) << mapping.status().ToString();
+    return std::move(*mapping);
+  }
+
+  std::unique_ptr<Warehouse> local_;
+  std::unique_ptr<Warehouse> remote_;
+  double partner_temp_ = 0.0;
+};
+
+TEST_F(MergeTest, AdditiveMergeKeepsEveryRowOfBothSaleFacts) {
+  SchemaMapping mapping = Match();
+  MergeWarehousesReport report;
+  auto merged = MergeWarehouses(*local_, *remote_, mapping, {}, nullptr,
+                                &report);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  auto local_sales = local_->FactRowCount("LastMinuteSales");
+  auto remote_sales = remote_->FactRowCount("Partner Sales");
+  auto merged_sales = merged->FactRowCount("LastMinuteSales");
+  ASSERT_TRUE(local_sales.ok() && remote_sales.ok() && merged_sales.ok());
+  // LastMinuteSales is not key-complete (customer never maps), so the
+  // merge is purely additive: every row of both sides survives.
+  EXPECT_EQ(*merged_sales, *local_sales + *remote_sales);
+  EXPECT_GT(report.local_facts_kept, 0u);
+  EXPECT_GT(report.remote_facts_merged, 0u);
+  EXPECT_GT(report.members_added, 0u);
+}
+
+TEST_F(MergeTest, TranslatesMembersAndBacksUnmappedRolesWithSentinel) {
+  SchemaMapping mapping = Match();
+  auto merged = MergeWarehouses(*local_, *remote_, mapping);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  // Partner-only aerodromes became local Airport members…
+  EXPECT_TRUE(merged->FindMember("Airport", "Portela").ok());
+  EXPECT_TRUE(merged->FindMember("Airport", "Gardermoen").ok());
+  // …while the aliased one folded into the local spelling instead of
+  // arriving under its partner name.
+  EXPECT_FALSE(merged->FindMember("Airport", "Kennedy International Airport")
+                   .ok());
+  EXPECT_TRUE(merged->FindMember("Airport", "JFK").ok());
+  // Partner sales have no customer: their rows hang off the sentinel.
+  auto sentinel = merged->FindMember("Customer", kUnattributedMember);
+  EXPECT_TRUE(sentinel.ok());
+  EXPECT_FALSE(local_->FindMember("Customer", kUnattributedMember).ok());
+
+  // The sentinel carries exactly the partner's tickets.
+  OlapQuery q;
+  q.fact = "LastMinuteSales";
+  q.measures = {{"Tickets", AggFn::kSum}};
+  q.group_by = {{"customer", "Customer"}};
+  q.filters = {{"customer", "Customer", {kUnattributedMember}}};
+  auto rows = OlapEngine(&*merged).Execute(q);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 1u);
+
+  OlapQuery partner_q;
+  partner_q.fact = "Partner Sales";
+  partner_q.measures = {{"Tickets", AggFn::kSum}};
+  auto partner_rows = OlapEngine(&*remote_).Execute(partner_q);
+  ASSERT_TRUE(partner_rows.ok()) << partner_rows.status().ToString();
+  ASSERT_EQ(partner_rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][1], partner_rows->rows[0][0]);
+}
+
+TEST_F(MergeTest, ConvertsRemoteKilometresIntoLocalMilesExactly) {
+  SchemaMapping mapping = Match();
+  auto merged = MergeWarehouses(*local_, *remote_, mapping);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  OlapQuery km;
+  km.fact = "Partner Sales";
+  km.measures = {{"DistanceKm", AggFn::kSum}};
+  auto km_rows = OlapEngine(&*remote_).Execute(km);
+  ASSERT_TRUE(km_rows.ok());
+
+  OlapQuery mi;
+  mi.fact = "LastMinuteSales";
+  mi.measures = {{"Miles", AggFn::kSum}};
+  mi.filters = {{"customer", "Customer", {kUnattributedMember}}};
+  auto mi_rows = OlapEngine(&*merged).Execute(mi);
+  ASSERT_TRUE(mi_rows.ok());
+  ASSERT_EQ(mi_rows->rows.size(), 1u);
+  // Integer kilometres × the dyadic 0.625 factor: exact, not approximate.
+  EXPECT_EQ(mi_rows->rows[0][0].as_double(),
+            km_rows->rows[0][0].as_double() * PartnerAirline::kKmToMiles);
+}
+
+TEST_F(MergeTest, IdenticalRowsOnSharedKeysAreDeduplicated) {
+  InsertLocalWeather(partner_temp_);
+  SchemaMapping mapping = Match();
+  MergeWarehousesReport report;
+  auto merged = MergeWarehouses(*local_, *remote_, mapping, {}, nullptr,
+                                &report);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  const ConflictStats& stats = report.conflicts.at("Weather");
+  EXPECT_EQ(stats.keys_in_both, 1u);
+  EXPECT_EQ(stats.deduplicated_rows, 1u);
+  EXPECT_EQ(stats.conflicting_keys, 0u);
+
+  auto row = QueryCityDayTemp(*merged, "Barcelona", "2004-01-01");
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(row->rows.size(), 1u);
+  EXPECT_EQ(row->rows[0][2].as_int(), 1);  // one copy survives
+  EXPECT_EQ(row->rows[0][1].as_double(), partner_temp_);
+}
+
+TEST_F(MergeTest, PreferLocalKeepsTheLocalReadingOnConflict) {
+  InsertLocalWeather(99.0);
+  SchemaMapping mapping = Match();
+  MergeWarehousesReport report;
+  MergePolicy policy;
+  policy.conflicts = ConflictPolicy::kPreferLocal;
+  auto merged = MergeWarehouses(*local_, *remote_, mapping, policy, nullptr,
+                                &report);
+  ASSERT_TRUE(merged.ok());
+
+  const ConflictStats& stats = report.conflicts.at("Weather");
+  EXPECT_EQ(stats.conflicting_keys, 1u);
+  EXPECT_EQ(stats.remote_rows_dropped, 1u);
+  EXPECT_EQ(stats.local_rows_dropped, 0u);
+  EXPECT_EQ(stats.quarantined_rows, 0u);
+
+  auto row = QueryCityDayTemp(*merged, "Barcelona", "2004-01-01");
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(row->rows.size(), 1u);
+  EXPECT_EQ(row->rows[0][2].as_int(), 1);
+  EXPECT_EQ(row->rows[0][1].as_double(), 99.0);
+}
+
+TEST_F(MergeTest, PreferFresherFollowsTheRefreshDates) {
+  InsertLocalWeather(99.0);
+  SchemaMapping mapping = Match();
+
+  MergePolicy remote_fresher;
+  remote_fresher.conflicts = ConflictPolicy::kPreferFresher;
+  remote_fresher.local_refresh_iso = "2004-01-01";
+  remote_fresher.remote_refresh_iso = "2004-02-01";
+  MergeWarehousesReport report;
+  auto merged = MergeWarehouses(*local_, *remote_, mapping, remote_fresher,
+                                nullptr, &report);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(report.conflicts.at("Weather").local_rows_dropped, 1u);
+  auto row = QueryCityDayTemp(*merged, "Barcelona", "2004-01-01");
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(row->rows.size(), 1u);
+  EXPECT_EQ(row->rows[0][1].as_double(), partner_temp_);
+
+  MergePolicy local_fresher = remote_fresher;
+  local_fresher.local_refresh_iso = "2004-03-01";
+  auto merged2 =
+      MergeWarehouses(*local_, *remote_, mapping, local_fresher);
+  ASSERT_TRUE(merged2.ok());
+  auto row2 = QueryCityDayTemp(*merged2, "Barcelona", "2004-01-01");
+  ASSERT_TRUE(row2.ok());
+  ASSERT_EQ(row2->rows.size(), 1u);
+  EXPECT_EQ(row2->rows[0][1].as_double(), 99.0);
+}
+
+TEST_F(MergeTest, QuarantinePolicyExcludesBothSidesAndRoutesRecords) {
+  InsertLocalWeather(99.0);
+  SchemaMapping mapping = Match();
+  MergePolicy policy;
+  policy.conflicts = ConflictPolicy::kQuarantine;
+  QuarantineStore store;
+  MergeWarehousesReport report;
+  auto merged = MergeWarehouses(*local_, *remote_, mapping, policy, &store,
+                                &report);
+  ASSERT_TRUE(merged.ok());
+
+  const ConflictStats& stats = report.conflicts.at("Weather");
+  EXPECT_EQ(stats.conflicting_keys, 1u);
+  EXPECT_EQ(stats.quarantined_rows, 2u);
+  EXPECT_EQ(stats.local_rows_dropped, 1u);
+  EXPECT_EQ(stats.remote_rows_dropped, 1u);
+
+  // The disputed reading is gone from the oracle entirely…
+  auto row = QueryCityDayTemp(*merged, "Barcelona", "2004-01-01");
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->rows.empty());
+
+  // …and both copies landed in quarantine with the typed reason.
+  ASSERT_EQ(store.size(), 2u);
+  auto counts = store.CountsByReason();
+  EXPECT_EQ(counts.at("FederationConflict"), 2u);
+  for (const QuarantineRecord& record : store.records()) {
+    EXPECT_EQ(record.location, "barcelona");  // keys are case-normalized
+    EXPECT_EQ(record.date_iso, "2004-01-01");
+    EXPECT_EQ(record.url, "http://partner.example/weather/barcelona");
+    EXPECT_NE(record.detail.find("quarantine"), std::string::npos);
+  }
+}
+
+TEST_F(MergeTest, ResolveConflictsIsEmptyForAdditiveFactMappings) {
+  SchemaMapping mapping = Match();
+  const FactMapping* sales = mapping.FindLocalFact("LastMinuteSales");
+  ASSERT_NE(sales, nullptr);
+  ASSERT_FALSE(sales->key_complete);
+  auto resolution =
+      ResolveConflicts(*local_, *remote_, mapping, *sales, MergePolicy{});
+  ASSERT_TRUE(resolution.ok());
+  EXPECT_TRUE(resolution->local_excluded.empty());
+  EXPECT_TRUE(resolution->remote_excluded.empty());
+  EXPECT_TRUE(resolution->quarantine.empty());
+  EXPECT_EQ(resolution->stats.keys_in_both, 0u);
+}
+
+}  // namespace
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

@@ -1,0 +1,277 @@
+#include "dw/federation/schema_mapping.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "dw/federation/partner_warehouse.h"
+#include "integration/last_minute_sales.h"
+
+namespace dwqa {
+namespace dw {
+namespace fed {
+namespace {
+
+/// The partner-airline alignment every federation test plans against.
+class PartnerMatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto local = integration::LastMinuteSales::MakeWarehouse();
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    local_ = std::make_unique<Warehouse>(std::move(*local));
+    auto remote = PartnerAirline::MakeWarehouse();
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    remote_ = std::make_unique<Warehouse>(std::move(*remote));
+    SchemaMatcher matcher(PartnerAirline::DefaultMatcherOptions());
+    auto mapping = matcher.Match(*local_, *remote_);
+    ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+    mapping_ = std::move(*mapping);
+  }
+
+  bool HasNoteContaining(const std::string& needle) const {
+    for (const std::string& note : mapping_.notes) {
+      if (note.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Warehouse> local_;
+  std::unique_ptr<Warehouse> remote_;
+  SchemaMapping mapping_;
+};
+
+TEST_F(PartnerMatchTest, AlignsGeographyAcrossAllThreeLadderTiers) {
+  const DimensionMapping* dm = mapping_.FindLocalDimension("Airport");
+  ASSERT_NE(dm, nullptr);
+  EXPECT_EQ(dm->remote_dimension, "Aerodrome");
+  ASSERT_EQ(dm->levels.size(), 4u);
+
+  const LevelMapping* base = dm->FindLocalLevel("Airport");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->remote_level, "Airports");
+  EXPECT_EQ(base->kind, MatchKind::kPartial);
+
+  const LevelMapping* city = dm->FindLocalLevel("City");
+  ASSERT_NE(city, nullptr);
+  EXPECT_EQ(city->remote_level, "City");
+  EXPECT_EQ(city->kind, MatchKind::kExact);
+
+  const LevelMapping* state = dm->FindLocalLevel("State");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->remote_level, "Member State");
+  EXPECT_EQ(state->kind, MatchKind::kHeadWord);
+
+  const LevelMapping* country = dm->FindLocalLevel("Country");
+  ASSERT_NE(country, nullptr);
+  EXPECT_EQ(country->remote_level, "Country");
+  EXPECT_EQ(country->kind, MatchKind::kExact);
+}
+
+TEST_F(PartnerMatchTest, MapsNameExactDimensionsAndLeavesOrphansUnmapped) {
+  const DimensionMapping* date = mapping_.FindLocalDimension("Date");
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(date->remote_dimension, "Date");
+  EXPECT_EQ(date->levels.size(), 3u);
+
+  const DimensionMapping* city = mapping_.FindLocalDimension("City");
+  ASSERT_NE(city, nullptr);
+  EXPECT_EQ(city->remote_dimension, "City");
+
+  const DimensionMapping* source = mapping_.FindLocalDimension("Source");
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->remote_dimension, "Source");
+
+  // Customer has no remote counterpart; the remote-only Aircraft dimension
+  // must not have been grabbed for it.
+  EXPECT_EQ(mapping_.FindLocalDimension("Customer"), nullptr);
+  for (const DimensionMapping& dm : mapping_.dimensions) {
+    EXPECT_NE(dm.remote_dimension, "Aircraft");
+  }
+}
+
+TEST_F(PartnerMatchTest, SalesFactMapsWithUnitPairAndIncompleteKey) {
+  const FactMapping* fm = mapping_.FindLocalFact("LastMinuteSales");
+  ASSERT_NE(fm, nullptr);
+  EXPECT_EQ(fm->remote_fact, "Partner Sales");
+
+  const MeasureMapping* price = fm->FindLocalMeasure("Price");
+  ASSERT_NE(price, nullptr);
+  EXPECT_EQ(price->remote_measure, "Price");
+  EXPECT_EQ(price->kind, MatchKind::kExact);
+  EXPECT_DOUBLE_EQ(price->conversion, 1.0);
+
+  // Miles has no name in common with DistanceKm: only the registered
+  // km→mi conversion pairs them.
+  const MeasureMapping* miles = fm->FindLocalMeasure("Miles");
+  ASSERT_NE(miles, nullptr);
+  EXPECT_EQ(miles->remote_measure, "DistanceKm");
+  EXPECT_EQ(miles->kind, MatchKind::kUnit);
+  EXPECT_DOUBLE_EQ(miles->conversion, PartnerAirline::kKmToMiles);
+
+  const MeasureMapping* tickets = fm->FindLocalMeasure("Tickets");
+  ASSERT_NE(tickets, nullptr);
+  EXPECT_EQ(tickets->kind, MatchKind::kExact);
+
+  // The remote-only BaggageFees measure is simply ignored.
+  EXPECT_EQ(fm->measures.size(), 3u);
+
+  // origin/destination/date map; customer does not, so the two fact
+  // tables do not share a key space (additive merge, no conflict checks).
+  EXPECT_NE(fm->FindLocalRole("origin"), nullptr);
+  EXPECT_NE(fm->FindLocalRole("destination"), nullptr);
+  EXPECT_NE(fm->FindLocalRole("date"), nullptr);
+  EXPECT_EQ(fm->FindLocalRole("customer"), nullptr);
+  EXPECT_FALSE(fm->key_complete);
+  ASSERT_EQ(fm->unmapped_local_roles.size(), 1u);
+  EXPECT_EQ(fm->unmapped_local_roles.front(), "customer");
+}
+
+TEST_F(PartnerMatchTest, WeatherFactIsKeyComplete) {
+  const FactMapping* fm = mapping_.FindLocalFact("Weather");
+  ASSERT_NE(fm, nullptr);
+  EXPECT_EQ(fm->remote_fact, "Weather");
+  EXPECT_TRUE(fm->key_complete);
+  EXPECT_EQ(fm->roles.size(), 3u);
+  const MeasureMapping* temp = fm->FindLocalMeasure("TemperatureC");
+  ASSERT_NE(temp, nullptr);
+  EXPECT_DOUBLE_EQ(temp->conversion, 1.0);
+}
+
+TEST_F(PartnerMatchTest, MemberMergeBridgesAliasAndKeepsRemoteOnlyOut) {
+  const DimensionMapping* dm = mapping_.FindLocalDimension("Airport");
+  ASSERT_NE(dm, nullptr);
+  // The paper's alias bridge: the partner spells the airport out, the
+  // local warehouse calls it JFK — the ontology instance merge links them.
+  auto it = dm->member_map.find("kennedy international airport");
+  ASSERT_NE(it, dm->member_map.end());
+  EXPECT_EQ(it->second, "JFK");
+  // Same-spelling overlap maps onto the canonical local spelling.
+  auto prat = dm->member_map.find("el prat");
+  ASSERT_NE(prat, dm->member_map.end());
+  EXPECT_EQ(prat->second, "El Prat");
+  // Partner-only aerodromes have no local counterpart.
+  EXPECT_EQ(dm->member_map.count("portela"), 0u);
+  EXPECT_EQ(dm->member_map.count("gardermoen"), 0u);
+}
+
+TEST(SchemaMatcherEdgeTest, AmbiguousHeadWordTieIsRefusedWithNote) {
+  // Two local levels share the head word "State"; the remote "Member
+  // State" must not be guessed onto either of them.
+  MdSchema local_schema;
+  ASSERT_TRUE(local_schema
+                  .AddDimension({"Region",
+                                 {{"City"}, {"Home State"}, {"Origin State"}}})
+                  .ok());
+  MdSchema remote_schema;
+  ASSERT_TRUE(
+      remote_schema.AddDimension({"Region", {{"City"}, {"Member State"}}})
+          .ok());
+  auto local = Warehouse::Create(std::move(local_schema));
+  ASSERT_TRUE(local.ok());
+  auto remote = Warehouse::Create(std::move(remote_schema));
+  ASSERT_TRUE(remote.ok());
+
+  SchemaMatcher matcher;
+  auto mapping = matcher.Match(*local, *remote);
+  ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+  const DimensionMapping* dm = mapping->FindLocalDimension("Region");
+  ASSERT_NE(dm, nullptr);
+  // City still aligns; neither *State level does.
+  EXPECT_NE(dm->FindLocalLevel("City"), nullptr);
+  EXPECT_EQ(dm->FindLocalLevel("Home State"), nullptr);
+  EXPECT_EQ(dm->FindLocalLevel("Origin State"), nullptr);
+  bool noted = false;
+  for (const std::string& note : mapping->notes) {
+    if (note.find("ambiguous") != std::string::npos &&
+        note.find("Member State") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(SchemaMatcherEdgeTest, UnconvertibleUnitsMustNotAutoMap) {
+  // Name-identical measures in EUR vs USD with no registered conversion:
+  // the unit gate refuses the pair, and because every local measure must
+  // map, the whole fact pair is refused.
+  MdSchema local_schema;
+  ASSERT_TRUE(local_schema.AddDimension({"Date", {{"Date"}}}).ok());
+  FactDef local_fact;
+  local_fact.name = "Revenue";
+  local_fact.measures = {{"Price", ColumnType::kDouble, AggFn::kSum}};
+  local_fact.roles = {{"date", "Date"}};
+  ASSERT_TRUE(local_schema.AddFact(std::move(local_fact)).ok());
+
+  MdSchema remote_schema;
+  ASSERT_TRUE(remote_schema.AddDimension({"Date", {{"Date"}}}).ok());
+  FactDef remote_fact;
+  remote_fact.name = "Revenue";
+  remote_fact.measures = {{"Price", ColumnType::kDouble, AggFn::kSum}};
+  remote_fact.roles = {{"date", "Date"}};
+  ASSERT_TRUE(remote_schema.AddFact(std::move(remote_fact)).ok());
+
+  auto local = Warehouse::Create(std::move(local_schema));
+  ASSERT_TRUE(local.ok());
+  auto remote = Warehouse::Create(std::move(remote_schema));
+  ASSERT_TRUE(remote.ok());
+
+  MatcherOptions options;
+  options.local_units["price"] = "EUR";
+  options.remote_units["price"] = "USD";
+  SchemaMatcher matcher(options);
+  auto mapping = matcher.Match(*local, *remote);
+  ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+  EXPECT_EQ(mapping->FindLocalFact("Revenue"), nullptr);
+  bool refused = false;
+  bool no_counterpart = false;
+  for (const std::string& note : mapping->notes) {
+    if (note.find("not convertible") != std::string::npos) refused = true;
+    if (note.find("no mergeable remote counterpart") != std::string::npos) {
+      no_counterpart = true;
+    }
+  }
+  EXPECT_TRUE(refused);
+  EXPECT_TRUE(no_counterpart);
+}
+
+TEST(SchemaMatcherEdgeTest, RegisteredConversionOpensTheUnitGate) {
+  // The same EUR/USD pair with a conversion registered maps — and carries
+  // the factor.
+  MdSchema local_schema;
+  ASSERT_TRUE(local_schema.AddDimension({"Date", {{"Date"}}}).ok());
+  FactDef local_fact;
+  local_fact.name = "Revenue";
+  local_fact.measures = {{"Price", ColumnType::kDouble, AggFn::kSum}};
+  local_fact.roles = {{"date", "Date"}};
+  ASSERT_TRUE(local_schema.AddFact(std::move(local_fact)).ok());
+  MdSchema remote_schema;
+  ASSERT_TRUE(remote_schema.AddDimension({"Date", {{"Date"}}}).ok());
+  FactDef remote_fact;
+  remote_fact.name = "Revenue";
+  remote_fact.measures = {{"Price", ColumnType::kDouble, AggFn::kSum}};
+  remote_fact.roles = {{"date", "Date"}};
+  ASSERT_TRUE(remote_schema.AddFact(std::move(remote_fact)).ok());
+  auto local = Warehouse::Create(std::move(local_schema));
+  ASSERT_TRUE(local.ok());
+  auto remote = Warehouse::Create(std::move(remote_schema));
+  ASSERT_TRUE(remote.ok());
+
+  MatcherOptions options;
+  options.local_units["price"] = "EUR";
+  options.remote_units["price"] = "USD";
+  options.unit_conversions["usd->eur"] = 0.875;
+  SchemaMatcher matcher(options);
+  auto mapping = matcher.Match(*local, *remote);
+  ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+  const FactMapping* fm = mapping->FindLocalFact("Revenue");
+  ASSERT_NE(fm, nullptr);
+  const MeasureMapping* price = fm->FindLocalMeasure("Price");
+  ASSERT_NE(price, nullptr);
+  EXPECT_DOUBLE_EQ(price->conversion, 0.875);
+  EXPECT_TRUE(fm->key_complete);
+}
+
+}  // namespace
+}  // namespace fed
+}  // namespace dw
+}  // namespace dwqa

@@ -1,6 +1,7 @@
 #include "dw/persistence.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -77,7 +78,7 @@ TEST(SchemaSerdeTest, EmptyNamesRejected) {
 class PersistenceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "dwqa_persist_test";
+    dir_ = fs::path(::testing::TempDir()) / (std::string("dwqa_persist_test.") + std::to_string(::getpid()));
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

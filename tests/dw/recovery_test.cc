@@ -1,6 +1,7 @@
 #include "dw/recovery.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -42,7 +43,7 @@ size_t WeatherRows(const Warehouse& wh) {
 class RecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_recovery_test";
+    dir_ = stdfs::path(::testing::TempDir()) / (std::string("dwqa_recovery_test.") + std::to_string(::getpid()));
     stdfs::remove_all(dir_);
     options_.bootstrap_schema = integration::LastMinuteSales::MakeSchema();
   }

@@ -1,6 +1,7 @@
 #include "dw/snapshot.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -27,7 +28,7 @@ Warehouse PopulatedWarehouse() {
 class SnapshotTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_snapshot_test";
+    dir_ = stdfs::path(::testing::TempDir()) / (std::string("dwqa_snapshot_test.") + std::to_string(::getpid()));
     stdfs::remove_all(dir_);
   }
   void TearDown() override { stdfs::remove_all(dir_); }

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -130,7 +131,7 @@ void ExpectViewsEqualRebuild(const Warehouse& wh, const ViewCatalog& views,
 class ViewRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_view_recovery";
+    dir_ = stdfs::path(::testing::TempDir()) / (std::string("dwqa_view_recovery.") + std::to_string(::getpid()));
     stdfs::remove_all(dir_);
   }
   void TearDown() override { stdfs::remove_all(dir_); }

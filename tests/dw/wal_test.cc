@@ -1,6 +1,7 @@
 #include "dw/wal.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -34,7 +35,7 @@ WalFact SampleFact(double value = 8.0, const std::string& city = "Barcelona") {
 class WalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_wal_test";
+    dir_ = stdfs::path(::testing::TempDir()) / (std::string("dwqa_wal_test.") + std::to_string(::getpid()));
     stdfs::remove_all(dir_);
   }
   void TearDown() override { stdfs::remove_all(dir_); }

@@ -3,6 +3,7 @@
 #include <set>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "common/metric_names.h"
 #include "dw/recovery.h"
@@ -44,7 +45,7 @@ class DurabilityPipelineTest : public ::testing::Test {
     config.months = {1};
     web_ = std::make_unique<web::SyntheticWeb>(
         web::SyntheticWeb::Build(config).ValueOrDie());
-    dir_ = stdfs::path(::testing::TempDir()) / "dwqa_durability_pipeline";
+    dir_ = stdfs::path(::testing::TempDir()) / (std::string("dwqa_durability_pipeline.") + std::to_string(::getpid()));
     stdfs::remove_all(dir_);
   }
   void TearDown() override { stdfs::remove_all(dir_); }

@@ -1,6 +1,7 @@
 #include "ontology/owl_writer.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -81,7 +82,7 @@ TEST(OwlWriterTest, CustomIriUsed) {
 }
 
 TEST(OwlWriterTest, WriteFileRoundTrip) {
-  std::string path = ::testing::TempDir() + "/dwqa_owl_test.owl";
+  std::string path = ::testing::TempDir() + "/dwqa_owl_test." + std::to_string(::getpid()) + ".owl";
   ASSERT_TRUE(OwlWriter::WriteFile(Small(), path).ok());
   std::ifstream in(path);
   ASSERT_TRUE(in.good());

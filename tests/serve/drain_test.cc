@@ -5,6 +5,7 @@
 // TSan surface of the serving layer.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <fstream>
 #include <future>
@@ -70,7 +71,8 @@ class DrainTest : public ::testing::Test {
 
 TEST_F(DrainTest, DrainFlushesCheckpointAndRejectsLateArrivals) {
   const std::string checkpoint =
-      ::testing::TempDir() + "/dwqa_serve_drain_checkpoint.json";
+      ::testing::TempDir() + "/dwqa_serve_drain_checkpoint." +
+      std::to_string(::getpid()) + ".json";
   std::remove(checkpoint.c_str());
 
   ServeTenantConfig tenant = TenantConfig("a");

@@ -82,8 +82,41 @@ TEST(RequestTest, IngestRoundTripsHeadersAndPayloadContent) {
 }
 
 TEST(RequestTest, IngestRejectsUnknownDocumentFormat) {
-  EXPECT_FALSE(
-      Request::Parse("endpoint=ingest\nid=1\nformat=pdf\n\nbody").ok());
+  auto parsed = Request::Parse("endpoint=ingest\nid=1\nformat=pdf\n\nbody");
+  ASSERT_FALSE(parsed.ok());
+  // The request-shape validation error names the offending value — the
+  // message examples/serve and docs/SERVING.md point callers at.
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().message().find("protocol: unknown format 'pdf'"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(RequestTest, BiScopeRoundTripsAndRejectsUnknownValues) {
+  Request req;
+  req.id = 21;
+  req.tenant = "acme";
+  req.endpoint = Endpoint::kBi;
+  req.scope = "federated";
+  auto parsed = Request::Parse(req.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->endpoint, Endpoint::kBi);
+  EXPECT_EQ(parsed->scope, "federated");
+
+  // "local" and an absent scope both parse (and mean the same thing).
+  auto local = Request::Parse("endpoint=bi\nid=1\nscope=local\n");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local->scope, "local");
+  auto none = Request::Parse("endpoint=bi\nid=1\n");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->scope.empty());
+
+  auto bad = Request::Parse("endpoint=bi\nid=1\nscope=galactic\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("protocol: unknown scope 'galactic'"),
+            std::string::npos)
+      << bad.status().ToString();
 }
 
 TEST(RequestTest, RejectsMalformedBodies) {

@@ -13,6 +13,8 @@
 
 #include "common/date.h"
 #include "common/metric_names.h"
+#include "dw/federation/federated_engine.h"
+#include "dw/federation/partner_warehouse.h"
 #include "dw/materialized_view.h"
 #include "integration/last_minute_sales.h"
 #include "web/synthetic_web.h"
@@ -545,6 +547,79 @@ TEST_F(ServeTest, AdmissionCostBudgetWeighsBiByItsEstimate) {
   // Empty warehouse: the analysis itself finds nothing to join, but the
   // request was ADMITTED — the estimator weighed the views, not the scan.
   EXPECT_NE(cheap.reason, "cost_budget");
+}
+
+TEST_F(ServeTest, BiFederatedScopeWithoutFederationIsRejected) {
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(TenantConfig("a", wh_a_.get())).ok());
+
+  Request bi;
+  bi.id = 1;
+  bi.tenant = "a";
+  bi.endpoint = Endpoint::kBi;
+  bi.scope = "federated";
+  Response rejected = server.Handle(bi);
+  EXPECT_EQ(rejected.status, "rejected");
+  EXPECT_EQ(rejected.code, "BadRequest");
+  EXPECT_NE(rejected.payload.find("no federation attached"),
+            std::string::npos)
+      << rejected.payload;
+
+  // scope=local is the explicit spelling of the default path, not an error
+  // (it may still fail the analysis itself on an unfed warehouse).
+  Request local = bi;
+  local.id = 2;
+  local.scope = "local";
+  Response answered = server.Handle(local);
+  EXPECT_NE(answered.status, "rejected");
+}
+
+TEST_F(ServeTest, BiFederatedFansOutAndAnnotatesCoverage) {
+  // A partner warehouse supplies the weather the local tenant never fed:
+  // only the federated scope can join sales against it.
+  auto partner = std::make_unique<dw::Warehouse>(
+      dw::fed::PartnerAirline::MakeWarehouse().ValueOrDie());
+  ASSERT_TRUE(dw::fed::PartnerAirline::GeneratePartnerSales(
+                  partner.get(), Date(2004, 1, 1), 31)
+                  .ok());
+  ASSERT_TRUE(dw::fed::PartnerAirline::GeneratePartnerWeather(
+                  partner.get(), Date(2004, 1, 1), 31)
+                  .ok());
+  dw::fed::SchemaMatcher matcher(
+      dw::fed::PartnerAirline::DefaultMatcherOptions());
+  auto mapping = matcher.Match(*wh_a_, *partner);
+  ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+  dw::fed::FederatedEngine engine(wh_a_.get());
+  ASSERT_TRUE(engine.AddRemote("partner", partner.get(), *mapping).ok());
+
+  ServeTenantConfig tenant = TenantConfig("a", wh_a_.get());
+  tenant.federation = &engine;
+  QaServer server;
+  ASSERT_TRUE(server.AddTenant(tenant).ok());
+
+  // The local scope has no weather to join against…
+  Request local_bi;
+  local_bi.id = 1;
+  local_bi.tenant = "a";
+  local_bi.endpoint = Endpoint::kBi;
+  Response local_answer = server.Handle(local_bi);
+  EXPECT_EQ(local_answer.status, "error");
+
+  // …while the federated scope answers from both members' shares.
+  Request fed_bi = local_bi;
+  fed_bi.id = 2;
+  fed_bi.scope = "federated";
+  Response fed_answer = server.Handle(fed_bi);
+  ASSERT_EQ(fed_answer.status, "ok") << fed_answer.payload;
+  EXPECT_EQ(fed_answer.AnswerField("bi_mode"), "federated");
+  EXPECT_EQ(fed_answer.AnswerField("coverage"), "full");
+  EXPECT_EQ(fed_answer.AnswerField("fed_members"), "2");
+  EXPECT_EQ(fed_answer.AnswerField("sales_coverage"), "full");
+  EXPECT_EQ(fed_answer.AnswerField("weather_coverage"), "full");
+  EXPECT_NE(fed_answer.AnswerField("joined_days"), "0");
+  EXPECT_FALSE(fed_answer.AnswerField("joined_days").empty());
+  EXPECT_FALSE(fed_answer.AnswerField("best_low_c").empty());
+  EXPECT_FALSE(fed_answer.payload.empty());
 }
 
 }  // namespace
